@@ -1,0 +1,31 @@
+//! # tasfar-baselines — the comparison schemes of the TASFAR evaluation
+//!
+//! Implementations of the four adaptation schemes the paper compares TASFAR
+//! against, sharing the [`common::DomainAdapter`] interface so the benchmark
+//! harness can sweep them uniformly:
+//!
+//! | Scheme | Source data? | Mechanism |
+//! |---|---|---|
+//! | [`mmd::MmdAdapter`] | required | RBF-kernel MMD feature alignment (Long et al.) |
+//! | [`adv::AdvAdapter`] | required | domain discriminator + gradient reversal (Tzeng et al.) |
+//! | [`datafree::DatafreeAdapter`] | stored histograms only | soft feature-histogram restoration (Eastwood et al.) |
+//! | [`augfree::AugfreeAdapter`] | none | variance-perturbation consistency (Xiong et al.) |
+//!
+//! The source-based schemes are the paper's upper reference ("expectedly the
+//! best performance due to the availability of source dataset"); the
+//! source-free schemes are the direct competitors TASFAR outperforms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adv;
+pub mod augfree;
+pub mod common;
+pub mod datafree;
+pub mod mmd;
+
+pub use adv::AdvAdapter;
+pub use augfree::AugfreeAdapter;
+pub use common::{BaselineConfig, DomainAdapter};
+pub use datafree::{record_source_stats, DatafreeAdapter};
+pub use mmd::MmdAdapter;

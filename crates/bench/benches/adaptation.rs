@@ -1,0 +1,81 @@
+//! Criterion bench of the complete TASFAR adaptation on a small target
+//! batch (calibration excluded — it is a one-time source-side cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::prelude::*;
+
+fn setup() -> (Sequential, SourceCalibration, Tensor, TasfarConfig) {
+    let mut rng = Rng::new(10);
+    let n = 400;
+    let mut xs = Tensor::zeros(n, 2);
+    let mut ys = Tensor::zeros(n, 1);
+    for i in 0..n {
+        let y = rng.uniform(-1.0, 1.0);
+        let hard = rng.bernoulli(0.05);
+        let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+        xs.set(i, 0, y + noise);
+        xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+        ys.set(i, 0, y);
+    }
+    let source = Dataset::new(xs, ys);
+    let mut model = Sequential::new()
+        .add(Dense::new(2, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(5e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig { epochs: 60, batch_size: 32, ..TrainConfig::default() },
+    );
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 20,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+    let mut xt = Tensor::zeros(200, 2);
+    for i in 0..200 {
+        let y = rng.gaussian(0.6, 0.05);
+        let hard = rng.bernoulli(0.4);
+        let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+        xt.set(i, 0, y + noise);
+        xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+    }
+    (model, calib, xt, cfg)
+}
+
+fn bench_adapt(c: &mut Criterion) {
+    let (model, calib, xt, cfg) = setup();
+    c.bench_function("tasfar_adapt_200x20epochs", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            black_box(adapt(&mut m, &calib, &xt, &Mse, &cfg))
+        })
+    });
+    // The split/map/pseudo stages alone (no fine-tuning).
+    let zero_cfg = TasfarConfig { epochs: 0, ..cfg.clone() };
+    c.bench_function("tasfar_pseudo_stage_200", |b| {
+        b.iter(|| {
+            let mut m = model.clone();
+            black_box(adapt(&mut m, &calib, &xt, &Mse, &zero_cfg))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_adapt
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches of label-density-map construction — the kernel whose
+//! cost the paper analyses as O(n/g) (Sec. IV-B1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tasfar_core::prelude::*;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+fn bench_map_1d(c: &mut Criterion) {
+    let mut rng = Rng::new(1);
+    let preds: Vec<f64> = (0..2000).map(|_| rng.gaussian(0.0, 1.0)).collect();
+    let sigmas: Vec<f64> = (0..2000).map(|_| rng.uniform(0.05, 0.3)).collect();
+
+    let mut group = c.benchmark_group("density_map_1d");
+    for &cell in &[0.01, 0.05, 0.2] {
+        group.bench_with_input(BenchmarkId::new("estimate", cell), &cell, |b, &cell| {
+            let spec = GridSpec::from_range(-4.0, 4.0, cell);
+            b.iter(|| {
+                DensityMap1d::estimate(
+                    black_box(&preds),
+                    black_box(&sigmas),
+                    spec.clone(),
+                    ErrorModel::Gaussian,
+                )
+            })
+        });
+    }
+    group.bench_function("from_labels", |b| {
+        let spec = GridSpec::from_range(-4.0, 4.0, 0.05);
+        b.iter(|| DensityMap1d::from_labels(black_box(&preds), spec.clone()))
+    });
+    group.finish();
+}
+
+fn bench_map_2d(c: &mut Criterion) {
+    let mut rng = Rng::new(2);
+    let preds = Tensor::rand_normal(500, 2, 0.0, 0.7, &mut rng);
+    let sigmas = Tensor::rand_uniform(500, 2, 0.05, 0.2, &mut rng);
+    c.bench_function("density_map_2d_estimate_500x(24x24)", |b| {
+        b.iter(|| {
+            DensityMap2d::estimate(
+                black_box(&preds),
+                black_box(&sigmas),
+                GridSpec::from_range(-1.2, 1.2, 0.1),
+                GridSpec::from_range(-1.2, 1.2, 0.1),
+                ErrorModel::Gaussian,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_map_1d, bench_map_2d
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches of the substrate's hot kernels: matmul, the causal
+//! convolution, a TCN block round trip, and a dense training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tasfar_nn::prelude::*;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::new(5);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128, 256] {
+        let a = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv1d(c: &mut Criterion) {
+    let mut rng = Rng::new(6);
+    let mut conv = Conv1d::new(6, 16, 3, 1, 20, &mut rng);
+    let x = Tensor::rand_normal(64, 120, 0.0, 1.0, &mut rng);
+    c.bench_function("conv1d_fwd_64x6x20", |b| {
+        b.iter(|| conv.forward(black_box(&x), Mode::Eval))
+    });
+    c.bench_function("conv1d_fwd_bwd_64x6x20", |b| {
+        let g = Tensor::rand_normal(64, 320, 0.0, 1.0, &mut rng);
+        b.iter(|| {
+            let _ = conv.forward(black_box(&x), Mode::Train);
+            conv.backward(black_box(&g))
+        })
+    });
+}
+
+fn bench_tcn_block(c: &mut Criterion) {
+    let mut rng = Rng::new(7);
+    let mut block = TcnBlock::new(6, 16, 3, 1, 20, 0.1, &mut rng);
+    let x = Tensor::rand_normal(64, 120, 0.0, 1.0, &mut rng);
+    c.bench_function("tcn_block_fwd_64", |b| {
+        b.iter(|| block.forward(black_box(&x), Mode::Eval))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = Rng::new(8);
+    let mut model = Sequential::new()
+        .add(Dense::new(64, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dense::new(64, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(1e-3);
+    let x = Tensor::rand_normal(32, 64, 0.0, 1.0, &mut rng);
+    let y = Tensor::rand_normal(32, 1, 0.0, 1.0, &mut rng);
+    c.bench_function("mlp_train_step_b32", |b| {
+        b.iter(|| {
+            model.zero_grad();
+            let pred = model.forward(black_box(&x), Mode::Train);
+            let grad = Mse.grad(&pred, &y, None);
+            model.backward(&grad);
+            opt.step(&mut model.params_mut());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv1d, bench_tcn_block, bench_training_step
+}
+criterion_main!(benches);

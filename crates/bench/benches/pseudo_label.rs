@@ -1,0 +1,64 @@
+//! Criterion benches of pseudo-label generation (Algorithm 3 throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tasfar_core::prelude::*;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+fn bench_pseudo_1d(c: &mut Criterion) {
+    let mut rng = Rng::new(3);
+    let labels: Vec<f64> = (0..5000).map(|_| rng.gaussian(0.5, 0.3)).collect();
+    let map = DensityMap1d::from_labels(&labels, GridSpec::from_range(-1.0, 2.0, 0.02));
+    let generator = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+    let queries: Vec<(f64, f64, f64)> = (0..256)
+        .map(|_| (rng.gaussian(0.5, 0.4), rng.uniform(0.05, 0.3), rng.uniform(0.11, 0.5)))
+        .collect();
+    c.bench_function("pseudo_label_1d_256", |b| {
+        b.iter(|| {
+            for &(p, s, u) in &queries {
+                black_box(generator.generate(p, s, u));
+            }
+        })
+    });
+}
+
+fn bench_pseudo_2d(c: &mut Criterion) {
+    let mut rng = Rng::new(4);
+    let mut rows = Vec::new();
+    for _ in 0..5000 {
+        let theta = rng.uniform(0.0, std::f64::consts::TAU);
+        let r = rng.gaussian(0.7, 0.05);
+        rows.push(vec![r * theta.cos(), r * theta.sin()]);
+    }
+    let labels = Tensor::from_rows(&rows);
+    let map = DensityMap2d::from_labels(
+        &labels,
+        GridSpec::from_range(-1.2, 1.2, 0.05),
+        GridSpec::from_range(-1.2, 1.2, 0.05),
+    );
+    let generator = PseudoLabelGenerator2d::new(&map, 0.1, ErrorModel::Gaussian);
+    let queries: Vec<([f64; 2], [f64; 2], f64)> = (0..256)
+        .map(|_| {
+            (
+                [rng.gaussian(0.0, 0.7), rng.gaussian(0.0, 0.7)],
+                [rng.uniform(0.05, 0.2), rng.uniform(0.05, 0.2)],
+                rng.uniform(0.11, 0.5),
+            )
+        })
+        .collect();
+    c.bench_function("pseudo_label_2d_256", |b| {
+        b.iter(|| {
+            for &(p, s, u) in &queries {
+                black_box(generator.generate(p, s, u));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pseudo_1d, bench_pseudo_2d
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench of MC-dropout inference (T stochastic passes), the cost
+//! TASFAR pays per target batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+
+fn bench_mc_dropout(c: &mut Criterion) {
+    let mut rng = Rng::new(9);
+    let mut model = Sequential::new()
+        .add(Dense::new(64, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(64, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    let x = Tensor::rand_normal(256, 64, 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("mc_dropout_256");
+    for &t in &[5usize, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| McDropout::new(t).predict(&mut model, black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_mc_dropout
+}
+criterion_main!(benches);

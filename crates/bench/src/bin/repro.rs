@@ -1,0 +1,228 @@
+//! `repro` — regenerates every table and figure of the TASFAR paper.
+//!
+//! ```text
+//! repro [--quick] <experiment>...
+//! repro all                # everything, paper scale
+//! repro --quick fig7 fig8  # selected experiments at smoke-test scale
+//! repro list               # show available experiments
+//! ```
+//!
+//! Each experiment prints its table(s) and writes a CSV under `results/`.
+
+use std::time::Instant;
+use tasfar_bench::experiments::{ablations, crowd_exp, multiseed, pdr_adapt, pdr_params, tabular_exp};
+use tasfar_bench::report::Table;
+use tasfar_bench::schemes::Scheme;
+use tasfar_bench::tasks::{housing_context, taxi_context, CrowdContext, PdrContext, Scale};
+
+const EXPERIMENTS: &[&str] = &[
+    "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1",
+    "ablation_joint", "ablation_replay", "ablation_earlystop", "ablation_taurescale",
+    "table1_seeds", "fig21_seeds", "ablation_uncertainty",
+];
+
+/// Lazily built contexts shared across the selected experiments.
+struct Contexts {
+    scale: Scale,
+    pdr: Option<PdrContext>,
+    crowd: Option<CrowdContext>,
+    pdr_cmp_seen: Option<Vec<pdr_adapt::UserComparison>>,
+    pdr_cmp_unseen: Option<Vec<pdr_adapt::UserComparison>>,
+    crowd_cmp: Option<crowd_exp::CrowdComparison>,
+}
+
+impl Contexts {
+    fn new(scale: Scale) -> Self {
+        Contexts {
+            scale,
+            pdr: None,
+            crowd: None,
+            pdr_cmp_seen: None,
+            pdr_cmp_unseen: None,
+            crowd_cmp: None,
+        }
+    }
+
+    fn pdr(&mut self) -> &PdrContext {
+        if self.pdr.is_none() {
+            eprintln!("[setup] building PDR context (world + source TCN training)...");
+            let t = Instant::now();
+            self.pdr = Some(PdrContext::build(self.scale));
+            eprintln!("[setup] PDR context ready in {:.1}s", t.elapsed().as_secs_f64());
+        }
+        self.pdr.as_ref().unwrap()
+    }
+
+    fn crowd(&mut self) -> &CrowdContext {
+        if self.crowd.is_none() {
+            eprintln!("[setup] building crowd context (world + source MLP training)...");
+            let t = Instant::now();
+            self.crowd = Some(CrowdContext::build(self.scale));
+            eprintln!("[setup] crowd context ready in {:.1}s", t.elapsed().as_secs_f64());
+        }
+        self.crowd.as_ref().unwrap()
+    }
+
+    fn pdr_cmp_seen(&mut self) -> &[pdr_adapt::UserComparison] {
+        if self.pdr_cmp_seen.is_none() {
+            self.pdr();
+            let ctx = self.pdr.as_ref().unwrap();
+            eprintln!("[setup] running six-scheme comparison on the seen group...");
+            let t = Instant::now();
+            let users = ctx.world.seen_users.clone();
+            self.pdr_cmp_seen = Some(pdr_adapt::compare_group(ctx, &users, &Scheme::all()));
+            eprintln!(
+                "[setup] seen-group comparison done in {:.1}s",
+                t.elapsed().as_secs_f64()
+            );
+        }
+        self.pdr_cmp_seen.as_ref().unwrap()
+    }
+
+    fn pdr_cmp_unseen(&mut self) -> &[pdr_adapt::UserComparison] {
+        if self.pdr_cmp_unseen.is_none() {
+            self.pdr();
+            let ctx = self.pdr.as_ref().unwrap();
+            eprintln!("[setup] running six-scheme comparison on the unseen group...");
+            let t = Instant::now();
+            let users = ctx.world.unseen_users.clone();
+            self.pdr_cmp_unseen = Some(pdr_adapt::compare_group(ctx, &users, &Scheme::all()));
+            eprintln!(
+                "[setup] unseen-group comparison done in {:.1}s",
+                t.elapsed().as_secs_f64()
+            );
+        }
+        self.pdr_cmp_unseen.as_ref().unwrap()
+    }
+
+    fn crowd_cmp(&mut self) -> &crowd_exp::CrowdComparison {
+        if self.crowd_cmp.is_none() {
+            self.crowd();
+            let ctx = self.crowd.as_ref().unwrap();
+            eprintln!("[setup] running six-scheme comparison on the crowd scenes...");
+            let t = Instant::now();
+            self.crowd_cmp = Some(crowd_exp::compare(ctx));
+            eprintln!(
+                "[setup] crowd comparison done in {:.1}s",
+                t.elapsed().as_secs_f64()
+            );
+        }
+        self.crowd_cmp.as_ref().unwrap()
+    }
+}
+
+fn emit(table: Table) {
+    table.print();
+    let path = table.save_csv();
+    eprintln!("[saved] {}", path.display());
+}
+
+fn run(name: &str, ctxs: &mut Contexts) {
+    let t = Instant::now();
+    eprintln!("[run] {name}");
+    match name {
+        "fig2" => emit(pdr_params::fig2(ctxs.pdr())),
+        "fig3" => emit(pdr_params::fig3(ctxs.pdr())),
+        "fig6" => emit(pdr_params::fig6(ctxs.pdr())),
+        "fig7" => emit(pdr_params::fig7(ctxs.pdr())),
+        "fig8" => emit(pdr_params::fig8(ctxs.pdr())),
+        "fig9" => emit(pdr_params::fig9(ctxs.pdr())),
+        "fig10" => emit(pdr_params::fig10(ctxs.pdr())),
+        "fig11" => emit(pdr_params::fig11(ctxs.pdr())),
+        "fig12" => emit(pdr_adapt::fig12(ctxs.pdr())),
+        "fig13" => emit(pdr_adapt::fig13(ctxs.pdr())),
+        "fig14" => {
+            let cmp = ctxs.pdr_cmp_seen().to_vec();
+            emit(pdr_adapt::fig14(&cmp));
+        }
+        "fig15" => {
+            let cmp = ctxs.pdr_cmp_seen().to_vec();
+            emit(pdr_adapt::fig15(&cmp));
+        }
+        "fig16" => emit(pdr_adapt::fig16(ctxs.pdr())),
+        "fig17" => {
+            let cmp = ctxs.pdr_cmp_seen().to_vec();
+            emit(pdr_adapt::fig17_18(&cmp, "seen", 2.0));
+        }
+        "fig18" => {
+            let cmp = ctxs.pdr_cmp_unseen().to_vec();
+            emit(pdr_adapt::fig17_18(&cmp, "unseen", 5.0));
+        }
+        "fig19" => {
+            ctxs.crowd_cmp();
+            emit(crowd_exp::fig19(ctxs.crowd_cmp.as_ref().unwrap()));
+        }
+        "fig20" => {
+            ctxs.crowd_cmp();
+            let table = {
+                let cmp = ctxs.crowd_cmp.as_ref().unwrap();
+                let ctx = ctxs.crowd.as_ref().unwrap();
+                crowd_exp::fig20(ctx, cmp)
+            };
+            emit(table);
+        }
+        "fig21" => {
+            eprintln!("[setup] building housing context...");
+            let housing = housing_context(ctxs.scale);
+            emit(tabular_exp::fig21_task(&housing, tabular_exp::TabularMetric::Mse));
+            eprintln!("[setup] building taxi context...");
+            let taxi = taxi_context(ctxs.scale);
+            emit(tabular_exp::fig21_task(&taxi, tabular_exp::TabularMetric::Rmsle));
+        }
+        "fig22" => emit(pdr_adapt::fig22(ctxs.pdr())),
+        "table1" => {
+            ctxs.crowd_cmp();
+            let cmp = ctxs.crowd_cmp.as_ref().unwrap();
+            emit(crowd_exp::table1(cmp));
+            emit(crowd_exp::table1_reductions(cmp));
+        }
+        "ablation_joint" => emit(ablations::ablation_joint(ctxs.pdr())),
+        "ablation_replay" => emit(ablations::ablation_replay(ctxs.pdr())),
+        "ablation_earlystop" => emit(ablations::ablation_early_stop(ctxs.pdr())),
+        "ablation_taurescale" => emit(ablations::ablation_tau_rescale(ctxs.pdr())),
+        "ablation_uncertainty" => emit(ablations::ablation_uncertainty(ctxs.pdr())),
+        "table1_seeds" => emit(multiseed::table1_seeds(ctxs.scale, 5)),
+        "fig21_seeds" => emit(multiseed::fig21_seeds(ctxs.scale, 5)),
+        other => {
+            eprintln!("unknown experiment '{other}'; try `repro list`");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[done] {name} in {:.1}s\n", t.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    args.retain(|a| {
+        if a == "--quick" {
+            scale = Scale::Quick;
+            false
+        } else {
+            true
+        }
+    });
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro [--quick] <experiment>... | all | list");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        return;
+    }
+    if args[0] == "list" {
+        for e in EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+    let selected: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+    let mut ctxs = Contexts::new(scale);
+    let t = Instant::now();
+    for name in &selected {
+        run(name, &mut ctxs);
+    }
+    eprintln!("[total] {:.1}s", t.elapsed().as_secs_f64());
+}

@@ -1,0 +1,256 @@
+//! Ablations of the design choices DESIGN.md §4 calls out (beyond the
+//! paper's own Fig. 8/12 ablations, which live in `pdr_params`/`pdr_adapt`):
+//!
+//! * joint 2-D density map vs independent per-dimension maps (the paper's
+//!   Sec. III-D suggests independence for simplicity; Fig. 6's rings suggest
+//!   the joint map carries real structure);
+//! * confident-data replay on/off (the catastrophic-forgetting guard);
+//! * early stopping on the loss-drop rate vs the full epoch budget.
+
+use crate::report::{f2, f3, mean, Table};
+use crate::tasks::PdrContext;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+
+fn tasfar_variant(
+    ctx: &PdrContext,
+    mutate: impl Fn(&mut TasfarConfig),
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    // Returns per-user (STE reduction % on adapt, STE reduction % on test,
+    // STE reduction % on the *confident* subset — the forgetting probe).
+    let mut adapt_red = Vec::new();
+    let mut test_red = Vec::new();
+    let mut confident_red = Vec::new();
+    for user in &ctx.world.seen_users {
+        let (adapt_ds, test_ds, _) = ctx.user_splits(user);
+        let mut cfg = ctx.tasfar.clone();
+        mutate(&mut cfg);
+        let mut model = ctx.model.clone();
+        let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+        let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
+        let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+        let after_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+        let after_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
+        adapt_red.push(metrics::error_reduction_pct(before_adapt, after_adapt));
+        test_red.push(metrics::error_reduction_pct(before_test, after_test));
+        // Forgetting probe: STE on the confident subset only.
+        if !outcome.split.confident.is_empty() {
+            let cx = adapt_ds.x.select_rows(&outcome.split.confident);
+            let cy = adapt_ds.y.select_rows(&outcome.split.confident);
+            let mut src = ctx.model.clone();
+            let before_c = metrics::step_error(&src.predict(&cx), &cy);
+            let after_c = metrics::step_error(&model.predict(&cx), &cy);
+            confident_red.push(metrics::error_reduction_pct(before_c, after_c));
+        }
+    }
+    (adapt_red, test_red, confident_red)
+}
+
+/// Joint 2-D map vs independent per-dimension maps.
+pub fn ablation_joint(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Ablation joint vs per-dim density maps (seen group)",
+        &["variant", "adapt_red_%", "test_red_%"],
+    );
+    for (label, joint) in [("joint 2-D map", true), ("independent per-dim", false)] {
+        let (a, t, _) = tasfar_variant(ctx, |cfg| cfg.joint_2d = joint);
+        table.row(vec![label.to_string(), f2(mean(&a)), f2(mean(&t))]);
+    }
+    table
+}
+
+/// Confident-data replay on/off: the catastrophic-forgetting guard.
+pub fn ablation_replay(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Ablation confident-data replay (seen group)",
+        &["variant", "adapt_red_%", "confident_subset_red_%"],
+    );
+    for (label, replay) in [("with replay", true), ("without replay", false)] {
+        let (a, _, c) = tasfar_variant(ctx, |cfg| cfg.replay_confident = replay);
+        table.row(vec![label.to_string(), f2(mean(&a)), f2(mean(&c))]);
+    }
+    table
+}
+
+/// Early stopping on the loss-drop rate vs the full epoch budget.
+pub fn ablation_early_stop(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Ablation early stopping (seen group)",
+        &["variant", "adapt_red_%", "test_red_%", "mean_epochs"],
+    );
+    for (label, early) in [("loss-rate early stop", true), ("full budget", false)] {
+        let mut epochs_used = Vec::new();
+        let (a, t, _) = {
+            // Track epochs by re-running with the same mutation plus a probe.
+            let mut adapt_red = Vec::new();
+            let mut test_red = Vec::new();
+            for user in &ctx.world.seen_users {
+                let (adapt_ds, test_ds, _) = ctx.user_splits(user);
+                let mut cfg = ctx.tasfar.clone();
+                if !early {
+                    cfg.early_stop = None;
+                }
+                let mut model = ctx.model.clone();
+                let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+                let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
+                let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+                epochs_used.push(outcome.fit.epoch_losses.len() as f64);
+                adapt_red.push(metrics::error_reduction_pct(
+                    before_adapt,
+                    metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y),
+                ));
+                test_red.push(metrics::error_reduction_pct(
+                    before_test,
+                    metrics::step_error(&model.predict(&test_ds.x), &test_ds.y),
+                ));
+            }
+            (adapt_red, test_red, Vec::<f64>::new())
+        };
+        table.row(vec![
+            label.to_string(),
+            f2(mean(&a)),
+            f2(mean(&t)),
+            f3(mean(&epochs_used)),
+        ]);
+    }
+    table
+}
+
+/// Scenario-level τ rescaling on/off (reproduction decision #3 in
+/// DESIGN.md §1b): quantile matching prevents users with uniformly
+/// elevated uncertainty (large displacement magnitudes) from being
+/// wholesale-classified uncertain.
+pub fn ablation_tau_rescale(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Ablation scenario tau rescaling (seen group)",
+        &["variant", "adapt_red_%", "test_red_%", "mean_uncertain_ratio"],
+    );
+    for (label, rescale) in [("with rescaling", true), ("without rescaling", false)] {
+        let mut ratios = Vec::new();
+        let mut adapt_red = Vec::new();
+        let mut test_red = Vec::new();
+        for user in &ctx.world.seen_users {
+            let (adapt_ds, test_ds, _) = ctx.user_splits(user);
+            let mut cfg = ctx.tasfar.clone();
+            cfg.scenario_tau_rescale = rescale;
+            let mut model = ctx.model.clone();
+            let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+            let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
+            let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+            ratios.push(outcome.split.uncertain_ratio());
+            adapt_red.push(metrics::error_reduction_pct(
+                before_adapt,
+                metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y),
+            ));
+            test_red.push(metrics::error_reduction_pct(
+                before_test,
+                metrics::step_error(&model.predict(&test_ds.x), &test_ds.y),
+            ));
+        }
+        table.row(vec![
+            label.to_string(),
+            f2(mean(&adapt_red)),
+            f2(mean(&test_red)),
+            f3(mean(&ratios)),
+        ]);
+    }
+    table
+}
+
+/// Uncertainty-estimator quality: MC dropout (the paper's choice) vs a deep
+/// ensemble (the standard stronger alternative; the paper treats the
+/// estimator as pluggable). Reports, per estimator, the Pearson correlation
+/// between uncertainty and prediction error pooled over seen users, and the
+/// error ratio between the flagged-uncertain and confident subsets — the
+/// two properties TASFAR's pipeline depends on.
+pub fn ablation_uncertainty(ctx: &PdrContext) -> Table {
+    use tasfar_bench_ensemble::build_pdr_ensemble;
+    let mut table = Table::new(
+        "Ablation uncertainty estimator (MC dropout vs deep ensemble)",
+        &["estimator", "corr(u, error)", "unc/conf error ratio", "uncertain_%"],
+    );
+
+    let mut ensemble = build_pdr_ensemble(ctx, 4);
+    for estimator in ["mc_dropout", "ensemble"] {
+        let mut us = Vec::new();
+        let mut errs = Vec::new();
+        for user in &ctx.world.seen_users {
+            let (adapt_ds, _, _) = ctx.user_splits(user);
+            let mc = match estimator {
+                "mc_dropout" => {
+                    let mut model = ctx.model.clone();
+                    McDropout::new(ctx.tasfar.mc_samples)
+                        .relative(ctx.tasfar.relative_uncertainty)
+                        .predict(&mut model, &adapt_ds.x)
+                }
+                _ => ensemble.predict(&adapt_ds.x),
+            };
+            for i in 0..adapt_ds.len() {
+                us.push(mc.uncertainty[i]);
+                errs.push(
+                    ((mc.point.get(i, 0) - adapt_ds.y.get(i, 0)).powi(2)
+                        + (mc.point.get(i, 1) - adapt_ds.y.get(i, 1)).powi(2))
+                    .sqrt(),
+                );
+            }
+        }
+        let corr = metrics::pearson(&us, &errs);
+        // Split at the pooled 90th percentile of u.
+        let mut sorted = us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let tau = sorted[(sorted.len() as f64 * 0.9) as usize];
+        let (mut eu, mut nu, mut ec, mut nc) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
+        for (&u, &e) in us.iter().zip(&errs) {
+            if u > tau {
+                eu += e;
+                nu += 1.0;
+            } else {
+                ec += e;
+                nc += 1.0;
+            }
+        }
+        let ratio = (eu / nu.max(1.0)) / (ec / nc.max(1.0)).max(1e-12);
+        table.row(vec![
+            estimator.to_string(),
+            f3(corr),
+            f3(ratio),
+            f2(100.0 * nu / (nu + nc)),
+        ]);
+    }
+    table
+}
+
+/// Ensemble construction for the PDR task, isolated so the ablation stays
+/// readable: trains `k` fresh source models from different initialisations
+/// on the same source data.
+mod tasfar_bench_ensemble {
+    use super::*;
+    use tasfar_core::uncertainty::Ensemble;
+
+    pub fn build_pdr_ensemble(ctx: &PdrContext, k: usize) -> Ensemble {
+        let source = ctx.scaled_source();
+        let members: Vec<Sequential> = (0..k)
+            .map(|m| {
+                let mut rng = Rng::new(0xe45 + m as u64 * 7919);
+                let mut model = crate::tasks::pdr_model(&ctx.world.config, &mut rng);
+                let mut opt = Adam::new(1e-3);
+                let _ = fit(
+                    &mut model,
+                    &mut opt,
+                    &Mse,
+                    &source.x,
+                    &source.y,
+                    None,
+                    &TrainConfig {
+                        epochs: 60,
+                        batch_size: 64,
+                        seed: m as u64,
+                        ..TrainConfig::default()
+                    },
+                );
+                model
+            })
+            .collect();
+        Ensemble::new(members)
+    }
+}

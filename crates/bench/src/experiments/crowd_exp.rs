@@ -1,0 +1,226 @@
+//! Crowd-counting experiments: Table I, Figure 19, Figure 20.
+//!
+//! Following the crowd-counting literature the paper builds on (MCNN and
+//! successors), the "MSE" columns report the *root* mean squared error —
+//! that convention is what makes ShanghaiTech MAE/MSE numbers directly
+//! comparable, and the paper's Table I magnitudes match it.
+
+use crate::report::{f2, mean, Table};
+use crate::schemes::{run_scheme, Scheme, SchemeRun};
+use crate::tasks::{CrowdContext, CROWD_SPLIT_AT};
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::prelude::*;
+
+/// Metrics of one scheme on one scene.
+#[derive(Debug, Clone)]
+pub struct SceneEval {
+    /// MAE on the whole adaptation set.
+    pub adapt_mae: f64,
+    /// RMSE on the whole adaptation set (the literature's "MSE").
+    pub adapt_rmse: f64,
+    /// MAE on the baseline-uncertain part of the adaptation set.
+    pub unc_mae: f64,
+    /// RMSE on the baseline-uncertain part.
+    pub unc_rmse: f64,
+    /// MAE on the held-out test split.
+    pub test_mae: f64,
+    /// RMSE on the held-out test split.
+    pub test_rmse: f64,
+}
+
+/// One scheme across all scenes.
+#[derive(Debug, Clone)]
+pub struct CrowdSchemeResult {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Per-scene evaluations (partitioned adaptation: one run per scene).
+    pub per_scene: Vec<SceneEval>,
+}
+
+impl CrowdSchemeResult {
+    fn pooled(&self, f: impl Fn(&SceneEval) -> f64) -> f64 {
+        mean(&self.per_scene.iter().map(f).collect::<Vec<_>>())
+    }
+}
+
+/// The full crowd comparison (partitioned by scene, as the paper's main
+/// protocol).
+pub struct CrowdComparison {
+    /// Per-scheme results, `Scheme::all()` order.
+    pub schemes: Vec<CrowdSchemeResult>,
+}
+
+fn eval_scene(
+    model: &mut Sequential,
+    adapt_ds: &Dataset,
+    test_ds: &Dataset,
+    uncertain: &[usize],
+) -> SceneEval {
+    let pa = model.predict(&adapt_ds.x);
+    let pt = model.predict(&test_ds.x);
+    let pu = pa.select_rows(uncertain);
+    let yu = adapt_ds.y.select_rows(uncertain);
+    SceneEval {
+        adapt_mae: metrics::mae(&pa, &adapt_ds.y),
+        adapt_rmse: metrics::rmse(&pa, &adapt_ds.y),
+        unc_mae: if uncertain.is_empty() { 0.0 } else { metrics::mae(&pu, &yu) },
+        unc_rmse: if uncertain.is_empty() { 0.0 } else { metrics::rmse(&pu, &yu) },
+        test_mae: metrics::mae(&pt, &test_ds.y),
+        test_rmse: metrics::rmse(&pt, &test_ds.y),
+    }
+}
+
+/// Runs all six schemes on all three scenes (partitioned adaptation).
+pub fn compare(ctx: &CrowdContext) -> CrowdComparison {
+    let source = ctx.scaled_source();
+    // Per-scene splits and the (scheme-independent) baseline uncertain sets.
+    let splits: Vec<(Dataset, Dataset, Vec<usize>)> = (0..ctx.world.scenes.len())
+        .map(|s| {
+            let (adapt_ds, test_ds) = ctx.scene_splits(s, 100 + s as u64);
+            let mut model = ctx.model.clone();
+            let mc = McDropout::new(ctx.tasfar.mc_samples)
+                .relative(ctx.tasfar.relative_uncertainty)
+                .predict(&mut model, &adapt_ds.x);
+            let classifier =
+                tasfar_core::adapt::scenario_classifier(&ctx.calib, &ctx.tasfar, &mc.uncertainty);
+            let split = classifier.split(&mc.uncertainty);
+            (adapt_ds, test_ds, split.uncertain)
+        })
+        .collect();
+
+    let schemes = Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let per_scene = splits
+                .iter()
+                .enumerate()
+                .map(|(s, (adapt_ds, test_ds, uncertain))| {
+                    let run = SchemeRun {
+                        source_model: &ctx.model,
+                        source: &source,
+                        target_x: &adapt_ds.x,
+                        calib: &ctx.calib,
+                        tasfar: &ctx.tasfar,
+                        split_at: CROWD_SPLIT_AT,
+                        loss: &Mse,
+                        seed: s as u64,
+                    };
+                    let mut adapted = run_scheme(scheme, &run);
+                    eval_scene(&mut adapted, adapt_ds, test_ds, uncertain)
+                })
+                .collect();
+            CrowdSchemeResult {
+                scheme: scheme.name(),
+                per_scene,
+            }
+        })
+        .collect();
+    CrowdComparison { schemes }
+}
+
+/// Table I: MAE/MSE of every scheme on the adaptation set (whole and
+/// uncertain) and the test set, pooled over the three scenes.
+pub fn table1(cmp: &CrowdComparison) -> Table {
+    let mut table = Table::new(
+        "Table I crowd counting comparison",
+        &[
+            "scheme",
+            "adapt_MAE",
+            "adapt_MSE",
+            "unc_MAE",
+            "unc_MSE",
+            "test_MAE",
+            "test_MSE",
+        ],
+    );
+    for r in &cmp.schemes {
+        table.row(vec![
+            r.scheme.to_string(),
+            f2(r.pooled(|s| s.adapt_mae)),
+            f2(r.pooled(|s| s.adapt_rmse)),
+            f2(r.pooled(|s| s.unc_mae)),
+            f2(r.pooled(|s| s.unc_rmse)),
+            f2(r.pooled(|s| s.test_mae)),
+            f2(r.pooled(|s| s.test_rmse)),
+        ]);
+    }
+    table
+}
+
+/// Error-reduction companion to Table I (the paper's "Error Reduction (%)"
+/// columns).
+pub fn table1_reductions(cmp: &CrowdComparison) -> Table {
+    let mut table = Table::new(
+        "Table I error reductions",
+        &["scheme", "adapt_MAE_%", "adapt_MSE_%", "unc_MAE_%", "unc_MSE_%", "test_MAE_%", "test_MSE_%"],
+    );
+    let base = &cmp.schemes[0];
+    for r in cmp.schemes.iter().skip(1) {
+        let red = |f: &dyn Fn(&SceneEval) -> f64| {
+            metrics::error_reduction_pct(base.pooled(f), r.pooled(f))
+        };
+        table.row(vec![
+            r.scheme.to_string(),
+            f2(red(&|s| s.adapt_mae)),
+            f2(red(&|s| s.adapt_rmse)),
+            f2(red(&|s| s.unc_mae)),
+            f2(red(&|s| s.unc_rmse)),
+            f2(red(&|s| s.test_mae)),
+            f2(red(&|s| s.test_rmse)),
+        ]);
+    }
+    table
+}
+
+/// Figure 19: per-scene test-set comparison.
+pub fn fig19(cmp: &CrowdComparison) -> Table {
+    let mut table = Table::new(
+        "Fig 19 per-scene test MAE",
+        &["scheme", "scene1_MAE", "scene2_MAE", "scene3_MAE"],
+    );
+    for r in &cmp.schemes {
+        if r.scheme == "ADV" {
+            continue; // the paper omits ADV here ("performs similarly to MMD")
+        }
+        let mut row = vec![r.scheme.to_string()];
+        for s in &r.per_scene {
+            row.push(f2(s.test_mae));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Figure 20: TASFAR with partitioned vs fused target scenes.
+pub fn fig20(ctx: &CrowdContext, cmp: &CrowdComparison) -> Table {
+    // Fused: one adaptation over all scenes' adaptation data.
+    let splits: Vec<(Dataset, Dataset)> = (0..ctx.world.scenes.len())
+        .map(|s| ctx.scene_splits(s, 100 + s as u64))
+        .collect();
+    let fused_adapt = Dataset::concat(&splits.iter().map(|(a, _)| a).collect::<Vec<_>>());
+    let mut fused_model = ctx.model.clone();
+    let _ = adapt(&mut fused_model, &ctx.calib, &fused_adapt.x, &Mse, &ctx.tasfar);
+
+    let tasfar_part = cmp
+        .schemes
+        .iter()
+        .find(|r| r.scheme == "TASFAR")
+        .expect("TASFAR row");
+    let baseline = &cmp.schemes[0];
+
+    let mut table = Table::new(
+        "Fig 20 partitioned vs fused adaptation (test MAE)",
+        &["scene", "baseline", "tasfar_partitioned", "tasfar_fused"],
+    );
+    for (s, (_, test_ds)) in splits.iter().enumerate() {
+        let fused_mae = metrics::mae(&fused_model.predict(&test_ds.x), &test_ds.y);
+        table.row(vec![
+            format!("{}", s + 1),
+            f2(baseline.per_scene[s].test_mae),
+            f2(tasfar_part.per_scene[s].test_mae),
+            f2(fused_mae),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,9 @@
+//! One module per group of paper experiments. Each experiment prints its
+//! table(s) to stdout and writes CSV artefacts under `results/`.
+
+pub mod ablations;
+pub mod crowd_exp;
+pub mod multiseed;
+pub mod pdr_adapt;
+pub mod pdr_params;
+pub mod tabular_exp;

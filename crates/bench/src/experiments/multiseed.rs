@@ -1,0 +1,122 @@
+//! Multi-seed repetitions of the headline experiments.
+//!
+//! The paper repeats every experiment five times and reports the average
+//! (Sec. IV-A). These targets rebuild the full world + source model +
+//! comparison for several seeds and report mean ± std of the error
+//! reductions, quantifying how much of each headline number is seed noise.
+
+use crate::report::{f2, mean, std_dev, Table};
+use crate::schemes::{run_scheme, Scheme, SchemeRun};
+use crate::tasks::{
+    housing_context_seeded, taxi_context_seeded, CrowdContext, Scale, TabularContext,
+    TABULAR_SPLIT_AT,
+};
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+use tasfar_nn::rng::Rng;
+
+/// Table I's test-set error reductions over `n_seeds` regenerated worlds.
+pub fn table1_seeds(scale: Scale, n_seeds: u64) -> Table {
+    let mut headers = vec!["scheme".to_string()];
+    for s in 0..n_seeds {
+        headers.push(format!("seed{s}_test_MAE_red_%"));
+    }
+    headers.push("mean".into());
+    headers.push("std".into());
+    let mut table = Table {
+        title: "Table I over seeds (test MAE reduction %)".into(),
+        headers,
+        rows: Vec::new(),
+    };
+
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); Scheme::all().len() - 1];
+    for s in 0..n_seeds {
+        let ctx = CrowdContext::build_seeded(scale, 23 + s * 101);
+        let cmp = super::crowd_exp::compare(&ctx);
+        let base: f64 = cmp.schemes[0]
+            .per_scene
+            .iter()
+            .map(|e| e.test_mae)
+            .sum::<f64>()
+            / cmp.schemes[0].per_scene.len() as f64;
+        for (k, r) in cmp.schemes.iter().skip(1).enumerate() {
+            let mae: f64 =
+                r.per_scene.iter().map(|e| e.test_mae).sum::<f64>() / r.per_scene.len() as f64;
+            per_scheme[k].push(metrics::error_reduction_pct(base, mae));
+        }
+    }
+    for (k, scheme) in Scheme::all().iter().skip(1).enumerate() {
+        let mut row = vec![scheme.name().to_string()];
+        for v in &per_scheme[k] {
+            row.push(f2(*v));
+        }
+        row.push(f2(mean(&per_scheme[k])));
+        row.push(f2(std_dev(&per_scheme[k])));
+        table.row(row);
+    }
+    table
+}
+
+fn tabular_reductions(ctx: &TabularContext, rmsle: bool) -> Vec<f64> {
+    let mut rng = Rng::new(77);
+    let (adapt_ds, test_ds) = ctx.target.split_fraction(0.8, &mut rng);
+    let eval = |m: &mut Sequential| {
+        let p = m.predict(&test_ds.x);
+        if rmsle {
+            metrics::rmsle(&p, &test_ds.y)
+        } else {
+            metrics::mse(&p, &test_ds.y)
+        }
+    };
+    let mut out = Vec::new();
+    let mut base = None;
+    for scheme in Scheme::all() {
+        let run = SchemeRun {
+            source_model: &ctx.model,
+            source: &ctx.source,
+            target_x: &adapt_ds.x,
+            calib: &ctx.calib,
+            tasfar: &ctx.tasfar,
+            split_at: TABULAR_SPLIT_AT,
+            loss: &Mse,
+            seed: 7,
+        };
+        let mut adapted = run_scheme(scheme, &run);
+        let err = eval(&mut adapted);
+        match base {
+            None => base = Some(err),
+            Some(b) => out.push(metrics::error_reduction_pct(b, err)),
+        }
+    }
+    out
+}
+
+/// Fig. 21's test-set error reductions over `n_seeds` regenerated worlds.
+pub fn fig21_seeds(scale: Scale, n_seeds: u64) -> Table {
+    let mut table = Table::new(
+        "Fig 21 over seeds (test error reduction %, mean ± std)",
+        &["scheme", "housing_MSE_red_%", "housing_std", "taxi_RMSLE_red_%", "taxi_std"],
+    );
+    let mut housing: Vec<Vec<f64>> = vec![Vec::new(); Scheme::all().len() - 1];
+    let mut taxi: Vec<Vec<f64>> = vec![Vec::new(); Scheme::all().len() - 1];
+    for s in 0..n_seeds {
+        let h = housing_context_seeded(scale, 31 + s * 101);
+        for (k, v) in tabular_reductions(&h, false).into_iter().enumerate() {
+            housing[k].push(v);
+        }
+        let t = taxi_context_seeded(scale, 47 + s * 101);
+        for (k, v) in tabular_reductions(&t, true).into_iter().enumerate() {
+            taxi[k].push(v);
+        }
+    }
+    for (k, scheme) in Scheme::all().iter().skip(1).enumerate() {
+        table.row(vec![
+            scheme.name().to_string(),
+            f2(mean(&housing[k])),
+            f2(std_dev(&housing[k])),
+            f2(mean(&taxi[k])),
+            f2(std_dev(&taxi[k])),
+        ]);
+    }
+    table
+}

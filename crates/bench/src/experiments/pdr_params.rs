@@ -1,0 +1,410 @@
+//! PDR system-parameter studies: Figures 2, 3, 6, 7, 8, 9, 10, 11.
+//!
+//! These experiments exercise the estimator/generator machinery directly —
+//! no adaptation training — so they sweep parameters cheaply.
+
+use crate::report::{f2, f3, f4, mean, Table};
+use crate::tasks::PdrContext;
+use tasfar_core::prelude::*;
+use tasfar_data::pdr::PdrUser;
+use tasfar_data::Dataset;
+use tasfar_nn::tensor::Tensor;
+
+/// MC products for one user's adaptation set.
+pub struct UserMc {
+    /// The (scaled) adaptation-set dataset.
+    pub adapt: Dataset,
+    /// MC-dropout outputs of the *source* model on the adaptation set.
+    pub mc: McPrediction,
+    /// Confidence split under the context's calibration.
+    pub split: ConfidenceSplit,
+}
+
+/// Runs the source model's MC-dropout pass on a user's adaptation set.
+pub fn user_mc(ctx: &PdrContext, user: &PdrUser) -> UserMc {
+    let (adapt, _, _) = ctx.user_splits(user);
+    let mut model = ctx.model.clone();
+    let mc = McDropout::new(ctx.tasfar.mc_samples)
+        .relative(ctx.tasfar.relative_uncertainty)
+        .predict(&mut model, &adapt.x);
+    let classifier =
+        tasfar_core::adapt::scenario_classifier(&ctx.calib, &ctx.tasfar, &mc.uncertainty);
+    let split = classifier.split(&mc.uncertainty);
+    UserMc { adapt, mc, split }
+}
+
+/// Per-dimension calibrated spreads for a set of sample indices.
+pub fn sigmas(ctx: &PdrContext, mc: &McPrediction, indices: &[usize]) -> Tensor {
+    let dims = mc.point.cols();
+    let mut out = Tensor::zeros(indices.len(), dims);
+    for (row, &i) in indices.iter().enumerate() {
+        for d in 0..dims {
+            out.set(row, d, ctx.calib.qs[d].sigma(mc.std.get(i, d)));
+        }
+    }
+    out
+}
+
+/// Builds the estimated and ground-truth joint maps for a user at a grid
+/// size, both over the same grid (covering predictions and labels).
+pub fn user_maps(ctx: &PdrContext, u: &UserMc, grid_cell: f64) -> (DensityMap2d, DensityMap2d) {
+    let conf_pred = u.mc.point.select_rows(&u.split.confident);
+    let conf_sigma = sigmas(ctx, &u.mc, &u.split.confident);
+    let labels = &u.adapt.y;
+    // One grid covering both predictions and labels so MAE is well-defined.
+    let mut xs: Vec<f64> = conf_pred.col(0);
+    xs.extend(labels.col(0));
+    let mut ys: Vec<f64> = conf_pred.col(1);
+    ys.extend(labels.col(1));
+    let xgrid = GridSpec::covering(&xs, grid_cell, 3);
+    let ygrid = GridSpec::covering(&ys, grid_cell, 3);
+    let est = DensityMap2d::estimate(
+        &conf_pred,
+        &conf_sigma,
+        xgrid.clone(),
+        ygrid.clone(),
+        ctx.tasfar.error_model,
+    );
+    // Ground truth from the confident samples' true labels (the labels the
+    // estimator is trying to recover).
+    let conf_labels = u.adapt.y.select_rows(&u.split.confident);
+    let truth = DensityMap2d::from_labels(&conf_labels, xgrid, ygrid);
+    (est, truth)
+}
+
+/// Pseudo-labels all uncertain samples of a user against a map built at the
+/// given grid size / error model; returns per-sample `(pred_err, pseudo_err,
+/// credibility)` tuples (Euclidean errors against ground truth).
+pub fn user_pseudo_errors(
+    ctx: &PdrContext,
+    u: &UserMc,
+    grid_cell: f64,
+    model: ErrorModel,
+    tau: f64,
+) -> Vec<(f64, f64, f64)> {
+    let conf_pred = u.mc.point.select_rows(&u.split.confident);
+    let conf_sigma = sigmas(ctx, &u.mc, &u.split.confident);
+    let xgrid = GridSpec::covering(&conf_pred.col(0), grid_cell, 4);
+    let ygrid = GridSpec::covering(&conf_pred.col(1), grid_cell, 4);
+    let map = DensityMap2d::estimate(&conf_pred, &conf_sigma, xgrid, ygrid, model);
+    let generator = PseudoLabelGenerator2d::new(&map, tau, model);
+
+    let unc_sigma = sigmas(ctx, &u.mc, &u.split.uncertain);
+    let mut out = Vec::with_capacity(u.split.uncertain.len());
+    for (row, &i) in u.split.uncertain.iter().enumerate() {
+        let pred = [u.mc.point.get(i, 0), u.mc.point.get(i, 1)];
+        let p = generator.generate(
+            pred,
+            [unc_sigma.get(row, 0), unc_sigma.get(row, 1)],
+            u.mc.uncertainty[i].max(1e-12),
+        );
+        let truth = [u.adapt.y.get(i, 0), u.adapt.y.get(i, 1)];
+        let pred_err = ((pred[0] - truth[0]).powi(2) + (pred[1] - truth[1]).powi(2)).sqrt();
+        let pseudo_err =
+            ((p.value[0] - truth[0]).powi(2) + (p.value[1] - truth[1]).powi(2)).sqrt();
+        out.push((pred_err, pseudo_err, p.credibility));
+    }
+    out
+}
+
+/// Figure 2: stride-length label distributions of different users.
+pub fn fig2(ctx: &PdrContext) -> Table {
+    let bins = 30;
+    let (lo, hi) = (0.2, 1.3);
+    let width = (hi - lo) / bins as f64;
+    let mut headers = vec!["stride_m".to_string()];
+    let users: Vec<&PdrUser> = ctx
+        .world
+        .seen_users
+        .iter()
+        .take(2)
+        .chain(ctx.world.unseen_users.iter().take(2))
+        .collect();
+    for u in &users {
+        headers.push(format!("user{}_pdf", u.profile.id));
+    }
+    let mut table = Table {
+        title: "Fig 2 stride length distributions".into(),
+        headers,
+        rows: Vec::new(),
+    };
+    let hists: Vec<Vec<f64>> = users
+        .iter()
+        .map(|u| {
+            let ds = u.full_dataset();
+            let strides: Vec<f64> = ds
+                .y
+                .iter_rows()
+                .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+                .collect();
+            let mut h = vec![0.0; bins];
+            for s in &strides {
+                let b = (((s - lo) / width) as usize).min(bins - 1);
+                h[b] += 1.0 / (strides.len() as f64 * width);
+            }
+            h
+        })
+        .collect();
+    for b in 0..bins {
+        let mut row = vec![f3(lo + (b as f64 + 0.5) * width)];
+        for h in &hists {
+            row.push(f3(h[b]));
+        }
+        table.rows.push(row);
+    }
+    table
+}
+
+/// Figure 3: prediction uncertainty vs error (larger uncertainty → larger
+/// errors). Bins the seen-group adaptation samples by uncertainty.
+pub fn fig3(ctx: &PdrContext) -> Table {
+    let mut us = Vec::new();
+    let mut errs = Vec::new();
+    for user in &ctx.world.seen_users {
+        let u = user_mc(ctx, user);
+        for i in 0..u.adapt.len() {
+            us.push(u.mc.uncertainty[i]);
+            let e = ((u.mc.point.get(i, 0) - u.adapt.y.get(i, 0)).powi(2)
+                + (u.mc.point.get(i, 1) - u.adapt.y.get(i, 1)).powi(2))
+            .sqrt();
+            errs.push(e);
+        }
+    }
+    let corr = metrics::pearson(&us, &errs);
+    // Sort into 10 uncertainty deciles.
+    let mut order: Vec<usize> = (0..us.len()).collect();
+    order.sort_by(|&a, &b| us[a].partial_cmp(&us[b]).unwrap());
+    let mut table = Table::new(
+        format!("Fig 3 uncertainty vs error (pearson {})", f3(corr)),
+        &["decile", "mean_uncertainty", "mean_error_m"],
+    );
+    let per = (order.len() / 10).max(1);
+    for d in 0..10 {
+        let lo = d * per;
+        let hi = if d == 9 { order.len() } else { (d + 1) * per };
+        if lo >= order.len() {
+            break;
+        }
+        let idx = &order[lo..hi.min(order.len())];
+        let mu = mean(&idx.iter().map(|&i| us[i]).collect::<Vec<_>>());
+        let me = mean(&idx.iter().map(|&i| errs[i]).collect::<Vec<_>>());
+        table.row(vec![format!("{d}"), f4(mu), f3(me)]);
+    }
+    table
+}
+
+/// Figure 6: estimated vs true label density maps for two users; reports
+/// map MAE and mass correlation, plus ring statistics, and renders both
+/// maps as terminal heatmaps (the paper's Fig. 6 visual).
+pub fn fig6(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Fig 6 density map quality (two users)",
+        &["user", "map_mae", "mass_corr", "est_ring_radius_m", "true_ring_radius_m"],
+    );
+    for user in ctx.world.seen_users.iter().take(2) {
+        let u = user_mc(ctx, user);
+        let (est, truth) = user_maps(ctx, &u, ctx.tasfar.grid_cell);
+        let corr = metrics::pearson(est.masses(), truth.masses());
+        println!("-- user {} estimated label density map --", user.profile.id);
+        print!("{}", crate::viz::heatmap_2d(&est, 48));
+        println!("-- user {} true label density map --", user.profile.id);
+        print!("{}", crate::viz::heatmap_2d(&truth, 48));
+        table.row(vec![
+            format!("{}", user.profile.id),
+            f4(est.mae(&truth)),
+            f3(corr),
+            f3(ring_radius(&est)),
+            f3(ring_radius(&truth)),
+        ]);
+    }
+    table
+}
+
+/// Mass-weighted mean radius of a 2-D map — the "ring radius" of Fig. 6.
+fn ring_radius(map: &DensityMap2d) -> f64 {
+    let mut total = 0.0;
+    let mut weighted = 0.0;
+    for iy in 0..map.yspec.bins {
+        for ix in 0..map.xspec.bins {
+            let m = map.mass(ix, iy);
+            if m > 0.0 {
+                let r = (map.xspec.center(ix).powi(2) + map.yspec.center(iy).powi(2)).sqrt();
+                weighted += m * r;
+                total += m;
+            }
+        }
+    }
+    if total > 0.0 {
+        weighted / total
+    } else {
+        0.0
+    }
+}
+
+/// Figure 7: density-map estimation MAE vs grid size.
+pub fn fig7(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Fig 7 map estimation error vs grid size",
+        &["grid_m", "map_mae"],
+    );
+    for &g in &[0.025, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let maes: Vec<f64> = ctx
+            .world
+            .seen_users
+            .iter()
+            .map(|user| {
+                let u = user_mc(ctx, user);
+                let (est, truth) = user_maps(ctx, &u, g);
+                est.mae(&truth)
+            })
+            .collect();
+        table.row(vec![f3(g), f4(mean(&maes))]);
+    }
+    table
+}
+
+/// Figure 8: pseudo-label error vs grid size under different error models.
+pub fn fig8(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Fig 8 pseudo-label error vs grid size and error model",
+        &["grid_m", "gaussian", "laplace", "uniform", "pred_error"],
+    );
+    let tau = ctx.calib.classifier.tau;
+    for &g in &[0.025, 0.05, 0.1, 0.2, 0.4, 0.8] {
+        let mut cells = vec![f3(g)];
+        let mut pred_err_all = Vec::new();
+        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+            let mut pseudo_errs = Vec::new();
+            for user in &ctx.world.seen_users {
+                let u = user_mc(ctx, user);
+                for (pe, se, _) in user_pseudo_errors(ctx, &u, g, model, tau) {
+                    pseudo_errs.push(se);
+                    if model == ErrorModel::Gaussian {
+                        pred_err_all.push(pe);
+                    }
+                }
+            }
+            cells.push(f4(mean(&pseudo_errs)));
+        }
+        cells.push(f4(mean(&pred_err_all)));
+        table.row(cells);
+    }
+    table
+}
+
+/// Figure 9: pseudo-label error vs segment quantity q in the Q_s fit.
+pub fn fig9(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Fig 9 pseudo-label error vs segment quantity q",
+        &["q", "pseudo_error_m"],
+    );
+    let source = ctx.scaled_source();
+    for &q in &[1usize, 2, 5, 10, 20, 40, 80] {
+        let mut cfg = ctx.tasfar.clone();
+        cfg.segments = q;
+        let mut model = ctx.model.clone();
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        // Swap the re-fitted calibration into a context view.
+        let ctx_view = PdrContext {
+            world: ctx.world.clone(),
+            model: ctx.model.clone(),
+            scaler: ctx.scaler.clone(),
+            calib,
+            tasfar: cfg,
+            scale: ctx.scale,
+        };
+        let mut errs = Vec::new();
+        for user in &ctx_view.world.seen_users {
+            let u = user_mc(&ctx_view, user);
+            for (_, se, _) in user_pseudo_errors(
+                &ctx_view,
+                &u,
+                ctx.tasfar.grid_cell,
+                ErrorModel::Gaussian,
+                ctx_view.calib.classifier.tau,
+            ) {
+                errs.push(se);
+            }
+        }
+        table.row(vec![format!("{q}"), f4(mean(&errs))]);
+    }
+    table
+}
+
+/// Figure 10: pseudo-label error vs the confidence ratio η.
+pub fn fig10(ctx: &PdrContext) -> Table {
+    let mut table = Table::new(
+        "Fig 10 pseudo-label error vs confidence ratio eta",
+        &["eta", "tau", "pseudo_error_m", "uncertain_ratio"],
+    );
+    let source = ctx.scaled_source();
+    for &eta in &[0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98] {
+        let mut cfg = ctx.tasfar.clone();
+        cfg.eta = eta;
+        let mut model = ctx.model.clone();
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let tau = calib.classifier.tau;
+        let ctx_view = PdrContext {
+            world: ctx.world.clone(),
+            model: ctx.model.clone(),
+            scaler: ctx.scaler.clone(),
+            calib,
+            tasfar: cfg,
+            scale: ctx.scale,
+        };
+        let mut errs = Vec::new();
+        let mut unc_ratios = Vec::new();
+        for user in &ctx_view.world.seen_users {
+            let u = user_mc(&ctx_view, user);
+            unc_ratios.push(u.split.uncertain_ratio());
+            for (_, se, _) in user_pseudo_errors(
+                &ctx_view,
+                &u,
+                ctx.tasfar.grid_cell,
+                ErrorModel::Gaussian,
+                tau,
+            ) {
+                errs.push(se);
+            }
+        }
+        table.row(vec![f2(eta), f4(tau), f4(mean(&errs)), f3(mean(&unc_ratios))]);
+    }
+    table
+}
+
+/// Figure 11: distribution over users of the correlation between the
+/// credibility β and the pseudo-label improvement.
+pub fn fig11(ctx: &PdrContext) -> Table {
+    let mut corrs = Vec::new();
+    for user in ctx.world.seen_users.iter().chain(&ctx.world.unseen_users) {
+        let u = user_mc(ctx, user);
+        let triples = user_pseudo_errors(
+            ctx,
+            &u,
+            ctx.tasfar.grid_cell,
+            ErrorModel::Gaussian,
+            ctx.calib.classifier.tau,
+        );
+        if triples.len() < 5 {
+            continue;
+        }
+        // The paper correlates β with the pseudo-label *accuracy* — how
+        // close ŷ lands to the ground truth (negated error).
+        let betas: Vec<f64> = triples.iter().map(|t| t.2).collect();
+        let accuracy: Vec<f64> = triples.iter().map(|t| -t.1).collect();
+        corrs.push(metrics::pearson(&betas, &accuracy));
+    }
+    let mut table = Table::new(
+        format!(
+            "Fig 11 corr(beta, pseudo-label accuracy) over users (mean {})",
+            f3(mean(&corrs))
+        ),
+        &["corr_bin", "user_count"],
+    );
+    let edges = [-1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0];
+    for w in edges.windows(2) {
+        let count = corrs.iter().filter(|&&c| c >= w[0] && c < w[1]).count();
+        table.row(vec![format!("[{:.2},{:.2})", w[0], w[1]), format!("{count}")]);
+    }
+    table
+}

@@ -1,0 +1,80 @@
+//! The two prediction tasks (Figure 21): California housing price (MSE)
+//! and NYC taxi trip duration (RMSLE).
+
+use crate::report::{f2, f4, Table};
+use crate::schemes::{run_scheme, Scheme, SchemeRun};
+use crate::tasks::{TabularContext, TABULAR_SPLIT_AT};
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+use tasfar_nn::rng::Rng;
+
+/// Which error metric a tabular task reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TabularMetric {
+    /// Mean squared error (housing).
+    Mse,
+    /// Root mean squared logarithmic error (taxi).
+    Rmsle,
+}
+
+impl TabularMetric {
+    fn eval(self, pred: &tasfar_nn::tensor::Tensor, y: &tasfar_nn::tensor::Tensor) -> f64 {
+        match self {
+            TabularMetric::Mse => metrics::mse(pred, y),
+            TabularMetric::Rmsle => metrics::rmsle(pred, y),
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            TabularMetric::Mse => "MSE",
+            TabularMetric::Rmsle => "RMSLE",
+        }
+    }
+}
+
+/// Figure 21 for one prediction task: every scheme's error on the target
+/// adaptation and test splits, with reductions against the baseline.
+pub fn fig21_task(ctx: &TabularContext, metric: TabularMetric) -> Table {
+    let mut rng = Rng::new(77);
+    let (adapt_ds, test_ds) = ctx.target.split_fraction(0.8, &mut rng);
+
+    let mut table = Table::new(
+        format!("Fig 21 {} ({})", ctx.name, metric.name()),
+        &["scheme", "adapt_err", "adapt_red_%", "test_err", "test_red_%"],
+    );
+    let mut baseline: Option<(f64, f64)> = None;
+    for scheme in Scheme::all() {
+        let run = SchemeRun {
+            source_model: &ctx.model,
+            source: &ctx.source,
+            target_x: &adapt_ds.x,
+            calib: &ctx.calib,
+            tasfar: &ctx.tasfar,
+            split_at: TABULAR_SPLIT_AT,
+            loss: &Mse,
+            seed: 7,
+        };
+        let mut adapted = run_scheme(scheme, &run);
+        let e_adapt = metric.eval(&adapted.predict(&adapt_ds.x), &adapt_ds.y);
+        let e_test = metric.eval(&adapted.predict(&test_ds.x), &test_ds.y);
+        let (ra, rt) = match baseline {
+            None => {
+                baseline = Some((e_adapt, e_test));
+                (0.0, 0.0)
+            }
+            Some((ba, bt)) => (
+                metrics::error_reduction_pct(ba, e_adapt),
+                metrics::error_reduction_pct(bt, e_test),
+            ),
+        };
+        table.row(vec![
+            scheme.name().to_string(),
+            f4(e_adapt),
+            f2(ra),
+            f4(e_test),
+            f2(rt),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,22 @@
+//! # tasfar-bench — the experiment harness of the TASFAR reproduction
+//!
+//! One module per group of paper experiments (see `DESIGN.md` §3 for the
+//! experiment index). The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run -p tasfar-bench --release --bin repro -- all          # everything
+//! cargo run -p tasfar-bench --release --bin repro -- fig7 table1  # selected
+//! cargo run -p tasfar-bench --release --bin repro -- --quick all  # smoke test
+//! ```
+//!
+//! Criterion micro-benchmarks of the performance-critical kernels live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod schemes;
+pub mod tasks;
+pub mod viz;

@@ -1,0 +1,185 @@
+//! Result formatting: aligned console tables plus CSV/JSON artefacts under
+//! `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable, saveable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table title (used as the artefact file stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "Table '{}': row has {} cells, expected {}",
+            self.title,
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Formats the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `results/<stem>.csv` and returns the
+    /// path. The stem is derived from the title (lowercased, spaces → `_`).
+    pub fn save_csv(&self) -> PathBuf {
+        let stem: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = results_dir().join(format!("{stem}.csv"));
+        let mut csv = String::new();
+        csv.push_str(&self.headers.join(","));
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        fs::write(&path, csv).expect("writing results CSV");
+        path
+    }
+}
+
+/// The `results/` directory (created on first use). Honours
+/// `TASFAR_RESULTS_DIR` so tests can redirect artefacts.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("TASFAR_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    fs::create_dir_all(&dir).expect("creating results directory");
+    dir
+}
+
+/// Formats a float with 2 decimals for table cells.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 4 decimals for table cells.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len().max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1.00".into()]);
+        t.row(vec!["b".into(), "22.50".into()]);
+        let r = t.render();
+        assert!(r.contains("Demo"));
+        assert!(r.contains("alpha"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header + separator + 2 rows + title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.row(vec!["only".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("TASFAR_RESULTS_DIR", std::env::temp_dir().join("tasfar_test_results"));
+        let mut t = Table::new("CSV Test", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.save_csv();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::env::remove_var("TASFAR_RESULTS_DIR");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[2.0, 2.0]), 0.0);
+        assert!((std_dev(&[0.0, 2.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f4(0.123456), "0.1235");
+    }
+}

@@ -1,0 +1,432 @@
+//! Shared task setups: dataset generation, source-model architecture and
+//! training, and TASFAR calibration for each of the four workloads.
+//!
+//! Every experiment module starts from one of these contexts, so the source
+//! models are trained exactly once per `repro` invocation and reused across
+//! figures.
+
+use tasfar_core::prelude::*;
+use tasfar_data::crowd::{self, CrowdConfig, CrowdWorld};
+use tasfar_data::housing::{self, HousingConfig, HousingWorld};
+use tasfar_data::pdr::{self, PdrConfig, PdrUser, PdrWorld, Trajectory};
+use tasfar_data::taxi::{self, TaxiConfig, TaxiWorld};
+use tasfar_data::{Dataset, Scaler};
+use tasfar_nn::prelude::*;
+
+/// Experiment scale: `Full` reproduces the paper-sized runs; `Quick` shrinks
+/// datasets and epochs ~4× for smoke-testing the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-sized experiments.
+    Full,
+    /// Reduced sizes for fast iteration.
+    Quick,
+}
+
+impl Scale {
+    fn div(self, n: usize) -> usize {
+        match self {
+            Scale::Full => n,
+            Scale::Quick => (n / 4).max(2),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PDR
+// ---------------------------------------------------------------------------
+
+/// The prepared PDR task: world, trained TCN source model, input scaler, and
+/// TASFAR calibration.
+pub struct PdrContext {
+    /// The simulated world.
+    pub world: PdrWorld,
+    /// The trained source model (TCN trunk + dense head).
+    pub model: Sequential,
+    /// Input scaler fitted on the source windows.
+    pub scaler: Scaler,
+    /// τ and Q_s calibrated on the source data.
+    pub calib: SourceCalibration,
+    /// TASFAR defaults for this task.
+    pub tasfar: TasfarConfig,
+    /// The scale the context was built at.
+    pub scale: Scale,
+}
+
+/// The PDR regressor: two residual TCN blocks over the packed IMU window,
+/// global average pooling, and a dropout-bearing dense head (the MC-dropout
+/// uncertainty source).
+pub fn pdr_model(cfg: &PdrConfig, rng: &mut Rng) -> Sequential {
+    let t = cfg.time_len;
+    Sequential::new()
+        .add(TcnBlock::new(pdr::CHANNELS, 16, 3, 1, t, 0.1, rng))
+        .add(TcnBlock::new(16, 16, 3, 2, t, 0.1, rng))
+        .add(GlobalAvgPool1d::new(16, t))
+        .add(Dense::new(16, 32, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(32, 2, Init::XavierUniform, rng))
+}
+
+/// Layer index splitting the PDR model into feature extractor and head for
+/// the feature-alignment baselines (features = everything before the final
+/// dense layer).
+pub const PDR_SPLIT_AT: usize = 6;
+
+/// TASFAR defaults for PDR: 10 cm grid, joint 2-D map.
+pub fn pdr_tasfar_config(scale: Scale) -> TasfarConfig {
+    TasfarConfig {
+        grid_cell: 0.1,
+        joint_2d: true,
+        scenario_tau_rescale: true,
+        learning_rate: 5e-4,
+        epochs: scale.div(120),
+        batch_size: 32,
+        ..TasfarConfig::default()
+    }
+}
+
+impl PdrContext {
+    /// Generates the world, trains the source model, and calibrates TASFAR.
+    pub fn build(scale: Scale) -> Self {
+        let config = PdrConfig {
+            n_seen: scale.div(15).max(3),
+            n_unseen: scale.div(10).max(2),
+            source_steps_per_user: scale.div(400),
+            trajectories_per_user: 5,
+            steps_per_trajectory: scale.div(80).max(20),
+            ..PdrConfig::default()
+        };
+        let world = pdr::generate(&config);
+        let scaler = Scaler::fit(&world.source.x);
+        let x = scaler.transform(&world.source.x);
+
+        let mut rng = Rng::new(config.seed ^ 0x5eed);
+        let mut model = pdr_model(&config, &mut rng);
+        // Two-stage schedule: a long Adam run, then a lower-rate polish.
+        // The regressor must avoid shrinkage toward the population-mean
+        // stride on clean windows, otherwise the confident predictions —
+        // TASFAR's label-distribution source — are biased.
+        let mut opt = Adam::new(1e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &world.source.y,
+            None,
+            &TrainConfig {
+                epochs: scale.div(120).max(15),
+                batch_size: 64,
+                seed: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let mut opt2 = Adam::new(2e-4);
+        let _ = fit(
+            &mut model,
+            &mut opt2,
+            &Mse,
+            &x,
+            &world.source.y,
+            None,
+            &TrainConfig {
+                epochs: scale.div(60).max(8),
+                batch_size: 64,
+                seed: 2,
+                ..TrainConfig::default()
+            },
+        );
+
+        let tasfar = pdr_tasfar_config(scale);
+        let scaled_source = Dataset::new(x, world.source.y.clone());
+        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar);
+        PdrContext {
+            world,
+            model,
+            scaler,
+            calib,
+            tasfar,
+            scale,
+        }
+    }
+
+    /// The scaled source dataset (inputs transformed by the context scaler).
+    pub fn scaled_source(&self) -> Dataset {
+        Dataset::new(
+            self.scaler.transform(&self.world.source.x),
+            self.world.source.y.clone(),
+        )
+    }
+
+    /// A user's adaptation/test step datasets (80/20 trajectory split),
+    /// inputs scaled. Returns `(adapt, test, test_trajectories)` where the
+    /// trajectory list carries scaled per-trajectory datasets for RTE.
+    pub fn user_splits(&self, user: &PdrUser) -> (Dataset, Dataset, Vec<Dataset>) {
+        let (adapt_trajs, test_trajs) = user.adaptation_test_split(0.8);
+        let scale_ds = |t: &Trajectory| {
+            Dataset::new(self.scaler.transform(&t.windows), t.displacements.clone())
+        };
+        let adapt_parts: Vec<Dataset> = adapt_trajs.iter().map(|t| scale_ds(t)).collect();
+        let test_parts: Vec<Dataset> = test_trajs.iter().map(|t| scale_ds(t)).collect();
+        let adapt = Dataset::concat(&adapt_parts.iter().collect::<Vec<_>>());
+        let test = Dataset::concat(&test_parts.iter().collect::<Vec<_>>());
+        (adapt, test, test_parts)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crowd counting
+// ---------------------------------------------------------------------------
+
+/// The prepared crowd-counting task.
+pub struct CrowdContext {
+    /// The simulated world (Part-A-like source, three Part-B-like scenes).
+    pub world: CrowdWorld,
+    /// The trained source model (dropout MLP over pooled features).
+    pub model: Sequential,
+    /// Input scaler fitted on source features.
+    pub scaler: Scaler,
+    /// τ and Q_s.
+    pub calib: SourceCalibration,
+    /// TASFAR defaults for this task.
+    pub tasfar: TasfarConfig,
+}
+
+/// The crowd regressor: an MLP over the pooled density features.
+pub fn crowd_model(rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        .add(Dense::new(crowd::FEATURES, 64, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(64, 32, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, rng))
+}
+
+/// Feature/head split for the baselines (features = first two blocks).
+pub const CROWD_SPLIT_AT: usize = 6;
+
+/// TASFAR defaults for crowd counting: 5-person grid cells.
+pub fn crowd_tasfar_config(scale: Scale) -> TasfarConfig {
+    TasfarConfig {
+        grid_cell: 5.0,
+        joint_2d: false,
+        // Counts are strictly positive with a wide range: relative
+        // uncertainty (coefficient of variation) tracks difficulty rather
+        // than count magnitude.
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        learning_rate: 1e-3,
+        epochs: scale.div(120),
+        batch_size: 32,
+        ..TasfarConfig::default()
+    }
+}
+
+impl CrowdContext {
+    /// Generates the world, trains the source model, and calibrates TASFAR.
+    pub fn build(scale: Scale) -> Self {
+        Self::build_seeded(scale, CrowdConfig::default().seed)
+    }
+
+    /// [`CrowdContext::build`] with an explicit world seed (multi-seed runs).
+    pub fn build_seeded(scale: Scale, seed: u64) -> Self {
+        let config = CrowdConfig {
+            n_source: scale.div(482).max(60),
+            n_per_scene: scale.div(239).max(40),
+            seed,
+        };
+        let world = crowd::generate(&config);
+        let scaler = Scaler::fit(&world.source.x);
+        let x = scaler.transform(&world.source.x);
+
+        let mut rng = Rng::new(config.seed ^ 0xc0de);
+        let mut model = crowd_model(&mut rng);
+        let mut opt = Adam::new(1e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &world.source.y,
+            None,
+            &TrainConfig {
+                epochs: scale.div(200).max(40),
+                batch_size: 32,
+                seed: 2,
+                ..TrainConfig::default()
+            },
+        );
+
+        let tasfar = crowd_tasfar_config(scale);
+        let scaled_source = Dataset::new(x, world.source.y.clone());
+        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar);
+        CrowdContext {
+            world,
+            model,
+            scaler,
+            calib,
+            tasfar,
+        }
+    }
+
+    /// The scaled source dataset.
+    pub fn scaled_source(&self) -> Dataset {
+        Dataset::new(
+            self.scaler.transform(&self.world.source.x),
+            self.world.source.y.clone(),
+        )
+    }
+
+    /// A scene's 80/20 adaptation/test split, inputs scaled.
+    pub fn scene_splits(&self, scene: usize, seed: u64) -> (Dataset, Dataset) {
+        let data = &self.world.scenes[scene].data;
+        let scaled = Dataset::new(self.scaler.transform(&data.x), data.y.clone());
+        let mut rng = Rng::new(seed);
+        scaled.split_fraction(0.8, &mut rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tabular prediction tasks (housing, taxi)
+// ---------------------------------------------------------------------------
+
+/// A prepared tabular task (housing price or taxi duration).
+pub struct TabularContext {
+    /// Scaled source dataset.
+    pub source: Dataset,
+    /// Scaled target dataset (labels retained for evaluation only).
+    pub target: Dataset,
+    /// The trained source model.
+    pub model: Sequential,
+    /// τ and Q_s.
+    pub calib: SourceCalibration,
+    /// TASFAR defaults for this task.
+    pub tasfar: TasfarConfig,
+    /// Human-readable task name.
+    pub name: &'static str,
+}
+
+/// The MLP used by both prediction tasks (after Poongodi et al., the
+/// baseline model the paper cites for taxi-trip duration).
+pub fn tabular_model(input_dim: usize, rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        .add(Dense::new(input_dim, 64, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(64, 32, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, rng))
+}
+
+/// Feature/head split for the baselines.
+pub const TABULAR_SPLIT_AT: usize = 6;
+
+#[allow(clippy::too_many_arguments)]
+fn build_tabular(
+    name: &'static str,
+    source_raw: &Dataset,
+    target_raw: &Dataset,
+    grid_cell: f64,
+    relative_uncertainty: bool,
+    scenario_tau_rescale: bool,
+    train_seed: u64,
+    scale: Scale,
+) -> TabularContext {
+    let scaler = Scaler::fit(&source_raw.x);
+    let source = Dataset::new(scaler.transform(&source_raw.x), source_raw.y.clone());
+    let target = Dataset::new(scaler.transform(&target_raw.x), target_raw.y.clone());
+
+    let mut rng = Rng::new(train_seed);
+    let mut model = tabular_model(source.input_dim(), &mut rng);
+    let mut opt = Adam::new(1e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: scale.div(150).max(25),
+            batch_size: 64,
+            seed: 3,
+            ..TrainConfig::default()
+        },
+    );
+    let mut opt2 = Adam::new(2e-4);
+    let _ = fit(
+        &mut model,
+        &mut opt2,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: scale.div(50).max(10),
+            batch_size: 64,
+            seed: 4,
+            ..TrainConfig::default()
+        },
+    );
+
+    let tasfar = TasfarConfig {
+        grid_cell,
+        joint_2d: false,
+        relative_uncertainty,
+        scenario_tau_rescale,
+        learning_rate: 5e-4,
+        epochs: scale.div(100),
+        batch_size: 32,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &tasfar);
+    TabularContext {
+        source,
+        target,
+        model,
+        calib,
+        tasfar,
+        name,
+    }
+}
+
+/// Builds the California-housing task (coastal target).
+pub fn housing_context(scale: Scale) -> TabularContext {
+    housing_context_seeded(scale, HousingConfig::default().seed)
+}
+
+/// [`housing_context`] with an explicit world seed (multi-seed runs).
+pub fn housing_context_seeded(scale: Scale, seed: u64) -> TabularContext {
+    let config = HousingConfig {
+        n_districts: scale.div(8000).max(1000),
+        seed,
+        ..HousingConfig::default()
+    };
+    let world: HousingWorld = housing::generate(&config);
+    // Relative uncertainty isolates the corrupted-measurement districts
+    // (absolute dropout std would select by price magnitude instead and
+    // censor the label prior).
+    build_tabular("housing", &world.source, &world.target, 0.1, true, false, 0x4057, scale)
+}
+
+/// Builds the NYC-taxi task (Manhattan target).
+pub fn taxi_context(scale: Scale) -> TabularContext {
+    taxi_context_seeded(scale, TaxiConfig::default().seed)
+}
+
+/// [`taxi_context`] with an explicit world seed (multi-seed runs).
+pub fn taxi_context_seeded(scale: Scale, seed: u64) -> TabularContext {
+    let config = TaxiConfig {
+        n_trips: scale.div(12_000).max(2000),
+        seed,
+    };
+    let world: TaxiWorld = taxi::generate(&config);
+    // Trip durations span 1–180 minutes: dropout variance scales with the
+    // predicted magnitude, so the relative (coefficient-of-variation) form
+    // with scenario recentering tracks difficulty instead of trip length.
+    build_tabular("taxi", &world.source, &world.target, 2.0, true, true, 0x7a41, scale)
+}

@@ -1,0 +1,177 @@
+//! Terminal visualisation of density maps and histograms.
+//!
+//! The paper's Figs. 2, 6 and 22 are images; a CLI reproduction renders
+//! them as Unicode intensity maps so the ring shapes, clusters, and the
+//! two-user double ring are visible directly in the experiment output.
+
+use tasfar_core::density::{DensityMap1d, DensityMap2d};
+
+/// Intensity ramp from empty to dense.
+const RAMP: [char; 10] = [' ', '·', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+fn ramp_char(value: f64, max: f64) -> char {
+    if max <= 0.0 || value <= 0.0 {
+        return RAMP[0];
+    }
+    let idx = ((value / max) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+/// Renders a 2-D density map as a Unicode heatmap, one character per cell
+/// (y grows upward, matching a conventional plot). Wide maps are downsampled
+/// by cell-block max-pooling to fit `max_cols` columns.
+pub fn heatmap_2d(map: &DensityMap2d, max_cols: usize) -> String {
+    let nx = map.xspec.bins;
+    let ny = map.yspec.bins;
+    let stride = nx.div_ceil(max_cols.max(1)).max(1);
+    let peak = map
+        .masses()
+        .iter()
+        .copied()
+        .fold(0.0_f64, f64::max);
+
+    let mut out = String::new();
+    let mut iy = ny;
+    while iy > 0 {
+        let y_hi = iy;
+        let y_lo = y_hi.saturating_sub(stride);
+        let mut line = String::new();
+        let mut ix = 0;
+        while ix < nx {
+            // Block max over the (stride × stride) cell group.
+            let mut block = 0.0_f64;
+            for by in y_lo..y_hi {
+                for bx in ix..(ix + stride).min(nx) {
+                    block = block.max(map.mass(bx, by));
+                }
+            }
+            line.push(ramp_char(block, peak));
+            ix += stride;
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        iy = y_lo;
+    }
+    // Axis footer.
+    out.push_str(&format!(
+        "x: [{:.2}, {:.2}]  y: [{:.2}, {:.2}]  peak cell mass {:.4}\n",
+        map.xspec.origin,
+        map.xspec.origin + map.xspec.span(),
+        map.yspec.origin,
+        map.yspec.origin + map.yspec.span(),
+        peak
+    ));
+    out
+}
+
+/// Renders a 1-D density map as a horizontal bar chart (one row per cell
+/// group), downsampled to at most `max_rows` rows.
+pub fn histogram_1d(map: &DensityMap1d, max_rows: usize, bar_width: usize) -> String {
+    let bins = map.spec.bins;
+    let stride = bins.div_ceil(max_rows.max(1)).max(1);
+    // Aggregate per group.
+    let mut groups: Vec<(f64, f64)> = Vec::new(); // (centre, mass)
+    let mut i = 0;
+    while i < bins {
+        let hi = (i + stride).min(bins);
+        let mass: f64 = (i..hi).map(|b| map.mass(b)).sum();
+        let centre = (map.spec.center(i) + map.spec.center(hi - 1)) / 2.0;
+        groups.push((centre, mass));
+        i = hi;
+    }
+    let peak = groups.iter().map(|g| g.1).fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    for (centre, mass) in groups {
+        let filled = if peak > 0.0 {
+            ((mass / peak) * bar_width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{centre:>8.3} |{}{} {mass:.4}\n",
+            "█".repeat(filled),
+            " ".repeat(bar_width - filled.min(bar_width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_core::density::GridSpec;
+    use tasfar_nn::rng::Rng;
+    use tasfar_nn::tensor::Tensor;
+
+    fn ring_map() -> DensityMap2d {
+        let mut rng = Rng::new(1);
+        let mut rows = Vec::new();
+        for _ in 0..20_000 {
+            let theta = rng.uniform(0.0, std::f64::consts::TAU);
+            let r = rng.gaussian(0.7, 0.04);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+        }
+        DensityMap2d::from_labels(
+            &Tensor::from_rows(&rows),
+            GridSpec::from_range(-1.0, 1.0, 0.05),
+            GridSpec::from_range(-1.0, 1.0, 0.05),
+        )
+    }
+
+    #[test]
+    fn heatmap_shows_a_ring() {
+        let map = ring_map();
+        let art = heatmap_2d(&map, 40);
+        // The centre of the ring is empty, the ring itself dense: the output
+        // must contain both blank and peak characters.
+        assert!(art.contains('@'));
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines.len() > 10);
+        // Middle row: dense at the edges of the ring, hollow in the centre.
+        let mid = lines[lines.len() / 2];
+        let trimmed: Vec<char> = mid.chars().collect();
+        if trimmed.len() > 10 {
+            let centre = trimmed[trimmed.len() / 2];
+            assert!(
+                centre == ' ' || centre == '·',
+                "ring centre should be (nearly) empty, got {centre:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn heatmap_respects_max_cols() {
+        let map = ring_map();
+        let art = heatmap_2d(&map, 20);
+        for line in art.lines().take_while(|l| !l.starts_with("x:")) {
+            assert!(line.chars().count() <= 20, "line too wide: {line:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_bar_lengths_track_mass() {
+        let labels: Vec<f64> = (0..1000)
+            .map(|i| if i % 10 == 0 { 2.0 } else { 1.0 })
+            .collect();
+        let map = DensityMap1d::from_labels(&labels, GridSpec::from_range(0.0, 3.0, 1.0));
+        let art = histogram_1d(&map, 10, 30);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        // Bin [1,2) holds 90 % of the labels → longest bar; [0,1) is empty.
+        assert_eq!(bars[0], 0);
+        assert!(bars[1] > bars[2]);
+        assert_eq!(bars[1], 30);
+    }
+
+    #[test]
+    fn empty_map_renders_blank() {
+        let map = DensityMap1d::from_labels(&[100.0], GridSpec::from_range(0.0, 1.0, 0.5));
+        // Label off-grid → zero mass everywhere → no panic, blank bars.
+        let art = histogram_1d(&map, 4, 10);
+        assert!(art.lines().all(|l| !l.contains('█')));
+    }
+}

@@ -1,0 +1,645 @@
+//! The end-to-end TASFAR pipeline (paper Fig. 1 and Eq. 22).
+//!
+//! Two phases, matching the deployment story:
+//!
+//! 1. **Source-side calibration** ([`calibrate_on_source`]) — run *where the
+//!    source data still exists*, before shipping the model: picks the
+//!    confidence threshold τ (Algorithm 1's parameter) and fits the
+//!    uncertainty→spread function Q_s per label dimension (Eq. 6–9). The
+//!    resulting [`SourceCalibration`] travels with the model; the source
+//!    dataset does not.
+//! 2. **Target-side adaptation** ([`adapt`]) — fully source-free: split the
+//!    unlabeled target batch by confidence, estimate the label density map
+//!    from the confident predictions, pseudo-label the uncertain samples,
+//!    and fine-tune with the credibility-weighted loss (Eq. 22) plus
+//!    self-labelled confident replay (the catastrophic-forgetting guard of
+//!    Sec. III-D).
+
+use crate::calibration::{ErrorModel, QsCalibration};
+use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
+use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
+use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
+use crate::uncertainty::{McDropout, McPrediction};
+use tasfar_data::Dataset;
+use tasfar_nn::layers::Sequential;
+use tasfar_nn::loss::Loss;
+use tasfar_nn::optim::Adam;
+use tasfar_nn::tensor::Tensor;
+use tasfar_nn::train::{fit, EarlyStop, FitReport, TrainConfig};
+
+/// TASFAR hyper-parameters. Defaults follow the paper's Section IV choices.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TasfarConfig {
+    /// Source proportion below the confidence threshold (paper: 0.9).
+    pub eta: f64,
+    /// MC-dropout passes (paper: 20).
+    pub mc_samples: usize,
+    /// Use relative (magnitude-normalised) MC-dropout uncertainty — see
+    /// [`crate::uncertainty::McDropout::relative`].
+    pub relative_uncertainty: bool,
+    /// Rescale τ per target scenario by the ratio of the target's median
+    /// uncertainty to the source's (quantile matching). MC-dropout variance
+    /// scales with activation magnitude, so a scenario whose labels are
+    /// uniformly large reports uniformly elevated uncertainty; without
+    /// recentering, a source-calibrated τ would misread the whole scenario
+    /// as uncertain. The rescaling is label-free and target-agnostic (it
+    /// uses only the unlabeled batch the adaptation receives anyway).
+    pub scenario_tau_rescale: bool,
+    /// Uncertainty segments `q` for the Q_s fit (paper: 40).
+    pub segments: usize,
+    /// Density-map cell width, in label units (task-specific; the paper uses
+    /// 10 cm for PDR).
+    pub grid_cell: f64,
+    /// The instance-label distribution family (paper default: Gaussian).
+    pub error_model: ErrorModel,
+    /// Weight pseudo-labels by credibility β (Fig. 12 ablates this off).
+    pub use_credibility: bool,
+    /// Replay confident samples with self-labels (Sec. III-D suggestion).
+    pub replay_confident: bool,
+    /// Use a joint 2-D map for two-dimensional labels instead of
+    /// independent per-dimension maps (our ablation #3 in DESIGN.md).
+    pub joint_2d: bool,
+    /// Fine-tuning learning rate.
+    pub learning_rate: f64,
+    /// Fine-tuning epochs (upper bound; early stopping may cut it short).
+    pub epochs: usize,
+    /// Fine-tuning batch size.
+    pub batch_size: usize,
+    /// Early stopping on the loss-drop rate (Fig. 13); `None` trains the
+    /// full epoch budget.
+    pub early_stop: Option<EarlyStop>,
+    /// Keep dropout active during the fine-tune. Off by default: against
+    /// fixed pseudo-/self-labels, an active dropout layer turns the
+    /// objective into output-variance suppression and the model drifts away
+    /// from its calibrated behaviour (MC-dropout uncertainty estimation is
+    /// unaffected — it always samples stochastically).
+    pub finetune_dropout: bool,
+    /// Seed for shuffling during fine-tuning.
+    pub seed: u64,
+}
+
+impl Default for TasfarConfig {
+    fn default() -> Self {
+        TasfarConfig {
+            eta: 0.9,
+            mc_samples: 20,
+            relative_uncertainty: false,
+            scenario_tau_rescale: false,
+            segments: 40,
+            grid_cell: 0.1,
+            error_model: ErrorModel::Gaussian,
+            use_credibility: true,
+            replay_confident: true,
+            joint_2d: true,
+            learning_rate: 1e-3,
+            epochs: 150,
+            batch_size: 32,
+            early_stop: Some(EarlyStop {
+                window: 8,
+                min_rel_improvement: 0.01,
+                min_epochs: 25,
+            }),
+            finetune_dropout: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything τ-and-Q_s the model needs to carry to the target scenario.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SourceCalibration {
+    /// Algorithm 1's threshold.
+    pub classifier: ConfidenceClassifier,
+    /// One Q_s fit per label dimension (σ_d from the per-dimension MC std).
+    pub qs: Vec<QsCalibration>,
+    /// Median source uncertainty — the reference level for scenario-level
+    /// τ rescaling.
+    pub median_uncertainty: f64,
+}
+
+/// Calibrates τ and Q_s on the source dataset (phase 1, pre-shipping).
+///
+/// # Panics
+/// Panics if the source dataset is empty.
+pub fn calibrate_on_source(
+    model: &mut Sequential,
+    source: &Dataset,
+    cfg: &TasfarConfig,
+) -> SourceCalibration {
+    assert!(!source.is_empty(), "calibrate_on_source: empty source dataset");
+    let mc = McDropout::new(cfg.mc_samples)
+        .relative(cfg.relative_uncertainty)
+        .predict(model, &source.x);
+    let classifier = ConfidenceClassifier::calibrate(&mc.uncertainty, cfg.eta);
+    let median_uncertainty = median(&mc.uncertainty);
+
+    let dims = source.output_dim();
+    let mut qs = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let u_d: Vec<f64> = mc.std.col(d);
+        let err_d: Vec<f64> = mc
+            .point
+            .col(d)
+            .iter()
+            .zip(source.y.col(d).iter())
+            .map(|(&p, &y)| p - y)
+            .collect();
+        qs.push(QsCalibration::fit(&u_d, &err_d, cfg.segments));
+    }
+    SourceCalibration {
+        classifier,
+        qs,
+        median_uncertainty,
+    }
+}
+
+/// Median of a non-empty slice.
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[v.len() / 2]
+}
+
+/// The density map(s) built during an adaptation.
+#[derive(Debug, Clone)]
+pub enum BuiltMaps {
+    /// Independent per-dimension 1-D maps.
+    PerDim(Vec<DensityMap1d>),
+    /// One joint 2-D map (only for two-dimensional labels).
+    Joint2d(DensityMap2d),
+}
+
+/// The result of one [`adapt`] run.
+#[derive(Debug)]
+pub struct AdaptationOutcome {
+    /// The fine-tuning report (empty when adaptation was skipped).
+    pub fit: FitReport,
+    /// The MC prediction on the target batch *before* adaptation.
+    pub mc: McPrediction,
+    /// The confident/uncertain partition.
+    pub split: ConfidenceSplit,
+    /// Pseudo-labels for the uncertain samples, aligned with
+    /// `split.uncertain`.
+    pub pseudo: Vec<PseudoLabel>,
+    /// The density map(s) estimated from the confident predictions.
+    pub maps: Option<BuiltMaps>,
+    /// Why adaptation was skipped, if it was.
+    pub skipped: Option<&'static str>,
+}
+
+impl AdaptationOutcome {
+    /// Mean credibility over the informative pseudo-labels.
+    pub fn mean_credibility(&self) -> f64 {
+        let informative: Vec<f64> = self
+            .pseudo
+            .iter()
+            .filter(|p| p.informative)
+            .map(|p| p.credibility)
+            .collect();
+        if informative.is_empty() {
+            0.0
+        } else {
+            informative.iter().sum::<f64>() / informative.len() as f64
+        }
+    }
+}
+
+/// The classifier used for a target batch: either the shipped source
+/// classifier or its scenario-rescaled variant (quantile matching on the
+/// median uncertainty), per `cfg.scenario_tau_rescale`.
+pub fn scenario_classifier(
+    calib: &SourceCalibration,
+    cfg: &TasfarConfig,
+    target_uncertainties: &[f64],
+) -> ConfidenceClassifier {
+    if cfg.scenario_tau_rescale && !target_uncertainties.is_empty() {
+        let target_median = median(target_uncertainties);
+        if target_median > 0.0 && calib.median_uncertainty > 0.0 {
+            return calib
+                .classifier
+                .rescaled(target_median / calib.median_uncertainty);
+        }
+    }
+    calib.classifier.clone()
+}
+
+/// Builds the grid for one label dimension around the confident predictions,
+/// padded so the instance distributions fit on-grid.
+fn dim_grid(preds: &[f64], sigmas: &[f64], cell: f64) -> GridSpec {
+    let max_sigma = sigmas.iter().copied().fold(0.0_f64, f64::max);
+    let lo = preds.iter().copied().fold(f64::INFINITY, f64::min) - 4.0 * max_sigma;
+    let hi = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 4.0 * max_sigma;
+    GridSpec::from_range(lo, (hi).max(lo + cell), cell)
+}
+
+/// Per-dimension calibrated spreads for the given sample indices.
+fn sigmas_for(mc: &McPrediction, calib: &SourceCalibration, indices: &[usize]) -> Tensor {
+    let dims = mc.point.cols();
+    let mut out = Tensor::zeros(indices.len(), dims);
+    for (row, &i) in indices.iter().enumerate() {
+        for d in 0..dims {
+            out.set(row, d, calib.qs[d].sigma(mc.std.get(i, d)));
+        }
+    }
+    out
+}
+
+/// Runs the full TASFAR adaptation on an unlabeled target batch (phase 2).
+///
+/// `model` is modified in place: on return it is the target model. The
+/// returned outcome carries every intermediate product for analysis.
+///
+/// Degenerate batches are handled conservatively: if the split leaves no
+/// confident data (no prior can be estimated) or no uncertain data (nothing
+/// needs pseudo-labels), the model is returned unchanged with
+/// `outcome.skipped` set.
+///
+/// # Panics
+/// Panics if `target_x` is empty.
+pub fn adapt(
+    model: &mut Sequential,
+    calib: &SourceCalibration,
+    target_x: &Tensor,
+    loss: &dyn Loss,
+    cfg: &TasfarConfig,
+) -> AdaptationOutcome {
+    assert!(target_x.rows() > 0, "adapt: empty target batch");
+    let mc = McDropout::new(cfg.mc_samples)
+        .relative(cfg.relative_uncertainty)
+        .predict(model, target_x);
+    let classifier = scenario_classifier(calib, cfg, &mc.uncertainty);
+    let split = classifier.split(&mc.uncertainty);
+    let dims = mc.point.cols();
+
+    let mut outcome = AdaptationOutcome {
+        fit: FitReport {
+            epoch_losses: Vec::new(),
+            stopped_early_at: None,
+        },
+        mc,
+        split,
+        pseudo: Vec::new(),
+        maps: None,
+        skipped: None,
+    };
+
+    if outcome.split.confident.is_empty() {
+        outcome.skipped = Some("no confident data to estimate the label distribution");
+        return outcome;
+    }
+    if outcome.split.uncertain.is_empty() {
+        outcome.skipped = Some("no uncertain data to pseudo-label");
+        return outcome;
+    }
+
+    // --- label distribution estimation (Algorithm 2) --------------------
+    let conf_sigma = sigmas_for(&outcome.mc, calib, &outcome.split.confident);
+    let conf_pred = outcome.mc.point.select_rows(&outcome.split.confident);
+    let unc_sigma = sigmas_for(&outcome.mc, calib, &outcome.split.uncertain);
+    let unc_pred = outcome.mc.point.select_rows(&outcome.split.uncertain);
+
+    let tau = classifier.tau;
+    let joint = cfg.joint_2d && dims == 2;
+    let mut pseudo = Vec::with_capacity(outcome.split.uncertain.len());
+
+    if joint {
+        let xgrid = dim_grid(&conf_pred.col(0), &conf_sigma.col(0), cfg.grid_cell);
+        let ygrid = dim_grid(&conf_pred.col(1), &conf_sigma.col(1), cfg.grid_cell);
+        let map = DensityMap2d::estimate(&conf_pred, &conf_sigma, xgrid, ygrid, cfg.error_model);
+        let generator = PseudoLabelGenerator2d::new(&map, tau, cfg.error_model);
+        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+            let p = generator.generate(
+                [unc_pred.get(row, 0), unc_pred.get(row, 1)],
+                [unc_sigma.get(row, 0), unc_sigma.get(row, 1)],
+                outcome.mc.uncertainty[i].max(1e-12),
+            );
+            pseudo.push(p);
+        }
+        outcome.maps = Some(BuiltMaps::Joint2d(map));
+    } else {
+        // Independent per-dimension maps; credibilities multiply geometric-
+        // mean style so a one-dimensional task reduces to Eq. 21 exactly.
+        let maps: Vec<DensityMap1d> = (0..dims)
+            .map(|d| {
+                let grid = dim_grid(&conf_pred.col(d), &conf_sigma.col(d), cfg.grid_cell);
+                DensityMap1d::estimate(
+                    &conf_pred.col(d),
+                    &conf_sigma.col(d),
+                    grid,
+                    cfg.error_model,
+                )
+            })
+            .collect();
+        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+            let mut value = Vec::with_capacity(dims);
+            let mut cred_product = 1.0;
+            let mut informative = true;
+            let mut ratio = 0.0;
+            for (d, map) in maps.iter().enumerate() {
+                let generator = PseudoLabelGenerator1d::new(map, tau, cfg.error_model);
+                let p = generator.generate(
+                    unc_pred.get(row, d),
+                    unc_sigma.get(row, d),
+                    outcome.mc.uncertainty[i].max(1e-12),
+                );
+                value.push(p.value[0]);
+                cred_product *= p.credibility;
+                informative &= p.informative;
+                ratio += p.local_density_ratio / dims as f64;
+            }
+            pseudo.push(PseudoLabel {
+                value,
+                credibility: if informative {
+                    cred_product.powf(1.0 / dims as f64)
+                } else {
+                    0.0
+                },
+                local_density_ratio: ratio,
+                informative,
+            });
+        }
+        outcome.maps = Some(BuiltMaps::PerDim(maps));
+    }
+    outcome.pseudo = pseudo;
+
+    // --- assemble the fine-tuning set (Eq. 22 + confident replay) -------
+    let n_unc = outcome.split.uncertain.len();
+    let n_conf = if cfg.replay_confident {
+        outcome.split.confident.len()
+    } else {
+        0
+    };
+    let mut train_x_rows = Vec::with_capacity(n_unc + n_conf);
+    let mut train_y = Tensor::zeros(n_unc + n_conf, dims);
+    let mut weights = Vec::with_capacity(n_unc + n_conf);
+
+    for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+        train_x_rows.push(i);
+        for d in 0..dims {
+            train_y.set(row, d, outcome.pseudo[row].value[d]);
+        }
+        weights.push(if cfg.use_credibility {
+            outcome.pseudo[row].credibility
+        } else if outcome.pseudo[row].informative {
+            1.0
+        } else {
+            0.0
+        });
+    }
+    if cfg.replay_confident {
+        for (row, &i) in outcome.split.confident.iter().enumerate() {
+            train_x_rows.push(i);
+            for d in 0..dims {
+                train_y.set(n_unc + row, d, outcome.mc.point.get(i, d));
+            }
+            weights.push(1.0);
+        }
+    }
+
+    if weights.iter().sum::<f64>() <= 0.0 {
+        outcome.skipped = Some("all pseudo-labels carry zero credibility");
+        return outcome;
+    }
+
+    let train_x = target_x.select_rows(&train_x_rows);
+    let mut optimizer = Adam::new(cfg.learning_rate);
+    outcome.fit = fit(
+        model,
+        &mut optimizer,
+        loss,
+        &train_x,
+        &train_y,
+        Some(&weights),
+        &TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            seed: cfg.seed,
+            shuffle: true,
+            early_stop: cfg.early_stop.clone(),
+            mode: if cfg.finetune_dropout {
+                tasfar_nn::layers::Mode::Train
+            } else {
+                tasfar_nn::layers::Mode::Eval
+            },
+            ..TrainConfig::default()
+        },
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::init::Init;
+    use tasfar_nn::layers::{Dense, Dropout, Relu};
+    use tasfar_nn::loss::Mse;
+    use tasfar_nn::rng::Rng;
+    use tasfar_nn::train::evaluate;
+
+    /// A 1-D synthetic task with the TASFAR-friendly structure: the target
+    /// labels concentrate in a region the source model underestimates, and
+    /// "hard" inputs (large magnitude) carry most of the error.
+    struct Toy {
+        model: Sequential,
+        source: Dataset,
+        target_x: Tensor,
+        target_y: Tensor,
+    }
+
+    fn build_toy(seed: u64) -> Toy {
+        let mut rng = Rng::new(seed);
+        // Ground truth: y = x0 (clean feature) — but target inputs carry a
+        // corrupted x0 on "hard" samples (noise added), while y clusters
+        // tightly (the scenario prior).
+        let n_src = 600;
+        let mut xs = Tensor::zeros(n_src, 2);
+        let mut ys = Tensor::zeros(n_src, 1);
+        for i in 0..n_src {
+            let y = rng.uniform(-1.0, 1.0);
+            // 5 % of the source is "hard": the clean cue x0 is corrupted and
+            // a magnitude flag x1 marks the regime. Keeping the hard share
+            // below 1 − η puts the η-quantile threshold τ under the
+            // hard-regime uncertainties.
+            let hard = rng.bernoulli(0.05);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xs.set(i, 0, y + noise);
+            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            ys.set(i, 0, y);
+        }
+        let source = Dataset::new(xs, ys);
+
+        let mut model = Sequential::new()
+            .add(Dense::new(2, 32, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, &mut rng))
+            .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(5e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &source.x,
+            &source.y,
+            None,
+            &TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                seed,
+                ..TrainConfig::default()
+            },
+        );
+
+        // Target: labels cluster at 0.6 ± 0.05; 40 % of inputs are hard.
+        let n_tgt = 400;
+        let mut xt = Tensor::zeros(n_tgt, 2);
+        let mut yt = Tensor::zeros(n_tgt, 1);
+        for i in 0..n_tgt {
+            let y = rng.gaussian(0.6, 0.05);
+            let hard = rng.bernoulli(0.4);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xt.set(i, 0, y + noise);
+            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            yt.set(i, 0, y);
+        }
+        Toy {
+            model,
+            source,
+            target_x: xt,
+            target_y: yt,
+        }
+    }
+
+    fn toy_config() -> TasfarConfig {
+        TasfarConfig {
+            grid_cell: 0.05,
+            epochs: 60,
+            learning_rate: 1e-3,
+            early_stop: None,
+            ..TasfarConfig::default()
+        }
+    }
+
+    #[test]
+    fn calibration_has_one_qs_per_dim() {
+        let mut toy = build_toy(1);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &toy_config());
+        assert_eq!(calib.qs.len(), 1);
+        assert!(calib.classifier.tau > 0.0);
+        // σ must be monotone in u (a₁ ≥ 0 by construction).
+        assert!(calib.qs[0].sigma(1.0) >= calib.qs[0].sigma(0.0));
+    }
+
+    #[test]
+    fn adaptation_reduces_target_error() {
+        let mut toy = build_toy(2);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        let before = evaluate(&mut toy.model, &Mse, &toy.target_x, &toy.target_y);
+        let outcome = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
+        assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+        let after = evaluate(&mut toy.model, &Mse, &toy.target_x, &toy.target_y);
+        assert!(
+            after < before,
+            "adaptation should reduce MSE: before {before:.4}, after {after:.4}"
+        );
+        assert!(!outcome.pseudo.is_empty());
+        assert!(outcome.mean_credibility() > 0.0);
+    }
+
+    #[test]
+    fn pseudo_labels_beat_raw_predictions_on_uncertain_data() {
+        // The core claim (Eq. 2): pseudo-labels are closer to the truth than
+        // the source predictions, on the uncertain set.
+        let mut toy = build_toy(3);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        let outcome = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg);
+        let mut err_pred = 0.0;
+        let mut err_pseudo = 0.0;
+        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+            let truth = toy.target_y.get(i, 0);
+            err_pred += (outcome.mc.point.get(i, 0) - truth).abs();
+            err_pseudo += (outcome.pseudo[row].value[0] - truth).abs();
+        }
+        assert!(
+            err_pseudo < err_pred,
+            "pseudo-label MAE {err_pseudo:.3} should beat prediction MAE {err_pred:.3}"
+        );
+    }
+
+    #[test]
+    fn uncertain_share_exceeds_one_minus_eta_under_domain_gap() {
+        let mut toy = build_toy(4);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        let outcome = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
+        assert!(
+            outcome.split.uncertain_ratio() > 1.0 - cfg.eta,
+            "target uncertain ratio {} should exceed {}",
+            outcome.split.uncertain_ratio(),
+            1.0 - cfg.eta
+        );
+    }
+
+    #[test]
+    fn disabling_credibility_changes_the_weights_not_the_labels() {
+        let mut toy = build_toy(5);
+        let cfg_on = toy_config();
+        let cfg_off = TasfarConfig {
+            use_credibility: false,
+            ..toy_config()
+        };
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg_on);
+        let a = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_on);
+        let b = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_off);
+        assert_eq!(a.pseudo.len(), b.pseudo.len());
+        for (pa, pb) in a.pseudo.iter().zip(&b.pseudo) {
+            assert_eq!(pa.value, pb.value);
+        }
+    }
+
+    #[test]
+    fn degenerate_batches_are_skipped_safely() {
+        let mut toy = build_toy(6);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        // Force everything uncertain with a tiny tau.
+        let tiny = SourceCalibration {
+            classifier: ConfidenceClassifier::from_tau(1e-12, 0.9),
+            qs: calib.qs.clone(),
+            median_uncertainty: calib.median_uncertainty,
+        };
+        let snapshot = toy.model.clone();
+        let outcome = adapt(&mut toy.model, &tiny, &toy.target_x, &Mse, &cfg);
+        assert_eq!(
+            outcome.skipped,
+            Some("no confident data to estimate the label distribution")
+        );
+        // Model untouched.
+        let mut m = toy.model.clone();
+        let mut s = snapshot.clone();
+        assert_eq!(m.predict(&toy.target_x), s.predict(&toy.target_x));
+
+        // Force everything confident with a huge tau.
+        let huge = SourceCalibration {
+            classifier: ConfidenceClassifier::from_tau(1e12, 0.9),
+            qs: calib.qs,
+            median_uncertainty: calib.median_uncertainty,
+        };
+        let outcome = adapt(&mut toy.model, &huge, &toy.target_x, &Mse, &cfg);
+        assert_eq!(outcome.skipped, Some("no uncertain data to pseudo-label"));
+    }
+
+    #[test]
+    fn adapt_is_deterministic() {
+        let run = || {
+            let mut toy = build_toy(7);
+            let cfg = toy_config();
+            let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+            let _ = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
+            let mut m = toy.model;
+            m.predict(&toy.target_x).as_slice().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

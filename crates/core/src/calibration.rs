@@ -1,0 +1,347 @@
+//! Uncertainty→error calibration: the function Q_s (paper Eq. 6–9).
+//!
+//! TASFAR models the label of each confident sample as a distribution
+//! centred on the prediction with a spread that grows with the model's
+//! uncertainty (Eq. 5). The spread function `σ = Q_s(u)` is fitted on the
+//! *source* data — where errors are observable — by splitting the samples
+//! into `q` uncertainty segments, estimating the error standard deviation in
+//! each, and fitting a first-order least-squares line through the segment
+//! statistics (Eq. 7–9). The fit ships with the model, so no target labels
+//! are ever needed.
+//!
+//! The distributional *form* of the instance-label model is pluggable
+//! ([`ErrorModel`]); the paper's Fig. 8 ablates Gaussian against other
+//! spreads and finds TASFAR insensitive to the choice.
+
+/// The distribution family used for instance-label distributions, all
+/// parameterised by mean and *standard deviation* so they are directly
+/// interchangeable (Fig. 8's ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ErrorModel {
+    /// Normal distribution (the paper's default, Eq. 5).
+    #[default]
+    Gaussian,
+    /// Laplace distribution with matching standard deviation.
+    Laplace,
+    /// Uniform distribution with matching standard deviation.
+    Uniform,
+}
+
+impl ErrorModel {
+    /// CDF of the distribution with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics (debug) if `std <= 0`.
+    pub fn cdf(self, x: f64, mean: f64, std: f64) -> f64 {
+        debug_assert!(std > 0.0, "ErrorModel::cdf: std must be positive");
+        let z = x - mean;
+        match self {
+            ErrorModel::Gaussian => 0.5 * (1.0 + erf(z / (std * std::f64::consts::SQRT_2))),
+            ErrorModel::Laplace => {
+                // Laplace scale b with std σ: σ² = 2b² ⇒ b = σ/√2.
+                let b = std / std::f64::consts::SQRT_2;
+                if z < 0.0 {
+                    0.5 * (z / b).exp()
+                } else {
+                    1.0 - 0.5 * (-z / b).exp()
+                }
+            }
+            ErrorModel::Uniform => {
+                // Uniform on [−a, a] with std σ: a = σ√3.
+                let a = std * 3f64.sqrt();
+                ((z + a) / (2.0 * a)).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Probability mass of the interval `[lo, hi)` under the distribution.
+    pub fn interval_mass(self, lo: f64, hi: f64, mean: f64, std: f64) -> f64 {
+        debug_assert!(lo <= hi, "interval_mass: lo > hi");
+        (self.cdf(hi, mean, std) - self.cdf(lo, mean, std)).max(0.0)
+    }
+
+    /// Half-width (in multiples of the standard deviation) beyond which the
+    /// tail mass is negligible (< ~1e-10). Used to truncate density-map
+    /// accumulation; Laplace needs a wider window than Gaussian because of
+    /// its heavier tails, Uniform has compact support at √3σ.
+    pub fn support_halfwidth_sigmas(self) -> f64 {
+        match self {
+            ErrorModel::Gaussian => 8.0,
+            ErrorModel::Laplace => 18.0,
+            ErrorModel::Uniform => 2.0,
+        }
+    }
+}
+
+/// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
+/// (absolute error < 1.5e-7 — far below the density-map grid resolution).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Statistics of one uncertainty segment (the points the line is fitted to).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SegmentStat {
+    /// Mean uncertainty of the segment, `u_s^(q')`.
+    pub mean_uncertainty: f64,
+    /// Standard deviation of the signed errors in the segment, `e_σ^(q')`.
+    pub error_std: f64,
+    /// Number of samples in the segment.
+    pub count: usize,
+}
+
+/// The fitted calibration `σ = a₀ + a₁·u` for one label dimension.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QsCalibration {
+    /// Intercept `a₀` (Eq. 9).
+    pub a0: f64,
+    /// Slope `a₁` (Eq. 9).
+    pub a1: f64,
+    /// The segment statistics the line was fitted through.
+    pub segments: Vec<SegmentStat>,
+    /// Floor applied by [`QsCalibration::sigma`] so downstream code never
+    /// receives a degenerate spread (smallest observed segment std / 10,
+    /// itself floored at 1e-9).
+    pub sigma_floor: f64,
+}
+
+impl QsCalibration {
+    /// Fits Q_s from per-sample source uncertainties and signed errors.
+    ///
+    /// The samples are sorted by uncertainty and split into `q` (nearly)
+    /// equal segments; each yields one `(mean u, error std)` point; the
+    /// line is the closed-form least-squares solution of Eq. 9. When the
+    /// fitted slope is negative (possible under tiny `q` or noise), it is
+    /// clamped to zero and the intercept refitted as the mean — a constant,
+    /// conservative spread.
+    ///
+    /// # Panics
+    /// Panics if the slices are empty or disagree in length, or `q == 0`.
+    pub fn fit(uncertainties: &[f64], errors: &[f64], q: usize) -> Self {
+        assert_eq!(
+            uncertainties.len(),
+            errors.len(),
+            "QsCalibration: {} uncertainties vs {} errors",
+            uncertainties.len(),
+            errors.len()
+        );
+        assert!(!uncertainties.is_empty(), "QsCalibration: no samples");
+        assert!(q > 0, "QsCalibration: q must be positive");
+
+        let mut order: Vec<usize> = (0..uncertainties.len()).collect();
+        order.sort_by(|&a, &b| uncertainties[a].partial_cmp(&uncertainties[b]).unwrap());
+
+        let q = q.min(uncertainties.len());
+        let per = uncertainties.len() / q;
+        let mut segments = Vec::with_capacity(q);
+        for s in 0..q {
+            let lo = s * per;
+            let hi = if s == q - 1 { uncertainties.len() } else { (s + 1) * per };
+            let idx = &order[lo..hi];
+            if idx.is_empty() {
+                continue;
+            }
+            let mean_u = idx.iter().map(|&i| uncertainties[i]).sum::<f64>() / idx.len() as f64;
+            let mean_e = idx.iter().map(|&i| errors[i]).sum::<f64>() / idx.len() as f64;
+            let var_e = idx
+                .iter()
+                .map(|&i| (errors[i] - mean_e).powi(2))
+                .sum::<f64>()
+                / idx.len() as f64;
+            segments.push(SegmentStat {
+                mean_uncertainty: mean_u,
+                error_std: var_e.sqrt(),
+                count: idx.len(),
+            });
+        }
+
+        let (a0, a1) = least_squares(&segments);
+        let min_std = segments
+            .iter()
+            .map(|s| s.error_std)
+            .fold(f64::INFINITY, f64::min);
+        QsCalibration {
+            a0,
+            a1,
+            segments,
+            sigma_floor: (min_std / 10.0).max(1e-9),
+        }
+    }
+
+    /// Evaluates `σ = a₀ + a₁·u`, floored at `sigma_floor`.
+    pub fn sigma(&self, u: f64) -> f64 {
+        (self.a0 + self.a1 * u).max(self.sigma_floor)
+    }
+}
+
+/// Closed-form least squares of Eq. 9 over the segment points, with the
+/// negative-slope clamp described on [`QsCalibration::fit`].
+fn least_squares(segments: &[SegmentStat]) -> (f64, f64) {
+    let n = segments.len() as f64;
+    let mean_u: f64 = segments.iter().map(|s| s.mean_uncertainty).sum::<f64>() / n;
+    let mean_e: f64 = segments.iter().map(|s| s.error_std).sum::<f64>() / n;
+    let num: f64 = segments
+        .iter()
+        .map(|s| s.mean_uncertainty * s.error_std)
+        .sum::<f64>()
+        - n * mean_u * mean_e;
+    let den: f64 = segments
+        .iter()
+        .map(|s| s.mean_uncertainty.powi(2))
+        .sum::<f64>()
+        - n * mean_u * mean_u;
+    if den.abs() < 1e-15 {
+        return (mean_e, 0.0); // all segments share one uncertainty level
+    }
+    let a1 = num / den;
+    if a1 < 0.0 {
+        (mean_e, 0.0)
+    } else {
+        (mean_e - a1 * mean_u, a1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::rng::Rng;
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0) = 0, erf(∞) → 1, erf(1) ≈ 0.8427007929. The rational
+        // approximation is accurate to ~1.5e-7, not exact.
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_normalised() {
+        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+            let mut prev = -1.0;
+            for k in -50..=50 {
+                let x = k as f64 * 0.2;
+                let c = model.cdf(x, 0.0, 1.0);
+                assert!((0.0..=1.0).contains(&c), "{model:?} cdf({x}) = {c}");
+                assert!(c >= prev, "{model:?} cdf must be monotone");
+                prev = c;
+            }
+            assert!((model.cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-9, "{model:?} median at mean");
+            assert!(model.cdf(100.0, 0.0, 1.0) > 0.999_99);
+            assert!(model.cdf(-100.0, 0.0, 1.0) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn all_models_share_the_standard_deviation() {
+        // Numerically integrate x² dF(x) and confirm std ≈ 1 for each model.
+        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+            let mut var = 0.0;
+            let step = 0.01;
+            let mut x = -12.0;
+            while x < 12.0 {
+                let mass = model.interval_mass(x, x + step, 0.0, 1.0);
+                let mid = x + step / 2.0;
+                var += mid * mid * mass;
+                x += step;
+            }
+            assert!(
+                (var - 1.0).abs() < 0.01,
+                "{model:?}: variance {var} should be ≈ 1"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_mass_sums_to_one() {
+        let total: f64 = (-60..60)
+            .map(|k| ErrorModel::Gaussian.interval_mass(k as f64 * 0.2, (k + 1) as f64 * 0.2, 0.0, 1.0))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_recovers_a_linear_relationship() {
+        // Errors drawn with std = 0.5 + 2u: the fit should recover it.
+        let mut rng = Rng::new(1);
+        let mut us = Vec::new();
+        let mut es = Vec::new();
+        for _ in 0..20_000 {
+            let u = rng.uniform(0.1, 1.0);
+            us.push(u);
+            es.push(rng.gaussian(0.0, 0.5 + 2.0 * u));
+        }
+        let q = QsCalibration::fit(&us, &es, 40);
+        assert!((q.a1 - 2.0).abs() < 0.25, "slope {}", q.a1);
+        assert!((q.a0 - 0.5).abs() < 0.15, "intercept {}", q.a0);
+        assert_eq!(q.segments.len(), 40);
+        // σ evaluations interpolate the relationship.
+        assert!((q.sigma(0.5) - 1.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn sixty_eight_percent_of_errors_fall_within_sigma() {
+        // The paper's definition of Q_s: ~68 % of source errors below Q_s(u).
+        let mut rng = Rng::new(2);
+        let mut us = Vec::new();
+        let mut es = Vec::new();
+        for _ in 0..20_000 {
+            let u = rng.uniform(0.2, 0.8);
+            us.push(u);
+            es.push(rng.gaussian(0.0, 1.0 + u));
+        }
+        let q = QsCalibration::fit(&us, &es, 30);
+        let within = us
+            .iter()
+            .zip(&es)
+            .filter(|(&u, &e)| e.abs() <= q.sigma(u))
+            .count() as f64
+            / us.len() as f64;
+        assert!((within - 0.683).abs() < 0.03, "coverage {within}");
+    }
+
+    #[test]
+    fn negative_slope_is_clamped_to_constant() {
+        // Anti-correlated data: spread shrinks with u. The clamp yields a
+        // constant σ equal to the mean segment std.
+        let mut rng = Rng::new(3);
+        let mut us = Vec::new();
+        let mut es = Vec::new();
+        for _ in 0..5_000 {
+            let u = rng.uniform(0.1, 1.0);
+            us.push(u);
+            es.push(rng.gaussian(0.0, 2.0 - u));
+        }
+        let q = QsCalibration::fit(&us, &es, 20);
+        assert_eq!(q.a1, 0.0);
+        assert!(q.a0 > 0.5);
+        assert_eq!(q.sigma(0.1), q.sigma(5.0));
+    }
+
+    #[test]
+    fn sigma_never_degenerates() {
+        let q = QsCalibration::fit(&[0.1, 0.2, 0.3, 0.4], &[0.0, 0.0, 0.0, 0.0], 2);
+        assert!(q.sigma(0.0) > 0.0);
+        assert!(q.sigma(-10.0) > 0.0);
+    }
+
+    #[test]
+    fn q_larger_than_samples_is_tolerated() {
+        let q = QsCalibration::fit(&[0.1, 0.9], &[0.05, 0.5], 40);
+        assert!(q.segments.len() <= 2);
+        assert!(q.sigma(0.5).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        QsCalibration::fit(&[], &[], 10);
+    }
+}

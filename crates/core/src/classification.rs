@@ -1,0 +1,376 @@
+//! TASFAR as a classification plugin (the paper's Section VI, second
+//! future-work direction).
+//!
+//! "TASFAR may be used to explore the correlation among label classes of a
+//! classification task and generate soft pseudo-labels for uncertain data."
+//! — TASFAR, Sec. VI.
+//!
+//! The regression machinery transfers by treating the classifier's *logit
+//! vector* as a multi-dimensional regression target: per-logit density maps
+//! are estimated from the confident samples (capturing the scenario's class
+//! correlations — the "dark knowledge"), uncertain samples' logits are
+//! pseudo-labelled by posterior interpolation, and the softmax of the
+//! pseudo-logits becomes a **soft pseudo-label** for credibility-weighted
+//! cross-entropy fine-tuning.
+//!
+//! As the paper predicts, TASFAR alone is "not expected to show advantages
+//! over those approaches in classification tasks" — the tests below verify
+//! the mechanism is sound and non-destructive, which is exactly the plugin
+//! contract.
+
+use crate::adapt::{scenario_classifier, SourceCalibration, TasfarConfig};
+use crate::calibration::QsCalibration;
+use crate::density::{DensityMap1d, GridSpec};
+use crate::pseudo::PseudoLabelGenerator1d;
+use crate::uncertainty::McDropout;
+use tasfar_nn::layers::{Mode, Sequential};
+use tasfar_nn::loss::Loss;
+use tasfar_nn::optim::Adam;
+use tasfar_nn::tensor::Tensor;
+use tasfar_nn::train::{fit, TrainConfig};
+
+/// Numerically stable row-wise softmax.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let mut out = logits.clone();
+    for row in out.as_mut_slice().chunks_exact_mut(logits.cols().max(1)) {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            total += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= total;
+        }
+    }
+    out
+}
+
+/// Soft-target cross-entropy over logits, with per-sample weights.
+///
+/// `target` rows are probability vectors (soft labels); the gradient is the
+/// classic `softmax(pred) − target`, scaled per sample like the other
+/// losses in this workspace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftCrossEntropy;
+
+impl Loss for SoftCrossEntropy {
+    fn name(&self) -> &'static str {
+        "soft_ce"
+    }
+
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        assert_eq!(pred.shape(), target.shape(), "soft_ce: shape mismatch");
+        let probs = softmax_rows(pred);
+        probs
+            .iter_rows()
+            .zip(target.iter_rows())
+            .map(|(p, t)| {
+                p.iter()
+                    .zip(t)
+                    .map(|(&pi, &ti)| -ti * pi.max(1e-12).ln())
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
+        assert_eq!(pred.shape(), target.shape(), "soft_ce: shape mismatch");
+        let batch = pred.rows();
+        let scales: Vec<f64> = match weights {
+            None => vec![1.0 / batch.max(1) as f64; batch],
+            Some(w) => {
+                assert_eq!(w.len(), batch, "soft_ce: weight length mismatch");
+                let total: f64 = w.iter().sum();
+                assert!(total > 0.0, "soft_ce: weights must not sum to zero");
+                w.iter().map(|&wi| wi / total).collect()
+            }
+        };
+        let mut g = softmax_rows(pred).sub(target);
+        for (row, &s) in g
+            .as_mut_slice()
+            .chunks_exact_mut(pred.cols().max(1))
+            .zip(&scales)
+        {
+            for v in row {
+                *v *= s;
+            }
+        }
+        g
+    }
+}
+
+/// The classification-plugin outcome.
+#[derive(Debug)]
+pub struct SoftLabelOutcome {
+    /// Indices of the uncertain samples that received soft pseudo-labels.
+    pub uncertain: Vec<usize>,
+    /// Soft pseudo-labels (probability rows), aligned with `uncertain`.
+    pub soft_labels: Tensor,
+    /// Credibility weight per pseudo-labelled sample.
+    pub credibility: Vec<f64>,
+}
+
+/// Generates soft pseudo-labels for a classifier's uncertain target samples
+/// and fine-tunes it with credibility-weighted soft cross-entropy.
+///
+/// `calib` must have been produced by [`crate::adapt::calibrate_on_source`]
+/// against the *logit outputs* (i.e. the source dataset's `y` holding the
+/// one-hot/raw logit targets the classifier regresses to under its training
+/// loss).
+///
+/// Returns the soft-label products; `model` is fine-tuned in place.
+///
+/// # Panics
+/// Panics on an empty batch.
+pub fn adapt_classifier(
+    model: &mut Sequential,
+    calib: &SourceCalibration,
+    target_x: &Tensor,
+    cfg: &TasfarConfig,
+) -> SoftLabelOutcome {
+    assert!(target_x.rows() > 0, "adapt_classifier: empty target batch");
+    let mc = McDropout::new(cfg.mc_samples)
+        .relative(cfg.relative_uncertainty)
+        .predict(model, target_x);
+    let classifier = scenario_classifier(calib, cfg, &mc.uncertainty);
+    let split = classifier.split(&mc.uncertainty);
+    let k = mc.point.cols();
+
+    if split.confident.is_empty() || split.uncertain.is_empty() {
+        return SoftLabelOutcome {
+            uncertain: split.uncertain,
+            soft_labels: Tensor::zeros(0, k),
+            credibility: Vec::new(),
+        };
+    }
+
+    // Per-logit density maps from the confident samples (class correlation
+    // lives in the per-dimension logit distributions of the scenario).
+    let conf = mc.point.select_rows(&split.confident);
+    let sigma_of = |qs: &QsCalibration, std: f64| qs.sigma(std);
+    let maps: Vec<DensityMap1d> = (0..k)
+        .map(|d| {
+            let preds = conf.col(d);
+            let sigmas: Vec<f64> = split
+                .confident
+                .iter()
+                .map(|&i| sigma_of(&calib.qs[d], mc.std.get(i, d)))
+                .collect();
+            let grid = GridSpec::covering(&preds, cfg.grid_cell, 4);
+            DensityMap1d::estimate(&preds, &sigmas, grid, cfg.error_model)
+        })
+        .collect();
+
+    // Pseudo-label every uncertain sample's logits, then soften.
+    let mut pseudo_logits = Tensor::zeros(split.uncertain.len(), k);
+    let mut credibility = Vec::with_capacity(split.uncertain.len());
+    for (row, &i) in split.uncertain.iter().enumerate() {
+        let mut cred = 1.0;
+        for (d, map) in maps.iter().enumerate() {
+            let generator = PseudoLabelGenerator1d::new(map, classifier.tau, cfg.error_model);
+            let p = generator.generate(
+                mc.point.get(i, d),
+                sigma_of(&calib.qs[d], mc.std.get(i, d)),
+                mc.uncertainty[i].max(1e-12),
+            );
+            pseudo_logits.set(row, d, p.value[0]);
+            cred *= p.credibility.max(0.0);
+        }
+        credibility.push(cred.powf(1.0 / k as f64));
+    }
+    let soft_labels = softmax_rows(&pseudo_logits);
+
+    // Fine-tune: soft-CE on the pseudo-labelled uncertain samples plus
+    // self-labelled confident replay (the classifier's own soft outputs).
+    let n_unc = split.uncertain.len();
+    let mut rows: Vec<usize> = split.uncertain.clone();
+    rows.extend(&split.confident);
+    let conf_soft = softmax_rows(&conf);
+    let targets = Tensor::vstack(&[&soft_labels, &conf_soft]);
+    let mut weights = if cfg.use_credibility {
+        credibility.clone()
+    } else {
+        vec![1.0; n_unc]
+    };
+    weights.extend(vec![1.0; split.confident.len()]);
+
+    if weights.iter().sum::<f64>() > 0.0 {
+        let x_train = target_x.select_rows(&rows);
+        let mut opt = Adam::new(cfg.learning_rate);
+        let _ = fit(
+            model,
+            &mut opt,
+            &SoftCrossEntropy,
+            &x_train,
+            &targets,
+            Some(&weights),
+            &TrainConfig {
+                epochs: cfg.epochs,
+                batch_size: cfg.batch_size,
+                seed: cfg.seed,
+                mode: if cfg.finetune_dropout {
+                    Mode::Train
+                } else {
+                    Mode::Eval
+                },
+                early_stop: cfg.early_stop.clone(),
+                ..TrainConfig::default()
+            },
+        );
+    }
+
+    SoftLabelOutcome {
+        uncertain: split.uncertain,
+        soft_labels,
+        credibility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::calibrate_on_source;
+    use tasfar_data::Dataset;
+    use tasfar_nn::prelude::*;
+
+    #[test]
+    fn softmax_rows_is_a_distribution() {
+        let logits = Tensor::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        let p = softmax_rows(&logits);
+        for row in p.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&v| v > 0.0));
+        }
+        // Largest logit gets the largest probability.
+        assert!(p.get(0, 2) > p.get(0, 1) && p.get(0, 1) > p.get(0, 0));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_huge_logits() {
+        let logits = Tensor::from_rows(&[vec![1000.0, 999.0], vec![-1000.0, -1001.0]]);
+        let p = softmax_rows(&logits);
+        assert!(p.all_finite());
+        assert!(p.get(0, 0) > p.get(0, 1));
+    }
+
+    #[test]
+    fn soft_ce_gradient_matches_finite_differences() {
+        let pred = Tensor::from_rows(&[vec![0.3, -0.7, 1.1], vec![2.0, 0.1, -0.4]]);
+        let target = Tensor::from_rows(&[vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]);
+        let w = [1.0, 2.0];
+        let loss = SoftCrossEntropy;
+        let g = loss.grad(&pred, &target, Some(&w));
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = pred.clone();
+                plus.set(r, c, pred.get(r, c) + eps);
+                let mut minus = pred.clone();
+                minus.set(r, c, pred.get(r, c) - eps);
+                let num =
+                    (loss.value(&plus, &target, Some(&w)) - loss.value(&minus, &target, Some(&w)))
+                        / (2.0 * eps);
+                assert!(
+                    (num - g.get(r, c)).abs() < 1e-7,
+                    "({r},{c}): numeric {num} vs {}",
+                    g.get(r, c)
+                );
+            }
+        }
+    }
+
+    /// A 3-class toy classifier with a target scenario whose class prior is
+    /// skewed; the plugin should run end-to-end and not destroy accuracy
+    /// (the paper's stated expectation for TASFAR-alone on classification).
+    #[test]
+    fn plugin_is_sound_and_non_destructive() {
+        let mut rng = Rng::new(21);
+        let k = 3;
+        // Class centres in 2-D input space.
+        let centres = [(-1.0, 0.0), (1.0, 0.0), (0.0, 1.5)];
+        let gen = |n: usize, prior: [f64; 3], hard_p: f64, rng: &mut Rng| {
+            let mut x = Tensor::zeros(n, 2);
+            let mut y = Tensor::zeros(n, k); // one-hot logit targets
+            let mut labels = Vec::with_capacity(n);
+            for i in 0..n {
+                let c = rng.weighted_index(&prior);
+                let (cx, cy) = centres[c];
+                let noise = if rng.bernoulli(hard_p) { 0.9 } else { 0.25 };
+                x.set(i, 0, cx + rng.gaussian(0.0, noise));
+                x.set(i, 1, cy + rng.gaussian(0.0, noise));
+                // Regress to scaled one-hot logits.
+                for j in 0..k {
+                    y.set(i, j, if j == c { 3.0 } else { -3.0 });
+                }
+                labels.push(c);
+            }
+            (x, y, labels)
+        };
+        let (xs, ys, _) = gen(900, [1.0, 1.0, 1.0], 0.05, &mut rng);
+        let source = Dataset::new(xs, ys);
+        let mut model = Sequential::new()
+            .add(Dense::new(2, 32, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, &mut rng))
+            .add(Dense::new(32, k, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(5e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &source.x,
+            &source.y,
+            None,
+            &TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
+        );
+
+        let cfg = TasfarConfig {
+            grid_cell: 0.25,
+            epochs: 40,
+            learning_rate: 5e-4,
+            early_stop: None,
+            ..TasfarConfig::default()
+        };
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+        // Target scenario: class 2 dominates, 40 % hard inputs.
+        let (xt, _, labels) = gen(400, [0.15, 0.15, 0.7], 0.4, &mut rng);
+        let accuracy = |m: &mut Sequential| {
+            let probs = softmax_rows(&m.predict(&xt));
+            let correct = probs
+                .iter_rows()
+                .zip(&labels)
+                .filter(|(row, &c)| {
+                    let argmax = row
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0;
+                    argmax == c
+                })
+                .count();
+            correct as f64 / labels.len() as f64
+        };
+        let before = accuracy(&mut model);
+        let outcome = adapt_classifier(&mut model, &calib, &xt, &cfg);
+        let after = accuracy(&mut model);
+
+        assert!(!outcome.uncertain.is_empty(), "uncertain samples should exist");
+        // Soft labels are valid distributions.
+        for row in outcome.soft_labels.iter_rows() {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(outcome.credibility.iter().all(|&c| c >= 0.0 && c.is_finite()));
+        // The paper's contract: the plugin must not destroy accuracy.
+        assert!(
+            after >= before - 0.03,
+            "plugin degraded accuracy too much: {before:.3} → {after:.3}"
+        );
+    }
+}

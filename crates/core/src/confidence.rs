@@ -1,0 +1,190 @@
+//! The confidence classifier (paper Algorithm 1).
+//!
+//! The threshold τ is *not* tuned on the target: it is the η-quantile of the
+//! source-data uncertainties, fixed "after the source-model training"
+//! (Sec. III-B) and shipped with the model. On the target, samples whose
+//! uncertainty stays below τ are *confident* (their predictions feed the
+//! label-density estimator); the rest are *uncertain* (they receive
+//! pseudo-labels).
+
+use serde::{Deserialize, Serialize};
+
+/// A calibrated uncertainty threshold.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfidenceClassifier {
+    /// The uncertainty threshold τ.
+    pub tau: f64,
+    /// The source-data proportion η used to pick τ (paper default 0.9).
+    pub eta: f64,
+}
+
+/// The outcome of splitting a target batch.
+#[derive(Debug, Clone)]
+pub struct ConfidenceSplit {
+    /// Indices with `u ≤ τ` (confident).
+    pub confident: Vec<usize>,
+    /// Indices with `u > τ` (uncertain).
+    pub uncertain: Vec<usize>,
+}
+
+impl ConfidenceSplit {
+    /// Share of the batch classified uncertain.
+    pub fn uncertain_ratio(&self) -> f64 {
+        let total = self.confident.len() + self.uncertain.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.uncertain.len() as f64 / total as f64
+        }
+    }
+}
+
+impl ConfidenceClassifier {
+    /// Calibrates τ as the η-quantile of the source uncertainties.
+    ///
+    /// # Panics
+    /// Panics if `source_uncertainties` is empty, contains non-finite
+    /// values, or `eta` is outside `(0, 1)`.
+    pub fn calibrate(source_uncertainties: &[f64], eta: f64) -> Self {
+        assert!(
+            !source_uncertainties.is_empty(),
+            "ConfidenceClassifier: no source uncertainties"
+        );
+        assert!(
+            (0.0..1.0).contains(&eta) && eta > 0.0,
+            "ConfidenceClassifier: eta ({eta}) must be in (0, 1)"
+        );
+        assert!(
+            source_uncertainties.iter().all(|u| u.is_finite()),
+            "ConfidenceClassifier: non-finite uncertainty"
+        );
+        let mut sorted = source_uncertainties.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ConfidenceClassifier {
+            tau: quantile_sorted(&sorted, eta),
+            eta,
+        }
+    }
+
+    /// Builds a classifier directly from a known τ (used in ablations).
+    pub fn from_tau(tau: f64, eta: f64) -> Self {
+        assert!(tau > 0.0 && tau.is_finite(), "ConfidenceClassifier: bad tau {tau}");
+        ConfidenceClassifier { tau, eta }
+    }
+
+    /// A classifier with τ multiplied by `factor` — used for scenario-level
+    /// τ rescaling (see `TasfarConfig::scenario_tau_rescale`).
+    ///
+    /// # Panics
+    /// Panics unless `factor > 0`.
+    pub fn rescaled(&self, factor: f64) -> ConfidenceClassifier {
+        assert!(factor > 0.0 && factor.is_finite(), "rescaled: bad factor {factor}");
+        ConfidenceClassifier {
+            tau: self.tau * factor,
+            eta: self.eta,
+        }
+    }
+
+    /// Splits a batch by uncertainty (Algorithm 1's loop).
+    pub fn split(&self, uncertainties: &[f64]) -> ConfidenceSplit {
+        let mut confident = Vec::new();
+        let mut uncertain = Vec::new();
+        for (i, &u) in uncertainties.iter().enumerate() {
+            if u > self.tau {
+                uncertain.push(i);
+            } else {
+                confident.push(i);
+            }
+        }
+        ConfidenceSplit {
+            confident,
+            uncertain,
+        }
+    }
+
+    /// True when a single uncertainty counts as confident.
+    pub fn is_confident(&self, u: f64) -> bool {
+        u <= self.tau
+    }
+}
+
+/// Linear-interpolated quantile of an ascending-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_the_eta_quantile() {
+        let u: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let c = ConfidenceClassifier::calibrate(&u, 0.9);
+        // 90th percentile of 1..=100 with linear interpolation: 90.1.
+        assert!((c.tau - 90.1).abs() < 1e-9, "tau {}", c.tau);
+    }
+
+    #[test]
+    fn roughly_eta_of_source_is_confident() {
+        let u: Vec<f64> = (0..1000).map(|i| (i as f64).sin().abs() + 0.01).collect();
+        let c = ConfidenceClassifier::calibrate(&u, 0.9);
+        let split = c.split(&u);
+        let conf_ratio = split.confident.len() as f64 / 1000.0;
+        assert!((conf_ratio - 0.9).abs() < 0.02, "confident ratio {conf_ratio}");
+    }
+
+    #[test]
+    fn split_partitions_all_indices() {
+        let c = ConfidenceClassifier::from_tau(0.5, 0.9);
+        let u = [0.1, 0.9, 0.5, 0.51, 0.49];
+        let s = c.split(&u);
+        assert_eq!(s.confident, vec![0, 2, 4]);
+        assert_eq!(s.uncertain, vec![1, 3]);
+        assert!((s.uncertain_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_is_confident() {
+        let c = ConfidenceClassifier::from_tau(1.0, 0.9);
+        assert!(c.is_confident(1.0));
+        assert!(!c.is_confident(1.0 + 1e-12));
+    }
+
+    #[test]
+    fn shifted_target_has_more_uncertain_than_eta() {
+        // The property Fig. 16 reports: on target data with a domain gap the
+        // uncertain share exceeds 1 − η.
+        let source: Vec<f64> = (0..500).map(|i| 0.5 + 0.3 * ((i as f64) * 0.7).sin()).collect();
+        let target: Vec<f64> = source.iter().map(|u| u * 1.5).collect();
+        let c = ConfidenceClassifier::calibrate(&source, 0.9);
+        let s = c.split(&target);
+        assert!(s.uncertain_ratio() > 0.1);
+    }
+
+    #[test]
+    fn empty_split_ratio_is_zero() {
+        let c = ConfidenceClassifier::from_tau(1.0, 0.9);
+        assert_eq!(c.split(&[]).uncertain_ratio(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no source uncertainties")]
+    fn empty_calibration_panics() {
+        ConfidenceClassifier::calibrate(&[], 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta")]
+    fn bad_eta_panics() {
+        ConfidenceClassifier::calibrate(&[1.0], 1.5);
+    }
+}

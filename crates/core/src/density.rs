@@ -1,0 +1,472 @@
+//! Label density maps (paper Sec. III-C, Algorithm 2).
+//!
+//! A density map is a grid over label space holding the (estimated)
+//! probability mass of target labels per cell. The ground-truth map counts
+//! labels directly (Eq. 4); the *estimated* map — the one TASFAR can build
+//! without labels — accumulates, for every confident sample, the mass of its
+//! instance-label distribution `N(ỹ, Q_s(u)²)` falling in each cell
+//! (Eq. 10–12). Both 1-D maps (scalar labels; the prediction tasks) and
+//! joint 2-D maps (the PDR displacement labels of Fig. 6) are provided.
+
+use crate::calibration::ErrorModel;
+use tasfar_nn::tensor::Tensor;
+
+/// A uniform 1-D grid over a label range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// The smallest label value covered, `y₀`.
+    pub origin: f64,
+    /// Cell width `g`.
+    pub cell: f64,
+    /// Number of cells `J`.
+    pub bins: usize,
+}
+
+impl GridSpec {
+    /// A grid covering `[lo, hi]` with the given cell width.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `cell > 0`.
+    pub fn from_range(lo: f64, hi: f64, cell: f64) -> Self {
+        assert!(lo < hi, "GridSpec: lo ({lo}) must be below hi ({hi})");
+        assert!(cell > 0.0, "GridSpec: cell must be positive");
+        let bins = (((hi - lo) / cell).ceil() as usize).max(1);
+        GridSpec {
+            origin: lo,
+            cell,
+            bins,
+        }
+    }
+
+    /// A grid covering the observed values padded by `pad` cells each side.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or `cell <= 0`.
+    pub fn covering(values: &[f64], cell: f64, pad: usize) -> Self {
+        assert!(!values.is_empty(), "GridSpec::covering: no values");
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span_pad = pad as f64 * cell;
+        Self::from_range(lo - span_pad, (hi + span_pad).max(lo - span_pad + cell), cell)
+    }
+
+    /// Centre of cell `i`, `Ȳᵢ` (Eq. 13/Alg. 3's grid centre).
+    pub fn center(&self, i: usize) -> f64 {
+        self.origin + (i as f64 + 0.5) * self.cell
+    }
+
+    /// `[lo, hi)` edges of cell `i`.
+    pub fn edges(&self, i: usize) -> (f64, f64) {
+        let lo = self.origin + i as f64 * self.cell;
+        (lo, lo + self.cell)
+    }
+
+    /// The cell index containing `y`, or `None` if it falls off-grid.
+    pub fn index_of(&self, y: f64) -> Option<usize> {
+        let rel = (y - self.origin) / self.cell;
+        if rel < 0.0 {
+            return None;
+        }
+        let i = rel.floor() as usize;
+        (i < self.bins).then_some(i)
+    }
+
+    /// Total covered span.
+    pub fn span(&self) -> f64 {
+        self.cell * self.bins as f64
+    }
+}
+
+/// A 1-D label density map: probability mass per grid cell.
+#[derive(Debug, Clone)]
+pub struct DensityMap1d {
+    /// The grid.
+    pub spec: GridSpec,
+    mass: Vec<f64>,
+}
+
+impl DensityMap1d {
+    /// Ground-truth map from labels (Eq. 4). Labels falling off-grid are
+    /// ignored, matching the indicator in Eq. 4; normalisation is by the
+    /// total sample count, so heavy off-grid leakage shows as mass < 1.
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty.
+    pub fn from_labels(labels: &[f64], spec: GridSpec) -> Self {
+        assert!(!labels.is_empty(), "DensityMap1d: no labels");
+        let mut mass = vec![0.0; spec.bins];
+        for &y in labels {
+            if let Some(i) = spec.index_of(y) {
+                mass[i] += 1.0;
+            }
+        }
+        let inv = 1.0 / labels.len() as f64;
+        for m in &mut mass {
+            *m *= inv;
+        }
+        DensityMap1d { spec, mass }
+    }
+
+    /// Estimated map from confident predictions (Algorithm 2): each sample
+    /// contributes the probability mass of its instance-label distribution
+    /// per cell, and the map is normalised by the sample count (Eq. 12).
+    ///
+    /// # Panics
+    /// Panics if the slices are empty or disagree, or any `sigma <= 0`.
+    pub fn estimate(
+        preds: &[f64],
+        sigmas: &[f64],
+        spec: GridSpec,
+        model: ErrorModel,
+    ) -> Self {
+        assert!(!preds.is_empty(), "DensityMap1d::estimate: no predictions");
+        assert_eq!(preds.len(), sigmas.len(), "DensityMap1d::estimate: length mismatch");
+        let mut mass = vec![0.0; spec.bins];
+        let half = model.support_halfwidth_sigmas();
+        for (&mu, &sigma) in preds.iter().zip(sigmas) {
+            assert!(sigma > 0.0, "DensityMap1d::estimate: sigma must be positive");
+            // Only cells within the model's effective support carry visible
+            // mass; skipping the rest makes map construction O(n·σ/g)
+            // instead of O(n·J).
+            let lo_cell = spec.index_of(mu - half * sigma).unwrap_or(0);
+            let hi_cell = if mu + half * sigma >= spec.origin + spec.span() {
+                spec.bins
+            } else {
+                spec.index_of(mu + half * sigma)
+                    .map(|i| (i + 1).min(spec.bins))
+                    .unwrap_or(0)
+            };
+            for (i, m) in mass.iter_mut().enumerate().take(hi_cell).skip(lo_cell) {
+                let (a, b) = spec.edges(i);
+                *m += model.interval_mass(a, b, mu, sigma);
+            }
+        }
+        let inv = 1.0 / preds.len() as f64;
+        for m in &mut mass {
+            *m *= inv;
+        }
+        DensityMap1d { spec, mass }
+    }
+
+    /// Probability mass of cell `i`, `M(i)`.
+    pub fn mass(&self, i: usize) -> f64 {
+        self.mass[i]
+    }
+
+    /// All cell masses.
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Total mass on the grid (≤ 1; < 1 when tails leak off-grid).
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Mean cell mass, `d̄ᵢ` of Eq. 19 (the global reference density).
+    pub fn mean_mass(&self) -> f64 {
+        self.total_mass() / self.spec.bins as f64
+    }
+
+    /// Probability *density* (mass / cell width) of cell `i` — the
+    /// resolution-independent quantity compared in Fig. 7.
+    pub fn pdf(&self, i: usize) -> f64 {
+        self.mass[i] / self.spec.cell
+    }
+
+    /// Mean absolute difference of the probability densities of two maps on
+    /// the same grid (the Fig. 7 estimator-quality metric).
+    ///
+    /// # Panics
+    /// Panics if the grids differ.
+    pub fn mae(&self, other: &DensityMap1d) -> f64 {
+        assert_eq!(self.spec, other.spec, "DensityMap1d::mae: grids differ");
+        let n = self.spec.bins as f64;
+        self.mass
+            .iter()
+            .zip(&other.mass)
+            .map(|(a, b)| (a - b).abs() / self.spec.cell)
+            .sum::<f64>()
+            / n
+    }
+}
+
+/// A joint 2-D label density map (e.g. PDR displacement labels, Fig. 6).
+/// Cells are indexed `(ix, iy)` and stored row-major in `iy`.
+#[derive(Debug, Clone)]
+pub struct DensityMap2d {
+    /// Grid along the first label dimension.
+    pub xspec: GridSpec,
+    /// Grid along the second label dimension.
+    pub yspec: GridSpec,
+    mass: Vec<f64>,
+}
+
+impl DensityMap2d {
+    fn flat(&self, ix: usize, iy: usize) -> usize {
+        iy * self.xspec.bins + ix
+    }
+
+    /// Ground-truth joint map from `(n, 2)` labels (2-D analogue of Eq. 4).
+    ///
+    /// # Panics
+    /// Panics if `labels` is empty or not two-dimensional.
+    pub fn from_labels(labels: &Tensor, xspec: GridSpec, yspec: GridSpec) -> Self {
+        assert!(labels.rows() > 0, "DensityMap2d: no labels");
+        assert_eq!(labels.cols(), 2, "DensityMap2d: labels must be (n, 2)");
+        let mut map = DensityMap2d {
+            mass: vec![0.0; xspec.bins * yspec.bins],
+            xspec,
+            yspec,
+        };
+        for row in labels.iter_rows() {
+            if let (Some(ix), Some(iy)) =
+                (map.xspec.index_of(row[0]), map.yspec.index_of(row[1]))
+            {
+                let k = map.flat(ix, iy);
+                map.mass[k] += 1.0;
+            }
+        }
+        let inv = 1.0 / labels.rows() as f64;
+        for m in &mut map.mass {
+            *m *= inv;
+        }
+        map
+    }
+
+    /// Estimated joint map from confident predictions with per-dimension
+    /// spreads (`(n, 2)` each). Dimensions are treated as independent within
+    /// an instance (diagonal covariance), per the paper's multi-dimensional
+    /// extension in Sec. III-D, but the *map* is joint, so cross-dimension
+    /// structure of the label distribution (the rings of Fig. 6) is kept.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or non-positive sigmas.
+    pub fn estimate(
+        preds: &Tensor,
+        sigmas: &Tensor,
+        xspec: GridSpec,
+        yspec: GridSpec,
+        model: ErrorModel,
+    ) -> Self {
+        assert!(preds.rows() > 0, "DensityMap2d::estimate: no predictions");
+        assert_eq!(preds.shape(), sigmas.shape(), "DensityMap2d::estimate: shape mismatch");
+        assert_eq!(preds.cols(), 2, "DensityMap2d::estimate: predictions must be (n, 2)");
+        let mut map = DensityMap2d {
+            mass: vec![0.0; xspec.bins * yspec.bins],
+            xspec,
+            yspec,
+        };
+        // Per-axis interval masses are separable; precompute per sample.
+        let mut x_mass = vec![0.0; map.xspec.bins];
+        let mut y_mass = vec![0.0; map.yspec.bins];
+        for (p, s) in preds.iter_rows().zip(sigmas.iter_rows()) {
+            assert!(s[0] > 0.0 && s[1] > 0.0, "DensityMap2d::estimate: sigma must be positive");
+            for (i, xm) in x_mass.iter_mut().enumerate() {
+                let (a, b) = map.xspec.edges(i);
+                *xm = model.interval_mass(a, b, p[0], s[0]);
+            }
+            for (j, ym) in y_mass.iter_mut().enumerate() {
+                let (a, b) = map.yspec.edges(j);
+                *ym = model.interval_mass(a, b, p[1], s[1]);
+            }
+            for (j, &ym) in y_mass.iter().enumerate() {
+                if ym < 1e-12 {
+                    continue;
+                }
+                let row = &mut map.mass[j * map.xspec.bins..(j + 1) * map.xspec.bins];
+                for (cell, &xm) in row.iter_mut().zip(&x_mass) {
+                    *cell += xm * ym;
+                }
+            }
+        }
+        let inv = 1.0 / preds.rows() as f64;
+        for m in &mut map.mass {
+            *m *= inv;
+        }
+        map
+    }
+
+    /// Probability mass of cell `(ix, iy)`.
+    pub fn mass(&self, ix: usize, iy: usize) -> f64 {
+        self.mass[self.flat(ix, iy)]
+    }
+
+    /// All cell masses, row-major in the second dimension.
+    pub fn masses(&self) -> &[f64] {
+        &self.mass
+    }
+
+    /// Total on-grid mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Mean cell mass (the 2-D `d̄ᵢ`).
+    pub fn mean_mass(&self) -> f64 {
+        self.total_mass() / self.mass.len() as f64
+    }
+
+    /// Mean absolute probability-density difference (2-D Fig. 7 metric).
+    ///
+    /// # Panics
+    /// Panics if the grids differ.
+    pub fn mae(&self, other: &DensityMap2d) -> f64 {
+        assert_eq!(self.xspec, other.xspec, "DensityMap2d::mae: x grids differ");
+        assert_eq!(self.yspec, other.yspec, "DensityMap2d::mae: y grids differ");
+        let area = self.xspec.cell * self.yspec.cell;
+        self.mass
+            .iter()
+            .zip(&other.mass)
+            .map(|(a, b)| (a - b).abs() / area)
+            .sum::<f64>()
+            / self.mass.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::rng::Rng;
+
+    #[test]
+    fn grid_geometry() {
+        let g = GridSpec::from_range(0.0, 1.0, 0.25);
+        assert_eq!(g.bins, 4);
+        assert_eq!(g.center(0), 0.125);
+        assert_eq!(g.edges(3), (0.75, 1.0));
+        assert_eq!(g.index_of(0.3), Some(1));
+        assert_eq!(g.index_of(-0.1), None);
+        assert_eq!(g.index_of(1.5), None);
+        assert_eq!(g.span(), 1.0);
+    }
+
+    #[test]
+    fn covering_pads_the_range() {
+        let g = GridSpec::covering(&[1.0, 3.0], 0.5, 2);
+        assert!(g.origin <= 0.0);
+        assert!(g.origin + g.span() >= 4.0);
+        assert!(g.index_of(1.0).is_some() && g.index_of(3.0).is_some());
+    }
+
+    #[test]
+    fn from_labels_counts_and_normalises() {
+        let g = GridSpec::from_range(0.0, 1.0, 0.5);
+        let m = DensityMap1d::from_labels(&[0.1, 0.2, 0.7, 5.0], g);
+        // Off-grid label (5.0) is dropped but counted in the normaliser.
+        assert_eq!(m.mass(0), 0.5);
+        assert_eq!(m.mass(1), 0.25);
+        assert_eq!(m.total_mass(), 0.75);
+    }
+
+    #[test]
+    fn estimate_concentrates_mass_near_predictions() {
+        let g = GridSpec::from_range(-3.0, 3.0, 0.1);
+        let m = DensityMap1d::estimate(&[0.0], &[0.2], g, ErrorModel::Gaussian);
+        // Mass near 0 should dwarf mass near the edges.
+        let centre = m.spec.index_of(0.0).unwrap();
+        assert!(m.mass(centre) > 50.0 * m.mass(2).max(1e-12));
+        assert!((m.total_mass() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_converges_to_truth_with_accurate_predictions() {
+        // Predictions == labels and small σ: estimated ≈ ground truth.
+        let mut rng = Rng::new(1);
+        let labels: Vec<f64> = (0..5000).map(|_| rng.gaussian(1.0, 0.5)).collect();
+        let spec = GridSpec::from_range(-1.0, 3.0, 0.2);
+        let truth = DensityMap1d::from_labels(&labels, spec.clone());
+        let sigmas = vec![0.05; labels.len()];
+        let est = DensityMap1d::estimate(&labels, &sigmas, spec, ErrorModel::Gaussian);
+        assert!(est.mae(&truth) < 0.05, "mae {}", est.mae(&truth));
+    }
+
+    #[test]
+    fn mae_is_zero_for_identical_maps() {
+        let g = GridSpec::from_range(0.0, 1.0, 0.1);
+        let m = DensityMap1d::from_labels(&[0.4, 0.6], g);
+        assert_eq!(m.mae(&m.clone()), 0.0);
+    }
+
+    #[test]
+    fn mae_approaches_two_over_span_for_disjoint_spikes() {
+        // Fig. 7's small-grid asymptote: for disjoint unit-mass spikes the
+        // density MAE tends to (1 + 1)/span.
+        let g = GridSpec::from_range(0.0, 1.0, 0.001);
+        let a = DensityMap1d::from_labels(&[0.25], g.clone());
+        let b = DensityMap1d::from_labels(&[0.75], g);
+        let expected = 2.0 / 1.0 / a.spec.bins as f64 / a.spec.cell; // 2 spikes spread over J cells
+        assert!((a.mae(&b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coarse_grids_wash_out_differences() {
+        // Fig. 7's large-grid asymptote: one cell covering everything makes
+        // any two (fully on-grid) distributions identical.
+        let g = GridSpec::from_range(-10.0, 10.0, 20.0);
+        let a = DensityMap1d::from_labels(&[1.0, 2.0, 3.0], g.clone());
+        let b = DensityMap1d::from_labels(&[-5.0, 0.0, 5.0], g);
+        assert_eq!(a.mae(&b), 0.0);
+    }
+
+    #[test]
+    fn map2d_counts_cells() {
+        let xs = GridSpec::from_range(-1.0, 1.0, 0.5);
+        let ys = GridSpec::from_range(-1.0, 1.0, 0.5);
+        let labels = Tensor::from_rows(&[vec![-0.9, -0.9], vec![0.9, 0.9], vec![0.9, 0.9]]);
+        let m = DensityMap2d::from_labels(&labels, xs, ys);
+        assert!((m.mass(0, 0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.mass(3, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map2d_estimate_matches_truth_for_tight_predictions() {
+        let mut rng = Rng::new(2);
+        // Ring-shaped labels, like PDR displacements.
+        let mut rows = Vec::new();
+        for _ in 0..4000 {
+            let theta = rng.uniform(0.0, std::f64::consts::TAU);
+            let r = rng.gaussian(0.7, 0.05);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+        }
+        let labels = Tensor::from_rows(&rows);
+        let xs = GridSpec::from_range(-1.2, 1.2, 0.1);
+        let ys = GridSpec::from_range(-1.2, 1.2, 0.1);
+        let truth = DensityMap2d::from_labels(&labels, xs.clone(), ys.clone());
+        let sigmas = Tensor::full(labels.rows(), 2, 0.03);
+        let est = DensityMap2d::estimate(&labels, &sigmas, xs, ys, ErrorModel::Gaussian);
+        assert!(est.mae(&truth) < 0.25, "mae {}", est.mae(&truth));
+        // The ring structure shows: centre cell nearly empty, ring cells full.
+        let cx = est.xspec.index_of(0.0).unwrap();
+        let cy = est.yspec.index_of(0.0).unwrap();
+        let rx = est.xspec.index_of(0.7).unwrap();
+        assert!(est.mass(rx, cy) > 5.0 * est.mass(cx, cy));
+    }
+
+    #[test]
+    fn estimate_mass_conserved_on_wide_grid() {
+        let g = GridSpec::from_range(-50.0, 50.0, 0.5);
+        let m = DensityMap1d::estimate(&[0.0, 1.0, -2.0], &[1.0, 2.0, 0.5], g, ErrorModel::Laplace);
+        assert!((m.total_mass() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "grids differ")]
+    fn mae_on_different_grids_panics() {
+        let a = DensityMap1d::from_labels(&[0.5], GridSpec::from_range(0.0, 1.0, 0.1));
+        let b = DensityMap1d::from_labels(&[0.5], GridSpec::from_range(0.0, 1.0, 0.2));
+        let _ = a.mae(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn estimate_rejects_zero_sigma() {
+        DensityMap1d::estimate(
+            &[0.0],
+            &[0.0],
+            GridSpec::from_range(0.0, 1.0, 0.1),
+            ErrorModel::Gaussian,
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Human-readable diagnostics of an adaptation run.
+//!
+//! Operators deploying TASFAR need to judge, *without labels*, whether an
+//! adaptation was healthy: did the confidence split produce a usable
+//! partition, did the density map carry structure, did the credibilities
+//! spread, did the fine-tune converge. [`AdaptationDiagnostics`] condenses
+//! an [`AdaptationOutcome`] into exactly those label-free indicators.
+
+use crate::adapt::{AdaptationOutcome, BuiltMaps};
+use std::fmt;
+
+/// Label-free health indicators of one adaptation run.
+#[derive(Debug, Clone)]
+pub struct AdaptationDiagnostics {
+    /// Why the run was skipped, if it was.
+    pub skipped: Option<&'static str>,
+    /// Samples in the target batch.
+    pub batch_size: usize,
+    /// Share classified uncertain.
+    pub uncertain_ratio: f64,
+    /// Share of pseudo-labels that were informative (non-fallback).
+    pub informative_ratio: f64,
+    /// Credibility distribution quartiles `(q25, median, q75)`.
+    pub credibility_quartiles: (f64, f64, f64),
+    /// Mean absolute shift between predictions and pseudo-labels, per label
+    /// dimension — how hard the prior is pulling.
+    pub mean_pseudo_shift: Vec<f64>,
+    /// Density-map concentration: the share of total mass in the densest
+    /// 10 % of cells (≈0.1 for a flat map; →1 for a spiked map). A flat map
+    /// means the scenario prior is uninformative (the paper's Fig. 22
+    /// failure signature).
+    pub map_concentration: f64,
+    /// Fine-tune epochs actually run.
+    pub epochs_run: usize,
+    /// First-to-last training-loss ratio (>1 means the loss fell).
+    pub loss_improvement: f64,
+}
+
+fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let at = |q: f64| values[((values.len() - 1) as f64 * q).round() as usize];
+    (at(0.25), at(0.5), at(0.75))
+}
+
+fn concentration(mut masses: Vec<f64>) -> f64 {
+    let total: f64 = masses.iter().sum();
+    if total <= 0.0 || masses.is_empty() {
+        return 0.0;
+    }
+    masses.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let top = (masses.len() as f64 * 0.1).ceil() as usize;
+    masses.iter().take(top.max(1)).sum::<f64>() / total
+}
+
+impl AdaptationDiagnostics {
+    /// Summarises an adaptation outcome.
+    pub fn from_outcome(outcome: &AdaptationOutcome) -> Self {
+        let batch_size = outcome.split.confident.len() + outcome.split.uncertain.len();
+        let informative = outcome.pseudo.iter().filter(|p| p.informative).count();
+        let mut creds: Vec<f64> = outcome
+            .pseudo
+            .iter()
+            .filter(|p| p.informative)
+            .map(|p| p.credibility)
+            .collect();
+        let credibility_quartiles = quartiles(&mut creds);
+
+        let dims = outcome.mc.point.cols();
+        let mut shift = vec![0.0; dims];
+        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+            for (d, s) in shift.iter_mut().enumerate() {
+                *s += (outcome.pseudo[row].value[d] - outcome.mc.point.get(i, d)).abs();
+            }
+        }
+        if !outcome.split.uncertain.is_empty() {
+            for s in &mut shift {
+                *s /= outcome.split.uncertain.len() as f64;
+            }
+        }
+
+        let map_concentration = match &outcome.maps {
+            Some(BuiltMaps::Joint2d(m)) => concentration(m.masses().to_vec()),
+            Some(BuiltMaps::PerDim(maps)) => {
+                let per: Vec<f64> = maps
+                    .iter()
+                    .map(|m| concentration(m.masses().to_vec()))
+                    .collect();
+                per.iter().sum::<f64>() / per.len().max(1) as f64
+            }
+            None => 0.0,
+        };
+
+        let loss_improvement = match (
+            outcome.fit.epoch_losses.first(),
+            outcome.fit.epoch_losses.last(),
+        ) {
+            (Some(&first), Some(&last)) if last > 0.0 => first / last,
+            _ => 1.0,
+        };
+
+        AdaptationDiagnostics {
+            skipped: outcome.skipped,
+            batch_size,
+            uncertain_ratio: outcome.split.uncertain_ratio(),
+            informative_ratio: if outcome.pseudo.is_empty() {
+                0.0
+            } else {
+                informative as f64 / outcome.pseudo.len() as f64
+            },
+            credibility_quartiles,
+            mean_pseudo_shift: shift,
+            map_concentration,
+            epochs_run: outcome.fit.epoch_losses.len(),
+            loss_improvement,
+        }
+    }
+
+    /// A coarse verdict: `true` when the run shows the signatures of a
+    /// productive adaptation (not skipped, some uncertain data, informative
+    /// pseudo-labels, a structured map, a falling loss).
+    pub fn looks_healthy(&self) -> bool {
+        self.skipped.is_none()
+            && self.uncertain_ratio > 0.01
+            && self.informative_ratio > 0.5
+            && self.map_concentration > 0.2
+            && self.loss_improvement > 1.0
+    }
+}
+
+impl fmt::Display for AdaptationDiagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(reason) = self.skipped {
+            return writeln!(f, "adaptation skipped: {reason}");
+        }
+        writeln!(f, "adaptation diagnostics")?;
+        writeln!(f, "  batch size          {}", self.batch_size)?;
+        writeln!(f, "  uncertain ratio     {:.1}%", 100.0 * self.uncertain_ratio)?;
+        writeln!(f, "  informative pseudo  {:.1}%", 100.0 * self.informative_ratio)?;
+        let (q25, q50, q75) = self.credibility_quartiles;
+        writeln!(f, "  credibility q25/50/75  {q25:.3} / {q50:.3} / {q75:.3}")?;
+        let shifts: Vec<String> = self
+            .mean_pseudo_shift
+            .iter()
+            .map(|s| format!("{s:.4}"))
+            .collect();
+        writeln!(f, "  mean pseudo shift   [{}]", shifts.join(", "))?;
+        writeln!(f, "  map concentration   {:.2} (top-10% cells' mass share)", self.map_concentration)?;
+        writeln!(
+            f,
+            "  fine-tune           {} epochs, loss fell {:.2}x",
+            self.epochs_run, self.loss_improvement
+        )?;
+        writeln!(
+            f,
+            "  verdict             {}",
+            if self.looks_healthy() { "healthy" } else { "check the indicators above" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::{adapt, calibrate_on_source, TasfarConfig};
+    use tasfar_data::Dataset;
+    use tasfar_nn::prelude::*;
+
+    fn toy_outcome(cluster: f64) -> AdaptationOutcome {
+        let mut rng = Rng::new(31);
+        let n_src = 500;
+        let mut xs = Tensor::zeros(n_src, 2);
+        let mut ys = Tensor::zeros(n_src, 1);
+        for i in 0..n_src {
+            let y = rng.uniform(-1.0, 1.0);
+            let hard = rng.bernoulli(0.05);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xs.set(i, 0, y + noise);
+            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            ys.set(i, 0, y);
+        }
+        let source = Dataset::new(xs, ys);
+        let mut model = Sequential::new()
+            .add(Dense::new(2, 24, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, &mut rng))
+            .add(Dense::new(24, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(5e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &source.x,
+            &source.y,
+            None,
+            &TrainConfig { epochs: 100, batch_size: 32, ..TrainConfig::default() },
+        );
+        let cfg = TasfarConfig {
+            grid_cell: 0.05,
+            epochs: 30,
+            early_stop: None,
+            ..TasfarConfig::default()
+        };
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let mut xt = Tensor::zeros(300, 2);
+        for i in 0..300 {
+            let y = rng.gaussian(cluster, 0.05);
+            let hard = rng.bernoulli(0.4);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xt.set(i, 0, y + noise);
+            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+        }
+        adapt(&mut model, &calib, &xt, &Mse, &cfg)
+    }
+
+    #[test]
+    fn healthy_run_is_diagnosed_healthy() {
+        let outcome = toy_outcome(0.5);
+        let diag = AdaptationDiagnostics::from_outcome(&outcome);
+        assert!(diag.skipped.is_none());
+        assert!(diag.uncertain_ratio > 0.05);
+        assert!(diag.informative_ratio > 0.9);
+        assert!(diag.map_concentration > 0.3, "clustered labels ⇒ spiked map, got {}", diag.map_concentration);
+        assert!(diag.loss_improvement > 1.0);
+        assert!(diag.looks_healthy());
+        // Display renders without panicking and mentions the verdict.
+        let text = diag.to_string();
+        assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn quartiles_are_ordered() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        let (q25, q50, q75) = quartiles(&mut v);
+        assert!(q25 <= q50 && q50 <= q75);
+        assert_eq!(q50, 3.0);
+    }
+
+    #[test]
+    fn concentration_extremes() {
+        // Flat map: top-10% holds ~10%.
+        let flat = vec![1.0; 100];
+        assert!((concentration(flat) - 0.1).abs() < 1e-9);
+        // Spiked map: everything in one cell.
+        let mut spiked = vec![0.0; 100];
+        spiked[42] = 1.0;
+        assert_eq!(concentration(spiked), 1.0);
+        // Degenerate inputs.
+        assert_eq!(concentration(Vec::new()), 0.0);
+        assert_eq!(concentration(vec![0.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn skipped_outcome_displays_reason() {
+        let outcome = {
+            let mut o = toy_outcome(0.5);
+            o.skipped = Some("test reason");
+            o
+        };
+        let diag = AdaptationDiagnostics::from_outcome(&outcome);
+        assert!(!diag.looks_healthy());
+        assert!(diag.to_string().contains("test reason"));
+    }
+}

@@ -1,0 +1,81 @@
+//! # tasfar-core — Target-Agnostic Source-Free domain adaptation for regression
+//!
+//! A from-scratch Rust implementation of **TASFAR** (He, Xia, Chen, Li,
+//! Chan — *Target-agnostic Source-free Domain Adaptation for Regression
+//! Tasks*, ICDE 2024). TASFAR adapts a pre-trained regression model to an
+//! unlabeled target domain **without source data and without any prior
+//! knowledge of the domain gap**, by exploiting one observation: target
+//! labels originate from the same scenario as target inputs, so their
+//! distribution is itself a learnable prior.
+//!
+//! The pipeline (paper Fig. 1):
+//!
+//! 1. [`uncertainty`] — MC-dropout predictions + uncertainty `u` per sample.
+//! 2. [`confidence`] — Algorithm 1: split target data at the threshold τ
+//!    calibrated on source data (the η-quantile of source uncertainties).
+//! 3. [`calibration`] — the source-side fit `σ = Q_s(u)` mapping uncertainty
+//!    to an error spread (Eq. 6–9), with pluggable distribution families.
+//! 4. [`density`] — Algorithm 2: accumulate the confident samples'
+//!    instance-label distributions into a label density map (Eq. 10–12).
+//! 5. [`pseudo`] — Algorithm 3: posterior-interpolated pseudo-labels with
+//!    credibility weights β (Eq. 13–21).
+//! 6. [`adapt`] — Eq. 22: credibility-weighted fine-tuning with confident
+//!    replay and early stopping; the two-phase API
+//!    ([`adapt::calibrate_on_source`] / [`adapt::adapt`]) mirrors the
+//!    deployment story.
+//!
+//! [`metrics`] provides the paper's evaluation measures (STE, RTE, MSE,
+//! MAE, RMSLE, Pearson correlation).
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use tasfar_core::prelude::*;
+//! use tasfar_nn::prelude::*;
+//! use tasfar_data::Dataset;
+//!
+//! # fn get_model() -> Sequential { unimplemented!() }
+//! # fn get_source() -> Dataset { unimplemented!() }
+//! # fn get_target_inputs() -> Tensor { unimplemented!() }
+//! let mut model = get_model();          // trained with dropout layers
+//! let source: Dataset = get_source();   // still on the source side
+//! let cfg = TasfarConfig::default();
+//!
+//! // Phase 1 (source side): calibrate τ and Q_s, then ship the model.
+//! let calib = calibrate_on_source(&mut model, &source, &cfg);
+//!
+//! // Phase 2 (target side): adapt with *unlabeled* target data only.
+//! let target_x: Tensor = get_target_inputs();
+//! let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+//! println!("uncertain share: {:.1}%", 100.0 * outcome.split.uncertain_ratio());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod calibration;
+pub mod classification;
+pub mod confidence;
+pub mod density;
+pub mod diagnostics;
+pub mod metrics;
+pub mod partition;
+pub mod pseudo;
+pub mod uncertainty;
+
+/// One-stop imports for running TASFAR.
+pub mod prelude {
+    pub use crate::adapt::{
+        adapt, calibrate_on_source, AdaptationOutcome, BuiltMaps, SourceCalibration, TasfarConfig,
+    };
+    pub use crate::calibration::{ErrorModel, QsCalibration};
+    pub use crate::classification::{adapt_classifier, softmax_rows, SoftCrossEntropy};
+    pub use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
+    pub use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
+    pub use crate::diagnostics::AdaptationDiagnostics;
+    pub use crate::metrics;
+    pub use crate::partition::{adapt_partitioned, group_by_key, PartitionedAdaptation};
+    pub use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
+    pub use crate::uncertainty::{Ensemble, McDropout, McPrediction};
+}

@@ -1,0 +1,194 @@
+//! Evaluation metrics of the paper's Section IV.
+
+use tasfar_nn::tensor::Tensor;
+
+fn assert_same_shape(name: &str, pred: &Tensor, target: &Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "{name}: pred {:?} vs target {:?}",
+        pred.shape(),
+        target.shape()
+    );
+    assert!(pred.rows() > 0, "{name}: empty inputs");
+}
+
+/// Mean squared error over all entries.
+pub fn mse(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_same_shape("mse", pred, target);
+    pred.sub(target).map(|e| e * e).mean()
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &Tensor, target: &Tensor) -> f64 {
+    mse(pred, target).sqrt()
+}
+
+/// Mean absolute error over all entries.
+pub fn mae(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_same_shape("mae", pred, target);
+    pred.sub(target).map(f64::abs).mean()
+}
+
+/// Root mean squared logarithmic error — the taxi-duration metric.
+/// Predictions below zero are clamped before the logarithm.
+pub fn rmsle(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_same_shape("rmsle", pred, target);
+    let se: f64 = pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&p, &t)| {
+            let lp = (1.0 + p.max(0.0)).ln();
+            let lt = (1.0 + t.max(0.0)).ln();
+            (lp - lt).powi(2)
+        })
+        .sum();
+    (se / pred.len() as f64).sqrt()
+}
+
+/// Step error (paper Eq. 23): the mean Euclidean distance between predicted
+/// and true per-step displacement vectors over a trajectory.
+pub fn step_error(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_same_shape("step_error", pred, target);
+    let total: f64 = pred
+        .iter_rows()
+        .zip(target.iter_rows())
+        .map(|(p, t)| {
+            p.iter()
+                .zip(t)
+                .map(|(&a, &b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        })
+        .sum();
+    total / pred.rows() as f64
+}
+
+/// Relative trajectory error (paper Eq. 24): the Euclidean distance between
+/// the endpoint of the predicted trajectory and the true endpoint, with
+/// aligned starting points — i.e. the norm of the summed displacement error.
+pub fn rte(pred: &Tensor, target: &Tensor) -> f64 {
+    assert_same_shape("rte", pred, target);
+    let dp = pred.sum_rows();
+    let dt = target.sum_rows();
+    dp.iter()
+        .zip(&dt)
+        .map(|(a, b)| (a - b).powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Pearson correlation coefficient of two equally-long samples.
+///
+/// Returns 0 when either sample is (numerically) constant.
+///
+/// # Panics
+/// Panics if the slices are empty or disagree in length.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    assert!(!a.is_empty(), "pearson: empty inputs");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va < 1e-24 || vb < 1e-24 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Relative error reduction in percent: `100·(baseline − adapted)/baseline`.
+/// Positive numbers mean the adaptation helped.
+///
+/// # Panics
+/// Panics unless `baseline > 0`.
+pub fn error_reduction_pct(baseline: f64, adapted: f64) -> f64 {
+    assert!(baseline > 0.0, "error_reduction_pct: baseline must be positive");
+    100.0 * (baseline - adapted) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f64]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn mse_rmse_mae() {
+        let p = t(2, 1, &[3.0, 1.0]);
+        let y = t(2, 1, &[1.0, 1.0]);
+        assert_eq!(mse(&p, &y), 2.0);
+        assert!((rmse(&p, &y) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&p, &y), 1.0);
+    }
+
+    #[test]
+    fn rmsle_matches_manual() {
+        let p = t(1, 1, &[9.0]);
+        let y = t(1, 1, &[4.0]);
+        let expect = (10f64.ln() - 5f64.ln()).abs();
+        assert!((rmsle(&p, &y) - expect).abs() < 1e-12);
+        // Negative predictions are clamped, not NaN.
+        let p = t(1, 1, &[-3.0]);
+        assert!(rmsle(&p, &y).is_finite());
+    }
+
+    #[test]
+    fn step_error_is_mean_euclidean() {
+        let p = t(2, 2, &[1.0, 0.0, 0.0, 0.0]);
+        let y = t(2, 2, &[0.0, 0.0, 0.0, 1.0]);
+        // Distances: 1 and 1 → mean 1.
+        assert_eq!(step_error(&p, &y), 1.0);
+    }
+
+    #[test]
+    fn rte_cancels_opposing_errors() {
+        // Per-step errors +1 and −1 along x cancel at the endpoint — the
+        // temporal-dependence effect the paper notes below Fig. 17.
+        let p = t(2, 2, &[2.0, 0.0, 0.0, 0.0]);
+        let y = t(2, 2, &[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(rte(&p, &y), 0.0);
+        assert!(step_error(&p, &y) > 0.0);
+    }
+
+    #[test]
+    fn rte_accumulates_consistent_bias() {
+        let p = t(3, 2, &[1.1, 0.0, 1.1, 0.0, 1.1, 0.0]);
+        let y = t(3, 2, &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert!((rte(&p, &y) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_reference_cases() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&a, &a) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &neg) + 1.0).abs() < 1e-12);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&a, &c), 0.0);
+    }
+
+    #[test]
+    fn error_reduction_signs() {
+        assert_eq!(error_reduction_pct(2.0, 1.0), 50.0);
+        assert_eq!(error_reduction_pct(1.0, 1.5), -50.0);
+        assert_eq!(error_reduction_pct(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mse: pred")]
+    fn shape_mismatch_panics() {
+        mse(&Tensor::zeros(2, 1), &Tensor::zeros(1, 2));
+    }
+}

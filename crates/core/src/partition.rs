@@ -1,0 +1,296 @@
+//! Target-data partitioning (the paper's Section VI, first future-work
+//! direction).
+//!
+//! "One direction of future works can focus on how to partition test data so
+//! as to better utilize the characteristics of the target scenario. …we can
+//! partition the target data, according to the task-specific knowledge, into
+//! several parts, in which we pseudo-label the uncertain data
+//! independently." — TASFAR, Sec. VI.
+//!
+//! The paper's Fig. 20 already demonstrates the effect for crowd scenes
+//! (partitioned adaptation beats fused adaptation); this module makes the
+//! pattern a first-class API: group the unlabeled target samples by a
+//! task-specific key (scene id, time of day, user id, …) and run the full
+//! TASFAR pipeline once per group, each group getting its own density map —
+//! and, by default, its own adapted model.
+
+use crate::adapt::{adapt, AdaptationOutcome, SourceCalibration, TasfarConfig};
+use tasfar_nn::layers::Sequential;
+use tasfar_nn::loss::Loss;
+use tasfar_nn::tensor::Tensor;
+
+/// The result of a partitioned adaptation.
+pub struct PartitionedAdaptation {
+    /// One adapted model per group, in group order.
+    pub models: Vec<Sequential>,
+    /// The per-group adaptation outcomes.
+    pub outcomes: Vec<AdaptationOutcome>,
+    /// The group key of every input row, as passed in.
+    pub group_of_row: Vec<usize>,
+}
+
+impl PartitionedAdaptation {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Predicts each row with its group's model, reassembled in input order.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.rows(),
+            self.group_of_row.len(),
+            "PartitionedAdaptation::predict: expected {} rows",
+            self.group_of_row.len()
+        );
+        let dims = {
+            let probe = self.models[0].predict(&x.slice_rows(0, 1.min(x.rows())));
+            probe.cols()
+        };
+        let mut out = Tensor::zeros(x.rows(), dims);
+        for g in 0..self.models.len() {
+            let rows: Vec<usize> = self
+                .group_of_row
+                .iter()
+                .enumerate()
+                .filter(|(_, &gg)| gg == g)
+                .map(|(i, _)| i)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let pred = self.models[g].predict(&x.select_rows(&rows));
+            for (k, &i) in rows.iter().enumerate() {
+                for d in 0..dims {
+                    out.set(i, d, pred.get(k, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Groups row indices by an integer key.
+///
+/// # Panics
+/// Panics if `keys` is empty.
+pub fn group_by_key(keys: &[usize]) -> Vec<Vec<usize>> {
+    assert!(!keys.is_empty(), "group_by_key: no keys");
+    let max = *keys.iter().max().unwrap();
+    let mut groups = vec![Vec::new(); max + 1];
+    for (i, &k) in keys.iter().enumerate() {
+        groups[k].push(i);
+    }
+    groups
+}
+
+/// Runs TASFAR independently on each partition of the target batch.
+///
+/// `keys[i]` is the (dense, 0-based) group of row `i`; empty groups are
+/// allowed and yield an unadapted model copy. Each group's adaptation is
+/// fully independent — its own confidence split, density map, pseudo-labels,
+/// and fine-tune — so one scenario's label distribution never corrupts
+/// another's (the paper's Fig. 20/22 failure mode).
+///
+/// # Panics
+/// Panics if `keys.len() != target_x.rows()` or the batch is empty.
+pub fn adapt_partitioned(
+    source_model: &Sequential,
+    calib: &SourceCalibration,
+    target_x: &Tensor,
+    keys: &[usize],
+    loss: &dyn Loss,
+    cfg: &TasfarConfig,
+) -> PartitionedAdaptation {
+    assert_eq!(
+        keys.len(),
+        target_x.rows(),
+        "adapt_partitioned: {} keys for {} rows",
+        keys.len(),
+        target_x.rows()
+    );
+    let groups = group_by_key(keys);
+    let mut models = Vec::with_capacity(groups.len());
+    let mut outcomes = Vec::with_capacity(groups.len());
+    for rows in &groups {
+        let mut model = source_model.clone();
+        if rows.is_empty() {
+            // Preserve group indexing with a no-op outcome.
+            let outcome = AdaptationOutcome {
+                fit: tasfar_nn::train::FitReport {
+                    epoch_losses: Vec::new(),
+                    stopped_early_at: None,
+                },
+                mc: crate::uncertainty::McPrediction {
+                    point: Tensor::zeros(0, 1),
+                    mc_mean: Tensor::zeros(0, 1),
+                    std: Tensor::zeros(0, 1),
+                    uncertainty: Vec::new(),
+                },
+                split: crate::confidence::ConfidenceSplit {
+                    confident: Vec::new(),
+                    uncertain: Vec::new(),
+                },
+                pseudo: Vec::new(),
+                maps: None,
+                skipped: Some("empty partition"),
+            };
+            models.push(model);
+            outcomes.push(outcome);
+            continue;
+        }
+        let xg = target_x.select_rows(rows);
+        let outcome = adapt(&mut model, calib, &xg, loss, cfg);
+        models.push(model);
+        outcomes.push(outcome);
+    }
+    PartitionedAdaptation {
+        models,
+        outcomes,
+        group_of_row: keys.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapt::calibrate_on_source;
+    use tasfar_data::Dataset;
+    use tasfar_nn::prelude::*;
+
+    /// Source: y = x₀ with hard samples. Two target scenarios with label
+    /// clusters at opposite ends — fused adaptation sees a bimodal prior
+    /// (the paper's Fig. 22 failure), partitioned adaptation does not.
+    fn setup() -> (Sequential, SourceCalibration, Tensor, Tensor, Vec<usize>, TasfarConfig) {
+        let mut rng = Rng::new(11);
+        let n_src = 600;
+        let mut xs = Tensor::zeros(n_src, 2);
+        let mut ys = Tensor::zeros(n_src, 1);
+        for i in 0..n_src {
+            let y = rng.uniform(-1.0, 1.0);
+            let hard = rng.bernoulli(0.05);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xs.set(i, 0, y + noise);
+            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            ys.set(i, 0, y);
+        }
+        let source = Dataset::new(xs, ys);
+        let mut model = Sequential::new()
+            .add(Dense::new(2, 32, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, &mut rng))
+            .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(5e-3);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &source.x,
+            &source.y,
+            None,
+            &TrainConfig {
+                epochs: 120,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
+        );
+        let cfg = TasfarConfig {
+            grid_cell: 0.05,
+            epochs: 60,
+            learning_rate: 1e-3,
+            early_stop: None,
+            ..TasfarConfig::default()
+        };
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+        // Two scenarios: labels at −0.6 and +0.6.
+        let n = 400;
+        let mut xt = Tensor::zeros(n, 2);
+        let mut yt = Tensor::zeros(n, 1);
+        let mut keys = Vec::with_capacity(n);
+        for i in 0..n {
+            let group = i % 2;
+            let centre = if group == 0 { -0.6 } else { 0.6 };
+            let y = rng.gaussian(centre, 0.05);
+            let hard = rng.bernoulli(0.4);
+            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            xt.set(i, 0, y + noise);
+            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            yt.set(i, 0, y);
+            keys.push(group);
+        }
+        (model, calib, xt, yt, keys, cfg)
+    }
+
+    #[test]
+    fn group_by_key_partitions_exactly() {
+        let groups = group_by_key(&[0, 2, 0, 1]);
+        assert_eq!(groups, vec![vec![0, 2], vec![3], vec![1]]);
+    }
+
+    #[test]
+    fn partitioned_beats_fused_on_two_scenarios() {
+        let (model, calib, xt, yt, keys, cfg) = setup();
+
+        // Fused: one adaptation over the mixed batch.
+        let mut fused = model.clone();
+        let _ = adapt(&mut fused, &calib, &xt, &Mse, &cfg);
+        let fused_mse = crate::metrics::mse(&fused.predict(&xt), &yt);
+
+        // Partitioned.
+        let mut parted = adapt_partitioned(&model, &calib, &xt, &keys, &Mse, &cfg);
+        assert_eq!(parted.num_groups(), 2);
+        let part_mse = crate::metrics::mse(&parted.predict(&xt), &yt);
+
+        let mut baseline = model.clone();
+        let base_mse = crate::metrics::mse(&baseline.predict(&xt), &yt);
+
+        assert!(
+            part_mse < base_mse,
+            "partitioned adaptation should beat the baseline: {part_mse:.4} vs {base_mse:.4}"
+        );
+        assert!(
+            part_mse < fused_mse,
+            "partitioned should beat fused on opposed scenarios: {part_mse:.4} vs {fused_mse:.4}"
+        );
+    }
+
+    #[test]
+    fn per_group_models_differ() {
+        let (model, calib, xt, _, keys, cfg) = setup();
+        let mut parted = adapt_partitioned(&model, &calib, &xt, &keys, &Mse, &cfg);
+        let probe = Tensor::from_vec(1, 2, vec![0.0, 4.0]); // a "hard" input
+        let p0 = parted.models[0].predict(&probe).get(0, 0);
+        let p1 = parted.models[1].predict(&probe).get(0, 0);
+        assert!(
+            (p0 - p1).abs() > 0.1,
+            "group models should pull toward their own clusters: {p0:.3} vs {p1:.3}"
+        );
+        assert!(p0 < p1, "group 0 clusters at −0.6, group 1 at +0.6");
+    }
+
+    #[test]
+    fn empty_partitions_are_noop() {
+        let (model, calib, xt, _, _, cfg) = setup();
+        // Every row in group 2; groups 0 and 1 empty.
+        let keys = vec![2usize; xt.rows()];
+        let parted = adapt_partitioned(&model, &calib, &xt, &keys, &Mse, &cfg);
+        assert_eq!(parted.num_groups(), 3);
+        assert_eq!(parted.outcomes[0].skipped, Some("empty partition"));
+        assert_eq!(parted.outcomes[1].skipped, Some("empty partition"));
+        assert!(parted.outcomes[2].skipped.is_none());
+    }
+
+    #[test]
+    fn predict_reassembles_in_input_order() {
+        let (model, calib, xt, _, keys, cfg) = setup();
+        let mut parted = adapt_partitioned(&model, &calib, &xt, &keys, &Mse, &cfg);
+        let joint = parted.predict(&xt);
+        // Row i must equal the group model's individual prediction.
+        for i in [0usize, 1, 7, 100] {
+            let g = keys[i];
+            let solo = parted.models[g].predict(&xt.select_rows(&[i]));
+            assert_eq!(joint.get(i, 0), solo.get(0, 0));
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Pseudo-label generation (paper Sec. III-D, Algorithm 3).
+//!
+//! For an uncertain sample, the posterior over label cells is the product of
+//! its instance-label distribution (centred on the prediction with spread
+//! `Q_s(u)`) and the density-map prior (Eq. 14). The pseudo-label is the
+//! probability-weighted interpolation of the cell centres within the ±3σ
+//! locality window (Eq. 15/20) — when the local map is flat this collapses
+//! to the prediction itself, which is the mechanism that protects against
+//! uninformative priors (the paper's Fig. 22 failure case degrades
+//! gracefully instead of catastrophically).
+//!
+//! Each pseudo-label carries a credibility weight `β = I_l / I_d` (Eq. 21):
+//! trust grows with the local map density (`I_l = d̄_l / d̄`, Eq. 19) and
+//! with the model's *un*certainty (`I_d = τ / u`, Eq. 18 — a confident model
+//! needs no correction).
+
+use crate::calibration::ErrorModel;
+use crate::density::{DensityMap1d, DensityMap2d};
+
+/// A generated pseudo-label with its credibility.
+#[derive(Debug, Clone)]
+pub struct PseudoLabel {
+    /// The pseudo-label value(s) — one entry per label dimension.
+    pub value: Vec<f64>,
+    /// The training weight `β` (Eq. 21), ≥ 0.
+    pub credibility: f64,
+    /// `I_l`, the local-to-global density ratio (diagnostic).
+    pub local_density_ratio: f64,
+    /// Whether the locality window contained any map mass; when `false` the
+    /// pseudo-label fell back to the raw prediction with zero credibility.
+    pub informative: bool,
+}
+
+/// Pseudo-label generator over a 1-D density map.
+#[derive(Debug)]
+pub struct PseudoLabelGenerator1d<'a> {
+    map: &'a DensityMap1d,
+    tau: f64,
+    model: ErrorModel,
+}
+
+impl<'a> PseudoLabelGenerator1d<'a> {
+    /// Binds a generator to a map, the confidence threshold τ, and the
+    /// instance-distribution family.
+    ///
+    /// # Panics
+    /// Panics unless `tau > 0`.
+    pub fn new(map: &'a DensityMap1d, tau: f64, model: ErrorModel) -> Self {
+        assert!(tau > 0.0, "PseudoLabelGenerator1d: tau must be positive");
+        PseudoLabelGenerator1d { map, tau, model }
+    }
+
+    /// Generates the pseudo-label for one uncertain sample (Algorithm 3's
+    /// inner loop): prediction `pred`, calibrated spread `sigma = Q_s(u)`,
+    /// and raw uncertainty `u`.
+    ///
+    /// # Panics
+    /// Panics unless `sigma > 0` and `u > 0`.
+    pub fn generate(&self, pred: f64, sigma: f64, u: f64) -> PseudoLabel {
+        assert!(sigma > 0.0, "generate: sigma must be positive");
+        assert!(u > 0.0, "generate: u must be positive");
+        let spec = &self.map.spec;
+
+        let mut weighted_value = 0.0; // VAR_Y in Alg. 3
+        let mut posterior_mass = 0.0; // VAR_W in Alg. 3
+        let mut local_mass = 0.0;
+        let mut local_cells = 0usize;
+
+        for i in 0..spec.bins {
+            let centre = spec.center(i);
+            if (centre - pred).abs() >= 3.0 * sigma {
+                continue; // outside the Eq. 20 locality window
+            }
+            let (a, b) = spec.edges(i);
+            let instance = self.model.interval_mass(a, b, pred, sigma);
+            let posterior = self.map.mass(i) * instance; // Eq. 14
+            weighted_value += posterior * centre;
+            posterior_mass += posterior;
+            local_mass += self.map.mass(i);
+            local_cells += 1;
+        }
+
+        if local_cells == 0 || posterior_mass <= 0.0 {
+            // Off-grid prediction or an empty local map: keep the source
+            // prediction and assign no training weight.
+            return PseudoLabel {
+                value: vec![pred],
+                credibility: 0.0,
+                local_density_ratio: 0.0,
+                informative: false,
+            };
+        }
+
+        let value = weighted_value / posterior_mass; // Eq. 15
+        let global_mean = self.map.mean_mass();
+        let local_mean = local_mass / local_cells as f64;
+        let i_l = if global_mean > 0.0 {
+            local_mean / global_mean // Eq. 19
+        } else {
+            0.0
+        };
+        let i_d = self.tau / u; // Eq. 18
+        PseudoLabel {
+            value: vec![value],
+            credibility: i_l / i_d, // Eq. 21
+            local_density_ratio: i_l,
+            informative: true,
+        }
+    }
+}
+
+/// Pseudo-label generator over a joint 2-D density map (the PDR case).
+#[derive(Debug)]
+pub struct PseudoLabelGenerator2d<'a> {
+    map: &'a DensityMap2d,
+    tau: f64,
+    model: ErrorModel,
+}
+
+impl<'a> PseudoLabelGenerator2d<'a> {
+    /// Binds a generator to a joint map; see [`PseudoLabelGenerator1d::new`].
+    ///
+    /// # Panics
+    /// Panics unless `tau > 0`.
+    pub fn new(map: &'a DensityMap2d, tau: f64, model: ErrorModel) -> Self {
+        assert!(tau > 0.0, "PseudoLabelGenerator2d: tau must be positive");
+        PseudoLabelGenerator2d { map, tau, model }
+    }
+
+    /// Generates the pseudo-label for one uncertain sample with 2-D
+    /// prediction `pred` and per-dimension spreads `sigma`.
+    ///
+    /// The locality window is the rectangle within 3σ per dimension; the
+    /// instance distribution factorises across dimensions (diagonal
+    /// covariance, Sec. III-D's multi-dimensional extension).
+    ///
+    /// # Panics
+    /// Panics unless both sigmas and `u` are positive.
+    pub fn generate(&self, pred: [f64; 2], sigma: [f64; 2], u: f64) -> PseudoLabel {
+        assert!(
+            sigma[0] > 0.0 && sigma[1] > 0.0,
+            "generate: sigmas must be positive"
+        );
+        assert!(u > 0.0, "generate: u must be positive");
+        let xs = &self.map.xspec;
+        let ys = &self.map.yspec;
+
+        let mut weighted = [0.0; 2];
+        let mut posterior_mass = 0.0;
+        let mut local_mass = 0.0;
+        let mut local_cells = 0usize;
+
+        for iy in 0..ys.bins {
+            let cy = ys.center(iy);
+            if (cy - pred[1]).abs() >= 3.0 * sigma[1] {
+                continue;
+            }
+            let (ya, yb) = ys.edges(iy);
+            let y_inst = self.model.interval_mass(ya, yb, pred[1], sigma[1]);
+            for ix in 0..xs.bins {
+                let cx = xs.center(ix);
+                if (cx - pred[0]).abs() >= 3.0 * sigma[0] {
+                    continue;
+                }
+                let (xa, xb) = xs.edges(ix);
+                let x_inst = self.model.interval_mass(xa, xb, pred[0], sigma[0]);
+                let posterior = self.map.mass(ix, iy) * x_inst * y_inst;
+                weighted[0] += posterior * cx;
+                weighted[1] += posterior * cy;
+                posterior_mass += posterior;
+                local_mass += self.map.mass(ix, iy);
+                local_cells += 1;
+            }
+        }
+
+        if local_cells == 0 || posterior_mass <= 0.0 {
+            return PseudoLabel {
+                value: vec![pred[0], pred[1]],
+                credibility: 0.0,
+                local_density_ratio: 0.0,
+                informative: false,
+            };
+        }
+
+        let value = vec![weighted[0] / posterior_mass, weighted[1] / posterior_mass];
+        let global_mean = self.map.mean_mass();
+        let local_mean = local_mass / local_cells as f64;
+        let i_l = if global_mean > 0.0 {
+            local_mean / global_mean
+        } else {
+            0.0
+        };
+        let i_d = self.tau / u;
+        PseudoLabel {
+            value,
+            credibility: i_l / i_d,
+            local_density_ratio: i_l,
+            informative: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::GridSpec;
+    use tasfar_nn::rng::Rng;
+    use tasfar_nn::tensor::Tensor;
+
+    /// A 1-D map whose mass concentrates around `centre`.
+    fn peaked_map(centre: f64) -> DensityMap1d {
+        let mut rng = Rng::new(1);
+        let labels: Vec<f64> = (0..20_000).map(|_| rng.gaussian(centre, 0.1)).collect();
+        DensityMap1d::from_labels(&labels, GridSpec::from_range(-2.0, 2.0, 0.05))
+    }
+
+    #[test]
+    fn pseudo_label_moves_toward_the_dense_region() {
+        let map = peaked_map(0.8);
+        let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        // Prediction 0.5 with a wide spread: posterior mass sits at 0.8.
+        let p = gen.generate(0.5, 0.3, 0.3);
+        assert!(p.informative);
+        assert!(
+            p.value[0] > 0.55 && p.value[0] < 0.9,
+            "pseudo-label {} should move toward 0.8",
+            p.value[0]
+        );
+    }
+
+    #[test]
+    fn flat_map_keeps_the_prediction() {
+        // Uniform labels → flat map → interpolation ≈ identity.
+        let labels: Vec<f64> = (0..40_000).map(|i| -2.0 + 4.0 * (i as f64) / 40_000.0).collect();
+        let map = DensityMap1d::from_labels(&labels, GridSpec::from_range(-2.0, 2.0, 0.05));
+        let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let p = gen.generate(0.4, 0.2, 0.2);
+        assert!((p.value[0] - 0.4).abs() < 0.02, "got {}", p.value[0]);
+        // Flat map ⇒ local density ≈ global density ⇒ I_l ≈ 1.
+        assert!((p.local_density_ratio - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn credibility_grows_with_uncertainty() {
+        let map = peaked_map(0.0);
+        let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let low_u = gen.generate(0.0, 0.2, 0.12);
+        let high_u = gen.generate(0.0, 0.2, 0.5);
+        assert!(
+            high_u.credibility > low_u.credibility,
+            "β must grow with u: {} vs {}",
+            high_u.credibility,
+            low_u.credibility
+        );
+        // Eq. 18/21: β scales linearly in u at fixed locality.
+        let ratio = high_u.credibility / low_u.credibility;
+        assert!((ratio - 0.5 / 0.12).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn credibility_grows_with_local_density() {
+        let map = peaked_map(0.0);
+        let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let dense = gen.generate(0.0, 0.15, 0.3); // window on the peak
+        let sparse = gen.generate(1.5, 0.15, 0.3); // window in the tail
+        assert!(dense.credibility > sparse.credibility);
+        assert!(dense.local_density_ratio > 1.0, "peak window should beat the average");
+        assert!(sparse.local_density_ratio < 1.0, "tail window should trail the average");
+    }
+
+    #[test]
+    fn off_grid_prediction_falls_back() {
+        let map = peaked_map(0.0);
+        let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let p = gen.generate(50.0, 0.1, 0.3);
+        assert!(!p.informative);
+        assert_eq!(p.value[0], 50.0);
+        assert_eq!(p.credibility, 0.0);
+    }
+
+    #[test]
+    fn error_model_choice_barely_moves_the_label() {
+        // Fig. 8's observation: the distribution family is not critical.
+        let map = peaked_map(0.5);
+        let labels: Vec<f64> = [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform]
+            .into_iter()
+            .map(|m| {
+                PseudoLabelGenerator1d::new(&map, 0.1, m)
+                    .generate(0.3, 0.25, 0.3)
+                    .value[0]
+            })
+            .collect();
+        for pair in labels.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 0.06,
+                "error models disagree: {labels:?}"
+            );
+        }
+    }
+
+    /// Ring-shaped 2-D map, as in PDR.
+    fn ring_map() -> DensityMap2d {
+        let mut rng = Rng::new(2);
+        let mut rows = Vec::new();
+        for _ in 0..30_000 {
+            let theta = rng.uniform(0.0, std::f64::consts::TAU);
+            let r = rng.gaussian(0.7, 0.04);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+        }
+        let labels = Tensor::from_rows(&rows);
+        DensityMap2d::from_labels(
+            &labels,
+            GridSpec::from_range(-1.2, 1.2, 0.08),
+            GridSpec::from_range(-1.2, 1.2, 0.08),
+        )
+    }
+
+    #[test]
+    fn pseudo_label_2d_snaps_to_the_ring() {
+        let map = ring_map();
+        let gen = PseudoLabelGenerator2d::new(&map, 0.1, ErrorModel::Gaussian);
+        // A too-short prediction in the +x direction: the ring should pull
+        // the magnitude up toward 0.7.
+        let p = gen.generate([0.45, 0.0], [0.15, 0.15], 0.3);
+        assert!(p.informative);
+        let r = (p.value[0].powi(2) + p.value[1].powi(2)).sqrt();
+        assert!(r > 0.5, "pulled radius {r} should move toward the ring at 0.7");
+        // Direction preserved.
+        assert!(p.value[0] > 0.0 && p.value[1].abs() < 0.15);
+    }
+
+    #[test]
+    fn pseudo_label_2d_flat_prior_keeps_prediction() {
+        let mut rng = Rng::new(3);
+        let mut rows = Vec::new();
+        for _ in 0..40_000 {
+            rows.push(vec![rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)]);
+        }
+        let labels = Tensor::from_rows(&rows);
+        let map = DensityMap2d::from_labels(
+            &labels,
+            GridSpec::from_range(-1.0, 1.0, 0.1),
+            GridSpec::from_range(-1.0, 1.0, 0.1),
+        );
+        let gen = PseudoLabelGenerator2d::new(&map, 0.1, ErrorModel::Gaussian);
+        let p = gen.generate([0.2, -0.3], [0.15, 0.15], 0.2);
+        assert!((p.value[0] - 0.2).abs() < 0.04);
+        assert!((p.value[1] + 0.3).abs() < 0.04);
+    }
+
+    #[test]
+    fn pseudo_label_2d_off_grid_falls_back() {
+        let map = ring_map();
+        let gen = PseudoLabelGenerator2d::new(&map, 0.1, ErrorModel::Gaussian);
+        let p = gen.generate([9.0, 9.0], [0.1, 0.1], 0.3);
+        assert!(!p.informative);
+        assert_eq!(p.value, vec![9.0, 9.0]);
+        assert_eq!(p.credibility, 0.0);
+    }
+
+    #[test]
+    fn two_user_double_ring_degrades_gracefully() {
+        // The Fig. 22 failure case: mixing two users' rings makes the prior
+        // ambiguous. The paper's observation is that TASFAR then "generates
+        // pseudo-labels that are close to the source-model predictions" —
+        // the two rings pull in opposite directions and cancel — so the
+        // adaptation becomes a near-no-op rather than harmful.
+        let mut rng = Rng::new(4);
+        let mut rows = Vec::new();
+        for _ in 0..15_000 {
+            let theta = rng.uniform(0.0, std::f64::consts::TAU);
+            let r = rng.gaussian(0.5, 0.03);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+        }
+        for _ in 0..15_000 {
+            let theta = rng.uniform(0.0, std::f64::consts::TAU);
+            let r = rng.gaussian(0.9, 0.03);
+            rows.push(vec![r * theta.cos(), r * theta.sin()]);
+        }
+        let labels = Tensor::from_rows(&rows);
+        let map = DensityMap2d::from_labels(
+            &labels,
+            GridSpec::from_range(-1.3, 1.3, 0.08),
+            GridSpec::from_range(-1.3, 1.3, 0.08),
+        );
+        let single = ring_map(); // single ring at radius 0.7
+        let gen_double = PseudoLabelGenerator2d::new(&map, 0.1, ErrorModel::Gaussian);
+        let gen_single = PseudoLabelGenerator2d::new(&single, 0.1, ErrorModel::Gaussian);
+        // A prediction midway between the two rings (r = 0.7): the double
+        // map's opposing pulls cancel, so the pseudo-label barely moves.
+        let d = gen_double.generate([0.7, 0.0], [0.15, 0.15], 0.3);
+        let r_double = (d.value[0].powi(2) + d.value[1].powi(2)).sqrt();
+        assert!(
+            (r_double - 0.7).abs() < 0.05,
+            "ambiguous prior should leave the prediction near 0.7, got radius {r_double}"
+        );
+        // The same machinery *does* move a prediction when the prior is
+        // unambiguous: a short prediction under the single-ring map is
+        // pulled outward by more than the double-ring residual shift.
+        let s = gen_single.generate([0.5, 0.0], [0.15, 0.15], 0.3);
+        let r_single = (s.value[0].powi(2) + s.value[1].powi(2)).sqrt();
+        assert!(
+            (r_single - 0.5).abs() > 2.0 * (r_double - 0.7).abs(),
+            "informative prior should move the label more ({r_single} vs {r_double})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn zero_tau_panics() {
+        let map = peaked_map(0.0);
+        PseudoLabelGenerator1d::new(&map, 0.0, ErrorModel::Gaussian);
+    }
+}

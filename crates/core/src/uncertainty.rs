@@ -1,0 +1,340 @@
+//! Monte-Carlo-dropout uncertainty estimation.
+//!
+//! The paper (Sec. IV-A) measures prediction confidence as "the standard
+//! deviation of predictions from twenty samplings with a dropout rate of
+//! 0.2", i.e. MC dropout in Gal & Ghahramani's interpretation. The substrate
+//! supports this natively through [`Mode::StochasticEval`]: dropout masks
+//! stay active while batch-norm keeps its running statistics.
+
+use tasfar_nn::layers::{Layer, Mode, Sequential};
+use tasfar_nn::tensor::Tensor;
+
+/// Point predictions plus sampling-based uncertainty for a batch.
+#[derive(Debug, Clone)]
+pub struct McPrediction {
+    /// Deterministic (`Eval`-mode) predictions `ỹ`, `(n, d)`.
+    pub point: Tensor,
+    /// Mean of the stochastic passes, `(n, d)`.
+    pub mc_mean: Tensor,
+    /// Per-dimension standard deviation across passes, `(n, d)`.
+    pub std: Tensor,
+    /// Scalar per-sample uncertainty `u` — the mean of the per-dimension
+    /// standard deviations. This is the quantity Algorithm 1 thresholds.
+    pub uncertainty: Vec<f64>,
+}
+
+/// MC-dropout estimator configuration.
+#[derive(Debug, Clone)]
+pub struct McDropout {
+    /// Number of stochastic forward passes (paper: 20).
+    pub samples: usize,
+    /// Report *relative* uncertainty: the per-sample std divided by the
+    /// prediction magnitude (‖ỹ‖/√d, floored). Dropout-induced variance
+    /// scales with activation magnitude, so on tasks whose label magnitude
+    /// varies widely (e.g. PDR displacement), absolute std conflates "large
+    /// label" with "hard input"; the relative form tracks difficulty. The
+    /// paper notes the uncertainty estimator is pluggable (Sec. III-B).
+    pub relative: bool,
+}
+
+impl Default for McDropout {
+    fn default() -> Self {
+        McDropout {
+            samples: 20,
+            relative: false,
+        }
+    }
+}
+
+impl McDropout {
+    /// A new estimator with `samples` stochastic passes (absolute std).
+    ///
+    /// # Panics
+    /// Panics if `samples < 2` (a standard deviation needs at least two).
+    pub fn new(samples: usize) -> Self {
+        assert!(samples >= 2, "McDropout: need at least 2 samples");
+        McDropout {
+            samples,
+            relative: false,
+        }
+    }
+
+    /// Switches the scalar aggregate to relative uncertainty.
+    pub fn relative(mut self, relative: bool) -> Self {
+        self.relative = relative;
+        self
+    }
+
+    /// Runs the estimator on a batch.
+    ///
+    /// The model's dropout layers carry their own (split) PRNG state, so the
+    /// passes differ between each other while the overall experiment stays
+    /// deterministic.
+    pub fn predict(&self, model: &mut Sequential, x: &Tensor) -> McPrediction {
+        let point = model.forward(x, Mode::Eval);
+        let (n, d) = point.shape();
+
+        // Two-pass variance: storing the T passes avoids the catastrophic
+        // cancellation of the E[x²] − E[x]² shortcut, so deterministic
+        // models report exactly zero uncertainty.
+        let passes: Vec<Tensor> = (0..self.samples)
+            .map(|_| model.forward(x, Mode::StochasticEval))
+            .collect();
+        let mut mc_mean = Tensor::zeros(n, d);
+        for pass in &passes {
+            mc_mean.add_assign(pass);
+        }
+        let inv_t = 1.0 / self.samples as f64;
+        mc_mean.scale_assign(inv_t);
+        let mut var = Tensor::zeros(n, d);
+        for pass in &passes {
+            let dev = pass.sub(&mc_mean);
+            var.add_assign(&dev.mul(&dev));
+        }
+        var.scale_assign(inv_t);
+        let std = var.map(f64::sqrt);
+        let mut uncertainty = std.mean_rows_per_sample();
+        if self.relative {
+            let dim = d.max(1) as f64;
+            for (u, row) in uncertainty.iter_mut().zip(point.iter_rows()) {
+                let mag = (row.iter().map(|v| v * v).sum::<f64>() / dim).sqrt();
+                *u /= mag.max(0.05);
+            }
+        }
+
+        McPrediction {
+            point,
+            mc_mean,
+            std,
+            uncertainty,
+        }
+    }
+}
+
+/// Deep-ensemble uncertainty: the disagreement (per-dimension std) across
+/// independently trained models (Lakshminarayanan et al.). The paper treats
+/// the uncertainty estimator as pluggable (Sec. III-B); ensembles are the
+/// standard stronger-but-costlier alternative to MC dropout, and the
+/// `ablation_uncertainty` benchmark compares the two on the PDR task.
+#[derive(Clone)]
+pub struct Ensemble {
+    /// The ensemble members; their mean output is the point prediction `ỹ`.
+    pub members: Vec<Sequential>,
+    /// Report relative (magnitude-normalised) uncertainty, as in
+    /// [`McDropout::relative`].
+    pub relative: bool,
+}
+
+impl Ensemble {
+    /// Wraps trained members.
+    ///
+    /// # Panics
+    /// Panics with fewer than 2 members (a std needs at least two).
+    pub fn new(members: Vec<Sequential>) -> Self {
+        assert!(members.len() >= 2, "Ensemble: need at least 2 members");
+        Ensemble {
+            members,
+            relative: false,
+        }
+    }
+
+    /// Switches the scalar aggregate to relative uncertainty.
+    pub fn relative(mut self, relative: bool) -> Self {
+        self.relative = relative;
+        self
+    }
+
+    /// Runs every member deterministically and aggregates, mirroring
+    /// [`McDropout::predict`]'s output contract. The *mean* of the members
+    /// is used as the point prediction (the usual ensemble predictor).
+    pub fn predict(&mut self, x: &Tensor) -> McPrediction {
+        let passes: Vec<Tensor> = self
+            .members
+            .iter_mut()
+            .map(|m| m.forward(x, Mode::Eval))
+            .collect();
+        let (n, d) = passes[0].shape();
+        let mut mean = Tensor::zeros(n, d);
+        for pass in &passes {
+            mean.add_assign(pass);
+        }
+        let inv = 1.0 / passes.len() as f64;
+        mean.scale_assign(inv);
+        let mut var = Tensor::zeros(n, d);
+        for pass in &passes {
+            let dev = pass.sub(&mean);
+            var.add_assign(&dev.mul(&dev));
+        }
+        var.scale_assign(inv);
+        let std = var.map(f64::sqrt);
+        let mut uncertainty = std.mean_rows_per_sample();
+        if self.relative {
+            let dim = d.max(1) as f64;
+            for (u, row) in uncertainty.iter_mut().zip(mean.iter_rows()) {
+                let mag = (row.iter().map(|v| v * v).sum::<f64>() / dim).sqrt();
+                *u /= mag.max(0.05);
+            }
+        }
+        McPrediction {
+            point: mean.clone(),
+            mc_mean: mean,
+            std,
+            uncertainty,
+        }
+    }
+}
+
+/// Helper: per-row mean of a tensor (the scalar uncertainty aggregate).
+trait RowMean {
+    fn mean_rows_per_sample(&self) -> Vec<f64>;
+}
+
+impl RowMean for Tensor {
+    fn mean_rows_per_sample(&self) -> Vec<f64> {
+        let d = self.cols().max(1) as f64;
+        self.iter_rows()
+            .map(|row| row.iter().sum::<f64>() / d)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::prelude::*;
+
+    fn model_with_dropout(rng: &mut Rng, p: f64) -> Sequential {
+        Sequential::new()
+            .add(Dense::new(2, 16, Init::HeNormal, rng))
+            .add(Relu::new())
+            .add(Dropout::new(p, rng))
+            .add(Dense::new(16, 1, Init::XavierUniform, rng))
+    }
+
+    #[test]
+    fn shapes_and_basic_sanity() {
+        let mut rng = Rng::new(1);
+        let mut m = model_with_dropout(&mut rng, 0.2);
+        let x = Tensor::rand_normal(10, 2, 0.0, 1.0, &mut rng);
+        let est = McDropout::new(20);
+        let p = est.predict(&mut m, &x);
+        assert_eq!(p.point.shape(), (10, 1));
+        assert_eq!(p.std.shape(), (10, 1));
+        assert_eq!(p.uncertainty.len(), 10);
+        assert!(p.uncertainty.iter().all(|&u| u >= 0.0 && u.is_finite()));
+    }
+
+    #[test]
+    fn no_dropout_means_no_uncertainty() {
+        let mut rng = Rng::new(2);
+        let mut m = model_with_dropout(&mut rng, 0.0);
+        let x = Tensor::rand_normal(5, 2, 0.0, 1.0, &mut rng);
+        let p = McDropout::new(10).predict(&mut m, &x);
+        for &u in &p.uncertainty {
+            assert!(u < 1e-12, "deterministic model must report zero uncertainty");
+        }
+        // And the MC mean equals the point prediction.
+        for (a, b) in p.mc_mean.as_slice().iter().zip(p.point.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dropout_produces_positive_uncertainty() {
+        let mut rng = Rng::new(3);
+        let mut m = model_with_dropout(&mut rng, 0.3);
+        let x = Tensor::rand_normal(8, 2, 0.0, 1.0, &mut rng);
+        let p = McDropout::new(20).predict(&mut m, &x);
+        assert!(
+            p.uncertainty.iter().all(|&u| u > 0.0),
+            "stochastic model must report nonzero uncertainty"
+        );
+    }
+
+    #[test]
+    fn larger_activations_mean_larger_uncertainty() {
+        // Dropout variance scales with the magnitude of the activations it
+        // masks, so inputs far from the origin are less certain — the
+        // mechanism that links input distortion to uncertainty in the
+        // experiments.
+        let mut rng = Rng::new(4);
+        let mut m = model_with_dropout(&mut rng, 0.2);
+        let near = Tensor::full(64, 2, 0.3);
+        let far = Tensor::full(64, 2, 5.0);
+        let est = McDropout::new(30);
+        let u_near: f64 = est.predict(&mut m, &near).uncertainty.iter().sum::<f64>() / 64.0;
+        let u_far: f64 = est.predict(&mut m, &far).uncertainty.iter().sum::<f64>() / 64.0;
+        assert!(
+            u_far > u_near,
+            "uncertainty should grow with activation magnitude ({u_far:.4} vs {u_near:.4})"
+        );
+    }
+
+    #[test]
+    fn multi_output_uncertainty_averages_dimensions() {
+        let mut rng = Rng::new(5);
+        let mut m = Sequential::new()
+            .add(Dense::new(2, 8, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, &mut rng))
+            .add(Dense::new(8, 2, Init::XavierUniform, &mut rng));
+        let x = Tensor::rand_normal(4, 2, 0.0, 1.0, &mut rng);
+        let p = McDropout::new(15).predict(&mut m, &x);
+        for (i, &u) in p.uncertainty.iter().enumerate() {
+            let expect = (p.std.get(i, 0) + p.std.get(i, 1)) / 2.0;
+            assert!((u - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 samples")]
+    fn rejects_single_sample() {
+        McDropout::new(1);
+    }
+
+    fn ensemble_of(n: usize, seed_base: u64) -> Ensemble {
+        let members: Vec<Sequential> = (0..n)
+            .map(|k| {
+                let mut rng = Rng::new(seed_base + k as u64);
+                Sequential::new()
+                    .add(Dense::new(2, 8, Init::HeNormal, &mut rng))
+                    .add(Relu::new())
+                    .add(Dense::new(8, 1, Init::XavierUniform, &mut rng))
+            })
+            .collect();
+        Ensemble::new(members)
+    }
+
+    #[test]
+    fn ensemble_of_identical_members_is_certain() {
+        let mut rng = Rng::new(7);
+        let member = Sequential::new()
+            .add(Dense::new(2, 8, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(8, 1, Init::XavierUniform, &mut rng));
+        let mut ens = Ensemble::new(vec![member.clone(), member.clone(), member]);
+        let x = Tensor::rand_normal(6, 2, 0.0, 1.0, &mut rng);
+        let p = ens.predict(&x);
+        for &u in &p.uncertainty {
+            assert!(u < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ensemble_disagreement_is_positive_for_distinct_members() {
+        let mut ens = ensemble_of(4, 100);
+        let mut rng = Rng::new(8);
+        let x = Tensor::rand_normal(6, 2, 0.0, 1.0, &mut rng);
+        let p = ens.predict(&x);
+        assert!(p.uncertainty.iter().all(|&u| u > 0.0));
+        assert_eq!(p.point, p.mc_mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 members")]
+    fn ensemble_rejects_single_member() {
+        let mut rng = Rng::new(9);
+        let m = Sequential::new().add(Dense::new(1, 1, Init::Zeros, &mut rng));
+        Ensemble::new(vec![m]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Image-based people-counting simulator.
+//!
+//! The paper adapts MCNN trained on ShanghaiTech Part-A (482 dense images) to
+//! Part-B (716 sparser images spanning three street scenes). TASFAR never
+//! inspects pixels — it consumes the regressor's count predictions and
+//! MC-dropout uncertainties — so the simulator replaces images with the
+//! pooled multi-scale density features a counting CNN's trunk would produce,
+//! while preserving the evaluation's structure:
+//!
+//! * **Shared imaging physics** — cell features are a fixed function of the
+//!   local crowd intensity for every scene (`Pr(x|y)` invariant); scenes
+//!   differ in their *style* parameters (camera gain/contrast) and crowd
+//!   statistics (`Pr(x)` shifts).
+//! * **Scene-specific count distributions** — each target scene has its own
+//!   count mean/spread; scene 3 is the crowded one with a stable pedestrian
+//!   stream (narrow distribution), which is why the paper's TASFAR gains the
+//!   most there once scenes are treated separately (Fig. 19/20).
+//! * **A confidence structure** — a fraction of images suffer occlusion or
+//!   blur, which corrupts the intensity cues; the source model is both less
+//!   accurate and less certain on them.
+
+use crate::dataset::Dataset;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// Side length of the cell grid; the feature vector has `GRID²` entries.
+pub const GRID: usize = 8;
+
+/// Feature width of a crowd "image".
+pub const FEATURES: usize = GRID * GRID;
+
+/// Configuration of the simulated crowd-counting world.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Source (Part-A-like) images.
+    pub n_source: usize,
+    /// Images per target scene (three scenes, Part-B-like).
+    pub n_per_scene: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        CrowdConfig {
+            n_source: 482,
+            n_per_scene: 239, // 3 × 239 = 717 ≈ the 716 images of Part-B
+            seed: 23,
+        }
+    }
+}
+
+/// The crowd statistics and camera style of one scene.
+#[derive(Debug, Clone)]
+pub struct SceneProfile {
+    /// Scene index.
+    pub id: usize,
+    /// Mean people count per image.
+    pub count_mean: f64,
+    /// Count standard deviation. A stable pedestrian stream (paper's
+    /// scene 3) shows as a small value relative to the mean.
+    pub count_std: f64,
+    /// Crowd hotspots `(cx, cy, spread)` in grid coordinates.
+    pub hotspots: Vec<(f64, f64, f64)>,
+    /// Per-scene camera gain (style shift of the features).
+    pub gain: f64,
+    /// Per-scene camera offset (style shift of the features).
+    pub offset: f64,
+    /// Probability that an image suffers occlusion/blur.
+    pub occlusion_prob: f64,
+}
+
+/// One target scene: its profile, data, and per-image occlusion levels.
+#[derive(Debug, Clone)]
+pub struct CrowdScene {
+    /// The generating profile.
+    pub profile: SceneProfile,
+    /// The scene's images (features → counts).
+    pub data: Dataset,
+    /// Per-image occlusion level in `[0, 1]` (analysis only).
+    pub occlusion: Vec<f64>,
+}
+
+/// The full crowd-counting world.
+#[derive(Debug, Clone)]
+pub struct CrowdWorld {
+    /// Part-A-like dense source dataset.
+    pub source: Dataset,
+    /// The three Part-B-like target scenes.
+    pub scenes: Vec<CrowdScene>,
+    /// The generating configuration.
+    pub config: CrowdConfig,
+}
+
+/// Spatial weight of each grid cell for a hotspot mixture (normalised).
+fn spatial_weights(hotspots: &[(f64, f64, f64)]) -> Vec<f64> {
+    let mut w = vec![1e-3; FEATURES]; // uniform floor: people appear anywhere
+    for &(cx, cy, spread) in hotspots {
+        for gy in 0..GRID {
+            for gx in 0..GRID {
+                let d2 = (gx as f64 - cx).powi(2) + (gy as f64 - cy).powi(2);
+                w[gy * GRID + gx] += (-d2 / (2.0 * spread * spread)).exp();
+            }
+        }
+    }
+    let total: f64 = w.iter().sum();
+    for v in &mut w {
+        *v /= total;
+    }
+    w
+}
+
+/// The shared imaging model: converts a true count plus spatial layout into
+/// the trunk features a counting CNN would pool, applying scene style and
+/// occlusion corruption. Identical for every scene — only its *parameters*
+/// (style, layout) differ, mirroring the `Pr(x|y)` invariance.
+fn render_features(
+    count: f64,
+    weights: &[f64],
+    gain: f64,
+    offset: f64,
+    occlusion: f64,
+    rng: &mut Rng,
+) -> Vec<f64> {
+    let mut features = Vec::with_capacity(FEATURES);
+    for &w in weights {
+        let expected = count * w;
+        // Per-cell people counts fluctuate Poisson-like around the layout.
+        let cell = (expected + rng.gaussian(0.0, expected.sqrt().max(0.3))).max(0.0);
+        // Occlusion hides a share of each cell and blurs the response.
+        let visible = cell * (1.0 - 0.55 * occlusion);
+        let response = gain * (1.0 + visible).ln() + offset;
+        let noise = 0.05 + 0.45 * occlusion;
+        features.push(response + rng.gaussian(0.0, noise));
+    }
+    features
+}
+
+fn scene_images(profile: &SceneProfile, n: usize, rng: &mut Rng) -> (Dataset, Vec<f64>) {
+    let weights = spatial_weights(&profile.hotspots);
+    let mut x = Tensor::zeros(n, FEATURES);
+    let mut y = Tensor::zeros(n, 1);
+    let mut occ = Vec::with_capacity(n);
+    for i in 0..n {
+        let count = rng
+            .gaussian(profile.count_mean, profile.count_std)
+            .max(3.0);
+        let occlusion = if rng.bernoulli(profile.occlusion_prob) {
+            rng.uniform(0.45, 0.95)
+        } else {
+            0.0
+        };
+        let f = render_features(count, &weights, profile.gain, profile.offset, occlusion, rng);
+        x.row_mut(i).copy_from_slice(&f);
+        y.set(i, 0, count);
+        occ.push(occlusion);
+    }
+    (Dataset::new(x, y), occ)
+}
+
+/// Generates the full crowd-counting world.
+pub fn generate(config: &CrowdConfig) -> CrowdWorld {
+    let mut rng = Rng::new(config.seed);
+
+    // Part-A-like source: several dense scenes pooled together.
+    let mut source_parts = Vec::new();
+    for s in 0..5 {
+        let mut srng = rng.split();
+        let hotspots = (0..3)
+            .map(|_| {
+                (
+                    srng.uniform(1.0, 6.0),
+                    srng.uniform(1.0, 6.0),
+                    srng.uniform(1.0, 2.5),
+                )
+            })
+            .collect();
+        let profile = SceneProfile {
+            id: 100 + s,
+            count_mean: srng.uniform(350.0, 700.0),
+            count_std: srng.uniform(120.0, 220.0),
+            hotspots,
+            gain: srng.uniform(0.9, 1.1),
+            offset: srng.uniform(-0.05, 0.05),
+            occlusion_prob: 0.1,
+        };
+        let (data, _) = scene_images(&profile, config.n_source / 5 + 1, &mut srng);
+        source_parts.push(data);
+    }
+    let refs: Vec<&Dataset> = source_parts.iter().collect();
+    let mut source = Dataset::concat(&refs);
+    // Trim to the exact requested size.
+    let keep: Vec<usize> = (0..config.n_source).collect();
+    source = source.subset(&keep);
+
+    // Part-B-like target scenes. Scene 3 is crowded with a *stable*
+    // pedestrian stream (small relative spread) — the paper's observation.
+    let scene_params = [
+        // (count_mean, count_std, gain, offset, occlusion_prob)
+        (80.0, 35.0, 1.35, 0.25, 0.30),
+        (130.0, 45.0, 0.75, -0.20, 0.25),
+        (210.0, 28.0, 1.15, 0.10, 0.22),
+    ];
+    let mut scenes = Vec::with_capacity(3);
+    for (i, &(mean, std, gain, offset, occ_p)) in scene_params.iter().enumerate() {
+        let mut srng = rng.split();
+        let hotspots = (0..2)
+            .map(|_| {
+                (
+                    srng.uniform(1.5, 5.5),
+                    srng.uniform(1.5, 5.5),
+                    srng.uniform(1.2, 2.2),
+                )
+            })
+            .collect();
+        let profile = SceneProfile {
+            id: i,
+            count_mean: mean,
+            count_std: std,
+            hotspots,
+            gain,
+            offset,
+            occlusion_prob: occ_p,
+        };
+        let (data, occlusion) = scene_images(&profile, config.n_per_scene, &mut srng);
+        scenes.push(CrowdScene {
+            profile,
+            data,
+            occlusion,
+        });
+    }
+
+    CrowdWorld {
+        source,
+        scenes,
+        config: config.clone(),
+    }
+}
+
+impl CrowdWorld {
+    /// All target scenes fused into one dataset (the paper's Fig. 20
+    /// no-partition condition).
+    pub fn fused_target(&self) -> Dataset {
+        let parts: Vec<&Dataset> = self.scenes.iter().map(|s| &s.data).collect();
+        Dataset::concat(&parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CrowdConfig {
+        CrowdConfig {
+            n_source: 60,
+            n_per_scene: 40,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn world_shapes() {
+        let w = generate(&small());
+        assert_eq!(w.source.len(), 60);
+        assert_eq!(w.source.input_dim(), FEATURES);
+        assert_eq!(w.scenes.len(), 3);
+        for s in &w.scenes {
+            assert_eq!(s.data.len(), 40);
+            assert_eq!(s.occlusion.len(), 40);
+        }
+        assert_eq!(w.fused_target().len(), 120);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.source.x, b.source.x);
+        assert_eq!(a.scenes[2].data.y, b.scenes[2].data.y);
+    }
+
+    #[test]
+    fn source_is_denser_than_target() {
+        let w = generate(&small());
+        let src_mean = w.source.y.mean();
+        let tgt_mean = w.fused_target().y.mean();
+        assert!(
+            src_mean > 2.0 * tgt_mean,
+            "Part-A-like source ({src_mean:.0}) should be much denser than Part-B ({tgt_mean:.0})"
+        );
+    }
+
+    #[test]
+    fn scene3_is_crowded_and_stable() {
+        let w = generate(&CrowdConfig {
+            n_per_scene: 200,
+            ..small()
+        });
+        let stats: Vec<(f64, f64)> = w
+            .scenes
+            .iter()
+            .map(|s| {
+                let mean = s.data.y.mean();
+                let var = s
+                    .data
+                    .y
+                    .as_slice()
+                    .iter()
+                    .map(|v| (v - mean).powi(2))
+                    .sum::<f64>()
+                    / s.data.len() as f64;
+                (mean, var.sqrt() / mean)
+            })
+            .collect();
+        assert!(stats[2].0 > stats[1].0 && stats[1].0 > stats[0].0, "counts ordered by scene");
+        assert!(
+            stats[2].1 < stats[0].1 && stats[2].1 < stats[1].1,
+            "scene 3 should have the smallest relative spread: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn features_track_counts_within_a_scene() {
+        // Total feature response must correlate with the count, otherwise
+        // the task is unlearnable.
+        let w = generate(&small());
+        let s = &w.scenes[1];
+        let sums: Vec<f64> = s.data.x.sum_cols();
+        let counts: Vec<f64> = s.data.y.col(0);
+        let n = sums.len() as f64;
+        let ms = sums.iter().sum::<f64>() / n;
+        let mc = counts.iter().sum::<f64>() / n;
+        let cov: f64 = sums.iter().zip(&counts).map(|(a, b)| (a - ms) * (b - mc)).sum();
+        let vs: f64 = sums.iter().map(|a| (a - ms).powi(2)).sum();
+        let vc: f64 = counts.iter().map(|b| (b - mc).powi(2)).sum();
+        let corr = cov / (vs.sqrt() * vc.sqrt());
+        assert!(corr > 0.6, "feature/count correlation {corr:.2} too weak");
+    }
+
+    #[test]
+    fn occluded_images_have_weaker_response_for_same_count() {
+        let mut rng = Rng::new(9);
+        let weights = spatial_weights(&[(3.5, 3.5, 2.0)]);
+        let clean: f64 = render_features(150.0, &weights, 1.0, 0.0, 0.0, &mut rng)
+            .iter()
+            .sum();
+        let occluded: f64 = render_features(150.0, &weights, 1.0, 0.0, 0.9, &mut rng)
+            .iter()
+            .sum();
+        assert!(occluded < clean, "occlusion must suppress the response");
+    }
+
+    #[test]
+    fn spatial_weights_are_a_distribution() {
+        let w = spatial_weights(&[(2.0, 2.0, 1.5), (6.0, 5.0, 1.0)]);
+        assert_eq!(w.len(), FEATURES);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&v| v > 0.0));
+        // Hotspot cells dominate the floor.
+        let hot = w[2 * GRID + 2];
+        let cold = w[7 * GRID];
+        assert!(hot > 3.0 * cold);
+    }
+}

@@ -1,0 +1,318 @@
+//! Dataset containers, splits, and feature scaling shared by all four tasks.
+
+use std::io::Write;
+use std::path::Path;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// A supervised regression dataset: inputs `x` and labels `y`, row-aligned.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Inputs, `(n, d_in)`.
+    pub x: Tensor,
+    /// Labels, `(n, d_out)`.
+    pub y: Tensor,
+}
+
+impl Dataset {
+    /// Bundles inputs and labels.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` disagree on the number of rows.
+    pub fn new(x: Tensor, y: Tensor) -> Self {
+        assert_eq!(
+            x.rows(),
+            y.rows(),
+            "Dataset: x has {} rows but y has {}",
+            x.rows(),
+            y.rows()
+        );
+        Dataset { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Label width.
+    pub fn output_dim(&self) -> usize {
+        self.y.cols()
+    }
+
+    /// The subset at the given row indices, in order.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: self.y.select_rows(indices),
+        }
+    }
+
+    /// Splits into `(first, second)` where `first` holds a `fraction` share
+    /// of the samples, chosen by a seeded shuffle. Mirrors the paper's
+    /// 80 % adaptation / 20 % test protocol.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= fraction <= 1`.
+    pub fn split_fraction(&self, fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "split_fraction: fraction ({fraction}) out of [0,1]"
+        );
+        let perm = rng.permutation(self.len());
+        let cut = ((self.len() as f64) * fraction).round() as usize;
+        (self.subset(&perm[..cut]), self.subset(&perm[cut..]))
+    }
+
+    /// Concatenates datasets (all must agree on feature and label widths).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or shapes disagree.
+    pub fn concat(parts: &[&Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "Dataset::concat: no parts");
+        let xs: Vec<&Tensor> = parts.iter().map(|d| &d.x).collect();
+        let ys: Vec<&Tensor> = parts.iter().map(|d| &d.y).collect();
+        Dataset {
+            x: Tensor::vstack(&xs),
+            y: Tensor::vstack(&ys),
+        }
+    }
+
+    /// A seeded random sample of `n` rows without replacement.
+    ///
+    /// # Panics
+    /// Panics if `n > len`.
+    pub fn sample(&self, n: usize, rng: &mut Rng) -> Dataset {
+        assert!(n <= self.len(), "sample: requested {n} of {} rows", self.len());
+        let perm = rng.permutation(self.len());
+        self.subset(&perm[..n])
+    }
+
+    /// Writes the dataset as CSV with the given feature names (label columns
+    /// are named `y0..`), for inspecting the synthetic data in external
+    /// tools.
+    ///
+    /// # Panics
+    /// Panics if `feature_names.len() != input_dim`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the filesystem.
+    pub fn to_csv(&self, path: &Path, feature_names: &[&str]) -> std::io::Result<()> {
+        assert_eq!(
+            feature_names.len(),
+            self.input_dim(),
+            "to_csv: {} names for {} features",
+            feature_names.len(),
+            self.input_dim()
+        );
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let mut header: Vec<String> = feature_names.iter().map(|s| s.to_string()).collect();
+        for d in 0..self.output_dim() {
+            header.push(format!("y{d}"));
+        }
+        writeln!(file, "{}", header.join(","))?;
+        for (x_row, y_row) in self.x.iter_rows().zip(self.y.iter_rows()) {
+            let cells: Vec<String> = x_row.iter().chain(y_row).map(|v| v.to_string()).collect();
+            writeln!(file, "{}", cells.join(","))?;
+        }
+        file.flush()
+    }
+}
+
+/// Z-score feature scaler fitted on one dataset and applied to others —
+/// always fitted on *source* data in this workspace, because the target
+/// scenario cannot assume access to its own global statistics ahead of time.
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits per-column mean and standard deviation. Columns with (near-)zero
+    /// variance get `std = 1` so scaling stays finite.
+    pub fn fit(x: &Tensor) -> Self {
+        let means = x.mean_rows();
+        let stds = x
+            .var_rows()
+            .into_iter()
+            .map(|v| {
+                let s = v.sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Scaler { means, stds }
+    }
+
+    /// Applies `(x − μ) / σ` per column.
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.means.len(), "Scaler: column count mismatch");
+        let mut out = x.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(self.means.len()) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Inverts [`Scaler::transform`].
+    pub fn inverse(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.means.len(), "Scaler: column count mismatch");
+        let mut out = x.clone();
+        for row in out.as_mut_slice().chunks_exact_mut(self.means.len()) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = *v * s + m;
+            }
+        }
+        out
+    }
+
+    /// The fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let x = Tensor::from_fn(n, 2, |r, c| (r * 2 + c) as f64);
+        let y = Tensor::from_fn(n, 1, |r, _| r as f64);
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn new_validates_alignment() {
+        let d = toy(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.input_dim(), 2);
+        assert_eq!(d.output_dim(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Dataset: x has")]
+    fn misaligned_rows_panic() {
+        Dataset::new(Tensor::zeros(3, 2), Tensor::zeros(4, 1));
+    }
+
+    #[test]
+    fn subset_keeps_rows_aligned() {
+        let d = toy(5);
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.y.get(0, 0), 4.0);
+        assert_eq!(s.x.get(0, 0), 8.0);
+        assert_eq!(s.y.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn split_fraction_partitions_without_overlap() {
+        let d = toy(100);
+        let mut rng = Rng::new(1);
+        let (a, b) = d.split_fraction(0.8, &mut rng);
+        assert_eq!(a.len(), 80);
+        assert_eq!(b.len(), 20);
+        // y values are unique row ids; the two halves must be disjoint.
+        let mut seen: Vec<f64> = a.y.as_slice().to_vec();
+        seen.extend_from_slice(b.y.as_slice());
+        seen.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        for (i, v) in seen.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn split_fraction_extremes() {
+        let d = toy(10);
+        let mut rng = Rng::new(2);
+        let (a, b) = d.split_fraction(1.0, &mut rng);
+        assert_eq!((a.len(), b.len()), (10, 0));
+        let (a, b) = d.split_fraction(0.0, &mut rng);
+        assert_eq!((a.len(), b.len()), (0, 10));
+    }
+
+    #[test]
+    fn concat_stacks() {
+        let d = toy(3);
+        let e = toy(2);
+        let c = Dataset::concat(&[&d, &e]);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.y.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn sample_is_without_replacement() {
+        let d = toy(50);
+        let mut rng = Rng::new(3);
+        let s = d.sample(50, &mut rng);
+        let mut ys: Vec<f64> = s.y.as_slice().to_vec();
+        ys.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        for (i, v) in ys.iter().enumerate() {
+            assert_eq!(*v, i as f64);
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrip_and_statistics() {
+        let mut rng = Rng::new(4);
+        let x = Tensor::rand_normal(500, 3, 7.0, 2.5, &mut rng);
+        let scaler = Scaler::fit(&x);
+        let z = scaler.transform(&x);
+        for &m in &z.mean_rows() {
+            assert!(m.abs() < 1e-10);
+        }
+        for &v in &z.var_rows() {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+        let back = scaler.inverse(&z);
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn to_csv_roundtrips_through_text() {
+        let d = toy(3);
+        let path = std::env::temp_dir().join("tasfar_dataset_test.csv");
+        d.to_csv(&path, &["a", "b"]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a,b,y0");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "0,1,0");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scaler_handles_constant_columns() {
+        let x = Tensor::from_fn(10, 2, |r, c| if c == 0 { 5.0 } else { r as f64 });
+        let scaler = Scaler::fit(&x);
+        let z = scaler.transform(&x);
+        assert!(z.all_finite());
+        assert_eq!(z.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # tasfar-data — synthetic equivalents of the TASFAR evaluation workloads
+//!
+//! The paper evaluates TASFAR on four regression tasks whose datasets are
+//! not redistributable here (RoNIN IMU recordings, ShanghaiTech crowd
+//! images, Kaggle housing/taxi data). This crate provides seeded synthetic
+//! generators engineered to preserve the properties the algorithm's
+//! behaviour depends on — see each module's docs and `DESIGN.md` §1 for the
+//! substitution arguments:
+//!
+//! * [`pdr`] — gait/IMU simulator (25 users, seen/unseen groups, ring-shaped
+//!   displacement label distributions, carriage-state distortions).
+//! * [`crowd`] — crowd-counting scene simulator (dense Part-A-like source,
+//!   three Part-B-like target scenes, occlusion-driven uncertainty).
+//! * [`housing`] — California-style price generator with a coastal/inland
+//!   domain split.
+//! * [`taxi`] — NYC-style trip-duration generator with a Manhattan /
+//!   non-Manhattan domain split.
+//! * [`dataset`] — the shared [`dataset::Dataset`] container, splits, and
+//!   z-score [`dataset::Scaler`].
+//!
+//! All generators are deterministic functions of their config's `seed`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crowd;
+pub mod dataset;
+pub mod housing;
+pub mod pdr;
+pub mod taxi;
+
+pub use dataset::{Dataset, Scaler};

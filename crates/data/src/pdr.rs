@@ -1,0 +1,641 @@
+//! Pedestrian-dead-reckoning (PDR) simulator.
+//!
+//! The paper's PDR experiment adapts RoNIN — a temporal-convolutional network
+//! that maps a two-second window of phone IMU signals to the 2-D displacement
+//! walked in that window — to 25 individual users. Real RoNIN data is not
+//! available here, so this module provides a gait/IMU simulator engineered to
+//! preserve every property TASFAR's machinery depends on:
+//!
+//! * **Shared sensor physics** — one fixed generative mapping from (stride,
+//!   heading, turn-rate) to a 6-channel IMU window is used for *all* users,
+//!   so `Pr(x | y)` is identical across domains (the paper's Sec. III-A task
+//!   consistency assumption) while `Pr(x)` differs per user.
+//! * **Per-user label distributions** — each user has a characteristic
+//!   stride-length distribution and turning habit. In displacement space the
+//!   labels therefore form the ring-shaped density of the paper's Fig. 6:
+//!   radius = walking speed, angular clusters = turning behaviour.
+//! * **Heterogeneous domain gaps** — users differ in sensor bias, noise
+//!   level, and phone-carriage behaviour. *Seen* users contribute clean
+//!   sessions to the source dataset but are re-simulated with drifted
+//!   parameters for the target sessions (small gap); *unseen* users are
+//!   drawn from a shifted profile population (large gap).
+//! * **A confidence structure** — each step carries a carriage-state
+//!   distortion level; distorted windows have corrupted amplitude cues and
+//!   inflated noise, which makes the trained regressor both less accurate
+//!   and less certain on them. These are the steps TASFAR pseudo-labels.
+
+use crate::dataset::Dataset;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// Number of IMU channels in a window.
+pub const CHANNELS: usize = 6;
+
+/// Configuration of the simulated PDR world.
+#[derive(Debug, Clone)]
+pub struct PdrConfig {
+    /// Time samples per window (the packed row width is `CHANNELS * time_len`).
+    pub time_len: usize,
+    /// Users whose clean sessions form the source dataset (small target gap).
+    pub n_seen: usize,
+    /// Users never shown to the source model (large target gap).
+    pub n_unseen: usize,
+    /// Steps contributed to the source dataset per seen user.
+    pub source_steps_per_user: usize,
+    /// Trajectories per target user.
+    pub trajectories_per_user: usize,
+    /// Steps per target trajectory (seen group; the unseen group walks
+    /// trajectories twice as long, matching the paper's 250 m vs 500 m).
+    pub steps_per_trajectory: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PdrConfig {
+    fn default() -> Self {
+        PdrConfig {
+            time_len: 20,
+            n_seen: 15,
+            n_unseen: 10,
+            source_steps_per_user: 400,
+            trajectories_per_user: 5,
+            steps_per_trajectory: 80,
+            seed: 7,
+        }
+    }
+}
+
+impl PdrConfig {
+    /// The packed input width consumed by the regressor.
+    pub fn input_dim(&self) -> usize {
+        CHANNELS * self.time_len
+    }
+}
+
+/// The gait and device characteristics of one simulated user.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// User index (unique across seen + unseen).
+    pub id: usize,
+    /// Mean stride length per two-second window, metres.
+    pub stride_mean: f64,
+    /// Stride standard deviation, metres.
+    pub stride_std: f64,
+    /// Probability of initiating a turn at any step.
+    pub turn_prob: f64,
+    /// Characteristic turn magnitude, radians.
+    pub turn_scale: f64,
+    /// Gait frequency, Hz (drives oscillation amplitude cues).
+    pub gait_freq: f64,
+    /// IMU noise floor.
+    pub sensor_noise: f64,
+    /// Device accelerometer bias (applied to the acceleration channels).
+    pub accel_bias: f64,
+    /// Device gyroscope bias (applied to the rate channel).
+    pub gyro_bias: f64,
+    /// Probability that a trajectory segment uses a distorting carriage
+    /// state (swinging hand / pocket) rather than steady holding.
+    pub distort_prob: f64,
+    /// Whether the user belongs to the seen group.
+    pub seen: bool,
+}
+
+/// One walked trajectory: per-step IMU windows, displacement labels, and the
+/// per-step distortion level (kept for analysis; never shown to models).
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// `(steps, CHANNELS * time_len)` packed IMU windows.
+    pub windows: Tensor,
+    /// `(steps, 2)` ground-truth displacements, metres.
+    pub displacements: Tensor,
+    /// Per-step carriage distortion in `[0, 1]`.
+    pub distortion: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.windows.rows()
+    }
+
+    /// True when the trajectory has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total walked path length, metres.
+    pub fn path_length(&self) -> f64 {
+        self.displacements
+            .iter_rows()
+            .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+            .sum()
+    }
+
+    /// The trajectory as a dataset (windows → displacements).
+    pub fn dataset(&self) -> Dataset {
+        Dataset::new(self.windows.clone(), self.displacements.clone())
+    }
+}
+
+/// A target user: profile plus walked trajectories.
+#[derive(Debug, Clone)]
+pub struct PdrUser {
+    /// The user's gait/device profile (target-session parameters).
+    pub profile: UserProfile,
+    /// The user's target-session trajectories.
+    pub trajectories: Vec<Trajectory>,
+}
+
+impl PdrUser {
+    /// All steps of all trajectories as one dataset.
+    pub fn full_dataset(&self) -> Dataset {
+        let parts: Vec<Dataset> = self.trajectories.iter().map(Trajectory::dataset).collect();
+        let refs: Vec<&Dataset> = parts.iter().collect();
+        Dataset::concat(&refs)
+    }
+
+    /// Splits trajectories into adaptation and test sets at the trajectory
+    /// level (the paper uses 80 % of trajectories for adaptation). Returns
+    /// `(adaptation trajectories, test trajectories)`.
+    pub fn adaptation_test_split(&self, fraction: f64) -> (Vec<&Trajectory>, Vec<&Trajectory>) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of [0,1]");
+        let cut = ((self.trajectories.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.trajectories.len().saturating_sub(1).max(1));
+        let adapt = self.trajectories[..cut].iter().collect();
+        let test = self.trajectories[cut..].iter().collect();
+        (adapt, test)
+    }
+}
+
+/// The full simulated PDR world.
+#[derive(Debug, Clone)]
+pub struct PdrWorld {
+    /// The pooled source training dataset (clean sessions of seen users).
+    pub source: Dataset,
+    /// Target users whose clean sessions contributed to the source data.
+    pub seen_users: Vec<PdrUser>,
+    /// Target users never exposed to the source model.
+    pub unseen_users: Vec<PdrUser>,
+    /// The generating configuration.
+    pub config: PdrConfig,
+}
+
+/// Draws a user profile. Seen-group profiles come from the source
+/// population; unseen-group profiles come from a shifted population with
+/// stronger device heterogeneity and distinct gait statistics.
+fn draw_profile(id: usize, seen: bool, rng: &mut Rng) -> UserProfile {
+    // Stride means span a wide population range in BOTH groups: the source
+    // dataset therefore covers the whole label range, while each individual
+    // user occupies a narrow personal band inside it — the paper's premise
+    // ("if an elder's stride length mostly falls into 0.5–0.8 m, his/her
+    // next stride length is highly likely within the range"). The per-user
+    // domain gap comes from device bias, noise, and carriage behaviour, not
+    // from labels outside the training support (which would break the
+    // confidence→accuracy assumption every source-free method relies on).
+    if seen {
+        UserProfile {
+            id,
+            stride_mean: rng.uniform(0.5, 0.95),
+            stride_std: rng.uniform(0.04, 0.09),
+            turn_prob: rng.uniform(0.03, 0.1),
+            turn_scale: rng.uniform(0.5, 1.3),
+            gait_freq: rng.uniform(1.6, 2.0),
+            sensor_noise: rng.uniform(0.03, 0.08),
+            accel_bias: rng.gaussian(0.0, 0.05),
+            gyro_bias: rng.gaussian(0.0, 0.02),
+            distort_prob: rng.uniform(0.25, 0.45),
+            seen,
+        }
+    } else {
+        // Larger domain gap: stronger device bias / noise / carriage
+        // heterogeneity (gait statistics stay within the population range).
+        UserProfile {
+            id,
+            stride_mean: rng.uniform(0.5, 0.95),
+            stride_std: rng.uniform(0.05, 0.12),
+            turn_prob: rng.uniform(0.02, 0.15),
+            turn_scale: rng.uniform(0.4, 1.6),
+            gait_freq: rng.uniform(1.55, 2.05),
+            sensor_noise: rng.uniform(0.06, 0.15),
+            accel_bias: rng.gaussian(0.0, 0.15),
+            gyro_bias: rng.gaussian(0.0, 0.06),
+            distort_prob: rng.uniform(0.35, 0.55),
+            seen,
+        }
+    }
+}
+
+/// Drifts a seen user's profile for the target session: "users … have
+/// contributed to the source datasets but perform differently in the tests".
+fn drift_for_target(profile: &UserProfile, rng: &mut Rng) -> UserProfile {
+    let mut p = profile.clone();
+    p.stride_mean = (p.stride_mean + rng.gaussian(0.0, 0.05)).clamp(0.4, 1.1);
+    p.stride_std = (p.stride_std * rng.uniform(0.9, 1.3)).clamp(0.03, 0.15);
+    p.turn_prob = (p.turn_prob * rng.uniform(0.8, 1.4)).clamp(0.01, 0.2);
+    p.sensor_noise *= rng.uniform(1.1, 1.6);
+    p.accel_bias += rng.gaussian(0.0, 0.04);
+    p.gyro_bias += rng.gaussian(0.0, 0.015);
+    p.distort_prob = (p.distort_prob + rng.uniform(0.0, 0.1)).min(0.5);
+    p
+}
+
+/// The shared IMU sensor model: writes one packed window for a step with the
+/// given kinematics. This function is the *task* — identical for every user —
+/// while the profile carries the per-user domain shift (bias, noise) and the
+/// step carries the carriage distortion.
+#[allow(clippy::too_many_arguments)]
+fn write_window(
+    out: &mut [f64],
+    time_len: usize,
+    stride: f64,
+    heading: f64,
+    dheading: f64,
+    distortion: f64,
+    profile: &UserProfile,
+    rng: &mut Rng,
+) {
+    debug_assert_eq!(out.len(), CHANNELS * time_len);
+    let f = profile.gait_freq;
+    // Forward oscillation amplitude grows with stride and cadence — the cue
+    // the regressor uses to recover speed.
+    //
+    // Carriage distortion corrupts the window with *window-correlated*
+    // artifacts that time-averaging cannot remove (unlike i.i.d. noise):
+    // one shared amplitude multiplier hits every speed cue at once, a
+    // per-window rotation error corrupts the orientation channels, and a
+    // low-frequency swing component (the arm's pendulum motion) injects
+    // large off-manifold energy — the signature the uncertainty estimator
+    // picks up. These are the samples whose predictions the label-density
+    // prior must repair.
+    // Amplitude corruption dominates: speed estimation is what carriage
+    // changes break in practice, while heading (fused from gyro +
+    // rotation vector) stays comparatively reliable. Radial errors are
+    // also the component a label-density prior can repair, so this ratio
+    // controls the reproducibility of the paper's adaptation gains.
+    let amp_mult = (1.0 + distortion * rng.gaussian(0.0, 1.3)).max(0.1);
+    let rot = distortion * rng.gaussian(0.0, 0.15);
+    // The swing artifact is large relative to the gait signal (hand
+    // swinging shakes the IMU far harder than walking does): it is both
+    // what destroys the amplitude cue and what makes distorted windows
+    // conspicuously off-manifold, so MC-dropout uncertainty separates them
+    // from clean windows of *any* stride magnitude.
+    let swing_amp = distortion * rng.uniform(6.0, 12.0);
+    let swing_phase = rng.uniform(0.0, std::f64::consts::TAU);
+    // Oscillation amplitudes are proportional to the stride itself (the
+    // per-window distance), which is what a displacement regressor needs to
+    // read out; cadence shifts the oscillation frequency, not the cue.
+    let amp_fwd = 3.0 * stride * amp_mult;
+    let amp_vert = 2.0 * stride * amp_mult;
+    let noise = profile.sensor_noise * (1.0 + 2.0 * distortion);
+    let phase = rng.uniform(0.0, std::f64::consts::TAU);
+    // Two gait cycles per two-second window at f ≈ 2 Hz.
+    let omega = std::f64::consts::TAU * f / time_len as f64 * 2.0;
+    let (rot_sin, rot_cos) = rot.sin_cos();
+    let (h_sin, h_cos) = heading.sin_cos();
+    // The reported orientation is the true heading rotated by the error.
+    let rep_cos = h_cos * rot_cos - h_sin * rot_sin;
+    let rep_sin = h_sin * rot_cos + h_cos * rot_sin;
+
+    for t in 0..time_len {
+        let wt = omega * t as f64 + phase;
+        // Arm-swing artifact at half the gait frequency.
+        let swing = swing_amp * (0.5 * wt + swing_phase).sin();
+        // ch0: forward acceleration.
+        out[t] = amp_fwd * wt.sin() + swing + profile.accel_bias + rng.gaussian(0.0, noise);
+        // ch1: vertical bounce (twice the step frequency).
+        out[time_len + t] = amp_vert * (2.0 * wt).sin()
+            + 0.7 * swing
+            + profile.accel_bias
+            + rng.gaussian(0.0, noise);
+        // ch2: lateral sway — stronger while turning.
+        out[2 * time_len + t] = 0.6 * dheading.abs() * (wt + 0.7).cos()
+            + 0.5 * swing
+            + rng.gaussian(0.0, noise);
+        // ch3: gyroscope yaw rate integrating to the heading change.
+        out[3 * time_len + t] =
+            dheading / time_len as f64 + profile.gyro_bias + rng.gaussian(0.0, noise * 0.5);
+        // ch4/ch5: orientation (game-rotation-vector proxy), rotated by the
+        // per-window error under distortion.
+        let h_noise = noise * 0.3;
+        out[4 * time_len + t] = rep_cos + rng.gaussian(0.0, h_noise);
+        out[5 * time_len + t] = rep_sin + rng.gaussian(0.0, h_noise);
+    }
+}
+
+/// Walks one trajectory for a user profile.
+fn walk_trajectory(
+    profile: &UserProfile,
+    steps: usize,
+    time_len: usize,
+    rng: &mut Rng,
+) -> Trajectory {
+    let mut windows = Tensor::zeros(steps, CHANNELS * time_len);
+    let mut displacements = Tensor::zeros(steps, 2);
+    let mut distortion_levels = Vec::with_capacity(steps);
+
+    let mut heading = rng.uniform(0.0, std::f64::consts::TAU);
+    // Carriage state persists over segments: 0 = steady, else a distortion
+    // level in (0, 1]. Segments switch with 10 % probability per step, so
+    // every user's session contains a representative mix of carriage
+    // states (a few dozen segments per trajectory).
+    let mut distortion = if rng.bernoulli(profile.distort_prob) {
+        rng.uniform(0.5, 1.0)
+    } else {
+        0.0
+    };
+
+    for s in 0..steps {
+        if rng.bernoulli(0.10) {
+            distortion = if rng.bernoulli(profile.distort_prob) {
+                rng.uniform(0.5, 1.0)
+            } else {
+                0.0
+            };
+        }
+        let stride = rng
+            .gaussian(profile.stride_mean, profile.stride_std)
+            .clamp(0.15, 1.5);
+        // Heading: small drift plus occasional deliberate turns.
+        let mut dheading = rng.gaussian(0.0, 0.06);
+        if rng.bernoulli(profile.turn_prob) {
+            let sign = if rng.bernoulli(0.5) { 1.0 } else { -1.0 };
+            dheading += sign * rng.gaussian(profile.turn_scale, 0.2);
+        }
+        heading += dheading;
+
+        write_window(
+            windows.row_mut(s),
+            time_len,
+            stride,
+            heading,
+            dheading,
+            distortion,
+            profile,
+            rng,
+        );
+        displacements.set(s, 0, stride * heading.cos());
+        displacements.set(s, 1, stride * heading.sin());
+        distortion_levels.push(distortion);
+    }
+
+    Trajectory {
+        windows,
+        displacements,
+        distortion: distortion_levels,
+    }
+}
+
+/// Generates the complete PDR world for a configuration.
+pub fn generate(config: &PdrConfig) -> PdrWorld {
+    let mut rng = Rng::new(config.seed);
+    let mut source_parts: Vec<Dataset> = Vec::new();
+    let mut seen_users = Vec::with_capacity(config.n_seen);
+
+    for id in 0..config.n_seen {
+        let mut user_rng = rng.split();
+        let source_profile = draw_profile(id, true, &mut user_rng);
+        // Source session: curated training data with only occasional
+        // carriage chaos. Keeping the hard regime rare in the source is
+        // what makes distorted target windows off-manifold — the model
+        // stays unrobust to them, MC-dropout variance flags them, and the
+        // few distorted source samples still populate the top uncertainty
+        // segments of the Q_s fit.
+        let mut clean = source_profile.clone();
+        clean.distort_prob = 0.05;
+        let session = walk_trajectory(
+            &clean,
+            config.source_steps_per_user,
+            config.time_len,
+            &mut user_rng,
+        );
+        source_parts.push(session.dataset());
+
+        // Target session: drifted profile, normal carriage behaviour.
+        let target_profile = drift_for_target(&source_profile, &mut user_rng);
+        let trajectories = (0..config.trajectories_per_user)
+            .map(|_| {
+                walk_trajectory(
+                    &target_profile,
+                    config.steps_per_trajectory,
+                    config.time_len,
+                    &mut user_rng,
+                )
+            })
+            .collect();
+        seen_users.push(PdrUser {
+            profile: target_profile,
+            trajectories,
+        });
+    }
+
+    let mut unseen_users = Vec::with_capacity(config.n_unseen);
+    for id in 0..config.n_unseen {
+        let mut user_rng = rng.split();
+        let profile = draw_profile(config.n_seen + id, false, &mut user_rng);
+        // Unseen users walk twice as far (paper: 500 m vs 250 m).
+        let trajectories = (0..config.trajectories_per_user)
+            .map(|_| {
+                walk_trajectory(
+                    &profile,
+                    config.steps_per_trajectory * 2,
+                    config.time_len,
+                    &mut user_rng,
+                )
+            })
+            .collect();
+        unseen_users.push(PdrUser {
+            profile,
+            trajectories,
+        });
+    }
+
+    let refs: Vec<&Dataset> = source_parts.iter().collect();
+    PdrWorld {
+        source: Dataset::concat(&refs),
+        seen_users,
+        unseen_users,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PdrConfig {
+        PdrConfig {
+            n_seen: 3,
+            n_unseen: 2,
+            source_steps_per_user: 50,
+            trajectories_per_user: 3,
+            steps_per_trajectory: 30,
+            seed: 11,
+            ..PdrConfig::default()
+        }
+    }
+
+    #[test]
+    fn world_shapes() {
+        let cfg = small_config();
+        let world = generate(&cfg);
+        assert_eq!(world.source.len(), 150);
+        assert_eq!(world.source.input_dim(), cfg.input_dim());
+        assert_eq!(world.source.output_dim(), 2);
+        assert_eq!(world.seen_users.len(), 3);
+        assert_eq!(world.unseen_users.len(), 2);
+        for u in &world.seen_users {
+            assert_eq!(u.trajectories.len(), 3);
+            assert_eq!(u.trajectories[0].len(), 30);
+        }
+        for u in &world.unseen_users {
+            assert_eq!(u.trajectories[0].len(), 60, "unseen users walk 2x longer");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = small_config();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.source.x, b.source.x);
+        assert_eq!(
+            a.seen_users[1].trajectories[2].displacements,
+            b.seen_users[1].trajectories[2].displacements
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = small_config();
+        let a = generate(&cfg);
+        cfg.seed = 99;
+        let b = generate(&cfg);
+        assert_ne!(a.source.x, b.source.x);
+    }
+
+    #[test]
+    fn displacement_magnitude_matches_stride_profile() {
+        let world = generate(&small_config());
+        for user in &world.seen_users {
+            let stride_mean = user.profile.stride_mean;
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for t in &user.trajectories {
+                for d in t.displacements.iter_rows() {
+                    total += (d[0] * d[0] + d[1] * d[1]).sqrt();
+                    n += 1;
+                }
+            }
+            let observed = total / n as f64;
+            assert!(
+                (observed - stride_mean).abs() < 0.12,
+                "user {}: observed stride {observed:.3} vs profile {stride_mean:.3}",
+                user.profile.id
+            );
+        }
+    }
+
+    #[test]
+    fn labels_form_a_ring_not_a_blob() {
+        // The ring structure of Fig. 6: |y| concentrates near the stride
+        // mean while the headings spread widely.
+        let world = generate(&PdrConfig {
+            n_seen: 1,
+            n_unseen: 0,
+            trajectories_per_user: 4,
+            steps_per_trajectory: 150,
+            ..small_config()
+        });
+        let user = &world.seen_users[0];
+        let ds = user.full_dataset();
+        let radii: Vec<f64> = ds
+            .y
+            .iter_rows()
+            .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+            .collect();
+        let mean_r = radii.iter().sum::<f64>() / radii.len() as f64;
+        let std_r = (radii.iter().map(|r| (r - mean_r).powi(2)).sum::<f64>()
+            / radii.len() as f64)
+            .sqrt();
+        assert!(std_r / mean_r < 0.35, "radial spread should be narrow (ring)");
+        // Angular coverage: all four quadrants visited.
+        let mut quadrants = [false; 4];
+        for d in ds.y.iter_rows() {
+            let q = match (d[0] >= 0.0, d[1] >= 0.0) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (false, false) => 2,
+                (true, false) => 3,
+            };
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&q| q), "headings should cover all quadrants");
+    }
+
+    #[test]
+    fn distorted_windows_are_noisier() {
+        let world = generate(&small_config());
+        let mut clean_energy = Vec::new();
+        let mut distorted_energy = Vec::new();
+        for user in world.seen_users.iter().chain(&world.unseen_users) {
+            for t in &user.trajectories {
+                for (s, &d) in t.distortion.iter().enumerate() {
+                    // High-frequency energy of the forward-acc channel.
+                    let row = t.windows.row(s);
+                    let tl = world.config.time_len;
+                    let hf: f64 = row[..tl]
+                        .windows(2)
+                        .map(|w| (w[1] - w[0]).powi(2))
+                        .sum::<f64>()
+                        / (tl - 1) as f64;
+                    if d == 0.0 {
+                        clean_energy.push(hf);
+                    } else {
+                        distorted_energy.push(hf);
+                    }
+                }
+            }
+        }
+        assert!(!clean_energy.is_empty() && !distorted_energy.is_empty());
+        let mc = clean_energy.iter().sum::<f64>() / clean_energy.len() as f64;
+        let md = distorted_energy.iter().sum::<f64>() / distorted_energy.len() as f64;
+        assert!(md > mc, "distorted windows should carry more HF energy ({md:.3} vs {mc:.3})");
+    }
+
+    #[test]
+    fn path_length_consistent_with_displacements() {
+        let world = generate(&small_config());
+        let t = &world.seen_users[0].trajectories[0];
+        let sum: f64 = t
+            .displacements
+            .iter_rows()
+            .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+            .sum();
+        assert!((t.path_length() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptation_split_is_trajectory_level() {
+        let world = generate(&small_config());
+        let user = &world.seen_users[0];
+        let (adapt, test) = user.adaptation_test_split(0.8);
+        assert_eq!(adapt.len() + test.len(), user.trajectories.len());
+        assert!(!adapt.is_empty() && !test.is_empty());
+    }
+
+    #[test]
+    fn unseen_profiles_are_more_heterogeneous() {
+        let world = generate(&PdrConfig {
+            n_seen: 10,
+            n_unseen: 10,
+            source_steps_per_user: 10,
+            trajectories_per_user: 1,
+            steps_per_trajectory: 5,
+            ..small_config()
+        });
+        let mean_noise = |users: &[PdrUser]| {
+            users.iter().map(|u| u.profile.sensor_noise).sum::<f64>() / users.len() as f64
+        };
+        assert!(mean_noise(&world.unseen_users) > mean_noise(&world.seen_users));
+    }
+}

@@ -1,0 +1,319 @@
+//! NYC-taxi-style trip-duration generator.
+//!
+//! The paper splits the NYC taxi-trip dataset by departure point — Manhattan
+//! (target) vs non-Manhattan (source) — because trip duration depends
+//! strongly on where a trip starts: Manhattan's grid, congestion, and short
+//! hops give its duration distribution a characteristic shape that a model
+//! trained on outer-borough trips mispredicts. This generator reproduces
+//! that structure: a shared traffic model (identical `Pr(x|y)` physics) over
+//! a synthetic city whose central district is slow, grid-metric, and
+//! congestion-peaked at rush hours.
+
+use crate::dataset::Dataset;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// Feature order of a trip sample.
+pub const FEATURE_NAMES: [&str; 9] = [
+    "pickup_x",
+    "pickup_y",
+    "dropoff_x",
+    "dropoff_y",
+    "hour_sin",
+    "hour_cos",
+    "weekday",
+    "passengers",
+    "straight_line_km",
+];
+
+/// Feature width.
+pub const FEATURES: usize = FEATURE_NAMES.len();
+
+/// Configuration of the taxi generator.
+#[derive(Debug, Clone)]
+pub struct TaxiConfig {
+    /// Trips generated in total (split by pickup location afterwards).
+    pub n_trips: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TaxiConfig {
+    fn default() -> Self {
+        TaxiConfig {
+            n_trips: 12_000,
+            seed: 47,
+        }
+    }
+}
+
+/// The generated taxi world: non-Manhattan source, Manhattan target.
+/// Durations are in minutes (the paper evaluates RMSLE, which our loss and
+/// metrics apply on the same scale).
+#[derive(Debug, Clone)]
+pub struct TaxiWorld {
+    /// Trips departing outside the central district (source domain).
+    pub source: Dataset,
+    /// Trips departing inside the central district (target domain).
+    pub target: Dataset,
+    /// The generating configuration.
+    pub config: TaxiConfig,
+}
+
+/// The central "Manhattan" district: a tall, narrow rectangle (km units).
+pub const MANHATTAN: (f64, f64, f64, f64) = (-2.0, -6.0, 2.0, 10.0); // (x0, y0, x1, y1)
+
+/// True when a point lies in the central district.
+pub fn in_manhattan(x: f64, y: f64) -> bool {
+    let (x0, y0, x1, y1) = MANHATTAN;
+    (x0..=x1).contains(&x) && (y0..=y1).contains(&y)
+}
+
+/// Rush-hour congestion multiplier, shared city-wide and growing smoothly
+/// with the share of the trip inside the central district — a continuous
+/// law the source model can partially learn from its centre-crossing trips.
+fn congestion(hour: f64, central_share: f64) -> f64 {
+    let morning = (-(hour - 8.5).powi(2) / 3.0).exp();
+    let evening = (-(hour - 17.5).powi(2) / 4.0).exp();
+    let peak = morning + evening;
+    1.0 + (0.4 + 1.2 * central_share) * peak
+}
+
+/// The shared traffic physics: duration in minutes for a trip. Identical for
+/// all trips; the pickup zone only enters through the *actual geometry and
+/// congestion*, so `Pr(duration | trip description)` is one city-wide law.
+fn duration_minutes(
+    px: f64,
+    py: f64,
+    dx: f64,
+    dy: f64,
+    hour: f64,
+    weekday: f64,
+    rng: &mut Rng,
+) -> f64 {
+    let central_share = {
+        // Approximate how much of the straight path crosses the centre by
+        // sampling midpoints.
+        let samples = 5;
+        let mut inside = 0;
+        for k in 0..=samples {
+            let t = k as f64 / samples as f64;
+            if in_manhattan(px + t * (dx - px), py + t * (dy - py)) {
+                inside += 1;
+            }
+        }
+        inside as f64 / (samples + 1) as f64
+    };
+    // Central segments move on a grid (L1 metric) at low speed; outer
+    // segments drive nearly straight at high speed.
+    let l1 = (dx - px).abs() + (dy - py).abs();
+    let l2 = ((dx - px).powi(2) + (dy - py).powi(2)).sqrt();
+    let dist_km = central_share * l1 + (1.0 - central_share) * l2;
+    let weekend = weekday >= 5.0;
+    let base_speed = if weekend { 26.0 } else { 22.0 }; // km/h
+    let central_speed = if weekend { 16.0 } else { 11.0 };
+    let speed = central_share * central_speed + (1.0 - central_share) * base_speed;
+    let cong = congestion(hour, central_share);
+    let pickup_overhead = 2.0 + 3.0 * central_share; // hailing + first blocks
+    let minutes = pickup_overhead + 60.0 * dist_km / speed * cong;
+    // Log-normal traffic noise.
+    let noisy = minutes * rng.gaussian(0.0, 0.18).exp();
+    noisy.clamp(1.0, 180.0)
+}
+
+fn sample_pickup(central_bias: f64, rng: &mut Rng) -> (f64, f64) {
+    if rng.bernoulli(central_bias) {
+        let (x0, y0, x1, y1) = MANHATTAN;
+        (rng.uniform(x0, x1), rng.uniform(y0, y1))
+    } else {
+        // Outer boroughs: a wide disc excluding re-draws inside the centre.
+        loop {
+            let x = rng.gaussian(3.0, 8.0);
+            let y = rng.gaussian(-2.0, 8.0);
+            if !in_manhattan(x, y) {
+                return (x, y);
+            }
+        }
+    }
+}
+
+/// Taxi trips are local: the dropoff is a short displacement from the
+/// pickup (exponential length, mean ~3 km, heavy-ish tail) rather than an
+/// independent city-wide point. Outer trips that start near the central
+/// district therefore sometimes cross it, which is how the source model
+/// learns the central congestion it needs on the target.
+fn sample_dropoff(px: f64, py: f64, rng: &mut Rng) -> (f64, f64) {
+    let len = (0.8 + rng.exponential(1.0 / 2.5)).min(15.0);
+    let theta = rng.uniform(0.0, std::f64::consts::TAU);
+    (px + len * theta.cos(), py + len * theta.sin())
+}
+
+/// Generates the taxi world.
+pub fn generate(config: &TaxiConfig) -> TaxiWorld {
+    let mut rng = Rng::new(config.seed);
+    let mut src_x = Vec::new();
+    let mut src_y = Vec::new();
+    let mut tgt_x = Vec::new();
+    let mut tgt_y = Vec::new();
+
+    for _ in 0..config.n_trips {
+        // Half the pickups are central so both domains are well populated.
+        let (px, py) = sample_pickup(0.5, &mut rng);
+        let (dx, dy) = sample_dropoff(px, py, &mut rng);
+        let hour = rng.uniform(0.0, 24.0);
+        let weekday = rng.below(7) as f64;
+        let passengers = 1.0 + rng.below(5) as f64;
+        let minutes = duration_minutes(px, py, dx, dy, hour, weekday, &mut rng);
+        let central = in_manhattan(px, py);
+
+        // GPS in the urban canyons of the centre is unreliable: a share of
+        // records carries corrupted coordinates, which destroys the
+        // distance feature the model leans on — these are the hard,
+        // high-uncertainty trips TASFAR pseudo-labels. Outer-borough GPS is
+        // mostly clean, so the source model never becomes robust to it.
+        let gps_noise_p = if central { 0.25 } else { 0.05 };
+        let (mut rpx, mut rpy, mut rdx, mut rdy) = (px, py, dx, dy);
+        if rng.bernoulli(gps_noise_p) {
+            rpx += rng.gaussian(0.0, 1.5);
+            rpy += rng.gaussian(0.0, 1.5);
+            rdx += rng.gaussian(0.0, 1.5);
+            rdy += rng.gaussian(0.0, 1.5);
+        }
+
+        let l2 = ((rdx - rpx).powi(2) + (rdy - rpy).powi(2)).sqrt();
+        let hour_angle = hour / 24.0 * std::f64::consts::TAU;
+        let features = [
+            rpx,
+            rpy,
+            rdx,
+            rdy,
+            hour_angle.sin(),
+            hour_angle.cos(),
+            weekday,
+            passengers,
+            l2,
+        ];
+        // The domain split keys on the *true* pickup zone (the dispatcher
+        // knows the borough even when the GPS trace is noisy).
+        if central {
+            tgt_x.extend_from_slice(&features);
+            tgt_y.push(minutes);
+        } else {
+            src_x.extend_from_slice(&features);
+            src_y.push(minutes);
+        }
+    }
+
+    let n_src = src_y.len();
+    let n_tgt = tgt_y.len();
+    TaxiWorld {
+        source: Dataset::new(
+            Tensor::from_vec(n_src, FEATURES, src_x),
+            Tensor::from_vec(n_src, 1, src_y),
+        ),
+        target: Dataset::new(
+            Tensor::from_vec(n_tgt, FEATURES, tgt_x),
+            Tensor::from_vec(n_tgt, 1, tgt_y),
+        ),
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TaxiConfig {
+        TaxiConfig {
+            n_trips: 3000,
+            ..TaxiConfig::default()
+        }
+    }
+
+    #[test]
+    fn world_shapes_and_balance() {
+        let w = generate(&small());
+        assert_eq!(w.source.input_dim(), FEATURES);
+        assert_eq!(w.source.len() + w.target.len(), 3000);
+        assert!(w.source.len() > 500);
+        assert!(w.target.len() > 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.target.y, b.target.y);
+    }
+
+    #[test]
+    fn split_respects_district_modulo_gps_noise() {
+        // The split keys on the true pickup zone; recorded coordinates may
+        // be GPS-corrupted, so only the overwhelming majority must match.
+        let w = generate(&small());
+        let tgt_in = w.target.x.iter_rows().filter(|r| in_manhattan(r[0], r[1])).count();
+        assert!(tgt_in as f64 > 0.7 * w.target.len() as f64);
+        let src_out = w.source.x.iter_rows().filter(|r| !in_manhattan(r[0], r[1])).count();
+        assert!(src_out as f64 > 0.9 * w.source.len() as f64);
+    }
+
+    #[test]
+    fn durations_are_positive_and_bounded() {
+        let w = generate(&small());
+        for &m in w.source.y.as_slice().iter().chain(w.target.y.as_slice()) {
+            assert!((1.0..=180.0).contains(&m));
+        }
+    }
+
+    #[test]
+    fn central_trips_are_slower_per_km() {
+        let w = generate(&small());
+        let pace = |d: &Dataset| {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for (row, &m) in d.x.iter_rows().zip(d.y.as_slice()) {
+                let km = row[8];
+                if km > 1.0 {
+                    total += m / km;
+                    n += 1.0;
+                }
+            }
+            total / n
+        };
+        assert!(
+            pace(&w.target) > 1.4 * pace(&w.source),
+            "central pace {:.2} min/km vs outer {:.2}",
+            pace(&w.target),
+            pace(&w.source)
+        );
+    }
+
+    #[test]
+    fn rush_hour_is_slower() {
+        assert!(congestion(8.5, 1.0) > congestion(3.0, 1.0));
+        assert!(congestion(17.5, 0.0) > congestion(12.0, 0.0));
+        assert!(congestion(8.5, 1.0) > congestion(8.5, 0.0));
+    }
+
+    #[test]
+    fn distance_drives_duration() {
+        let w = generate(&small());
+        let kms: Vec<f64> = w.source.x.col(8);
+        let mins: Vec<f64> = w.source.y.col(0);
+        let n = kms.len() as f64;
+        let mk = kms.iter().sum::<f64>() / n;
+        let mm = mins.iter().sum::<f64>() / n;
+        let cov: f64 = kms.iter().zip(&mins).map(|(a, b)| (a - mk) * (b - mm)).sum();
+        let vk: f64 = kms.iter().map(|a| (a - mk).powi(2)).sum();
+        let vm: f64 = mins.iter().map(|b| (b - mm).powi(2)).sum();
+        let corr = cov / (vk.sqrt() * vm.sqrt());
+        assert!(corr > 0.7, "distance/duration correlation {corr:.2}");
+    }
+
+    #[test]
+    fn manhattan_membership() {
+        assert!(in_manhattan(0.0, 0.0));
+        assert!(!in_manhattan(10.0, 0.0));
+        assert!(!in_manhattan(0.0, 11.0));
+    }
+}

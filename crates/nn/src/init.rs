@@ -1,0 +1,81 @@
+//! Weight initialisation schemes.
+//!
+//! All initialisers are deterministic given an [`Rng`]; the training stack
+//! threads a split PRNG into every layer so experiments replay exactly.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// The supported initialisation families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U[-a, a]` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// Appropriate in front of symmetric activations (tanh, sigmoid).
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, 2 / fan_in)`. Appropriate in front of ReLU.
+    HeNormal,
+    /// Small uniform `U[-0.05, 0.05]`; a conservative fallback.
+    SmallUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Materialises a `rows × cols` weight tensor.
+    ///
+    /// `fan_in`/`fan_out` are passed explicitly rather than derived from the
+    /// shape because convolution kernels store `(out_ch, in_ch * k)` matrices
+    /// whose fans differ from their matrix dimensions.
+    pub fn tensor(self, rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+        match self {
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+                Tensor::rand_uniform(rows, cols, -a, a, rng)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f64).sqrt();
+                Tensor::rand_normal(rows, cols, 0.0, std, rng)
+            }
+            Init::SmallUniform => Tensor::rand_uniform(rows, cols, -0.05, 0.05, rng),
+            Init::Zeros => Tensor::zeros(rows, cols),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = Rng::new(1);
+        let w = Init::XavierUniform.tensor(64, 64, 64, 64, &mut rng);
+        let a = (6.0 / 128.0_f64).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+    }
+
+    #[test]
+    fn he_normal_std() {
+        let mut rng = Rng::new(2);
+        let w = Init::HeNormal.tensor(200, 200, 100, 200, &mut rng);
+        let mean = w.mean();
+        let var = w.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / w.len() as f64;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 0.02).abs() < 0.003, "var {var} should be near 2/fan_in = 0.02");
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = Rng::new(3);
+        let w = Init::Zeros.tensor(3, 3, 3, 3, &mut rng);
+        assert_eq!(w.sum(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w1 = Init::HeNormal.tensor(4, 4, 4, 4, &mut Rng::new(7));
+        let w2 = Init::HeNormal.tensor(4, 4, 4, 4, &mut Rng::new(7));
+        assert_eq!(w1, w2);
+    }
+}

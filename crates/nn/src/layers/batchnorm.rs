@@ -1,0 +1,277 @@
+//! Batch normalisation over the feature axis.
+
+use super::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// Batch normalisation (Ioffe & Szegedy) for `(batch, features)` inputs.
+///
+/// In `Train` mode the batch mean/variance normalise the activations and the
+/// running moments are updated with momentum; in `Eval` and
+/// `StochasticEval` modes the stored running moments are used, so
+/// MC-dropout sampling does not perturb normalisation statistics.
+#[derive(Clone)]
+pub struct BatchNorm1d {
+    dim: usize,
+    eps: f64,
+    momentum: f64,
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    /// Per-batch cache for backward.
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone)]
+struct BnCache {
+    /// Normalised activations x̂.
+    x_hat: Tensor,
+    /// 1/√(var + ε) per feature, for the statistics used in the forward.
+    inv_std: Vec<f64>,
+    /// Whether batch statistics (true) or running moments (false) were used.
+    batch_stats: bool,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer over `dim` features with the conventional
+    /// defaults (`eps = 1e-5`, `momentum = 0.1`).
+    pub fn new(dim: usize) -> Self {
+        Self::with_options(dim, 1e-5, 0.1)
+    }
+
+    /// Creates a batch-norm layer with explicit epsilon and momentum.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `eps <= 0`, or `momentum` is outside `(0, 1]`.
+    pub fn with_options(dim: usize, eps: f64, momentum: f64) -> Self {
+        assert!(dim > 0, "BatchNorm1d: dim must be positive");
+        assert!(eps > 0.0, "BatchNorm1d: eps must be positive");
+        assert!(momentum > 0.0 && momentum <= 1.0, "BatchNorm1d: momentum must be in (0, 1]");
+        BatchNorm1d {
+            dim,
+            eps,
+            momentum,
+            gamma: Param::new(Tensor::full(1, dim, 1.0)),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            cache: None,
+        }
+    }
+
+    /// The running mean per feature.
+    pub fn running_mean(&self) -> &[f64] {
+        &self.running_mean
+    }
+
+    /// The running variance per feature.
+    pub fn running_var(&self) -> &[f64] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm1d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.dim,
+            "BatchNorm1d: expected {} features, got {}",
+            self.dim,
+            input.cols()
+        );
+        let use_batch = mode.batch_stats() && input.rows() > 1;
+        let (mean, var) = if use_batch {
+            (input.mean_rows(), input.var_rows())
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+        let mut x_hat = input.clone();
+        for row in x_hat.as_mut_slice().chunks_exact_mut(self.dim) {
+            for ((v, &m), &s) in row.iter_mut().zip(&mean).zip(&inv_std) {
+                *v = (*v - m) * s;
+            }
+        }
+        let out = x_hat
+            .mul_row_broadcast(self.gamma.value.as_slice())
+            .add_row_broadcast(self.beta.value.as_slice());
+
+        if use_batch {
+            // Update running moments with the batch statistics.
+            let m = self.momentum;
+            for ((rm, rv), (&bm, &bv)) in self
+                .running_mean
+                .iter_mut()
+                .zip(self.running_var.iter_mut())
+                .zip(mean.iter().zip(&var))
+            {
+                *rm = (1.0 - m) * *rm + m * bm;
+                *rv = (1.0 - m) * *rv + m * bv;
+            }
+        }
+
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            batch_stats: use_batch,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward called before forward");
+        let n = grad_output.rows() as f64;
+        let gamma = self.gamma.value.as_slice();
+
+        // dβ = Σ g, dγ = Σ g ⊙ x̂ (column sums).
+        let dbeta = grad_output.sum_rows();
+        let dgamma = grad_output.mul(&cache.x_hat).sum_rows();
+        for (g, d) in self.beta.grad.as_mut_slice().iter_mut().zip(&dbeta) {
+            *g += d;
+        }
+        for (g, d) in self.gamma.grad.as_mut_slice().iter_mut().zip(&dgamma) {
+            *g += d;
+        }
+
+        if !cache.batch_stats {
+            // Running moments are constants: dx = g ⊙ γ ⊙ inv_std.
+            let mut dx = grad_output.mul_row_broadcast(gamma);
+            for row in dx.as_mut_slice().chunks_exact_mut(self.dim) {
+                for (v, &s) in row.iter_mut().zip(&cache.inv_std) {
+                    *v *= s;
+                }
+            }
+            return dx;
+        }
+
+        // Full batch-statistics backward:
+        // dx = (γ·inv_std / N) · (N·g − Σg − x̂·Σ(g⊙x̂))
+        let sum_g = &dbeta;
+        let sum_gx = &dgamma;
+        let mut dx = Tensor::zeros(grad_output.rows(), self.dim);
+        for ((g_row, xh_row), dx_row) in grad_output
+            .iter_rows()
+            .zip(cache.x_hat.iter_rows())
+            .zip(dx.as_mut_slice().chunks_exact_mut(self.dim))
+        {
+            for c in 0..self.dim {
+                let coeff = gamma[c] * cache.inv_std[c] / n;
+                dx_row[c] = coeff * (n * g_row[c] - sum_g[c] - xh_row[c] * sum_gx[c]);
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm1d"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.dim, "BatchNorm1d: wired after {} features, expects {}", input_dim, self.dim);
+        self.dim
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut rng = Rng::new(1);
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::rand_normal(256, 3, 5.0, 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train);
+        let mean = y.mean_rows();
+        let var = y.var_rows();
+        for &m in &mean {
+            assert!(m.abs() < 1e-10, "mean {m} should be ~0");
+        }
+        for &v in &var {
+            assert!((v - 1.0).abs() < 1e-3, "var {v} should be ~1");
+        }
+    }
+
+    #[test]
+    fn running_moments_track_batch_statistics() {
+        let mut rng = Rng::new(2);
+        let mut bn = BatchNorm1d::with_options(2, 1e-5, 0.5);
+        let x = Tensor::rand_normal(512, 2, 10.0, 1.0, &mut rng);
+        for _ in 0..20 {
+            let _ = bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean()[0] - 10.0).abs() < 0.2);
+        assert!((bn.running_var()[0] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn eval_uses_running_moments() {
+        let mut rng = Rng::new(3);
+        let mut bn = BatchNorm1d::new(1);
+        let train = Tensor::rand_normal(512, 1, 4.0, 1.0, &mut rng);
+        for _ in 0..50 {
+            let _ = bn.forward(&train, Mode::Train);
+        }
+        // A single eval sample at exactly the running mean maps to ~β = 0.
+        let x = Tensor::from_vec(1, 1, vec![bn.running_mean()[0]]);
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.get(0, 0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stochastic_eval_does_not_update_running_moments() {
+        let mut bn = BatchNorm1d::new(2);
+        let before = bn.running_mean().to_vec();
+        let x = Tensor::full(16, 2, 100.0);
+        let _ = bn.forward(&x, Mode::StochasticEval);
+        assert_eq!(bn.running_mean(), &before[..]);
+    }
+
+    #[test]
+    fn single_row_train_falls_back_to_running_moments() {
+        // Batch statistics of one sample are degenerate (var = 0); the layer
+        // must not divide by ~zero.
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::from_vec(1, 2, vec![3.0, -3.0]);
+        let y = bn.forward(&x, Mode::Train);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn backward_gradient_shapes() {
+        let mut rng = Rng::new(4);
+        let mut bn = BatchNorm1d::new(3);
+        let x = Tensor::rand_normal(8, 3, 0.0, 1.0, &mut rng);
+        let _ = bn.forward(&x, Mode::Train);
+        let dx = bn.backward(&Tensor::full(8, 3, 1.0));
+        assert_eq!(dx.shape(), (8, 3));
+        assert_eq!(bn.gamma.grad.shape(), (1, 3));
+        assert_eq!(bn.beta.grad.as_slice(), &[8.0, 8.0, 8.0]);
+    }
+
+    /// For a constant upstream gradient, the batch-statistics backward sends
+    /// (almost) zero gradient to the input: shifting all inputs equally does
+    /// not change normalised outputs.
+    #[test]
+    fn constant_gradient_is_annihilated() {
+        let mut rng = Rng::new(5);
+        let mut bn = BatchNorm1d::new(2);
+        let x = Tensor::rand_normal(32, 2, 0.0, 1.0, &mut rng);
+        let _ = bn.forward(&x, Mode::Train);
+        let dx = bn.backward(&Tensor::full(32, 2, 3.0));
+        assert!(dx.frobenius_norm() < 1e-9, "norm {}", dx.frobenius_norm());
+    }
+}

@@ -1,0 +1,290 @@
+//! Dilated causal 1-D convolution.
+//!
+//! This is the building block of the temporal-convolutional network used as
+//! the PDR regressor (the paper adapts RoNIN, a TCN). Because the substrate
+//! tensor is 2-D, the time series is packed channels-major into the feature
+//! axis: a `(channels, time)` window occupies one row as
+//! `[c0t0 … c0t(T−1), c1t0 …]`. The layer validates the expected width.
+//!
+//! The convolution is *causal*: output at time `t` only sees inputs at times
+//! `≤ t` (left zero-padding of `(kernel−1)·dilation`), and the output keeps
+//! the input's time length, so TCN blocks can be residually stacked.
+
+use super::{Layer, Mode, Param};
+use crate::init::Init;
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// A causal, dilated 1-D convolution over channels-major packed rows.
+#[derive(Clone)]
+pub struct Conv1d {
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    dilation: usize,
+    time_len: usize,
+    /// Kernel weights as an `(out_ch, in_ch * kernel)` matrix; tap `k`
+    /// of input channel `c` for output channel `o` lives at `(o, c*kernel+k)`.
+    weight: Param,
+    /// One bias per output channel, `(1, out_ch)`.
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a causal conv layer for windows of `time_len` steps.
+    ///
+    /// # Panics
+    /// Panics on zero-sized dimensions.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        dilation: usize,
+        time_len: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0 && dilation > 0 && time_len > 0,
+            "Conv1d: all dimensions must be positive"
+        );
+        let fan_in = in_ch * kernel;
+        Conv1d {
+            in_ch,
+            out_ch,
+            kernel,
+            dilation,
+            time_len,
+            weight: Param::new(Init::HeNormal.tensor(out_ch, fan_in, fan_in, out_ch, rng)),
+            bias: Param::new(Tensor::zeros(1, out_ch)),
+            cached_input: None,
+        }
+    }
+
+    /// Input row width this layer expects (`in_ch * time_len`).
+    pub fn input_width(&self) -> usize {
+        self.in_ch * self.time_len
+    }
+
+    /// Output row width (`out_ch * time_len`).
+    pub fn output_width(&self) -> usize {
+        self.out_ch * self.time_len
+    }
+
+    /// The window length in time steps.
+    pub fn time_len(&self) -> usize {
+        self.time_len
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.input_width(),
+            "Conv1d: expected {}x{} = {} input features, got {}",
+            self.in_ch,
+            self.time_len,
+            self.input_width(),
+            input.cols()
+        );
+        let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
+        let w = self.weight.value.as_slice();
+        let b = self.bias.value.as_slice();
+        let mut out = Tensor::zeros(input.rows(), self.out_ch * t_len);
+        for (x_row, y_row) in input
+            .iter_rows()
+            .zip(out.as_mut_slice().chunks_exact_mut(self.out_ch * t_len))
+        {
+            for o in 0..self.out_ch {
+                let w_o = &w[o * self.in_ch * k..(o + 1) * self.in_ch * k];
+                let y_o = &mut y_row[o * t_len..(o + 1) * t_len];
+                y_o.fill(b[o]);
+                for c in 0..self.in_ch {
+                    let x_c = &x_row[c * t_len..(c + 1) * t_len];
+                    let w_oc = &w_o[c * k..(c + 1) * k];
+                    for (tap, &wv) in w_oc.iter().enumerate() {
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        // Tap `tap` reads the input `(k-1-tap)·dil` steps back.
+                        let back = (k - 1 - tap) * dil;
+                        for t in back..t_len {
+                            y_o[t] += wv * x_c[t - back];
+                        }
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv1d::backward called before forward");
+        assert_eq!(grad_output.cols(), self.output_width(), "Conv1d: grad width mismatch");
+        let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
+        let w = self.weight.value.as_slice();
+        let dw = self.weight.grad.as_mut_slice();
+        let db = self.bias.grad.as_mut_slice();
+        let mut grad_input = Tensor::zeros(input.rows(), self.in_ch * t_len);
+
+        for ((x_row, g_row), gx_row) in input
+            .iter_rows()
+            .zip(grad_output.iter_rows())
+            .zip(grad_input.as_mut_slice().chunks_exact_mut(self.in_ch * t_len))
+        {
+            for o in 0..self.out_ch {
+                let g_o = &g_row[o * t_len..(o + 1) * t_len];
+                db[o] += g_o.iter().sum::<f64>();
+                for c in 0..self.in_ch {
+                    let x_c = &x_row[c * t_len..(c + 1) * t_len];
+                    let gx_c = &mut gx_row[c * t_len..(c + 1) * t_len];
+                    for tap in 0..k {
+                        let back = (k - 1 - tap) * dil;
+                        let widx = o * self.in_ch * k + c * k + tap;
+                        let wv = w[widx];
+                        let mut dw_acc = 0.0;
+                        for t in back..t_len {
+                            let g = g_o[t];
+                            dw_acc += g * x_c[t - back];
+                            gx_c[t - back] += g * wv;
+                        }
+                        dw[widx] += dw_acc;
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv1d"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(
+            input_dim,
+            self.input_width(),
+            "Conv1d: wired after {} features, expects {}",
+            input_dim,
+            self.input_width()
+        );
+        self.output_width()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A conv with kernel 1 and identity-ish weights acts per-time-step.
+    #[test]
+    fn kernel_one_is_pointwise() {
+        let mut rng = Rng::new(1);
+        let mut conv = Conv1d::new(1, 1, 1, 1, 4, &mut rng);
+        conv.weight.value = Tensor::from_vec(1, 1, vec![2.0]);
+        conv.bias.value = Tensor::from_vec(1, 1, vec![0.5]);
+        let x = Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 6.5, 8.5]);
+    }
+
+    /// Hand-checked causal convolution with kernel 2.
+    #[test]
+    fn causal_kernel_two() {
+        let mut rng = Rng::new(2);
+        let mut conv = Conv1d::new(1, 1, 2, 1, 3, &mut rng);
+        // taps: [w_past, w_present]
+        conv.weight.value = Tensor::from_vec(1, 2, vec![10.0, 1.0]);
+        conv.bias.value = Tensor::zeros(1, 1);
+        let x = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let y = conv.forward(&x, Mode::Eval);
+        // y[0] = 1 (past is zero-padded), y[1] = 10·1 + 2, y[2] = 10·2 + 3.
+        assert_eq!(y.as_slice(), &[1.0, 12.0, 23.0]);
+    }
+
+    /// Dilation reaches further back.
+    #[test]
+    fn dilated_kernel_two() {
+        let mut rng = Rng::new(3);
+        let mut conv = Conv1d::new(1, 1, 2, 2, 4, &mut rng);
+        conv.weight.value = Tensor::from_vec(1, 2, vec![10.0, 1.0]);
+        conv.bias.value = Tensor::zeros(1, 1);
+        let x = Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = conv.forward(&x, Mode::Eval);
+        // back = 2 for the past tap: y[t] = x[t] + 10·x[t−2].
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 13.0, 24.0]);
+    }
+
+    /// Causality: perturbing the future never changes the past outputs.
+    #[test]
+    fn output_is_causal() {
+        let mut rng = Rng::new(4);
+        let mut conv = Conv1d::new(2, 3, 3, 2, 8, &mut rng);
+        let x1 = Tensor::rand_normal(1, 16, 0.0, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // Change only the final time step of each channel.
+        x2.set(0, 7, 99.0);
+        x2.set(0, 15, -99.0);
+        let y1 = conv.forward(&x1, Mode::Eval);
+        let y2 = conv.forward(&x2, Mode::Eval);
+        for o in 0..3 {
+            for t in 0..7 {
+                assert_eq!(y1.get(0, o * 8 + t), y2.get(0, o * 8 + t), "output at t={t} saw the future");
+            }
+        }
+    }
+
+    #[test]
+    fn multichannel_mixes_inputs() {
+        let mut rng = Rng::new(5);
+        let mut conv = Conv1d::new(2, 1, 1, 1, 2, &mut rng);
+        conv.weight.value = Tensor::from_vec(1, 2, vec![1.0, 100.0]);
+        conv.bias.value = Tensor::zeros(1, 1);
+        let x = Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]); // ch0=[1,2], ch1=[3,4]
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[301.0, 402.0]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = Rng::new(6);
+        let mut conv = Conv1d::new(3, 5, 3, 1, 10, &mut rng);
+        let x = Tensor::rand_normal(4, 30, 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), (4, 50));
+        let dx = conv.backward(&Tensor::full(4, 50, 1.0));
+        assert_eq!(dx.shape(), (4, 30));
+        assert_eq!(conv.weight.grad.shape(), (5, 9));
+        assert_eq!(conv.bias.grad.shape(), (1, 5));
+        // Bias gradient = sum over batch and time = 4·10 per output channel.
+        for &g in conv.bias.grad.as_slice() {
+            assert!((g - 40.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Conv1d: expected")]
+    fn rejects_wrong_width() {
+        let mut rng = Rng::new(7);
+        let mut conv = Conv1d::new(2, 2, 3, 1, 5, &mut rng);
+        conv.forward(&Tensor::zeros(1, 9), Mode::Eval);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fully-connected (affine) layer.
+
+use super::{Layer, Mode, Param};
+use crate::init::Init;
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// `y = x · W + b` with `W: (in_dim, out_dim)`, `b: (1, out_dim)`.
+#[derive(Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+    /// Input cached by the last `forward` for use in `backward`.
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with the given initialisation for the weight;
+    /// the bias starts at zero.
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "Dense: dimensions must be positive");
+        Dense {
+            weight: Param::new(init.tensor(in_dim, out_dim, in_dim, out_dim, rng)),
+            bias: Param::new(Tensor::zeros(1, out_dim)),
+            in_dim,
+            out_dim,
+            cached_input: None,
+        }
+    }
+
+    /// The input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Read access to the weight matrix (used by tests and inspection tools).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Read access to the bias row.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.in_dim,
+            "Dense: expected {} input features, got {}",
+            self.in_dim,
+            input.cols()
+        );
+        let mut out = input.matmul(&self.weight.value);
+        out.add_row_broadcast_assign(self.bias.value.as_slice());
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        assert_eq!(grad_output.cols(), self.out_dim, "Dense: grad width mismatch");
+        // dW = xᵀ · g, db = column sums of g, dx = g · Wᵀ.
+        self.weight.grad.add_assign(&input.t_matmul(grad_output));
+        let db = grad_output.sum_rows();
+        for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
+            *g += d;
+        }
+        grad_output.matmul_t(&self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(input_dim, self.in_dim, "Dense: wired after {} features, expects {}", input_dim, self.in_dim);
+        self.out_dim
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut rng = Rng::new(1);
+        let mut d = Dense::new(2, 3, Init::Zeros, &mut rng);
+        // W = [[1,2,3],[4,5,6]], b = [0.5, -0.5, 1.0]
+        d.weight.value = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        d.bias.value = Tensor::from_vec(1, 3, vec![0.5, -0.5, 1.0]);
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[9.5, 11.5, 16.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let mut rng = Rng::new(2);
+        let mut d = Dense::new(3, 2, Init::HeNormal, &mut rng);
+        let x = Tensor::rand_normal(4, 3, 0.0, 1.0, &mut rng);
+        let _ = d.forward(&x, Mode::Train);
+        let g = Tensor::full(4, 2, 1.0);
+        let dx = d.backward(&g);
+        assert_eq!(dx.shape(), (4, 3));
+        // db = column sums of g = [4, 4].
+        assert_eq!(d.bias.grad.as_slice(), &[4.0, 4.0]);
+        assert_eq!(d.weight.grad.shape(), (3, 2));
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = Rng::new(3);
+        let mut d = Dense::new(2, 2, Init::HeNormal, &mut rng);
+        let x = Tensor::full(1, 2, 1.0);
+        let g = Tensor::full(1, 2, 1.0);
+        let _ = d.forward(&x, Mode::Train);
+        let _ = d.backward(&g);
+        let first = d.bias.grad.clone();
+        let _ = d.forward(&x, Mode::Train);
+        let _ = d.backward(&g);
+        assert_eq!(d.bias.grad.as_slice()[0], 2.0 * first.as_slice()[0]);
+        for p in d.params_mut() {
+            p.zero_grad();
+        }
+        assert_eq!(d.bias.grad.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 input features")]
+    fn rejects_wrong_width() {
+        let mut rng = Rng::new(4);
+        let mut d = Dense::new(3, 2, Init::Zeros, &mut rng);
+        d.forward(&Tensor::zeros(1, 4), Mode::Eval);
+    }
+}

@@ -1,0 +1,155 @@
+//! Inverted dropout — the library's source of Monte-Carlo uncertainty.
+//!
+//! In `Train` and `StochasticEval` modes each unit is zeroed with
+//! probability `p` and the survivors are scaled by `1/(1-p)` so the expected
+//! activation is unchanged. TASFAR's uncertainty estimator (paper Sec. IV-A)
+//! runs `T = 20` stochastic forward passes with `p = 0.2` and reads the
+//! standard deviation of the predictions as the model uncertainty, following
+//! Gal & Ghahramani's MC-dropout interpretation.
+
+use super::{Layer, Mode, Param};
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Inverted dropout with drop probability `p`.
+#[derive(Clone)]
+pub struct Dropout {
+    p: f64,
+    rng: Rng,
+    /// Mask (already including the `1/(1-p)` scale) from the last stochastic
+    /// forward; `None` after a deterministic forward.
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f64, rng: &mut Rng) -> Self {
+        assert!((0.0..1.0).contains(&p), "Dropout: p ({p}) must be in [0, 1)");
+        Dropout {
+            p,
+            rng: rng.split(),
+            cached_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if !mode.dropout_active() || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
+            if self.rng.bernoulli(keep) {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.mul(&mask);
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_output.mul(mask),
+            None => grad_output.clone(),
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        input_dim
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut rng = Rng::new(1);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::rand_normal(3, 4, 0.0, 1.0, &mut rng);
+        let y = d.forward(&x, Mode::Eval);
+        assert_eq!(y, x);
+        let g = d.backward(&Tensor::full(3, 4, 2.0));
+        assert_eq!(g.as_slice(), &[2.0; 12]);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut rng = Rng::new(2);
+        let mut d = Dropout::new(0.3, &mut rng);
+        let x = Tensor::full(100, 100, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn survivors_are_rescaled() {
+        let mut rng = Rng::new(3);
+        let mut d = Dropout::new(0.2, &mut rng);
+        let x = Tensor::full(50, 50, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 1.25).abs() < 1e-12);
+        }
+        // Expectation is preserved approximately.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn stochastic_eval_activates_dropout() {
+        let mut rng = Rng::new(4);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::full(20, 20, 1.0);
+        let y1 = d.forward(&x, Mode::StochasticEval);
+        let y2 = d.forward(&x, Mode::StochasticEval);
+        assert_ne!(y1, y2, "stochastic passes must differ");
+    }
+
+    #[test]
+    fn backward_uses_same_mask_as_forward() {
+        let mut rng = Rng::new(5);
+        let mut d = Dropout::new(0.5, &mut rng);
+        let x = Tensor::full(10, 10, 1.0);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::full(10, 10, 1.0));
+        // The gradient passes exactly where the activation passed.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_is_identity_even_in_train() {
+        let mut rng = Rng::new(6);
+        let mut d = Dropout::new(0.0, &mut rng);
+        let x = Tensor::full(2, 2, 3.0);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+}

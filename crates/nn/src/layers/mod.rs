@@ -1,0 +1,151 @@
+//! The layer abstraction and all concrete layers.
+//!
+//! Layers are *stateful*: `forward` caches whatever `backward` needs, so a
+//! training step is always the pair `forward(Train)` → `backward`. This
+//! mirrors the define-by-run discipline of mainstream frameworks without the
+//! complexity of a tape: every model in this workspace is a feed-forward
+//! chain (possibly with intra-block residual connections handled inside
+//! [`TcnBlock`]), so reverse-mode differentiation reduces to walking the
+//! chain backwards.
+
+mod activations;
+mod batchnorm;
+mod conv1d;
+mod dense;
+mod dropout;
+mod pool;
+mod sequential;
+mod tcn;
+
+pub use activations::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm1d;
+pub use conv1d::Conv1d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use pool::GlobalAvgPool1d;
+pub use sequential::Sequential;
+pub use tcn::TcnBlock;
+
+use crate::tensor::Tensor;
+
+/// Forward-pass mode.
+///
+/// * `Train` — dropout active, batch-norm uses batch statistics and updates
+///   its running moments.
+/// * `Eval` — deterministic inference: dropout is the identity, batch-norm
+///   uses running moments.
+/// * `StochasticEval` — Monte-Carlo-dropout inference (Gal & Ghahramani):
+///   dropout stays active but batch-norm keeps using running moments and
+///   nothing is updated. This is the mode TASFAR's uncertainty estimator
+///   runs its `T` samplings in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Dropout active; batch-norm uses and updates batch statistics.
+    Train,
+    /// Deterministic inference.
+    Eval,
+    /// MC-dropout sampling: dropout active, batch-norm frozen.
+    StochasticEval,
+}
+
+impl Mode {
+    /// Whether dropout masks are sampled in this mode.
+    pub fn dropout_active(self) -> bool {
+        matches!(self, Mode::Train | Mode::StochasticEval)
+    }
+
+    /// Whether batch statistics are used (and running moments updated).
+    pub fn batch_stats(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable parameter: the value plus its gradient accumulator.
+///
+/// Gradients accumulate across `backward` calls until [`Param::zero_grad`];
+/// the trainer zeroes them at the top of every step.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The parameter value.
+    pub value: Tensor,
+    /// The gradient accumulator, shaped like `value`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// A differentiable network layer.
+///
+/// Contract:
+/// * `forward` must be called before `backward`, with the same batch;
+/// * `backward` receives `∂L/∂output` and returns `∂L/∂input`, adding
+///   parameter gradients into each [`Param::grad`];
+/// * `params_mut` exposes trainable parameters in a stable order (the
+///   optimizer keys its per-parameter state by position).
+pub trait Layer: Send {
+    /// Computes the layer output for a `(batch, features)` input.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Back-propagates `grad_output` (`∂L/∂output`), accumulating parameter
+    /// gradients and returning `∂L/∂input`.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Trainable parameters, in a stable order. Parameter-free layers return
+    /// an empty vector.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// A short human-readable layer name for debug output.
+    fn name(&self) -> &'static str;
+
+    /// The feature width this layer produces for a given input width.
+    ///
+    /// Used by [`Sequential::output_dim`] to validate model wiring without a
+    /// forward pass.
+    fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// Clones the layer behind the trait object (state included).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_flags() {
+        assert!(Mode::Train.dropout_active());
+        assert!(Mode::StochasticEval.dropout_active());
+        assert!(!Mode::Eval.dropout_active());
+        assert!(Mode::Train.batch_stats());
+        assert!(!Mode::StochasticEval.batch_stats());
+        assert!(!Mode::Eval.batch_stats());
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::full(2, 2, 1.0));
+        p.grad = Tensor::full(2, 2, 3.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.value.sum(), 4.0, "zero_grad must not touch the value");
+    }
+}

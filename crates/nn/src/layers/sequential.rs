@@ -1,0 +1,243 @@
+//! The `Sequential` container: an ordered chain of layers.
+
+use super::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// A feed-forward chain of layers, itself a [`Layer`].
+///
+/// `Sequential` is the model type used throughout the workspace. It supports
+/// splitting into a feature extractor and head (`split_off`), which the
+/// baseline adapters use to align features while keeping the regression head
+/// frozen or shared.
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// An empty chain (the identity function).
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer, builder style.
+    // The builder name mirrors Keras/PyTorch `Sequential.add`; it cannot be
+    // confused with `std::ops::Add` in practice (different signature).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// The layer names, in order (useful in error messages and debugging).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Splits the chain at `index`, leaving `[0, index)` in `self` and
+    /// returning `[index, len)`. Used to separate a feature extractor from
+    /// its regression head.
+    ///
+    /// # Panics
+    /// Panics if `index > len`.
+    pub fn split_off(&mut self, index: usize) -> Sequential {
+        assert!(index <= self.layers.len(), "split_off: index out of range");
+        Sequential {
+            layers: self.layers.split_off(index),
+        }
+    }
+
+    /// Joins another chain onto the end of this one.
+    pub fn extend(&mut self, tail: Sequential) {
+        self.layers.extend(tail.layers);
+    }
+
+    /// Convenience: an `Eval`-mode forward pass (deterministic inference).
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input, Mode::Eval)
+    }
+
+    /// Zeroes every parameter gradient in the chain.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Copies all parameter values from `other` (shapes must match).
+    ///
+    /// # Panics
+    /// Panics if the two chains have different parameter structures.
+    pub fn load_params_from(&mut self, other: &mut Sequential) {
+        let src: Vec<Tensor> = other.params_mut().iter().map(|p| p.value.clone()).collect();
+        let dst = self.params_mut();
+        assert_eq!(dst.len(), src.len(), "load_params_from: parameter count mismatch");
+        for (d, s) in dst.into_iter().zip(src) {
+            assert_eq!(d.value.shape(), s.shape(), "load_params_from: shape mismatch");
+            d.value = s;
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        self.layers
+            .iter()
+            .fold(input_dim, |dim, layer| layer.output_dim(dim))
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Dense, Relu};
+    use crate::rng::Rng;
+
+    fn tiny_mlp(rng: &mut Rng) -> Sequential {
+        Sequential::new()
+            .add(Dense::new(3, 4, Init::HeNormal, rng))
+            .add(Relu::new())
+            .add(Dense::new(4, 2, Init::XavierUniform, rng))
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut s = Sequential::new();
+        let x = Tensor::from_vec(1, 2, vec![1.0, 2.0]);
+        assert_eq!(s.forward(&x, Mode::Eval), x);
+        assert_eq!(s.backward(&x), x);
+        assert_eq!(s.output_dim(2), 2);
+    }
+
+    #[test]
+    fn forward_chains_and_output_dim_agrees() {
+        let mut rng = Rng::new(1);
+        let mut m = tiny_mlp(&mut rng);
+        let x = Tensor::rand_normal(5, 3, 0.0, 1.0, &mut rng);
+        let y = m.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (5, 2));
+        assert_eq!(m.output_dim(3), 2);
+    }
+
+    #[test]
+    fn params_and_zero_grad() {
+        let mut rng = Rng::new(2);
+        let mut m = tiny_mlp(&mut rng);
+        assert_eq!(m.num_parameters(), 3 * 4 + 4 + 4 * 2 + 2);
+        let x = Tensor::rand_normal(4, 3, 0.0, 1.0, &mut rng);
+        let _ = m.forward(&x, Mode::Train);
+        let _ = m.backward(&Tensor::full(4, 2, 1.0));
+        let has_grad = m.params_mut().iter().any(|p| p.grad.frobenius_norm() > 0.0);
+        assert!(has_grad);
+        m.zero_grad();
+        for p in m.params_mut() {
+            assert_eq!(p.grad.sum(), 0.0);
+        }
+    }
+
+    #[test]
+    fn split_off_partitions_the_chain() {
+        let mut rng = Rng::new(3);
+        let mut m = tiny_mlp(&mut rng);
+        let mut full = m.clone();
+        let mut head = m.split_off(2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(head.len(), 1);
+        let x = Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng);
+        let via_split = head.forward(&m.forward(&x, Mode::Eval), Mode::Eval);
+        let direct = full.forward(&x, Mode::Eval);
+        assert_eq!(via_split, direct);
+    }
+
+    #[test]
+    fn extend_rejoins() {
+        let mut rng = Rng::new(4);
+        let mut m = tiny_mlp(&mut rng);
+        let mut reference = m.clone();
+        let head = m.split_off(1);
+        m.extend(head);
+        let x = Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng);
+        assert_eq!(m.forward(&x, Mode::Eval), reference.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn load_params_from_copies_weights() {
+        let mut rng = Rng::new(5);
+        let mut a = tiny_mlp(&mut rng);
+        let mut b = tiny_mlp(&mut rng); // different init
+        let x = Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng);
+        assert_ne!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+        b.load_params_from(&mut a);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut rng = Rng::new(6);
+        let mut a = tiny_mlp(&mut rng);
+        let mut b = a.clone();
+        // Perturb a's first parameter; b must be unaffected.
+        a.params_mut()[0].value.scale_assign(2.0);
+        let x = Tensor::rand_normal(1, 3, 0.0, 1.0, &mut rng);
+        assert_ne!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn layer_names_in_order() {
+        let mut rng = Rng::new(7);
+        let m = tiny_mlp(&mut rng);
+        assert_eq!(m.layer_names(), vec!["Dense", "Relu", "Dense"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Residual temporal-convolutional block (Bai et al., "An Empirical
+//! Evaluation of Generic Convolutional and Recurrent Networks").
+//!
+//! The PDR regressor in this reproduction is a stack of these blocks — the
+//! same architecture family as RoNIN's TCN backbone that the paper adapts.
+
+use super::{Conv1d, Dropout, Layer, Mode, Param, Relu};
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// `out = ReLU( branch(x) + skip(x) )` where the branch is two dilated causal
+/// convolutions with ReLU + dropout after each, and `skip` is the identity
+/// when channel counts match or a 1×1 convolution otherwise.
+#[derive(Clone)]
+pub struct TcnBlock {
+    conv1: Conv1d,
+    relu1: Relu,
+    drop1: Dropout,
+    conv2: Conv1d,
+    relu2: Relu,
+    drop2: Dropout,
+    /// 1×1 channel-matching convolution; `None` when `in_ch == out_ch`.
+    downsample: Option<Conv1d>,
+    relu_out: Relu,
+    in_ch: usize,
+    out_ch: usize,
+    time_len: usize,
+}
+
+impl TcnBlock {
+    /// Builds a block with the given channel widths, kernel size, dilation,
+    /// window length, and dropout probability.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        dilation: usize,
+        time_len: usize,
+        dropout_p: f64,
+        rng: &mut Rng,
+    ) -> Self {
+        let downsample = if in_ch != out_ch {
+            Some(Conv1d::new(in_ch, out_ch, 1, 1, time_len, rng))
+        } else {
+            None
+        };
+        TcnBlock {
+            conv1: Conv1d::new(in_ch, out_ch, kernel, dilation, time_len, rng),
+            relu1: Relu::new(),
+            drop1: Dropout::new(dropout_p, rng),
+            conv2: Conv1d::new(out_ch, out_ch, kernel, dilation, time_len, rng),
+            relu2: Relu::new(),
+            drop2: Dropout::new(dropout_p, rng),
+            downsample,
+            relu_out: Relu::new(),
+            in_ch,
+            out_ch,
+            time_len,
+        }
+    }
+}
+
+impl Layer for TcnBlock {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut b = self.conv1.forward(input, mode);
+        b = self.relu1.forward(&b, mode);
+        b = self.drop1.forward(&b, mode);
+        b = self.conv2.forward(&b, mode);
+        b = self.relu2.forward(&b, mode);
+        b = self.drop2.forward(&b, mode);
+        let skip = match &mut self.downsample {
+            Some(down) => down.forward(input, mode),
+            None => input.clone(),
+        };
+        self.relu_out.forward(&b.add(&skip), mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let g_sum = self.relu_out.backward(grad_output);
+        // Branch path.
+        let mut gb = self.drop2.backward(&g_sum);
+        gb = self.relu2.backward(&gb);
+        gb = self.conv2.backward(&gb);
+        gb = self.drop1.backward(&gb);
+        gb = self.relu1.backward(&gb);
+        gb = self.conv1.backward(&gb);
+        // Skip path.
+        let gr = match &mut self.downsample {
+            Some(down) => down.backward(&g_sum),
+            None => g_sum,
+        };
+        gb.add(&gr)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.conv1.params_mut();
+        ps.extend(self.conv2.params_mut());
+        if let Some(down) = &mut self.downsample {
+            ps.extend(down.params_mut());
+        }
+        ps
+    }
+
+    fn name(&self) -> &'static str {
+        "TcnBlock"
+    }
+
+    fn output_dim(&self, input_dim: usize) -> usize {
+        assert_eq!(
+            input_dim,
+            self.in_ch * self.time_len,
+            "TcnBlock: wired after {} features, expects {}",
+            input_dim,
+            self.in_ch * self.time_len
+        );
+        self.out_ch * self.time_len
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_with_channel_change() {
+        let mut rng = Rng::new(1);
+        let mut block = TcnBlock::new(2, 4, 3, 1, 8, 0.0, &mut rng);
+        let x = Tensor::rand_normal(3, 16, 0.0, 1.0, &mut rng);
+        let y = block.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (3, 32));
+        let dx = block.backward(&Tensor::full(3, 32, 1.0));
+        assert_eq!(dx.shape(), (3, 16));
+    }
+
+    #[test]
+    fn same_channels_skips_downsample() {
+        let mut rng = Rng::new(2);
+        let block = TcnBlock::new(4, 4, 3, 2, 8, 0.1, &mut rng);
+        assert!(block.downsample.is_none());
+        // 2 convs × 2 params each (no downsample).
+        let mut block = block;
+        assert_eq!(block.params_mut().len(), 4);
+    }
+
+    #[test]
+    fn channel_change_adds_downsample_params() {
+        let mut rng = Rng::new(3);
+        let mut block = TcnBlock::new(2, 4, 3, 1, 8, 0.0, &mut rng);
+        assert_eq!(block.params_mut().len(), 6);
+    }
+
+    #[test]
+    fn output_is_nonnegative() {
+        // Final ReLU guarantees non-negative activations.
+        let mut rng = Rng::new(4);
+        let mut block = TcnBlock::new(3, 3, 2, 1, 6, 0.0, &mut rng);
+        let x = Tensor::rand_normal(5, 18, 0.0, 3.0, &mut rng);
+        let y = block.forward(&x, Mode::Eval);
+        assert!(y.min() >= 0.0);
+    }
+
+    #[test]
+    fn residual_path_preserves_causality() {
+        let mut rng = Rng::new(5);
+        let mut block = TcnBlock::new(2, 2, 3, 2, 10, 0.0, &mut rng);
+        let x1 = Tensor::rand_normal(1, 20, 0.0, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        x2.set(0, 9, 50.0); // last step of channel 0
+        x2.set(0, 19, -50.0); // last step of channel 1
+        let y1 = block.forward(&x1, Mode::Eval);
+        let y2 = block.forward(&x2, Mode::Eval);
+        for c in 0..2 {
+            for t in 0..9 {
+                assert_eq!(y1.get(0, c * 10 + t), y2.get(0, c * 10 + t));
+            }
+        }
+    }
+}

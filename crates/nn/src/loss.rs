@@ -1,0 +1,438 @@
+//! Regression loss functions with per-sample weighting.
+//!
+//! Per-sample weights are first-class because TASFAR's adaptation objective
+//! (paper Eq. 22) scales each pseudo-labelled sample's loss by its
+//! credibility β. The weighted objective is
+//!
+//! ```text
+//! L = Σᵢ wᵢ ℓᵢ / Σᵢ wᵢ,   ℓᵢ = (1/D) Σⱼ ℓ(pᵢⱼ, tᵢⱼ)
+//! ```
+//!
+//! so that uniform weights reduce exactly to the unweighted mean loss.
+
+use crate::tensor::Tensor;
+
+/// A differentiable regression loss.
+pub trait Loss: Send {
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The per-sample losses `ℓᵢ` (averaged over output dimensions).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64>;
+
+    /// `∂L/∂pred` for the (optionally weighted) mean loss.
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor;
+
+    /// The (optionally weighted) mean loss value.
+    fn value(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> f64 {
+        let per = self.per_sample(pred, target);
+        match weights {
+            None => {
+                if per.is_empty() {
+                    0.0
+                } else {
+                    per.iter().sum::<f64>() / per.len() as f64
+                }
+            }
+            Some(w) => {
+                assert_eq!(w.len(), per.len(), "{}: weight length mismatch", self.name());
+                let total: f64 = w.iter().sum();
+                assert!(total > 0.0, "{}: weights must not sum to zero", self.name());
+                per.iter().zip(w).map(|(&l, &wi)| l * wi).sum::<f64>() / total
+            }
+        }
+    }
+}
+
+fn assert_same_shape(name: &str, pred: &Tensor, target: &Tensor) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "{name}: pred {:?} vs target {:?}",
+        pred.shape(),
+        target.shape()
+    );
+}
+
+/// The scale each sample's pointwise gradient receives under the weighted
+/// mean: `wᵢ / (D · Σw)`; with no weights, `1 / (D · B)`.
+fn sample_scales(batch: usize, dim: usize, weights: Option<&[f64]>) -> Vec<f64> {
+    match weights {
+        None => vec![1.0 / (batch.max(1) * dim.max(1)) as f64; batch],
+        Some(w) => {
+            assert_eq!(w.len(), batch, "loss: weight length mismatch");
+            let total: f64 = w.iter().sum();
+            assert!(total > 0.0, "loss: weights must not sum to zero");
+            w.iter().map(|&wi| wi / (total * dim.max(1) as f64)).collect()
+        }
+    }
+}
+
+/// Mean squared error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mse;
+
+impl Loss for Mse {
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        assert_same_shape("mse", pred, target);
+        let d = pred.cols().max(1) as f64;
+        pred.iter_rows()
+            .zip(target.iter_rows())
+            .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).powi(2)).sum::<f64>() / d)
+            .collect()
+    }
+
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
+        assert_same_shape("mse", pred, target);
+        let scales = sample_scales(pred.rows(), pred.cols(), weights);
+        let mut g = pred.sub(target);
+        for (row, &s) in g
+            .as_mut_slice()
+            .chunks_exact_mut(pred.cols().max(1))
+            .zip(&scales)
+        {
+            for v in row {
+                *v *= 2.0 * s;
+            }
+        }
+        g
+    }
+}
+
+/// Mean absolute error (L1). Subgradient 0 at exact equality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mae;
+
+impl Loss for Mae {
+    fn name(&self) -> &'static str {
+        "mae"
+    }
+
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        assert_same_shape("mae", pred, target);
+        let d = pred.cols().max(1) as f64;
+        pred.iter_rows()
+            .zip(target.iter_rows())
+            .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / d)
+            .collect()
+    }
+
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
+        assert_same_shape("mae", pred, target);
+        let scales = sample_scales(pred.rows(), pred.cols(), weights);
+        let mut g = pred.zip_map(target, |a, b| (a - b).signum());
+        for (row, &s) in g
+            .as_mut_slice()
+            .chunks_exact_mut(pred.cols().max(1))
+            .zip(&scales)
+        {
+            for v in row {
+                *v *= s;
+            }
+        }
+        g
+    }
+}
+
+/// Huber loss: quadratic within `delta` of the target, linear beyond.
+#[derive(Debug, Clone, Copy)]
+pub struct Huber {
+    delta: f64,
+}
+
+impl Huber {
+    /// # Panics
+    /// Panics unless `delta > 0`.
+    pub fn new(delta: f64) -> Self {
+        assert!(delta > 0.0, "Huber: delta must be positive");
+        Huber { delta }
+    }
+}
+
+impl Loss for Huber {
+    fn name(&self) -> &'static str {
+        "huber"
+    }
+
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        assert_same_shape("huber", pred, target);
+        let d = pred.cols().max(1) as f64;
+        let delta = self.delta;
+        pred.iter_rows()
+            .zip(target.iter_rows())
+            .map(|(p, t)| {
+                p.iter()
+                    .zip(t)
+                    .map(|(&a, &b)| {
+                        let e = (a - b).abs();
+                        if e <= delta {
+                            0.5 * e * e
+                        } else {
+                            delta * (e - 0.5 * delta)
+                        }
+                    })
+                    .sum::<f64>()
+                    / d
+            })
+            .collect()
+    }
+
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
+        assert_same_shape("huber", pred, target);
+        let scales = sample_scales(pred.rows(), pred.cols(), weights);
+        let delta = self.delta;
+        let mut g = pred.zip_map(target, |a, b| {
+            let e = a - b;
+            if e.abs() <= delta {
+                e
+            } else {
+                delta * e.signum()
+            }
+        });
+        for (row, &s) in g
+            .as_mut_slice()
+            .chunks_exact_mut(pred.cols().max(1))
+            .zip(&scales)
+        {
+            for v in row {
+                *v *= s;
+            }
+        }
+        g
+    }
+}
+
+/// Mean squared logarithmic error, the taxi-duration metric of the paper.
+///
+/// `ℓ = (ln(1 + p) − ln(1 + t))²`. Below `p = −0.99` the per-point loss is
+/// extended linearly (value and slope continuous at the junction), so badly
+/// initialised models still receive a finite, correctly-signed gradient
+/// instead of either an infinite log or a dead zero region.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Msle;
+
+impl Msle {
+    const CLAMP: f64 = -0.99;
+
+    /// Pointwise loss against target log `lt = ln(1 + t)`.
+    fn point(p: f64, lt: f64) -> f64 {
+        if p >= Self::CLAMP {
+            ((1.0 + p).ln() - lt).powi(2)
+        } else {
+            // Linear extension: ℓ(c) + ℓ'(c)·(p − c).
+            let lc = (1.0 + Self::CLAMP).ln();
+            let base = (lc - lt).powi(2);
+            let slope = 2.0 * (lc - lt) / (1.0 + Self::CLAMP);
+            base + slope * (p - Self::CLAMP)
+        }
+    }
+
+    /// Derivative of [`Msle::point`] with respect to `p`.
+    fn point_grad(p: f64, lt: f64) -> f64 {
+        let c = p.max(Self::CLAMP);
+        2.0 * ((1.0 + c).ln() - lt) / (1.0 + c)
+    }
+
+    fn target_log(t: f64) -> f64 {
+        (1.0 + t.max(Self::CLAMP)).ln()
+    }
+}
+
+impl Loss for Msle {
+    fn name(&self) -> &'static str {
+        "msle"
+    }
+
+    fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        assert_same_shape("msle", pred, target);
+        let d = pred.cols().max(1) as f64;
+        pred.iter_rows()
+            .zip(target.iter_rows())
+            .map(|(p, t)| {
+                p.iter()
+                    .zip(t)
+                    .map(|(&a, &b)| Self::point(a, Self::target_log(b)))
+                    .sum::<f64>()
+                    / d
+            })
+            .collect()
+    }
+
+    fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
+        assert_same_shape("msle", pred, target);
+        let scales = sample_scales(pred.rows(), pred.cols(), weights);
+        let mut g = pred.zip_map(target, |a, b| Self::point_grad(a, Self::target_log(b)));
+        for (row, &s) in g
+            .as_mut_slice()
+            .chunks_exact_mut(pred.cols().max(1))
+            .zip(&scales)
+        {
+            for v in row {
+                *v *= s;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f64]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let pred = t(2, 1, &[3.0, 0.0]);
+        let target = t(2, 1, &[1.0, 0.0]);
+        let mse = Mse;
+        assert_eq!(mse.per_sample(&pred, &target), vec![4.0, 0.0]);
+        assert_eq!(mse.value(&pred, &target, None), 2.0);
+        let g = mse.grad(&pred, &target, None);
+        // d/dp mean((p−t)²) = 2(p−t)/B = [2·2/2, 0].
+        assert_eq!(g.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mse_multidim_averages_over_outputs() {
+        let pred = t(1, 2, &[2.0, 4.0]);
+        let target = t(1, 2, &[0.0, 0.0]);
+        assert_eq!(Mse.per_sample(&pred, &target), vec![10.0]); // (4+16)/2
+        let g = Mse.grad(&pred, &target, None);
+        assert_eq!(g.as_slice(), &[2.0, 4.0]); // 2(p−t)/(B·D)
+    }
+
+    #[test]
+    fn weighted_mse_reduces_to_unweighted_for_uniform_weights() {
+        let pred = t(3, 1, &[1.0, 2.0, 3.0]);
+        let target = t(3, 1, &[0.0, 0.0, 0.0]);
+        let w = [2.0, 2.0, 2.0];
+        assert!((Mse.value(&pred, &target, Some(&w)) - Mse.value(&pred, &target, None)).abs() < 1e-12);
+        let g1 = Mse.grad(&pred, &target, Some(&w));
+        let g2 = Mse.grad(&pred, &target, None);
+        for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_mse_emphasises_heavy_samples() {
+        let pred = t(2, 1, &[1.0, 1.0]);
+        let target = t(2, 1, &[0.0, 2.0]);
+        // All weight on the second sample → loss is its squared error.
+        let v = Mse.value(&pred, &target, Some(&[0.0, 5.0]));
+        assert!((v - 1.0).abs() < 1e-12);
+        let g = Mse.grad(&pred, &target, Some(&[0.0, 5.0]));
+        assert_eq!(g.get(0, 0), 0.0);
+        assert!((g.get(1, 0) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_value_and_grad_signs() {
+        let pred = t(2, 1, &[2.0, -3.0]);
+        let target = t(2, 1, &[0.0, 0.0]);
+        assert_eq!(Mae.value(&pred, &target, None), 2.5);
+        let g = Mae.grad(&pred, &target, None);
+        assert_eq!(g.as_slice(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn huber_transitions_at_delta() {
+        let h = Huber::new(1.0);
+        let pred = t(2, 1, &[0.5, 3.0]);
+        let target = t(2, 1, &[0.0, 0.0]);
+        let per = h.per_sample(&pred, &target);
+        assert!((per[0] - 0.125).abs() < 1e-12); // quadratic region
+        assert!((per[1] - 2.5).abs() < 1e-12); // linear region: 1·(3−0.5)
+        let g = h.grad(&pred, &target, None);
+        assert!((g.get(0, 0) - 0.25).abs() < 1e-12); // e/B
+        assert!((g.get(1, 0) - 0.5).abs() < 1e-12); // δ·sign/B
+    }
+
+    #[test]
+    fn msle_zero_at_equality_and_scale_invariance_feel() {
+        let pred = t(1, 1, &[9.0]);
+        let target = t(1, 1, &[9.0]);
+        assert_eq!(Msle.value(&pred, &target, None), 0.0);
+        // Equal ratios give equal losses: (1, 3) vs (10, 30)... approximately
+        // in log1p space for large values.
+        let a = Msle.value(&t(1, 1, &[300.0]), &t(1, 1, &[100.0]), None);
+        let b = Msle.value(&t(1, 1, &[3000.0]), &t(1, 1, &[1000.0]), None);
+        assert!((a - b).abs() < 0.02, "|{a} − {b}| should be small");
+    }
+
+    #[test]
+    fn msle_clamps_below_minus_one() {
+        let pred = t(1, 1, &[-5.0]);
+        let target = t(1, 1, &[2.0]);
+        let v = Msle.value(&pred, &target, None);
+        assert!(v.is_finite());
+        let g = Msle.grad(&pred, &target, None);
+        assert!(g.get(0, 0).is_finite());
+        assert!(g.get(0, 0) < 0.0, "gradient must push the prediction upward");
+    }
+
+    #[test]
+    fn empty_batch_value_is_zero() {
+        let pred = Tensor::zeros(0, 1);
+        let target = Tensor::zeros(0, 1);
+        assert_eq!(Mse.value(&pred, &target, None), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not sum to zero")]
+    fn zero_weights_panic() {
+        let pred = t(1, 1, &[1.0]);
+        let target = t(1, 1, &[0.0]);
+        Mse.value(&pred, &target, Some(&[0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mse: pred")]
+    fn shape_mismatch_panics() {
+        Mse.per_sample(&Tensor::zeros(1, 2), &Tensor::zeros(2, 1));
+    }
+
+    /// Numeric check of every loss gradient via central differences.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Mse),
+            Box::new(Huber::new(0.7)),
+            Box::new(Msle),
+        ];
+        let pred = t(3, 2, &[0.5, 1.5, 2.0, 0.1, 4.0, 0.9]);
+        let target = t(3, 2, &[0.0, 2.0, 2.5, 0.0, 1.0, 1.0]);
+        let w = [1.0, 2.0, 0.5];
+        let eps = 1e-6;
+        for loss in &losses {
+            let g = loss.grad(&pred, &target, Some(&w));
+            for r in 0..3 {
+                for c in 0..2 {
+                    let mut plus = pred.clone();
+                    plus.set(r, c, pred.get(r, c) + eps);
+                    let mut minus = pred.clone();
+                    minus.set(r, c, pred.get(r, c) - eps);
+                    let num = (loss.value(&plus, &target, Some(&w))
+                        - loss.value(&minus, &target, Some(&w)))
+                        / (2.0 * eps);
+                    let ana = g.get(r, c);
+                    assert!(
+                        (num - ana).abs() < 1e-6,
+                        "{}: ({r},{c}) numeric {num} vs analytic {ana}",
+                        loss.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! First-order optimizers.
+//!
+//! Optimizers key their per-parameter state (momentum buffers, Adam moments)
+//! by parameter *position*, which is stable because [`crate::layers::Layer::params_mut`]
+//! guarantees a fixed ordering. Passing the parameters of a different model
+//! to an already-initialised optimizer is a bug and is caught by a shape
+//! assertion.
+
+use crate::layers::Param;
+use crate::tensor::Tensor;
+
+/// A gradient-based parameter updater.
+pub trait Optimizer: Send {
+    /// Applies one update step using the accumulated gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Overrides the learning rate (used by schedules and fine-tuning).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+fn validate_state(state: &[Tensor], params: &[&mut Param]) {
+    assert_eq!(
+        state.len(),
+        params.len(),
+        "optimizer: parameter count changed ({} → {}); optimizers are bound to one model",
+        state.len(),
+        params.len()
+    );
+    for (s, p) in state.iter().zip(params.iter()) {
+        assert_eq!(
+            s.shape(),
+            p.value.shape(),
+            "optimizer: parameter shape changed; optimizers are bound to one model"
+        );
+    }
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_options(lr, 0.0, 0.0)
+    }
+
+    /// SGD with momentum `μ` and weight decay `λ` (applied as `θ ← θ(1−lr·λ)`).
+    ///
+    /// # Panics
+    /// Panics on invalid hyper-parameters.
+    pub fn with_options(lr: f64, momentum: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "Sgd: lr must be positive");
+        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
+        assert!(weight_decay >= 0.0, "Sgd: weight_decay must be non-negative");
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+        }
+        validate_state(&self.velocity, params);
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.weight_decay > 0.0 {
+                p.value.scale_assign(1.0 - self.lr * self.weight_decay);
+            }
+            if self.momentum > 0.0 {
+                v.scale_assign(self.momentum);
+                v.add_assign(&p.grad);
+                p.value.axpy(-self.lr, v);
+            } else {
+                p.value.axpy(-self.lr, &p.grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "Sgd: lr must be positive");
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW-style).
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the conventional defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    /// Panics unless `lr > 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_options(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterised Adam.
+    ///
+    /// # Panics
+    /// Panics on invalid hyper-parameters.
+    pub fn with_options(lr: f64, beta1: f64, beta2: f64, eps: f64, weight_decay: f64) -> Self {
+        assert!(lr > 0.0, "Adam: lr must be positive");
+        assert!((0.0..1.0).contains(&beta1), "Adam: beta1 must be in [0,1)");
+        assert!((0.0..1.0).contains(&beta2), "Adam: beta2 must be in [0,1)");
+        assert!(eps > 0.0, "Adam: eps must be positive");
+        assert!(weight_decay >= 0.0, "Adam: weight_decay must be non-negative");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        validate_state(&self.m, params);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            if self.weight_decay > 0.0 {
+                p.value.scale_assign(1.0 - self.lr * self.weight_decay);
+            }
+            let g = p.grad.as_slice();
+            let mv = m.as_mut_slice();
+            let vv = v.as_mut_slice();
+            let theta = p.value.as_mut_slice();
+            for i in 0..g.len() {
+                mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
+                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = mv[i] / bc1;
+                let v_hat = vv[i] / bc2;
+                theta[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "Adam: lr must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f64) -> Param {
+        Param::new(Tensor::from_vec(1, 1, vec![x0]))
+    }
+
+    /// One step of plain SGD on f(x) = x² moves x by −lr·2x.
+    #[test]
+    fn sgd_single_step() {
+        let mut p = quadratic_param(3.0);
+        p.grad = Tensor::from_vec(1, 1, vec![6.0]);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - 2.4).abs() < 1e-12);
+    }
+
+    /// SGD converges on a convex quadratic.
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_param(5.0);
+        let mut opt = Sgd::with_options(0.1, 0.9, 0.0);
+        // Heavy-ball on x² contracts like √μ per step (≈0.949 here), so give
+        // it enough iterations to pass a tight absolute bound.
+        for _ in 0..500 {
+            let x = p.value.get(0, 0);
+            p.zero_grad();
+            p.grad.set(0, 0, 2.0 * x);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-6);
+    }
+
+    /// Momentum accelerates along a consistent gradient direction.
+    #[test]
+    fn momentum_accumulates() {
+        let mut plain = quadratic_param(0.0);
+        let mut with_mom = quadratic_param(0.0);
+        let mut opt_plain = Sgd::new(0.1);
+        let mut opt_mom = Sgd::with_options(0.1, 0.9, 0.0);
+        for _ in 0..5 {
+            plain.grad = Tensor::from_vec(1, 1, vec![1.0]);
+            with_mom.grad = Tensor::from_vec(1, 1, vec![1.0]);
+            opt_plain.step(&mut [&mut plain]);
+            opt_mom.step(&mut [&mut with_mom]);
+        }
+        assert!(
+            with_mom.value.get(0, 0) < plain.value.get(0, 0),
+            "momentum should have travelled farther"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut p = quadratic_param(1.0);
+        // Zero gradient: only the decay acts.
+        let mut opt = Sgd::with_options(0.1, 0.0, 0.5);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.get(0, 0) - 0.95).abs() < 1e-12);
+    }
+
+    /// Adam's first step moves by ≈ lr regardless of gradient scale.
+    #[test]
+    fn adam_first_step_is_lr_sized() {
+        for scale in [1e-3, 1.0, 1e3] {
+            let mut p = quadratic_param(0.0);
+            p.grad = Tensor::from_vec(1, 1, vec![scale]);
+            let mut opt = Adam::new(0.01);
+            opt.step(&mut [&mut p]);
+            assert!(
+                (p.value.get(0, 0).abs() - 0.01).abs() < 1e-6,
+                "step size for grad scale {scale} was {}",
+                p.value.get(0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_param(4.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value.get(0, 0);
+            p.zero_grad();
+            p.grad.set(0, 0, 2.0 * x);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.get(0, 0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.05);
+        assert_eq!(opt.learning_rate(), 0.05);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn rebinding_to_different_model_panics() {
+        let mut a = quadratic_param(0.0);
+        let mut b = quadratic_param(0.0);
+        let mut opt = Sgd::with_options(0.1, 0.5, 0.0);
+        opt.step(&mut [&mut a]);
+        opt.step(&mut [&mut a, &mut b]);
+    }
+}

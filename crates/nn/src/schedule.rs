@@ -1,0 +1,129 @@
+//! Learning-rate schedules, applied per epoch by [`crate::train::fit`].
+
+/// A per-epoch learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// The optimizer's learning rate is left untouched.
+    Constant,
+    /// Multiply the base rate by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays (≥ 1).
+        every: usize,
+        /// Multiplicative factor per decay, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Cosine annealing from the base rate down to `min_lr` over
+    /// `total_epochs`.
+    Cosine {
+        /// Epoch count the annealing is stretched over.
+        total_epochs: usize,
+        /// The floor the rate anneals to.
+        min_lr: f64,
+    },
+    /// Linear warmup from `start_fraction · base` to the base rate over
+    /// `warmup_epochs`, constant afterwards.
+    Warmup {
+        /// Warmup length in epochs (≥ 1).
+        warmup_epochs: usize,
+        /// Fraction of the base rate to start from, in `(0, 1]`.
+        start_fraction: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based), given the base rate.
+    ///
+    /// # Panics
+    /// Panics on invalid schedule parameters.
+    pub fn rate(&self, base: f64, epoch: usize) -> f64 {
+        assert!(base > 0.0, "LrSchedule: base rate must be positive");
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every >= 1, "StepDecay: every must be ≥ 1");
+                assert!(factor > 0.0 && factor <= 1.0, "StepDecay: factor must be in (0, 1]");
+                base * factor.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                assert!(total_epochs >= 1, "Cosine: total_epochs must be ≥ 1");
+                assert!(min_lr >= 0.0 && min_lr <= base, "Cosine: min_lr must be in [0, base]");
+                let t = (epoch.min(total_epochs) as f64) / total_epochs as f64;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup {
+                warmup_epochs,
+                start_fraction,
+            } => {
+                assert!(warmup_epochs >= 1, "Warmup: warmup_epochs must be ≥ 1");
+                assert!(
+                    start_fraction > 0.0 && start_fraction <= 1.0,
+                    "Warmup: start_fraction must be in (0, 1]"
+                );
+                if epoch >= warmup_epochs {
+                    base
+                } else {
+                    let t = epoch as f64 / warmup_epochs as f64;
+                    base * (start_fraction + (1.0 - start_fraction) * t)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_identity() {
+        for e in [0, 5, 500] {
+            assert_eq!(LrSchedule::Constant.rate(0.01, e), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        assert_eq!(s.rate(0.1, 0), 0.1);
+        assert_eq!(s.rate(0.1, 9), 0.1);
+        assert_eq!(s.rate(0.1, 10), 0.05);
+        assert_eq!(s.rate(0.1, 25), 0.025);
+    }
+
+    #[test]
+    fn cosine_anneals_between_bounds() {
+        let s = LrSchedule::Cosine { total_epochs: 100, min_lr: 1e-4 };
+        assert!((s.rate(1e-2, 0) - 1e-2).abs() < 1e-12);
+        assert!((s.rate(1e-2, 100) - 1e-4).abs() < 1e-12);
+        // Midpoint is the mean of the bounds.
+        let mid = s.rate(1e-2, 50);
+        assert!((mid - (1e-2 + 1e-4) / 2.0).abs() < 1e-9);
+        // Past total_epochs the floor holds.
+        assert_eq!(s.rate(1e-2, 500), s.rate(1e-2, 100));
+        // Monotone decreasing.
+        let mut prev = f64::INFINITY;
+        for e in 0..=100 {
+            let r = s.rate(1e-2, e);
+            assert!(r <= prev + 1e-15);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { warmup_epochs: 10, start_fraction: 0.1 };
+        assert!((s.rate(1.0, 0) - 0.1).abs() < 1e-12);
+        assert!((s.rate(1.0, 5) - 0.55).abs() < 1e-12);
+        assert_eq!(s.rate(1.0, 10), 1.0);
+        assert_eq!(s.rate(1.0, 99), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn bad_step_factor_panics() {
+        LrSchedule::StepDecay { every: 5, factor: 1.5 }.rate(0.1, 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! Declarative model specifications and (de)serialization.
+//!
+//! A TASFAR deployment ships a trained model plus its source calibration to
+//! the target device. Trait objects don't serialize, so persistence goes
+//! through [`ModelSpec`] — a declarative architecture description that can
+//! rebuild the [`Sequential`] — plus a flat parameter/state snapshot:
+//!
+//! ```
+//! use tasfar_nn::prelude::*;
+//! use tasfar_nn::spec::{LayerSpec, ModelSpec, SavedModel};
+//!
+//! let spec = ModelSpec::new(vec![
+//!     LayerSpec::Dense { in_dim: 4, out_dim: 8 },
+//!     LayerSpec::Relu,
+//!     LayerSpec::Dropout { p: 0.2 },
+//!     LayerSpec::Dense { in_dim: 8, out_dim: 1 },
+//! ]);
+//! let mut rng = Rng::new(1);
+//! let mut model = spec.build(&mut rng);
+//!
+//! let saved = SavedModel::capture(&spec, &mut model);
+//! let json = saved.to_json();
+//! let mut restored = SavedModel::from_json(&json).unwrap().restore(&mut rng);
+//!
+//! let x = Tensor::rand_normal(3, 4, 0.0, 1.0, &mut rng);
+//! assert_eq!(model.predict(&x), restored.predict(&x));
+//! ```
+
+use crate::init::Init;
+use crate::layers::{
+    BatchNorm1d, Conv1d, Dense, Dropout, GlobalAvgPool1d, Layer, LeakyRelu, Relu, Sequential,
+    Sigmoid, Tanh, TcnBlock,
+};
+use crate::rng::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One layer of a declarative model description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Fully connected layer (He-normal initialised).
+    Dense {
+        /// Input feature width.
+        in_dim: usize,
+        /// Output feature width.
+        out_dim: usize,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Leaky ReLU.
+    LeakyRelu {
+        /// Negative-side slope.
+        alpha: f64,
+    },
+    /// Inverted dropout.
+    Dropout {
+        /// Drop probability.
+        p: f64,
+    },
+    /// Batch normalisation over features.
+    BatchNorm1d {
+        /// Feature width.
+        dim: usize,
+    },
+    /// Dilated causal 1-D convolution.
+    Conv1d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel taps.
+        kernel: usize,
+        /// Dilation.
+        dilation: usize,
+        /// Window length.
+        time_len: usize,
+    },
+    /// Global average pooling over time.
+    GlobalAvgPool1d {
+        /// Channels.
+        channels: usize,
+        /// Window length.
+        time_len: usize,
+    },
+    /// Residual temporal-convolutional block.
+    TcnBlock {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel taps.
+        kernel: usize,
+        /// Dilation.
+        dilation: usize,
+        /// Window length.
+        time_len: usize,
+        /// Dropout probability inside the block.
+        dropout_p: f64,
+    },
+}
+
+impl LayerSpec {
+    fn build(&self, rng: &mut Rng) -> Box<dyn Layer> {
+        match *self {
+            LayerSpec::Dense { in_dim, out_dim } => {
+                Box::new(Dense::new(in_dim, out_dim, Init::HeNormal, rng))
+            }
+            LayerSpec::Relu => Box::new(Relu::new()),
+            LayerSpec::Tanh => Box::new(Tanh::new()),
+            LayerSpec::Sigmoid => Box::new(Sigmoid::new()),
+            LayerSpec::LeakyRelu { alpha } => Box::new(LeakyRelu::new(alpha)),
+            LayerSpec::Dropout { p } => Box::new(Dropout::new(p, rng)),
+            LayerSpec::BatchNorm1d { dim } => Box::new(BatchNorm1d::new(dim)),
+            LayerSpec::Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                dilation,
+                time_len,
+            } => Box::new(Conv1d::new(in_ch, out_ch, kernel, dilation, time_len, rng)),
+            LayerSpec::GlobalAvgPool1d { channels, time_len } => {
+                Box::new(GlobalAvgPool1d::new(channels, time_len))
+            }
+            LayerSpec::TcnBlock {
+                in_ch,
+                out_ch,
+                kernel,
+                dilation,
+                time_len,
+                dropout_p,
+            } => Box::new(TcnBlock::new(
+                in_ch, out_ch, kernel, dilation, time_len, dropout_p, rng,
+            )),
+        }
+    }
+}
+
+/// A declarative model architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// The layer chain, in order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Wraps a layer list.
+    pub fn new(layers: Vec<LayerSpec>) -> Self {
+        ModelSpec { layers }
+    }
+
+    /// Materialises the architecture with fresh (seeded) initialisation.
+    pub fn build(&self, rng: &mut Rng) -> Sequential {
+        let mut model = Sequential::new();
+        for layer in &self.layers {
+            model.push(layer.build(rng));
+        }
+        model
+    }
+}
+
+/// A serializable snapshot: architecture + flat parameter values (one vector
+/// per parameter tensor, in [`crate::layers::Layer::params_mut`] order).
+///
+/// Note: non-parameter layer state (batch-norm running moments) is captured
+/// by dedicated fields because it is not part of the gradient-bearing
+/// parameter set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedModel {
+    /// The architecture.
+    pub spec: ModelSpec,
+    /// Flat parameter values, `params_mut()` order.
+    pub params: Vec<Vec<f64>>,
+}
+
+impl SavedModel {
+    /// Snapshots a model's parameters against its spec.
+    ///
+    /// # Panics
+    /// Panics if `model` was not built from `spec` (parameter count
+    /// mismatch).
+    pub fn capture(spec: &ModelSpec, model: &mut Sequential) -> Self {
+        let params: Vec<Vec<f64>> = model
+            .params_mut()
+            .iter()
+            .map(|p| p.value.as_slice().to_vec())
+            .collect();
+        SavedModel {
+            spec: spec.clone(),
+            params,
+        }
+    }
+
+    /// Rebuilds the model and loads the snapshot into it.
+    ///
+    /// # Panics
+    /// Panics if the stored parameters do not fit the spec.
+    pub fn restore(&self, rng: &mut Rng) -> Sequential {
+        let mut model = self.spec.build(rng);
+        {
+            let mut params = model.params_mut();
+            assert_eq!(
+                params.len(),
+                self.params.len(),
+                "SavedModel: stored {} parameter tensors, model has {}",
+                self.params.len(),
+                params.len()
+            );
+            for (p, stored) in params.iter_mut().zip(&self.params) {
+                assert_eq!(
+                    p.value.len(),
+                    stored.len(),
+                    "SavedModel: parameter length mismatch"
+                );
+                p.value.as_mut_slice().copy_from_slice(stored);
+            }
+        }
+        model
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("SavedModel serializes")
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Mode;
+    use crate::tensor::Tensor;
+
+    fn demo_spec() -> ModelSpec {
+        ModelSpec::new(vec![
+            LayerSpec::Conv1d {
+                in_ch: 2,
+                out_ch: 3,
+                kernel: 3,
+                dilation: 1,
+                time_len: 6,
+            },
+            LayerSpec::Relu,
+            LayerSpec::GlobalAvgPool1d {
+                channels: 3,
+                time_len: 6,
+            },
+            LayerSpec::Dense { in_dim: 3, out_dim: 8 },
+            LayerSpec::LeakyRelu { alpha: 0.1 },
+            LayerSpec::Dropout { p: 0.2 },
+            LayerSpec::Dense { in_dim: 8, out_dim: 2 },
+        ])
+    }
+
+    #[test]
+    fn build_produces_working_model() {
+        let mut rng = Rng::new(1);
+        let mut model = demo_spec().build(&mut rng);
+        let x = Tensor::rand_normal(4, 12, 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), (4, 2));
+        assert_eq!(model.output_dim(12), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let mut rng = Rng::new(2);
+        let spec = demo_spec();
+        let mut model = spec.build(&mut rng);
+        // Perturb so the restored weights are non-trivial.
+        model.params_mut()[0].value.scale_assign(1.7);
+
+        let saved = SavedModel::capture(&spec, &mut model);
+        let json = saved.to_json();
+        let loaded = SavedModel::from_json(&json).unwrap();
+        let mut restored = loaded.restore(&mut Rng::new(999));
+
+        let x = Tensor::rand_normal(5, 12, 0.0, 1.0, &mut rng);
+        assert_eq!(model.predict(&x), restored.predict(&x));
+    }
+
+    #[test]
+    fn spec_json_is_humane() {
+        let json = serde_json::to_string(&demo_spec()).unwrap();
+        assert!(json.contains("Conv1d"));
+        assert!(json.contains("Dense"));
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, demo_spec());
+    }
+
+    #[test]
+    fn tcn_spec_roundtrip() {
+        let spec = ModelSpec::new(vec![
+            LayerSpec::TcnBlock {
+                in_ch: 2,
+                out_ch: 4,
+                kernel: 3,
+                dilation: 2,
+                time_len: 5,
+                dropout_p: 0.1,
+            },
+            LayerSpec::GlobalAvgPool1d {
+                channels: 4,
+                time_len: 5,
+            },
+            LayerSpec::Dense { in_dim: 4, out_dim: 1 },
+        ]);
+        let mut rng = Rng::new(3);
+        let mut model = spec.build(&mut rng);
+        let saved = SavedModel::capture(&spec, &mut model);
+        let mut restored = SavedModel::from_json(&saved.to_json()).unwrap().restore(&mut Rng::new(4));
+        let x = Tensor::rand_normal(2, 10, 0.0, 1.0, &mut rng);
+        assert_eq!(model.predict(&x), restored.predict(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn restoring_wrong_shapes_panics() {
+        let mut rng = Rng::new(5);
+        let spec = demo_spec();
+        let mut model = spec.build(&mut rng);
+        let mut saved = SavedModel::capture(&spec, &mut model);
+        saved.params[0].pop();
+        let _ = saved.restore(&mut rng);
+    }
+}

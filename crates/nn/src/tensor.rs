@@ -1,0 +1,782 @@
+//! A dense, row-major, two-dimensional `f64` tensor.
+//!
+//! All models in this workspace operate on mini-batches laid out as
+//! `(batch, features)` matrices, so a 2-D tensor is the only shape the
+//! substrate needs. Higher-rank data (e.g. the `(channels, time)` windows
+//! consumed by [`crate::layers::Conv1d`]) is packed into the feature axis
+//! with an explicit shape contract documented on the consuming layer.
+//!
+//! Operations follow the conventions of the Rust Performance Book: hot loops
+//! index flat slices (no per-element bounds re-checking through nested
+//! indexing), allocation is hoisted out of inner loops, and in-place
+//! variants (`*_assign`) are provided wherever the training loop would
+//! otherwise allocate per step.
+
+use crate::rng::Rng;
+use std::fmt;
+
+/// A dense row-major matrix of `f64` values.
+///
+/// Invariant: `data.len() == rows * cols` at all times.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {}x{} [", self.rows, self.cols)?;
+        let max_rows = 6.min(self.rows);
+        for r in 0..max_rows {
+            let row = self.row(r);
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Tensor {
+    // ----- constructors -------------------------------------------------
+
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f64) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: {} values cannot fill a {rows}x{cols} tensor",
+            data.len()
+        );
+        Tensor { rows, cols, data }
+    }
+
+    /// Builds a tensor from nested row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "from_rows: row {i} has length {} != {c}", row.len());
+            data.extend_from_slice(row);
+        }
+        Tensor { rows: r, cols: c, data }
+    }
+
+    /// A single-row tensor (a batch of one).
+    pub fn row_vector(values: &[f64]) -> Self {
+        Tensor::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// A single-column tensor.
+    pub fn col_vector(values: &[f64]) -> Self {
+        Tensor::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// Builds a tensor by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Entries drawn i.i.d. from `U[lo, hi)`.
+    pub fn rand_uniform(rows: usize, cols: usize, lo: f64, hi: f64, rng: &mut Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.uniform(lo, hi)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Entries drawn i.i.d. from `N(mean, std²)`.
+    pub fn rand_normal(rows: usize, cols: usize, mean: f64, std: f64, rng: &mut Rng) -> Self {
+        let data = (0..rows * cols).map(|_| rng.gaussian(mean, std)).collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut t = Tensor::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ----- shape accessors ----------------------------------------------
+
+    /// Number of rows (the batch axis by convention).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the feature axis by convention).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major backing slice, mutably.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    // ----- element access -----------------------------------------------
+
+    /// The entry at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "get({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "set({r},{c}) out of {}x{}", self.rows, self.cols);
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row {r} out of {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Column `c` copied into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "col {c} out of {} cols", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// A new tensor containing the selected rows, in order.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Tensor {
+        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            out.extend_from_slice(self.row(i));
+        }
+        Tensor::from_vec(indices.len(), self.cols, out)
+    }
+
+    /// Rows `lo..hi` as a new tensor.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
+        assert!(lo <= hi && hi <= self.rows, "slice_rows({lo},{hi}) out of {} rows", self.rows);
+        Tensor::from_vec(hi - lo, self.cols, self.data[lo * self.cols..hi * self.cols].to_vec())
+    }
+
+    /// Stacks tensors vertically (all must share the column count).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the column counts disagree.
+    pub fn vstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack: no tensors");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|t| t.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for t in parts {
+            assert_eq!(t.cols, cols, "vstack: mismatched column counts");
+            data.extend_from_slice(&t.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Concatenates tensors horizontally (all must share the row count).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the row counts disagree.
+    pub fn hstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "hstack: no tensors");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|t| t.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        let mut offset = 0;
+        for t in parts {
+            assert_eq!(t.rows, rows, "hstack: mismatched row counts");
+            for r in 0..rows {
+                out.data[r * cols + offset..r * cols + offset + t.cols]
+                    .copy_from_slice(t.row(r));
+            }
+            offset += t.cols;
+        }
+        out
+    }
+
+    // ----- linear algebra -------------------------------------------------
+
+    /// Matrix product `self × other`.
+    ///
+    /// Straightforward ikj-ordered triple loop: the inner loop walks both the
+    /// output row and the `other` row contiguously, which keeps the naive
+    /// kernel within a small factor of a blocked implementation at the matrix
+    /// sizes used here (≤ a few hundred per side).
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} × {}x{} is shape-incompatible",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// `selfᵀ × other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "t_matmul: {}x{} ᵀ× {}x{} is shape-incompatible",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.cols, self.rows, other.cols);
+        let mut out = vec![0.0; m * n];
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// `self × otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_t: {}x{} × {}x{}ᵀ is shape-incompatible",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor { rows: m, cols: n, data: out }
+    }
+
+    /// The transpose as a new tensor.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    // ----- elementwise ----------------------------------------------------
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Every entry multiplied by `k`.
+    pub fn scale(&self, k: f64) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.zip_apply(other, |a, b| *a += b);
+    }
+
+    /// In-place `self -= other`.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        self.zip_apply(other, |a, b| *a -= b);
+    }
+
+    /// In-place `self += k * other` (the axpy kernel used by optimizers).
+    pub fn axpy(&mut self, k: f64, other: &Tensor) {
+        self.zip_apply(other, |a, b| *a += k * b);
+    }
+
+    /// In-place `self *= k`.
+    pub fn scale_assign(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Sets every entry to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` to every entry, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_assign(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two equally-shaped tensors entrywise.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    fn zip_apply(&mut self, other: &Tensor, f: impl Fn(&mut f64, f64)) {
+        assert_eq!(self.shape(), other.shape(), "zip_apply: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            f(a, b);
+        }
+    }
+
+    // ----- broadcasts -----------------------------------------------------
+
+    /// Adds a length-`cols` row vector to every row.
+    ///
+    /// # Panics
+    /// Panics if `bias.len() != cols`.
+    pub fn add_row_broadcast(&self, bias: &[f64]) -> Tensor {
+        assert_eq!(bias.len(), self.cols, "add_row_broadcast: bias length mismatch");
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// In-place row-broadcast addition.
+    pub fn add_row_broadcast_assign(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "add_row_broadcast: bias length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Multiplies every row entrywise by a length-`cols` vector.
+    pub fn mul_row_broadcast(&self, scale: &[f64]) -> Tensor {
+        assert_eq!(scale.len(), self.cols, "mul_row_broadcast: scale length mismatch");
+        let mut out = self.clone();
+        for row in out.data.chunks_exact_mut(out.cols) {
+            for (v, &s) in row.iter_mut().zip(scale) {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Multiplies row `r` by `weights[r]` (per-sample weighting).
+    pub fn mul_col_broadcast(&self, weights: &[f64]) -> Tensor {
+        assert_eq!(weights.len(), self.rows, "mul_col_broadcast: weight length mismatch");
+        let mut out = self.clone();
+        for (row, &w) in out.data.chunks_exact_mut(out.cols.max(1)).zip(weights) {
+            for v in row {
+                *v *= w;
+            }
+        }
+        out
+    }
+
+    // ----- reductions -----------------------------------------------------
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for an empty tensor).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Per-column sums (a length-`cols` vector).
+    pub fn sum_rows(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Per-column means.
+    pub fn mean_rows(&self) -> Vec<f64> {
+        let mut sums = self.sum_rows();
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f64;
+            for s in &mut sums {
+                *s *= inv;
+            }
+        }
+        sums
+    }
+
+    /// Per-column population variances.
+    pub fn var_rows(&self) -> Vec<f64> {
+        let means = self.mean_rows();
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            for ((o, &v), &m) in out.iter_mut().zip(row).zip(&means) {
+                let d = v - m;
+                *o += d * d;
+            }
+        }
+        if self.rows > 0 {
+            let inv = 1.0 / self.rows as f64;
+            for o in &mut out {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Per-row sums (a length-`rows` vector).
+    pub fn sum_cols(&self) -> Vec<f64> {
+        self.data
+            .chunks_exact(self.cols.max(1))
+            .map(|row| row.iter().sum())
+            .collect()
+    }
+
+    /// Largest entry; `NaN` entries are ignored.
+    pub fn max(&self) -> f64 {
+        self.data.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Smallest entry; `NaN` entries are ignored.
+    pub fn min(&self) -> f64 {
+        self.data.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// True when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f64]) -> Tensor {
+        Tensor::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn constructors_shapes() {
+        assert_eq!(Tensor::zeros(3, 4).shape(), (3, 4));
+        assert_eq!(Tensor::full(2, 2, 7.0).as_slice(), &[7.0; 4]);
+        assert_eq!(Tensor::identity(3).get(1, 1), 1.0);
+        assert_eq!(Tensor::identity(3).get(1, 2), 0.0);
+        assert_eq!(Tensor::row_vector(&[1.0, 2.0]).shape(), (1, 2));
+        assert_eq!(Tensor::col_vector(&[1.0, 2.0]).shape(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_rejects_bad_length() {
+        Tensor::from_vec(2, 3, vec![1.0; 5]);
+    }
+
+    #[test]
+    fn from_rows_and_ragged() {
+        let x = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(x.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_rows")]
+    fn from_rows_ragged_panics() {
+        Tensor::from_rows(&[vec![1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(2, 2, &[1.5, -2.0, 0.25, 4.0]);
+        assert_eq!(a.matmul(&Tensor::identity(2)), a);
+        assert_eq!(Tensor::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit_transpose() {
+        let mut rng = Rng::new(1);
+        let a = Tensor::rand_normal(4, 3, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(4, 5, 0.0, 1.0, &mut rng);
+        let via_t = a.transpose().matmul(&b);
+        let fused = a.t_matmul(&b);
+        for (x, y) in via_t.as_slice().iter().zip(fused.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let c = Tensor::rand_normal(6, 3, 0.0, 1.0, &mut rng);
+        let d = Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng);
+        let via_t2 = c.matmul(&d.transpose());
+        let fused2 = c.matmul_t(&d);
+        for (x, y) in via_t2.as_slice().iter().zip(fused2.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        t(2, 3, &[0.0; 6]).matmul(&t(2, 2, &[0.0; 4]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn inplace_ops() {
+        let mut a = t(1, 2, &[1.0, 2.0]);
+        let b = t(1, 2, &[10.0, 20.0]);
+        a.add_assign(&b);
+        assert_eq!(a.as_slice(), &[11.0, 22.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[6.0, 12.0]);
+        a.scale_assign(2.0);
+        assert_eq!(a.as_slice(), &[12.0, 24.0]);
+        a.fill_zero();
+        assert_eq!(a.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn broadcasts() {
+        let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let with_bias = x.add_row_broadcast(&[10.0, 20.0, 30.0]);
+        assert_eq!(with_bias.as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let scaled = x.mul_row_broadcast(&[1.0, 0.0, 2.0]);
+        assert_eq!(scaled.as_slice(), &[1.0, 0.0, 6.0, 4.0, 0.0, 12.0]);
+        let weighted = x.mul_col_broadcast(&[2.0, 0.5]);
+        assert_eq!(weighted.as_slice(), &[2.0, 4.0, 6.0, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.sum(), 10.0);
+        assert_eq!(x.mean(), 2.5);
+        assert_eq!(x.sum_rows(), vec![4.0, 6.0]);
+        assert_eq!(x.mean_rows(), vec![2.0, 3.0]);
+        assert_eq!(x.sum_cols(), vec![3.0, 7.0]);
+        assert_eq!(x.max(), 4.0);
+        assert_eq!(x.min(), 1.0);
+        assert!((x.frobenius_norm() - 30.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn var_rows_matches_manual() {
+        let x = t(3, 1, &[1.0, 2.0, 3.0]);
+        let v = x.var_rows();
+        assert!((v[0] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(x.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(x.col(2), vec![3.0, 6.0]);
+        assert_eq!(x.select_rows(&[1, 0]).as_slice(), &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
+        assert_eq!(x.slice_rows(1, 2).as_slice(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = t(1, 2, &[1.0, 2.0]);
+        let b = t(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let v = Tensor::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+
+        let c = t(2, 1, &[9.0, 10.0]);
+        let h = Tensor::hstack(&[&b, &c]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[3.0, 4.0, 9.0]);
+        assert_eq!(h.row(1), &[5.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(3, 5, -1.0, 1.0, &mut rng);
+        assert_eq!(x.transpose().transpose(), x);
+    }
+
+    #[test]
+    fn all_finite_detects_nan_and_inf() {
+        let mut x = t(1, 2, &[1.0, 2.0]);
+        assert!(x.all_finite());
+        x.set(0, 1, f64::NAN);
+        assert!(!x.all_finite());
+        x.set(0, 1, f64::INFINITY);
+        assert!(!x.all_finite());
+    }
+}

@@ -1,0 +1,441 @@
+//! Mini-batch training loop with early stopping on the loss-drop rate.
+//!
+//! The early-stopping rule implements the paper's Fig. 13 observation: the
+//! adaptation should stop "when the rate of error reduction slows down",
+//! because at that point the model has absorbed the high-credibility
+//! pseudo-labels and further epochs chase the noisy low-credibility ones.
+
+use crate::layers::{Layer, Mode, Sequential};
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::rng::Rng;
+use crate::schedule::LrSchedule;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size; the final batch of an epoch may be smaller.
+    pub batch_size: usize,
+    /// Seed for the shuffling stream.
+    pub seed: u64,
+    /// Whether to reshuffle every epoch.
+    pub shuffle: bool,
+    /// Optional early stopping on the loss-drop rate.
+    pub early_stop: Option<EarlyStop>,
+    /// Forward mode used during training. `Train` (default) activates
+    /// dropout and batch statistics; `Eval` fine-tunes deterministically.
+    ///
+    /// Deterministic fine-tuning matters for self-/pseudo-label objectives:
+    /// with dropout active, the expected loss against *fixed* targets
+    /// contains the model's own output variance, so the optimizer drifts
+    /// toward variance suppression even when the targets equal the current
+    /// predictions. TASFAR's adaptation trainer therefore fine-tunes in
+    /// `Eval` mode while MC-dropout uncertainty still uses stochastic
+    /// passes.
+    pub mode: Mode,
+    /// Learning-rate schedule, applied to the optimizer at the start of
+    /// every epoch relative to the optimizer's initial rate.
+    pub schedule: LrSchedule,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 100,
+            batch_size: 32,
+            seed: 0,
+            shuffle: true,
+            early_stop: None,
+            mode: Mode::Train,
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Early stopping on the *rate* of loss reduction.
+///
+/// After each epoch ≥ `min_epochs`, compare the mean loss of the last
+/// `window` epochs against the `window` before it; stop when the relative
+/// improvement falls below `min_rel_improvement`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EarlyStop {
+    /// Width of the trailing loss windows being compared.
+    pub window: usize,
+    /// Stop when the windows' relative improvement falls below this.
+    pub min_rel_improvement: f64,
+    /// Never stop before this many epochs.
+    pub min_epochs: usize,
+}
+
+impl Default for EarlyStop {
+    fn default() -> Self {
+        EarlyStop {
+            window: 5,
+            min_rel_improvement: 0.01,
+            min_epochs: 10,
+        }
+    }
+}
+
+/// The outcome of [`fit`].
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// Mean training loss per completed epoch.
+    pub epoch_losses: Vec<f64>,
+    /// The epoch at which early stopping triggered, if it did.
+    pub stopped_early_at: Option<usize>,
+}
+
+impl FitReport {
+    /// The final epoch's training loss.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().unwrap_or(&f64::NAN)
+    }
+}
+
+/// Trains `model` on `(x, y)` with optional per-sample weights.
+///
+/// Weights follow the convention of [`crate::loss`]: the objective is the
+/// weight-normalised mean loss, so uniform weights match unweighted training.
+///
+/// # Panics
+/// Panics if `x` and `y` disagree on the batch size, if `weights` has the
+/// wrong length, or if the dataset is empty while `epochs > 0`.
+pub fn fit(
+    model: &mut Sequential,
+    optimizer: &mut dyn Optimizer,
+    loss: &dyn Loss,
+    x: &Tensor,
+    y: &Tensor,
+    weights: Option<&[f64]>,
+    cfg: &TrainConfig,
+) -> FitReport {
+    assert_eq!(x.rows(), y.rows(), "fit: x has {} rows but y has {}", x.rows(), y.rows());
+    if let Some(w) = weights {
+        assert_eq!(w.len(), x.rows(), "fit: weight length mismatch");
+    }
+    assert!(
+        x.rows() > 0 || cfg.epochs == 0,
+        "fit: cannot train on an empty dataset"
+    );
+    assert!(cfg.batch_size > 0, "fit: batch_size must be positive");
+
+    let n = x.rows();
+    let mut rng = Rng::new(cfg.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut report = FitReport {
+        epoch_losses: Vec::with_capacity(cfg.epochs),
+        stopped_early_at: None,
+    };
+    let base_lr = optimizer.learning_rate();
+
+    for epoch in 0..cfg.epochs {
+        optimizer.set_learning_rate(cfg.schedule.rate(base_lr, epoch));
+        if cfg.shuffle {
+            rng.shuffle(&mut order);
+        }
+        let mut epoch_loss = 0.0;
+        let mut epoch_weight = 0.0;
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = x.select_rows(chunk);
+            let yb = y.select_rows(chunk);
+            let wb: Option<Vec<f64>> = weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
+            let wb_ref = wb.as_deref();
+            // Skip batches whose weights sum to zero — they carry no signal
+            // and would poison the normalisation.
+            let batch_weight = match wb_ref {
+                Some(w) => w.iter().sum::<f64>(),
+                None => chunk.len() as f64,
+            };
+            if batch_weight <= 0.0 {
+                continue;
+            }
+
+            model.zero_grad();
+            let pred = model.forward(&xb, cfg.mode);
+            let batch_loss = loss.value(&pred, &yb, wb_ref);
+            let grad = loss.grad(&pred, &yb, wb_ref);
+            model.backward(&grad);
+            optimizer.step(&mut model.params_mut());
+
+            epoch_loss += batch_loss * batch_weight;
+            epoch_weight += batch_weight;
+        }
+        let mean_loss = if epoch_weight > 0.0 {
+            epoch_loss / epoch_weight
+        } else {
+            0.0
+        };
+        report.epoch_losses.push(mean_loss);
+
+        if let Some(es) = &cfg.early_stop {
+            if should_stop(&report.epoch_losses, es, epoch) {
+                report.stopped_early_at = Some(epoch);
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// The Fig. 13 stopping rule: stop once the relative improvement of the
+/// trailing loss window over the preceding window falls below the threshold.
+fn should_stop(losses: &[f64], es: &EarlyStop, epoch: usize) -> bool {
+    if epoch + 1 < es.min_epochs.max(2 * es.window) {
+        return false;
+    }
+    let n = losses.len();
+    let recent: f64 = losses[n - es.window..].iter().sum::<f64>() / es.window as f64;
+    let previous: f64 =
+        losses[n - 2 * es.window..n - es.window].iter().sum::<f64>() / es.window as f64;
+    if previous <= 0.0 {
+        return true; // loss already at the floor
+    }
+    (previous - recent) / previous < es.min_rel_improvement
+}
+
+/// Evaluates the mean loss of `model` on `(x, y)` without updating anything.
+pub fn evaluate(model: &mut Sequential, loss: &dyn Loss, x: &Tensor, y: &Tensor) -> f64 {
+    let pred = model.predict(x);
+    loss.value(&pred, y, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Dense, Relu};
+    use crate::loss::Mse;
+    use crate::optim::Adam;
+
+    fn linear_data(rng: &mut Rng, n: usize) -> (Tensor, Tensor) {
+        // y = 3x₀ − 2x₁ + 1 + noise
+        let x = Tensor::rand_uniform(n, 2, -1.0, 1.0, rng);
+        let y = Tensor::from_fn(n, 1, |r, _| {
+            3.0 * x.get(r, 0) - 2.0 * x.get(r, 1) + 1.0 + rng.gaussian(0.0, 0.01)
+        });
+        (x, y)
+    }
+
+    #[test]
+    fn fit_learns_a_linear_function() {
+        let mut rng = Rng::new(1);
+        let (x, y) = linear_data(&mut rng, 256);
+        let mut model = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.05);
+        let report = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 200,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.final_loss() < 0.01, "final loss {}", report.final_loss());
+        assert!(report.epoch_losses[0] > report.final_loss());
+    }
+
+    #[test]
+    fn fit_learns_nonlinear_with_hidden_layer() {
+        let mut rng = Rng::new(2);
+        let x = Tensor::rand_uniform(512, 1, -2.0, 2.0, &mut rng);
+        let y = x.map(|v| v * v);
+        let mut model = Sequential::new()
+            .add(Dense::new(1, 32, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let report = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 300,
+                batch_size: 64,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.final_loss() < 0.02, "final loss {}", report.final_loss());
+    }
+
+    #[test]
+    fn weighted_fit_ignores_zero_weight_samples() {
+        let mut rng = Rng::new(3);
+        // Two clusters with contradictory labels; weights select cluster A.
+        let xa = Tensor::full(64, 1, 1.0);
+        let ya = Tensor::full(64, 1, 2.0);
+        let xb = Tensor::full(64, 1, 1.0);
+        let yb = Tensor::full(64, 1, -2.0);
+        let x = Tensor::vstack(&[&xa, &xb]);
+        let y = Tensor::vstack(&[&ya, &yb]);
+        let mut w = vec![1.0; 64];
+        w.extend(vec![0.0; 64]);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.05);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            Some(&w),
+            &TrainConfig {
+                epochs: 200,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        );
+        let pred = model.predict(&Tensor::full(1, 1, 1.0));
+        assert!(
+            (pred.get(0, 0) - 2.0).abs() < 0.1,
+            "prediction {} should match the weighted cluster",
+            pred.get(0, 0)
+        );
+    }
+
+    #[test]
+    fn early_stop_triggers_on_plateau() {
+        let mut rng = Rng::new(4);
+        let (x, y) = linear_data(&mut rng, 128);
+        let mut model = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.1);
+        let report = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 1000,
+                batch_size: 32,
+                early_stop: Some(EarlyStop {
+                    window: 5,
+                    min_rel_improvement: 0.01,
+                    min_epochs: 10,
+                }),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            report.stopped_early_at.is_some(),
+            "plateaued training should stop early"
+        );
+        assert!(report.epoch_losses.len() < 1000);
+    }
+
+    #[test]
+    fn zero_epochs_is_a_noop() {
+        let mut rng = Rng::new(5);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let before = model.predict(&Tensor::full(1, 1, 1.0));
+        let mut opt = Adam::new(0.1);
+        let report = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(4, 1),
+            &Tensor::zeros(4, 1),
+            None,
+            &TrainConfig {
+                epochs: 0,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(model.predict(&Tensor::full(1, 1, 1.0)), before);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let build = || {
+            let mut rng = Rng::new(6);
+            let (x, y) = linear_data(&mut rng, 64);
+            let mut model = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng));
+            let mut opt = Adam::new(0.05);
+            let report = fit(
+                &mut model,
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                &TrainConfig {
+                    epochs: 20,
+                    seed: 9,
+                    ..TrainConfig::default()
+                },
+            );
+            report.epoch_losses
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn evaluate_matches_loss_on_predictions() {
+        let mut rng = Rng::new(7);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let x = Tensor::rand_normal(16, 1, 0.0, 1.0, &mut rng);
+        let y = Tensor::zeros(16, 1);
+        let direct = {
+            let pred = model.predict(&x);
+            Mse.value(&pred, &y, None)
+        };
+        assert_eq!(evaluate(&mut model, &Mse, &x, &y), direct);
+    }
+
+    #[test]
+    fn schedule_is_applied_per_epoch() {
+        let mut rng = Rng::new(9);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let x = Tensor::rand_normal(8, 1, 0.0, 1.0, &mut rng);
+        let y = x.clone();
+        let mut opt = Adam::new(0.1);
+        let _ = fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 8,
+                schedule: crate::schedule::LrSchedule::StepDecay { every: 5, factor: 0.5 },
+                ..TrainConfig::default()
+            },
+        );
+        // After the last epoch (epoch index 9), the step decay has fired
+        // once: 0.1 · 0.5 = 0.05.
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit: x has")]
+    fn mismatched_rows_panic() {
+        let mut rng = Rng::new(8);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::Zeros, &mut rng));
+        let mut opt = Adam::new(0.1);
+        fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(3, 1),
+            &Tensor::zeros(4, 1),
+            None,
+            &TrainConfig::default(),
+        );
+    }
+}

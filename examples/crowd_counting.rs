@@ -1,0 +1,96 @@
+//! Crowd counting: adapt a source counting model to three street scenes.
+//!
+//! Mirrors the paper's ShanghaiTech Part-A → Part-B experiment: a counting
+//! regressor trained on dense source scenes is adapted to each sparser
+//! target scene separately. The per-scene count distribution (a stable
+//! pedestrian stream shows as a narrow label distribution) is what TASFAR's
+//! density map captures.
+//!
+//! Run with: `cargo run --release -p examples --bin crowd_counting`
+
+use tasfar_core::prelude::*;
+use tasfar_data::crowd::{self, CrowdConfig};
+use tasfar_data::{Dataset, Scaler};
+use tasfar_nn::prelude::*;
+
+fn main() {
+    let config = CrowdConfig::default();
+    println!(
+        "simulating {} source images and 3 scenes x {} images...",
+        config.n_source, config.n_per_scene
+    );
+    let world = crowd::generate(&config);
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+
+    let mut rng = Rng::new(11);
+    let mut model = Sequential::new()
+        .add(Dense::new(crowd::FEATURES, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(64, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    println!(
+        "training the source counter (mean source count {:.0})...",
+        source.y.mean()
+    );
+    let mut opt = Adam::new(1e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 150,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
+    );
+
+    let cfg = TasfarConfig {
+        grid_cell: 5.0, // five-person cells in count space
+        joint_2d: false,
+        // Counts span a wide positive range: relative uncertainty +
+        // scenario recentering track difficulty, not count magnitude
+        // (DESIGN.md §1b).
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        learning_rate: 1e-3,
+        epochs: 100,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+    println!(
+        "\n{:>7} {:>11} {:>10} {:>10} {:>8}",
+        "scene", "mean count", "MAE before", "MAE after", "red %"
+    );
+    for scene in &world.scenes {
+        let data = Dataset::new(scaler.transform(&scene.data.x), scene.data.y.clone());
+        let mut srng = Rng::new(scene.profile.id as u64 + 50);
+        let (adapt_ds, test_ds) = data.split_fraction(0.8, &mut srng);
+
+        let mut scene_model = model.clone();
+        let before = metrics::mae(&scene_model.predict(&test_ds.x), &test_ds.y);
+        let outcome = adapt(&mut scene_model, &calib, &adapt_ds.x, &Mse, &cfg);
+        if let Some(reason) = outcome.skipped {
+            println!(
+                "scene {}: adaptation skipped ({reason})",
+                scene.profile.id + 1
+            );
+        }
+        let after = metrics::mae(&scene_model.predict(&test_ds.x), &test_ds.y);
+        println!(
+            "{:>7} {:>11.0} {:>10.2} {:>10.2} {:>7.1}%",
+            scene.profile.id + 1,
+            scene.data.y.mean(),
+            before,
+            after,
+            metrics::error_reduction_pct(before, after)
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Pedestrian dead reckoning: adapt a TCN regressor to an unseen user.
+//!
+//! Mirrors the paper's headline experiment: a RoNIN-style temporal
+//! convolutional network maps two-second IMU windows to 2-D displacements;
+//! TASFAR adapts it to a user the model never saw, using only the user's
+//! unlabeled walking data. The user's stride-length ring in label space is
+//! the prior that drives the adaptation.
+//!
+//! Run with: `cargo run --release -p examples --bin pdr_adaptation`
+
+use tasfar_core::prelude::*;
+use tasfar_data::pdr::{self, PdrConfig};
+use tasfar_data::{Dataset, Scaler};
+use tasfar_nn::prelude::*;
+
+fn main() {
+    // ---- simulate the world and train the source model ------------------
+    let config = PdrConfig {
+        n_seen: 8,
+        n_unseen: 2,
+        source_steps_per_user: 300,
+        trajectories_per_user: 5,
+        steps_per_trajectory: 80,
+        ..PdrConfig::default()
+    };
+    println!(
+        "simulating {} seen + {} unseen users...",
+        config.n_seen, config.n_unseen
+    );
+    let world = pdr::generate(&config);
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+
+    let mut rng = Rng::new(7);
+    let t = config.time_len;
+    let mut model = Sequential::new()
+        .add(TcnBlock::new(pdr::CHANNELS, 10, 3, 1, t, 0.1, &mut rng))
+        .add(TcnBlock::new(10, 10, 3, 2, t, 0.1, &mut rng))
+        .add(GlobalAvgPool1d::new(10, t))
+        .add(Dense::new(10, 24, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(24, 2, Init::XavierUniform, &mut rng));
+    println!("training the source TCN on {} steps...", source.len());
+    // A well-fitted source model matters: TASFAR's density map is estimated
+    // from the model's own confident predictions.
+    let mut opt = Adam::new(1e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 90,
+            batch_size: 64,
+            schedule: LrSchedule::Cosine {
+                total_epochs: 90,
+                min_lr: 1e-4,
+            },
+            ..TrainConfig::default()
+        },
+    );
+
+    // ---- calibrate on the source side, then forget the source data ------
+    let cfg = TasfarConfig {
+        grid_cell: 0.1, // 10 cm, the paper's choice
+        joint_2d: true,
+        // Displacement magnitudes vary per user; recentre τ per scenario
+        // (DESIGN.md §1b).
+        scenario_tau_rescale: true,
+        learning_rate: 5e-4,
+        epochs: 100,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    println!("tau = {:.4}", calib.classifier.tau);
+
+    // ---- adapt to each unseen user ---------------------------------------
+    for user in &world.unseen_users {
+        println!(
+            "\ntarget user {}: stride {:.2} m, sensor noise {:.2}",
+            user.profile.id, user.profile.stride_mean, user.profile.sensor_noise
+        );
+        let (adapt_trajs, test_trajs) = user.adaptation_test_split(0.8);
+        let scale_ds = |t: &pdr::Trajectory| {
+            Dataset::new(scaler.transform(&t.windows), t.displacements.clone())
+        };
+        let adapt_parts: Vec<Dataset> = adapt_trajs.iter().map(|t| scale_ds(t)).collect();
+        let adapt_ds = Dataset::concat(&adapt_parts.iter().collect::<Vec<_>>());
+
+        let mut user_model = model.clone();
+        let before: Vec<f64> = test_trajs
+            .iter()
+            .map(|t| {
+                let ds = scale_ds(t);
+                metrics::step_error(&user_model.predict(&ds.x), &ds.y)
+            })
+            .collect();
+
+        println!("adapting on {} unlabeled steps...", adapt_ds.len());
+        let before_adapt = metrics::step_error(&user_model.predict(&adapt_ds.x), &adapt_ds.y);
+        let outcome = adapt(&mut user_model, &calib, &adapt_ds.x, &Mse, &cfg);
+        println!(
+            "confident/uncertain: {}/{}; fine-tune epochs: {}",
+            outcome.split.confident.len(),
+            outcome.split.uncertain.len(),
+            outcome.fit.epoch_losses.len()
+        );
+
+        // The paper's Table-I structure: gains concentrate on the uncertain
+        // subset (the pseudo-labelled steps).
+        let after_adapt = metrics::step_error(&user_model.predict(&adapt_ds.x), &adapt_ds.y);
+        if !outcome.split.uncertain.is_empty() {
+            let ux = adapt_ds.x.select_rows(&outcome.split.uncertain);
+            let uy = adapt_ds.y.select_rows(&outcome.split.uncertain);
+            let unc_before = metrics::step_error(&model.clone().predict(&ux), &uy);
+            let unc_after = metrics::step_error(&user_model.predict(&ux), &uy);
+            println!(
+                "adaptation-set STE: whole {before_adapt:.3} -> {after_adapt:.3} ({:+.1}%), \
+                 uncertain subset {unc_before:.3} -> {unc_after:.3} ({:+.1}%)",
+                -metrics::error_reduction_pct(before_adapt, after_adapt),
+                -metrics::error_reduction_pct(unc_before, unc_after),
+            );
+        }
+
+        println!("\nper-trajectory results (held-out test trajectories):");
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>10}",
+            "traj", "STE before", "STE after", "RTE after", "length"
+        );
+        for (k, traj) in test_trajs.iter().enumerate() {
+            let ds = scale_ds(traj);
+            let pred = user_model.predict(&ds.x);
+            println!(
+                "{:>6} {:>12.3} {:>12.3} {:>12.2} {:>9.0}m",
+                k,
+                before[k],
+                metrics::step_error(&pred, &ds.y),
+                metrics::rte(&pred, &ds.y),
+                traj.path_length()
+            );
+        }
+    }
+}

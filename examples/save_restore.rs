@@ -1,0 +1,105 @@
+//! The deployment story end-to-end: train + calibrate on the "server",
+//! serialize the bundle (model spec + weights + calibration + config) to
+//! JSON, then restore it on the "device" and adapt source-free.
+//!
+//! Run with: `cargo run --release -p examples --bin save_restore`
+
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::prelude::*;
+use tasfar_nn::spec::{LayerSpec, ModelSpec, SavedModel};
+
+fn make_scenario(rng: &mut Rng, n: usize, labels: impl Fn(&mut Rng) -> f64, hard_p: f64) -> Dataset {
+    let mut x = Tensor::zeros(n, 2);
+    let mut y = Tensor::zeros(n, 1);
+    for i in 0..n {
+        let yv = labels(rng);
+        let hard = rng.bernoulli(hard_p);
+        let noise = if hard {
+            rng.gaussian(0.0, 0.8)
+        } else {
+            rng.gaussian(0.0, 0.03)
+        };
+        x.set(i, 0, yv + noise);
+        x.set(
+            i,
+            1,
+            if hard {
+                rng.uniform(3.0, 5.0)
+            } else {
+                rng.uniform(0.0, 0.5)
+            },
+        );
+        y.set(i, 0, yv);
+    }
+    Dataset::new(x, y)
+}
+
+fn main() {
+    let mut rng = Rng::new(404);
+
+    // ---------------- server side ----------------------------------------
+    let source = make_scenario(&mut rng, 800, |r| r.uniform(-1.0, 1.0), 0.05);
+    let spec = ModelSpec::new(vec![
+        LayerSpec::Dense { in_dim: 2, out_dim: 32 },
+        LayerSpec::Relu,
+        LayerSpec::Dropout { p: 0.2 },
+        LayerSpec::Dense { in_dim: 32, out_dim: 1 },
+    ]);
+    let mut model = spec.build(&mut rng);
+    let mut opt = Adam::new(5e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 120,
+            batch_size: 32,
+            schedule: LrSchedule::Cosine { total_epochs: 120, min_lr: 5e-4 },
+            ..TrainConfig::default()
+        },
+    );
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 80,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+    let bundle_model = SavedModel::capture(&spec, &mut model).to_json();
+    let bundle_calib = serde_json::to_string(&calib).unwrap();
+    let bundle_cfg = serde_json::to_string(&cfg).unwrap();
+    println!(
+        "serialized bundle: model {} B + calibration {} B + config {} B (no source data!)",
+        bundle_model.len(),
+        bundle_calib.len(),
+        bundle_cfg.len()
+    );
+    drop((model, calib, cfg, source)); // the server keeps nothing
+
+    // ---------------- device side -----------------------------------------
+    let mut device_model = SavedModel::from_json(&bundle_model)
+        .expect("valid model JSON")
+        .restore(&mut Rng::new(1));
+    let device_calib: SourceCalibration = serde_json::from_str(&bundle_calib).unwrap();
+    let device_cfg: TasfarConfig = serde_json::from_str(&bundle_cfg).unwrap();
+    println!(
+        "restored on device: tau = {:.4}, Q_s = {:.3} + {:.3}·u",
+        device_calib.classifier.tau, device_calib.qs[0].a0, device_calib.qs[0].a1
+    );
+
+    // Unlabeled target scenario (labels only used for evaluation here).
+    let target = make_scenario(&mut rng, 500, |r| r.gaussian(0.6, 0.05), 0.4);
+    let before = metrics::mse(&device_model.predict(&target.x), &target.y);
+    let outcome = adapt(&mut device_model, &device_calib, &target.x, &Mse, &device_cfg);
+    let after = metrics::mse(&device_model.predict(&target.x), &target.y);
+    println!(
+        "device adaptation: {} uncertain samples pseudo-labelled; MSE {before:.5} -> {after:.5} ({:.1}% reduction)",
+        outcome.split.uncertain.len(),
+        metrics::error_reduction_pct(before, after)
+    );
+    assert!(after < before);
+}

@@ -1,0 +1,91 @@
+//! Taxi-trip duration: adapt an outer-borough model to Manhattan pickups
+//! (the paper's NYC taxi experiment, Fig. 21; metric RMSLE).
+//!
+//! Run with: `cargo run --release -p examples --bin taxi_duration`
+
+use tasfar_core::prelude::*;
+use tasfar_data::taxi::{self, TaxiConfig};
+use tasfar_data::{Dataset, Scaler};
+use tasfar_nn::prelude::*;
+
+fn main() {
+    let config = TaxiConfig::default();
+    println!("generating {} trips...", config.n_trips);
+    let world = taxi::generate(&config);
+    println!(
+        "source (non-Manhattan): {} trips, mean duration {:.1} min",
+        world.source.len(),
+        world.source.y.mean()
+    );
+    println!(
+        "target (Manhattan): {} trips, mean duration {:.1} min",
+        world.target.len(),
+        world.target.y.mean()
+    );
+
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+    let target = Dataset::new(scaler.transform(&world.target.x), world.target.y.clone());
+
+    let mut rng = Rng::new(33);
+    let mut model = Sequential::new()
+        .add(Dense::new(taxi::FEATURES, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(64, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    println!("training the source model...");
+    let mut opt = Adam::new(1e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            schedule: LrSchedule::Cosine { total_epochs: 200, min_lr: 1e-4 },
+            ..TrainConfig::default()
+        },
+    );
+
+    let cfg = TasfarConfig {
+        grid_cell: 2.0, // two-minute cells in duration space
+        joint_2d: false,
+        // Durations span 1–180 min: relative uncertainty + scenario
+        // recentering track trip difficulty, not trip length (DESIGN.md §1b).
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        learning_rate: 5e-4,
+        epochs: 100,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+    let mut split_rng = Rng::new(2);
+    let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut split_rng);
+    let before = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
+
+    println!(
+        "adapting on {} unlabeled Manhattan trips...",
+        adapt_ds.len()
+    );
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    println!(
+        "confident/uncertain: {}/{}; mean credibility {:.3}",
+        outcome.split.confident.len(),
+        outcome.split.uncertain.len(),
+        outcome.mean_credibility()
+    );
+
+    let after = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
+    println!("\nRMSLE (test set): {before:.4} -> {after:.4}");
+    println!(
+        "error reduction: {:.1}%",
+        metrics::error_reduction_pct(before, after)
+    );
+}

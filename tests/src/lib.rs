@@ -1,0 +1,81 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use tasfar_data::Dataset;
+use tasfar_nn::prelude::*;
+
+/// Builds and trains a small dropout MLP on a dataset; returns the model.
+pub fn train_mlp(
+    source: &Dataset,
+    hidden: usize,
+    epochs: usize,
+    lr: f64,
+    seed: u64,
+) -> Sequential {
+    let mut rng = Rng::new(seed);
+    let mut model = Sequential::new()
+        .add(Dense::new(source.input_dim(), hidden, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(hidden, hidden / 2, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(hidden / 2, source.output_dim(), Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(lr);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs,
+            batch_size: 32,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    model
+}
+
+/// A toy source/target pair with TASFAR-friendly structure: clean inputs
+/// reveal the label, "hard" inputs corrupt it, and target labels cluster.
+pub struct ToyTask {
+    pub source: Dataset,
+    pub target_x: tasfar_nn::tensor::Tensor,
+    pub target_y: tasfar_nn::tensor::Tensor,
+}
+
+/// Builds the toy task with the given target-label cluster center.
+pub fn toy_task(seed: u64, cluster: f64) -> ToyTask {
+    let mut rng = Rng::new(seed);
+    let gen = |n: usize,
+               labels: &mut dyn FnMut(&mut Rng) -> f64,
+               hard_p: f64,
+               rng: &mut Rng| {
+        let mut x = Tensor::zeros(n, 2);
+        let mut y = Tensor::zeros(n, 1);
+        for i in 0..n {
+            let yv = labels(rng);
+            let hard = rng.bernoulli(hard_p);
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
+            x.set(i, 0, yv + noise);
+            x.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            y.set(i, 0, yv);
+        }
+        (x, y)
+    };
+    let (xs, ys) = gen(600, &mut |r: &mut Rng| r.uniform(-1.0, 1.0), 0.05, &mut rng);
+    let (xt, yt) = gen(400, &mut |r: &mut Rng| r.gaussian(cluster, 0.05), 0.4, &mut rng);
+    ToyTask {
+        source: Dataset::new(xs, ys),
+        target_x: xt,
+        target_y: yt,
+    }
+}

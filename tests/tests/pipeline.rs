@@ -1,0 +1,183 @@
+//! Cross-crate integration tests of the full TASFAR pipeline and its
+//! interaction with the baseline schemes, on the toy task.
+
+use integration::{toy_task, train_mlp};
+use tasfar_baselines::{
+    record_source_stats, AdvAdapter, AugfreeAdapter, BaselineConfig, DatafreeAdapter,
+    DomainAdapter, MmdAdapter,
+};
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+
+fn toy_config() -> TasfarConfig {
+    TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 60,
+        learning_rate: 1e-3,
+        early_stop: None,
+        ..TasfarConfig::default()
+    }
+}
+
+#[test]
+fn tasfar_improves_the_toy_target() {
+    let toy = toy_task(1, 0.6);
+    let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 1);
+    let cfg = toy_config();
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let before = metrics::mse(&model.predict(&toy.target_x), &toy.target_y);
+    let outcome = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
+    assert!(outcome.skipped.is_none());
+    let after = metrics::mse(&model.predict(&toy.target_x), &toy.target_y);
+    assert!(
+        after < before,
+        "TASFAR should reduce target MSE: {before:.4} → {after:.4}"
+    );
+}
+
+#[test]
+fn tasfar_outcome_is_internally_consistent() {
+    let toy = toy_task(2, -0.5);
+    let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 2);
+    let cfg = toy_config();
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let outcome = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
+
+    // The partition covers the batch exactly once.
+    let mut all: Vec<usize> = outcome
+        .split
+        .confident
+        .iter()
+        .chain(&outcome.split.uncertain)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..toy.target_x.rows()).collect::<Vec<_>>());
+
+    // One pseudo-label per uncertain sample; credibilities non-negative.
+    assert_eq!(outcome.pseudo.len(), outcome.split.uncertain.len());
+    for p in &outcome.pseudo {
+        assert!(p.credibility >= 0.0 && p.credibility.is_finite());
+        assert_eq!(p.value.len(), 1);
+        assert!(p.value[0].is_finite());
+    }
+
+    // The density map carries probability mass.
+    match outcome.maps.as_ref().expect("maps built") {
+        tasfar_core::adapt::BuiltMaps::PerDim(maps) => {
+            assert_eq!(maps.len(), 1);
+            let m = &maps[0];
+            assert!(m.total_mass() > 0.5 && m.total_mass() <= 1.0 + 1e-9);
+        }
+        tasfar_core::adapt::BuiltMaps::Joint2d(_) => panic!("1-D task must use per-dim maps"),
+    }
+}
+
+#[test]
+fn pseudo_labels_pull_toward_the_target_cluster() {
+    let toy = toy_task(3, 0.7);
+    let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 3);
+    let cfg = toy_config();
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let outcome = adapt(&mut model.clone(), &calib, &toy.target_x, &Mse, &cfg);
+    // Informative pseudo-labels should be closer to 0.7 than the raw
+    // predictions are, on average.
+    let mut d_pred = 0.0;
+    let mut d_pseudo = 0.0;
+    let mut n = 0.0;
+    for (row, &i) in outcome.split.uncertain.iter().enumerate() {
+        if !outcome.pseudo[row].informative {
+            continue;
+        }
+        d_pred += (outcome.mc.point.get(i, 0) - 0.7).abs();
+        d_pseudo += (outcome.pseudo[row].value[0] - 0.7).abs();
+        n += 1.0;
+    }
+    assert!(n > 5.0, "expected informative pseudo-labels");
+    assert!(
+        d_pseudo / n < d_pred / n,
+        "pseudo-labels should approach the cluster: {:.4} vs {:.4}",
+        d_pseudo / n,
+        d_pred / n
+    );
+}
+
+#[test]
+fn all_baselines_run_and_preserve_sanity_on_the_toy_task() {
+    let toy = toy_task(4, 0.5);
+    let model = train_mlp(&toy.source, 32, 120, 5e-3, 4);
+    let cfg = BaselineConfig {
+        split_at: 3,
+        epochs: 15,
+        learning_rate: 5e-4,
+        ..BaselineConfig::default()
+    };
+    let mut source_model = model.clone();
+    let before = {
+        let mut m = model.clone();
+        metrics::mse(&m.predict(&toy.target_x), &toy.target_y)
+    };
+    let adapters: Vec<Box<dyn DomainAdapter>> = vec![
+        Box::new(MmdAdapter::new(cfg.clone(), 1.0)),
+        Box::new(AdvAdapter::new(cfg.clone(), 0.3, 16)),
+        Box::new(AugfreeAdapter::new(cfg.clone(), 0.3)),
+        Box::new(DatafreeAdapter::new(
+            cfg.clone(),
+            record_source_stats(&mut source_model, &toy.source, cfg.split_at, 16),
+        )),
+    ];
+    for adapter in adapters {
+        let mut m = model.clone();
+        let source = if adapter.requires_source() {
+            Some(&toy.source)
+        } else {
+            None
+        };
+        adapter.adapt(&mut m, source, &toy.target_x, &Mse);
+        let after = metrics::mse(&m.predict(&toy.target_x), &toy.target_y);
+        assert!(
+            after.is_finite() && after < before * 3.0,
+            "{}: target MSE exploded {before:.4} → {after:.4}",
+            adapter.name()
+        );
+    }
+}
+
+#[test]
+fn full_pipeline_is_deterministic_across_runs() {
+    let run = || {
+        let toy = toy_task(5, 0.4);
+        let mut model = train_mlp(&toy.source, 16, 60, 5e-3, 5);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+        let _ = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
+        model.predict(&toy.target_x).as_slice().to_vec()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn scenario_tau_rescale_handles_uniformly_shifted_uncertainty() {
+    // A target whose uncertainties are uniformly doubled (e.g. label
+    // magnitudes) should not be wholesale-classified uncertain when the
+    // rescaling is enabled.
+    let toy = toy_task(6, 0.6);
+    let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 6);
+    let cfg = TasfarConfig {
+        scenario_tau_rescale: true,
+        ..toy_config()
+    };
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let mc = McDropout::new(cfg.mc_samples).predict(&mut model, &toy.target_x);
+    let doubled: Vec<f64> = mc.uncertainty.iter().map(|u| u * 2.0).collect();
+    let classifier = tasfar_core::adapt::scenario_classifier(&calib, &cfg, &doubled);
+    let split = classifier.split(&doubled);
+    assert!(
+        split.uncertain_ratio() < 0.7,
+        "rescaled split flagged {:.0}% uncertain",
+        100.0 * split.uncertain_ratio()
+    );
+    // Without rescaling, the doubled uncertainties swamp τ.
+    let plain = calib.classifier.split(&doubled);
+    assert!(plain.uncertain_ratio() > split.uncertain_ratio());
+}

@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) of the core data structures and
+//! algorithm invariants, across randomised inputs.
+
+use proptest::prelude::*;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+use tasfar_nn::rng::Rng as TRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Density maps built from labels always carry mass in [0, 1], with
+    /// exactly 1 on a grid that covers every label.
+    #[test]
+    fn density_map_mass_is_normalised(
+        labels in prop::collection::vec(-50.0f64..50.0, 1..200),
+        cell in 0.1f64..5.0,
+    ) {
+        let spec = GridSpec::covering(&labels, cell, 1);
+        let map = DensityMap1d::from_labels(&labels, spec);
+        prop_assert!((map.total_mass() - 1.0).abs() < 1e-9);
+        for i in 0..map.spec.bins {
+            prop_assert!(map.mass(i) >= 0.0 && map.mass(i) <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Estimated maps conserve (almost all) probability mass when the grid
+    /// is wide enough for the spreads.
+    #[test]
+    fn estimated_map_mass_conserved(
+        preds in prop::collection::vec(-5.0f64..5.0, 1..50),
+        sigma in 0.05f64..1.0,
+    ) {
+        let sigmas = vec![sigma; preds.len()];
+        let spec = GridSpec::from_range(-25.0, 25.0, 0.25);
+        let map = DensityMap1d::estimate(&preds, &sigmas, spec, ErrorModel::Gaussian);
+        prop_assert!((map.total_mass() - 1.0).abs() < 1e-6, "mass {}", map.total_mass());
+    }
+
+    /// The pseudo-label always lies inside the ±3σ locality window around
+    /// the prediction (it interpolates cell centres within that window), or
+    /// equals the prediction exactly on fallback.
+    #[test]
+    fn pseudo_label_stays_in_the_locality_window(
+        labels in prop::collection::vec(-10.0f64..10.0, 20..200),
+        pred in -12.0f64..12.0,
+        sigma in 0.1f64..2.0,
+        u in 0.05f64..2.0,
+    ) {
+        let spec = GridSpec::covering(&labels, 0.25, 2);
+        let map = DensityMap1d::from_labels(&labels, spec);
+        let generator = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let p = generator.generate(pred, sigma, u);
+        if p.informative {
+            // Window half-width: 3σ plus half a cell (centres within 3σ).
+            prop_assert!((p.value[0] - pred).abs() < 3.0 * sigma + 0.25 / 2.0 + 1e-9);
+            prop_assert!(p.credibility >= 0.0 && p.credibility.is_finite());
+        } else {
+            prop_assert_eq!(p.value[0], pred);
+            prop_assert_eq!(p.credibility, 0.0);
+        }
+    }
+
+    /// Credibility scales exactly linearly with the uncertainty (Eq. 18/21)
+    /// at a fixed prediction and spread.
+    #[test]
+    fn credibility_is_linear_in_uncertainty(
+        labels in prop::collection::vec(-5.0f64..5.0, 50..200),
+        pred in -4.0f64..4.0,
+        sigma in 0.2f64..1.0,
+    ) {
+        let spec = GridSpec::covering(&labels, 0.2, 2);
+        let map = DensityMap1d::from_labels(&labels, spec);
+        let generator = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
+        let a = generator.generate(pred, sigma, 0.2);
+        let b = generator.generate(pred, sigma, 0.4);
+        if a.informative && b.informative && a.credibility > 1e-12 {
+            prop_assert!((b.credibility / a.credibility - 2.0).abs() < 1e-9);
+        }
+    }
+
+    /// The confidence classifier partitions every batch exactly.
+    #[test]
+    fn confidence_split_partitions(
+        us in prop::collection::vec(0.001f64..10.0, 1..300),
+        tau in 0.01f64..5.0,
+    ) {
+        let c = ConfidenceClassifier::from_tau(tau, 0.9);
+        let s = c.split(&us);
+        prop_assert_eq!(s.confident.len() + s.uncertain.len(), us.len());
+        for &i in &s.confident {
+            prop_assert!(us[i] <= tau);
+        }
+        for &i in &s.uncertain {
+            prop_assert!(us[i] > tau);
+        }
+    }
+
+    /// Q_s fits always produce non-negative, finite spreads with a
+    /// non-negative slope.
+    #[test]
+    fn qs_fit_is_well_behaved(
+        pairs in prop::collection::vec((0.01f64..2.0, -3.0f64..3.0), 10..300),
+        q in 1usize..50,
+    ) {
+        let us: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let es: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let fit = QsCalibration::fit(&us, &es, q);
+        prop_assert!(fit.a1 >= 0.0);
+        for &u in &us {
+            let s = fit.sigma(u);
+            prop_assert!(s > 0.0 && s.is_finite());
+        }
+    }
+
+    /// Error-model CDFs are valid distribution functions for any σ.
+    #[test]
+    fn error_model_cdfs_are_valid(
+        mean in -10.0f64..10.0,
+        std in 0.01f64..10.0,
+        x1 in -40.0f64..40.0,
+        x2 in -40.0f64..40.0,
+    ) {
+        for m in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+            let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+            let mass = m.interval_mass(lo, hi, mean, std);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&mass));
+            prop_assert!(m.cdf(lo, mean, std) <= m.cdf(hi, mean, std) + 1e-12);
+        }
+    }
+
+    /// Training with uniform weights equals unweighted training exactly.
+    #[test]
+    fn uniform_weights_match_unweighted_training(
+        seed in 0u64..1000,
+        w in 0.1f64..10.0,
+    ) {
+        let mut rng = TRng::new(seed);
+        let x = Tensor::rand_uniform(64, 2, -1.0, 1.0, &mut rng);
+        let y = Tensor::from_fn(64, 1, |r, _| x.get(r, 0) - x.get(r, 1));
+        let run = |weights: Option<Vec<f64>>| {
+            let mut rng2 = TRng::new(seed ^ 0xabc);
+            let mut model = Sequential::new()
+                .add(Dense::new(2, 8, Init::HeNormal, &mut rng2))
+                .add(Relu::new())
+                .add(Dense::new(8, 1, Init::XavierUniform, &mut rng2));
+            let mut opt = Adam::new(1e-2);
+            let _ = fit(
+                &mut model,
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                weights.as_deref(),
+                &TrainConfig { epochs: 5, batch_size: 16, seed, ..TrainConfig::default() },
+            );
+            model.predict(&x).into_vec()
+        };
+        let unweighted = run(None);
+        let weighted = run(Some(vec![w; 64]));
+        for (a, b) in unweighted.iter().zip(&weighted) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Metrics are invariant under row permutation.
+    #[test]
+    fn metrics_are_permutation_invariant(seed in 0u64..1000) {
+        let mut rng = TRng::new(seed);
+        let pred = Tensor::rand_normal(32, 2, 0.0, 1.0, &mut rng);
+        let target = Tensor::rand_normal(32, 2, 0.0, 1.0, &mut rng);
+        let perm = rng.permutation(32);
+        let pred_p = pred.select_rows(&perm);
+        let target_p = target.select_rows(&perm);
+        prop_assert!((metrics::mse(&pred, &target) - metrics::mse(&pred_p, &target_p)).abs() < 1e-12);
+        prop_assert!((metrics::step_error(&pred, &target) - metrics::step_error(&pred_p, &target_p)).abs() < 1e-12);
+        prop_assert!((metrics::rte(&pred, &target) - metrics::rte(&pred_p, &target_p)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Deployment-bundle round trips: the model + calibration artefacts a
+//! TASFAR deployment ships to the target device must survive serialization
+//! with bit-identical behaviour.
+
+use integration::toy_task;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+use tasfar_nn::spec::{LayerSpec, ModelSpec, SavedModel};
+
+fn toy_spec() -> ModelSpec {
+    ModelSpec::new(vec![
+        LayerSpec::Dense { in_dim: 2, out_dim: 32 },
+        LayerSpec::Relu,
+        LayerSpec::Dropout { p: 0.2 },
+        LayerSpec::Dense { in_dim: 32, out_dim: 1 },
+    ])
+}
+
+#[test]
+fn full_deployment_bundle_roundtrip() {
+    let toy = toy_task(1, 0.6);
+    let spec = toy_spec();
+    let mut rng = Rng::new(1);
+    let mut model = spec.build(&mut rng);
+    let mut opt = Adam::new(5e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &toy.source.x,
+        &toy.source.y,
+        None,
+        &TrainConfig {
+            epochs: 120,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
+    );
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 40,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+
+    // ---- serialize the whole bundle: model + calibration + config -------
+    let model_json = SavedModel::capture(&spec, &mut model).to_json();
+    let calib_json = serde_json::to_string(&calib).unwrap();
+    let cfg_json = serde_json::to_string(&cfg).unwrap();
+
+    // ---- "on the target device": restore and adapt ----------------------
+    let mut restored = SavedModel::from_json(&model_json).unwrap().restore(&mut Rng::new(777));
+    let calib2: SourceCalibration = serde_json::from_str(&calib_json).unwrap();
+    let cfg2: TasfarConfig = serde_json::from_str(&cfg_json).unwrap();
+
+    // Identical inference before adaptation.
+    assert_eq!(model.predict(&toy.target_x), restored.predict(&toy.target_x));
+
+    // Identical calibration artefacts.
+    assert_eq!(calib.classifier.tau, calib2.classifier.tau);
+    assert_eq!(calib.qs[0].a0, calib2.qs[0].a0);
+    assert_eq!(calib.qs[0].a1, calib2.qs[0].a1);
+    assert_eq!(calib.median_uncertainty, calib2.median_uncertainty);
+
+    // The adaptation itself is NOT expected to be bit-identical across the
+    // two models: dropout layers carry fresh PRNG state after restore, and
+    // MC-dropout consumes it. What must hold is that the restored bundle
+    // adapts *successfully*.
+    let before = metrics::mse(&restored.predict(&toy.target_x), &toy.target_y);
+    let outcome = adapt(&mut restored, &calib2, &toy.target_x, &Mse, &cfg2);
+    assert!(outcome.skipped.is_none());
+    let after = metrics::mse(&restored.predict(&toy.target_x), &toy.target_y);
+    assert!(
+        after < before,
+        "restored bundle should adapt: {before:.4} → {after:.4}"
+    );
+}
+
+#[test]
+fn tasfar_config_json_roundtrip_preserves_every_field() {
+    let cfg = TasfarConfig {
+        eta: 0.85,
+        mc_samples: 10,
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        segments: 17,
+        grid_cell: 0.42,
+        error_model: ErrorModel::Laplace,
+        use_credibility: false,
+        replay_confident: false,
+        joint_2d: true,
+        learning_rate: 3e-4,
+        epochs: 77,
+        batch_size: 48,
+        early_stop: None,
+        finetune_dropout: true,
+        seed: 99,
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: TasfarConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.eta, cfg.eta);
+    assert_eq!(back.mc_samples, cfg.mc_samples);
+    assert_eq!(back.relative_uncertainty, cfg.relative_uncertainty);
+    assert_eq!(back.scenario_tau_rescale, cfg.scenario_tau_rescale);
+    assert_eq!(back.segments, cfg.segments);
+    assert_eq!(back.grid_cell, cfg.grid_cell);
+    assert_eq!(back.error_model, cfg.error_model);
+    assert_eq!(back.use_credibility, cfg.use_credibility);
+    assert_eq!(back.replay_confident, cfg.replay_confident);
+    assert_eq!(back.joint_2d, cfg.joint_2d);
+    assert_eq!(back.learning_rate, cfg.learning_rate);
+    assert_eq!(back.epochs, cfg.epochs);
+    assert_eq!(back.batch_size, cfg.batch_size);
+    assert!(back.early_stop.is_none());
+    assert_eq!(back.finetune_dropout, cfg.finetune_dropout);
+    assert_eq!(back.seed, cfg.seed);
+}
+
+#[test]
+fn qs_segments_survive_serialization() {
+    let mut rng = Rng::new(5);
+    let us: Vec<f64> = (0..500).map(|_| rng.uniform(0.1, 1.0)).collect();
+    let es: Vec<f64> = us.iter().map(|&u| rng.gaussian(0.0, 0.2 + u)).collect();
+    let qs = QsCalibration::fit(&us, &es, 20);
+    let json = serde_json::to_string(&qs).unwrap();
+    let back: QsCalibration = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.segments.len(), qs.segments.len());
+    for u in [0.1, 0.5, 0.9, 2.0] {
+        assert_eq!(back.sigma(u), qs.sigma(u));
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end integration tests on small instances of the four paper
+//! workloads. These exercise the complete stack — simulator → source
+//! training → calibration → source-free adaptation → evaluation — at sizes
+//! that keep the suite fast.
+
+use integration::train_mlp;
+use tasfar_core::prelude::*;
+use tasfar_data::crowd::{self, CrowdConfig};
+use tasfar_data::housing::{self, HousingConfig};
+use tasfar_data::pdr::{self, PdrConfig};
+use tasfar_data::taxi::{self, TaxiConfig};
+use tasfar_data::{Dataset, Scaler};
+use tasfar_nn::prelude::*;
+
+#[test]
+fn pdr_end_to_end_small() {
+    let config = PdrConfig {
+        n_seen: 4,
+        n_unseen: 1,
+        source_steps_per_user: 150,
+        trajectories_per_user: 3,
+        steps_per_trajectory: 50,
+        ..PdrConfig::default()
+    };
+    let world = pdr::generate(&config);
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+
+    let mut rng = Rng::new(9);
+    let t = config.time_len;
+    let mut model = Sequential::new()
+        .add(TcnBlock::new(pdr::CHANNELS, 8, 3, 1, t, 0.1, &mut rng))
+        .add(GlobalAvgPool1d::new(8, t))
+        .add(Dense::new(8, 16, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(16, 2, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(1e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 25,
+            batch_size: 64,
+            ..TrainConfig::default()
+        },
+    );
+
+    let cfg = TasfarConfig {
+        grid_cell: 0.1,
+        joint_2d: true,
+        scenario_tau_rescale: true,
+        epochs: 30,
+        learning_rate: 5e-4,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    assert_eq!(calib.qs.len(), 2, "one Q_s per label dimension");
+
+    let user = &world.unseen_users[0];
+    let (adapt_trajs, _) = user.adaptation_test_split(0.8);
+    let parts: Vec<Dataset> = adapt_trajs
+        .iter()
+        .map(|t| Dataset::new(scaler.transform(&t.windows), t.displacements.clone()))
+        .collect();
+    let adapt_ds = Dataset::concat(&parts.iter().collect::<Vec<_>>());
+
+    let before = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let after = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
+
+    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    assert!(matches!(
+        outcome.maps,
+        Some(tasfar_core::adapt::BuiltMaps::Joint2d(_))
+    ));
+    // The adaptation must not blow up the model even at this small scale.
+    assert!(
+        after < before * 1.25,
+        "PDR adaptation degraded too much: {before:.4} → {after:.4}"
+    );
+}
+
+#[test]
+fn crowd_end_to_end_small() {
+    let world = crowd::generate(&CrowdConfig {
+        n_source: 150,
+        n_per_scene: 80,
+        seed: 23,
+    });
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+    let mut model = train_mlp(&source, 48, 80, 1e-3, 23);
+
+    let cfg = TasfarConfig {
+        grid_cell: 5.0,
+        joint_2d: false,
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        epochs: 40,
+        learning_rate: 1e-3,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+
+    // Adapt to the sparsest scene — the largest gap from the dense source.
+    let scene = &world.scenes[0];
+    let data = Dataset::new(scaler.transform(&scene.data.x), scene.data.y.clone());
+    let mut rng = Rng::new(1);
+    let (adapt_ds, test_ds) = data.split_fraction(0.8, &mut rng);
+
+    let before = metrics::mae(&model.predict(&test_ds.x), &test_ds.y);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let after = metrics::mae(&model.predict(&test_ds.x), &test_ds.y);
+
+    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    assert!(
+        outcome.split.uncertain_ratio() > 0.05,
+        "the shifted scene should show uncertain data"
+    );
+    assert!(
+        after < before,
+        "crowd adaptation should reduce test MAE: {before:.2} → {after:.2}"
+    );
+}
+
+#[test]
+fn housing_end_to_end_small() {
+    let world = housing::generate(&HousingConfig {
+        n_districts: 2500,
+        ..HousingConfig::default()
+    });
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+    let target = Dataset::new(scaler.transform(&world.target.x), world.target.y.clone());
+    let mut model = train_mlp(&source, 48, 200, 1e-3, 31);
+
+    let cfg = TasfarConfig {
+        grid_cell: 0.1,
+        joint_2d: false,
+        relative_uncertainty: true,
+        epochs: 50,
+        learning_rate: 5e-4,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let mut rng = Rng::new(3);
+    let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut rng);
+
+    let before = metrics::mse(&model.predict(&test_ds.x), &test_ds.y);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let after = metrics::mse(&model.predict(&test_ds.x), &test_ds.y);
+
+    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    assert!(
+        after < before,
+        "housing adaptation should reduce coastal MSE: {before:.4} → {after:.4}"
+    );
+}
+
+#[test]
+fn taxi_end_to_end_small() {
+    let world = taxi::generate(&TaxiConfig {
+        n_trips: 4000,
+        ..TaxiConfig::default()
+    });
+    let scaler = Scaler::fit(&world.source.x);
+    let source = Dataset::new(scaler.transform(&world.source.x), world.source.y.clone());
+    let target = Dataset::new(scaler.transform(&world.target.x), world.target.y.clone());
+    let mut model = train_mlp(&source, 48, 60, 1e-3, 47);
+
+    let cfg = TasfarConfig {
+        grid_cell: 2.0,
+        joint_2d: false,
+        relative_uncertainty: true,
+        scenario_tau_rescale: true,
+        epochs: 50,
+        learning_rate: 5e-4,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let mut rng = Rng::new(4);
+    let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut rng);
+
+    let before = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let after = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
+
+    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    assert!(
+        after < before,
+        "taxi adaptation should reduce Manhattan RMSLE: {before:.4} → {after:.4}"
+    );
+}
