@@ -42,7 +42,12 @@ impl AdvAdapter {
 
     fn build_discriminator(&self, feature_dim: usize, rng: &mut Rng) -> Sequential {
         Sequential::new()
-            .add(Dense::new(feature_dim, self.disc_hidden, Init::HeNormal, rng))
+            .add(Dense::new(
+                feature_dim,
+                self.disc_hidden,
+                Init::HeNormal,
+                rng,
+            ))
             .add(Relu::new())
             .add(Dense::new(self.disc_hidden, 1, Init::XavierUniform, rng))
     }

@@ -38,7 +38,10 @@ impl AugfreeAdapter {
     /// # Panics
     /// Panics if `perturbation` is negative.
     pub fn new(config: BaselineConfig, perturbation: f64) -> Self {
-        assert!(perturbation >= 0.0, "AugfreeAdapter: perturbation must be non-negative");
+        assert!(
+            perturbation >= 0.0,
+            "AugfreeAdapter: perturbation must be non-negative"
+        );
         AugfreeAdapter {
             config,
             perturbation,
@@ -126,7 +129,10 @@ mod tests {
         assert_eq!(xw.shape(), x.shape());
         let dev_w = xw.sub(&x).frobenius_norm();
         let dev_s = xs.sub(&x).frobenius_norm();
-        assert!(dev_s > 5.0 * dev_w, "stronger perturbation must move inputs more");
+        assert!(
+            dev_s > 5.0 * dev_w,
+            "stronger perturbation must move inputs more"
+        );
     }
 
     #[test]

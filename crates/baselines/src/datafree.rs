@@ -192,7 +192,10 @@ impl DomainAdapter for DatafreeAdapter {
         target_x: &Tensor,
         _loss: &dyn Loss,
     ) {
-        assert!(target_x.rows() > 1, "Datafree: need at least 2 target samples");
+        assert!(
+            target_x.rows() > 1,
+            "Datafree: need at least 2 target samples"
+        );
         let cfg = &self.config;
         let (mut features, head) = split_model(model, cfg.split_at);
         let mut opt = Adam::new(cfg.learning_rate);

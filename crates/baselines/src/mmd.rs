@@ -56,7 +56,10 @@ pub fn mmd_sq_with_grad(a: &Tensor, b: &Tensor) -> (f64, Tensor, Tensor) {
 /// `gamma_sq <= 0`.
 pub fn mmd_sq_with_grad_fixed(a: &Tensor, b: &Tensor, gamma_sq: f64) -> (f64, Tensor, Tensor) {
     assert_eq!(a.cols(), b.cols(), "mmd: feature widths differ");
-    assert!(a.rows() > 1 && b.rows() > 1, "mmd: need ≥2 samples per domain");
+    assert!(
+        a.rows() > 1 && b.rows() > 1,
+        "mmd: need ≥2 samples per domain"
+    );
     assert!(gamma_sq > 0.0, "mmd: bandwidth must be positive");
 
     let (na, nb) = (a.rows() as f64, b.rows() as f64);
@@ -65,33 +68,30 @@ pub fn mmd_sq_with_grad_fixed(a: &Tensor, b: &Tensor, gamma_sq: f64) -> (f64, Te
     let mut grad_b = Tensor::zeros(b.rows(), b.cols());
 
     // k(x, y) = exp(−‖x−y‖² / γ²);  ∂k/∂x = k · 2(y−x)/γ².
-    let mut accumulate = |xs: &Tensor,
-                          ys: &Tensor,
-                          gx: &mut Tensor,
-                          gy: Option<&mut Tensor>,
-                          coeff: f64| {
-        let mut gy = gy;
-        for (i, xi) in xs.iter_rows().enumerate() {
-            for (j, yj) in ys.iter_rows().enumerate() {
-                let d2: f64 = xi.iter().zip(yj).map(|(&p, &q)| (p - q).powi(2)).sum();
-                let k = (-d2 / gamma_sq).exp();
-                value += coeff * k;
-                let scale = coeff * k * 2.0 / gamma_sq;
-                {
-                    let gx_row = gx.row_mut(i);
-                    for ((g, &p), &q) in gx_row.iter_mut().zip(xi).zip(yj) {
-                        *g += scale * (q - p);
+    let mut accumulate =
+        |xs: &Tensor, ys: &Tensor, gx: &mut Tensor, gy: Option<&mut Tensor>, coeff: f64| {
+            let mut gy = gy;
+            for (i, xi) in xs.iter_rows().enumerate() {
+                for (j, yj) in ys.iter_rows().enumerate() {
+                    let d2: f64 = xi.iter().zip(yj).map(|(&p, &q)| (p - q).powi(2)).sum();
+                    let k = (-d2 / gamma_sq).exp();
+                    value += coeff * k;
+                    let scale = coeff * k * 2.0 / gamma_sq;
+                    {
+                        let gx_row = gx.row_mut(i);
+                        for ((g, &p), &q) in gx_row.iter_mut().zip(xi).zip(yj) {
+                            *g += scale * (q - p);
+                        }
                     }
-                }
-                if let Some(gy) = gy.as_deref_mut() {
-                    let gy_row = gy.row_mut(j);
-                    for ((g, &q), &p) in gy_row.iter_mut().zip(yj).zip(xi) {
-                        *g += scale * (p - q);
+                    if let Some(gy) = gy.as_deref_mut() {
+                        let gy_row = gy.row_mut(j);
+                        for ((g, &q), &p) in gy_row.iter_mut().zip(yj).zip(xi) {
+                            *g += scale * (p - q);
+                        }
                     }
                 }
             }
-        }
-    };
+        };
 
     accumulate(a, &a.clone(), &mut grad_a, None, 1.0 / (na * na));
     // Within-domain terms: each ordered pair is visited once per side, and
@@ -213,7 +213,10 @@ mod tests {
         let b_far = Tensor::rand_normal(32, 3, 3.0, 1.0, &mut rng);
         let (v_near, _, _) = mmd_sq_with_grad(&a, &b_near);
         let (v_far, _, _) = mmd_sq_with_grad(&a, &b_far);
-        assert!(v_far > v_near, "mmd should grow with the shift: {v_far} vs {v_near}");
+        assert!(
+            v_far > v_near,
+            "mmd should grow with the shift: {v_far} vs {v_near}"
+        );
         assert!(v_near > 0.0);
     }
 
@@ -328,6 +331,11 @@ mod tests {
             .add(Relu::new())
             .add(Dense::new(4, 1, Init::XavierUniform, &mut rng));
         let adapter = MmdAdapter::new(BaselineConfig::default(), 1.0);
-        adapter.adapt(&mut model, None, &Tensor::zeros(4, 1), &tasfar_nn::loss::Mse);
+        adapter.adapt(
+            &mut model,
+            None,
+            &Tensor::zeros(4, 1),
+            &tasfar_nn::loss::Mse,
+        );
     }
 }

@@ -1,0 +1,259 @@
+//! Dependency-free micro-benchmarks of the TASFAR hot-path kernels.
+//!
+//! Replaces the former Criterion benches (the build environment has no
+//! crates.io access). Each kernel is timed with a warmup phase followed by
+//! `TASFAR_BENCH_SAMPLES` (default 9) timed samples; the reported figure is
+//! the median ns/iteration. Every kernel runs once with the parallel runtime
+//! pinned to 1 thread and once at 4 threads, and the 4-thread row carries
+//! its speedup over the 1-thread baseline.
+//!
+//! Run with: `cargo run --release -p tasfar-bench --bin kernels`
+//!
+//! Results are written to `BENCH_kernels.json` in the working directory
+//! (git-tracked at the repo root), including the host's CPU count — the
+//! speedups are only meaningful relative to it.
+
+use std::time::Instant;
+use tasfar_core::density::{DensityMap1d, GridSpec};
+use tasfar_core::uncertainty::McDropout;
+use tasfar_nn::json::Json;
+use tasfar_nn::layers::{Conv1d, Dense, Dropout, Layer, Mode, Relu, Sequential, TcnBlock};
+use tasfar_nn::parallel;
+use tasfar_nn::prelude::Init;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// One benchmark result row.
+struct Row {
+    kernel: &'static str,
+    size: String,
+    threads: usize,
+    ns_per_iter: f64,
+}
+
+/// Times `f` (already warmed up) and returns the median ns/call over
+/// `samples` samples of `iters` calls each.
+fn time_median(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter[per_iter.len() / 2]
+}
+
+fn bench(
+    rows: &mut Vec<Row>,
+    kernel: &'static str,
+    size: &str,
+    threads: usize,
+    samples: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) {
+    parallel::set_threads(threads);
+    // Warmup: one sample's worth, untimed.
+    for _ in 0..iters {
+        f();
+    }
+    let ns = time_median(samples, iters, &mut f);
+    println!(
+        "{kernel:>12} {size:<14} threads={threads}  {:>12.0} ns/iter",
+        ns
+    );
+    rows.push(Row {
+        kernel,
+        size: size.to_string(),
+        threads,
+        ns_per_iter: ns,
+    });
+}
+
+fn mc_model(rng: &mut Rng) -> Sequential {
+    Sequential::new()
+        .add(Dense::new(8, 64, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(64, 64, Init::HeNormal, rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, rng))
+        .add(Dense::new(64, 1, Init::XavierUniform, rng))
+}
+
+fn main() {
+    let samples: usize = std::env::var("TASFAR_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let quick = std::env::var("TASFAR_BENCH_QUICK").is_ok();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "host cpus: {cpus}; samples per point: {samples}{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let mut rng = Rng::new(0x8E2C);
+    let mut rows: Vec<Row> = Vec::new();
+    let thread_counts = [1usize, 4];
+
+    // --- matmul m×k×n ----------------------------------------------------
+    for &n in &[32usize, 128, 256] {
+        let a = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        let b = Tensor::rand_normal(n, n, 0.0, 1.0, &mut rng);
+        let iters = if quick {
+            1
+        } else {
+            (256 / n).max(1) * (256 / n).max(1)
+        };
+        for &t in &thread_counts {
+            bench(
+                &mut rows,
+                "matmul",
+                &format!("{n}x{n}x{n}"),
+                t,
+                samples,
+                iters,
+                || {
+                    std::hint::black_box(a.matmul(&b));
+                },
+            );
+        }
+    }
+
+    // --- conv1d forward / backward --------------------------------------
+    {
+        let (in_ch, out_ch, k, t_len, batch) = (6, 16, 3, 20, 64);
+        let mut conv = Conv1d::new(in_ch, out_ch, k, 1, t_len, &mut rng);
+        let x = Tensor::rand_normal(batch, in_ch * t_len, 0.0, 1.0, &mut rng);
+        let g = Tensor::rand_normal(batch, out_ch * t_len, 0.0, 1.0, &mut rng);
+        let iters = if quick { 1 } else { 8 };
+        for &t in &thread_counts {
+            bench(
+                &mut rows,
+                "conv1d_fwd",
+                "6->16 k3 t20 b64",
+                t,
+                samples,
+                iters,
+                || {
+                    std::hint::black_box(conv.forward(&x, Mode::Train));
+                },
+            );
+        }
+        for &t in &thread_counts {
+            let _ = conv.forward(&x, Mode::Train);
+            bench(
+                &mut rows,
+                "conv1d_bwd",
+                "6->16 k3 t20 b64",
+                t,
+                samples,
+                iters,
+                || {
+                    std::hint::black_box(conv.backward(&g));
+                },
+            );
+        }
+    }
+
+    // --- TCN block forward ----------------------------------------------
+    {
+        let mut block = TcnBlock::new(6, 16, 3, 2, 20, 0.1, &mut rng);
+        let x = Tensor::rand_normal(64, 6 * 20, 0.0, 1.0, &mut rng);
+        let iters = if quick { 1 } else { 4 };
+        for &t in &thread_counts {
+            bench(
+                &mut rows,
+                "tcn_fwd",
+                "6->16 k3 d2 t20",
+                t,
+                samples,
+                iters,
+                || {
+                    std::hint::black_box(block.forward(&x, Mode::Eval));
+                },
+            );
+        }
+    }
+
+    // --- MC-dropout (T = 20) ---------------------------------------------
+    {
+        let x = Tensor::rand_normal(128, 8, 0.0, 1.0, &mut rng);
+        let iters = if quick { 1 } else { 2 };
+        for &t in &thread_counts {
+            let mut model = mc_model(&mut Rng::new(7));
+            bench(
+                &mut rows,
+                "mc_dropout",
+                "T=20 b128 mlp64",
+                t,
+                samples,
+                iters,
+                || {
+                    std::hint::black_box(McDropout::new(20).predict(&mut model, &x));
+                },
+            );
+        }
+    }
+
+    // --- KDE density estimation ------------------------------------------
+    {
+        let preds: Vec<f64> = (0..512).map(|_| rng.gaussian(0.0, 2.0)).collect();
+        let sigmas: Vec<f64> = (0..512).map(|_| rng.uniform(0.05, 0.4)).collect();
+        let iters = if quick { 1 } else { 4 };
+        for &t in &thread_counts {
+            bench(
+                &mut rows,
+                "density_1d",
+                "n512 cell0.05",
+                t,
+                samples,
+                iters,
+                || {
+                    let spec = GridSpec::from_range(-10.0, 10.0, 0.05);
+                    std::hint::black_box(DensityMap1d::estimate(
+                        &preds,
+                        &sigmas,
+                        spec,
+                        tasfar_core::calibration::ErrorModel::Gaussian,
+                    ));
+                },
+            );
+        }
+    }
+
+    parallel::reset_threads();
+
+    // --- report -----------------------------------------------------------
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            let baseline = rows
+                .iter()
+                .find(|b| b.kernel == r.kernel && b.size == r.size && b.threads == 1)
+                .map(|b| b.ns_per_iter)
+                .unwrap_or(r.ns_per_iter);
+            Json::obj(vec![
+                ("kernel", Json::from(r.kernel)),
+                ("size", Json::from(r.size.clone())),
+                ("threads", Json::from(r.threads)),
+                ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                ("speedup_vs_1_thread", Json::Num(baseline / r.ns_per_iter)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("host_cpus", Json::from(cpus)),
+        ("samples_per_point", Json::from(samples)),
+        ("results", Json::Arr(results)),
+    ]);
+    std::fs::write("BENCH_kernels.json", format!("{doc}\n")).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json ({} rows)", rows.len());
+}

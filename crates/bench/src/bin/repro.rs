@@ -10,16 +10,41 @@
 //! Each experiment prints its table(s) and writes a CSV under `results/`.
 
 use std::time::Instant;
-use tasfar_bench::experiments::{ablations, crowd_exp, multiseed, pdr_adapt, pdr_params, tabular_exp};
+use tasfar_bench::experiments::{
+    ablations, crowd_exp, multiseed, pdr_adapt, pdr_params, tabular_exp,
+};
 use tasfar_bench::report::Table;
 use tasfar_bench::schemes::Scheme;
 use tasfar_bench::tasks::{housing_context, taxi_context, CrowdContext, PdrContext, Scale};
 
 const EXPERIMENTS: &[&str] = &[
-    "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table1",
-    "ablation_joint", "ablation_replay", "ablation_earlystop", "ablation_taurescale",
-    "table1_seeds", "fig21_seeds", "ablation_uncertainty",
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "table1",
+    "ablation_joint",
+    "ablation_replay",
+    "ablation_earlystop",
+    "ablation_taurescale",
+    "table1_seeds",
+    "fig21_seeds",
+    "ablation_uncertainty",
 ];
 
 /// Lazily built contexts shared across the selected experiments.
@@ -49,7 +74,10 @@ impl Contexts {
             eprintln!("[setup] building PDR context (world + source TCN training)...");
             let t = Instant::now();
             self.pdr = Some(PdrContext::build(self.scale));
-            eprintln!("[setup] PDR context ready in {:.1}s", t.elapsed().as_secs_f64());
+            eprintln!(
+                "[setup] PDR context ready in {:.1}s",
+                t.elapsed().as_secs_f64()
+            );
         }
         self.pdr.as_ref().unwrap()
     }
@@ -59,7 +87,10 @@ impl Contexts {
             eprintln!("[setup] building crowd context (world + source MLP training)...");
             let t = Instant::now();
             self.crowd = Some(CrowdContext::build(self.scale));
-            eprintln!("[setup] crowd context ready in {:.1}s", t.elapsed().as_secs_f64());
+            eprintln!(
+                "[setup] crowd context ready in {:.1}s",
+                t.elapsed().as_secs_f64()
+            );
         }
         self.crowd.as_ref().unwrap()
     }
@@ -165,10 +196,16 @@ fn run(name: &str, ctxs: &mut Contexts) {
         "fig21" => {
             eprintln!("[setup] building housing context...");
             let housing = housing_context(ctxs.scale);
-            emit(tabular_exp::fig21_task(&housing, tabular_exp::TabularMetric::Mse));
+            emit(tabular_exp::fig21_task(
+                &housing,
+                tabular_exp::TabularMetric::Mse,
+            ));
             eprintln!("[setup] building taxi context...");
             let taxi = taxi_context(ctxs.scale);
-            emit(tabular_exp::fig21_task(&taxi, tabular_exp::TabularMetric::Rmsle));
+            emit(tabular_exp::fig21_task(
+                &taxi,
+                tabular_exp::TabularMetric::Rmsle,
+            ));
         }
         "fig22" => emit(pdr_adapt::fig22(ctxs.pdr())),
         "table1" => {

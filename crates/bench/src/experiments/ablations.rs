@@ -123,7 +123,12 @@ pub fn ablation_early_stop(ctx: &PdrContext) -> Table {
 pub fn ablation_tau_rescale(ctx: &PdrContext) -> Table {
     let mut table = Table::new(
         "Ablation scenario tau rescaling (seen group)",
-        &["variant", "adapt_red_%", "test_red_%", "mean_uncertain_ratio"],
+        &[
+            "variant",
+            "adapt_red_%",
+            "test_red_%",
+            "mean_uncertain_ratio",
+        ],
     );
     for (label, rescale) in [("with rescaling", true), ("without rescaling", false)] {
         let mut ratios = Vec::new();
@@ -167,7 +172,12 @@ pub fn ablation_uncertainty(ctx: &PdrContext) -> Table {
     use tasfar_bench_ensemble::build_pdr_ensemble;
     let mut table = Table::new(
         "Ablation uncertainty estimator (MC dropout vs deep ensemble)",
-        &["estimator", "corr(u, error)", "unc/conf error ratio", "uncertain_%"],
+        &[
+            "estimator",
+            "corr(u, error)",
+            "unc/conf error ratio",
+            "uncertain_%",
+        ],
     );
 
     let mut ensemble = build_pdr_ensemble(ctx, 4);

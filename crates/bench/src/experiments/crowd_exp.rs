@@ -64,8 +64,16 @@ fn eval_scene(
     SceneEval {
         adapt_mae: metrics::mae(&pa, &adapt_ds.y),
         adapt_rmse: metrics::rmse(&pa, &adapt_ds.y),
-        unc_mae: if uncertain.is_empty() { 0.0 } else { metrics::mae(&pu, &yu) },
-        unc_rmse: if uncertain.is_empty() { 0.0 } else { metrics::rmse(&pu, &yu) },
+        unc_mae: if uncertain.is_empty() {
+            0.0
+        } else {
+            metrics::mae(&pu, &yu)
+        },
+        unc_rmse: if uncertain.is_empty() {
+            0.0
+        } else {
+            metrics::rmse(&pu, &yu)
+        },
         test_mae: metrics::mae(&pt, &test_ds.y),
         test_rmse: metrics::rmse(&pt, &test_ds.y),
     }
@@ -153,7 +161,15 @@ pub fn table1(cmp: &CrowdComparison) -> Table {
 pub fn table1_reductions(cmp: &CrowdComparison) -> Table {
     let mut table = Table::new(
         "Table I error reductions",
-        &["scheme", "adapt_MAE_%", "adapt_MSE_%", "unc_MAE_%", "unc_MSE_%", "test_MAE_%", "test_MSE_%"],
+        &[
+            "scheme",
+            "adapt_MAE_%",
+            "adapt_MSE_%",
+            "unc_MAE_%",
+            "unc_MSE_%",
+            "test_MAE_%",
+            "test_MSE_%",
+        ],
     );
     let base = &cmp.schemes[0];
     for r in cmp.schemes.iter().skip(1) {
@@ -200,7 +216,13 @@ pub fn fig20(ctx: &CrowdContext, cmp: &CrowdComparison) -> Table {
         .collect();
     let fused_adapt = Dataset::concat(&splits.iter().map(|(a, _)| a).collect::<Vec<_>>());
     let mut fused_model = ctx.model.clone();
-    let _ = adapt(&mut fused_model, &ctx.calib, &fused_adapt.x, &Mse, &ctx.tasfar);
+    let _ = adapt(
+        &mut fused_model,
+        &ctx.calib,
+        &fused_adapt.x,
+        &Mse,
+        &ctx.tasfar,
+    );
 
     let tasfar_part = cmp
         .schemes

@@ -95,7 +95,13 @@ fn tabular_reductions(ctx: &TabularContext, rmsle: bool) -> Vec<f64> {
 pub fn fig21_seeds(scale: Scale, n_seeds: u64) -> Table {
     let mut table = Table::new(
         "Fig 21 over seeds (test error reduction %, mean ± std)",
-        &["scheme", "housing_MSE_red_%", "housing_std", "taxi_RMSLE_red_%", "taxi_std"],
+        &[
+            "scheme",
+            "housing_MSE_red_%",
+            "housing_std",
+            "taxi_RMSLE_red_%",
+            "taxi_std",
+        ],
     );
     let mut housing: Vec<Vec<f64>> = vec![Vec::new(); Scheme::all().len() - 1];
     let mut taxi: Vec<Vec<f64>> = vec![Vec::new(); Scheme::all().len() - 1];

@@ -45,7 +45,12 @@ impl UserComparison {
     }
 }
 
-fn eval_model(model: &mut Sequential, adapt: &Dataset, test: &Dataset, test_trajs: &[Dataset]) -> (f64, f64, Vec<f64>) {
+fn eval_model(
+    model: &mut Sequential,
+    adapt: &Dataset,
+    test: &Dataset,
+    test_trajs: &[Dataset],
+) -> (f64, f64, Vec<f64>) {
     let pa = model.predict(&adapt.x);
     let pt = model.predict(&test.x);
     let rtes = test_trajs
@@ -60,7 +65,11 @@ fn eval_model(model: &mut Sequential, adapt: &Dataset, test: &Dataset, test_traj
 }
 
 /// Runs the full six-scheme comparison over a user group.
-pub fn compare_group(ctx: &PdrContext, users: &[PdrUser], schemes: &[Scheme]) -> Vec<UserComparison> {
+pub fn compare_group(
+    ctx: &PdrContext,
+    users: &[PdrUser],
+    schemes: &[Scheme],
+) -> Vec<UserComparison> {
     let source = ctx.scaled_source();
     users
         .iter()
@@ -100,8 +109,7 @@ pub fn compare_group(ctx: &PdrContext, users: &[PdrUser], schemes: &[Scheme]) ->
 
 /// Figure 14: per-user STE reduction (%) on the adaptation set, seen group.
 pub fn fig14(cmp: &[UserComparison]) -> Table {
-    let scheme_names: Vec<&'static str> =
-        cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
+    let scheme_names: Vec<&'static str> = cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
     let mut headers = vec!["user".to_string()];
     headers.extend(scheme_names.iter().map(|s| format!("{s}_ste_red_%")));
     let mut table = Table {
@@ -134,8 +142,7 @@ pub fn fig15(cmp: &[UserComparison]) -> Table {
         "Fig 15 STE reduction adaptation vs test set",
         &["scheme", "adapt_red_%", "test_red_%"],
     );
-    let scheme_names: Vec<&'static str> =
-        cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
+    let scheme_names: Vec<&'static str> = cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
     for name in scheme_names {
         let adapt: Vec<f64> = cmp
             .iter()
@@ -156,7 +163,10 @@ pub fn fig16(ctx: &PdrContext) -> Table {
         "Fig 16 uncertain data ratio and error share",
         &["group", "uncertain_data_%", "uncertain_error_%"],
     );
-    for (name, users) in [("seen", &ctx.world.seen_users), ("unseen", &ctx.world.unseen_users)] {
+    for (name, users) in [
+        ("seen", &ctx.world.seen_users),
+        ("unseen", &ctx.world.unseen_users),
+    ] {
         let mut data_ratio = Vec::new();
         let mut err_ratio = Vec::new();
         for user in users {
@@ -186,8 +196,7 @@ pub fn fig16(ctx: &PdrContext) -> Table {
 /// threshold, per scheme.
 pub fn fig17_18(cmp: &[UserComparison], group: &str, max_threshold: f64) -> Table {
     let fig = if group == "seen" { "Fig 17" } else { "Fig 18" };
-    let scheme_names: Vec<&'static str> =
-        cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
+    let scheme_names: Vec<&'static str> = cmp[0].results.iter().skip(1).map(|r| r.scheme).collect();
     let mut headers = vec!["rte_red_threshold_m".to_string()];
     headers.extend(scheme_names.iter().map(|s| format!("{s}_traj_frac")));
     let mut table = Table {
@@ -271,7 +280,11 @@ pub fn finetune_trace(
             model.backward(&grad);
             opt.step(&mut model.params_mut());
         }
-        losses.push(if epoch_weight > 0.0 { epoch_loss / epoch_weight } else { 0.0 });
+        losses.push(if epoch_weight > 0.0 {
+            epoch_loss / epoch_weight
+        } else {
+            0.0
+        });
         evals.push(eval(model));
     }
     (losses, evals)
@@ -283,12 +296,20 @@ pub fn finetune_trace(
 fn tasfar_training_set(
     ctx: &PdrContext,
     adapt_ds: &Dataset,
-) -> (tasfar_nn::tensor::Tensor, tasfar_nn::tensor::Tensor, Vec<f64>) {
+) -> (
+    tasfar_nn::tensor::Tensor,
+    tasfar_nn::tensor::Tensor,
+    Vec<f64>,
+) {
     let mut probe = ctx.model.clone();
     let mut cfg = ctx.tasfar.clone();
     cfg.epochs = 0;
     let outcome = adapt(&mut probe, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
-    assert!(outcome.skipped.is_none(), "tasfar_training_set: {:?}", outcome.skipped);
+    assert!(
+        outcome.skipped.is_none(),
+        "tasfar_training_set: {:?}",
+        outcome.skipped
+    );
     let dims = adapt_ds.output_dim();
     let n = outcome.split.uncertain.len() + outcome.split.confident.len();
     let mut rows = Vec::with_capacity(n);
@@ -318,7 +339,13 @@ pub fn fig12(ctx: &PdrContext) -> Table {
     let epochs = ctx.tasfar.epochs.min(100);
     let mut table = Table::new(
         "Fig 12 credibility ablation (STE vs epoch)",
-        &["epoch", "u1_with_beta", "u1_without", "u2_with_beta", "u2_without"],
+        &[
+            "epoch",
+            "u1_with_beta",
+            "u1_without",
+            "u2_with_beta",
+            "u2_without",
+        ],
     );
     let mut curves: Vec<Vec<f64>> = Vec::new();
     for user in ctx.world.seen_users.iter().take(2) {
@@ -328,7 +355,10 @@ pub fn fig12(ctx: &PdrContext) -> Table {
             let w: Vec<f64> = if use_beta {
                 weights.clone()
             } else {
-                weights.iter().map(|&b| if b > 0.0 { 1.0 } else { 0.0 }).collect()
+                weights
+                    .iter()
+                    .map(|&b| if b > 0.0 { 1.0 } else { 0.0 })
+                    .collect()
             };
             let mut model = ctx.model.clone();
             let (_, stes) = finetune_trace(
@@ -396,7 +426,11 @@ pub fn fig13(ctx: &PdrContext) -> Table {
         all_losses.push(losses);
     }
     for e in (0..epochs).step_by((epochs / 25).max(1)) {
-        table.row(vec![format!("{e}"), f3(all_losses[0][e] * 1e3), f3(all_losses[1][e] * 1e3)]);
+        table.row(vec![
+            format!("{e}"),
+            f3(all_losses[0][e] * 1e3),
+            f3(all_losses[1][e] * 1e3),
+        ]);
     }
     let stops: Vec<String> = all_losses
         .iter()
@@ -406,7 +440,11 @@ pub fn fig13(ctx: &PdrContext) -> Table {
                 .unwrap_or_else(|| "none".into())
         })
         .collect();
-    table.row(vec!["early_stop".into(), stops[0].clone(), stops[1].clone()]);
+    table.row(vec![
+        "early_stop".into(),
+        stops[0].clone(),
+        stops[1].clone(),
+    ]);
     table
 }
 
@@ -416,7 +454,12 @@ pub fn fig13(ctx: &PdrContext) -> Table {
 pub fn fig22(ctx: &PdrContext) -> Table {
     // Pick the two seen users with the most different stride means.
     let mut users: Vec<&PdrUser> = ctx.world.seen_users.iter().collect();
-    users.sort_by(|a, b| a.profile.stride_mean.partial_cmp(&b.profile.stride_mean).unwrap());
+    users.sort_by(|a, b| {
+        a.profile
+            .stride_mean
+            .partial_cmp(&b.profile.stride_mean)
+            .unwrap()
+    });
     let slow = users[0];
     let fast = users[users.len() - 1];
 
@@ -450,7 +493,9 @@ pub fn fig22(ctx: &PdrContext) -> Table {
     let before = metrics::step_error(&model.predict(&mixed.x), &mixed.y);
     let outcome = adapt(&mut model, &ctx.calib, &mixed.x, &Mse, &ctx.tasfar);
     if let Some(tasfar_core::adapt::BuiltMaps::Joint2d(map)) = &outcome.maps {
-        println!("-- balanced two-user mix: estimated label density map (Fig. 22's double ring) --");
+        println!(
+            "-- balanced two-user mix: estimated label density map (Fig. 22's double ring) --"
+        );
         print!("{}", crate::viz::heatmap_2d(map, 48));
     }
     let after = metrics::step_error(&model.predict(&mixed.x), &mixed.y);

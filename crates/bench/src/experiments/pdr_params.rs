@@ -100,8 +100,7 @@ pub fn user_pseudo_errors(
         );
         let truth = [u.adapt.y.get(i, 0), u.adapt.y.get(i, 1)];
         let pred_err = ((pred[0] - truth[0]).powi(2) + (pred[1] - truth[1]).powi(2)).sqrt();
-        let pseudo_err =
-            ((p.value[0] - truth[0]).powi(2) + (p.value[1] - truth[1]).powi(2)).sqrt();
+        let pseudo_err = ((p.value[0] - truth[0]).powi(2) + (p.value[1] - truth[1]).powi(2)).sqrt();
         out.push((pred_err, pseudo_err, p.credibility));
     }
     out
@@ -132,11 +131,10 @@ pub fn fig2(ctx: &PdrContext) -> Table {
         .iter()
         .map(|u| {
             let ds = u.full_dataset();
-            let strides: Vec<f64> = ds
-                .y
-                .iter_rows()
-                .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
-                .collect();
+            let strides: Vec<f64> =
+                ds.y.iter_rows()
+                    .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+                    .collect();
             let mut h = vec![0.0; bins];
             for s in &strides {
                 let b = (((s - lo) / width) as usize).min(bins - 1);
@@ -199,7 +197,13 @@ pub fn fig3(ctx: &PdrContext) -> Table {
 pub fn fig6(ctx: &PdrContext) -> Table {
     let mut table = Table::new(
         "Fig 6 density map quality (two users)",
-        &["user", "map_mae", "mass_corr", "est_ring_radius_m", "true_ring_radius_m"],
+        &[
+            "user",
+            "map_mae",
+            "mass_corr",
+            "est_ring_radius_m",
+            "true_ring_radius_m",
+        ],
     );
     for user in ctx.world.seen_users.iter().take(2) {
         let u = user_mc(ctx, user);
@@ -273,7 +277,11 @@ pub fn fig8(ctx: &PdrContext) -> Table {
     for &g in &[0.025, 0.05, 0.1, 0.2, 0.4, 0.8] {
         let mut cells = vec![f3(g)];
         let mut pred_err_all = Vec::new();
-        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+        for model in [
+            ErrorModel::Gaussian,
+            ErrorModel::Laplace,
+            ErrorModel::Uniform,
+        ] {
             let mut pseudo_errs = Vec::new();
             for user in &ctx.world.seen_users {
                 let u = user_mc(ctx, user);
@@ -367,7 +375,12 @@ pub fn fig10(ctx: &PdrContext) -> Table {
                 errs.push(se);
             }
         }
-        table.row(vec![f2(eta), f4(tau), f4(mean(&errs)), f3(mean(&unc_ratios))]);
+        table.row(vec![
+            f2(eta),
+            f4(tau),
+            f4(mean(&errs)),
+            f3(mean(&unc_ratios)),
+        ]);
     }
     table
 }
@@ -404,7 +417,10 @@ pub fn fig11(ctx: &PdrContext) -> Table {
     let edges = [-1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 0.75, 1.0];
     for w in edges.windows(2) {
         let count = corrs.iter().filter(|&&c| c >= w[0] && c < w[1]).count();
-        table.row(vec![format!("[{:.2},{:.2})", w[0], w[1]), format!("{count}")]);
+        table.row(vec![
+            format!("[{:.2},{:.2})", w[0], w[1]),
+            format!("{count}"),
+        ]);
     }
     table
 }

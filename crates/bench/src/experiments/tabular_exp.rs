@@ -41,7 +41,13 @@ pub fn fig21_task(ctx: &TabularContext, metric: TabularMetric) -> Table {
 
     let mut table = Table::new(
         format!("Fig 21 {} ({})", ctx.name, metric.name()),
-        &["scheme", "adapt_err", "adapt_red_%", "test_err", "test_red_%"],
+        &[
+            "scheme",
+            "adapt_err",
+            "adapt_red_%",
+            "test_err",
+            "test_red_%",
+        ],
     );
     let mut baseline: Option<(f64, f64)> = None;
     for scheme in Scheme::all() {

@@ -163,7 +163,10 @@ mod tests {
 
     #[test]
     fn csv_roundtrip() {
-        std::env::set_var("TASFAR_RESULTS_DIR", std::env::temp_dir().join("tasfar_test_results"));
+        std::env::set_var(
+            "TASFAR_RESULTS_DIR",
+            std::env::temp_dir().join("tasfar_test_results"),
+        );
         let mut t = Table::new("CSV Test", &["x", "y"]);
         t.row(vec!["1".into(), "2".into()]);
         let path = t.save_csv();

@@ -410,7 +410,16 @@ pub fn housing_context_seeded(scale: Scale, seed: u64) -> TabularContext {
     // Relative uncertainty isolates the corrupted-measurement districts
     // (absolute dropout std would select by price magnitude instead and
     // censor the label prior).
-    build_tabular("housing", &world.source, &world.target, 0.1, true, false, 0x4057, scale)
+    build_tabular(
+        "housing",
+        &world.source,
+        &world.target,
+        0.1,
+        true,
+        false,
+        0x4057,
+        scale,
+    )
 }
 
 /// Builds the NYC-taxi task (Manhattan target).
@@ -428,5 +437,14 @@ pub fn taxi_context_seeded(scale: Scale, seed: u64) -> TabularContext {
     // Trip durations span 1–180 minutes: dropout variance scales with the
     // predicted magnitude, so the relative (coefficient-of-variation) form
     // with scenario recentering tracks difficulty instead of trip length.
-    build_tabular("taxi", &world.source, &world.target, 2.0, true, true, 0x7a41, scale)
+    build_tabular(
+        "taxi",
+        &world.source,
+        &world.target,
+        2.0,
+        true,
+        true,
+        0x7a41,
+        scale,
+    )
 }

@@ -24,11 +24,7 @@ pub fn heatmap_2d(map: &DensityMap2d, max_cols: usize) -> String {
     let nx = map.xspec.bins;
     let ny = map.yspec.bins;
     let stride = nx.div_ceil(max_cols.max(1)).max(1);
-    let peak = map
-        .masses()
-        .iter()
-        .copied()
-        .fold(0.0_f64, f64::max);
+    let peak = map.masses().iter().copied().fold(0.0_f64, f64::max);
 
     let mut out = String::new();
     let mut iy = ny;

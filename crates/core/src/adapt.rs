@@ -21,14 +21,21 @@ use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
 use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
 use crate::uncertainty::{McDropout, McPrediction};
 use tasfar_data::Dataset;
+use tasfar_nn::json::{FromJson, Json, JsonError, ToJson};
 use tasfar_nn::layers::Sequential;
 use tasfar_nn::loss::Loss;
 use tasfar_nn::optim::Adam;
+use tasfar_nn::parallel::{chunk_bounds, chunk_count, map_chunks};
 use tasfar_nn::tensor::Tensor;
 use tasfar_nn::train::{fit, EarlyStop, FitReport, TrainConfig};
 
+/// Uncertain samples pseudo-labelled per parallel chunk. Fixed (independent
+/// of thread count) so the chunk geometry — and therefore the output — is
+/// identical at any `TASFAR_THREADS`.
+const PSEUDO_SAMPLES_PER_CHUNK: usize = 32;
+
 /// TASFAR hyper-parameters. Defaults follow the paper's Section IV choices.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TasfarConfig {
     /// Source proportion below the confidence threshold (paper: 0.9).
     pub eta: f64,
@@ -105,8 +112,60 @@ impl Default for TasfarConfig {
     }
 }
 
+impl ToJson for TasfarConfig {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("eta", Json::Num(self.eta)),
+            ("mc_samples", Json::from(self.mc_samples)),
+            (
+                "relative_uncertainty",
+                Json::Bool(self.relative_uncertainty),
+            ),
+            (
+                "scenario_tau_rescale",
+                Json::Bool(self.scenario_tau_rescale),
+            ),
+            ("segments", Json::from(self.segments)),
+            ("grid_cell", Json::Num(self.grid_cell)),
+            ("error_model", self.error_model.to_json_value()),
+            ("use_credibility", Json::Bool(self.use_credibility)),
+            ("replay_confident", Json::Bool(self.replay_confident)),
+            ("joint_2d", Json::Bool(self.joint_2d)),
+            ("learning_rate", Json::Num(self.learning_rate)),
+            ("epochs", Json::from(self.epochs)),
+            ("batch_size", Json::from(self.batch_size)),
+            ("early_stop", self.early_stop.to_json_value()),
+            ("finetune_dropout", Json::Bool(self.finetune_dropout)),
+            ("seed", Json::from(self.seed)),
+        ])
+    }
+}
+
+impl FromJson for TasfarConfig {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(TasfarConfig {
+            eta: v.field("eta")?.as_f64()?,
+            mc_samples: v.field("mc_samples")?.as_usize()?,
+            relative_uncertainty: v.field("relative_uncertainty")?.as_bool()?,
+            scenario_tau_rescale: v.field("scenario_tau_rescale")?.as_bool()?,
+            segments: v.field("segments")?.as_usize()?,
+            grid_cell: v.field("grid_cell")?.as_f64()?,
+            error_model: ErrorModel::from_json_value(v.field("error_model")?)?,
+            use_credibility: v.field("use_credibility")?.as_bool()?,
+            replay_confident: v.field("replay_confident")?.as_bool()?,
+            joint_2d: v.field("joint_2d")?.as_bool()?,
+            learning_rate: v.field("learning_rate")?.as_f64()?,
+            epochs: v.field("epochs")?.as_usize()?,
+            batch_size: v.field("batch_size")?.as_usize()?,
+            early_stop: Option::<EarlyStop>::from_json_value(v.field("early_stop")?)?,
+            finetune_dropout: v.field("finetune_dropout")?.as_bool()?,
+            seed: v.field("seed")?.as_u64()?,
+        })
+    }
+}
+
 /// Everything τ-and-Q_s the model needs to carry to the target scenario.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SourceCalibration {
     /// Algorithm 1's threshold.
     pub classifier: ConfidenceClassifier,
@@ -115,6 +174,26 @@ pub struct SourceCalibration {
     /// Median source uncertainty — the reference level for scenario-level
     /// τ rescaling.
     pub median_uncertainty: f64,
+}
+
+impl ToJson for SourceCalibration {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("classifier", self.classifier.to_json_value()),
+            ("qs", self.qs.to_json_value()),
+            ("median_uncertainty", Json::Num(self.median_uncertainty)),
+        ])
+    }
+}
+
+impl FromJson for SourceCalibration {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(SourceCalibration {
+            classifier: ConfidenceClassifier::from_json_value(v.field("classifier")?)?,
+            qs: Vec::<QsCalibration>::from_json_value(v.field("qs")?)?,
+            median_uncertainty: v.field("median_uncertainty")?.as_f64()?,
+        })
+    }
 }
 
 /// Calibrates τ and Q_s on the source dataset (phase 1, pre-shipping).
@@ -126,7 +205,10 @@ pub fn calibrate_on_source(
     source: &Dataset,
     cfg: &TasfarConfig,
 ) -> SourceCalibration {
-    assert!(!source.is_empty(), "calibrate_on_source: empty source dataset");
+    assert!(
+        !source.is_empty(),
+        "calibrate_on_source: empty source dataset"
+    );
     let mc = McDropout::new(cfg.mc_samples)
         .relative(cfg.relative_uncertainty)
         .predict(model, &source.x);
@@ -302,19 +384,34 @@ pub fn adapt(
     let joint = cfg.joint_2d && dims == 2;
     let mut pseudo = Vec::with_capacity(outcome.split.uncertain.len());
 
+    // The per-sample expectation over grid cells (Algorithm 3's inner loop)
+    // is independent across samples, so both branches below run it through
+    // the parallel runtime in fixed-size chunks and splice the per-chunk
+    // vectors back together in chunk order — bit-identical for any thread
+    // count. Chunk geometry depends only on the uncertain-set size.
+    let uncertain = &outcome.split.uncertain;
+    let uncertainty = &outcome.mc.uncertainty;
+    let n_unc = uncertain.len();
+    let n_chunks = chunk_count(n_unc, PSEUDO_SAMPLES_PER_CHUNK);
+
     if joint {
         let xgrid = dim_grid(&conf_pred.col(0), &conf_sigma.col(0), cfg.grid_cell);
         let ygrid = dim_grid(&conf_pred.col(1), &conf_sigma.col(1), cfg.grid_cell);
         let map = DensityMap2d::estimate(&conf_pred, &conf_sigma, xgrid, ygrid, cfg.error_model);
         let generator = PseudoLabelGenerator2d::new(&map, tau, cfg.error_model);
-        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
-            let p = generator.generate(
-                [unc_pred.get(row, 0), unc_pred.get(row, 1)],
-                [unc_sigma.get(row, 0), unc_sigma.get(row, 1)],
-                outcome.mc.uncertainty[i].max(1e-12),
-            );
-            pseudo.push(p);
-        }
+        let chunks = map_chunks(n_chunks, |c| {
+            chunk_bounds(n_unc, PSEUDO_SAMPLES_PER_CHUNK, c)
+                .map(|row| {
+                    let i = uncertain[row];
+                    generator.generate(
+                        [unc_pred.get(row, 0), unc_pred.get(row, 1)],
+                        [unc_sigma.get(row, 0), unc_sigma.get(row, 1)],
+                        uncertainty[i].max(1e-12),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        pseudo.extend(chunks.into_iter().flatten());
         outcome.maps = Some(BuiltMaps::Joint2d(map));
     } else {
         // Independent per-dimension maps; credibilities multiply geometric-
@@ -322,42 +419,43 @@ pub fn adapt(
         let maps: Vec<DensityMap1d> = (0..dims)
             .map(|d| {
                 let grid = dim_grid(&conf_pred.col(d), &conf_sigma.col(d), cfg.grid_cell);
-                DensityMap1d::estimate(
-                    &conf_pred.col(d),
-                    &conf_sigma.col(d),
-                    grid,
-                    cfg.error_model,
-                )
+                DensityMap1d::estimate(&conf_pred.col(d), &conf_sigma.col(d), grid, cfg.error_model)
             })
             .collect();
-        for (row, &i) in outcome.split.uncertain.iter().enumerate() {
-            let mut value = Vec::with_capacity(dims);
-            let mut cred_product = 1.0;
-            let mut informative = true;
-            let mut ratio = 0.0;
-            for (d, map) in maps.iter().enumerate() {
-                let generator = PseudoLabelGenerator1d::new(map, tau, cfg.error_model);
-                let p = generator.generate(
-                    unc_pred.get(row, d),
-                    unc_sigma.get(row, d),
-                    outcome.mc.uncertainty[i].max(1e-12),
-                );
-                value.push(p.value[0]);
-                cred_product *= p.credibility;
-                informative &= p.informative;
-                ratio += p.local_density_ratio / dims as f64;
-            }
-            pseudo.push(PseudoLabel {
-                value,
-                credibility: if informative {
-                    cred_product.powf(1.0 / dims as f64)
-                } else {
-                    0.0
-                },
-                local_density_ratio: ratio,
-                informative,
-            });
-        }
+        let chunks = map_chunks(n_chunks, |c| {
+            chunk_bounds(n_unc, PSEUDO_SAMPLES_PER_CHUNK, c)
+                .map(|row| {
+                    let i = uncertain[row];
+                    let mut value = Vec::with_capacity(dims);
+                    let mut cred_product = 1.0;
+                    let mut informative = true;
+                    let mut ratio = 0.0;
+                    for (d, map) in maps.iter().enumerate() {
+                        let generator = PseudoLabelGenerator1d::new(map, tau, cfg.error_model);
+                        let p = generator.generate(
+                            unc_pred.get(row, d),
+                            unc_sigma.get(row, d),
+                            uncertainty[i].max(1e-12),
+                        );
+                        value.push(p.value[0]);
+                        cred_product *= p.credibility;
+                        informative &= p.informative;
+                        ratio += p.local_density_ratio / dims as f64;
+                    }
+                    PseudoLabel {
+                        value,
+                        credibility: if informative {
+                            cred_product.powf(1.0 / dims as f64)
+                        } else {
+                            0.0
+                        },
+                        local_density_ratio: ratio,
+                        informative,
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        pseudo.extend(chunks.into_iter().flatten());
         outcome.maps = Some(BuiltMaps::PerDim(maps));
     }
     outcome.pseudo = pseudo;
@@ -461,9 +559,21 @@ mod tests {
             // below 1 − η puts the η-quantile threshold τ under the
             // hard-regime uncertainties.
             let hard = rng.bernoulli(0.05);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xs.set(i, 0, y + noise);
-            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xs.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             ys.set(i, 0, y);
         }
         let source = Dataset::new(xs, ys);
@@ -496,9 +606,21 @@ mod tests {
         for i in 0..n_tgt {
             let y = rng.gaussian(0.6, 0.05);
             let hard = rng.bernoulli(0.4);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xt.set(i, 0, y + noise);
-            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xt.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             yt.set(i, 0, y);
         }
         Toy {
@@ -591,7 +713,13 @@ mod tests {
         };
         let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg_on);
         let a = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_on);
-        let b = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_off);
+        let b = adapt(
+            &mut toy.model.clone(),
+            &calib,
+            &toy.target_x,
+            &Mse,
+            &cfg_off,
+        );
         assert_eq!(a.pseudo.len(), b.pseudo.len());
         for (pa, pb) in a.pseudo.iter().zip(&b.pseudo) {
             assert_eq!(pa.value, pb.value);

@@ -13,10 +13,12 @@
 //! ([`ErrorModel`]); the paper's Fig. 8 ablates Gaussian against other
 //! spreads and finds TASFAR insensitive to the choice.
 
+use tasfar_nn::json::{enum_variant, FromJson, Json, JsonError, ToJson};
+
 /// The distribution family used for instance-label distributions, all
 /// parameterised by mean and *standard deviation* so they are directly
 /// interchangeable (Fig. 8's ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ErrorModel {
     /// Normal distribution (the paper's default, Eq. 5).
     #[default]
@@ -73,6 +75,30 @@ impl ErrorModel {
     }
 }
 
+impl ToJson for ErrorModel {
+    fn to_json_value(&self) -> Json {
+        Json::Str(
+            match self {
+                ErrorModel::Gaussian => "Gaussian",
+                ErrorModel::Laplace => "Laplace",
+                ErrorModel::Uniform => "Uniform",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for ErrorModel {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        match enum_variant(v)? {
+            ("Gaussian", _) => Ok(ErrorModel::Gaussian),
+            ("Laplace", _) => Ok(ErrorModel::Laplace),
+            ("Uniform", _) => Ok(ErrorModel::Uniform),
+            (other, _) => Err(JsonError::new(format!("unknown ErrorModel `{other}`"))),
+        }
+    }
+}
+
 /// Error function via the Abramowitz–Stegun 7.1.26 rational approximation
 /// (absolute error < 1.5e-7 — far below the density-map grid resolution).
 pub fn erf(x: f64) -> f64 {
@@ -81,12 +107,13 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
 /// Statistics of one uncertainty segment (the points the line is fitted to).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SegmentStat {
     /// Mean uncertainty of the segment, `u_s^(q')`.
     pub mean_uncertainty: f64,
@@ -96,8 +123,28 @@ pub struct SegmentStat {
     pub count: usize,
 }
 
+impl ToJson for SegmentStat {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("mean_uncertainty", Json::Num(self.mean_uncertainty)),
+            ("error_std", Json::Num(self.error_std)),
+            ("count", Json::from(self.count)),
+        ])
+    }
+}
+
+impl FromJson for SegmentStat {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(SegmentStat {
+            mean_uncertainty: v.field("mean_uncertainty")?.as_f64()?,
+            error_std: v.field("error_std")?.as_f64()?,
+            count: v.field("count")?.as_usize()?,
+        })
+    }
+}
+
 /// The fitted calibration `σ = a₀ + a₁·u` for one label dimension.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QsCalibration {
     /// Intercept `a₀` (Eq. 9).
     pub a0: f64,
@@ -109,6 +156,28 @@ pub struct QsCalibration {
     /// receives a degenerate spread (smallest observed segment std / 10,
     /// itself floored at 1e-9).
     pub sigma_floor: f64,
+}
+
+impl ToJson for QsCalibration {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("a0", Json::Num(self.a0)),
+            ("a1", Json::Num(self.a1)),
+            ("segments", self.segments.to_json_value()),
+            ("sigma_floor", Json::Num(self.sigma_floor)),
+        ])
+    }
+}
+
+impl FromJson for QsCalibration {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(QsCalibration {
+            a0: v.field("a0")?.as_f64()?,
+            a1: v.field("a1")?.as_f64()?,
+            segments: Vec::<SegmentStat>::from_json_value(v.field("segments")?)?,
+            sigma_floor: v.field("sigma_floor")?.as_f64()?,
+        })
+    }
 }
 
 impl QsCalibration {
@@ -142,7 +211,11 @@ impl QsCalibration {
         let mut segments = Vec::with_capacity(q);
         for s in 0..q {
             let lo = s * per;
-            let hi = if s == q - 1 { uncertainties.len() } else { (s + 1) * per };
+            let hi = if s == q - 1 {
+                uncertainties.len()
+            } else {
+                (s + 1) * per
+            };
             let idx = &order[lo..hi];
             if idx.is_empty() {
                 continue;
@@ -224,7 +297,11 @@ mod tests {
 
     #[test]
     fn cdfs_are_monotone_and_normalised() {
-        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+        for model in [
+            ErrorModel::Gaussian,
+            ErrorModel::Laplace,
+            ErrorModel::Uniform,
+        ] {
             let mut prev = -1.0;
             for k in -50..=50 {
                 let x = k as f64 * 0.2;
@@ -233,7 +310,10 @@ mod tests {
                 assert!(c >= prev, "{model:?} cdf must be monotone");
                 prev = c;
             }
-            assert!((model.cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-9, "{model:?} median at mean");
+            assert!(
+                (model.cdf(0.0, 0.0, 1.0) - 0.5).abs() < 1e-9,
+                "{model:?} median at mean"
+            );
             assert!(model.cdf(100.0, 0.0, 1.0) > 0.999_99);
             assert!(model.cdf(-100.0, 0.0, 1.0) < 1e-5);
         }
@@ -242,7 +322,11 @@ mod tests {
     #[test]
     fn all_models_share_the_standard_deviation() {
         // Numerically integrate x² dF(x) and confirm std ≈ 1 for each model.
-        for model in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+        for model in [
+            ErrorModel::Gaussian,
+            ErrorModel::Laplace,
+            ErrorModel::Uniform,
+        ] {
             let mut var = 0.0;
             let step = 0.01;
             let mut x = -12.0;
@@ -262,7 +346,9 @@ mod tests {
     #[test]
     fn interval_mass_sums_to_one() {
         let total: f64 = (-60..60)
-            .map(|k| ErrorModel::Gaussian.interval_mass(k as f64 * 0.2, (k + 1) as f64 * 0.2, 0.0, 1.0))
+            .map(|k| {
+                ErrorModel::Gaussian.interval_mass(k as f64 * 0.2, (k + 1) as f64 * 0.2, 0.0, 1.0)
+            })
             .sum();
         assert!((total - 1.0).abs() < 1e-6);
     }

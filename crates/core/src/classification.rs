@@ -268,9 +268,9 @@ mod tests {
                 plus.set(r, c, pred.get(r, c) + eps);
                 let mut minus = pred.clone();
                 minus.set(r, c, pred.get(r, c) - eps);
-                let num =
-                    (loss.value(&plus, &target, Some(&w)) - loss.value(&minus, &target, Some(&w)))
-                        / (2.0 * eps);
+                let num = (loss.value(&plus, &target, Some(&w))
+                    - loss.value(&minus, &target, Some(&w)))
+                    / (2.0 * eps);
                 assert!(
                     (num - g.get(r, c)).abs() < 1e-7,
                     "({r},{c}): numeric {num} vs {}",
@@ -361,12 +361,18 @@ mod tests {
         let outcome = adapt_classifier(&mut model, &calib, &xt, &cfg);
         let after = accuracy(&mut model);
 
-        assert!(!outcome.uncertain.is_empty(), "uncertain samples should exist");
+        assert!(
+            !outcome.uncertain.is_empty(),
+            "uncertain samples should exist"
+        );
         // Soft labels are valid distributions.
         for row in outcome.soft_labels.iter_rows() {
             assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
-        assert!(outcome.credibility.iter().all(|&c| c >= 0.0 && c.is_finite()));
+        assert!(outcome
+            .credibility
+            .iter()
+            .all(|&c| c >= 0.0 && c.is_finite()));
         // The paper's contract: the plugin must not destroy accuracy.
         assert!(
             after >= before - 0.03,

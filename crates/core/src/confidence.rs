@@ -7,15 +7,33 @@
 //! label-density estimator); the rest are *uncertain* (they receive
 //! pseudo-labels).
 
-use serde::{Deserialize, Serialize};
+use tasfar_nn::json::{FromJson, Json, JsonError, ToJson};
 
 /// A calibrated uncertainty threshold.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConfidenceClassifier {
     /// The uncertainty threshold τ.
     pub tau: f64,
     /// The source-data proportion η used to pick τ (paper default 0.9).
     pub eta: f64,
+}
+
+impl ToJson for ConfidenceClassifier {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("tau", Json::Num(self.tau)),
+            ("eta", Json::Num(self.eta)),
+        ])
+    }
+}
+
+impl FromJson for ConfidenceClassifier {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(ConfidenceClassifier {
+            tau: v.field("tau")?.as_f64()?,
+            eta: v.field("eta")?.as_f64()?,
+        })
+    }
 }
 
 /// The outcome of splitting a target batch.
@@ -68,7 +86,10 @@ impl ConfidenceClassifier {
 
     /// Builds a classifier directly from a known τ (used in ablations).
     pub fn from_tau(tau: f64, eta: f64) -> Self {
-        assert!(tau > 0.0 && tau.is_finite(), "ConfidenceClassifier: bad tau {tau}");
+        assert!(
+            tau > 0.0 && tau.is_finite(),
+            "ConfidenceClassifier: bad tau {tau}"
+        );
         ConfidenceClassifier { tau, eta }
     }
 
@@ -78,7 +99,10 @@ impl ConfidenceClassifier {
     /// # Panics
     /// Panics unless `factor > 0`.
     pub fn rescaled(&self, factor: f64) -> ConfidenceClassifier {
-        assert!(factor > 0.0 && factor.is_finite(), "rescaled: bad factor {factor}");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "rescaled: bad factor {factor}"
+        );
         ConfidenceClassifier {
             tau: self.tau * factor,
             eta: self.eta,
@@ -139,7 +163,10 @@ mod tests {
         let c = ConfidenceClassifier::calibrate(&u, 0.9);
         let split = c.split(&u);
         let conf_ratio = split.confident.len() as f64 / 1000.0;
-        assert!((conf_ratio - 0.9).abs() < 0.02, "confident ratio {conf_ratio}");
+        assert!(
+            (conf_ratio - 0.9).abs() < 0.02,
+            "confident ratio {conf_ratio}"
+        );
     }
 
     #[test]
@@ -163,7 +190,9 @@ mod tests {
     fn shifted_target_has_more_uncertain_than_eta() {
         // The property Fig. 16 reports: on target data with a domain gap the
         // uncertain share exceeds 1 − η.
-        let source: Vec<f64> = (0..500).map(|i| 0.5 + 0.3 * ((i as f64) * 0.7).sin()).collect();
+        let source: Vec<f64> = (0..500)
+            .map(|i| 0.5 + 0.3 * ((i as f64) * 0.7).sin())
+            .collect();
         let target: Vec<f64> = source.iter().map(|u| u * 1.5).collect();
         let c = ConfidenceClassifier::calibrate(&source, 0.9);
         let s = c.split(&target);

@@ -47,7 +47,11 @@ impl GridSpec {
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let span_pad = pad as f64 * cell;
-        Self::from_range(lo - span_pad, (hi + span_pad).max(lo - span_pad + cell), cell)
+        Self::from_range(
+            lo - span_pad,
+            (hi + span_pad).max(lo - span_pad + cell),
+            cell,
+        )
     }
 
     /// Centre of cell `i`, `Ȳᵢ` (Eq. 13/Alg. 3's grid centre).
@@ -111,34 +115,53 @@ impl DensityMap1d {
     /// contributes the probability mass of its instance-label distribution
     /// per cell, and the map is normalised by the sample count (Eq. 12).
     ///
+    /// Samples are processed in fixed chunks of [`Self::SAMPLES_PER_CHUNK`]
+    /// on the [`tasfar_nn::parallel`] pool; per-chunk partial maps are
+    /// combined in chunk order, so the estimate is bit-identical for any
+    /// thread count.
+    ///
     /// # Panics
     /// Panics if the slices are empty or disagree, or any `sigma <= 0`.
-    pub fn estimate(
-        preds: &[f64],
-        sigmas: &[f64],
-        spec: GridSpec,
-        model: ErrorModel,
-    ) -> Self {
+    pub fn estimate(preds: &[f64], sigmas: &[f64], spec: GridSpec, model: ErrorModel) -> Self {
         assert!(!preds.is_empty(), "DensityMap1d::estimate: no predictions");
-        assert_eq!(preds.len(), sigmas.len(), "DensityMap1d::estimate: length mismatch");
-        let mut mass = vec![0.0; spec.bins];
+        assert_eq!(
+            preds.len(),
+            sigmas.len(),
+            "DensityMap1d::estimate: length mismatch"
+        );
         let half = model.support_halfwidth_sigmas();
-        for (&mu, &sigma) in preds.iter().zip(sigmas) {
-            assert!(sigma > 0.0, "DensityMap1d::estimate: sigma must be positive");
-            // Only cells within the model's effective support carry visible
-            // mass; skipping the rest makes map construction O(n·σ/g)
-            // instead of O(n·J).
-            let lo_cell = spec.index_of(mu - half * sigma).unwrap_or(0);
-            let hi_cell = if mu + half * sigma >= spec.origin + spec.span() {
-                spec.bins
-            } else {
-                spec.index_of(mu + half * sigma)
-                    .map(|i| (i + 1).min(spec.bins))
-                    .unwrap_or(0)
-            };
-            for (i, m) in mass.iter_mut().enumerate().take(hi_cell).skip(lo_cell) {
-                let (a, b) = spec.edges(i);
-                *m += model.interval_mass(a, b, mu, sigma);
+        let n_chunks = tasfar_nn::parallel::chunk_count(preds.len(), Self::SAMPLES_PER_CHUNK);
+        let partials = tasfar_nn::parallel::map_chunks(n_chunks, |c| {
+            let range = tasfar_nn::parallel::chunk_bounds(preds.len(), Self::SAMPLES_PER_CHUNK, c);
+            let mut local = vec![0.0; spec.bins];
+            for i in range {
+                let (mu, sigma) = (preds[i], sigmas[i]);
+                assert!(
+                    sigma > 0.0,
+                    "DensityMap1d::estimate: sigma must be positive"
+                );
+                // Only cells within the model's effective support carry
+                // visible mass; skipping the rest makes map construction
+                // O(n·σ/g) instead of O(n·J).
+                let lo_cell = spec.index_of(mu - half * sigma).unwrap_or(0);
+                let hi_cell = if mu + half * sigma >= spec.origin + spec.span() {
+                    spec.bins
+                } else {
+                    spec.index_of(mu + half * sigma)
+                        .map(|i| (i + 1).min(spec.bins))
+                        .unwrap_or(0)
+                };
+                for (i, m) in local.iter_mut().enumerate().take(hi_cell).skip(lo_cell) {
+                    let (a, b) = spec.edges(i);
+                    *m += model.interval_mass(a, b, mu, sigma);
+                }
+            }
+            local
+        });
+        let mut mass = vec![0.0; spec.bins];
+        for local in partials {
+            for (m, v) in mass.iter_mut().zip(&local) {
+                *m += v;
             }
         }
         let inv = 1.0 / preds.len() as f64;
@@ -147,6 +170,10 @@ impl DensityMap1d {
         }
         DensityMap1d { spec, mass }
     }
+
+    /// Fixed KDE chunk size: boundaries depend only on the sample count, so
+    /// the chunk-ordered reduction is thread-count independent.
+    pub const SAMPLES_PER_CHUNK: usize = 64;
 
     /// Probability mass of cell `i`, `M(i)`.
     pub fn mass(&self, i: usize) -> f64 {
@@ -220,9 +247,7 @@ impl DensityMap2d {
             yspec,
         };
         for row in labels.iter_rows() {
-            if let (Some(ix), Some(iy)) =
-                (map.xspec.index_of(row[0]), map.yspec.index_of(row[1]))
-            {
+            if let (Some(ix), Some(iy)) = (map.xspec.index_of(row[0]), map.yspec.index_of(row[1])) {
                 let k = map.flat(ix, iy);
                 map.mass[k] += 1.0;
             }
@@ -250,41 +275,64 @@ impl DensityMap2d {
         model: ErrorModel,
     ) -> Self {
         assert!(preds.rows() > 0, "DensityMap2d::estimate: no predictions");
-        assert_eq!(preds.shape(), sigmas.shape(), "DensityMap2d::estimate: shape mismatch");
-        assert_eq!(preds.cols(), 2, "DensityMap2d::estimate: predictions must be (n, 2)");
-        let mut map = DensityMap2d {
-            mass: vec![0.0; xspec.bins * yspec.bins],
-            xspec,
-            yspec,
-        };
-        // Per-axis interval masses are separable; precompute per sample.
-        let mut x_mass = vec![0.0; map.xspec.bins];
-        let mut y_mass = vec![0.0; map.yspec.bins];
-        for (p, s) in preds.iter_rows().zip(sigmas.iter_rows()) {
-            assert!(s[0] > 0.0 && s[1] > 0.0, "DensityMap2d::estimate: sigma must be positive");
-            for (i, xm) in x_mass.iter_mut().enumerate() {
-                let (a, b) = map.xspec.edges(i);
-                *xm = model.interval_mass(a, b, p[0], s[0]);
-            }
-            for (j, ym) in y_mass.iter_mut().enumerate() {
-                let (a, b) = map.yspec.edges(j);
-                *ym = model.interval_mass(a, b, p[1], s[1]);
-            }
-            for (j, &ym) in y_mass.iter().enumerate() {
-                if ym < 1e-12 {
-                    continue;
+        assert_eq!(
+            preds.shape(),
+            sigmas.shape(),
+            "DensityMap2d::estimate: shape mismatch"
+        );
+        assert_eq!(
+            preds.cols(),
+            2,
+            "DensityMap2d::estimate: predictions must be (n, 2)"
+        );
+        // Fixed sample chunks on the parallel pool; per-chunk partial maps
+        // are combined in chunk order (bit-identical for any thread count).
+        let n = preds.rows();
+        let n_chunks = tasfar_nn::parallel::chunk_count(n, DensityMap1d::SAMPLES_PER_CHUNK);
+        let partials = tasfar_nn::parallel::map_chunks(n_chunks, |c| {
+            let range = tasfar_nn::parallel::chunk_bounds(n, DensityMap1d::SAMPLES_PER_CHUNK, c);
+            let mut local = vec![0.0; xspec.bins * yspec.bins];
+            // Per-axis interval masses are separable; precompute per sample.
+            let mut x_mass = vec![0.0; xspec.bins];
+            let mut y_mass = vec![0.0; yspec.bins];
+            for r in range {
+                let p = preds.row(r);
+                let s = sigmas.row(r);
+                assert!(
+                    s[0] > 0.0 && s[1] > 0.0,
+                    "DensityMap2d::estimate: sigma must be positive"
+                );
+                for (i, xm) in x_mass.iter_mut().enumerate() {
+                    let (a, b) = xspec.edges(i);
+                    *xm = model.interval_mass(a, b, p[0], s[0]);
                 }
-                let row = &mut map.mass[j * map.xspec.bins..(j + 1) * map.xspec.bins];
-                for (cell, &xm) in row.iter_mut().zip(&x_mass) {
-                    *cell += xm * ym;
+                for (j, ym) in y_mass.iter_mut().enumerate() {
+                    let (a, b) = yspec.edges(j);
+                    *ym = model.interval_mass(a, b, p[1], s[1]);
                 }
+                for (j, &ym) in y_mass.iter().enumerate() {
+                    if ym < 1e-12 {
+                        continue;
+                    }
+                    let row = &mut local[j * xspec.bins..(j + 1) * xspec.bins];
+                    for (cell, &xm) in row.iter_mut().zip(&x_mass) {
+                        *cell += xm * ym;
+                    }
+                }
+            }
+            local
+        });
+        let mut mass = vec![0.0; xspec.bins * yspec.bins];
+        for local in partials {
+            for (m, v) in mass.iter_mut().zip(&local) {
+                *m += v;
             }
         }
-        let inv = 1.0 / preds.rows() as f64;
-        for m in &mut map.mass {
+        let inv = 1.0 / n as f64;
+        for m in &mut mass {
             *m *= inv;
         }
-        map
+        DensityMap2d { xspec, yspec, mass }
     }
 
     /// Probability mass of cell `(ix, iy)`.

@@ -137,8 +137,16 @@ impl fmt::Display for AdaptationDiagnostics {
         }
         writeln!(f, "adaptation diagnostics")?;
         writeln!(f, "  batch size          {}", self.batch_size)?;
-        writeln!(f, "  uncertain ratio     {:.1}%", 100.0 * self.uncertain_ratio)?;
-        writeln!(f, "  informative pseudo  {:.1}%", 100.0 * self.informative_ratio)?;
+        writeln!(
+            f,
+            "  uncertain ratio     {:.1}%",
+            100.0 * self.uncertain_ratio
+        )?;
+        writeln!(
+            f,
+            "  informative pseudo  {:.1}%",
+            100.0 * self.informative_ratio
+        )?;
         let (q25, q50, q75) = self.credibility_quartiles;
         writeln!(f, "  credibility q25/50/75  {q25:.3} / {q50:.3} / {q75:.3}")?;
         let shifts: Vec<String> = self
@@ -147,7 +155,11 @@ impl fmt::Display for AdaptationDiagnostics {
             .map(|s| format!("{s:.4}"))
             .collect();
         writeln!(f, "  mean pseudo shift   [{}]", shifts.join(", "))?;
-        writeln!(f, "  map concentration   {:.2} (top-10% cells' mass share)", self.map_concentration)?;
+        writeln!(
+            f,
+            "  map concentration   {:.2} (top-10% cells' mass share)",
+            self.map_concentration
+        )?;
         writeln!(
             f,
             "  fine-tune           {} epochs, loss fell {:.2}x",
@@ -156,7 +168,11 @@ impl fmt::Display for AdaptationDiagnostics {
         writeln!(
             f,
             "  verdict             {}",
-            if self.looks_healthy() { "healthy" } else { "check the indicators above" }
+            if self.looks_healthy() {
+                "healthy"
+            } else {
+                "check the indicators above"
+            }
         )
     }
 }
@@ -176,9 +192,21 @@ mod tests {
         for i in 0..n_src {
             let y = rng.uniform(-1.0, 1.0);
             let hard = rng.bernoulli(0.05);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xs.set(i, 0, y + noise);
-            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xs.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             ys.set(i, 0, y);
         }
         let source = Dataset::new(xs, ys);
@@ -195,7 +223,11 @@ mod tests {
             &source.x,
             &source.y,
             None,
-            &TrainConfig { epochs: 100, batch_size: 32, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 100,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         let cfg = TasfarConfig {
             grid_cell: 0.05,
@@ -208,9 +240,21 @@ mod tests {
         for i in 0..300 {
             let y = rng.gaussian(cluster, 0.05);
             let hard = rng.bernoulli(0.4);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xt.set(i, 0, y + noise);
-            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xt.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
         }
         adapt(&mut model, &calib, &xt, &Mse, &cfg)
     }
@@ -222,7 +266,11 @@ mod tests {
         assert!(diag.skipped.is_none());
         assert!(diag.uncertain_ratio > 0.05);
         assert!(diag.informative_ratio > 0.9);
-        assert!(diag.map_concentration > 0.3, "clustered labels ⇒ spiked map, got {}", diag.map_concentration);
+        assert!(
+            diag.map_concentration > 0.3,
+            "clustered labels ⇒ spiked map, got {}",
+            diag.map_concentration
+        );
         assert!(diag.loss_improvement > 1.0);
         assert!(diag.looks_healthy());
         // Display renders without panicking and mentions the verdict.

@@ -112,7 +112,10 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 /// Panics unless `baseline > 0`.
 pub fn error_reduction_pct(baseline: f64, adapted: f64) -> f64 {
-    assert!(baseline > 0.0, "error_reduction_pct: baseline must be positive");
+    assert!(
+        baseline > 0.0,
+        "error_reduction_pct: baseline must be positive"
+    );
     100.0 * (baseline - adapted) / baseline
 }
 

@@ -161,7 +161,14 @@ mod tests {
     /// Source: y = x₀ with hard samples. Two target scenarios with label
     /// clusters at opposite ends — fused adaptation sees a bimodal prior
     /// (the paper's Fig. 22 failure), partitioned adaptation does not.
-    fn setup() -> (Sequential, SourceCalibration, Tensor, Tensor, Vec<usize>, TasfarConfig) {
+    fn setup() -> (
+        Sequential,
+        SourceCalibration,
+        Tensor,
+        Tensor,
+        Vec<usize>,
+        TasfarConfig,
+    ) {
         let mut rng = Rng::new(11);
         let n_src = 600;
         let mut xs = Tensor::zeros(n_src, 2);
@@ -169,9 +176,21 @@ mod tests {
         for i in 0..n_src {
             let y = rng.uniform(-1.0, 1.0);
             let hard = rng.bernoulli(0.05);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xs.set(i, 0, y + noise);
-            xs.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xs.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             ys.set(i, 0, y);
         }
         let source = Dataset::new(xs, ys);
@@ -213,9 +232,21 @@ mod tests {
             let centre = if group == 0 { -0.6 } else { 0.6 };
             let y = rng.gaussian(centre, 0.05);
             let hard = rng.bernoulli(0.4);
-            let noise = if hard { rng.gaussian(0.0, 0.8) } else { rng.gaussian(0.0, 0.03) };
+            let noise = if hard {
+                rng.gaussian(0.0, 0.8)
+            } else {
+                rng.gaussian(0.0, 0.03)
+            };
             xt.set(i, 0, y + noise);
-            xt.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            xt.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             yt.set(i, 0, y);
             keys.push(group);
         }

@@ -231,7 +231,9 @@ mod tests {
     #[test]
     fn flat_map_keeps_the_prediction() {
         // Uniform labels → flat map → interpolation ≈ identity.
-        let labels: Vec<f64> = (0..40_000).map(|i| -2.0 + 4.0 * (i as f64) / 40_000.0).collect();
+        let labels: Vec<f64> = (0..40_000)
+            .map(|i| -2.0 + 4.0 * (i as f64) / 40_000.0)
+            .collect();
         let map = DensityMap1d::from_labels(&labels, GridSpec::from_range(-2.0, 2.0, 0.05));
         let gen = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
         let p = gen.generate(0.4, 0.2, 0.2);
@@ -264,8 +266,14 @@ mod tests {
         let dense = gen.generate(0.0, 0.15, 0.3); // window on the peak
         let sparse = gen.generate(1.5, 0.15, 0.3); // window in the tail
         assert!(dense.credibility > sparse.credibility);
-        assert!(dense.local_density_ratio > 1.0, "peak window should beat the average");
-        assert!(sparse.local_density_ratio < 1.0, "tail window should trail the average");
+        assert!(
+            dense.local_density_ratio > 1.0,
+            "peak window should beat the average"
+        );
+        assert!(
+            sparse.local_density_ratio < 1.0,
+            "tail window should trail the average"
+        );
     }
 
     #[test]
@@ -282,14 +290,18 @@ mod tests {
     fn error_model_choice_barely_moves_the_label() {
         // Fig. 8's observation: the distribution family is not critical.
         let map = peaked_map(0.5);
-        let labels: Vec<f64> = [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform]
-            .into_iter()
-            .map(|m| {
-                PseudoLabelGenerator1d::new(&map, 0.1, m)
-                    .generate(0.3, 0.25, 0.3)
-                    .value[0]
-            })
-            .collect();
+        let labels: Vec<f64> = [
+            ErrorModel::Gaussian,
+            ErrorModel::Laplace,
+            ErrorModel::Uniform,
+        ]
+        .into_iter()
+        .map(|m| {
+            PseudoLabelGenerator1d::new(&map, 0.1, m)
+                .generate(0.3, 0.25, 0.3)
+                .value[0]
+        })
+        .collect();
         for pair in labels.windows(2) {
             assert!(
                 (pair[0] - pair[1]).abs() < 0.06,
@@ -324,7 +336,10 @@ mod tests {
         let p = gen.generate([0.45, 0.0], [0.15, 0.15], 0.3);
         assert!(p.informative);
         let r = (p.value[0].powi(2) + p.value[1].powi(2)).sqrt();
-        assert!(r > 0.5, "pulled radius {r} should move toward the ring at 0.7");
+        assert!(
+            r > 0.5,
+            "pulled radius {r} should move toward the ring at 0.7"
+        );
         // Direction preserved.
         assert!(p.value[0] > 0.0 && p.value[1].abs() < 0.15);
     }

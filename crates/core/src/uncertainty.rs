@@ -67,19 +67,41 @@ impl McDropout {
 
     /// Runs the estimator on a batch.
     ///
-    /// The model's dropout layers carry their own (split) PRNG state, so the
-    /// passes differ between each other while the overall experiment stays
-    /// deterministic.
+    /// The `T` stochastic passes are independent, so they run in parallel on
+    /// [`tasfar_nn::parallel`]: each pass `t` receives its own dropout PRNG
+    /// stream, pre-split *sequentially* from the model's dropout state (one
+    /// `split` per dropout layer per pass), and executes on a clone of the
+    /// model. Stream derivation fixes every mask before any pass runs, so
+    /// the results are bit-identical for any thread count — and the model's
+    /// own dropout RNGs advance deterministically (by `T` splits) exactly as
+    /// if the passes had run in order.
     pub fn predict(&self, model: &mut Sequential, x: &Tensor) -> McPrediction {
         let point = model.forward(x, Mode::Eval);
         let (n, d) = point.shape();
 
+        // One independent stream per (pass, dropout layer), derived in pass
+        // order on this thread.
+        let streams: Vec<Vec<tasfar_nn::rng::Rng>> = (0..self.samples)
+            .map(|_| {
+                model
+                    .dropout_rngs_mut()
+                    .into_iter()
+                    .map(|rng| rng.split())
+                    .collect()
+            })
+            .collect();
+        let proto = model.clone();
+
         // Two-pass variance: storing the T passes avoids the catastrophic
         // cancellation of the E[x²] − E[x]² shortcut, so deterministic
         // models report exactly zero uncertainty.
-        let passes: Vec<Tensor> = (0..self.samples)
-            .map(|_| model.forward(x, Mode::StochasticEval))
-            .collect();
+        let passes: Vec<Tensor> = tasfar_nn::parallel::map_chunks(self.samples, |t| {
+            let mut pass_model = proto.clone();
+            for (rng, stream) in pass_model.dropout_rngs_mut().into_iter().zip(&streams[t]) {
+                *rng = stream.clone();
+            }
+            pass_model.forward(x, Mode::StochasticEval)
+        });
         let mut mc_mean = Tensor::zeros(n, d);
         for pass in &passes {
             mc_mean.add_assign(pass);
@@ -231,7 +253,10 @@ mod tests {
         let x = Tensor::rand_normal(5, 2, 0.0, 1.0, &mut rng);
         let p = McDropout::new(10).predict(&mut m, &x);
         for &u in &p.uncertainty {
-            assert!(u < 1e-12, "deterministic model must report zero uncertainty");
+            assert!(
+                u < 1e-12,
+                "deterministic model must report zero uncertainty"
+            );
         }
         // And the MC mean equals the point prediction.
         for (a, b) in p.mc_mean.as_slice().iter().zip(p.point.as_slice()) {

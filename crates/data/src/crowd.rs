@@ -142,15 +142,20 @@ fn scene_images(profile: &SceneProfile, n: usize, rng: &mut Rng) -> (Dataset, Ve
     let mut y = Tensor::zeros(n, 1);
     let mut occ = Vec::with_capacity(n);
     for i in 0..n {
-        let count = rng
-            .gaussian(profile.count_mean, profile.count_std)
-            .max(3.0);
+        let count = rng.gaussian(profile.count_mean, profile.count_std).max(3.0);
         let occlusion = if rng.bernoulli(profile.occlusion_prob) {
             rng.uniform(0.45, 0.95)
         } else {
             0.0
         };
-        let f = render_features(count, &weights, profile.gain, profile.offset, occlusion, rng);
+        let f = render_features(
+            count,
+            &weights,
+            profile.gain,
+            profile.offset,
+            occlusion,
+            rng,
+        );
         x.row_mut(i).copy_from_slice(&f);
         y.set(i, 0, count);
         occ.push(occlusion);
@@ -312,7 +317,10 @@ mod tests {
                 (mean, var.sqrt() / mean)
             })
             .collect();
-        assert!(stats[2].0 > stats[1].0 && stats[1].0 > stats[0].0, "counts ordered by scene");
+        assert!(
+            stats[2].0 > stats[1].0 && stats[1].0 > stats[0].0,
+            "counts ordered by scene"
+        );
         assert!(
             stats[2].1 < stats[0].1 && stats[2].1 < stats[1].1,
             "scene 3 should have the smallest relative spread: {stats:?}"
@@ -330,7 +338,11 @@ mod tests {
         let n = sums.len() as f64;
         let ms = sums.iter().sum::<f64>() / n;
         let mc = counts.iter().sum::<f64>() / n;
-        let cov: f64 = sums.iter().zip(&counts).map(|(a, b)| (a - ms) * (b - mc)).sum();
+        let cov: f64 = sums
+            .iter()
+            .zip(&counts)
+            .map(|(a, b)| (a - ms) * (b - mc))
+            .sum();
         let vs: f64 = sums.iter().map(|a| (a - ms).powi(2)).sum();
         let vc: f64 = counts.iter().map(|b| (b - mc).powi(2)).sum();
         let corr = cov / (vs.sqrt() * vc.sqrt());

@@ -93,7 +93,11 @@ impl Dataset {
     /// # Panics
     /// Panics if `n > len`.
     pub fn sample(&self, n: usize, rng: &mut Rng) -> Dataset {
-        assert!(n <= self.len(), "sample: requested {n} of {} rows", self.len());
+        assert!(
+            n <= self.len(),
+            "sample: requested {n} of {} rows",
+            self.len()
+        );
         let perm = rng.permutation(self.len());
         self.subset(&perm[..n])
     }

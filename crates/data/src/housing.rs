@@ -91,7 +91,8 @@ fn price(features: &[f64], rng: &mut Rng) -> f64 {
     // it — the confidence→accuracy premise requires the model to be right
     // *somewhere* on the target.
     let coastal_premium = 0.8 * (-dist / 1.5).exp();
-    let city = 0.6 * (-((lat - 37.6).powi(2)) / 0.5).exp() + 0.5 * (-((lat - 34.0).powi(2)) / 0.7).exp();
+    let city =
+        0.6 * (-((lat - 37.6).powi(2)) / 0.5).exp() + 0.5 * (-((lat - 34.0).powi(2)) / 0.7).exp();
     let base = 0.45 * income + coastal_premium + city + 0.12 * (rooms - 5.0)
         - 1.4 * (bedroom_ratio - 0.2)
         + 0.004 * age; // older districts in CA skew toward valuable cores
@@ -125,7 +126,16 @@ fn district(rng: &mut Rng) -> (Vec<f64>, f64, bool) {
     let households = (population / rng.uniform(2.2, 3.6)).max(20.0);
 
     // The price is driven by the *true* district characteristics.
-    let true_features = vec![lon, lat, age, rooms, bedroom_ratio, population, households, income];
+    let true_features = vec![
+        lon,
+        lat,
+        age,
+        rooms,
+        bedroom_ratio,
+        population,
+        households,
+        income,
+    ];
     let y = price(&true_features, rng);
 
     // What the model sees are census *measurements*. Small/badly-sampled
@@ -249,7 +259,11 @@ mod tests {
         let n = incomes.len() as f64;
         let mi = incomes.iter().sum::<f64>() / n;
         let mp = prices.iter().sum::<f64>() / n;
-        let cov: f64 = incomes.iter().zip(&prices).map(|(a, b)| (a - mi) * (b - mp)).sum();
+        let cov: f64 = incomes
+            .iter()
+            .zip(&prices)
+            .map(|(a, b)| (a - mi) * (b - mp))
+            .sum();
         let vi: f64 = incomes.iter().map(|a| (a - mi).powi(2)).sum();
         let vp: f64 = prices.iter().map(|b| (b - mp).powi(2)).sum();
         let corr = cov / (vi.sqrt() * vp.sqrt());

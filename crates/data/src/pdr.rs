@@ -308,9 +308,8 @@ fn write_window(
             + profile.accel_bias
             + rng.gaussian(0.0, noise);
         // ch2: lateral sway — stronger while turning.
-        out[2 * time_len + t] = 0.6 * dheading.abs() * (wt + 0.7).cos()
-            + 0.5 * swing
-            + rng.gaussian(0.0, noise);
+        out[2 * time_len + t] =
+            0.6 * dheading.abs() * (wt + 0.7).cos() + 0.5 * swing + rng.gaussian(0.0, noise);
         // ch3: gyroscope yaw rate integrating to the heading change.
         out[3 * time_len + t] =
             dheading / time_len as f64 + profile.gyro_bias + rng.gaussian(0.0, noise * 0.5);
@@ -548,16 +547,17 @@ mod tests {
         });
         let user = &world.seen_users[0];
         let ds = user.full_dataset();
-        let radii: Vec<f64> = ds
-            .y
-            .iter_rows()
-            .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
-            .collect();
+        let radii: Vec<f64> =
+            ds.y.iter_rows()
+                .map(|d| (d[0] * d[0] + d[1] * d[1]).sqrt())
+                .collect();
         let mean_r = radii.iter().sum::<f64>() / radii.len() as f64;
-        let std_r = (radii.iter().map(|r| (r - mean_r).powi(2)).sum::<f64>()
-            / radii.len() as f64)
-            .sqrt();
-        assert!(std_r / mean_r < 0.35, "radial spread should be narrow (ring)");
+        let std_r =
+            (radii.iter().map(|r| (r - mean_r).powi(2)).sum::<f64>() / radii.len() as f64).sqrt();
+        assert!(
+            std_r / mean_r < 0.35,
+            "radial spread should be narrow (ring)"
+        );
         // Angular coverage: all four quadrants visited.
         let mut quadrants = [false; 4];
         for d in ds.y.iter_rows() {
@@ -569,7 +569,10 @@ mod tests {
             };
             quadrants[q] = true;
         }
-        assert!(quadrants.iter().all(|&q| q), "headings should cover all quadrants");
+        assert!(
+            quadrants.iter().all(|&q| q),
+            "headings should cover all quadrants"
+        );
     }
 
     #[test]
@@ -599,7 +602,10 @@ mod tests {
         assert!(!clean_energy.is_empty() && !distorted_energy.is_empty());
         let mc = clean_energy.iter().sum::<f64>() / clean_energy.len() as f64;
         let md = distorted_energy.iter().sum::<f64>() / distorted_energy.len() as f64;
-        assert!(md > mc, "distorted windows should carry more HF energy ({md:.3} vs {mc:.3})");
+        assert!(
+            md > mc,
+            "distorted windows should carry more HF energy ({md:.3} vs {mc:.3})"
+        );
     }
 
     #[test]

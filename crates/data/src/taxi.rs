@@ -251,9 +251,19 @@ mod tests {
         // The split keys on the true pickup zone; recorded coordinates may
         // be GPS-corrupted, so only the overwhelming majority must match.
         let w = generate(&small());
-        let tgt_in = w.target.x.iter_rows().filter(|r| in_manhattan(r[0], r[1])).count();
+        let tgt_in = w
+            .target
+            .x
+            .iter_rows()
+            .filter(|r| in_manhattan(r[0], r[1]))
+            .count();
         assert!(tgt_in as f64 > 0.7 * w.target.len() as f64);
-        let src_out = w.source.x.iter_rows().filter(|r| !in_manhattan(r[0], r[1])).count();
+        let src_out = w
+            .source
+            .x
+            .iter_rows()
+            .filter(|r| !in_manhattan(r[0], r[1]))
+            .count();
         assert!(src_out as f64 > 0.9 * w.source.len() as f64);
     }
 
@@ -303,7 +313,11 @@ mod tests {
         let n = kms.len() as f64;
         let mk = kms.iter().sum::<f64>() / n;
         let mm = mins.iter().sum::<f64>() / n;
-        let cov: f64 = kms.iter().zip(&mins).map(|(a, b)| (a - mk) * (b - mm)).sum();
+        let cov: f64 = kms
+            .iter()
+            .zip(&mins)
+            .map(|(a, b)| (a - mk) * (b - mm))
+            .sum();
         let vk: f64 = kms.iter().map(|a| (a - mk).powi(2)).sum();
         let vm: f64 = mins.iter().map(|b| (b - mm).powi(2)).sum();
         let corr = cov / (vk.sqrt() * vm.sqrt());

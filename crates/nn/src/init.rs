@@ -26,7 +26,14 @@ impl Init {
     /// `fan_in`/`fan_out` are passed explicitly rather than derived from the
     /// shape because convolution kernels store `(out_ch, in_ch * k)` matrices
     /// whose fans differ from their matrix dimensions.
-    pub fn tensor(self, rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    pub fn tensor(
+        self,
+        rows: usize,
+        cols: usize,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut Rng,
+    ) -> Tensor {
         match self {
             Init::XavierUniform => {
                 let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
@@ -59,10 +66,12 @@ mod tests {
         let mut rng = Rng::new(2);
         let w = Init::HeNormal.tensor(200, 200, 100, 200, &mut rng);
         let mean = w.mean();
-        let var = w.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / w.len() as f64;
+        let var = w.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f64>() / w.len() as f64;
         assert!(mean.abs() < 0.01);
-        assert!((var - 0.02).abs() < 0.003, "var {var} should be near 2/fan_in = 0.02");
+        assert!(
+            (var - 0.02).abs() < 0.003,
+            "var {var} should be near 2/fan_in = 0.02"
+        );
     }
 
     #[test]

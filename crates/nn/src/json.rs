@@ -1,0 +1,690 @@
+//! A minimal, dependency-free JSON reader/writer.
+//!
+//! The workspace ships models and calibrations as JSON (a TASFAR deployment
+//! bundle is "model + calibration", Sec. III-B), but the build environment
+//! has no access to crates.io, so `serde`/`serde_json` are not available.
+//! This module is the small surface the workspace actually needs:
+//!
+//! * a [`Json`] value tree with a recursive-descent parser and a writer;
+//! * [`ToJson`] / [`FromJson`] traits every persisted type implements by
+//!   hand;
+//! * `serde`-compatible conventions for enums (externally tagged: unit
+//!   variants serialise as a bare string, struct variants as a one-key
+//!   object), so bundles written by earlier builds keep parsing.
+//!
+//! Floats round-trip exactly: the writer uses Rust's shortest-representation
+//! `Display` for `f64` and the parser uses the correctly-rounded
+//! `str::parse`, so `write ∘ parse` is the identity on finite values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or decode error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// Creates an error from any displayable message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (they are a `Vec` of pairs), which keeps
+/// written output stable and human-diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer written without a decimal point (exact for the
+    /// full `u64` range, unlike a double).
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: Vec<(K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, failing with a descriptive error.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key)
+            .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(v) => Ok(*v),
+            Json::UInt(v) => Ok(*v as f64),
+            other => Err(JsonError::new(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `u64` (floats must be integral and in range).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::UInt(v) => Ok(*v),
+            Json::Num(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= u64::MAX as f64 => Ok(*v as u64),
+            other => Err(JsonError::new(format!("expected integer, got {other:?}"))),
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let v = self.as_u64()?;
+        usize::try_from(v).map_err(|_| JsonError::new(format!("integer {v} overflows usize")))
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {other:?}"))),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::new(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(JsonError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Parses a JSON document (rejecting trailing garbage).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact serialisation (no whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+/// Types that serialise to a [`Json`] value.
+pub trait ToJson {
+    /// The value tree for this object.
+    fn to_json_value(&self) -> Json;
+
+    /// Serialises straight to a compact string.
+    fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}
+
+/// Types that deserialise from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Decodes from a value tree.
+    fn from_json_value(v: &Json) -> Result<Self, JsonError>;
+
+    /// Parses and decodes from a string.
+    fn from_json(s: &str) -> Result<Self, JsonError> {
+        Self::from_json_value(&Json::parse(s)?)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json_value(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+impl FromJson for f64 {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+    }
+}
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json_value).collect())
+    }
+}
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        v.as_arr()?.iter().map(T::from_json_value).collect()
+    }
+}
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json_value(v).map(Some)
+        }
+    }
+}
+
+// ----- writer ---------------------------------------------------------------
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::UInt(n) => {
+            out.push_str(&n.to_string());
+        }
+        Json::Num(n) => write_f64(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(n: f64, out: &mut String) {
+    assert!(n.is_finite(), "json: cannot serialise non-finite float {n}");
+    // Rust's `Display` is the shortest decimal that round-trips, but it
+    // omits the fractional part for integral values; keep `.0` so a reader
+    // can tell floats from integers.
+    let s = n.to_string();
+    out.push_str(&s);
+    if !s.contains('.') && !s.contains('e') {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ----- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(JsonError::new(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => {
+                    return Err(JsonError::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "bad escape {other:?} at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Decode one UTF-8 scalar (input is a &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (plus a surrogate pair if needed);
+    /// on entry `pos` points at the `u`.
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        self.pos += 1; // consume `u`
+        let high = self.hex4()?;
+        if (0xD800..0xDC00).contains(&high) {
+            // Surrogate pair: require `\uXXXX` low half.
+            if self.bytes.get(self.pos) == Some(&b'\\')
+                && self.bytes.get(self.pos + 1) == Some(&b'u')
+            {
+                self.pos += 2;
+                let low = self.hex4()?;
+                let cp = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                return char::from_u32(cp).ok_or_else(|| JsonError::new("invalid surrogate pair"));
+            }
+            return Err(JsonError::new("lone high surrogate"));
+        }
+        char::from_u32(high).ok_or_else(|| JsonError::new("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| JsonError::new("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| JsonError::new("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number bytes"))?;
+        if integral && !text.starts_with('-') {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError::new(format!("invalid number `{text}`")))
+    }
+}
+
+/// Decodes an externally-tagged enum value: either a bare string (unit
+/// variant) or a one-key object (struct variant). Returns the variant name
+/// and the payload (`Json::Null` for unit variants).
+pub fn enum_variant(v: &Json) -> Result<(&str, &Json), JsonError> {
+    static NULL: Json = Json::Null;
+    match v {
+        Json::Str(name) => Ok((name, &NULL)),
+        Json::Obj(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, &pairs[0].1)),
+        other => Err(JsonError::new(format!(
+            "expected enum (string or single-key object), got {other:?}"
+        ))),
+    }
+}
+
+/// Convenience: a HashMap view of an object's keys (for duplicate checks and
+/// diagnostics in tests).
+pub fn object_keys(v: &Json) -> HashMap<&str, &Json> {
+    match v {
+        Json::Obj(pairs) => pairs.iter().map(|(k, v)| (k.as_str(), v)).collect(),
+        _ => HashMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "42", "-3.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            let back = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(v, back);
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0,
+            1e-3,
+            std::f64::consts::PI,
+            -2.2250738585072014e-308,
+            1.7976931348623157e308,
+            0.1 + 0.2,
+        ] {
+            let mut s = String::new();
+            write_f64(x, &mut s);
+            let v = Json::parse(&s).unwrap();
+            let y = v.as_f64().unwrap();
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} → {s} → {y}");
+        }
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let v = Json::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_u64().unwrap(), u64::MAX);
+        assert_eq!(v.to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let text = r#"{"a":[1,2.5,{"b":null}],"c":"x\"y\\z","d":{}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(v.field("c").unwrap().as_str().unwrap(), "x\"y\\z");
+        assert_eq!(v.field("a").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn whitespace_and_escapes() {
+        let v = Json::parse(" { \"k\" : [ 1 , 2 ] , \"u\" : \"\\u00e9\\n\" } ").unwrap();
+        assert_eq!(v.field("u").unwrap().as_str().unwrap(), "é\n");
+        assert_eq!(v.field("k").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+    }
+
+    #[test]
+    fn control_characters_escape_on_write() {
+        let v = Json::Str("a\u{1}b".into());
+        assert_eq!(v.to_string(), "\"a\\u0001b\"");
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::Null.field("k").is_err());
+        assert!(Json::Bool(true).as_f64().is_err());
+    }
+
+    #[test]
+    fn enum_conventions() {
+        let unit = Json::parse("\"Gaussian\"").unwrap();
+        let (name, payload) = enum_variant(&unit).unwrap();
+        assert_eq!(name, "Gaussian");
+        assert!(payload.is_null());
+
+        let tagged = Json::parse(r#"{"Dense":{"in_dim":4}}"#).unwrap();
+        let (name, payload) = enum_variant(&tagged).unwrap();
+        assert_eq!(name, "Dense");
+        assert_eq!(payload.field("in_dim").unwrap().as_usize().unwrap(), 4);
+    }
+
+    #[test]
+    fn option_and_vec_impls() {
+        let v: Option<f64> = None;
+        assert_eq!(v.to_json_value(), Json::Null);
+        let xs = vec![1.0, 2.0];
+        let round: Vec<f64> = Vec::from_json(&xs.to_json()).unwrap();
+        assert_eq!(round, xs);
+    }
+}

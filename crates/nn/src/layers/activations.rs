@@ -27,7 +27,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("Relu::backward before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Relu::backward before forward");
         grad_output.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
     }
 
@@ -59,8 +62,14 @@ impl LeakyRelu {
     /// # Panics
     /// Panics unless `0 <= alpha < 1`.
     pub fn new(alpha: f64) -> Self {
-        assert!((0.0..1.0).contains(&alpha), "LeakyRelu: alpha must be in [0,1)");
-        LeakyRelu { alpha, cached_input: None }
+        assert!(
+            (0.0..1.0).contains(&alpha),
+            "LeakyRelu: alpha must be in [0,1)"
+        );
+        LeakyRelu {
+            alpha,
+            cached_input: None,
+        }
     }
 }
 
@@ -72,7 +81,10 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cached_input.as_ref().expect("LeakyRelu::backward before forward");
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("LeakyRelu::backward before forward");
         let a = self.alpha;
         grad_output.zip_map(input, |g, x| if x > 0.0 { g } else { a * g })
     }
@@ -111,7 +123,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.cached_output.as_ref().expect("Tanh::backward before forward");
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("Tanh::backward before forward");
         grad_output.zip_map(out, |g, y| g * (1.0 - y * y))
     }
 
@@ -149,7 +164,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.cached_output.as_ref().expect("Sigmoid::backward before forward");
+        let out = self
+            .cached_output
+            .as_ref()
+            .expect("Sigmoid::backward before forward");
         grad_output.zip_map(out, |g, y| g * y * (1.0 - y))
     }
 

@@ -46,7 +46,10 @@ impl BatchNorm1d {
     pub fn with_options(dim: usize, eps: f64, momentum: f64) -> Self {
         assert!(dim > 0, "BatchNorm1d: dim must be positive");
         assert!(eps > 0.0, "BatchNorm1d: eps must be positive");
-        assert!(momentum > 0.0 && momentum <= 1.0, "BatchNorm1d: momentum must be in (0, 1]");
+        assert!(
+            momentum > 0.0 && momentum <= 1.0,
+            "BatchNorm1d: momentum must be in (0, 1]"
+        );
         BatchNorm1d {
             dim,
             eps,
@@ -175,7 +178,11 @@ impl Layer for BatchNorm1d {
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {
-        assert_eq!(input_dim, self.dim, "BatchNorm1d: wired after {} features, expects {}", input_dim, self.dim);
+        assert_eq!(
+            input_dim, self.dim,
+            "BatchNorm1d: wired after {} features, expects {}",
+            input_dim, self.dim
+        );
         self.dim
     }
 

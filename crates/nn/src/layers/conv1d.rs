@@ -94,33 +94,44 @@ impl Layer for Conv1d {
             input.cols()
         );
         let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
+        let (in_ch, out_ch) = (self.in_ch, self.out_ch);
         let w = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
-        let mut out = Tensor::zeros(input.rows(), self.out_ch * t_len);
-        for (x_row, y_row) in input
-            .iter_rows()
-            .zip(out.as_mut_slice().chunks_exact_mut(self.out_ch * t_len))
-        {
-            for o in 0..self.out_ch {
-                let w_o = &w[o * self.in_ch * k..(o + 1) * self.in_ch * k];
-                let y_o = &mut y_row[o * t_len..(o + 1) * t_len];
-                y_o.fill(b[o]);
-                for c in 0..self.in_ch {
-                    let x_c = &x_row[c * t_len..(c + 1) * t_len];
-                    let w_oc = &w_o[c * k..(c + 1) * k];
-                    for (tap, &wv) in w_oc.iter().enumerate() {
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        // Tap `tap` reads the input `(k-1-tap)·dil` steps back.
-                        let back = (k - 1 - tap) * dil;
-                        for t in back..t_len {
-                            y_o[t] += wv * x_c[t - back];
+        let out_width = out_ch * t_len;
+        let mut out = Tensor::zeros(input.rows(), out_width);
+        // Batch rows are independent, so the kernel parallelises over output
+        // rows; per-row arithmetic order never changes, keeping results
+        // bit-identical for any thread count.
+        let rows_per_chunk =
+            crate::tensor::kernel_rows_per_chunk(input.rows(), 2 * out_ch * in_ch * k * t_len);
+        crate::parallel::for_each_row_chunk(
+            out.as_mut_slice(),
+            out_width,
+            rows_per_chunk,
+            |rows, chunk| {
+                for (local, r) in rows.clone().enumerate() {
+                    let x_row = input.row(r);
+                    let y_row = &mut chunk[local * out_width..(local + 1) * out_width];
+                    for o in 0..out_ch {
+                        let w_o = &w[o * in_ch * k..(o + 1) * in_ch * k];
+                        let y_o = &mut y_row[o * t_len..(o + 1) * t_len];
+                        y_o.fill(b[o]);
+                        for c in 0..in_ch {
+                            let x_c = &x_row[c * t_len..(c + 1) * t_len];
+                            let w_oc = &w_o[c * k..(c + 1) * k];
+                            for (tap, &wv) in w_oc.iter().enumerate() {
+                                // Tap `tap` reads the input `(k-1-tap)·dil`
+                                // steps back.
+                                let back = (k - 1 - tap) * dil;
+                                for t in back..t_len {
+                                    y_o[t] += wv * x_c[t - back];
+                                }
+                            }
                         }
                     }
                 }
-            }
-        }
+            },
+        );
         self.cached_input = Some(input.clone());
         out
     }
@@ -130,37 +141,74 @@ impl Layer for Conv1d {
             .cached_input
             .as_ref()
             .expect("Conv1d::backward called before forward");
-        assert_eq!(grad_output.cols(), self.output_width(), "Conv1d: grad width mismatch");
+        assert_eq!(
+            grad_output.cols(),
+            self.output_width(),
+            "Conv1d: grad width mismatch"
+        );
         let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
+        let (in_ch, out_ch) = (self.in_ch, self.out_ch);
         let w = self.weight.value.as_slice();
-        let dw = self.weight.grad.as_mut_slice();
-        let db = self.bias.grad.as_mut_slice();
-        let mut grad_input = Tensor::zeros(input.rows(), self.in_ch * t_len);
+        let in_width = in_ch * t_len;
+        let n_rows = input.rows();
+        let mut grad_input = Tensor::zeros(n_rows, in_width);
 
-        for ((x_row, g_row), gx_row) in input
-            .iter_rows()
-            .zip(grad_output.iter_rows())
-            .zip(grad_input.as_mut_slice().chunks_exact_mut(self.in_ch * t_len))
-        {
-            for o in 0..self.out_ch {
-                let g_o = &g_row[o * t_len..(o + 1) * t_len];
-                db[o] += g_o.iter().sum::<f64>();
-                for c in 0..self.in_ch {
-                    let x_c = &x_row[c * t_len..(c + 1) * t_len];
-                    let gx_c = &mut gx_row[c * t_len..(c + 1) * t_len];
-                    for tap in 0..k {
-                        let back = (k - 1 - tap) * dil;
-                        let widx = o * self.in_ch * k + c * k + tap;
-                        let wv = w[widx];
-                        let mut dw_acc = 0.0;
-                        for t in back..t_len {
-                            let g = g_o[t];
-                            dw_acc += g * x_c[t - back];
-                            gx_c[t - back] += g * wv;
+        // Parallel across batch rows: `grad_input` rows are disjoint, while
+        // the shared `dw`/`db` reductions accumulate into per-chunk buffers
+        // that are combined in chunk order afterwards. Chunk boundaries are
+        // fixed by the batch size alone, so gradients are bit-identical for
+        // any thread count.
+        const ROWS_PER_CHUNK: usize = 8;
+        // One (dw, db) partial per chunk, filled in by that chunk's worker.
+        type ChunkPartial = Option<(Vec<f64>, Vec<f64>)>;
+        let n_chunks = crate::parallel::chunk_count(n_rows, ROWS_PER_CHUNK);
+        let partials: std::sync::Mutex<Vec<ChunkPartial>> =
+            std::sync::Mutex::new((0..n_chunks).map(|_| None).collect());
+        crate::parallel::for_each_row_chunk(
+            grad_input.as_mut_slice(),
+            in_width,
+            ROWS_PER_CHUNK,
+            |rows, gx_chunk| {
+                let mut dw_local = vec![0.0; w.len()];
+                let mut db_local = vec![0.0; out_ch];
+                for (local, r) in rows.clone().enumerate() {
+                    let x_row = input.row(r);
+                    let g_row = grad_output.row(r);
+                    let gx_row = &mut gx_chunk[local * in_width..(local + 1) * in_width];
+                    for o in 0..out_ch {
+                        let g_o = &g_row[o * t_len..(o + 1) * t_len];
+                        db_local[o] += g_o.iter().sum::<f64>();
+                        for c in 0..in_ch {
+                            let x_c = &x_row[c * t_len..(c + 1) * t_len];
+                            let gx_c = &mut gx_row[c * t_len..(c + 1) * t_len];
+                            for tap in 0..k {
+                                let back = (k - 1 - tap) * dil;
+                                let widx = o * in_ch * k + c * k + tap;
+                                let wv = w[widx];
+                                let mut dw_acc = 0.0;
+                                for t in back..t_len {
+                                    let g = g_o[t];
+                                    dw_acc += g * x_c[t - back];
+                                    gx_c[t - back] += g * wv;
+                                }
+                                dw_local[widx] += dw_acc;
+                            }
                         }
-                        dw[widx] += dw_acc;
                     }
                 }
+                let chunk_index = rows.start / ROWS_PER_CHUNK;
+                partials.lock().unwrap()[chunk_index] = Some((dw_local, db_local));
+            },
+        );
+        let dw = self.weight.grad.as_mut_slice();
+        let db = self.bias.grad.as_mut_slice();
+        for partial in partials.into_inner().unwrap() {
+            let (dw_local, db_local) = partial.expect("Conv1d::backward: missing chunk partial");
+            for (acc, v) in dw.iter_mut().zip(&dw_local) {
+                *acc += v;
+            }
+            for (acc, v) in db.iter_mut().zip(&db_local) {
+                *acc += v;
             }
         }
         grad_input
@@ -247,7 +295,11 @@ mod tests {
         let y2 = conv.forward(&x2, Mode::Eval);
         for o in 0..3 {
             for t in 0..7 {
-                assert_eq!(y1.get(0, o * 8 + t), y2.get(0, o * 8 + t), "output at t={t} saw the future");
+                assert_eq!(
+                    y1.get(0, o * 8 + t),
+                    y2.get(0, o * 8 + t),
+                    "output at t={t} saw the future"
+                );
             }
         }
     }

@@ -20,7 +20,10 @@ impl Dense {
     /// Creates a dense layer with the given initialisation for the weight;
     /// the bias starts at zero.
     pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "Dense: dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "Dense: dimensions must be positive"
+        );
         Dense {
             weight: Param::new(init.tensor(in_dim, out_dim, in_dim, out_dim, rng)),
             bias: Param::new(Tensor::zeros(1, out_dim)),
@@ -71,7 +74,11 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .expect("Dense::backward called before forward");
-        assert_eq!(grad_output.cols(), self.out_dim, "Dense: grad width mismatch");
+        assert_eq!(
+            grad_output.cols(),
+            self.out_dim,
+            "Dense: grad width mismatch"
+        );
         // dW = xᵀ · g, db = column sums of g, dx = g · Wᵀ.
         self.weight.grad.add_assign(&input.t_matmul(grad_output));
         let db = grad_output.sum_rows();
@@ -90,7 +97,11 @@ impl Layer for Dense {
     }
 
     fn output_dim(&self, input_dim: usize) -> usize {
-        assert_eq!(input_dim, self.in_dim, "Dense: wired after {} features, expects {}", input_dim, self.in_dim);
+        assert_eq!(
+            input_dim, self.in_dim,
+            "Dense: wired after {} features, expects {}",
+            input_dim, self.in_dim
+        );
         self.out_dim
     }
 

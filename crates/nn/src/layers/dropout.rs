@@ -25,7 +25,10 @@ impl Dropout {
     /// # Panics
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f64, rng: &mut Rng) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p ({p}) must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p ({p}) must be in [0, 1)"
+        );
         Dropout {
             p,
             rng: rng.split(),
@@ -76,6 +79,10 @@ impl Layer for Dropout {
 
     fn output_dim(&self, input_dim: usize) -> usize {
         input_dim
+    }
+
+    fn dropout_rngs_mut(&mut self) -> Vec<&mut Rng> {
+        vec![&mut self.rng]
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

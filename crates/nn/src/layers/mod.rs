@@ -93,7 +93,7 @@ impl Param {
 ///   parameter gradients into each [`Param::grad`];
 /// * `params_mut` exposes trainable parameters in a stable order (the
 ///   optimizer keys its per-parameter state by position).
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a `(batch, features)` input.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
@@ -115,6 +115,17 @@ pub trait Layer: Send {
     /// Used by [`Sequential::output_dim`] to validate model wiring without a
     /// forward pass.
     fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// Mutable access to every dropout PRNG reachable from this layer, in a
+    /// stable (definition) order. Containers recurse; everything else
+    /// returns the default empty vector.
+    ///
+    /// This is what lets MC-dropout pre-split one independent stream per
+    /// stochastic pass and run the passes in parallel with bit-identical
+    /// results (see `tasfar-core`'s `McDropout`).
+    fn dropout_rngs_mut(&mut self) -> Vec<&mut crate::rng::Rng> {
+        Vec::new()
+    }
 
     /// Clones the layer behind the trait object (state included).
     fn clone_box(&self) -> Box<dyn Layer>;

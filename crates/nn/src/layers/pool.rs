@@ -18,7 +18,10 @@ impl GlobalAvgPool1d {
     /// # Panics
     /// Panics on zero-sized dimensions.
     pub fn new(channels: usize, time_len: usize) -> Self {
-        assert!(channels > 0 && time_len > 0, "GlobalAvgPool1d: dimensions must be positive");
+        assert!(
+            channels > 0 && time_len > 0,
+            "GlobalAvgPool1d: dimensions must be positive"
+        );
         GlobalAvgPool1d {
             channels,
             time_len,
@@ -55,13 +58,18 @@ impl Layer for GlobalAvgPool1d {
         let batch = self
             .cached_batch
             .expect("GlobalAvgPool1d::backward called before forward");
-        assert_eq!(grad_output.shape(), (batch, self.channels), "GlobalAvgPool1d: grad shape mismatch");
+        assert_eq!(
+            grad_output.shape(),
+            (batch, self.channels),
+            "GlobalAvgPool1d: grad shape mismatch"
+        );
         let inv = 1.0 / self.time_len as f64;
         let mut grad_input = Tensor::zeros(batch, self.channels * self.time_len);
-        for (g_row, gx_row) in grad_output
-            .iter_rows()
-            .zip(grad_input.as_mut_slice().chunks_exact_mut(self.channels * self.time_len))
-        {
+        for (g_row, gx_row) in grad_output.iter_rows().zip(
+            grad_input
+                .as_mut_slice()
+                .chunks_exact_mut(self.channels * self.time_len),
+        ) {
             for (c, &g) in g_row.iter().enumerate() {
                 let v = g * inv;
                 for gx in &mut gx_row[c * self.time_len..(c + 1) * self.time_len] {

@@ -91,9 +91,17 @@ impl Sequential {
     pub fn load_params_from(&mut self, other: &mut Sequential) {
         let src: Vec<Tensor> = other.params_mut().iter().map(|p| p.value.clone()).collect();
         let dst = self.params_mut();
-        assert_eq!(dst.len(), src.len(), "load_params_from: parameter count mismatch");
+        assert_eq!(
+            dst.len(),
+            src.len(),
+            "load_params_from: parameter count mismatch"
+        );
         for (d, s) in dst.into_iter().zip(src) {
-            assert_eq!(d.value.shape(), s.shape(), "load_params_from: shape mismatch");
+            assert_eq!(
+                d.value.shape(),
+                s.shape(),
+                "load_params_from: shape mismatch"
+            );
             d.value = s;
         }
     }
@@ -131,6 +139,13 @@ impl Layer for Sequential {
         self.layers
             .iter()
             .fold(input_dim, |dim, layer| layer.output_dim(dim))
+    }
+
+    fn dropout_rngs_mut(&mut self) -> Vec<&mut crate::rng::Rng> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.dropout_rngs_mut())
+            .collect()
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -22,6 +22,11 @@
 //!   loss-drop rate (the paper's Fig. 13 rule).
 //! * [`gradcheck`] — finite-difference verification used across the test
 //!   suite.
+//! * [`parallel`] — a zero-dependency deterministic thread pool; the matmul,
+//!   convolution, MC-dropout, and KDE hot paths run on it and return
+//!   bit-identical results for any thread count (`TASFAR_THREADS`).
+//! * [`json`] — a minimal JSON reader/writer (the build environment has no
+//!   crates.io access, so `serde` is not an option).
 //!
 //! ## Quick example
 //!
@@ -42,14 +47,20 @@
 //! assert!(report.final_loss() < 1e-3);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gradcheck;
 pub mod init;
+pub mod json;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+// The parallel runtime is the one module allowed to use `unsafe`: its worker
+// pool hands borrowed closures and disjoint output sub-slices across threads,
+// with the safety argument documented at each site.
+#[allow(unsafe_code)]
+pub mod parallel;
 pub mod rng;
 pub mod schedule;
 pub mod spec;
@@ -60,9 +71,10 @@ pub mod train;
 pub mod prelude {
     pub use crate::gradcheck::check_gradients;
     pub use crate::init::Init;
+    pub use crate::json::{FromJson, Json, JsonError, ToJson};
     pub use crate::layers::{
-        BatchNorm1d, Conv1d, Dense, Dropout, GlobalAvgPool1d, Layer, LeakyRelu, Mode, Param,
-        Relu, Sequential, Sigmoid, Tanh, TcnBlock,
+        BatchNorm1d, Conv1d, Dense, Dropout, GlobalAvgPool1d, Layer, LeakyRelu, Mode, Param, Relu,
+        Sequential, Sigmoid, Tanh, TcnBlock,
     };
     pub use crate::loss::{Huber, Loss, Mae, Mse, Msle};
     pub use crate::optim::{Adam, Optimizer, Sgd};

@@ -38,7 +38,12 @@ pub trait Loss: Send {
                 }
             }
             Some(w) => {
-                assert_eq!(w.len(), per.len(), "{}: weight length mismatch", self.name());
+                assert_eq!(
+                    w.len(),
+                    per.len(),
+                    "{}: weight length mismatch",
+                    self.name()
+                );
                 let total: f64 = w.iter().sum();
                 assert!(total > 0.0, "{}: weights must not sum to zero", self.name());
                 per.iter().zip(w).map(|(&l, &wi)| l * wi).sum::<f64>() / total
@@ -66,7 +71,9 @@ fn sample_scales(batch: usize, dim: usize, weights: Option<&[f64]>) -> Vec<f64> 
             assert_eq!(w.len(), batch, "loss: weight length mismatch");
             let total: f64 = w.iter().sum();
             assert!(total > 0.0, "loss: weights must not sum to zero");
-            w.iter().map(|&wi| wi / (total * dim.max(1) as f64)).collect()
+            w.iter()
+                .map(|&wi| wi / (total * dim.max(1) as f64))
+                .collect()
         }
     }
 }
@@ -316,7 +323,9 @@ mod tests {
         let pred = t(3, 1, &[1.0, 2.0, 3.0]);
         let target = t(3, 1, &[0.0, 0.0, 0.0]);
         let w = [2.0, 2.0, 2.0];
-        assert!((Mse.value(&pred, &target, Some(&w)) - Mse.value(&pred, &target, None)).abs() < 1e-12);
+        assert!(
+            (Mse.value(&pred, &target, Some(&w)) - Mse.value(&pred, &target, None)).abs() < 1e-12
+        );
         let g1 = Mse.grad(&pred, &target, Some(&w));
         let g2 = Mse.grad(&pred, &target, None);
         for (a, b) in g1.as_slice().iter().zip(g2.as_slice()) {
@@ -378,7 +387,10 @@ mod tests {
         assert!(v.is_finite());
         let g = Msle.grad(&pred, &target, None);
         assert!(g.get(0, 0).is_finite());
-        assert!(g.get(0, 0) < 0.0, "gradient must push the prediction upward");
+        assert!(
+            g.get(0, 0) < 0.0,
+            "gradient must push the prediction upward"
+        );
     }
 
     #[test]
@@ -405,11 +417,8 @@ mod tests {
     /// Numeric check of every loss gradient via central differences.
     #[test]
     fn gradients_match_finite_differences() {
-        let losses: Vec<Box<dyn Loss>> = vec![
-            Box::new(Mse),
-            Box::new(Huber::new(0.7)),
-            Box::new(Msle),
-        ];
+        let losses: Vec<Box<dyn Loss>> =
+            vec![Box::new(Mse), Box::new(Huber::new(0.7)), Box::new(Msle)];
         let pred = t(3, 2, &[0.5, 1.5, 2.0, 0.1, 4.0, 0.9]);
         let target = t(3, 2, &[0.0, 2.0, 2.5, 0.0, 1.0, 1.0]);
         let w = [1.0, 2.0, 0.5];

@@ -62,8 +62,14 @@ impl Sgd {
     /// Panics on invalid hyper-parameters.
     pub fn with_options(lr: f64, momentum: f64, weight_decay: f64) -> Self {
         assert!(lr > 0.0, "Sgd: lr must be positive");
-        assert!((0.0..1.0).contains(&momentum), "Sgd: momentum must be in [0,1)");
-        assert!(weight_decay >= 0.0, "Sgd: weight_decay must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&momentum),
+            "Sgd: momentum must be in [0,1)"
+        );
+        assert!(
+            weight_decay >= 0.0,
+            "Sgd: weight_decay must be non-negative"
+        );
         Sgd {
             lr,
             momentum,
@@ -136,7 +142,10 @@ impl Adam {
         assert!((0.0..1.0).contains(&beta1), "Adam: beta1 must be in [0,1)");
         assert!((0.0..1.0).contains(&beta2), "Adam: beta2 must be in [0,1)");
         assert!(eps > 0.0, "Adam: eps must be positive");
-        assert!(weight_decay >= 0.0, "Adam: weight_decay must be non-negative");
+        assert!(
+            weight_decay >= 0.0,
+            "Adam: weight_decay must be non-negative"
+        );
         Adam {
             lr,
             beta1,

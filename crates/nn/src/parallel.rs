@@ -1,0 +1,494 @@
+//! A zero-dependency deterministic parallel runtime.
+//!
+//! The adaptation loop is compute-bound on a handful of kernels (matmul,
+//! causal convolution, the MC-dropout sweep, KDE accumulation). This module
+//! gives them a shared, from-scratch thread pool — no `rayon`, nothing from
+//! crates.io — with a determinism contract strong enough for a scientific
+//! reproduction:
+//!
+//! * **Fixed chunking.** Work is split into chunks whose boundaries depend
+//!   only on the problem size, never on the thread count. Each chunk either
+//!   writes a disjoint slice of the output or produces a partial result that
+//!   is combined *in chunk order* on the submitting thread.
+//! * **Bit-identical results.** Because per-chunk computation is sequential
+//!   and combination order is fixed, every kernel built on this module
+//!   returns bitwise-identical floats for any thread count, including the
+//!   inline single-threaded path.
+//! * **Thread count control.** The count comes from the `TASFAR_THREADS`
+//!   environment variable when set, otherwise
+//!   [`std::thread::available_parallelism`]; [`set_threads`] overrides it at
+//!   runtime (used by the determinism tests and the benchmark harness).
+//!
+//! ## Pool architecture
+//!
+//! A lazily-started set of persistent workers shares a queue of jobs behind
+//! a `Mutex` + `Condvar`. A job is a chunk counter plus a lifetime-erased
+//! pointer to the caller's closure; workers claim chunk indices with a
+//! fetch-add, so load balancing is dynamic while outputs stay deterministic.
+//! The submitting thread participates in chunk execution and then blocks
+//! until the last chunk completes, which is what makes the borrowed-closure
+//! pointer sound: the closure (and everything it borrows) outlives every
+//! access. Panics inside chunks are caught, the first payload is kept, and
+//! the submitter re-raises it after the job drains — a panicking kernel
+//! behaves the same with or without threads.
+//!
+//! Nested calls (a parallel kernel invoked from inside a chunk) run inline
+//! on the calling thread, so composition cannot deadlock and stays
+//! deterministic.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// Configured thread count; 0 means "not yet initialised".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads kernels may use (including the calling thread).
+///
+/// Resolution order: a prior [`set_threads`] call, else `TASFAR_THREADS`
+/// (parsed as a positive integer), else `available_parallelism()`, else 1.
+pub fn current_threads() -> usize {
+    let configured = CONFIGURED.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    let n = threads_from_env().unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    // Racing initialisers compute the same value, so a plain store is fine.
+    CONFIGURED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Overrides the thread count for subsequent kernel calls (clamped to ≥ 1).
+///
+/// Outputs are bit-identical for every setting; this only changes how the
+/// work is scheduled. Intended for tests and benchmarks.
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Re-reads `TASFAR_THREADS` / `available_parallelism`, dropping any
+/// [`set_threads`] override.
+pub fn reset_threads() {
+    CONFIGURED.store(0, Ordering::Relaxed);
+}
+
+fn threads_from_env() -> Option<usize> {
+    let raw = std::env::var("TASFAR_THREADS").ok()?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+thread_local! {
+    /// True on pool workers and on a submitter while it runs chunks; nested
+    /// parallel calls under this flag execute inline.
+    static IN_PARALLEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One submitted parallel region.
+struct Job {
+    /// Lifetime-erased pointer to the caller's `Fn(chunk_index)`. Only valid
+    /// while the submitter is blocked in [`parallel_for_each_chunk`].
+    task: *const (dyn Fn(usize) + Sync),
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks not yet finished.
+    pending: AtomicUsize,
+    /// Helper slots left (submitter participates outside this budget).
+    slots: AtomicUsize,
+    panicked: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is only dereferenced between submission and the submitter's
+// completion wait; the submitter keeps the closure alive for that entire
+// window, and the closure is `Sync` so shared calls from many threads are
+// allowed.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until none are left.
+    fn run_chunks(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::SeqCst);
+            if c >= self.n_chunks {
+                return;
+            }
+            // SAFETY: see the `Send`/`Sync` impls above.
+            let f = unsafe { &*self.task };
+            let result = catch_unwind(AssertUnwindSafe(|| f(c)));
+            if let Err(e) = result {
+                self.panicked.store(true, Ordering::SeqCst);
+                let mut slot = self.payload.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+            if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                *self.done.lock().unwrap() = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Tries to take one helper slot (workers only).
+    fn try_acquire_slot(&self) -> bool {
+        let mut cur = self.slots.load(Ordering::SeqCst);
+        while cur > 0 {
+            match self
+                .slots
+                .compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+        false
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+/// Hard cap on pool size — a backstop against absurd `TASFAR_THREADS`.
+const MAX_WORKERS: usize = 64;
+
+fn worker_loop() {
+    IN_PARALLEL.with(|f| f.set(true));
+    let pool = pool();
+    loop {
+        let job = {
+            let mut state = pool.state.lock().unwrap();
+            loop {
+                let picked = state
+                    .queue
+                    .iter()
+                    .find(|j| j.next.load(Ordering::SeqCst) < j.n_chunks && j.try_acquire_slot())
+                    .cloned();
+                if let Some(j) = picked {
+                    break j;
+                }
+                state = pool.cv.wait(state).unwrap();
+            }
+        };
+        job.run_chunks();
+    }
+}
+
+/// Runs `f(chunk_index)` for every `0 <= chunk_index < n_chunks`, possibly
+/// on multiple threads.
+///
+/// `f` must be safe to call concurrently for *different* chunk indices; each
+/// index is executed exactly once. When the effective thread count is 1 (or
+/// the call is nested inside another parallel region) the chunks run inline
+/// in index order — the deterministic reference path.
+///
+/// Panics raised inside `f` are re-raised on the calling thread with their
+/// original payload.
+pub fn parallel_for_each_chunk<F>(n_chunks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n_chunks == 0 {
+        return;
+    }
+    let threads = current_threads().min(n_chunks);
+    let nested = IN_PARALLEL.with(|flag| flag.get());
+    if threads <= 1 || n_chunks == 1 || nested {
+        for c in 0..n_chunks {
+            f(c);
+        }
+        return;
+    }
+
+    let local: *const (dyn Fn(usize) + Sync) = &f;
+    // SAFETY: erasing the closure's borrow lifetime is sound because this
+    // function does not return until every chunk has completed, so the
+    // pointer is never dereferenced after `f` (or its borrows) die.
+    let task: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<_, *const (dyn Fn(usize) + Sync)>(local) };
+    let job = Arc::new(Job {
+        task,
+        n_chunks,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(n_chunks),
+        slots: AtomicUsize::new((threads - 1).min(MAX_WORKERS)),
+        panicked: AtomicBool::new(false),
+        payload: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+
+    let pool = pool();
+    {
+        let mut state = pool.state.lock().unwrap();
+        let want = (threads - 1).min(MAX_WORKERS);
+        while state.spawned < want {
+            thread::Builder::new()
+                .name(format!("tasfar-worker-{}", state.spawned))
+                .spawn(worker_loop)
+                .expect("parallel: failed to spawn worker thread");
+            state.spawned += 1;
+        }
+        state.queue.push_back(job.clone());
+        pool.cv.notify_all();
+    }
+
+    // The submitter works too; nested parallel calls under it run inline.
+    IN_PARALLEL.with(|flag| flag.set(true));
+    job.run_chunks();
+    IN_PARALLEL.with(|flag| flag.set(false));
+
+    // Wait for helpers to drain the remaining chunks.
+    {
+        let mut finished = job.done.lock().unwrap();
+        while !*finished {
+            finished = job.done_cv.wait(finished).unwrap();
+        }
+    }
+    // Retire the job from the queue (workers skip exhausted jobs, but don't
+    // let the queue grow without bound).
+    {
+        let mut state = pool.state.lock().unwrap();
+        state.queue.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if job.panicked.load(Ordering::SeqCst) {
+        let payload = job
+            .payload
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| Box::new("parallel chunk panicked"));
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Runs `f(chunk_index)` for each chunk and collects the results in chunk
+/// order. The combination order is fixed, so reductions built on this are
+/// deterministic for any thread count.
+pub fn map_chunks<T, F>(n_chunks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
+    parallel_for_each_chunk(n_chunks, |c| {
+        let value = f(c);
+        results.lock().unwrap()[c] = Some(value);
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|v| v.expect("map_chunks: chunk did not produce a value"))
+        .collect()
+}
+
+/// Number of chunks covering `n_items` at `chunk_size` items per chunk.
+pub fn chunk_count(n_items: usize, chunk_size: usize) -> usize {
+    assert!(chunk_size > 0, "chunk_count: chunk_size must be positive");
+    n_items.div_ceil(chunk_size)
+}
+
+/// The `[start, end)` item range of chunk `c`. Boundaries depend only on
+/// `n_items` and `chunk_size` — never on the thread count.
+pub fn chunk_bounds(n_items: usize, chunk_size: usize, c: usize) -> Range<usize> {
+    let start = c * chunk_size;
+    let end = (start + chunk_size).min(n_items);
+    start..end
+}
+
+/// A raw pointer that may cross threads. Used to hand each chunk a disjoint
+/// sub-slice of one output buffer.
+struct SendPtr(*mut f64);
+// SAFETY: every user derives non-overlapping ranges from fixed chunk
+// boundaries, so no two threads touch the same element.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Splits `out` into fixed row chunks (`rows_per_chunk` rows of `row_width`
+/// elements each) and runs `f(rows, chunk_slice)` per chunk, where `rows` is
+/// the row range the slice covers. Rows are disjoint across chunks, so this
+/// is safe to parallelise, and per-row results are bit-identical regardless
+/// of the thread count.
+///
+/// # Panics
+/// Panics if `out.len()` is not `rows * row_width` for a whole number of
+/// rows.
+pub fn for_each_row_chunk<F>(out: &mut [f64], row_width: usize, rows_per_chunk: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f64]) + Sync,
+{
+    assert!(
+        row_width > 0,
+        "for_each_row_chunk: row_width must be positive"
+    );
+    assert_eq!(
+        out.len() % row_width,
+        0,
+        "for_each_row_chunk: buffer is not a whole number of rows"
+    );
+    let rows = out.len() / row_width;
+    let n_chunks = chunk_count(rows, rows_per_chunk.max(1));
+    let base = SendPtr(out.as_mut_ptr());
+    // Borrow the wrapper itself: edition-2021 closures would otherwise
+    // capture the raw-pointer *field*, which is neither Send nor Sync.
+    let base = &base;
+    parallel_for_each_chunk(n_chunks, |c| {
+        let range = chunk_bounds(rows, rows_per_chunk.max(1), c);
+        // SAFETY: ranges from `chunk_bounds` are disjoint and in-bounds, so
+        // each chunk owns its sub-slice exclusively.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(
+                base.0.add(range.start * row_width),
+                (range.end - range.start) * row_width,
+            )
+        };
+        f(range, slice);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that mutate the global thread configuration.
+    static CONFIG_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Runs `f` under a forced thread count, restoring the default after.
+    fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+        let _guard = CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(n);
+        let out = f();
+        reset_threads();
+        out
+    }
+
+    #[test]
+    fn chunk_geometry() {
+        assert_eq!(chunk_count(10, 4), 3);
+        assert_eq!(chunk_bounds(10, 4, 0), 0..4);
+        assert_eq!(chunk_bounds(10, 4, 2), 8..10);
+        assert_eq!(chunk_count(0, 4), 0);
+    }
+
+    #[test]
+    fn every_chunk_runs_exactly_once() {
+        for threads in [1, 2, 4, 7] {
+            with_threads(threads, || {
+                let counts: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for_each_chunk(23, |c| {
+                    counts[c].fetch_add(1, Ordering::SeqCst);
+                });
+                for c in &counts {
+                    assert_eq!(c.load(Ordering::SeqCst), 1);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        for threads in [1, 3, 8] {
+            let got = with_threads(threads, || map_chunks(17, |c| c * c));
+            let want: Vec<usize> = (0..17).map(|c| c * c).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn row_chunks_cover_disjointly() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let mut out = vec![0.0; 7 * 3];
+                for_each_row_chunk(&mut out, 3, 2, |rows, slice| {
+                    for (k, row) in rows.clone().enumerate() {
+                        for j in 0..3 {
+                            slice[k * 3 + j] = (row * 10 + j) as f64;
+                        }
+                    }
+                });
+                for row in 0..7 {
+                    for j in 0..3 {
+                        assert_eq!(out[row * 3 + j], (row * 10 + j) as f64);
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        with_threads(4, || {
+            let total = AtomicUsize::new(0);
+            parallel_for_each_chunk(8, |_| {
+                parallel_for_each_chunk(8, |_| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 64);
+        });
+    }
+
+    #[test]
+    fn panic_payload_survives_the_pool() {
+        let _guard = CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(4);
+        let result = std::panic::catch_unwind(|| {
+            parallel_for_each_chunk(8, |c| {
+                if c == 5 {
+                    panic!("chunk five exploded");
+                }
+            });
+        });
+        reset_threads();
+        let err = result.expect_err("the panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("chunk five exploded"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn set_threads_clamps_to_one() {
+        let _guard = CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(0);
+        assert_eq!(current_threads(), 1);
+        reset_threads();
+    }
+}

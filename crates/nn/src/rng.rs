@@ -71,10 +71,7 @@ impl Rng {
     /// Next raw 64-bit output (xoshiro256++ scrambler).
     pub fn u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -289,7 +286,10 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "sample mean {mean} too far from 0");
-        assert!((var - 1.0).abs() < 0.03, "sample variance {var} too far from 1");
+        assert!(
+            (var - 1.0).abs() < 0.03,
+            "sample variance {var} too far from 1"
+        );
     }
 
     #[test]
@@ -326,7 +326,10 @@ mod tests {
         let mut rng = Rng::new(23);
         let n = 50_000;
         let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
-        assert!((mean - 0.5).abs() < 0.02, "exp(rate=2) mean should be 0.5, got {mean}");
+        assert!(
+            (mean - 0.5).abs() < 0.02,
+            "exp(rate=2) mean should be 0.5, got {mean}"
+        );
     }
 
     #[test]

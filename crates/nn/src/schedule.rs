@@ -41,7 +41,10 @@ impl LrSchedule {
             LrSchedule::Constant => base,
             LrSchedule::StepDecay { every, factor } => {
                 assert!(every >= 1, "StepDecay: every must be ≥ 1");
-                assert!(factor > 0.0 && factor <= 1.0, "StepDecay: factor must be in (0, 1]");
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "StepDecay: factor must be in (0, 1]"
+                );
                 base * factor.powi((epoch / every) as i32)
             }
             LrSchedule::Cosine {
@@ -49,7 +52,10 @@ impl LrSchedule {
                 min_lr,
             } => {
                 assert!(total_epochs >= 1, "Cosine: total_epochs must be ≥ 1");
-                assert!(min_lr >= 0.0 && min_lr <= base, "Cosine: min_lr must be in [0, base]");
+                assert!(
+                    min_lr >= 0.0 && min_lr <= base,
+                    "Cosine: min_lr must be in [0, base]"
+                );
                 let t = (epoch.min(total_epochs) as f64) / total_epochs as f64;
                 min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f64::consts::PI * t).cos())
             }
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
         assert_eq!(s.rate(0.1, 0), 0.1);
         assert_eq!(s.rate(0.1, 9), 0.1);
         assert_eq!(s.rate(0.1, 10), 0.05);
@@ -95,7 +104,10 @@ mod tests {
 
     #[test]
     fn cosine_anneals_between_bounds() {
-        let s = LrSchedule::Cosine { total_epochs: 100, min_lr: 1e-4 };
+        let s = LrSchedule::Cosine {
+            total_epochs: 100,
+            min_lr: 1e-4,
+        };
         assert!((s.rate(1e-2, 0) - 1e-2).abs() < 1e-12);
         assert!((s.rate(1e-2, 100) - 1e-4).abs() < 1e-12);
         // Midpoint is the mean of the bounds.
@@ -114,7 +126,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_holds() {
-        let s = LrSchedule::Warmup { warmup_epochs: 10, start_fraction: 0.1 };
+        let s = LrSchedule::Warmup {
+            warmup_epochs: 10,
+            start_fraction: 0.1,
+        };
         assert!((s.rate(1.0, 0) - 0.1).abs() < 1e-12);
         assert!((s.rate(1.0, 5) - 0.55).abs() < 1e-12);
         assert_eq!(s.rate(1.0, 10), 1.0);
@@ -124,6 +139,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "factor must be in")]
     fn bad_step_factor_panics() {
-        LrSchedule::StepDecay { every: 5, factor: 1.5 }.rate(0.1, 1);
+        LrSchedule::StepDecay {
+            every: 5,
+            factor: 1.5,
+        }
+        .rate(0.1, 1);
     }
 }

@@ -27,15 +27,15 @@
 //! ```
 
 use crate::init::Init;
+use crate::json::{enum_variant, FromJson, Json, JsonError, ToJson};
 use crate::layers::{
     BatchNorm1d, Conv1d, Dense, Dropout, GlobalAvgPool1d, Layer, LeakyRelu, Relu, Sequential,
     Sigmoid, Tanh, TcnBlock,
 };
 use crate::rng::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One layer of a declarative model description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LayerSpec {
     /// Fully connected layer (He-normal initialised).
     Dense {
@@ -138,8 +138,123 @@ impl LayerSpec {
     }
 }
 
+impl ToJson for LayerSpec {
+    fn to_json_value(&self) -> Json {
+        // `serde`'s externally-tagged convention: unit variants are bare
+        // strings, struct variants a one-key object.
+        match *self {
+            LayerSpec::Dense { in_dim, out_dim } => Json::obj(vec![(
+                "Dense",
+                Json::obj(vec![
+                    ("in_dim", Json::from(in_dim)),
+                    ("out_dim", Json::from(out_dim)),
+                ]),
+            )]),
+            LayerSpec::Relu => Json::from("Relu"),
+            LayerSpec::Tanh => Json::from("Tanh"),
+            LayerSpec::Sigmoid => Json::from("Sigmoid"),
+            LayerSpec::LeakyRelu { alpha } => Json::obj(vec![(
+                "LeakyRelu",
+                Json::obj(vec![("alpha", Json::Num(alpha))]),
+            )]),
+            LayerSpec::Dropout { p } => {
+                Json::obj(vec![("Dropout", Json::obj(vec![("p", Json::Num(p))]))])
+            }
+            LayerSpec::BatchNorm1d { dim } => Json::obj(vec![(
+                "BatchNorm1d",
+                Json::obj(vec![("dim", Json::from(dim))]),
+            )]),
+            LayerSpec::Conv1d {
+                in_ch,
+                out_ch,
+                kernel,
+                dilation,
+                time_len,
+            } => Json::obj(vec![(
+                "Conv1d",
+                Json::obj(vec![
+                    ("in_ch", Json::from(in_ch)),
+                    ("out_ch", Json::from(out_ch)),
+                    ("kernel", Json::from(kernel)),
+                    ("dilation", Json::from(dilation)),
+                    ("time_len", Json::from(time_len)),
+                ]),
+            )]),
+            LayerSpec::GlobalAvgPool1d { channels, time_len } => Json::obj(vec![(
+                "GlobalAvgPool1d",
+                Json::obj(vec![
+                    ("channels", Json::from(channels)),
+                    ("time_len", Json::from(time_len)),
+                ]),
+            )]),
+            LayerSpec::TcnBlock {
+                in_ch,
+                out_ch,
+                kernel,
+                dilation,
+                time_len,
+                dropout_p,
+            } => Json::obj(vec![(
+                "TcnBlock",
+                Json::obj(vec![
+                    ("in_ch", Json::from(in_ch)),
+                    ("out_ch", Json::from(out_ch)),
+                    ("kernel", Json::from(kernel)),
+                    ("dilation", Json::from(dilation)),
+                    ("time_len", Json::from(time_len)),
+                    ("dropout_p", Json::Num(dropout_p)),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for LayerSpec {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let (name, body) = enum_variant(v)?;
+        match name {
+            "Dense" => Ok(LayerSpec::Dense {
+                in_dim: body.field("in_dim")?.as_usize()?,
+                out_dim: body.field("out_dim")?.as_usize()?,
+            }),
+            "Relu" => Ok(LayerSpec::Relu),
+            "Tanh" => Ok(LayerSpec::Tanh),
+            "Sigmoid" => Ok(LayerSpec::Sigmoid),
+            "LeakyRelu" => Ok(LayerSpec::LeakyRelu {
+                alpha: body.field("alpha")?.as_f64()?,
+            }),
+            "Dropout" => Ok(LayerSpec::Dropout {
+                p: body.field("p")?.as_f64()?,
+            }),
+            "BatchNorm1d" => Ok(LayerSpec::BatchNorm1d {
+                dim: body.field("dim")?.as_usize()?,
+            }),
+            "Conv1d" => Ok(LayerSpec::Conv1d {
+                in_ch: body.field("in_ch")?.as_usize()?,
+                out_ch: body.field("out_ch")?.as_usize()?,
+                kernel: body.field("kernel")?.as_usize()?,
+                dilation: body.field("dilation")?.as_usize()?,
+                time_len: body.field("time_len")?.as_usize()?,
+            }),
+            "GlobalAvgPool1d" => Ok(LayerSpec::GlobalAvgPool1d {
+                channels: body.field("channels")?.as_usize()?,
+                time_len: body.field("time_len")?.as_usize()?,
+            }),
+            "TcnBlock" => Ok(LayerSpec::TcnBlock {
+                in_ch: body.field("in_ch")?.as_usize()?,
+                out_ch: body.field("out_ch")?.as_usize()?,
+                kernel: body.field("kernel")?.as_usize()?,
+                dilation: body.field("dilation")?.as_usize()?,
+                time_len: body.field("time_len")?.as_usize()?,
+                dropout_p: body.field("dropout_p")?.as_f64()?,
+            }),
+            other => Err(JsonError::new(format!("unknown LayerSpec `{other}`"))),
+        }
+    }
+}
+
 /// A declarative model architecture.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
     /// The layer chain, in order.
     pub layers: Vec<LayerSpec>,
@@ -167,7 +282,7 @@ impl ModelSpec {
 /// Note: non-parameter layer state (batch-norm running moments) is captured
 /// by dedicated fields because it is not part of the gradient-bearing
 /// parameter set.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedModel {
     /// The architecture.
     pub spec: ModelSpec,
@@ -222,12 +337,44 @@ impl SavedModel {
 
     /// Serializes to a JSON string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("SavedModel serializes")
+        ToJson::to_json(self)
     }
 
     /// Deserializes from a JSON string.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        <Self as FromJson>::from_json(json)
+    }
+}
+
+impl ToJson for ModelSpec {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![("layers", self.layers.to_json_value())])
+    }
+}
+
+impl FromJson for ModelSpec {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(ModelSpec {
+            layers: Vec::<LayerSpec>::from_json_value(v.field("layers")?)?,
+        })
+    }
+}
+
+impl ToJson for SavedModel {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("spec", self.spec.to_json_value()),
+            ("params", self.params.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for SavedModel {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(SavedModel {
+            spec: ModelSpec::from_json_value(v.field("spec")?)?,
+            params: Vec::<Vec<f64>>::from_json_value(v.field("params")?)?,
+        })
     }
 }
 
@@ -251,10 +398,16 @@ mod tests {
                 channels: 3,
                 time_len: 6,
             },
-            LayerSpec::Dense { in_dim: 3, out_dim: 8 },
+            LayerSpec::Dense {
+                in_dim: 3,
+                out_dim: 8,
+            },
             LayerSpec::LeakyRelu { alpha: 0.1 },
             LayerSpec::Dropout { p: 0.2 },
-            LayerSpec::Dense { in_dim: 8, out_dim: 2 },
+            LayerSpec::Dense {
+                in_dim: 8,
+                out_dim: 2,
+            },
         ])
     }
 
@@ -287,10 +440,10 @@ mod tests {
 
     #[test]
     fn spec_json_is_humane() {
-        let json = serde_json::to_string(&demo_spec()).unwrap();
+        let json = ToJson::to_json(&demo_spec());
         assert!(json.contains("Conv1d"));
         assert!(json.contains("Dense"));
-        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        let back = ModelSpec::from_json(&json).unwrap();
         assert_eq!(back, demo_spec());
     }
 
@@ -309,12 +462,17 @@ mod tests {
                 channels: 4,
                 time_len: 5,
             },
-            LayerSpec::Dense { in_dim: 4, out_dim: 1 },
+            LayerSpec::Dense {
+                in_dim: 4,
+                out_dim: 1,
+            },
         ]);
         let mut rng = Rng::new(3);
         let mut model = spec.build(&mut rng);
         let saved = SavedModel::capture(&spec, &mut model);
-        let mut restored = SavedModel::from_json(&saved.to_json()).unwrap().restore(&mut Rng::new(4));
+        let mut restored = SavedModel::from_json(&saved.to_json())
+            .unwrap()
+            .restore(&mut Rng::new(4));
         let x = Tensor::rand_normal(2, 10, 0.0, 1.0, &mut rng);
         assert_eq!(model.predict(&x), restored.predict(&x));
     }

@@ -15,6 +15,18 @@
 use crate::rng::Rng;
 use std::fmt;
 
+/// Output rows per parallel chunk for the matmul-family kernels.
+///
+/// Depends only on the problem size — never the thread count — per the
+/// determinism contract of [`crate::parallel`]. Two forces: chunks should
+/// carry enough arithmetic (≥ ~16k flops) to amortise scheduling, and there
+/// should be at most ~32 chunks so the queue stays short.
+pub(crate) fn kernel_rows_per_chunk(rows: usize, flops_per_row: usize) -> usize {
+    let by_work = (16_384 / flops_per_row.max(1)).max(1);
+    let by_count = rows.div_ceil(32).max(1);
+    by_work.max(by_count)
+}
+
 /// A dense row-major matrix of `f64` values.
 ///
 /// Invariant: `data.len() == rows * cols` at all times.
@@ -86,10 +98,19 @@ impl Tensor {
         let c = rows.first().map_or(0, Vec::len);
         let mut data = Vec::with_capacity(r * c);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), c, "from_rows: row {i} has length {} != {c}", row.len());
+            assert_eq!(
+                row.len(),
+                c,
+                "from_rows: row {i} has length {} != {c}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
-        Tensor { rows: r, cols: c, data }
+        Tensor {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// A single-row tensor (a batch of one).
@@ -191,7 +212,12 @@ impl Tensor {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "get({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "get({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -201,7 +227,12 @@ impl Tensor {
     /// Panics on out-of-bounds indices.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "set({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "set({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = value;
     }
 
@@ -222,7 +253,9 @@ impl Tensor {
     /// Column `c` copied into a fresh vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "col {c} out of {} cols", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterator over row slices.
@@ -244,8 +277,16 @@ impl Tensor {
 
     /// Rows `lo..hi` as a new tensor.
     pub fn slice_rows(&self, lo: usize, hi: usize) -> Tensor {
-        assert!(lo <= hi && hi <= self.rows, "slice_rows({lo},{hi}) out of {} rows", self.rows);
-        Tensor::from_vec(hi - lo, self.cols, self.data[lo * self.cols..hi * self.cols].to_vec())
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "slice_rows({lo},{hi}) out of {} rows",
+            self.rows
+        );
+        Tensor::from_vec(
+            hi - lo,
+            self.cols,
+            self.data[lo * self.cols..hi * self.cols].to_vec(),
+        )
     }
 
     /// Stacks tensors vertically (all must share the column count).
@@ -277,8 +318,7 @@ impl Tensor {
         for t in parts {
             assert_eq!(t.rows, rows, "hstack: mismatched row counts");
             for r in 0..rows {
-                out.data[r * cols + offset..r * cols + offset + t.cols]
-                    .copy_from_slice(t.row(r));
+                out.data[r * cols + offset..r * cols + offset + t.cols].copy_from_slice(t.row(r));
             }
             offset += t.cols;
         }
@@ -289,10 +329,14 @@ impl Tensor {
 
     /// Matrix product `self × other`.
     ///
-    /// Straightforward ikj-ordered triple loop: the inner loop walks both the
-    /// output row and the `other` row contiguously, which keeps the naive
-    /// kernel within a small factor of a blocked implementation at the matrix
-    /// sizes used here (≤ a few hundred per side).
+    /// Row-parallel register-blocked kernel on [`crate::parallel`]: output
+    /// rows are split into fixed chunks, each chunk computed by one thread.
+    /// Inside a chunk, pairs of output rows are accumulated together in
+    /// ikj order so each `other` row is loaded once per row pair and the
+    /// inner loop is a branch-free fused multiply-add sweep the compiler can
+    /// vectorise. Per-element accumulation order is `p = 0..k` regardless of
+    /// blocking or threads, so results are bit-identical for any thread
+    /// count.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -304,23 +348,53 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
+        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+            let mut local = rows.start;
+            let mut chunk = chunk;
+            // Two output rows per iteration: both reuse each b-row load.
+            while local + 2 <= rows.end {
+                let (o0, rest) = chunk.split_at_mut(n);
+                let (o1, rest) = rest.split_at_mut(n);
+                chunk = rest;
+                let a0 = &a_data[local * k..(local + 1) * k];
+                let a1 = &a_data[(local + 1) * k..(local + 2) * k];
+                for p in 0..k {
+                    let (s0, s1) = (a0[p], a1[p]);
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for j in 0..n {
+                        o0[j] += s0 * b_row[j];
+                        o1[j] += s1 * b_row[j];
+                    }
                 }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                local += 2;
+            }
+            if local < rows.end {
+                let o0 = chunk;
+                let a0 = &a_data[local * k..(local + 1) * k];
+                for (p, &s0) in a0.iter().enumerate() {
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for (o, &b) in o0.iter_mut().zip(b_row) {
+                        *o += s0 * b;
+                    }
                 }
             }
+        });
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
     }
 
     /// `selfᵀ × other` without materialising the transpose.
+    ///
+    /// Parallel over output rows (columns of `self`); each output row is a
+    /// strided-`self` axpy sweep over `other` rows in `p = 0..k` order, so
+    /// the accumulation order — and therefore every bit of the result — is
+    /// independent of the thread count.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.rows, other.rows,
@@ -329,23 +403,34 @@ impl Tensor {
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
         let mut out = vec![0.0; m * n];
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
+        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+            for (local, i) in rows.clone().enumerate() {
+                let out_row = &mut chunk[local * n..(local + 1) * n];
+                for p in 0..k {
+                    let a = a_data[p * m + i];
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+        });
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
     }
 
     /// `self × otherᵀ` without materialising the transpose.
+    ///
+    /// Parallel over output rows; within a row, four dot products run
+    /// together so each `self` row element is loaded once per quad of
+    /// `other` rows. Each dot product accumulates in index order, keeping
+    /// results bit-identical for any thread count.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(
             self.cols, other.cols,
@@ -354,18 +439,48 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
+        let a_data = &self.data;
+        let b_data = &other.data;
+        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
+        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+            for (local, i) in rows.clone().enumerate() {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let out_row = &mut chunk[local * n..(local + 1) * n];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let b0 = &b_data[j * k..(j + 1) * k];
+                    let b1 = &b_data[(j + 1) * k..(j + 2) * k];
+                    let b2 = &b_data[(j + 2) * k..(j + 3) * k];
+                    let b3 = &b_data[(j + 3) * k..(j + 4) * k];
+                    let (mut c0, mut c1, mut c2, mut c3) = (0.0, 0.0, 0.0, 0.0);
+                    for (p, &a) in a_row.iter().enumerate() {
+                        c0 += a * b0[p];
+                        c1 += a * b1[p];
+                        c2 += a * b2[p];
+                        c3 += a * b3[p];
+                    }
+                    out_row[j] = c0;
+                    out_row[j + 1] = c1;
+                    out_row[j + 2] = c2;
+                    out_row[j + 3] = c3;
+                    j += 4;
                 }
-                out[i * n + j] = acc;
+                while j < n {
+                    let b_row = &b_data[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    out_row[j] = acc;
+                    j += 1;
+                }
             }
+        });
+        Tensor {
+            rows: m,
+            cols: n,
+            data: out,
         }
-        Tensor { rows: m, cols: n, data: out }
     }
 
     /// The transpose as a new tensor.
@@ -479,7 +594,11 @@ impl Tensor {
     /// # Panics
     /// Panics if `bias.len() != cols`.
     pub fn add_row_broadcast(&self, bias: &[f64]) -> Tensor {
-        assert_eq!(bias.len(), self.cols, "add_row_broadcast: bias length mismatch");
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "add_row_broadcast: bias length mismatch"
+        );
         let mut out = self.clone();
         out.add_row_broadcast_assign(bias);
         out
@@ -487,7 +606,11 @@ impl Tensor {
 
     /// In-place row-broadcast addition.
     pub fn add_row_broadcast_assign(&mut self, bias: &[f64]) {
-        assert_eq!(bias.len(), self.cols, "add_row_broadcast: bias length mismatch");
+        assert_eq!(
+            bias.len(),
+            self.cols,
+            "add_row_broadcast: bias length mismatch"
+        );
         for row in self.data.chunks_exact_mut(self.cols) {
             for (v, &b) in row.iter_mut().zip(bias) {
                 *v += b;
@@ -497,7 +620,11 @@ impl Tensor {
 
     /// Multiplies every row entrywise by a length-`cols` vector.
     pub fn mul_row_broadcast(&self, scale: &[f64]) -> Tensor {
-        assert_eq!(scale.len(), self.cols, "mul_row_broadcast: scale length mismatch");
+        assert_eq!(
+            scale.len(),
+            self.cols,
+            "mul_row_broadcast: scale length mismatch"
+        );
         let mut out = self.clone();
         for row in out.data.chunks_exact_mut(out.cols) {
             for (v, &s) in row.iter_mut().zip(scale) {
@@ -509,7 +636,11 @@ impl Tensor {
 
     /// Multiplies row `r` by `weights[r]` (per-sample weighting).
     pub fn mul_col_broadcast(&self, weights: &[f64]) -> Tensor {
-        assert_eq!(weights.len(), self.rows, "mul_col_broadcast: weight length mismatch");
+        assert_eq!(
+            weights.len(),
+            self.rows,
+            "mul_col_broadcast: weight length mismatch"
+        );
         let mut out = self.clone();
         for (row, &w) in out.data.chunks_exact_mut(out.cols.max(1)).zip(weights) {
             for v in row {
@@ -744,7 +875,10 @@ mod tests {
         let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(x.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(x.col(2), vec![3.0, 6.0]);
-        assert_eq!(x.select_rows(&[1, 0]).as_slice(), &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]);
+        assert_eq!(
+            x.select_rows(&[1, 0]).as_slice(),
+            &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]
+        );
         assert_eq!(x.slice_rows(1, 2).as_slice(), &[4.0, 5.0, 6.0]);
     }
 

@@ -5,13 +5,13 @@
 //! because at that point the model has absorbed the high-credibility
 //! pseudo-labels and further epochs chase the noisy low-credibility ones.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::layers::{Layer, Mode, Sequential};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::rng::Rng;
 use crate::schedule::LrSchedule;
 use crate::tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a training run.
 #[derive(Debug, Clone)]
@@ -61,7 +61,7 @@ impl Default for TrainConfig {
 /// After each epoch ≥ `min_epochs`, compare the mean loss of the last
 /// `window` epochs against the `window` before it; stop when the relative
 /// improvement falls below `min_rel_improvement`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EarlyStop {
     /// Width of the trailing loss windows being compared.
     pub window: usize,
@@ -69,6 +69,26 @@ pub struct EarlyStop {
     pub min_rel_improvement: f64,
     /// Never stop before this many epochs.
     pub min_epochs: usize,
+}
+
+impl ToJson for EarlyStop {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("window", Json::from(self.window)),
+            ("min_rel_improvement", Json::Num(self.min_rel_improvement)),
+            ("min_epochs", Json::from(self.min_epochs)),
+        ])
+    }
+}
+
+impl FromJson for EarlyStop {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(EarlyStop {
+            window: v.field("window")?.as_usize()?,
+            min_rel_improvement: v.field("min_rel_improvement")?.as_f64()?,
+            min_epochs: v.field("min_epochs")?.as_usize()?,
+        })
+    }
 }
 
 impl Default for EarlyStop {
@@ -114,7 +134,13 @@ pub fn fit(
     weights: Option<&[f64]>,
     cfg: &TrainConfig,
 ) -> FitReport {
-    assert_eq!(x.rows(), y.rows(), "fit: x has {} rows but y has {}", x.rows(), y.rows());
+    assert_eq!(
+        x.rows(),
+        y.rows(),
+        "fit: x has {} rows but y has {}",
+        x.rows(),
+        y.rows()
+    );
     if let Some(w) = weights {
         assert_eq!(w.len(), x.rows(), "fit: weight length mismatch");
     }
@@ -240,7 +266,11 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(report.final_loss() < 0.01, "final loss {}", report.final_loss());
+        assert!(
+            report.final_loss() < 0.01,
+            "final loss {}",
+            report.final_loss()
+        );
         assert!(report.epoch_losses[0] > report.final_loss());
     }
 
@@ -267,7 +297,11 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(report.final_loss() < 0.02, "final loss {}", report.final_loss());
+        assert!(
+            report.final_loss() < 0.02,
+            "final loss {}",
+            report.final_loss()
+        );
     }
 
     #[test]
@@ -413,7 +447,10 @@ mod tests {
             &TrainConfig {
                 epochs: 10,
                 batch_size: 8,
-                schedule: crate::schedule::LrSchedule::StepDecay { every: 5, factor: 0.5 },
+                schedule: crate::schedule::LrSchedule::StepDecay {
+                    every: 5,
+                    factor: 0.5,
+                },
                 ..TrainConfig::default()
             },
         );

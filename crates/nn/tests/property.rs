@@ -1,87 +1,142 @@
 //! Property-based tests of the tensor algebra and layer contracts.
+//!
+//! Randomised inputs come from hand-rolled seed loops over the in-tree
+//! [`tasfar_nn::rng::Rng`] (the build environment has no crates.io access,
+//! so `proptest` is not available). Each case derives every input from a
+//! case-indexed PRNG stream, so a failure reproduces exactly from the case
+//! number printed in the assertion message.
 
-use proptest::prelude::*;
 use tasfar_nn::prelude::*;
 use tasfar_nn::rng::Rng as TRng;
+
+const CASES: u64 = 48;
 
 fn close(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
 }
 
 fn tensors_close(a: &Tensor, b: &Tensor) -> bool {
-    a.shape() == b.shape() && a.as_slice().iter().zip(b.as_slice()).all(|(&x, &y)| close(x, y))
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(&x, &y)| close(x, y))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// `lo + below(hi - lo)`: a uniform integer in `[lo, hi)`.
+fn dim(g: &mut TRng, lo: usize, hi: usize) -> usize {
+    lo + g.below(hi - lo)
+}
 
-    /// (A·B)·C == A·(B·C) up to floating-point tolerance.
-    #[test]
-    fn matmul_is_associative(seed in 0u64..10_000, m in 1usize..8, k in 1usize..8, n in 1usize..8, p in 1usize..8) {
-        let mut rng = TRng::new(seed);
+/// (A·B)·C == A·(B·C) up to floating-point tolerance.
+#[test]
+fn matmul_is_associative() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xA550C ^ case);
+        let (m, k, n, p) = (
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+        );
         let a = Tensor::rand_normal(m, k, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
         let c = Tensor::rand_normal(n, p, 0.0, 1.0, &mut rng);
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
-        prop_assert!(tensors_close(&left, &right));
+        assert!(tensors_close(&left, &right), "case {case}");
     }
+}
 
-    /// (A·B)ᵀ == Bᵀ·Aᵀ.
-    #[test]
-    fn matmul_transpose_identity(seed in 0u64..10_000, m in 1usize..8, k in 1usize..8, n in 1usize..8) {
-        let mut rng = TRng::new(seed);
+/// (A·B)ᵀ == Bᵀ·Aᵀ.
+#[test]
+fn matmul_transpose_identity() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0x7A15 ^ case);
+        let (m, k, n) = (
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+        );
         let a = Tensor::rand_normal(m, k, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
         let left = a.matmul(&b).transpose();
         let right = b.transpose().matmul(&a.transpose());
-        prop_assert!(tensors_close(&left, &right));
+        assert!(tensors_close(&left, &right), "case {case}");
     }
+}
 
-    /// The fused transposed products agree with their explicit forms.
-    #[test]
-    fn fused_transposed_products(seed in 0u64..10_000, m in 1usize..8, k in 1usize..8, n in 1usize..8) {
-        let mut rng = TRng::new(seed);
+/// The fused transposed products agree with their explicit forms.
+#[test]
+fn fused_transposed_products() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xF05E ^ case);
+        let (m, k, n) = (
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+        );
         let a = Tensor::rand_normal(k, m, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
-        prop_assert!(tensors_close(&a.t_matmul(&b), &a.transpose().matmul(&b)));
+        assert!(
+            tensors_close(&a.t_matmul(&b), &a.transpose().matmul(&b)),
+            "case {case}: t_matmul"
+        );
         let c = Tensor::rand_normal(m, k, 0.0, 1.0, &mut rng);
         let d = Tensor::rand_normal(n, k, 0.0, 1.0, &mut rng);
-        prop_assert!(tensors_close(&c.matmul_t(&d), &c.matmul(&d.transpose())));
+        assert!(
+            tensors_close(&c.matmul_t(&d), &c.matmul(&d.transpose())),
+            "case {case}: matmul_t"
+        );
     }
+}
 
-    /// Matmul distributes over addition.
-    #[test]
-    fn matmul_distributes(seed in 0u64..10_000, m in 1usize..8, k in 1usize..8, n in 1usize..8) {
-        let mut rng = TRng::new(seed);
+/// Matmul distributes over addition.
+#[test]
+fn matmul_distributes() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xD157 ^ case);
+        let (m, k, n) = (
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+            dim(&mut rng, 1, 8),
+        );
         let a = Tensor::rand_normal(m, k, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
         let c = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
-        prop_assert!(tensors_close(
-            &a.matmul(&b.add(&c)),
-            &a.matmul(&b).add(&a.matmul(&c))
-        ));
+        assert!(
+            tensors_close(&a.matmul(&b.add(&c)), &a.matmul(&b).add(&a.matmul(&c))),
+            "case {case}"
+        );
     }
+}
 
-    /// vstack/select_rows round trip: selecting the original row ranges out
-    /// of a stack recovers the parts.
-    #[test]
-    fn vstack_select_roundtrip(seed in 0u64..10_000, r1 in 1usize..6, r2 in 1usize..6, c in 1usize..6) {
-        let mut rng = TRng::new(seed);
+/// vstack/select_rows round trip: selecting the original row ranges out of a
+/// stack recovers the parts.
+#[test]
+fn vstack_select_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0x57AC ^ case);
+        let (r1, r2, c) = (
+            dim(&mut rng, 1, 6),
+            dim(&mut rng, 1, 6),
+            dim(&mut rng, 1, 6),
+        );
         let a = Tensor::rand_normal(r1, c, 0.0, 1.0, &mut rng);
         let b = Tensor::rand_normal(r2, c, 0.0, 1.0, &mut rng);
         let stack = Tensor::vstack(&[&a, &b]);
-        let back_a = stack.slice_rows(0, r1);
-        let back_b = stack.slice_rows(r1, r1 + r2);
-        prop_assert_eq!(back_a, a);
-        prop_assert_eq!(back_b, b);
+        assert_eq!(stack.slice_rows(0, r1), a, "case {case}");
+        assert_eq!(stack.slice_rows(r1, r1 + r2), b, "case {case}");
     }
+}
 
-    /// A Dense layer is affine: f(αx + βz) == αf(x) + βf(z) − (α+β−1)·bias·…
-    /// Tested through the cleaner identity f(x+z) − f(x) − f(z) + f(0) == 0.
-    #[test]
-    fn dense_is_affine(seed in 0u64..10_000, d_in in 1usize..6, d_out in 1usize..6) {
-        let mut rng = TRng::new(seed);
+/// A Dense layer is affine: tested through the identity
+/// f(x+z) − f(x) − f(z) + f(0) == 0.
+#[test]
+fn dense_is_affine() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xAFF1 ^ case);
+        let (d_in, d_out) = (dim(&mut rng, 1, 6), dim(&mut rng, 1, 6));
         let mut layer = Dense::new(d_in, d_out, Init::HeNormal, &mut rng);
         let x = Tensor::rand_normal(1, d_in, 0.0, 1.0, &mut rng);
         let z = Tensor::rand_normal(1, d_in, 0.0, 1.0, &mut rng);
@@ -91,14 +146,16 @@ proptest! {
         let fxz = f(&mut layer, &x.add(&z));
         let f0 = f(&mut layer, &Tensor::zeros(1, d_in));
         let residual = fxz.sub(&fx).sub(&fz).add(&f0);
-        prop_assert!(residual.frobenius_norm() < 1e-9);
+        assert!(residual.frobenius_norm() < 1e-9, "case {case}");
     }
+}
 
-    /// Sequential backward == product of layer Jacobians: for a linear
-    /// chain (no activations), the input gradient equals g · (W1·W2)ᵀ.
-    #[test]
-    fn linear_chain_gradient_is_weight_product(seed in 0u64..10_000) {
-        let mut rng = TRng::new(seed);
+/// Sequential backward == product of layer Jacobians: for a linear chain
+/// (no activations), the input gradient equals g · (W1·W2)ᵀ.
+#[test]
+fn linear_chain_gradient_is_weight_product() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xC4A1 ^ case);
         let l1 = Dense::new(3, 4, Init::HeNormal, &mut rng);
         let l2 = Dense::new(4, 2, Init::HeNormal, &mut rng);
         let w1 = l1.weight().clone();
@@ -109,45 +166,69 @@ proptest! {
         let g = Tensor::rand_normal(5, 2, 0.0, 1.0, &mut rng);
         let dx = chain.backward(&g);
         let expected = g.matmul_t(&w1.matmul(&w2));
-        prop_assert!(tensors_close(&dx, &expected));
+        assert!(tensors_close(&dx, &expected), "case {case}");
     }
+}
 
-    /// Softplus-free check: dropout in eval mode never changes values, and
-    /// in train mode only zeroes or rescales by exactly 1/(1−p).
-    #[test]
-    fn dropout_values_are_exact(seed in 0u64..10_000, p in 0.05f64..0.9) {
-        let mut rng = TRng::new(seed);
+/// Dropout in eval mode never changes values, and in train mode only zeroes
+/// or rescales by exactly 1/(1−p).
+#[test]
+fn dropout_values_are_exact() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0xD0D0 ^ case);
+        let p = rng.uniform(0.05, 0.9);
         let mut layer = Dropout::new(p, &mut rng);
         let x = Tensor::rand_normal(4, 6, 1.0, 0.5, &mut rng);
         let eval = layer.forward(&x, Mode::Eval);
-        prop_assert_eq!(&eval, &x);
+        assert_eq!(eval, x, "case {case}");
         let train = layer.forward(&x, Mode::Train);
         let scale = 1.0 / (1.0 - p);
         for (&orig, &out) in x.as_slice().iter().zip(train.as_slice()) {
-            prop_assert!(out == 0.0 || close(out, orig * scale));
+            assert!(out == 0.0 || close(out, orig * scale), "case {case}");
         }
     }
+}
 
-    /// The LR schedules never produce a rate above base or at-or-below zero
-    /// (within their domains).
-    #[test]
-    fn schedules_are_bounded(base in 1e-5f64..1.0, epoch in 0usize..500) {
+/// The LR schedules never produce a rate above base or at-or-below zero
+/// (within their domains).
+#[test]
+fn schedules_are_bounded() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0x5CED ^ case);
+        let base = rng.uniform(1e-5, 1.0);
+        let epoch = rng.below(500);
         let schedules = [
             LrSchedule::Constant,
-            LrSchedule::StepDecay { every: 7, factor: 0.5 },
-            LrSchedule::Cosine { total_epochs: 200, min_lr: base * 0.01 },
-            LrSchedule::Warmup { warmup_epochs: 13, start_fraction: 0.1 },
+            LrSchedule::StepDecay {
+                every: 7,
+                factor: 0.5,
+            },
+            LrSchedule::Cosine {
+                total_epochs: 200,
+                min_lr: base * 0.01,
+            },
+            LrSchedule::Warmup {
+                warmup_epochs: 13,
+                start_fraction: 0.1,
+            },
         ];
         for s in schedules {
             let r = s.rate(base, epoch);
-            prop_assert!(r > 0.0 && r <= base * (1.0 + 1e-12), "{s:?} gave {r} for base {base}");
+            assert!(
+                r > 0.0 && r <= base * (1.0 + 1e-12),
+                "case {case}: {s:?} gave {r} for base {base}"
+            );
         }
     }
+}
 
-    /// Adam and SGD leave parameters finite for any reasonable gradient.
-    #[test]
-    fn optimizers_stay_finite(seed in 0u64..10_000, lr in 1e-5f64..0.5, gscale in 0.0f64..100.0) {
-        let mut rng = TRng::new(seed);
+/// Adam and SGD leave parameters finite for any reasonable gradient.
+#[test]
+fn optimizers_stay_finite() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0x0F71 ^ case);
+        let lr = rng.uniform(1e-5, 0.5);
+        let gscale = rng.uniform(0.0, 100.0);
         let mut p = tasfar_nn::layers::Param::new(Tensor::rand_normal(2, 2, 0.0, 1.0, &mut rng));
         let mut adam = Adam::new(lr);
         let mut sgd = Sgd::with_options(lr, 0.9, 1e-4);
@@ -158,7 +239,7 @@ proptest! {
             adam.step(&mut [&mut p]);
             sgd.step(&mut [&mut q]);
         }
-        prop_assert!(p.value.all_finite());
-        prop_assert!(q.value.all_finite());
+        assert!(p.value.all_finite(), "case {case}: adam");
+        assert!(q.value.all_finite(), "case {case}: sgd");
     }
 }

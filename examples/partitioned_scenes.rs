@@ -89,6 +89,9 @@ fn main() {
         let base = metrics::mae(&model.clone().predict(&test_ds.x), &test_ds.y);
         let fused_mae = metrics::mae(&fused_model.predict(&test_ds.x), &test_ds.y);
         let part_mae = metrics::mae(&parted.models[s].predict(&test_ds.x), &test_ds.y);
-        println!("{:>7} {base:>10.2} {fused_mae:>10.2} {part_mae:>13.2}", s + 1);
+        println!(
+            "{:>7} {base:>10.2} {fused_mae:>10.2} {part_mae:>13.2}",
+            s + 1
+        );
     }
 }

@@ -9,7 +9,12 @@ use tasfar_data::Dataset;
 use tasfar_nn::prelude::*;
 use tasfar_nn::spec::{LayerSpec, ModelSpec, SavedModel};
 
-fn make_scenario(rng: &mut Rng, n: usize, labels: impl Fn(&mut Rng) -> f64, hard_p: f64) -> Dataset {
+fn make_scenario(
+    rng: &mut Rng,
+    n: usize,
+    labels: impl Fn(&mut Rng) -> f64,
+    hard_p: f64,
+) -> Dataset {
     let mut x = Tensor::zeros(n, 2);
     let mut y = Tensor::zeros(n, 1);
     for i in 0..n {
@@ -41,10 +46,16 @@ fn main() {
     // ---------------- server side ----------------------------------------
     let source = make_scenario(&mut rng, 800, |r| r.uniform(-1.0, 1.0), 0.05);
     let spec = ModelSpec::new(vec![
-        LayerSpec::Dense { in_dim: 2, out_dim: 32 },
+        LayerSpec::Dense {
+            in_dim: 2,
+            out_dim: 32,
+        },
         LayerSpec::Relu,
         LayerSpec::Dropout { p: 0.2 },
-        LayerSpec::Dense { in_dim: 32, out_dim: 1 },
+        LayerSpec::Dense {
+            in_dim: 32,
+            out_dim: 1,
+        },
     ]);
     let mut model = spec.build(&mut rng);
     let mut opt = Adam::new(5e-3);
@@ -58,7 +69,10 @@ fn main() {
         &TrainConfig {
             epochs: 120,
             batch_size: 32,
-            schedule: LrSchedule::Cosine { total_epochs: 120, min_lr: 5e-4 },
+            schedule: LrSchedule::Cosine {
+                total_epochs: 120,
+                min_lr: 5e-4,
+            },
             ..TrainConfig::default()
         },
     );
@@ -70,8 +84,8 @@ fn main() {
     let calib = calibrate_on_source(&mut model, &source, &cfg);
 
     let bundle_model = SavedModel::capture(&spec, &mut model).to_json();
-    let bundle_calib = serde_json::to_string(&calib).unwrap();
-    let bundle_cfg = serde_json::to_string(&cfg).unwrap();
+    let bundle_calib = ToJson::to_json(&calib);
+    let bundle_cfg = ToJson::to_json(&cfg);
     println!(
         "serialized bundle: model {} B + calibration {} B + config {} B (no source data!)",
         bundle_model.len(),
@@ -84,8 +98,8 @@ fn main() {
     let mut device_model = SavedModel::from_json(&bundle_model)
         .expect("valid model JSON")
         .restore(&mut Rng::new(1));
-    let device_calib: SourceCalibration = serde_json::from_str(&bundle_calib).unwrap();
-    let device_cfg: TasfarConfig = serde_json::from_str(&bundle_cfg).unwrap();
+    let device_calib = SourceCalibration::from_json(&bundle_calib).unwrap();
+    let device_cfg = TasfarConfig::from_json(&bundle_cfg).unwrap();
     println!(
         "restored on device: tau = {:.4}, Q_s = {:.3} + {:.3}·u",
         device_calib.classifier.tau, device_calib.qs[0].a0, device_calib.qs[0].a1
@@ -94,7 +108,13 @@ fn main() {
     // Unlabeled target scenario (labels only used for evaluation here).
     let target = make_scenario(&mut rng, 500, |r| r.gaussian(0.6, 0.05), 0.4);
     let before = metrics::mse(&device_model.predict(&target.x), &target.y);
-    let outcome = adapt(&mut device_model, &device_calib, &target.x, &Mse, &device_cfg);
+    let outcome = adapt(
+        &mut device_model,
+        &device_calib,
+        &target.x,
+        &Mse,
+        &device_cfg,
+    );
     let after = metrics::mse(&device_model.predict(&target.x), &target.y);
     println!(
         "device adaptation: {} uncertain samples pseudo-labelled; MSE {before:.5} -> {after:.5} ({:.1}% reduction)",

@@ -48,7 +48,10 @@ fn main() {
         &TrainConfig {
             epochs: 200,
             batch_size: 64,
-            schedule: LrSchedule::Cosine { total_epochs: 200, min_lr: 1e-4 },
+            schedule: LrSchedule::Cosine {
+                total_epochs: 200,
+                min_lr: 1e-4,
+            },
             ..TrainConfig::default()
         },
     );

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full offline verification gate: formatting, lints, release build, the
+# complete test suite, and a smoke run of the kernel benchmark.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+# The bench writes BENCH_kernels.json into its working directory; run the
+# smoke pass from a scratch dir so the committed numbers are untouched.
+echo "==> bench smoke (TASFAR_BENCH_QUICK=1, 1 sample)"
+root="$PWD"
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+(cd "$scratch" && TASFAR_BENCH_QUICK=1 TASFAR_BENCH_SAMPLES=1 \
+    cargo run --manifest-path "$root/Cargo.toml" --release -p tasfar-bench --bin kernels >/dev/null)
+
+echo "verify: all green"

@@ -6,22 +6,26 @@ use tasfar_data::Dataset;
 use tasfar_nn::prelude::*;
 
 /// Builds and trains a small dropout MLP on a dataset; returns the model.
-pub fn train_mlp(
-    source: &Dataset,
-    hidden: usize,
-    epochs: usize,
-    lr: f64,
-    seed: u64,
-) -> Sequential {
+pub fn train_mlp(source: &Dataset, hidden: usize, epochs: usize, lr: f64, seed: u64) -> Sequential {
     let mut rng = Rng::new(seed);
     let mut model = Sequential::new()
-        .add(Dense::new(source.input_dim(), hidden, Init::HeNormal, &mut rng))
+        .add(Dense::new(
+            source.input_dim(),
+            hidden,
+            Init::HeNormal,
+            &mut rng,
+        ))
         .add(Relu::new())
         .add(Dropout::new(0.2, &mut rng))
         .add(Dense::new(hidden, hidden / 2, Init::HeNormal, &mut rng))
         .add(Relu::new())
         .add(Dropout::new(0.2, &mut rng))
-        .add(Dense::new(hidden / 2, source.output_dim(), Init::XavierUniform, &mut rng));
+        .add(Dense::new(
+            hidden / 2,
+            source.output_dim(),
+            Init::XavierUniform,
+            &mut rng,
+        ));
     let mut opt = Adam::new(lr);
     let _ = fit(
         &mut model,
@@ -51,10 +55,7 @@ pub struct ToyTask {
 /// Builds the toy task with the given target-label cluster center.
 pub fn toy_task(seed: u64, cluster: f64) -> ToyTask {
     let mut rng = Rng::new(seed);
-    let gen = |n: usize,
-               labels: &mut dyn FnMut(&mut Rng) -> f64,
-               hard_p: f64,
-               rng: &mut Rng| {
+    let gen = |n: usize, labels: &mut dyn FnMut(&mut Rng) -> f64, hard_p: f64, rng: &mut Rng| {
         let mut x = Tensor::zeros(n, 2);
         let mut y = Tensor::zeros(n, 1);
         for i in 0..n {
@@ -66,13 +67,26 @@ pub fn toy_task(seed: u64, cluster: f64) -> ToyTask {
                 rng.gaussian(0.0, 0.03)
             };
             x.set(i, 0, yv + noise);
-            x.set(i, 1, if hard { rng.uniform(3.0, 5.0) } else { rng.uniform(0.0, 0.5) });
+            x.set(
+                i,
+                1,
+                if hard {
+                    rng.uniform(3.0, 5.0)
+                } else {
+                    rng.uniform(0.0, 0.5)
+                },
+            );
             y.set(i, 0, yv);
         }
         (x, y)
     };
     let (xs, ys) = gen(600, &mut |r: &mut Rng| r.uniform(-1.0, 1.0), 0.05, &mut rng);
-    let (xt, yt) = gen(400, &mut |r: &mut Rng| r.gaussian(cluster, 0.05), 0.4, &mut rng);
+    let (xt, yt) = gen(
+        400,
+        &mut |r: &mut Rng| r.gaussian(cluster, 0.05),
+        0.4,
+        &mut rng,
+    );
     ToyTask {
         source: Dataset::new(xs, ys),
         target_x: xt,

@@ -1,0 +1,101 @@
+//! Cross-thread-count determinism of the TASFAR pipeline stages.
+//!
+//! Companion to `crates/nn/tests/determinism.rs`: the same bit-identity
+//! contract, checked at the algorithm level — MC-dropout uncertainty
+//! estimation and the KDE density maps must produce identical raw `f64`
+//! bits whether the parallel runtime uses 1 thread, 4 threads, or the
+//! machine default.
+
+use tasfar_core::prelude::*;
+use tasfar_nn::parallel::{reset_threads, set_threads};
+use tasfar_nn::prelude::*;
+
+/// Runs `f` at a pinned thread count, then restores the default.
+fn at_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    set_threads(n);
+    let out = f();
+    reset_threads();
+    out
+}
+
+fn bits(t: &Tensor) -> Vec<u64> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn slice_bits(s: &[f64]) -> Vec<u64> {
+    s.iter().map(|v| v.to_bits()).collect()
+}
+
+/// MC-dropout prediction (T stochastic passes with per-pass RNG streams,
+/// fanned out over the pool) is bit-identical at any thread count.
+#[test]
+fn mc_dropout_predict_is_thread_count_invariant() {
+    let mut rng = Rng::new(0x3C0D);
+    let proto = Sequential::new()
+        .add(Dense::new(4, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 2, Init::XavierUniform, &mut rng));
+    let x = Tensor::rand_normal(37, 4, 0.0, 1.0, &mut rng);
+
+    let run = || {
+        let mut model = proto.clone();
+        let p = McDropout::new(20).predict(&mut model, &x);
+        (bits(&p.point), bits(&p.std), slice_bits(&p.uncertainty))
+    };
+    let one = at_threads(1, run);
+    let four = at_threads(4, run);
+    let default = run();
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, default, "1 vs default threads");
+}
+
+/// 1D KDE estimation (per-sample partial maps combined in chunk order) is
+/// bit-identical at any thread count, including a sample count that does
+/// not divide evenly into chunks.
+#[test]
+fn density_map_1d_estimate_is_thread_count_invariant() {
+    let mut rng = Rng::new(0x1DE5);
+    let preds: Vec<f64> = (0..203).map(|_| rng.gaussian(0.0, 3.0)).collect();
+    let sigmas: Vec<f64> = (0..203).map(|_| rng.uniform(0.05, 0.8)).collect();
+
+    for model in [
+        ErrorModel::Gaussian,
+        ErrorModel::Laplace,
+        ErrorModel::Uniform,
+    ] {
+        let run = || {
+            let spec = GridSpec::from_range(-12.0, 12.0, 0.1);
+            slice_bits(DensityMap1d::estimate(&preds, &sigmas, spec, model).masses())
+        };
+        let one = at_threads(1, run);
+        let four = at_threads(4, run);
+        let default = run();
+        assert_eq!(one, four, "{model:?}: 1 vs 4 threads");
+        assert_eq!(one, default, "{model:?}: 1 vs default threads");
+    }
+}
+
+/// 2D KDE estimation is bit-identical at any thread count.
+#[test]
+fn density_map_2d_estimate_is_thread_count_invariant() {
+    let mut rng = Rng::new(0x2DE5);
+    let preds = Tensor::rand_normal(97, 2, 0.0, 2.0, &mut rng);
+    let sigmas = Tensor::rand_uniform(97, 2, 0.1, 0.6, &mut rng);
+
+    let run = || {
+        let xspec = GridSpec::from_range(-8.0, 8.0, 0.2);
+        let yspec = GridSpec::from_range(-8.0, 8.0, 0.2);
+        slice_bits(
+            DensityMap2d::estimate(&preds, &sigmas, xspec, yspec, ErrorModel::Gaussian).masses(),
+        )
+    };
+    let one = at_threads(1, run);
+    let four = at_threads(4, run);
+    let default = run();
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, default, "1 vs default threads");
+}

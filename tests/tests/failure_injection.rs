@@ -6,7 +6,12 @@ use integration::{toy_task, train_mlp};
 use tasfar_core::prelude::*;
 use tasfar_nn::prelude::*;
 
-fn calibrated_toy() -> (Sequential, SourceCalibration, TasfarConfig, tasfar_nn::tensor::Tensor) {
+fn calibrated_toy() -> (
+    Sequential,
+    SourceCalibration,
+    TasfarConfig,
+    tasfar_nn::tensor::Tensor,
+) {
     let toy = toy_task(9, 0.5);
     let mut model = train_mlp(&toy.source, 24, 80, 5e-3, 9);
     let cfg = TasfarConfig {
@@ -133,7 +138,10 @@ fn training_skips_zero_weight_batches_entirely() {
     );
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
     let pred = model.predict(&Tensor::full(1, 1, 0.5));
-    assert!((pred.get(0, 0) - 0.5).abs() < 0.1, "model should fit the weighted chunk");
+    assert!(
+        (pred.get(0, 0) - 0.5).abs() < 0.1,
+        "model should fit the weighted chunk"
+    );
 }
 
 #[test]

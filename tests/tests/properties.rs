@@ -1,140 +1,193 @@
-//! Property-based tests (proptest) of the core data structures and
-//! algorithm invariants, across randomised inputs.
+//! Property-based tests of the core data structures and algorithm
+//! invariants, across randomised inputs.
+//!
+//! Randomised inputs come from hand-rolled seed loops over the in-tree
+//! [`tasfar_nn::rng::Rng`] (the build environment has no crates.io access,
+//! so `proptest` is not available). Each case derives every input from a
+//! case-indexed PRNG stream, so a failure reproduces exactly from the case
+//! number printed in the assertion message.
 
-use proptest::prelude::*;
 use tasfar_core::prelude::*;
 use tasfar_nn::prelude::*;
 use tasfar_nn::rng::Rng as TRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Density maps built from labels always carry mass in [0, 1], with
-    /// exactly 1 on a grid that covers every label.
-    #[test]
-    fn density_map_mass_is_normalised(
-        labels in prop::collection::vec(-50.0f64..50.0, 1..200),
-        cell in 0.1f64..5.0,
-    ) {
+/// A vector of `len ∈ [lo, hi)` uniform draws from `[a, b)`.
+fn uniform_vec(g: &mut TRng, lo: usize, hi: usize, a: f64, b: f64) -> Vec<f64> {
+    let len = lo + g.below(hi - lo);
+    (0..len).map(|_| g.uniform(a, b)).collect()
+}
+
+/// Density maps built from labels always carry mass in [0, 1], with exactly
+/// 1 on a grid that covers every label.
+#[test]
+fn density_map_mass_is_normalised() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0xDE51 ^ case);
+        let labels = uniform_vec(&mut g, 1, 200, -50.0, 50.0);
+        let cell = g.uniform(0.1, 5.0);
         let spec = GridSpec::covering(&labels, cell, 1);
         let map = DensityMap1d::from_labels(&labels, spec);
-        prop_assert!((map.total_mass() - 1.0).abs() < 1e-9);
+        assert!((map.total_mass() - 1.0).abs() < 1e-9, "case {case}");
         for i in 0..map.spec.bins {
-            prop_assert!(map.mass(i) >= 0.0 && map.mass(i) <= 1.0 + 1e-12);
+            assert!(
+                map.mass(i) >= 0.0 && map.mass(i) <= 1.0 + 1e-12,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Estimated maps conserve (almost all) probability mass when the grid
-    /// is wide enough for the spreads.
-    #[test]
-    fn estimated_map_mass_conserved(
-        preds in prop::collection::vec(-5.0f64..5.0, 1..50),
-        sigma in 0.05f64..1.0,
-    ) {
+/// Estimated maps conserve (almost all) probability mass when the grid is
+/// wide enough for the spreads.
+#[test]
+fn estimated_map_mass_conserved() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0xE571 ^ case);
+        let preds = uniform_vec(&mut g, 1, 50, -5.0, 5.0);
+        let sigma = g.uniform(0.05, 1.0);
         let sigmas = vec![sigma; preds.len()];
         let spec = GridSpec::from_range(-25.0, 25.0, 0.25);
         let map = DensityMap1d::estimate(&preds, &sigmas, spec, ErrorModel::Gaussian);
-        prop_assert!((map.total_mass() - 1.0).abs() < 1e-6, "mass {}", map.total_mass());
+        assert!(
+            (map.total_mass() - 1.0).abs() < 1e-6,
+            "case {case}: mass {}",
+            map.total_mass()
+        );
     }
+}
 
-    /// The pseudo-label always lies inside the ±3σ locality window around
-    /// the prediction (it interpolates cell centres within that window), or
-    /// equals the prediction exactly on fallback.
-    #[test]
-    fn pseudo_label_stays_in_the_locality_window(
-        labels in prop::collection::vec(-10.0f64..10.0, 20..200),
-        pred in -12.0f64..12.0,
-        sigma in 0.1f64..2.0,
-        u in 0.05f64..2.0,
-    ) {
+/// The pseudo-label always lies inside the ±3σ locality window around the
+/// prediction (it interpolates cell centres within that window), or equals
+/// the prediction exactly on fallback.
+#[test]
+fn pseudo_label_stays_in_the_locality_window() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0x95E0 ^ case);
+        let labels = uniform_vec(&mut g, 20, 200, -10.0, 10.0);
+        let pred = g.uniform(-12.0, 12.0);
+        let sigma = g.uniform(0.1, 2.0);
+        let u = g.uniform(0.05, 2.0);
         let spec = GridSpec::covering(&labels, 0.25, 2);
         let map = DensityMap1d::from_labels(&labels, spec);
         let generator = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
         let p = generator.generate(pred, sigma, u);
         if p.informative {
             // Window half-width: 3σ plus half a cell (centres within 3σ).
-            prop_assert!((p.value[0] - pred).abs() < 3.0 * sigma + 0.25 / 2.0 + 1e-9);
-            prop_assert!(p.credibility >= 0.0 && p.credibility.is_finite());
+            assert!(
+                (p.value[0] - pred).abs() < 3.0 * sigma + 0.25 / 2.0 + 1e-9,
+                "case {case}"
+            );
+            assert!(
+                p.credibility >= 0.0 && p.credibility.is_finite(),
+                "case {case}"
+            );
         } else {
-            prop_assert_eq!(p.value[0], pred);
-            prop_assert_eq!(p.credibility, 0.0);
+            assert_eq!(p.value[0], pred, "case {case}");
+            assert_eq!(p.credibility, 0.0, "case {case}");
         }
     }
+}
 
-    /// Credibility scales exactly linearly with the uncertainty (Eq. 18/21)
-    /// at a fixed prediction and spread.
-    #[test]
-    fn credibility_is_linear_in_uncertainty(
-        labels in prop::collection::vec(-5.0f64..5.0, 50..200),
-        pred in -4.0f64..4.0,
-        sigma in 0.2f64..1.0,
-    ) {
+/// Credibility scales exactly linearly with the uncertainty (Eq. 18/21) at
+/// a fixed prediction and spread.
+#[test]
+fn credibility_is_linear_in_uncertainty() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0xC4ED ^ case);
+        let labels = uniform_vec(&mut g, 50, 200, -5.0, 5.0);
+        let pred = g.uniform(-4.0, 4.0);
+        let sigma = g.uniform(0.2, 1.0);
         let spec = GridSpec::covering(&labels, 0.2, 2);
         let map = DensityMap1d::from_labels(&labels, spec);
         let generator = PseudoLabelGenerator1d::new(&map, 0.1, ErrorModel::Gaussian);
         let a = generator.generate(pred, sigma, 0.2);
         let b = generator.generate(pred, sigma, 0.4);
         if a.informative && b.informative && a.credibility > 1e-12 {
-            prop_assert!((b.credibility / a.credibility - 2.0).abs() < 1e-9);
+            assert!(
+                (b.credibility / a.credibility - 2.0).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The confidence classifier partitions every batch exactly.
-    #[test]
-    fn confidence_split_partitions(
-        us in prop::collection::vec(0.001f64..10.0, 1..300),
-        tau in 0.01f64..5.0,
-    ) {
+/// The confidence classifier partitions every batch exactly.
+#[test]
+fn confidence_split_partitions() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0x5B17 ^ case);
+        let us = uniform_vec(&mut g, 1, 300, 0.001, 10.0);
+        let tau = g.uniform(0.01, 5.0);
         let c = ConfidenceClassifier::from_tau(tau, 0.9);
         let s = c.split(&us);
-        prop_assert_eq!(s.confident.len() + s.uncertain.len(), us.len());
+        assert_eq!(
+            s.confident.len() + s.uncertain.len(),
+            us.len(),
+            "case {case}"
+        );
         for &i in &s.confident {
-            prop_assert!(us[i] <= tau);
+            assert!(us[i] <= tau, "case {case}");
         }
         for &i in &s.uncertain {
-            prop_assert!(us[i] > tau);
+            assert!(us[i] > tau, "case {case}");
         }
     }
+}
 
-    /// Q_s fits always produce non-negative, finite spreads with a
-    /// non-negative slope.
-    #[test]
-    fn qs_fit_is_well_behaved(
-        pairs in prop::collection::vec((0.01f64..2.0, -3.0f64..3.0), 10..300),
-        q in 1usize..50,
-    ) {
-        let us: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let es: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+/// Q_s fits always produce non-negative, finite spreads with a non-negative
+/// slope.
+#[test]
+fn qs_fit_is_well_behaved() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0x09F1 ^ case);
+        let len = 10 + g.below(290);
+        let us: Vec<f64> = (0..len).map(|_| g.uniform(0.01, 2.0)).collect();
+        let es: Vec<f64> = (0..len).map(|_| g.uniform(-3.0, 3.0)).collect();
+        let q = 1 + g.below(49);
         let fit = QsCalibration::fit(&us, &es, q);
-        prop_assert!(fit.a1 >= 0.0);
+        assert!(fit.a1 >= 0.0, "case {case}");
         for &u in &us {
             let s = fit.sigma(u);
-            prop_assert!(s > 0.0 && s.is_finite());
+            assert!(s > 0.0 && s.is_finite(), "case {case}");
         }
     }
+}
 
-    /// Error-model CDFs are valid distribution functions for any σ.
-    #[test]
-    fn error_model_cdfs_are_valid(
-        mean in -10.0f64..10.0,
-        std in 0.01f64..10.0,
-        x1 in -40.0f64..40.0,
-        x2 in -40.0f64..40.0,
-    ) {
-        for m in [ErrorModel::Gaussian, ErrorModel::Laplace, ErrorModel::Uniform] {
+/// Error-model CDFs are valid distribution functions for any σ.
+#[test]
+fn error_model_cdfs_are_valid() {
+    for case in 0..CASES {
+        let mut g = TRng::new(0xCDF5 ^ case);
+        let mean = g.uniform(-10.0, 10.0);
+        let std = g.uniform(0.01, 10.0);
+        let x1 = g.uniform(-40.0, 40.0);
+        let x2 = g.uniform(-40.0, 40.0);
+        for m in [
+            ErrorModel::Gaussian,
+            ErrorModel::Laplace,
+            ErrorModel::Uniform,
+        ] {
             let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
             let mass = m.interval_mass(lo, hi, mean, std);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&mass));
-            prop_assert!(m.cdf(lo, mean, std) <= m.cdf(hi, mean, std) + 1e-12);
+            assert!((0.0..=1.0 + 1e-12).contains(&mass), "case {case}: {m:?}");
+            assert!(
+                m.cdf(lo, mean, std) <= m.cdf(hi, mean, std) + 1e-12,
+                "case {case}: {m:?}"
+            );
         }
     }
+}
 
-    /// Training with uniform weights equals unweighted training exactly.
-    #[test]
-    fn uniform_weights_match_unweighted_training(
-        seed in 0u64..1000,
-        w in 0.1f64..10.0,
-    ) {
+/// Training with uniform weights equals unweighted training exactly.
+#[test]
+fn uniform_weights_match_unweighted_training() {
+    // Fewer cases: each runs a full (small) training job twice.
+    for case in 0..8u64 {
+        let mut g = TRng::new(0x3217 ^ case);
+        let seed = g.below(1000) as u64;
+        let w = g.uniform(0.1, 10.0);
         let mut rng = TRng::new(seed);
         let x = Tensor::rand_uniform(64, 2, -1.0, 1.0, &mut rng);
         let y = Tensor::from_fn(64, 1, |r, _| x.get(r, 0) - x.get(r, 1));
@@ -152,28 +205,45 @@ proptest! {
                 &x,
                 &y,
                 weights.as_deref(),
-                &TrainConfig { epochs: 5, batch_size: 16, seed, ..TrainConfig::default() },
+                &TrainConfig {
+                    epochs: 5,
+                    batch_size: 16,
+                    seed,
+                    ..TrainConfig::default()
+                },
             );
             model.predict(&x).into_vec()
         };
         let unweighted = run(None);
         let weighted = run(Some(vec![w; 64]));
         for (a, b) in unweighted.iter().zip(&weighted) {
-            prop_assert!((a - b).abs() < 1e-9);
+            assert!((a - b).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// Metrics are invariant under row permutation.
-    #[test]
-    fn metrics_are_permutation_invariant(seed in 0u64..1000) {
-        let mut rng = TRng::new(seed);
+/// Metrics are invariant under row permutation.
+#[test]
+fn metrics_are_permutation_invariant() {
+    for case in 0..CASES {
+        let mut rng = TRng::new(0x9E72 ^ case);
         let pred = Tensor::rand_normal(32, 2, 0.0, 1.0, &mut rng);
         let target = Tensor::rand_normal(32, 2, 0.0, 1.0, &mut rng);
         let perm = rng.permutation(32);
         let pred_p = pred.select_rows(&perm);
         let target_p = target.select_rows(&perm);
-        prop_assert!((metrics::mse(&pred, &target) - metrics::mse(&pred_p, &target_p)).abs() < 1e-12);
-        prop_assert!((metrics::step_error(&pred, &target) - metrics::step_error(&pred_p, &target_p)).abs() < 1e-12);
-        prop_assert!((metrics::rte(&pred, &target) - metrics::rte(&pred_p, &target_p)).abs() < 1e-9);
+        assert!(
+            (metrics::mse(&pred, &target) - metrics::mse(&pred_p, &target_p)).abs() < 1e-12,
+            "case {case}"
+        );
+        assert!(
+            (metrics::step_error(&pred, &target) - metrics::step_error(&pred_p, &target_p)).abs()
+                < 1e-12,
+            "case {case}"
+        );
+        assert!(
+            (metrics::rte(&pred, &target) - metrics::rte(&pred_p, &target_p)).abs() < 1e-9,
+            "case {case}"
+        );
     }
 }

@@ -9,10 +9,16 @@ use tasfar_nn::spec::{LayerSpec, ModelSpec, SavedModel};
 
 fn toy_spec() -> ModelSpec {
     ModelSpec::new(vec![
-        LayerSpec::Dense { in_dim: 2, out_dim: 32 },
+        LayerSpec::Dense {
+            in_dim: 2,
+            out_dim: 32,
+        },
         LayerSpec::Relu,
         LayerSpec::Dropout { p: 0.2 },
-        LayerSpec::Dense { in_dim: 32, out_dim: 1 },
+        LayerSpec::Dense {
+            in_dim: 32,
+            out_dim: 1,
+        },
     ])
 }
 
@@ -46,16 +52,21 @@ fn full_deployment_bundle_roundtrip() {
 
     // ---- serialize the whole bundle: model + calibration + config -------
     let model_json = SavedModel::capture(&spec, &mut model).to_json();
-    let calib_json = serde_json::to_string(&calib).unwrap();
-    let cfg_json = serde_json::to_string(&cfg).unwrap();
+    let calib_json = ToJson::to_json(&calib);
+    let cfg_json = ToJson::to_json(&cfg);
 
     // ---- "on the target device": restore and adapt ----------------------
-    let mut restored = SavedModel::from_json(&model_json).unwrap().restore(&mut Rng::new(777));
-    let calib2: SourceCalibration = serde_json::from_str(&calib_json).unwrap();
-    let cfg2: TasfarConfig = serde_json::from_str(&cfg_json).unwrap();
+    let mut restored = SavedModel::from_json(&model_json)
+        .unwrap()
+        .restore(&mut Rng::new(777));
+    let calib2 = SourceCalibration::from_json(&calib_json).unwrap();
+    let cfg2 = TasfarConfig::from_json(&cfg_json).unwrap();
 
     // Identical inference before adaptation.
-    assert_eq!(model.predict(&toy.target_x), restored.predict(&toy.target_x));
+    assert_eq!(
+        model.predict(&toy.target_x),
+        restored.predict(&toy.target_x)
+    );
 
     // Identical calibration artefacts.
     assert_eq!(calib.classifier.tau, calib2.classifier.tau);
@@ -97,8 +108,8 @@ fn tasfar_config_json_roundtrip_preserves_every_field() {
         finetune_dropout: true,
         seed: 99,
     };
-    let json = serde_json::to_string(&cfg).unwrap();
-    let back: TasfarConfig = serde_json::from_str(&json).unwrap();
+    let json = ToJson::to_json(&cfg);
+    let back = TasfarConfig::from_json(&json).unwrap();
     assert_eq!(back.eta, cfg.eta);
     assert_eq!(back.mc_samples, cfg.mc_samples);
     assert_eq!(back.relative_uncertainty, cfg.relative_uncertainty);
@@ -123,8 +134,8 @@ fn qs_segments_survive_serialization() {
     let us: Vec<f64> = (0..500).map(|_| rng.uniform(0.1, 1.0)).collect();
     let es: Vec<f64> = us.iter().map(|&u| rng.gaussian(0.0, 0.2 + u)).collect();
     let qs = QsCalibration::fit(&us, &es, 20);
-    let json = serde_json::to_string(&qs).unwrap();
-    let back: QsCalibration = serde_json::from_str(&json).unwrap();
+    let json = ToJson::to_json(&qs);
+    let back = QsCalibration::from_json(&json).unwrap();
     assert_eq!(back.segments.len(), qs.segments.len());
     for u in [0.1, 0.5, 0.9, 2.0] {
         assert_eq!(back.sigma(u), qs.sigma(u));
