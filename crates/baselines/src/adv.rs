@@ -7,11 +7,14 @@
 //! distributions together while the head keeps fitting the supervised source
 //! loss. Like MMD, this is source-based and serves as an upper reference.
 
-use crate::common::{bce_with_logits, rejoin, split_model, BaselineConfig, DomainAdapter};
+use crate::common::{
+    bce_with_logits, rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter,
+};
 use tasfar_data::Dataset;
 use tasfar_nn::init::Init;
 use tasfar_nn::layers::{Dense, Layer, Mode, Relu, Sequential};
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::SplitRegressor;
 use tasfar_nn::optim::{Adam, Optimizer};
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
@@ -53,7 +56,7 @@ impl AdvAdapter {
     }
 }
 
-impl DomainAdapter for AdvAdapter {
+impl<M: SplitRegressor> DomainAdapter<M> for AdvAdapter {
     fn name(&self) -> &'static str {
         "ADV"
     }
@@ -62,13 +65,7 @@ impl DomainAdapter for AdvAdapter {
         true
     }
 
-    fn adapt(
-        &self,
-        model: &mut Sequential,
-        source: Option<&Dataset>,
-        target_x: &Tensor,
-        loss: &dyn Loss,
-    ) {
+    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
         let source = source.expect("ADV is source-based: source dataset required");
         assert!(target_x.rows() > 1, "ADV: need at least 2 target samples");
         let cfg = &self.config;
@@ -120,8 +117,8 @@ impl DomainAdapter for AdvAdapter {
                 let fs = z.slice_rows(0, nsb);
                 let pred = head.forward(&fs, cfg.train_mode);
                 let g_task = loss.grad(&pred, &ys, None);
-                features.zero_grad();
-                head.zero_grad();
+                zero_grad(&mut features);
+                zero_grad(&mut head);
                 let g_fs_task = head.backward(&g_task);
 
                 let mut g_z = g_z_disc.scale(-self.lambda); // gradient reversal

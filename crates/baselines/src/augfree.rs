@@ -15,10 +15,11 @@
 //! the real one; the paper finds its gains inconsistent across users and
 //! near zero on crowd counting, which our experiments reproduce.
 
-use crate::common::{BaselineConfig, DomainAdapter};
+use crate::common::{zero_grad, BaselineConfig, DomainAdapter};
 use tasfar_data::Dataset;
-use tasfar_nn::layers::{Layer, Sequential};
+use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::SplitRegressor;
 use tasfar_nn::optim::{Adam, Optimizer};
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
@@ -62,7 +63,7 @@ impl AugfreeAdapter {
     }
 }
 
-impl DomainAdapter for AugfreeAdapter {
+impl<M: SplitRegressor> DomainAdapter<M> for AugfreeAdapter {
     fn name(&self) -> &'static str {
         "AUGfree"
     }
@@ -71,19 +72,16 @@ impl DomainAdapter for AugfreeAdapter {
         false
     }
 
-    fn adapt(
-        &self,
-        model: &mut Sequential,
-        _source: Option<&Dataset>,
-        target_x: &Tensor,
-        loss: &dyn Loss,
-    ) {
+    fn adapt(&self, model: &mut M, _source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
         assert!(target_x.rows() > 0, "AUGfree: empty target batch");
         let cfg = &self.config;
         let mut rng = Rng::new(cfg.seed);
-        // The frozen source model provides the distillation targets.
-        let mut teacher = model.clone();
-        let teacher_pred = teacher.predict(target_x);
+        // AUGfree trains end-to-end (no feature/head split), so take the
+        // whole model out as a single trainable layer; its clone is the
+        // frozen teacher providing the distillation targets.
+        let mut student = model.take_whole();
+        let mut teacher = student.clone();
+        let teacher_pred = teacher.forward(target_x, Mode::Eval);
         let feature_std: Vec<f64> = target_x.var_rows().into_iter().map(f64::sqrt).collect();
 
         let mut opt = Adam::new(cfg.learning_rate);
@@ -98,13 +96,14 @@ impl DomainAdapter for AugfreeAdapter {
                 let yb = teacher_pred.select_rows(&idx);
                 let xb_aug = self.augment(&xb, &feature_std, &mut rng);
 
-                model.zero_grad();
-                let pred = model.forward(&xb_aug, cfg.train_mode);
+                zero_grad(&mut student);
+                let pred = student.forward(&xb_aug, cfg.train_mode);
                 let grad = loss.grad(&pred, &yb, None);
-                model.backward(&grad);
-                opt.step(&mut model.params_mut());
+                student.backward(&grad);
+                opt.step(&mut student.params_mut());
             }
         }
+        model.restore_whole(student);
     }
 }
 
@@ -113,7 +112,7 @@ mod tests {
     use super::*;
     use tasfar_core::metrics;
     use tasfar_nn::init::Init;
-    use tasfar_nn::layers::{Dense, Relu};
+    use tasfar_nn::layers::{Dense, Relu, Sequential};
     use tasfar_nn::loss::Mse;
     use tasfar_nn::train::{fit, TrainConfig};
 

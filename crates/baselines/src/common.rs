@@ -7,14 +7,21 @@
 //! single backward call.
 
 use tasfar_data::Dataset;
-use tasfar_nn::layers::{Mode, Sequential};
+use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::SplitRegressor;
 use tasfar_nn::tensor::Tensor;
 
 /// Uniform interface over the comparison schemes, so the benchmark harness
 /// can sweep them. `source` is `Some` only for the source-based UDA schemes
 /// (MMD, ADV); the source-free schemes ignore it and must work with `None`.
-pub trait DomainAdapter {
+///
+/// Generic over any [`SplitRegressor`] — the schemes only need the model to
+/// decompose into a trainable feature extractor and head, never a concrete
+/// network type. `Box<dyn DomainAdapter<Sequential>>` remains usable for
+/// heterogeneous scheme lists (`Sequential` being `tasfar_nn`'s network
+/// container).
+pub trait DomainAdapter<M: SplitRegressor> {
     /// Scheme name as used in the paper's tables.
     fn name(&self) -> &'static str;
 
@@ -26,13 +33,7 @@ pub trait DomainAdapter {
     ///
     /// # Panics
     /// Panics if a source-based scheme is called without source data.
-    fn adapt(
-        &self,
-        model: &mut Sequential,
-        source: Option<&Dataset>,
-        target_x: &Tensor,
-        loss: &dyn Loss,
-    );
+    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss);
 }
 
 /// Hyper-parameters shared by the baseline training loops.
@@ -72,23 +73,27 @@ impl Default for BaselineConfig {
 
 /// Splits a model into `(features, head)` at `split_at` without copying
 /// parameters (the pieces are moved out and must be rejoined with
-/// [`rejoin`]).
-pub fn split_model(model: &mut Sequential, split_at: usize) -> (Sequential, Sequential) {
+/// [`rejoin`]), validating the index against the model's depth first.
+pub fn split_model<M: SplitRegressor>(model: &mut M, split_at: usize) -> (M::Part, M::Part) {
     assert!(
-        split_at > 0 && split_at < model.len(),
+        split_at > 0 && split_at < model.depth(),
         "split_model: split_at ({split_at}) must be inside the {}-layer chain",
-        model.len()
+        model.depth()
     );
-    let mut features = std::mem::take(model);
-    let head = features.split_off(split_at);
-    (features, head)
+    model.split(split_at)
 }
 
 /// Rejoins the pieces produced by [`split_model`] back into `model`.
-pub fn rejoin(model: &mut Sequential, features: Sequential, head: Sequential) {
-    let mut joined = features;
-    joined.extend(head);
-    *model = joined;
+pub fn rejoin<M: SplitRegressor>(model: &mut M, features: M::Part, head: M::Part) {
+    model.rejoin(features, head);
+}
+
+/// Zeroes the accumulated gradients of any trainable [`Layer`] (model
+/// parts included), via its parameter list.
+pub fn zero_grad<L: Layer + ?Sized>(layer: &mut L) {
+    for p in layer.params_mut() {
+        p.zero_grad();
+    }
 }
 
 /// Numerically stable logistic sigmoid.
@@ -127,7 +132,7 @@ pub fn bce_with_logits(logits: &Tensor, labels: &[f64]) -> (f64, Tensor) {
 mod tests {
     use super::*;
     use tasfar_nn::init::Init;
-    use tasfar_nn::layers::{Dense, Layer, Mode, Relu};
+    use tasfar_nn::layers::{Dense, Relu, Sequential};
     use tasfar_nn::rng::Rng;
 
     fn mlp(rng: &mut Rng) -> Sequential {

@@ -10,10 +10,11 @@
 //! marginal feature statistics only repairs small "measurement-shift"-style
 //! gaps — it carries no information about the target label distribution.
 
-use crate::common::{rejoin, split_model, BaselineConfig, DomainAdapter};
+use crate::common::{rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter};
 use tasfar_data::Dataset;
-use tasfar_nn::layers::{Layer, Mode, Sequential};
+use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::SplitRegressor;
 use tasfar_nn::optim::{Adam, Optimizer};
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
@@ -84,8 +85,8 @@ pub struct FeatureStats {
 ///
 /// # Panics
 /// Panics if the source dataset is empty.
-pub fn record_source_stats(
-    model: &mut Sequential,
+pub fn record_source_stats<M: SplitRegressor>(
+    model: &mut M,
     source: &Dataset,
     split_at: usize,
     bins: usize,
@@ -96,11 +97,10 @@ pub fn record_source_stats(
     let mut specs = Vec::with_capacity(f.cols());
     let mut histograms = Vec::with_capacity(f.cols());
     for unit in 0..f.cols() {
-        let col = f.col(unit);
-        let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = f.col_iter(unit).fold(f64::INFINITY, f64::min);
+        let hi = f.col_iter(unit).fold(f64::NEG_INFINITY, f64::max);
         let spec = SoftHistogram::new(lo - 1e-6, hi.max(lo + 1e-3) + 1e-6, bins);
-        let hist = spec.evaluate(&col);
+        let hist = spec.evaluate(&f.col(unit));
         specs.push(spec);
         histograms.push(hist);
     }
@@ -176,7 +176,7 @@ fn histogram_loss_and_grad(
     (loss, grads)
 }
 
-impl DomainAdapter for DatafreeAdapter {
+impl<M: SplitRegressor> DomainAdapter<M> for DatafreeAdapter {
     fn name(&self) -> &'static str {
         "Datafree"
     }
@@ -185,13 +185,7 @@ impl DomainAdapter for DatafreeAdapter {
         false
     }
 
-    fn adapt(
-        &self,
-        model: &mut Sequential,
-        _source: Option<&Dataset>,
-        target_x: &Tensor,
-        _loss: &dyn Loss,
-    ) {
+    fn adapt(&self, model: &mut M, _source: Option<&Dataset>, target_x: &Tensor, _loss: &dyn Loss) {
         assert!(
             target_x.rows() > 1,
             "Datafree: need at least 2 target samples"
@@ -221,7 +215,7 @@ impl DomainAdapter for DatafreeAdapter {
                         g_f.set(r, unit, g);
                     }
                 }
-                features.zero_grad();
+                zero_grad(&mut features);
                 features.backward(&g_f);
                 opt.step(&mut features.params_mut());
             }
@@ -235,7 +229,7 @@ mod tests {
     use super::*;
     use tasfar_core::metrics;
     use tasfar_nn::init::Init;
-    use tasfar_nn::layers::{Dense, Relu};
+    use tasfar_nn::layers::{Dense, Relu, Sequential};
     use tasfar_nn::loss::Mse;
     use tasfar_nn::optim::Adam;
     use tasfar_nn::train::{fit, TrainConfig};
@@ -352,6 +346,6 @@ mod tests {
             histograms: vec![spec.evaluate(&[0.5])],
         };
         let adapter = DatafreeAdapter::new(BaselineConfig::default(), stats);
-        assert!(!adapter.requires_source());
+        assert!(!DomainAdapter::<Sequential>::requires_source(&adapter));
     }
 }

@@ -12,10 +12,11 @@
 //! time — the storage/privacy cost TASFAR exists to avoid. It serves as the
 //! upper-reference comparison in every experiment.
 
-use crate::common::{rejoin, split_model, BaselineConfig, DomainAdapter};
+use crate::common::{rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter};
 use tasfar_data::Dataset;
-use tasfar_nn::layers::{Layer, Sequential};
+use tasfar_nn::layers::Layer;
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::SplitRegressor;
 use tasfar_nn::optim::{Adam, Optimizer};
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
@@ -116,11 +117,11 @@ fn median_sq_distance(a: &Tensor, b: &Tensor) -> f64 {
             d2s.push(xi.iter().zip(yj).map(|(&p, &q)| (p - q).powi(2)).sum());
         }
     }
-    d2s.sort_by(|x: &f64, y| x.partial_cmp(y).unwrap());
+    d2s.sort_by(f64::total_cmp);
     d2s[d2s.len() / 2]
 }
 
-impl DomainAdapter for MmdAdapter {
+impl<M: SplitRegressor> DomainAdapter<M> for MmdAdapter {
     fn name(&self) -> &'static str {
         "MMD"
     }
@@ -129,13 +130,7 @@ impl DomainAdapter for MmdAdapter {
         true
     }
 
-    fn adapt(
-        &self,
-        model: &mut Sequential,
-        source: Option<&Dataset>,
-        target_x: &Tensor,
-        loss: &dyn Loss,
-    ) {
+    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
         let source = source.expect("MMD is source-based: source dataset required");
         assert!(target_x.rows() > 1, "MMD: need at least 2 target samples");
         let cfg = &self.config;
@@ -169,8 +164,8 @@ impl DomainAdapter for MmdAdapter {
 
                 let pred = head.forward(&fs, cfg.train_mode);
                 let g_task = loss.grad(&pred, &ys, None);
-                features.zero_grad();
-                head.zero_grad();
+                zero_grad(&mut features);
+                zero_grad(&mut head);
                 let g_fs_task = head.backward(&g_task);
 
                 let (_, g_fs_mmd, g_ft_mmd) = mmd_sq_with_grad(&fs, &ft);
@@ -192,8 +187,7 @@ impl DomainAdapter for MmdAdapter {
 mod tests {
     use super::*;
     use tasfar_nn::init::Init;
-    use tasfar_nn::layers::Dense;
-    use tasfar_nn::layers::Relu;
+    use tasfar_nn::layers::{Dense, Relu, Sequential};
 
     #[test]
     fn mmd_of_identical_batches_is_zero() {

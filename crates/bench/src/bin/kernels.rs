@@ -43,7 +43,7 @@ fn time_median(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
             t0.elapsed().as_nanos() as f64 / iters as f64
         })
         .collect();
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    per_iter.sort_by(f64::total_cmp);
     per_iter[per_iter.len() / 2]
 }
 

@@ -207,7 +207,7 @@ pub fn ablation_uncertainty(ctx: &PdrContext) -> Table {
         let corr = metrics::pearson(&us, &errs);
         // Split at the pooled 90th percentile of u.
         let mut sorted = us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let tau = sorted[(sorted.len() as f64 * 0.9) as usize];
         let (mut eu, mut nu, mut ec, mut nc) = (0.0_f64, 0.0_f64, 0.0_f64, 0.0_f64);
         for (&u, &e) in us.iter().zip(&errs) {
@@ -237,7 +237,7 @@ mod tasfar_bench_ensemble {
     use super::*;
     use tasfar_core::uncertainty::Ensemble;
 
-    pub fn build_pdr_ensemble(ctx: &PdrContext, k: usize) -> Ensemble {
+    pub fn build_pdr_ensemble(ctx: &PdrContext, k: usize) -> Ensemble<Sequential> {
         let source = ctx.scaled_source();
         let members: Vec<Sequential> = (0..k)
             .map(|m| {

@@ -454,12 +454,7 @@ pub fn fig13(ctx: &PdrContext) -> Table {
 pub fn fig22(ctx: &PdrContext) -> Table {
     // Pick the two seen users with the most different stride means.
     let mut users: Vec<&PdrUser> = ctx.world.seen_users.iter().collect();
-    users.sort_by(|a, b| {
-        a.profile
-            .stride_mean
-            .partial_cmp(&b.profile.stride_mean)
-            .unwrap()
-    });
+    users.sort_by(|a, b| a.profile.stride_mean.total_cmp(&b.profile.stride_mean));
     let slow = users[0];
     let fast = users[users.len() - 1];
 

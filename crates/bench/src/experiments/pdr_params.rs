@@ -52,10 +52,8 @@ pub fn user_maps(ctx: &PdrContext, u: &UserMc, grid_cell: f64) -> (DensityMap2d,
     let conf_sigma = sigmas(ctx, &u.mc, &u.split.confident);
     let labels = &u.adapt.y;
     // One grid covering both predictions and labels so MAE is well-defined.
-    let mut xs: Vec<f64> = conf_pred.col(0);
-    xs.extend(labels.col(0));
-    let mut ys: Vec<f64> = conf_pred.col(1);
-    ys.extend(labels.col(1));
+    let xs: Vec<f64> = conf_pred.col_iter(0).chain(labels.col_iter(0)).collect();
+    let ys: Vec<f64> = conf_pred.col_iter(1).chain(labels.col_iter(1)).collect();
     let xgrid = GridSpec::covering(&xs, grid_cell, 3);
     let ygrid = GridSpec::covering(&ys, grid_cell, 3);
     let est = DensityMap2d::estimate(
@@ -171,7 +169,7 @@ pub fn fig3(ctx: &PdrContext) -> Table {
     let corr = metrics::pearson(&us, &errs);
     // Sort into 10 uncertainty deciles.
     let mut order: Vec<usize> = (0..us.len()).collect();
-    order.sort_by(|&a, &b| us[a].partial_cmp(&us[b]).unwrap());
+    order.sort_by(|&a, &b| us[a].total_cmp(&us[b]));
     let mut table = Table::new(
         format!("Fig 3 uncertainty vs error (pearson {})", f3(corr)),
         &["decile", "mean_uncertainty", "mean_error_m"],

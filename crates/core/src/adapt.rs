@@ -17,22 +17,20 @@
 
 use crate::calibration::{ErrorModel, QsCalibration};
 use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
-use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
-use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
-use crate::uncertainty::{McDropout, McPrediction};
+use crate::density::{DensityMap1d, DensityMap2d};
+use crate::pipeline::{
+    estimate_density_stage, finetune_stage, predict_stage, pseudo_label_stage, split_stage,
+    PipelineTrace,
+};
+use crate::pseudo::PseudoLabel;
+use crate::stats::median;
+use crate::uncertainty::McPrediction;
 use tasfar_data::Dataset;
 use tasfar_nn::json::{FromJson, Json, JsonError, ToJson};
-use tasfar_nn::layers::Sequential;
 use tasfar_nn::loss::Loss;
-use tasfar_nn::optim::Adam;
-use tasfar_nn::parallel::{chunk_bounds, chunk_count, map_chunks};
+use tasfar_nn::model::{StochasticRegressor, TrainableRegressor};
 use tasfar_nn::tensor::Tensor;
-use tasfar_nn::train::{fit, EarlyStop, FitReport, TrainConfig};
-
-/// Uncertain samples pseudo-labelled per parallel chunk. Fixed (independent
-/// of thread count) so the chunk geometry — and therefore the output — is
-/// identical at any `TASFAR_THREADS`.
-const PSEUDO_SAMPLES_PER_CHUNK: usize = 32;
+use tasfar_nn::train::{EarlyStop, FitReport};
 
 /// TASFAR hyper-parameters. Defaults follow the paper's Section IV choices.
 #[derive(Debug, Clone)]
@@ -198,10 +196,13 @@ impl FromJson for SourceCalibration {
 
 /// Calibrates τ and Q_s on the source dataset (phase 1, pre-shipping).
 ///
+/// Generic over any [`StochasticRegressor`] — the model is a black box that
+/// only needs deterministic and dropout-active forward passes.
+///
 /// # Panics
 /// Panics if the source dataset is empty.
-pub fn calibrate_on_source(
-    model: &mut Sequential,
+pub fn calibrate_on_source<M: StochasticRegressor + ?Sized>(
+    model: &mut M,
     source: &Dataset,
     cfg: &TasfarConfig,
 ) -> SourceCalibration {
@@ -209,9 +210,8 @@ pub fn calibrate_on_source(
         !source.is_empty(),
         "calibrate_on_source: empty source dataset"
     );
-    let mc = McDropout::new(cfg.mc_samples)
-        .relative(cfg.relative_uncertainty)
-        .predict(model, &source.x);
+    let mut trace = PipelineTrace::default();
+    let mc = predict_stage(model, &source.x, cfg, &mut trace);
     let classifier = ConfidenceClassifier::calibrate(&mc.uncertainty, cfg.eta);
     let median_uncertainty = median(&mc.uncertainty);
 
@@ -221,10 +221,9 @@ pub fn calibrate_on_source(
         let u_d: Vec<f64> = mc.std.col(d);
         let err_d: Vec<f64> = mc
             .point
-            .col(d)
-            .iter()
-            .zip(source.y.col(d).iter())
-            .map(|(&p, &y)| p - y)
+            .col_iter(d)
+            .zip(source.y.col_iter(d))
+            .map(|(p, y)| p - y)
             .collect();
         qs.push(QsCalibration::fit(&u_d, &err_d, cfg.segments));
     }
@@ -233,13 +232,6 @@ pub fn calibrate_on_source(
         qs,
         median_uncertainty,
     }
-}
-
-/// Median of a non-empty slice.
-fn median(values: &[f64]) -> f64 {
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    v[v.len() / 2]
 }
 
 /// The density map(s) built during an adaptation.
@@ -267,6 +259,8 @@ pub struct AdaptationOutcome {
     pub maps: Option<BuiltMaps>,
     /// Why adaptation was skipped, if it was.
     pub skipped: Option<&'static str>,
+    /// Per-stage execution records (wall time, sample counts, skip reason).
+    pub trace: PipelineTrace,
 }
 
 impl AdaptationOutcome {
@@ -305,28 +299,16 @@ pub fn scenario_classifier(
     calib.classifier.clone()
 }
 
-/// Builds the grid for one label dimension around the confident predictions,
-/// padded so the instance distributions fit on-grid.
-fn dim_grid(preds: &[f64], sigmas: &[f64], cell: f64) -> GridSpec {
-    let max_sigma = sigmas.iter().copied().fold(0.0_f64, f64::max);
-    let lo = preds.iter().copied().fold(f64::INFINITY, f64::min) - 4.0 * max_sigma;
-    let hi = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max) + 4.0 * max_sigma;
-    GridSpec::from_range(lo, (hi).max(lo + cell), cell)
-}
-
-/// Per-dimension calibrated spreads for the given sample indices.
-fn sigmas_for(mc: &McPrediction, calib: &SourceCalibration, indices: &[usize]) -> Tensor {
-    let dims = mc.point.cols();
-    let mut out = Tensor::zeros(indices.len(), dims);
-    for (row, &i) in indices.iter().enumerate() {
-        for d in 0..dims {
-            out.set(row, d, calib.qs[d].sigma(mc.std.get(i, d)));
-        }
-    }
-    out
-}
-
 /// Runs the full TASFAR adaptation on an unlabeled target batch (phase 2).
+///
+/// A thin wrapper over the staged pipeline in [`crate::pipeline`]:
+/// `Predict → Split → EstimateDensity → PseudoLabel → FineTune`, with each
+/// stage's wall time and sample counts recorded in `outcome.trace`.
+///
+/// Generic over the `tasfar_nn::model` traits, so the regressor is a black
+/// box: any type with a deterministic forward, seeded stochastic passes, and
+/// weighted fine-tuning can be adapted — `Sequential` networks and
+/// `tasfar_nn::model::FnRegressor` mocks alike.
 ///
 /// `model` is modified in place: on return it is the target model. The
 /// returned outcome carries every intermediate product for analysis.
@@ -338,20 +320,17 @@ fn sigmas_for(mc: &McPrediction, calib: &SourceCalibration, indices: &[usize]) -
 ///
 /// # Panics
 /// Panics if `target_x` is empty.
-pub fn adapt(
-    model: &mut Sequential,
+pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
+    model: &mut M,
     calib: &SourceCalibration,
     target_x: &Tensor,
     loss: &dyn Loss,
     cfg: &TasfarConfig,
 ) -> AdaptationOutcome {
     assert!(target_x.rows() > 0, "adapt: empty target batch");
-    let mc = McDropout::new(cfg.mc_samples)
-        .relative(cfg.relative_uncertainty)
-        .predict(model, target_x);
-    let classifier = scenario_classifier(calib, cfg, &mc.uncertainty);
-    let split = classifier.split(&mc.uncertainty);
-    let dims = mc.point.cols();
+    let mut trace = PipelineTrace::default();
+    let mc = predict_stage(model, target_x, cfg, &mut trace);
+    let (classifier, split) = split_stage(calib, cfg, &mc, &mut trace);
 
     let mut outcome = AdaptationOutcome {
         fit: FitReport {
@@ -363,165 +342,40 @@ pub fn adapt(
         pseudo: Vec::new(),
         maps: None,
         skipped: None,
+        trace: PipelineTrace::default(),
     };
 
-    if outcome.split.confident.is_empty() {
-        outcome.skipped = Some("no confident data to estimate the label distribution");
-        return outcome;
-    }
-    if outcome.split.uncertain.is_empty() {
-        outcome.skipped = Some("no uncertain data to pseudo-label");
-        return outcome;
-    }
-
-    // --- label distribution estimation (Algorithm 2) --------------------
-    let conf_sigma = sigmas_for(&outcome.mc, calib, &outcome.split.confident);
-    let conf_pred = outcome.mc.point.select_rows(&outcome.split.confident);
-    let unc_sigma = sigmas_for(&outcome.mc, calib, &outcome.split.uncertain);
-    let unc_pred = outcome.mc.point.select_rows(&outcome.split.uncertain);
-
-    let tau = classifier.tau;
-    let joint = cfg.joint_2d && dims == 2;
-    let mut pseudo = Vec::with_capacity(outcome.split.uncertain.len());
-
-    // The per-sample expectation over grid cells (Algorithm 3's inner loop)
-    // is independent across samples, so both branches below run it through
-    // the parallel runtime in fixed-size chunks and splice the per-chunk
-    // vectors back together in chunk order — bit-identical for any thread
-    // count. Chunk geometry depends only on the uncertain-set size.
-    let uncertain = &outcome.split.uncertain;
-    let uncertainty = &outcome.mc.uncertainty;
-    let n_unc = uncertain.len();
-    let n_chunks = chunk_count(n_unc, PSEUDO_SAMPLES_PER_CHUNK);
-
-    if joint {
-        let xgrid = dim_grid(&conf_pred.col(0), &conf_sigma.col(0), cfg.grid_cell);
-        let ygrid = dim_grid(&conf_pred.col(1), &conf_sigma.col(1), cfg.grid_cell);
-        let map = DensityMap2d::estimate(&conf_pred, &conf_sigma, xgrid, ygrid, cfg.error_model);
-        let generator = PseudoLabelGenerator2d::new(&map, tau, cfg.error_model);
-        let chunks = map_chunks(n_chunks, |c| {
-            chunk_bounds(n_unc, PSEUDO_SAMPLES_PER_CHUNK, c)
-                .map(|row| {
-                    let i = uncertain[row];
-                    generator.generate(
-                        [unc_pred.get(row, 0), unc_pred.get(row, 1)],
-                        [unc_sigma.get(row, 0), unc_sigma.get(row, 1)],
-                        uncertainty[i].max(1e-12),
-                    )
-                })
-                .collect::<Vec<_>>()
-        });
-        pseudo.extend(chunks.into_iter().flatten());
-        outcome.maps = Some(BuiltMaps::Joint2d(map));
-    } else {
-        // Independent per-dimension maps; credibilities multiply geometric-
-        // mean style so a one-dimensional task reduces to Eq. 21 exactly.
-        let maps: Vec<DensityMap1d> = (0..dims)
-            .map(|d| {
-                let grid = dim_grid(&conf_pred.col(d), &conf_sigma.col(d), cfg.grid_cell);
-                DensityMap1d::estimate(&conf_pred.col(d), &conf_sigma.col(d), grid, cfg.error_model)
-            })
-            .collect();
-        let chunks = map_chunks(n_chunks, |c| {
-            chunk_bounds(n_unc, PSEUDO_SAMPLES_PER_CHUNK, c)
-                .map(|row| {
-                    let i = uncertain[row];
-                    let mut value = Vec::with_capacity(dims);
-                    let mut cred_product = 1.0;
-                    let mut informative = true;
-                    let mut ratio = 0.0;
-                    for (d, map) in maps.iter().enumerate() {
-                        let generator = PseudoLabelGenerator1d::new(map, tau, cfg.error_model);
-                        let p = generator.generate(
-                            unc_pred.get(row, d),
-                            unc_sigma.get(row, d),
-                            uncertainty[i].max(1e-12),
-                        );
-                        value.push(p.value[0]);
-                        cred_product *= p.credibility;
-                        informative &= p.informative;
-                        ratio += p.local_density_ratio / dims as f64;
-                    }
-                    PseudoLabel {
-                        value,
-                        credibility: if informative {
-                            cred_product.powf(1.0 / dims as f64)
-                        } else {
-                            0.0
-                        },
-                        local_density_ratio: ratio,
-                        informative,
-                    }
-                })
-                .collect::<Vec<_>>()
-        });
-        pseudo.extend(chunks.into_iter().flatten());
-        outcome.maps = Some(BuiltMaps::PerDim(maps));
-    }
-    outcome.pseudo = pseudo;
-
-    // --- assemble the fine-tuning set (Eq. 22 + confident replay) -------
-    let n_unc = outcome.split.uncertain.len();
-    let n_conf = if cfg.replay_confident {
-        outcome.split.confident.len()
-    } else {
-        0
-    };
-    let mut train_x_rows = Vec::with_capacity(n_unc + n_conf);
-    let mut train_y = Tensor::zeros(n_unc + n_conf, dims);
-    let mut weights = Vec::with_capacity(n_unc + n_conf);
-
-    for (row, &i) in outcome.split.uncertain.iter().enumerate() {
-        train_x_rows.push(i);
-        for d in 0..dims {
-            train_y.set(row, d, outcome.pseudo[row].value[d]);
-        }
-        weights.push(if cfg.use_credibility {
-            outcome.pseudo[row].credibility
-        } else if outcome.pseudo[row].informative {
-            1.0
-        } else {
-            0.0
-        });
-    }
-    if cfg.replay_confident {
-        for (row, &i) in outcome.split.confident.iter().enumerate() {
-            train_x_rows.push(i);
-            for d in 0..dims {
-                train_y.set(n_unc + row, d, outcome.mc.point.get(i, d));
-            }
-            weights.push(1.0);
-        }
-    }
-
-    if weights.iter().sum::<f64>() <= 0.0 {
-        outcome.skipped = Some("all pseudo-labels carry zero credibility");
-        return outcome;
-    }
-
-    let train_x = target_x.select_rows(&train_x_rows);
-    let mut optimizer = Adam::new(cfg.learning_rate);
-    outcome.fit = fit(
-        model,
-        &mut optimizer,
-        loss,
-        &train_x,
-        &train_y,
-        Some(&weights),
-        &TrainConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            seed: cfg.seed,
-            shuffle: true,
-            early_stop: cfg.early_stop.clone(),
-            mode: if cfg.finetune_dropout {
-                tasfar_nn::layers::Mode::Train
-            } else {
-                tasfar_nn::layers::Mode::Eval
-            },
-            ..TrainConfig::default()
-        },
+    let density = estimate_density_stage(
+        &outcome.mc,
+        calib,
+        &classifier,
+        &outcome.split,
+        cfg,
+        &mut trace,
     );
+    let Some(density) = density else {
+        outcome.skipped = trace.skip_reason();
+        outcome.trace = trace;
+        return outcome;
+    };
+
+    outcome.pseudo = pseudo_label_stage(&outcome.mc, &outcome.split, &density, cfg, &mut trace);
+    outcome.maps = Some(density.maps);
+
+    match finetune_stage(
+        model,
+        target_x,
+        &outcome.mc,
+        &outcome.split,
+        &outcome.pseudo,
+        loss,
+        cfg,
+        &mut trace,
+    ) {
+        Some(report) => outcome.fit = report,
+        None => outcome.skipped = trace.skip_reason(),
+    }
+    outcome.trace = trace;
     outcome
 }
 
@@ -529,10 +383,11 @@ pub fn adapt(
 mod tests {
     use super::*;
     use tasfar_nn::init::Init;
-    use tasfar_nn::layers::{Dense, Dropout, Relu};
+    use tasfar_nn::layers::{Dense, Dropout, Relu, Sequential};
     use tasfar_nn::loss::Mse;
+    use tasfar_nn::optim::Adam;
     use tasfar_nn::rng::Rng;
-    use tasfar_nn::train::evaluate;
+    use tasfar_nn::train::{evaluate, fit, TrainConfig};
 
     /// A 1-D synthetic task with the TASFAR-friendly structure: the target
     /// labels concentrate in a region the source model underestimates, and

@@ -204,7 +204,7 @@ impl QsCalibration {
         assert!(q > 0, "QsCalibration: q must be positive");
 
         let mut order: Vec<usize> = (0..uncertainties.len()).collect();
-        order.sort_by(|&a, &b| uncertainties[a].partial_cmp(&uncertainties[b]).unwrap());
+        order.sort_by(|&a, &b| uncertainties[a].total_cmp(&uncertainties[b]));
 
         let q = q.min(uncertainties.len());
         let per = uncertainties.len() / q;

@@ -23,11 +23,12 @@ use crate::calibration::QsCalibration;
 use crate::density::{DensityMap1d, GridSpec};
 use crate::pseudo::PseudoLabelGenerator1d;
 use crate::uncertainty::McDropout;
-use tasfar_nn::layers::{Mode, Sequential};
+use tasfar_nn::layers::Mode;
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::{StochasticRegressor, TrainableRegressor};
 use tasfar_nn::optim::Adam;
 use tasfar_nn::tensor::Tensor;
-use tasfar_nn::train::{fit, TrainConfig};
+use tasfar_nn::train::TrainConfig;
 
 /// Numerically stable row-wise softmax.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
@@ -123,8 +124,8 @@ pub struct SoftLabelOutcome {
 ///
 /// # Panics
 /// Panics on an empty batch.
-pub fn adapt_classifier(
-    model: &mut Sequential,
+pub fn adapt_classifier<M: StochasticRegressor + TrainableRegressor + ?Sized>(
+    model: &mut M,
     calib: &SourceCalibration,
     target_x: &Tensor,
     cfg: &TasfarConfig,
@@ -198,8 +199,7 @@ pub fn adapt_classifier(
     if weights.iter().sum::<f64>() > 0.0 {
         let x_train = target_x.select_rows(&rows);
         let mut opt = Adam::new(cfg.learning_rate);
-        let _ = fit(
-            model,
+        let _ = model.fit_weighted(
             &mut opt,
             &SoftCrossEntropy,
             &x_train,

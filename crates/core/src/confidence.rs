@@ -77,7 +77,7 @@ impl ConfidenceClassifier {
             "ConfidenceClassifier: non-finite uncertainty"
         );
         let mut sorted = source_uncertainties.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         ConfidenceClassifier {
             tau: quantile_sorted(&sorted, eta),
             eta,

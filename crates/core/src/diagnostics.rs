@@ -40,9 +40,11 @@ fn quartiles(values: &mut [f64]) -> (f64, f64, f64) {
     if values.is_empty() {
         return (0.0, 0.0, 0.0);
     }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    values.sort_by(f64::total_cmp);
     let at = |q: f64| values[((values.len() - 1) as f64 * q).round() as usize];
-    (at(0.25), at(0.5), at(0.75))
+    // The midpoint quartile is the shared selection-based median so the two
+    // call sites (here and `adapt.rs`) cannot drift apart.
+    (at(0.25), crate::stats::median(values), at(0.75))
 }
 
 fn concentration(mut masses: Vec<f64>) -> f64 {
@@ -50,7 +52,7 @@ fn concentration(mut masses: Vec<f64>) -> f64 {
     if total <= 0.0 || masses.is_empty() {
         return 0.0;
     }
-    masses.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    masses.sort_by(|a, b| b.total_cmp(a));
     let top = (masses.len() as f64 * 0.1).ceil() as usize;
     masses.iter().take(top.max(1)).sum::<f64>() / total
 }

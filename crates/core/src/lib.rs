@@ -24,6 +24,13 @@
 //!    ([`adapt::calibrate_on_source`] / [`adapt::adapt`]) mirrors the
 //!    deployment story.
 //!
+//! [`adapt::adapt`] is a thin wrapper over the staged [`pipeline`]
+//! (`Predict → Split → EstimateDensity → PseudoLabel → FineTune`), each
+//! stage recording a [`pipeline::StageTrace`]. The whole crate is generic
+//! over the `tasfar_nn::model` traits — the regressor is a black box with
+//! deterministic/stochastic forward passes and weighted fine-tuning, not
+//! necessarily a `Sequential` network.
+//!
 //! [`metrics`] provides the paper's evaluation measures (STE, RTE, MSE,
 //! MAE, RMSLE, Pearson correlation).
 //!
@@ -61,7 +68,9 @@ pub mod density;
 pub mod diagnostics;
 pub mod metrics;
 pub mod partition;
+pub mod pipeline;
 pub mod pseudo;
+mod stats;
 pub mod uncertainty;
 
 /// One-stop imports for running TASFAR.
@@ -76,6 +85,7 @@ pub mod prelude {
     pub use crate::diagnostics::AdaptationDiagnostics;
     pub use crate::metrics;
     pub use crate::partition::{adapt_partitioned, group_by_key, PartitionedAdaptation};
+    pub use crate::pipeline::{PipelineTrace, Stage, StageTrace};
     pub use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
     pub use crate::uncertainty::{Ensemble, McDropout, McPrediction};
 }

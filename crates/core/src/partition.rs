@@ -15,21 +15,22 @@
 //! and, by default, its own adapted model.
 
 use crate::adapt::{adapt, AdaptationOutcome, SourceCalibration, TasfarConfig};
-use tasfar_nn::layers::Sequential;
+use crate::pipeline::PipelineTrace;
 use tasfar_nn::loss::Loss;
+use tasfar_nn::model::{Regressor, StochasticRegressor, TrainableRegressor};
 use tasfar_nn::tensor::Tensor;
 
-/// The result of a partitioned adaptation.
-pub struct PartitionedAdaptation {
+/// The result of a partitioned adaptation, generic over the regressor type.
+pub struct PartitionedAdaptation<M> {
     /// One adapted model per group, in group order.
-    pub models: Vec<Sequential>,
+    pub models: Vec<M>,
     /// The per-group adaptation outcomes.
     pub outcomes: Vec<AdaptationOutcome>,
     /// The group key of every input row, as passed in.
     pub group_of_row: Vec<usize>,
 }
 
-impl PartitionedAdaptation {
+impl<M: Regressor> PartitionedAdaptation<M> {
     /// Number of groups.
     pub fn num_groups(&self) -> usize {
         self.models.len()
@@ -94,14 +95,17 @@ pub fn group_by_key(keys: &[usize]) -> Vec<Vec<usize>> {
 ///
 /// # Panics
 /// Panics if `keys.len() != target_x.rows()` or the batch is empty.
-pub fn adapt_partitioned(
-    source_model: &Sequential,
+pub fn adapt_partitioned<M>(
+    source_model: &M,
     calib: &SourceCalibration,
     target_x: &Tensor,
     keys: &[usize],
     loss: &dyn Loss,
     cfg: &TasfarConfig,
-) -> PartitionedAdaptation {
+) -> PartitionedAdaptation<M>
+where
+    M: StochasticRegressor + TrainableRegressor + Clone,
+{
     assert_eq!(
         keys.len(),
         target_x.rows(),
@@ -134,6 +138,7 @@ pub fn adapt_partitioned(
                 pseudo: Vec::new(),
                 maps: None,
                 skipped: Some("empty partition"),
+                trace: PipelineTrace::default(),
             };
             models.push(model);
             outcomes.push(outcome);

@@ -1,0 +1,84 @@
+//! Small order-statistics helpers shared across the crate.
+//!
+//! Sorting uses [`f64::total_cmp`] throughout: a stray NaN uncertainty must
+//! degrade gracefully (NaNs order after every finite value) instead of
+//! panicking mid-adaptation, and the selection-based median avoids the
+//! clone-and-full-sort cost on the hot calibration path.
+
+/// Median of a non-empty slice, selection-based (`O(n)` expected).
+///
+/// Even-length inputs average the two middle elements, matching the
+/// textbook definition (the previous implementation took the upper one).
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub(crate) fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median: empty slice");
+    let mut v = values.to_vec();
+    let n = v.len();
+    let (lower, upper_mid, _) = v.select_nth_unstable_by(n / 2, f64::total_cmp);
+    if n % 2 == 1 {
+        *upper_mid
+    } else {
+        // The lower middle element is the maximum of the left partition.
+        let lower_mid = lower
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .expect("median: even length implies a non-empty left partition");
+        0.5 * (lower_mid + *upper_mid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_length_takes_the_middle() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn even_length_averages_the_middle_pair() {
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn nan_does_not_panic() {
+        // NaNs sort last under total_cmp, so finite medians survive a stray
+        // NaN instead of the whole adaptation panicking.
+        let m = median(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(m, 2.0);
+    }
+
+    #[test]
+    fn matches_sort_based_median_on_random_data() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in 1..40usize {
+            let v: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut sorted = v.clone();
+            sorted.sort_by(f64::total_cmp);
+            let expect = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            };
+            assert_eq!(median(&v), expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "median: empty slice")]
+    fn empty_slice_panics() {
+        median(&[]);
+    }
+}

@@ -3,10 +3,12 @@
 //! The paper (Sec. IV-A) measures prediction confidence as "the standard
 //! deviation of predictions from twenty samplings with a dropout rate of
 //! 0.2", i.e. MC dropout in Gal & Ghahramani's interpretation. The substrate
-//! supports this natively through [`Mode::StochasticEval`]: dropout masks
-//! stay active while batch-norm keeps its running statistics.
+//! supports this natively through [`StochasticRegressor::stochastic_passes`]
+//! (for `Sequential`: forward passes in `Mode::StochasticEval`, where
+//! dropout masks stay active while batch-norm keeps its running
+//! statistics).
 
-use tasfar_nn::layers::{Layer, Mode, Sequential};
+use tasfar_nn::model::{Regressor, StochasticRegressor};
 use tasfar_nn::tensor::Tensor;
 
 /// Point predictions plus sampling-based uncertainty for a batch.
@@ -67,41 +69,24 @@ impl McDropout {
 
     /// Runs the estimator on a batch.
     ///
-    /// The `T` stochastic passes are independent, so they run in parallel on
-    /// [`tasfar_nn::parallel`]: each pass `t` receives its own dropout PRNG
-    /// stream, pre-split *sequentially* from the model's dropout state (one
-    /// `split` per dropout layer per pass), and executes on a clone of the
-    /// model. Stream derivation fixes every mask before any pass runs, so
-    /// the results are bit-identical for any thread count — and the model's
-    /// own dropout RNGs advance deterministically (by `T` splits) exactly as
-    /// if the passes had run in order.
-    pub fn predict(&self, model: &mut Sequential, x: &Tensor) -> McPrediction {
-        let point = model.forward(x, Mode::Eval);
+    /// Works with any [`StochasticRegressor`]: the deterministic point
+    /// prediction comes from [`Regressor::predict`] and the `T` stochastic
+    /// passes from [`StochasticRegressor::stochastic_passes`], which the
+    /// model contract requires to be seed-deterministic (`Sequential` runs
+    /// them on [`tasfar_nn::parallel`] with pre-split dropout streams, so
+    /// the results are bit-identical for any thread count).
+    pub fn predict<M: StochasticRegressor + ?Sized>(
+        &self,
+        model: &mut M,
+        x: &Tensor,
+    ) -> McPrediction {
+        let point = model.predict(x);
         let (n, d) = point.shape();
-
-        // One independent stream per (pass, dropout layer), derived in pass
-        // order on this thread.
-        let streams: Vec<Vec<tasfar_nn::rng::Rng>> = (0..self.samples)
-            .map(|_| {
-                model
-                    .dropout_rngs_mut()
-                    .into_iter()
-                    .map(|rng| rng.split())
-                    .collect()
-            })
-            .collect();
-        let proto = model.clone();
 
         // Two-pass variance: storing the T passes avoids the catastrophic
         // cancellation of the E[x²] − E[x]² shortcut, so deterministic
         // models report exactly zero uncertainty.
-        let passes: Vec<Tensor> = tasfar_nn::parallel::map_chunks(self.samples, |t| {
-            let mut pass_model = proto.clone();
-            for (rng, stream) in pass_model.dropout_rngs_mut().into_iter().zip(&streams[t]) {
-                *rng = stream.clone();
-            }
-            pass_model.forward(x, Mode::StochasticEval)
-        });
+        let passes = model.stochastic_passes(x, self.samples);
         let mut mc_mean = Tensor::zeros(n, d);
         for pass in &passes {
             mc_mean.add_assign(pass);
@@ -138,21 +123,24 @@ impl McDropout {
 /// the uncertainty estimator as pluggable (Sec. III-B); ensembles are the
 /// standard stronger-but-costlier alternative to MC dropout, and the
 /// `ablation_uncertainty` benchmark compares the two on the PDR task.
+///
+/// Generic over any [`Regressor`], so ensemble members need not be
+/// `Sequential` networks.
 #[derive(Clone)]
-pub struct Ensemble {
+pub struct Ensemble<M> {
     /// The ensemble members; their mean output is the point prediction `ỹ`.
-    pub members: Vec<Sequential>,
+    pub members: Vec<M>,
     /// Report relative (magnitude-normalised) uncertainty, as in
     /// [`McDropout::relative`].
     pub relative: bool,
 }
 
-impl Ensemble {
+impl<M: Regressor> Ensemble<M> {
     /// Wraps trained members.
     ///
     /// # Panics
     /// Panics with fewer than 2 members (a std needs at least two).
-    pub fn new(members: Vec<Sequential>) -> Self {
+    pub fn new(members: Vec<M>) -> Self {
         assert!(members.len() >= 2, "Ensemble: need at least 2 members");
         Ensemble {
             members,
@@ -170,11 +158,7 @@ impl Ensemble {
     /// [`McDropout::predict`]'s output contract. The *mean* of the members
     /// is used as the point prediction (the usual ensemble predictor).
     pub fn predict(&mut self, x: &Tensor) -> McPrediction {
-        let passes: Vec<Tensor> = self
-            .members
-            .iter_mut()
-            .map(|m| m.forward(x, Mode::Eval))
-            .collect();
+        let passes: Vec<Tensor> = self.members.iter_mut().map(|m| m.predict(x)).collect();
         let (n, d) = passes[0].shape();
         let mut mean = Tensor::zeros(n, d);
         for pass in &passes {
@@ -317,7 +301,7 @@ mod tests {
         McDropout::new(1);
     }
 
-    fn ensemble_of(n: usize, seed_base: u64) -> Ensemble {
+    fn ensemble_of(n: usize, seed_base: u64) -> Ensemble<Sequential> {
         let members: Vec<Sequential> = (0..n)
             .map(|k| {
                 let mut rng = Rng::new(seed_base + k as u64);

@@ -1,0 +1,125 @@
+//! The black-box acceptance test: the full TASFAR round trip
+//! (calibrate on source → adapt on target) on [`FnRegressor`], a
+//! closure-backed mock that shares no machinery with `Sequential`.
+//!
+//! If this compiles and passes, the adaptation pipeline provably touches
+//! models only through the `Regressor`/`StochasticRegressor`/
+//! `TrainableRegressor` traits — the paper's "target-agnostic, source-free,
+//! black-box" claim made mechanical.
+
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::loss::Mse;
+use tasfar_nn::model::FnRegressor;
+use tasfar_nn::tensor::Tensor;
+
+/// A mock whose point prediction is `0.9·x` (a slightly biased source
+/// model) and whose per-sample stochastic spread grows with `|x|`, so
+/// small-`|x|` inputs look confident and large-`|x|` inputs uncertain.
+fn mock(seed: u64) -> FnRegressor {
+    FnRegressor::new(
+        |x| Tensor::from_fn(x.rows(), 1, |r, _| 0.9 * x.get(r, 0)),
+        |x| {
+            (0..x.rows())
+                .map(|r| 0.02 + 0.08 * x.get(r, 0).abs())
+                .collect()
+        },
+        1,
+        seed,
+    )
+}
+
+fn config() -> TasfarConfig {
+    TasfarConfig {
+        // Raw (absolute) uncertainty keeps the confidence ordering exactly
+        // the noise-scale ordering the mock encodes.
+        relative_uncertainty: false,
+        scenario_tau_rescale: false,
+        grid_cell: 0.05,
+        epochs: 40,
+        learning_rate: 0.05,
+        early_stop: None,
+        ..TasfarConfig::default()
+    }
+}
+
+#[test]
+fn fn_regressor_completes_the_full_round_trip() {
+    let cfg = config();
+
+    // Source: y = x on [−1, 1].
+    let n = 240;
+    let xs = Tensor::from_fn(n, 1, |r, _| -1.0 + 2.0 * r as f64 / (n - 1) as f64);
+    let ys = xs.clone();
+    let source = Dataset::new(xs, ys);
+
+    let mut model = mock(0x5eed);
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    assert_eq!(calib.qs.len(), 1, "one Q_s fit per output dimension");
+    assert!(calib.classifier.tau > 0.0);
+    // σ(u) must be monotone for the mock too: spread grows with |x|.
+    assert!(calib.qs[0].sigma(1.0) >= calib.qs[0].sigma(0.0));
+
+    // Target: inputs on [0, 2] — the high-|x| half reads as uncertain, the
+    // low-|x| half as confident, so every pipeline stage has work to do.
+    let m = 200;
+    let target_x = Tensor::from_fn(m, 1, |r, _| 2.0 * r as f64 / (m - 1) as f64);
+
+    let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+
+    // The pipeline ran end to end: no skip, both partitions populated,
+    // pseudo-labels generated, and the fine-tune actually trained.
+    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    assert!(!outcome.split.confident.is_empty());
+    assert!(!outcome.split.uncertain.is_empty());
+    assert_eq!(outcome.pseudo.len(), outcome.split.uncertain.len());
+    assert!(outcome.mean_credibility() > 0.0);
+    assert!(
+        !outcome.fit.epoch_losses.is_empty(),
+        "fine-tune must have trained at least one epoch"
+    );
+
+    // All five stages are on the trace, none skipped.
+    for stage in [
+        Stage::Predict,
+        Stage::Split,
+        Stage::EstimateDensity,
+        Stage::PseudoLabel,
+        Stage::FineTune,
+    ] {
+        let t = outcome
+            .trace
+            .stage(stage)
+            .unwrap_or_else(|| panic!("missing trace for stage {stage}"));
+        assert!(
+            t.skipped.is_none(),
+            "stage {stage} skipped: {:?}",
+            t.skipped
+        );
+    }
+
+    // Fine-tuning went through FnRegressor's own gradient path: the
+    // learnable bias moved away from its zero initialisation.
+    assert!(
+        model.bias()[0] != 0.0,
+        "adaptation must have updated the mock's bias"
+    );
+}
+
+#[test]
+fn fn_regressor_adaptation_is_deterministic() {
+    let cfg = config();
+    let n = 240;
+    let xs = Tensor::from_fn(n, 1, |r, _| -1.0 + 2.0 * r as f64 / (n - 1) as f64);
+    let source = Dataset::new(xs.clone(), xs);
+    let m = 200;
+    let target_x = Tensor::from_fn(m, 1, |r, _| 2.0 * r as f64 / (m - 1) as f64);
+
+    let run = || {
+        let mut model = mock(0x5eed);
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+        (model.bias()[0].to_bits(), outcome.pseudo.len())
+    };
+    assert_eq!(run(), run(), "same seed → bit-identical adapted bias");
+}

@@ -1,0 +1,250 @@
+//! Golden-equivalence suite for the staged-pipeline refactor.
+//!
+//! Pins the raw `f64` bit patterns (FNV-1a hashed) of everything
+//! [`calibrate_on_source`] and [`adapt`] produce — calibration parameters,
+//! MC predictions, pseudo-labels, fine-tune losses, and the adapted model's
+//! predictions — on a small deterministic toy, across the 1-D, joint-2-D,
+//! per-dimension-2-D, and skip paths. Each scenario also asserts bit-identity
+//! at 1, 4, and default `TASFAR_THREADS`.
+//!
+//! The pinned constants were captured immediately before `adapt.rs` was
+//! decomposed into `core::pipeline`; they hold as long as the refactor keeps
+//! the float-operation order, the RNG stream order, and the parallel chunk
+//! geometry exactly.
+
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::parallel::{reset_threads, set_threads};
+use tasfar_nn::prelude::*;
+
+/// Runs `f` at a pinned thread count, then restores the default.
+fn at_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    set_threads(n);
+    let out = f();
+    reset_threads();
+    out
+}
+
+/// FNV-1a over the bit patterns of a value stream.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn slice(&mut self, s: &[f64]) {
+        self.u64(s.len() as u64);
+        for &v in s {
+            self.f64(v);
+        }
+    }
+    fn tensor(&mut self, t: &Tensor) {
+        self.u64(t.rows() as u64);
+        self.u64(t.cols() as u64);
+        self.slice(t.as_slice());
+    }
+}
+
+fn hash_calibration(calib: &SourceCalibration) -> u64 {
+    let mut h = Fnv::new();
+    h.f64(calib.classifier.tau);
+    h.f64(calib.classifier.eta);
+    h.f64(calib.median_uncertainty);
+    h.u64(calib.qs.len() as u64);
+    for qs in &calib.qs {
+        // Probe the fitted map at fixed points instead of reading fields, so
+        // the hash survives representation changes that preserve behaviour.
+        for u in [0.0, 0.05, 0.2, 1.0] {
+            h.f64(qs.sigma(u));
+        }
+    }
+    h.0
+}
+
+fn hash_outcome(outcome: &AdaptationOutcome, adapted_pred: &Tensor) -> u64 {
+    let mut h = Fnv::new();
+    h.tensor(&outcome.mc.point);
+    h.tensor(&outcome.mc.std);
+    h.slice(&outcome.mc.uncertainty);
+    h.u64(outcome.split.confident.len() as u64);
+    h.u64(outcome.split.uncertain.len() as u64);
+    for &i in outcome
+        .split
+        .confident
+        .iter()
+        .chain(&outcome.split.uncertain)
+    {
+        h.u64(i as u64);
+    }
+    h.u64(outcome.pseudo.len() as u64);
+    for p in &outcome.pseudo {
+        h.slice(&p.value);
+        h.f64(p.credibility);
+        h.f64(p.local_density_ratio);
+        h.u64(p.informative as u64);
+    }
+    h.slice(&outcome.fit.epoch_losses);
+    h.u64(outcome.fit.stopped_early_at.map_or(u64::MAX, |e| e as u64));
+    h.tensor(adapted_pred);
+    h.0
+}
+
+/// A deterministic toy: an *untrained* dropout MLP whose uncertainty grows
+/// with input magnitude, a source batch in the small-magnitude regime and a
+/// target batch with a large-magnitude (uncertain) subpopulation.
+fn build_toy(dims: usize, seed: u64) -> (Sequential, Dataset, Tensor) {
+    let mut rng = Rng::new(seed);
+    let model = Sequential::new()
+        .add(Dense::new(3, 16, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(16, dims, Init::XavierUniform, &mut rng));
+
+    let n_src = 120;
+    let xs = Tensor::rand_uniform(n_src, 3, -1.0, 1.0, &mut rng);
+    let ys = Tensor::from_fn(n_src, dims, |r, d| {
+        0.5 * xs.get(r, 0) + 0.1 * d as f64 + rng.gaussian(0.0, 0.05)
+    });
+    let source = Dataset::new(xs, ys);
+
+    let n_tgt = 90;
+    let target_x = Tensor::from_fn(n_tgt, 3, |r, _| {
+        if r % 3 == 0 {
+            rng.uniform(3.0, 5.0) // large-magnitude ⇒ high dropout variance
+        } else {
+            rng.uniform(-1.0, 1.0)
+        }
+    });
+    (model, source, target_x)
+}
+
+fn toy_config() -> TasfarConfig {
+    TasfarConfig {
+        mc_samples: 10,
+        grid_cell: 0.1,
+        epochs: 8,
+        batch_size: 16,
+        early_stop: None,
+        ..TasfarConfig::default()
+    }
+}
+
+/// One full calibrate→adapt pass; returns the two golden hashes.
+fn run_scenario(dims: usize, seed: u64, joint_2d: bool) -> (u64, u64) {
+    let (mut model, source, target_x) = build_toy(dims, seed);
+    let cfg = TasfarConfig {
+        joint_2d,
+        ..toy_config()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+    assert!(
+        outcome.skipped.is_none(),
+        "golden scenario must exercise the full pipeline (skipped: {:?})",
+        outcome.skipped
+    );
+    assert!(!outcome.pseudo.is_empty());
+    let pred = model.predict(&target_x);
+    (hash_calibration(&calib), hash_outcome(&outcome, &pred))
+}
+
+fn assert_golden(dims: usize, seed: u64, joint_2d: bool, expect: (u64, u64)) {
+    let one = at_threads(1, || run_scenario(dims, seed, joint_2d));
+    let four = at_threads(4, || run_scenario(dims, seed, joint_2d));
+    let default = run_scenario(dims, seed, joint_2d);
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, default, "1 vs default threads");
+    assert_eq!(
+        one, expect,
+        "golden hash drifted — the refactor changed observable f64 bits \
+         (got ({:#018x}, {:#018x}))",
+        one.0, one.1
+    );
+}
+
+#[test]
+fn golden_one_dimensional_path() {
+    assert_golden(1, 11, true, GOLDEN_1D);
+}
+
+#[test]
+fn golden_joint_2d_path() {
+    assert_golden(2, 12, true, GOLDEN_JOINT_2D);
+}
+
+#[test]
+fn golden_per_dimension_2d_path() {
+    assert_golden(2, 12, false, GOLDEN_PER_DIM_2D);
+}
+
+/// The two degenerate splits skip adaptation with a fixed reason and leave
+/// the model bit-identical.
+#[test]
+fn golden_skip_paths() {
+    let run = || {
+        let (mut model, source, target_x) = build_toy(1, 13);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let snapshot = model.clone();
+
+        let tiny = SourceCalibration {
+            classifier: ConfidenceClassifier::from_tau(1e-12, 0.9),
+            qs: calib.qs.clone(),
+            median_uncertainty: calib.median_uncertainty,
+        };
+        let all_uncertain = adapt(&mut model, &tiny, &target_x, &Mse, &cfg);
+        assert_eq!(
+            all_uncertain.skipped,
+            Some("no confident data to estimate the label distribution")
+        );
+
+        let huge = SourceCalibration {
+            classifier: ConfidenceClassifier::from_tau(1e12, 0.9),
+            qs: calib.qs.clone(),
+            median_uncertainty: calib.median_uncertainty,
+        };
+        let all_confident = adapt(&mut model, &huge, &target_x, &Mse, &cfg);
+        assert_eq!(
+            all_confident.skipped,
+            Some("no uncertain data to pseudo-label")
+        );
+
+        // Skipped runs never touch the model.
+        assert_eq!(
+            model.predict(&target_x).as_slice(),
+            snapshot.clone().predict(&target_x).as_slice()
+        );
+
+        let mut h = Fnv::new();
+        h.u64(hash_calibration(&calib));
+        h.tensor(&all_uncertain.mc.point);
+        h.slice(&all_uncertain.mc.uncertainty);
+        h.tensor(&all_confident.mc.point);
+        h.slice(&all_confident.mc.uncertainty);
+        h.tensor(&model.predict(&target_x));
+        h.0
+    };
+    let one = at_threads(1, run);
+    let four = at_threads(4, run);
+    let default = run();
+    assert_eq!(one, four, "1 vs 4 threads");
+    assert_eq!(one, default, "1 vs default threads");
+    assert_eq!(one, GOLDEN_SKIP, "golden hash drifted (got {one:#018x})");
+}
+
+// Captured from the pre-refactor monolithic `adapt.rs` (post `median`
+// even-length fix), release profile, this repository's deterministic RNG.
+const GOLDEN_1D: (u64, u64) = (0xb7345d5c220c3d75, 0xfced5561f52c176e);
+const GOLDEN_JOINT_2D: (u64, u64) = (0x191871068b8c9bc6, 0xc63b92eb247e7821);
+const GOLDEN_PER_DIM_2D: (u64, u64) = (0x191871068b8c9bc6, 0x5f0c410d78b3fc34);
+const GOLDEN_SKIP: u64 = 0xaf90891a4472ab14;

@@ -15,6 +15,11 @@
 //! * [`layers`] — `Dense`, activations, inverted `Dropout` (the MC-dropout
 //!   uncertainty source), `BatchNorm1d`, dilated causal `Conv1d`,
 //!   residual `TcnBlock`, `GlobalAvgPool1d`, and the `Sequential` container.
+//! * [`model`] — the black-box regressor contract (`Regressor`,
+//!   `StochasticRegressor`, `TrainableRegressor`, `SplitRegressor`) that
+//!   `tasfar-core` and `tasfar-baselines` are generic over, plus the
+//!   closure-backed `FnRegressor` mock proving the pipeline never needs a
+//!   concrete architecture.
 //! * [`loss`] — MSE / MAE / Huber / MSLE, all supporting the per-sample
 //!   weights TASFAR's credibility-weighted objective requires.
 //! * [`optim`] — SGD (+momentum, weight decay) and Adam.
@@ -55,6 +60,7 @@ pub mod init;
 pub mod json;
 pub mod layers;
 pub mod loss;
+pub mod model;
 pub mod optim;
 // The parallel runtime is the one module allowed to use `unsafe`: its worker
 // pool hands borrowed closures and disjoint output sub-slices across threads,
@@ -77,6 +83,9 @@ pub mod prelude {
         Sequential, Sigmoid, Tanh, TcnBlock,
     };
     pub use crate::loss::{Huber, Loss, Mae, Mse, Msle};
+    pub use crate::model::{
+        FnRegressor, Regressor, SplitRegressor, StochasticRegressor, TrainableRegressor,
+    };
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::rng::Rng;
     pub use crate::schedule::LrSchedule;

@@ -1,0 +1,437 @@
+//! The black-box model abstraction TASFAR's claim rests on.
+//!
+//! The paper treats the regressor as a black box: adaptation needs nothing
+//! but predictions, a stochastic-forward facility for MC-dropout
+//! uncertainty, and a way to fine-tune with per-sample weights. This module
+//! states that contract as four traits so `tasfar-core` and
+//! `tasfar-baselines` never mention a concrete architecture:
+//!
+//! * [`Regressor`] — deterministic batch prediction.
+//! * [`StochasticRegressor`] — seeded dropout-active forward passes, the
+//!   uncertainty source of Algorithm 1.
+//! * [`TrainableRegressor`] — weighted fine-tuning, the credibility-weighted
+//!   objective of Eq. 22.
+//! * [`SplitRegressor`] — a feature-extractor/head decomposition, required
+//!   only by the comparison baselines (MMD, ADV, Datafree, AUGfree).
+//!
+//! [`Sequential`] implements all four. [`FnRegressor`] is a closure-backed
+//! mock proving the adaptation pipeline runs on a non-`Sequential` model.
+
+use crate::layers::{Layer, Mode, Param, Sequential};
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+use crate::train::{fit, FitReport, TrainConfig};
+
+/// Deterministic batch regression: the minimum surface every stage of the
+/// pipeline can rely on.
+pub trait Regressor {
+    /// Predicts a `(n, d)` output batch for a `(n, k)` input batch, with all
+    /// stochastic machinery (dropout, batch statistics) disabled.
+    fn predict(&mut self, x: &Tensor) -> Tensor;
+}
+
+/// A regressor that can run *stochastic* forward passes for sampling-based
+/// uncertainty (MC dropout in Gal & Ghahramani's interpretation).
+pub trait StochasticRegressor: Regressor {
+    /// Runs `samples` independent stochastic forward passes on `x`.
+    ///
+    /// Implementations must be deterministic given their internal RNG state
+    /// and must advance that state the same way regardless of execution
+    /// order (see the [`Sequential`] implementation, which pre-splits one
+    /// PRNG stream per pass so results are bit-identical for any thread
+    /// count).
+    fn stochastic_passes(&mut self, x: &Tensor, samples: usize) -> Vec<Tensor>;
+}
+
+/// A regressor that can be fine-tuned with per-sample weights — the
+/// credibility-weighted objective of Eq. 22.
+pub trait TrainableRegressor: Regressor {
+    /// Fine-tunes on `(x, y)` with optional per-sample weights.
+    ///
+    /// Weights follow the convention of [`crate::loss`]: the objective is
+    /// the weight-normalised mean loss, so uniform weights match unweighted
+    /// training.
+    fn fit_weighted(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        loss: &dyn Loss,
+        x: &Tensor,
+        y: &Tensor,
+        weights: Option<&[f64]>,
+        cfg: &TrainConfig,
+    ) -> FitReport;
+}
+
+/// A regressor decomposable into a feature extractor and a head — the shape
+/// the feature-alignment baselines require. Adaptation itself (TASFAR) never
+/// needs this trait.
+pub trait SplitRegressor: Regressor {
+    /// The type of the two parts (and of the whole, via [`take_whole`]).
+    /// Bounded by [`Layer`] so baselines can forward, backprop and step
+    /// either part, and by [`Clone`] for teacher snapshots.
+    ///
+    /// [`take_whole`]: SplitRegressor::take_whole
+    type Part: Layer + Clone;
+
+    /// The number of split positions + 1 (for [`Sequential`]: the layer
+    /// count).
+    fn depth(&self) -> usize;
+
+    /// Splits the model at `split_at` into `(features, head)`, leaving the
+    /// model empty until [`rejoin`](SplitRegressor::rejoin).
+    ///
+    /// # Panics
+    /// May panic if `split_at` is out of range; callers validate against
+    /// [`depth`](SplitRegressor::depth) first.
+    fn split(&mut self, split_at: usize) -> (Self::Part, Self::Part);
+
+    /// Reassembles the model from parts previously returned by
+    /// [`split`](SplitRegressor::split), preserving the original flat layer
+    /// chain so a later `split` at the same index yields the same parts.
+    fn rejoin(&mut self, features: Self::Part, head: Self::Part);
+
+    /// Takes the whole model out as a single trainable [`Layer`] (used by
+    /// baselines that train end-to-end, e.g. AUGfree's student), leaving
+    /// the model empty until [`restore_whole`](SplitRegressor::restore_whole).
+    fn take_whole(&mut self) -> Self::Part;
+
+    /// Puts back the model taken by [`take_whole`](SplitRegressor::take_whole).
+    fn restore_whole(&mut self, whole: Self::Part);
+}
+
+impl Regressor for Sequential {
+    fn predict(&mut self, x: &Tensor) -> Tensor {
+        self.forward(x, Mode::Eval)
+    }
+}
+
+impl StochasticRegressor for Sequential {
+    /// The `samples` passes are independent, so they run in parallel on
+    /// [`crate::parallel`]: each pass `t` receives its own dropout PRNG
+    /// stream, pre-split *sequentially* from the model's dropout state (one
+    /// `split` per dropout layer per pass), and executes on a clone of the
+    /// model. Stream derivation fixes every mask before any pass runs, so
+    /// the results are bit-identical for any thread count — and the model's
+    /// own dropout RNGs advance deterministically (by `samples` splits)
+    /// exactly as if the passes had run in order.
+    fn stochastic_passes(&mut self, x: &Tensor, samples: usize) -> Vec<Tensor> {
+        // One independent stream per (pass, dropout layer), derived in pass
+        // order on this thread.
+        let streams: Vec<Vec<Rng>> = (0..samples)
+            .map(|_| {
+                self.dropout_rngs_mut()
+                    .into_iter()
+                    .map(|rng| rng.split())
+                    .collect()
+            })
+            .collect();
+        let proto = self.clone();
+        crate::parallel::map_chunks(samples, |t| {
+            let mut pass_model = proto.clone();
+            for (rng, stream) in pass_model.dropout_rngs_mut().into_iter().zip(&streams[t]) {
+                *rng = stream.clone();
+            }
+            pass_model.forward(x, Mode::StochasticEval)
+        })
+    }
+}
+
+impl TrainableRegressor for Sequential {
+    fn fit_weighted(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        loss: &dyn Loss,
+        x: &Tensor,
+        y: &Tensor,
+        weights: Option<&[f64]>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        fit(self, optimizer, loss, x, y, weights, cfg)
+    }
+}
+
+impl SplitRegressor for Sequential {
+    // The parts are plain `Sequential`s (not nested boxes) so `rejoin`
+    // restores the original *flat* layer chain: baselines split the same
+    // model repeatedly at the same index.
+    type Part = Sequential;
+
+    fn depth(&self) -> usize {
+        self.len()
+    }
+
+    fn split(&mut self, split_at: usize) -> (Sequential, Sequential) {
+        let mut features = std::mem::take(self);
+        let head = features.split_off(split_at);
+        (features, head)
+    }
+
+    fn rejoin(&mut self, features: Sequential, head: Sequential) {
+        debug_assert!(self.is_empty(), "rejoin: model still holds layers");
+        self.extend(features);
+        self.extend(head);
+    }
+
+    fn take_whole(&mut self) -> Sequential {
+        std::mem::take(self)
+    }
+
+    fn restore_whole(&mut self, whole: Sequential) {
+        debug_assert!(self.is_empty(), "restore_whole: model still holds layers");
+        *self = whole;
+    }
+}
+
+/// The base-predictor closure of an [`FnRegressor`]: `(n, k)` batch in,
+/// `(n, d)` predictions out.
+pub type PredictFn = Box<dyn FnMut(&Tensor) -> Tensor + Send>;
+
+/// The noise closure of an [`FnRegressor`]: one stochastic spread per
+/// sample of the batch.
+pub type NoiseFn = Box<dyn FnMut(&Tensor) -> Vec<f64> + Send>;
+
+/// A closure-backed regressor: the black-box property made concrete.
+///
+/// `FnRegressor` shares *no* machinery with [`Sequential`] — prediction is
+/// an arbitrary closure plus a learnable per-dimension bias, uncertainty is
+/// a caller-supplied per-sample noise scale, and fine-tuning is plain
+/// gradient descent on the bias through the loss gradient. It exists to
+/// prove (and test) that the adaptation pipeline touches models only
+/// through the traits above.
+pub struct FnRegressor {
+    f: PredictFn,
+    noise: NoiseFn,
+    bias: Param,
+    rng: Rng,
+}
+
+impl FnRegressor {
+    /// A mock regressor.
+    ///
+    /// * `f` — the base predictor, mapping a `(n, k)` batch to `(n, d)`.
+    /// * `noise` — per-sample stochastic spread (the MC-dropout stand-in);
+    ///   larger values make a sample look less certain.
+    /// * `dims` — output dimension `d` (sizes the learnable bias).
+    /// * `seed` — seed of the pass-noise PRNG.
+    pub fn new(
+        f: impl FnMut(&Tensor) -> Tensor + Send + 'static,
+        noise: impl FnMut(&Tensor) -> Vec<f64> + Send + 'static,
+        dims: usize,
+        seed: u64,
+    ) -> Self {
+        FnRegressor {
+            f: Box::new(f),
+            noise: Box::new(noise),
+            bias: Param::new(Tensor::zeros(1, dims)),
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The current learnable bias, one value per output dimension.
+    pub fn bias(&self) -> &[f64] {
+        self.bias.value.as_slice()
+    }
+}
+
+impl Regressor for FnRegressor {
+    fn predict(&mut self, x: &Tensor) -> Tensor {
+        let mut out = (self.f)(x);
+        let dims = out.cols();
+        for r in 0..out.rows() {
+            for d in 0..dims {
+                let v = out.get(r, d) + self.bias.value.get(0, d);
+                out.set(r, d, v);
+            }
+        }
+        out
+    }
+}
+
+impl StochasticRegressor for FnRegressor {
+    fn stochastic_passes(&mut self, x: &Tensor, samples: usize) -> Vec<Tensor> {
+        let base = self.predict(x);
+        let scales = (self.noise)(x);
+        assert_eq!(
+            scales.len(),
+            x.rows(),
+            "FnRegressor: noise closure must return one scale per sample"
+        );
+        (0..samples)
+            .map(|_| {
+                Tensor::from_fn(base.rows(), base.cols(), |r, c| {
+                    base.get(r, c) + self.rng.gaussian(0.0, scales[r])
+                })
+            })
+            .collect()
+    }
+}
+
+impl TrainableRegressor for FnRegressor {
+    /// Full-batch gradient descent on the bias: the per-dimension bias
+    /// gradient is the column sum of the loss gradient, stepped by the
+    /// supplied optimizer. Early stopping is ignored (the mock trains the
+    /// full epoch budget).
+    fn fit_weighted(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        loss: &dyn Loss,
+        x: &Tensor,
+        y: &Tensor,
+        weights: Option<&[f64]>,
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        let mut report = FitReport {
+            epoch_losses: Vec::with_capacity(cfg.epochs),
+            stopped_early_at: None,
+        };
+        if weights.is_some_and(|w| w.iter().sum::<f64>() <= 0.0) {
+            return report;
+        }
+        for _ in 0..cfg.epochs {
+            let pred = self.predict(x);
+            report.epoch_losses.push(loss.value(&pred, y, weights));
+            let grad = loss.grad(&pred, y, weights);
+            self.bias.zero_grad();
+            for row in grad.iter_rows() {
+                for (d, &g) in row.iter().enumerate() {
+                    let acc = self.bias.grad.get(0, d) + g;
+                    self.bias.grad.set(0, d, acc);
+                }
+            }
+            optimizer.step(&mut [&mut self.bias]);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Dense, Dropout, Relu};
+    use crate::loss::Mse;
+    use crate::optim::Adam;
+
+    fn mlp(rng: &mut Rng) -> Sequential {
+        Sequential::new()
+            .add(Dense::new(2, 8, Init::HeNormal, rng))
+            .add(Relu::new())
+            .add(Dropout::new(0.2, rng))
+            .add(Dense::new(8, 1, Init::XavierUniform, rng))
+    }
+
+    #[test]
+    fn sequential_predict_matches_eval_forward() {
+        let mut rng = Rng::new(1);
+        let mut m = mlp(&mut rng);
+        let x = Tensor::rand_normal(5, 2, 0.0, 1.0, &mut rng);
+        let via_trait = Regressor::predict(&mut m, &x);
+        assert_eq!(via_trait, m.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn sequential_stochastic_passes_vary_and_are_seed_deterministic() {
+        let run = || {
+            let mut rng = Rng::new(2);
+            let mut m = mlp(&mut rng);
+            let x = Tensor::rand_normal(4, 2, 0.0, 1.0, &mut rng);
+            m.stochastic_passes(&x, 6)
+                .iter()
+                .flat_map(|t| t.as_slice().iter().map(|v| v.to_bits()))
+                .collect::<Vec<u64>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "passes must be deterministic given the seed");
+        let first = &a[..a.len() / 6];
+        assert!(
+            a.chunks(a.len() / 6).any(|c| c != first),
+            "dropout must make passes differ"
+        );
+    }
+
+    #[test]
+    fn sequential_split_rejoin_preserves_flat_chain() {
+        let mut rng = Rng::new(3);
+        let mut m = mlp(&mut rng);
+        let names = m.layer_names();
+        let before = Regressor::predict(&mut m, &Tensor::full(1, 2, 0.5));
+        let (features, head) = SplitRegressor::split(&mut m, 2);
+        assert_eq!(features.len() + head.len(), 4);
+        SplitRegressor::rejoin(&mut m, features, head);
+        assert_eq!(m.layer_names(), names, "rejoin must restore the flat chain");
+        assert_eq!(Regressor::predict(&mut m, &Tensor::full(1, 2, 0.5)), before);
+
+        let whole = m.take_whole();
+        assert!(m.is_empty());
+        m.restore_whole(whole);
+        assert_eq!(m.layer_names(), names);
+    }
+
+    #[test]
+    fn fn_regressor_predicts_learns_and_samples() {
+        let mut reg = FnRegressor::new(
+            |x| Tensor::from_fn(x.rows(), 1, |r, _| 2.0 * x.get(r, 0)),
+            |x| {
+                (0..x.rows())
+                    .map(|r| 0.1 * (1.0 + x.get(r, 0).abs()))
+                    .collect()
+            },
+            1,
+            42,
+        );
+        let x = Tensor::from_fn(8, 1, |r, _| r as f64 * 0.1);
+        let base = reg.predict(&x);
+        assert_eq!(base.get(3, 0), 2.0 * x.get(3, 0));
+
+        // Stochastic passes differ but stay centred on the prediction.
+        let passes = reg.stochastic_passes(&x, 16);
+        assert_eq!(passes.len(), 16);
+        assert!(passes[0] != passes[1]);
+
+        // Training against shifted targets moves the bias toward the shift.
+        let y = base.map(|v| v + 1.0);
+        let mut opt = Adam::new(0.2);
+        let report = reg.fit_weighted(
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 200,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        assert!(
+            (reg.bias()[0] - 1.0).abs() < 0.1,
+            "bias {} should approach 1.0",
+            reg.bias()[0]
+        );
+    }
+
+    #[test]
+    fn fn_regressor_zero_weights_are_a_noop() {
+        let mut reg = FnRegressor::new(
+            |x| Tensor::zeros(x.rows(), 1),
+            |x| vec![0.1; x.rows()],
+            1,
+            7,
+        );
+        let x = Tensor::zeros(4, 1);
+        let y = Tensor::full(4, 1, 3.0);
+        let mut opt = Adam::new(0.5);
+        let report = reg.fit_weighted(
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            Some(&[0.0; 4]),
+            &TrainConfig::default(),
+        );
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(reg.bias()[0], 0.0);
+    }
+}

@@ -258,6 +258,17 @@ impl Tensor {
             .collect()
     }
 
+    /// Iterator over column `c`, top to bottom, without allocating.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of bounds.
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f64> + Clone + '_ {
+        assert!(c < self.cols, "col_iter {c} out of {} cols", self.cols);
+        // `skip` instead of slicing so an empty tensor yields an empty
+        // iterator; the assert guarantees `cols >= 1` for `step_by`.
+        self.data.iter().skip(c).step_by(self.cols).copied()
+    }
+
     /// Iterator over row slices.
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
         self.data.chunks_exact(self.cols.max(1))
@@ -875,6 +886,9 @@ mod tests {
         let x = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(x.row(1), &[4.0, 5.0, 6.0]);
         assert_eq!(x.col(2), vec![3.0, 6.0]);
+        assert_eq!(x.col_iter(2).collect::<Vec<_>>(), x.col(2));
+        assert_eq!(x.col_iter(0).collect::<Vec<_>>(), vec![1.0, 4.0]);
+        assert_eq!(Tensor::zeros(0, 3).col_iter(2).count(), 0);
         assert_eq!(
             x.select_rows(&[1, 0]).as_slice(),
             &[4.0, 5.0, 6.0, 1.0, 2.0, 3.0]

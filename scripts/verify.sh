@@ -15,6 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --workspace --release"
 cargo build --workspace --release
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> cargo test --doc --workspace"
+cargo test -q --doc --workspace
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 

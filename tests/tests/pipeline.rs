@@ -117,7 +117,7 @@ fn all_baselines_run_and_preserve_sanity_on_the_toy_task() {
         let mut m = model.clone();
         metrics::mse(&m.predict(&toy.target_x), &toy.target_y)
     };
-    let adapters: Vec<Box<dyn DomainAdapter>> = vec![
+    let adapters: Vec<Box<dyn DomainAdapter<Sequential>>> = vec![
         Box::new(MmdAdapter::new(cfg.clone(), 1.0)),
         Box::new(AdvAdapter::new(cfg.clone(), 0.3, 16)),
         Box::new(AugfreeAdapter::new(cfg.clone(), 0.3)),
