@@ -68,6 +68,10 @@ impl<M: SplitRegressor> DomainAdapter<M> for AdvAdapter {
     fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
         let source = source.expect("ADV is source-based: source dataset required");
         assert!(target_x.rows() > 1, "ADV: need at least 2 target samples");
+        let mut span = tasfar_obs::span("baseline.adapt");
+        span.field("scheme", "ADV");
+        span.field("target_rows", target_x.rows());
+        tasfar_obs::metrics::counter("baseline.adapts").incr();
         let cfg = &self.config;
         let (mut features, mut head) = split_model(model, cfg.split_at);
         let mut rng = Rng::new(cfg.seed);

@@ -74,6 +74,10 @@ impl<M: SplitRegressor> DomainAdapter<M> for AugfreeAdapter {
 
     fn adapt(&self, model: &mut M, _source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
         assert!(target_x.rows() > 0, "AUGfree: empty target batch");
+        let mut span = tasfar_obs::span("baseline.adapt");
+        span.field("scheme", "AUGfree");
+        span.field("target_rows", target_x.rows());
+        tasfar_obs::metrics::counter("baseline.adapts").incr();
         let cfg = &self.config;
         let mut rng = Rng::new(cfg.seed);
         // AUGfree trains end-to-end (no feature/head split), so take the

@@ -190,6 +190,10 @@ impl<M: SplitRegressor> DomainAdapter<M> for DatafreeAdapter {
             target_x.rows() > 1,
             "Datafree: need at least 2 target samples"
         );
+        let mut span = tasfar_obs::span("baseline.adapt");
+        span.field("scheme", "Datafree");
+        span.field("target_rows", target_x.rows());
+        tasfar_obs::metrics::counter("baseline.adapts").incr();
         let cfg = &self.config;
         let (mut features, head) = split_model(model, cfg.split_at);
         let mut opt = Adam::new(cfg.learning_rate);

@@ -91,9 +91,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(9);
     let quick = std::env::var("TASFAR_BENCH_QUICK").is_ok();
-    let cpus = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // `available_parallelism` respects cgroup/affinity limits and reports 1
+    // in constrained containers; `host_cpus` cross-checks /proc/cpuinfo so
+    // the recorded figure matches the hardware the speedups ran on.
+    let cpus = tasfar_obs::host_cpus();
     println!(
         "host cpus: {cpus}; samples per point: {samples}{}",
         if quick { " (quick)" } else { "" }
@@ -231,6 +232,34 @@ fn main() {
 
     parallel::reset_threads();
 
+    // --- span guard off-state overhead ------------------------------------
+    // The telemetry contract says an untraced `span()` costs one atomic
+    // load; hold it to a 50 ns/op budget in release builds. Skipped when
+    // `TASFAR_TRACE` is live — an enabled span legitimately pays for I/O.
+    if !tasfar_obs::enabled() {
+        let iters = if quick { 10_000 } else { 1_000_000 };
+        for _ in 0..iters {
+            std::hint::black_box(tasfar_obs::span("bench.noop"));
+        }
+        let ns = time_median(samples, iters, || {
+            std::hint::black_box(tasfar_obs::span("bench.noop"));
+        });
+        println!(
+            "{:>12} {:<14} threads=1  {ns:>12.1} ns/iter",
+            "span_off", "disabled"
+        );
+        rows.push(Row {
+            kernel: "span_off",
+            size: "disabled".to_string(),
+            threads: 1,
+            ns_per_iter: ns,
+        });
+        assert!(
+            cfg!(debug_assertions) || ns < 50.0,
+            "span guard off-state overhead {ns:.1} ns/op exceeds the 50 ns budget"
+        );
+    }
+
     // --- report -----------------------------------------------------------
     let results: Vec<Json> = rows
         .iter()
@@ -253,6 +282,7 @@ fn main() {
         ("host_cpus", Json::from(cpus)),
         ("samples_per_point", Json::from(samples)),
         ("results", Json::Arr(results)),
+        ("parallel_pool", tasfar_obs::pool_stats_json()),
     ]);
     std::fs::write("BENCH_kernels.json", format!("{doc}\n")).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json ({} rows)", rows.len());

@@ -13,9 +13,14 @@ use std::time::Instant;
 use tasfar_bench::experiments::{
     ablations, crowd_exp, multiseed, pdr_adapt, pdr_params, tabular_exp,
 };
-use tasfar_bench::report::Table;
+use tasfar_bench::report::{results_dir, Table};
 use tasfar_bench::schemes::Scheme;
 use tasfar_bench::tasks::{housing_context, taxi_context, CrowdContext, PdrContext, Scale};
+use tasfar_data::crowd::CrowdConfig;
+use tasfar_data::housing::HousingConfig;
+use tasfar_data::pdr::PdrConfig;
+use tasfar_data::taxi::TaxiConfig;
+use tasfar_nn::json::Json;
 
 const EXPERIMENTS: &[&str] = &[
     "fig2",
@@ -256,10 +261,45 @@ fn main() {
     } else {
         args
     };
+    // Run manifest up front — seeds, thread count, and build profile — so a
+    // saved log unambiguously identifies what produced the CSVs. The same
+    // record goes to the trace when `TASFAR_TRACE` is set.
+    let manifest = tasfar_obs::emit_manifest(
+        "repro",
+        vec![
+            (
+                "experiments",
+                Json::Arr(selected.iter().map(|s| Json::from(s.as_str())).collect()),
+            ),
+            (
+                "scale",
+                Json::from(if matches!(scale, Scale::Quick) {
+                    "quick"
+                } else {
+                    "full"
+                }),
+            ),
+            ("pdr_seed", Json::from(PdrConfig::default().seed)),
+            ("crowd_seed", Json::from(CrowdConfig::default().seed)),
+            ("housing_seed", Json::from(HousingConfig::default().seed)),
+            ("taxi_seed", Json::from(TaxiConfig::default().seed)),
+        ],
+    );
+    eprintln!("[manifest] {manifest}");
     let mut ctxs = Contexts::new(scale);
     let t = Instant::now();
     for name in &selected {
         run(name, &mut ctxs);
+    }
+    // Final counter/gauge/histogram snapshot next to the CSVs: how much work
+    // (epochs, MC-dropout passes, KDE samples, pool chunks) the run did.
+    tasfar_obs::sync_pool_metrics();
+    let metrics = tasfar_obs::metrics::snapshot();
+    let path = results_dir().join("repro_metrics.json");
+    if let Err(e) = std::fs::write(&path, format!("{metrics}\n")) {
+        eprintln!("[warn] could not write {}: {e}", path.display());
+    } else {
+        eprintln!("[saved] {}", path.display());
     }
     eprintln!("[total] {:.1}s", t.elapsed().as_secs_f64());
 }

@@ -98,6 +98,16 @@ impl PdrContext {
             ..PdrConfig::default()
         };
         let world = pdr::generate(&config);
+        tasfar_obs::event(
+            "context_ready",
+            vec![
+                ("task", "pdr".into()),
+                ("seed", config.seed.into()),
+                ("source_rows", world.source.len().into()),
+                ("seen_users", world.seen_users.len().into()),
+                ("unseen_users", world.unseen_users.len().into()),
+            ],
+        );
         let scaler = Scaler::fit(&world.source.x);
         let x = scaler.transform(&world.source.x);
 
@@ -239,6 +249,15 @@ impl CrowdContext {
             seed,
         };
         let world = crowd::generate(&config);
+        tasfar_obs::event(
+            "context_ready",
+            vec![
+                ("task", "crowd".into()),
+                ("seed", config.seed.into()),
+                ("source_rows", world.source.len().into()),
+                ("scenes", world.scenes.len().into()),
+            ],
+        );
         let scaler = Scaler::fit(&world.source.x);
         let x = scaler.transform(&world.source.x);
 
@@ -339,6 +358,15 @@ fn build_tabular(
     let scaler = Scaler::fit(&source_raw.x);
     let source = Dataset::new(scaler.transform(&source_raw.x), source_raw.y.clone());
     let target = Dataset::new(scaler.transform(&target_raw.x), target_raw.y.clone());
+    tasfar_obs::event(
+        "context_ready",
+        vec![
+            ("task", name.into()),
+            ("seed", train_seed.into()),
+            ("source_rows", source.len().into()),
+            ("target_rows", target.len().into()),
+        ],
+    );
 
     let mut rng = Rng::new(train_seed);
     let mut model = tabular_model(source.input_dim(), &mut rng);

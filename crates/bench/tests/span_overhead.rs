@@ -1,0 +1,28 @@
+//! Off-state span overhead budget — the debug-profile smoke version of the
+//! release-mode 50 ns/op assert in the `kernels` bench binary.
+//!
+//! An untraced `tasfar_obs::span()` must cost one relaxed atomic load: no
+//! clock read, no allocation, no lock. Debug builds skip optimisation, so
+//! the budget here is loose (1 µs/op) — it still catches an accidental
+//! `Instant::now()` or boxing sneaking onto the off path.
+
+use std::time::Instant;
+
+#[test]
+fn span_off_state_is_nanoseconds_scale() {
+    // Force the off state regardless of the ambient TASFAR_TRACE setting.
+    tasfar_obs::disable();
+    for _ in 0..1_000 {
+        std::hint::black_box(tasfar_obs::span("noop"));
+    }
+    let iters = 200_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(tasfar_obs::span("noop"));
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+    assert!(
+        ns < 1_000.0,
+        "off-state span cost {ns:.0} ns/op — expected nanoseconds scale"
+    );
+}

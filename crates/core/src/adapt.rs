@@ -210,6 +210,9 @@ pub fn calibrate_on_source<M: StochasticRegressor + ?Sized>(
         !source.is_empty(),
         "calibrate_on_source: empty source dataset"
     );
+    let mut span = tasfar_obs::span("calibrate");
+    span.field("source_rows", source.len());
+    span.field("dims", source.output_dim());
     let mut trace = PipelineTrace::default();
     let mc = predict_stage(model, &source.x, cfg, &mut trace);
     let classifier = ConfidenceClassifier::calibrate(&mc.uncertainty, cfg.eta);
@@ -328,6 +331,12 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
     cfg: &TasfarConfig,
 ) -> AdaptationOutcome {
     assert!(target_x.rows() > 0, "adapt: empty target batch");
+    // The whole run nests under one span, so every stage span below links to
+    // it; the closing `parallel_pool` event summarises scheduling for the run.
+    let mut run_span = tasfar_obs::timed_span("adapt");
+    run_span.field("target_rows", target_x.rows());
+    tasfar_obs::metrics::counter("adapt.runs").incr();
+
     let mut trace = PipelineTrace::default();
     let mc = predict_stage(model, target_x, cfg, &mut trace);
     let (classifier, split) = split_stage(calib, cfg, &mc, &mut trace);
@@ -356,6 +365,7 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
     let Some(density) = density else {
         outcome.skipped = trace.skip_reason();
         outcome.trace = trace;
+        finish_run(run_span, &outcome);
         return outcome;
     };
 
@@ -376,7 +386,24 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
         None => outcome.skipped = trace.skip_reason(),
     }
     outcome.trace = trace;
+    finish_run(run_span, &outcome);
     outcome
+}
+
+/// Annotates and closes the run span, counts skips, and emits the
+/// `parallel_pool` scheduling summary for the run (all no-ops record-wise
+/// when tracing is off; the skip/run counters always update).
+fn finish_run(mut span: tasfar_obs::SpanGuard, outcome: &AdaptationOutcome) {
+    if let Some(reason) = outcome.skipped {
+        tasfar_obs::metrics::counter("adapt.skipped").incr();
+        span.field("skipped", reason);
+    }
+    span.field("stages", outcome.trace.stages.len());
+    span.field("pseudo_labels", outcome.pseudo.len());
+    span.field("finetune_epochs", outcome.fit.epoch_losses.len());
+    // Emitted while the run span is still open, so the pool summary nests
+    // under `adapt` in the trace.
+    tasfar_obs::emit_pool_event();
 }
 
 #[cfg(test)]

@@ -129,6 +129,11 @@ impl DensityMap1d {
             sigmas.len(),
             "DensityMap1d::estimate: length mismatch"
         );
+        let mut span = tasfar_obs::span("kde.estimate_1d");
+        span.field("samples", preds.len());
+        span.field("bins", spec.bins);
+        tasfar_obs::metrics::counter("kde.maps").incr();
+        tasfar_obs::metrics::counter("kde.samples").add(preds.len() as u64);
         let half = model.support_halfwidth_sigmas();
         let n_chunks = tasfar_nn::parallel::chunk_count(preds.len(), Self::SAMPLES_PER_CHUNK);
         let partials = tasfar_nn::parallel::map_chunks(n_chunks, |c| {
@@ -285,6 +290,11 @@ impl DensityMap2d {
             2,
             "DensityMap2d::estimate: predictions must be (n, 2)"
         );
+        let mut span = tasfar_obs::span("kde.estimate_2d");
+        span.field("samples", preds.rows());
+        span.field("bins", xspec.bins * yspec.bins);
+        tasfar_obs::metrics::counter("kde.maps").incr();
+        tasfar_obs::metrics::counter("kde.samples").add(preds.rows() as u64);
         // Fixed sample chunks on the parallel pool; per-chunk partial maps
         // are combined in chunk order (bit-identical for any thread count).
         let n = preds.rows();

@@ -289,6 +289,28 @@ mod tests {
     }
 
     #[test]
+    fn quartiles_of_tiny_slices_collapse_to_the_data() {
+        // One informative pseudo-label: every quartile is that value.
+        let mut one = vec![7.5];
+        assert_eq!(quartiles(&mut one), (7.5, 7.5, 7.5));
+        // Two values: the rounded index selection pins q25/q75 to the
+        // extremes while the shared median takes the midpoint.
+        let mut two = vec![2.0, 1.0];
+        assert_eq!(quartiles(&mut two), (1.0, 1.5, 2.0));
+        // Empty (no informative pseudo-labels at all) degrades to zeros
+        // rather than panicking in `stats::median`.
+        assert_eq!(quartiles(&mut []), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn concentration_of_zero_mass_map_is_zero() {
+        // An all-zero mass map (density estimation degenerated) must not
+        // divide by the zero total; the flat-map signature 0.0 comes back.
+        assert_eq!(concentration(vec![0.0; 64]), 0.0);
+        assert_eq!(concentration(vec![0.0]), 0.0);
+    }
+
+    #[test]
     fn concentration_extremes() {
         // Flat map: top-10% holds ~10%.
         let flat = vec![1.0; 100];

@@ -22,8 +22,16 @@
 //! float-operation order, RNG stream order, and parallel chunk geometry
 //! exactly. The golden-equivalence suite (`tests/golden_adapt.rs`) pins the
 //! raw `f64` bit patterns across 1/4/default `TASFAR_THREADS`.
+//!
+//! **Telemetry**: every stage runs inside a `tasfar_obs` span (named
+//! `stage.<name>`, carrying the sample counts and skip reason as fields),
+//! and its wall time also feeds the always-on `pipeline.stage_ns.<name>`
+//! histogram. [`StageTrace`] is now a *view* over the same measurement: the
+//! wall time it records is the span's elapsed time, so trace and telemetry
+//! can never disagree. Tracing is observational only — outputs are
+//! bit-identical with `TASFAR_TRACE` on or off.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::adapt::{scenario_classifier, BuiltMaps, SourceCalibration, TasfarConfig};
 use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
@@ -68,6 +76,28 @@ impl Stage {
             Stage::EstimateDensity => "estimate_density",
             Stage::PseudoLabel => "pseudo_label",
             Stage::FineTune => "fine_tune",
+        }
+    }
+
+    /// The stage's trace span name (`stage.<name>`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Predict => "stage.predict",
+            Stage::Split => "stage.split",
+            Stage::EstimateDensity => "stage.estimate_density",
+            Stage::PseudoLabel => "stage.pseudo_label",
+            Stage::FineTune => "stage.fine_tune",
+        }
+    }
+
+    /// The stage's wall-time histogram name in the metrics registry.
+    fn histogram_name(self) -> &'static str {
+        match self {
+            Stage::Predict => "pipeline.stage_ns.predict",
+            Stage::Split => "pipeline.stage_ns.split",
+            Stage::EstimateDensity => "pipeline.stage_ns.estimate_density",
+            Stage::PseudoLabel => "pipeline.stage_ns.pseudo_label",
+            Stage::FineTune => "pipeline.stage_ns.fine_tune",
         }
     }
 }
@@ -122,21 +152,32 @@ impl PipelineTrace {
         self.stages.iter().map(|t| t.wall).sum()
     }
 
+    /// Closes a stage's span and records the matching [`StageTrace`]. The
+    /// one `elapsed()` reading backs both the trace entry and the span's
+    /// emitted `dur_ns`-adjacent wall figure, plus the stage histogram.
     fn record(
         &mut self,
         stage: Stage,
-        start: Instant,
+        mut span: tasfar_obs::SpanGuard,
         samples_in: usize,
         samples_out: usize,
         skipped: Option<&'static str>,
     ) {
+        let wall = span.elapsed();
+        span.field("samples_in", samples_in);
+        span.field("samples_out", samples_out);
+        if let Some(reason) = skipped {
+            span.field("skipped", reason);
+        }
+        tasfar_obs::metrics::histogram(stage.histogram_name()).record(wall.as_nanos() as u64);
         self.stages.push(StageTrace {
             stage,
-            wall: start.elapsed(),
+            wall,
             samples_in,
             samples_out,
             skipped,
         });
+        // `span` drops here, emitting the stage record when tracing is on.
     }
 }
 
@@ -165,11 +206,11 @@ pub fn predict_stage<M: StochasticRegressor + ?Sized>(
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
 ) -> McPrediction {
-    let start = Instant::now();
+    let span = tasfar_obs::timed_span(Stage::Predict.span_name());
     let mc = McDropout::new(cfg.mc_samples)
         .relative(cfg.relative_uncertainty)
         .predict(model, x);
-    trace.record(Stage::Predict, start, x.rows(), mc.point.rows(), None);
+    trace.record(Stage::Predict, span, x.rows(), mc.point.rows(), None);
     mc
 }
 
@@ -182,12 +223,12 @@ pub fn split_stage(
     mc: &McPrediction,
     trace: &mut PipelineTrace,
 ) -> (ConfidenceClassifier, ConfidenceSplit) {
-    let start = Instant::now();
+    let span = tasfar_obs::timed_span(Stage::Split.span_name());
     let classifier = scenario_classifier(calib, cfg, &mc.uncertainty);
     let split = classifier.split(&mc.uncertainty);
     trace.record(
         Stage::Split,
-        start,
+        span,
         mc.uncertainty.len(),
         split.uncertain.len(),
         None,
@@ -235,11 +276,11 @@ pub fn estimate_density_stage(
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
 ) -> Option<DensityArtifacts> {
-    let start = Instant::now();
+    let span = tasfar_obs::timed_span(Stage::EstimateDensity.span_name());
     if split.confident.is_empty() {
         trace.record(
             Stage::EstimateDensity,
-            start,
+            span,
             0,
             0,
             Some("no confident data to estimate the label distribution"),
@@ -249,7 +290,7 @@ pub fn estimate_density_stage(
     if split.uncertain.is_empty() {
         trace.record(
             Stage::EstimateDensity,
-            start,
+            span,
             split.confident.len(),
             0,
             Some("no uncertain data to pseudo-label"),
@@ -291,7 +332,7 @@ pub fn estimate_density_stage(
     };
     trace.record(
         Stage::EstimateDensity,
-        start,
+        span,
         split.confident.len(),
         split.confident.len(),
         None,
@@ -319,7 +360,7 @@ pub fn pseudo_label_stage(
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
 ) -> Vec<PseudoLabel> {
-    let start = Instant::now();
+    let span = tasfar_obs::timed_span(Stage::PseudoLabel.span_name());
     let uncertain = &split.uncertain;
     let uncertainty = &mc.uncertainty;
     let unc_pred = &density.unc_pred;
@@ -386,7 +427,7 @@ pub fn pseudo_label_stage(
         }
     }
     let informative = pseudo.iter().filter(|p| p.informative).count();
-    trace.record(Stage::PseudoLabel, start, n_unc, informative, None);
+    trace.record(Stage::PseudoLabel, span, n_unc, informative, None);
     pseudo
 }
 
@@ -408,7 +449,7 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
 ) -> Option<FitReport> {
-    let start = Instant::now();
+    let span = tasfar_obs::timed_span(Stage::FineTune.span_name());
     let dims = mc.point.cols();
     let n_unc = split.uncertain.len();
     let n_conf = if cfg.replay_confident {
@@ -446,7 +487,7 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
     if weights.iter().sum::<f64>() <= 0.0 {
         trace.record(
             Stage::FineTune,
-            start,
+            span,
             n_unc + n_conf,
             0,
             Some("all pseudo-labels carry zero credibility"),
@@ -473,10 +514,13 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
             } else {
                 tasfar_nn::layers::Mode::Eval
             },
+            // `train_observer()` is Some only when tracing is enabled, so
+            // the untraced fine-tune loop stays free of clock reads.
+            observer: tasfar_obs::train_observer(),
             ..TrainConfig::default()
         },
     );
-    trace.record(Stage::FineTune, start, n_unc + n_conf, n_unc + n_conf, None);
+    trace.record(Stage::FineTune, span, n_unc + n_conf, n_unc + n_conf, None);
     Some(report)
 }
 
@@ -510,10 +554,16 @@ mod tests {
     #[test]
     fn trace_lookup_and_totals() {
         let mut trace = PipelineTrace::default();
-        let start = Instant::now();
-        trace.record(Stage::Predict, start, 10, 10, None);
-        trace.record(Stage::Split, start, 10, 4, None);
-        trace.record(Stage::EstimateDensity, start, 6, 0, Some("boom"));
+        let span = |stage: Stage| tasfar_obs::timed_span(stage.span_name());
+        trace.record(Stage::Predict, span(Stage::Predict), 10, 10, None);
+        trace.record(Stage::Split, span(Stage::Split), 10, 4, None);
+        trace.record(
+            Stage::EstimateDensity,
+            span(Stage::EstimateDensity),
+            6,
+            0,
+            Some("boom"),
+        );
         assert_eq!(trace.stages.len(), 3);
         assert_eq!(trace.stage(Stage::Split).unwrap().samples_out, 4);
         assert!(trace.stage(Stage::FineTune).is_none());

@@ -80,6 +80,12 @@ impl McDropout {
         model: &mut M,
         x: &Tensor,
     ) -> McPrediction {
+        let mut span = tasfar_obs::span("mc_dropout.predict");
+        span.field("rows", x.rows());
+        span.field("samples", self.samples);
+        tasfar_obs::metrics::counter("mc_dropout.predicts").incr();
+        tasfar_obs::metrics::counter("mc_dropout.passes").add(self.samples as u64);
+        tasfar_obs::metrics::counter("mc_dropout.rows").add(x.rows() as u64);
         let point = model.predict(x);
         let (n, d) = point.shape();
 

@@ -242,6 +242,51 @@ fn golden_skip_paths() {
     assert_eq!(one, GOLDEN_SKIP, "golden hash drifted (got {one:#018x})");
 }
 
+/// Turning tracing on must be purely observational: the golden hash of the
+/// 1-D scenario is bit-identical with a live sink, while the captured trace
+/// is valid JSONL covering all five pipeline stages and the training loop.
+#[test]
+fn golden_hash_unchanged_with_tracing_enabled() {
+    let sink = tasfar_obs::capture();
+    let got = at_threads(1, || run_scenario(1, 11, true));
+    tasfar_obs::disable();
+    assert_eq!(
+        got, GOLDEN_1D,
+        "enabling TASFAR_TRACE changed the adapted weights"
+    );
+
+    let lines = sink.lines();
+    let parsed: Vec<tasfar_nn::json::Json> = lines
+        .iter()
+        .map(|l| tasfar_nn::json::Json::parse(l).expect("trace line parses"))
+        .collect();
+    // Mandatory schema on every record.
+    for (record, line) in parsed.iter().zip(&lines) {
+        record.field("ts").and_then(|v| v.as_u64()).expect(line);
+        record.field("kind").and_then(|v| v.as_str()).expect(line);
+        record.field("name").and_then(|v| v.as_str()).expect(line);
+    }
+    // The run-level span, all five stages, and per-epoch training events.
+    for name in [
+        "adapt",
+        "stage.predict",
+        "stage.split",
+        "stage.estimate_density",
+        "stage.pseudo_label",
+        "stage.fine_tune",
+        "train_epoch",
+        "parallel_pool",
+    ] {
+        assert!(
+            parsed
+                .iter()
+                .any(|r| r.get("name").and_then(|n| n.as_str().ok()) == Some(name)),
+            "trace has no `{name}` record among {} lines",
+            lines.len()
+        );
+    }
+}
+
 // Captured from the pre-refactor monolithic `adapt.rs` (post `median`
 // even-length fix), release profile, this repository's deterministic RNG.
 const GOLDEN_1D: (u64, u64) = (0xb7345d5c220c3d75, 0xfced5561f52c176e);

@@ -90,5 +90,5 @@ pub mod prelude {
     pub use crate::rng::Rng;
     pub use crate::schedule::LrSchedule;
     pub use crate::tensor::Tensor;
-    pub use crate::train::{evaluate, fit, EarlyStop, FitReport, TrainConfig};
+    pub use crate::train::{evaluate, fit, EarlyStop, FitReport, TrainConfig, TrainObserver};
 }

@@ -40,7 +40,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
@@ -92,6 +92,91 @@ thread_local! {
     /// True on pool workers and on a submitter while it runs chunks; nested
     /// parallel calls under this flag execute inline.
     static IN_PARALLEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// This thread's pool worker index, or `usize::MAX` off the pool. Lets
+    /// chunk accounting attribute work to a specific worker.
+    static WORKER_INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+// ----- pool instrumentation -------------------------------------------------
+//
+// Always-on relaxed counters observing how work was *scheduled*. They are
+// deliberately kept outside the determinism contract: chunk outputs are
+// bit-identical for any thread count, so who ran a chunk is free to vary and
+// these numbers may differ between runs (except under `TASFAR_THREADS=1`,
+// where everything is inline).
+
+/// Parallel regions submitted to the worker pool.
+static STAT_JOBS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+/// Parallel regions executed inline (1 thread, 1 chunk, or nested).
+static STAT_INLINE_REGIONS: AtomicU64 = AtomicU64::new(0);
+/// Total chunks executed (inline and pooled).
+static STAT_CHUNKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Pooled chunks executed by the submitting thread itself.
+static STAT_SUBMITTER_CHUNKS: AtomicU64 = AtomicU64::new(0);
+/// Pooled chunks executed by each worker, indexed by worker id.
+// A const item as the repeat operand (not inline-const, which is post-MSRV):
+// each array element gets a fresh atomic.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_COUNTER: AtomicU64 = AtomicU64::new(0);
+static STAT_WORKER_CHUNKS: [AtomicU64; MAX_WORKERS] = [ZERO_COUNTER; MAX_WORKERS];
+/// Workers ever spawned (persistent; never shrinks).
+static STAT_WORKERS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of the job queue depth — the pool saturation gauge.
+static STAT_MAX_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the pool counters (see [`pool_stats`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions handed to the worker pool.
+    pub jobs_submitted: u64,
+    /// Parallel regions that ran inline instead (single thread, single
+    /// chunk, or nested inside another region).
+    pub inline_regions: u64,
+    /// Chunks executed in total, on any thread.
+    pub chunks_total: u64,
+    /// Pooled chunks the submitting thread executed itself.
+    pub submitter_chunks: u64,
+    /// Pooled chunks executed by each live worker (per-worker utilization);
+    /// length equals the number of workers ever spawned.
+    pub worker_chunks: Vec<u64>,
+    /// Persistent workers spawned so far.
+    pub workers_spawned: u64,
+    /// High-water mark of simultaneously queued jobs (saturation gauge).
+    pub max_queue_depth: u64,
+}
+
+/// Reads the pool's instrumentation counters.
+///
+/// The counters are always on (one relaxed atomic add per event) and purely
+/// observational — they never influence scheduling or results.
+pub fn pool_stats() -> PoolStats {
+    let workers_spawned = STAT_WORKERS_SPAWNED.load(Ordering::Relaxed);
+    let worker_chunks = STAT_WORKER_CHUNKS[..(workers_spawned as usize).min(MAX_WORKERS)]
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .collect();
+    PoolStats {
+        jobs_submitted: STAT_JOBS_SUBMITTED.load(Ordering::Relaxed),
+        inline_regions: STAT_INLINE_REGIONS.load(Ordering::Relaxed),
+        chunks_total: STAT_CHUNKS_TOTAL.load(Ordering::Relaxed),
+        submitter_chunks: STAT_SUBMITTER_CHUNKS.load(Ordering::Relaxed),
+        worker_chunks,
+        workers_spawned,
+        max_queue_depth: STAT_MAX_QUEUE_DEPTH.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the activity counters (the spawned-worker count is kept — workers
+/// are persistent). For benchmark harnesses measuring one phase at a time.
+pub fn reset_pool_stats() {
+    STAT_JOBS_SUBMITTED.store(0, Ordering::Relaxed);
+    STAT_INLINE_REGIONS.store(0, Ordering::Relaxed);
+    STAT_CHUNKS_TOTAL.store(0, Ordering::Relaxed);
+    STAT_SUBMITTER_CHUNKS.store(0, Ordering::Relaxed);
+    for c in &STAT_WORKER_CHUNKS {
+        c.store(0, Ordering::Relaxed);
+    }
+    STAT_MAX_QUEUE_DEPTH.store(0, Ordering::Relaxed);
 }
 
 /// One submitted parallel region.
@@ -122,11 +207,17 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Claims and runs chunks until none are left.
     fn run_chunks(&self) {
+        let worker = WORKER_INDEX.with(|idx| idx.get());
         loop {
             let c = self.next.fetch_add(1, Ordering::SeqCst);
             if c >= self.n_chunks {
                 return;
             }
+            STAT_CHUNKS_TOTAL.fetch_add(1, Ordering::Relaxed);
+            match STAT_WORKER_CHUNKS.get(worker) {
+                Some(slot) => slot.fetch_add(1, Ordering::Relaxed),
+                None => STAT_SUBMITTER_CHUNKS.fetch_add(1, Ordering::Relaxed),
+            };
             // SAFETY: see the `Send`/`Sync` impls above.
             let f = unsafe { &*self.task };
             let result = catch_unwind(AssertUnwindSafe(|| f(c)));
@@ -185,8 +276,9 @@ fn pool() -> &'static Pool {
 /// Hard cap on pool size — a backstop against absurd `TASFAR_THREADS`.
 const MAX_WORKERS: usize = 64;
 
-fn worker_loop() {
+fn worker_loop(worker_index: usize) {
     IN_PARALLEL.with(|f| f.set(true));
+    WORKER_INDEX.with(|idx| idx.set(worker_index));
     let pool = pool();
     loop {
         let job = {
@@ -227,11 +319,14 @@ where
     let threads = current_threads().min(n_chunks);
     let nested = IN_PARALLEL.with(|flag| flag.get());
     if threads <= 1 || n_chunks == 1 || nested {
+        STAT_INLINE_REGIONS.fetch_add(1, Ordering::Relaxed);
+        STAT_CHUNKS_TOTAL.fetch_add(n_chunks as u64, Ordering::Relaxed);
         for c in 0..n_chunks {
             f(c);
         }
         return;
     }
+    STAT_JOBS_SUBMITTED.fetch_add(1, Ordering::Relaxed);
 
     let local: *const (dyn Fn(usize) + Sync) = &f;
     // SAFETY: erasing the closure's borrow lifetime is sound because this
@@ -256,13 +351,16 @@ where
         let mut state = pool.state.lock().unwrap();
         let want = (threads - 1).min(MAX_WORKERS);
         while state.spawned < want {
+            let worker_index = state.spawned;
             thread::Builder::new()
-                .name(format!("tasfar-worker-{}", state.spawned))
-                .spawn(worker_loop)
+                .name(format!("tasfar-worker-{worker_index}"))
+                .spawn(move || worker_loop(worker_index))
                 .expect("parallel: failed to spawn worker thread");
             state.spawned += 1;
+            STAT_WORKERS_SPAWNED.store(state.spawned as u64, Ordering::Relaxed);
         }
         state.queue.push_back(job.clone());
+        STAT_MAX_QUEUE_DEPTH.fetch_max(state.queue.len() as u64, Ordering::Relaxed);
         pool.cv.notify_all();
     }
 
@@ -482,6 +580,31 @@ mod tests {
             .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("chunk five exploded"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn pool_stats_observe_inline_and_pooled_regions() {
+        // Other test threads may touch the pool concurrently, so assertions
+        // are lower bounds on the deltas, not exact counts.
+        let _guard = CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        set_threads(1);
+        let before = pool_stats();
+        parallel_for_each_chunk(5, |_| {});
+        let after = pool_stats();
+        assert!(after.inline_regions > before.inline_regions);
+        assert!(after.chunks_total >= before.chunks_total + 5);
+
+        set_threads(4);
+        let before = pool_stats();
+        parallel_for_each_chunk(16, |_| {});
+        let after = pool_stats();
+        assert!(after.jobs_submitted > before.jobs_submitted);
+        assert!(after.chunks_total >= before.chunks_total + 16);
+        assert!(after.workers_spawned >= 3);
+        assert_eq!(after.worker_chunks.len(), after.workers_spawned as usize);
+        assert!(after.max_queue_depth >= 1);
+        reset_threads();
     }
 
     #[test]

@@ -5,6 +5,10 @@
 //! because at that point the model has absorbed the high-credibility
 //! pseudo-labels and further epochs chase the noisy low-credibility ones.
 
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::layers::{Layer, Mode, Sequential};
 use crate::loss::Loss;
@@ -13,8 +17,27 @@ use crate::rng::Rng;
 use crate::schedule::LrSchedule;
 use crate::tensor::Tensor;
 
+/// A per-epoch observer hook on [`fit`].
+///
+/// This crate is the bottom of the workspace dependency graph, so it cannot
+/// emit telemetry itself; instead `fit` calls back into whatever observer the
+/// configuration carries (the `tasfar-obs` crate provides one that turns
+/// epochs into trace events). Observers are passive: they see each epoch's
+/// summary after the weights have been updated and must not influence
+/// training — `fit`'s arithmetic is identical with or without one.
+pub trait TrainObserver: Send + Sync {
+    /// Called after every completed epoch with its mean training loss, the
+    /// learning rate that was in effect, and the epoch's wall time.
+    fn on_epoch(&self, epoch: usize, mean_loss: f64, lr: f64, wall: Duration);
+
+    /// Called once if the early-stopping rule fires at `epoch`.
+    fn on_early_stop(&self, epoch: usize) {
+        let _ = epoch;
+    }
+}
+
 /// Configuration of a training run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TrainConfig {
     /// Maximum number of passes over the data.
     pub epochs: usize,
@@ -40,6 +63,9 @@ pub struct TrainConfig {
     /// Learning-rate schedule, applied to the optimizer at the start of
     /// every epoch relative to the optimizer's initial rate.
     pub schedule: LrSchedule,
+    /// Optional per-epoch observer (telemetry). `None` (the default) keeps
+    /// the loop free of clock reads; observers never affect the arithmetic.
+    pub observer: Option<Arc<dyn TrainObserver>>,
 }
 
 impl Default for TrainConfig {
@@ -52,7 +78,26 @@ impl Default for TrainConfig {
             early_stop: None,
             mode: Mode::Train,
             schedule: LrSchedule::Constant,
+            observer: None,
         }
+    }
+}
+
+impl fmt::Debug for TrainConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrainConfig")
+            .field("epochs", &self.epochs)
+            .field("batch_size", &self.batch_size)
+            .field("seed", &self.seed)
+            .field("shuffle", &self.shuffle)
+            .field("early_stop", &self.early_stop)
+            .field("mode", &self.mode)
+            .field("schedule", &self.schedule)
+            .field(
+                "observer",
+                &self.observer.as_ref().map(|_| "dyn TrainObserver"),
+            )
+            .finish()
     }
 }
 
@@ -160,6 +205,9 @@ pub fn fit(
     let base_lr = optimizer.learning_rate();
 
     for epoch in 0..cfg.epochs {
+        // Clock reads happen only when an observer is attached, so the
+        // unobserved loop stays exactly as lean as before.
+        let epoch_start = cfg.observer.as_ref().map(|_| Instant::now());
         optimizer.set_learning_rate(cfg.schedule.rate(base_lr, epoch));
         if cfg.shuffle {
             rng.shuffle(&mut order);
@@ -197,10 +245,17 @@ pub fn fit(
             0.0
         };
         report.epoch_losses.push(mean_loss);
+        if let Some(observer) = &cfg.observer {
+            let wall = epoch_start.map(|s| s.elapsed()).unwrap_or_default();
+            observer.on_epoch(epoch, mean_loss, optimizer.learning_rate(), wall);
+        }
 
         if let Some(es) = &cfg.early_stop {
             if should_stop(&report.epoch_losses, es, epoch) {
                 report.stopped_early_at = Some(epoch);
+                if let Some(observer) = &cfg.observer {
+                    observer.on_early_stop(epoch);
+                }
                 break;
             }
         }
@@ -457,6 +512,63 @@ mod tests {
         // After the last epoch (epoch index 9), the step decay has fired
         // once: 0.1 · 0.5 = 0.05.
         assert!((opt.learning_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observer_sees_every_epoch_and_never_perturbs_training() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder {
+            epochs: Mutex<Vec<(usize, f64)>>,
+            stopped: Mutex<Option<usize>>,
+        }
+        impl TrainObserver for Recorder {
+            fn on_epoch(&self, epoch: usize, mean_loss: f64, lr: f64, _wall: Duration) {
+                assert!(lr > 0.0);
+                self.epochs.lock().unwrap().push((epoch, mean_loss));
+            }
+            fn on_early_stop(&self, epoch: usize) {
+                *self.stopped.lock().unwrap() = Some(epoch);
+            }
+        }
+
+        let run = |observer: Option<Arc<dyn TrainObserver>>| {
+            let mut rng = Rng::new(10);
+            let (x, y) = linear_data(&mut rng, 128);
+            let mut model = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng));
+            let mut opt = Adam::new(0.1);
+            fit(
+                &mut model,
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                &TrainConfig {
+                    epochs: 200,
+                    batch_size: 32,
+                    early_stop: Some(EarlyStop::default()),
+                    observer,
+                    ..TrainConfig::default()
+                },
+            )
+        };
+
+        let recorder = Arc::new(Recorder::default());
+        let observed = run(Some(recorder.clone()));
+        let plain = run(None);
+
+        // Observers are passive: identical losses with and without one.
+        assert_eq!(observed.epoch_losses, plain.epoch_losses);
+
+        let seen = recorder.epochs.lock().unwrap();
+        assert_eq!(seen.len(), observed.epoch_losses.len());
+        for (i, &(epoch, loss)) in seen.iter().enumerate() {
+            assert_eq!(epoch, i);
+            assert_eq!(loss.to_bits(), observed.epoch_losses[i].to_bits());
+        }
+        assert_eq!(*recorder.stopped.lock().unwrap(), observed.stopped_early_at);
     }
 
     #[test]

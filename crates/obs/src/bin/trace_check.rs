@@ -1,0 +1,126 @@
+//! Validates a `TASFAR_TRACE` JSONL file.
+//!
+//! Every line must parse with the in-tree `tasfar_nn::json` parser and carry
+//! the required `ts` / `kind` / `name` fields; `--require n1,n2,…` adds a
+//! coverage check that each named record appears at least once. Used by
+//! `scripts/verify.sh` as the trace smoke gate.
+//!
+//! ```text
+//! trace-check trace.jsonl --require stage.predict,train_epoch,parallel_pool
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tasfar_nn::json::Json;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                let Some(list) = args.get(i + 1) else {
+                    eprintln!("trace-check: --require needs a comma-separated name list");
+                    return ExitCode::FAILURE;
+                };
+                required.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!("usage: trace-check <trace.jsonl> [--require name1,name2,...]");
+                return ExitCode::SUCCESS;
+            }
+            arg if path.is_none() => {
+                path = Some(arg);
+                i += 1;
+            }
+            arg => {
+                eprintln!("trace-check: unexpected argument `{arg}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace-check <trace.jsonl> [--require name1,name2,...]");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace-check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut records = 0usize;
+    let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+    let mut seen_names: BTreeMap<String, usize> = BTreeMap::new();
+    let mut failed = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match Json::parse(line) {
+            Ok(v) => v,
+            Err(err) => {
+                eprintln!("trace-check: {path}:{}: invalid JSON: {err}", lineno + 1);
+                failed = true;
+                continue;
+            }
+        };
+        // The schema contract: every record has ts (integer), kind, name.
+        if let Err(err) = record.field("ts").and_then(|v| v.as_u64()) {
+            eprintln!("trace-check: {path}:{}: bad `ts`: {err}", lineno + 1);
+            failed = true;
+        }
+        match record.field("kind").and_then(|v| v.as_str()) {
+            Ok(kind) => *by_kind.entry(kind.to_string()).or_insert(0) += 1,
+            Err(err) => {
+                eprintln!("trace-check: {path}:{}: bad `kind`: {err}", lineno + 1);
+                failed = true;
+            }
+        }
+        match record.field("name").and_then(|v| v.as_str()) {
+            Ok(name) => *seen_names.entry(name.to_string()).or_insert(0) += 1,
+            Err(err) => {
+                eprintln!("trace-check: {path}:{}: bad `name`: {err}", lineno + 1);
+                failed = true;
+            }
+        }
+        records += 1;
+    }
+
+    if records == 0 {
+        eprintln!("trace-check: {path} contains no trace records");
+        failed = true;
+    }
+    for name in &required {
+        if !seen_names.contains_key(name) {
+            eprintln!("trace-check: {path}: required record `{name}` never appeared");
+            failed = true;
+        }
+    }
+
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    let kinds: Vec<String> = by_kind
+        .iter()
+        .map(|(kind, n)| format!("{n} {kind}"))
+        .collect();
+    println!(
+        "trace-check: {path}: {records} records OK ({}); {} required names covered",
+        kinds.join(", "),
+        required.len()
+    );
+    ExitCode::SUCCESS
+}

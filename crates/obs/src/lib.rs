@@ -1,0 +1,195 @@
+//! # tasfar-obs — zero-dependency telemetry for the TASFAR workspace
+//!
+//! TASFAR is an *operator-facing* algorithm: it adapts deployed regression
+//! models without labels, so the only way to judge a production run is
+//! telemetry. This crate is the workspace's single observability subsystem,
+//! built in the style of `tasfar_nn::parallel` — no crates.io dependencies,
+//! deterministic, and cheap enough to be compiled in everywhere:
+//!
+//! * **Hierarchical spans** ([`span()`] / [`timed_span`]) — RAII guards with
+//!   monotonic wall time, a per-process thread id, and parent linkage via a
+//!   thread-local span stack. Gated at runtime by the `TASFAR_TRACE`
+//!   environment variable; in the off state a guard costs a single atomic
+//!   load (no clock read, no allocation), so telemetry can never perturb the
+//!   PR 1 kernels. Tracing only *observes* — adapted weights are bit-identical
+//!   with tracing on or off.
+//! * **A metrics registry** ([`metrics`]) — named counters, gauges, and
+//!   log₂-bucketed histograms behind atomics, with a [`metrics::snapshot`]
+//!   API. Metrics are always on (an atomic add per update) so benchmark
+//!   binaries can snapshot them without enabling tracing.
+//! * **Sinks** ([`sink`]) — a JSONL writer serialising events through the
+//!   in-tree [`tasfar_nn::json`] (path taken from `TASFAR_TRACE=<file>`),
+//!   plus an in-memory sink for tests ([`capture`]).
+//! * **Bridges** ([`bridge`]) — adapters feeding `tasfar_nn`'s native hooks
+//!   (the parallel pool's [`tasfar_nn::parallel::pool_stats`] and the
+//!   [`tasfar_nn::train::TrainObserver`] hook on `TrainConfig`) into spans,
+//!   events, and metrics. `tasfar_nn` cannot depend on this crate (the JSON
+//!   serialiser lives there), so the substrate exposes hooks and this crate
+//!   closes the loop.
+//!
+//! ## Event schema
+//!
+//! Every emitted line is one JSON object with at least `ts` (nanoseconds
+//! since the process trace epoch, monotonic), `kind` (`"span"`, `"event"`,
+//! `"manifest"`, or `"metrics"`), and `name`. Spans add `id`, `parent`
+//! (`null` at the root), `thread`, and `dur_ns`; any record may carry a
+//! nested `fields` object.
+//!
+//! ## Enabling a trace
+//!
+//! ```text
+//! TASFAR_TRACE=trace.jsonl cargo run --release -p examples --bin quickstart
+//! ```
+//!
+//! `TASFAR_TRACE` unset, empty, `0`, or `off` disables tracing entirely;
+//! `1` or `on` enables collection without a file sink (for programmatic
+//! sinks); anything else is treated as the output path for the JSONL sink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use bridge::{
+    emit_manifest, emit_pool_event, host_cpus, pool_stats_json, sync_pool_metrics, train_observer,
+};
+pub use sink::MemorySink;
+pub use span::{event, span, timed_span, SpanGuard};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// The runtime gate. `0` = not yet initialised from the environment,
+/// `1` = tracing off, `2` = tracing on.
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+
+/// Serialises first-use initialisation and programmatic enable/disable.
+static CONTROL: Mutex<()> = Mutex::new(());
+
+/// Whether tracing is currently enabled.
+///
+/// This is the hot-path gate: after the first call it is a single relaxed
+/// atomic load. The first call resolves the `TASFAR_TRACE` environment
+/// variable (installing the JSONL file sink when the value names a path).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Cold path of [`enabled`]: resolve `TASFAR_TRACE` exactly once.
+#[cold]
+fn init_from_env() -> bool {
+    let _guard = CONTROL.lock().unwrap_or_else(|e| e.into_inner());
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => return true,
+        STATE_OFF => return false,
+        _ => {}
+    }
+    let value = std::env::var("TASFAR_TRACE").unwrap_or_default();
+    let trimmed = value.trim();
+    let on = match trimmed {
+        "" | "0" | "off" => false,
+        "1" | "on" => true,
+        path => {
+            match sink::FileSink::create(path) {
+                Ok(file_sink) => {
+                    sink::install(Arc::new(file_sink));
+                    true
+                }
+                Err(err) => {
+                    // A broken trace path must not take the computation down;
+                    // complain once and run untraced.
+                    eprintln!("tasfar-obs: cannot open TASFAR_TRACE={path}: {err}");
+                    false
+                }
+            }
+        }
+    };
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Enables tracing into a fresh in-memory sink and returns a handle to it.
+///
+/// Intended for tests: the handle exposes the captured JSONL lines. Any
+/// previously installed sink is replaced. Call [`disable`] afterwards to
+/// restore the untraced state.
+pub fn capture() -> MemorySink {
+    let _guard = CONTROL.lock().unwrap_or_else(|e| e.into_inner());
+    let mem = MemorySink::new();
+    sink::install(Arc::new(mem.clone()));
+    STATE.store(STATE_ON, Ordering::Relaxed);
+    mem
+}
+
+/// Disables tracing and removes the current sink (flushing it first).
+pub fn disable() {
+    let _guard = CONTROL.lock().unwrap_or_else(|e| e.into_inner());
+    sink::flush();
+    sink::remove();
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// Flushes the current sink, if any.
+pub fn flush() {
+    sink::flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::json::Json;
+
+    /// The global gate is process-wide state, so everything that toggles it
+    /// lives in one sequential test.
+    #[test]
+    fn capture_gates_and_collects() {
+        // Ensure a known-off baseline regardless of the environment.
+        disable();
+        assert!(!enabled());
+        {
+            let _g = span::span("invisible");
+        }
+
+        let mem = capture();
+        assert!(enabled());
+        {
+            let mut g = span::span("visible");
+            g.field("answer", 42u64);
+        }
+        span::event("ping", vec![("ok", Json::Bool(true))]);
+        let lines = mem.lines();
+        assert!(
+            lines.iter().any(|l| l.contains("\"visible\"")),
+            "span missing from {lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("\"ping\"")));
+        assert!(!lines.iter().any(|l| l.contains("invisible")));
+
+        // Every line is valid JSON with the required fields.
+        for line in &lines {
+            let v = Json::parse(line).expect("trace line must parse");
+            assert!(v.field("ts").unwrap().as_u64().is_ok());
+            assert!(v.field("kind").unwrap().as_str().is_ok());
+            assert!(v.field("name").unwrap().as_str().is_ok());
+        }
+
+        disable();
+        assert!(!enabled());
+        {
+            let _g = span::span("after-disable");
+        }
+        assert!(!mem.lines().iter().any(|l| l.contains("after-disable")));
+    }
+}

@@ -1,0 +1,306 @@
+//! A process-wide metrics registry: named counters, gauges, and
+//! log₂-bucketed histograms.
+//!
+//! Unlike spans, metrics are **always on**: an update is one relaxed atomic
+//! operation, cheap enough for per-call-site counting, and benchmark
+//! binaries snapshot the registry without enabling tracing. Handles are
+//! `Arc`s — call sites that update in a loop should look the metric up once
+//! and reuse the handle, since lookup takes the registry lock.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use tasfar_nn::json::Json;
+
+/// A monotonically increasing count.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `v`.
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket `b ≥ 1` covers values in `[2^(b-1), 2^b)`; bucket 0 holds zeros.
+const N_BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with logarithmic (power-of-two) buckets —
+/// enough resolution for latencies and sizes without any configuration.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wraps only past `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("count".into(), Json::UInt(self.count())),
+            ("sum".into(), Json::UInt(self.sum())),
+        ];
+        let mut buckets: Vec<(String, Json)> = Vec::new();
+        for (b, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            if n > 0 {
+                // Key the bucket by its inclusive upper bound for readability.
+                let hi = if b == 0 { 0 } else { (1u128 << b) - 1 };
+                buckets.push((format!("le_{hi}"), Json::UInt(n)));
+            }
+        }
+        pairs.push(("buckets".into(), Json::Obj(buckets)));
+        Json::Obj(pairs)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registered metrics in registration order.
+static REGISTRY: Mutex<Vec<(String, Metric)>> = Mutex::new(Vec::new());
+
+fn get_or_register<T>(
+    name: &str,
+    extract: impl Fn(&Metric) -> Option<Arc<T>>,
+    make: impl FnOnce() -> Metric,
+) -> Arc<T> {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, m)) = reg.iter().find(|(n, _)| n == name) {
+        return extract(m)
+            .unwrap_or_else(|| panic!("metric `{name}` already registered as a {}", m.kind()));
+    }
+    let metric = make();
+    let handle = extract(&metric).expect("freshly made metric has the requested kind");
+    reg.push((name.to_string(), metric));
+    handle
+}
+
+/// The counter named `name`, created on first use.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> Arc<Counter> {
+    get_or_register(
+        name,
+        |m| match m {
+            Metric::Counter(c) => Some(c.clone()),
+            _ => None,
+        },
+        || Metric::Counter(Arc::new(Counter::default())),
+    )
+}
+
+/// The gauge named `name`, created on first use.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    get_or_register(
+        name,
+        |m| match m {
+            Metric::Gauge(g) => Some(g.clone()),
+            _ => None,
+        },
+        || Metric::Gauge(Arc::new(Gauge::default())),
+    )
+}
+
+/// The histogram named `name`, created on first use.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    get_or_register(
+        name,
+        |m| match m {
+            Metric::Histogram(h) => Some(h.clone()),
+            _ => None,
+        },
+        || Metric::Histogram(Arc::new(Histogram::default())),
+    )
+}
+
+/// A point-in-time JSON snapshot of every registered metric, keyed by name
+/// and sorted for stable output.
+pub fn snapshot() -> Json {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut pairs: Vec<(String, Json)> = reg
+        .iter()
+        .map(|(name, metric)| {
+            let value = match metric {
+                Metric::Counter(c) => Json::UInt(c.get()),
+                Metric::Gauge(g) => {
+                    let v = g.get();
+                    if v >= 0 {
+                        Json::UInt(v as u64)
+                    } else {
+                        Json::Num(v as f64)
+                    }
+                }
+                Metric::Histogram(h) => h.to_json(),
+            };
+            (name.clone(), value)
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(pairs)
+}
+
+/// Zeroes every registered metric (registrations are kept). For tests and
+/// benchmark harnesses that measure one phase at a time.
+pub fn reset() {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for (_, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Emits the current [`snapshot`] as a trace record of kind `"metrics"`
+/// named `name`. A no-op when tracing is disabled.
+pub fn emit_snapshot(name: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::span::emit_record("metrics", name, vec![("metrics", snapshot())]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let c = counter("test.counter");
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert!(Arc::ptr_eq(&c, &counter("test.counter")));
+
+        let g = gauge("test.gauge");
+        g.set(7);
+        g.add(-2);
+        g.record_max(3);
+        assert_eq!(g.get(), 5);
+        g.record_max(9);
+        assert_eq!(g.get(), 9);
+
+        let h = histogram("test.hist");
+        for v in [0, 1, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+
+        let snap = snapshot();
+        assert_eq!(snap.field("test.counter").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(snap.field("test.gauge").unwrap().as_u64().unwrap(), 9);
+        let hist = snap.field("test.hist").unwrap();
+        assert_eq!(hist.field("count").unwrap().as_u64().unwrap(), 5);
+        let buckets = hist.field("buckets").unwrap();
+        assert_eq!(buckets.field("le_0").unwrap().as_u64().unwrap(), 1); // 0
+        assert_eq!(buckets.field("le_1").unwrap().as_u64().unwrap(), 1); // 1
+        assert_eq!(buckets.field("le_3").unwrap().as_u64().unwrap(), 2); // 2, 3
+        assert_eq!(buckets.field("le_2047").unwrap().as_u64().unwrap(), 1); // 1024
+        assert!(buckets.get("le_1023").is_none()); // empty buckets are omitted
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        counter("test.mismatch");
+        gauge("test.mismatch");
+    }
+}

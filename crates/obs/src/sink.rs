@@ -1,0 +1,122 @@
+//! Trace sinks: where emitted JSONL lines go.
+//!
+//! One sink is installed at a time. The default (no sink) discards lines,
+//! which lets the span machinery be exercised in tests without touching the
+//! filesystem; `TASFAR_TRACE=<path>` installs a [`FileSink`] and test code
+//! installs a [`MemorySink`] via [`crate::capture`].
+
+use std::fs::File;
+use std::io::{LineWriter, Write};
+use std::sync::{Arc, Mutex};
+
+/// A destination for one-line JSONL trace records.
+pub trait Sink: Send + Sync {
+    /// Accepts one complete JSON document (without the trailing newline).
+    fn emit(&self, line: &str);
+    /// Flushes any buffered lines (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The currently installed sink, if any.
+static SINK: Mutex<Option<Arc<dyn Sink>>> = Mutex::new(None);
+
+/// Installs `sink`, replacing (and flushing) any previous one.
+pub(crate) fn install(sink: Arc<dyn Sink>) {
+    let prev = SINK.lock().unwrap_or_else(|e| e.into_inner()).replace(sink);
+    if let Some(prev) = prev {
+        prev.flush();
+    }
+}
+
+/// Removes the current sink without flushing (callers flush first).
+pub(crate) fn remove() {
+    SINK.lock().unwrap_or_else(|e| e.into_inner()).take();
+}
+
+/// Hands `line` to the current sink; drops it when none is installed.
+pub(crate) fn emit_line(line: &str) {
+    let sink = SINK.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(sink) = sink {
+        sink.emit(line);
+    }
+}
+
+/// Flushes the current sink, if any.
+pub(crate) fn flush() {
+    let sink = SINK.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(sink) = sink {
+        sink.flush();
+    }
+}
+
+/// Writes one JSON document per line to a file, line-buffered so a crashed
+/// process still leaves whole lines behind.
+pub struct FileSink {
+    writer: Mutex<LineWriter<File>>,
+}
+
+impl FileSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &str) -> std::io::Result<FileSink> {
+        let file = File::create(path)?;
+        Ok(FileSink {
+            writer: Mutex::new(LineWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for FileSink {
+    fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // Trace I/O failure must never take the computation down.
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = w.flush();
+    }
+}
+
+/// Collects lines in memory; cloning shares the same buffer, so tests keep a
+/// handle while the global registry holds the installed copy.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A snapshot of everything captured so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Number of captured lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops everything captured so far.
+    pub fn clear(&self) {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string());
+    }
+}

@@ -1,0 +1,240 @@
+//! Hierarchical spans and point events.
+//!
+//! A span is an RAII guard: opening it records a monotonic timestamp, an id,
+//! the thread, and the innermost enclosing span on the same thread (the
+//! parent); dropping it emits one JSONL record with the measured `dur_ns`.
+//! Parent linkage uses a thread-local stack, so nesting is tracked without
+//! any cross-thread coordination — work handed to the parallel pool shows up
+//! as root spans on worker threads, distinguished by their `thread` field.
+//!
+//! Two constructors trade precision of the *disabled* path differently:
+//!
+//! * [`span`] is fully gated — when tracing is off it performs one atomic
+//!   load and nothing else (no clock read, no allocation). Use it anywhere
+//!   near a hot loop.
+//! * [`timed_span`] always reads the monotonic clock so its [`SpanGuard::elapsed`]
+//!   works even untraced — for call sites like pipeline stages that feed wall
+//!   times into `StageTrace` regardless of tracing.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use tasfar_nn::json::Json;
+
+/// The process trace epoch: `ts` fields count nanoseconds from here.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process trace epoch (monotonic).
+pub(crate) fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Span ids are process-unique and never reused (0 is reserved).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Sequential per-process thread ids: `std::thread::ThreadId` has no stable
+/// numeric accessor, so the trace assigns its own on first use per thread.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// Ids of the open spans on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        let v = cell.get();
+        if v != u64::MAX {
+            return v;
+        }
+        let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        cell.set(id);
+        id
+    })
+}
+
+/// Everything a recording span needs to emit its record on drop.
+struct SpanMeta {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    ts: u64,
+    fields: Vec<(String, Json)>,
+}
+
+/// An open span; emits its JSONL record when dropped.
+///
+/// In the disabled state this is inert: both fields are `None` for [`span`],
+/// and only the start instant is kept for [`timed_span`].
+pub struct SpanGuard {
+    start: Option<Instant>,
+    meta: Option<Box<SpanMeta>>,
+}
+
+/// Opens a span named `name`. Fully gated: when tracing is disabled the cost
+/// is a single atomic load.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            start: None,
+            meta: None,
+        };
+    }
+    open(name)
+}
+
+/// Opens a span that measures wall time even when tracing is disabled
+/// ([`SpanGuard::elapsed`] stays meaningful); the record is still only
+/// emitted when tracing is on.
+///
+/// Intended for coarse-grained call sites — pipeline stages, whole-run
+/// scopes — whose timings feed non-telemetry consumers like `StageTrace`.
+pub fn timed_span(name: &str) -> SpanGuard {
+    let start = Instant::now();
+    if !crate::enabled() {
+        return SpanGuard {
+            start: Some(start),
+            meta: None,
+        };
+    }
+    let mut guard = open(name);
+    guard.start = Some(start);
+    guard
+}
+
+#[cold]
+fn open(name: &str) -> SpanGuard {
+    let ts = now_ns();
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let thread = thread_id();
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        meta: Some(Box::new(SpanMeta {
+            name: name.to_string(),
+            id,
+            parent,
+            thread,
+            ts,
+            fields: Vec::new(),
+        })),
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a key/value pair to the span's `fields` object. A no-op when
+    /// the span is not recording.
+    pub fn field(&mut self, key: &str, value: impl Into<Json>) {
+        if let Some(meta) = &mut self.meta {
+            meta.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Wall time since the span opened. Zero for a gated-off [`span`];
+    /// always meaningful for [`timed_span`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|s| s.elapsed()).unwrap_or_default()
+    }
+
+    /// True when the span will emit a record on drop.
+    pub fn recording(&self) -> bool {
+        self.meta.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(meta) = self.meta.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // RAII makes drops LIFO per thread, but a stashed guard could
+            // outlive its children; remove by id so the stack stays sane.
+            if let Some(pos) = stack.iter().rposition(|&id| id == meta.id) {
+                stack.remove(pos);
+            }
+        });
+        let dur_ns = self
+            .start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let meta = *meta;
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("ts".into(), Json::UInt(meta.ts)),
+            ("kind".into(), "span".into()),
+            ("name".into(), Json::Str(meta.name)),
+            ("id".into(), Json::UInt(meta.id)),
+            ("parent".into(), meta.parent.map_or(Json::Null, Json::UInt)),
+            ("thread".into(), Json::UInt(meta.thread)),
+            ("dur_ns".into(), Json::UInt(dur_ns)),
+        ];
+        if !meta.fields.is_empty() {
+            pairs.push(("fields".into(), Json::Obj(meta.fields)));
+        }
+        crate::sink::emit_line(&Json::Obj(pairs).to_string());
+    }
+}
+
+/// Emits a point event (kind `"event"`) with the given fields. Gated exactly
+/// like [`span`]: one atomic load when tracing is off.
+#[inline]
+pub fn event(name: &str, fields: Vec<(&str, Json)>) {
+    if !crate::enabled() {
+        return;
+    }
+    emit_record("event", name, fields);
+}
+
+/// Emits one record of an arbitrary kind, stamped with `ts`, the current
+/// thread, and the innermost open span as `parent`. Callers check
+/// [`crate::enabled`] first.
+#[cold]
+pub(crate) fn emit_record(kind: &str, name: &str, fields: Vec<(&str, Json)>) {
+    let ts = now_ns();
+    let thread = thread_id();
+    let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("ts".into(), Json::UInt(ts)),
+        ("kind".into(), kind.into()),
+        ("name".into(), name.into()),
+        ("parent".into(), parent.map_or(Json::Null, Json::UInt)),
+        ("thread".into(), Json::UInt(thread)),
+    ];
+    if !fields.is_empty() {
+        pairs.push(("fields".into(), Json::obj(fields)));
+    }
+    crate::sink::emit_line(&Json::Obj(pairs).to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_are_stable_within_a_thread() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn timed_span_measures_even_when_disabled() {
+        // Does not toggle the global gate; only relies on elapsed().
+        let g = timed_span("disabled-ok");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(g.elapsed() >= Duration::from_millis(2));
+    }
+}

@@ -33,4 +33,15 @@ trap 'rm -rf "$scratch"' EXIT
 (cd "$scratch" && TASFAR_BENCH_QUICK=1 TASFAR_BENCH_SAMPLES=1 \
     cargo run --manifest-path "$root/Cargo.toml" --release -p tasfar-bench --bin kernels >/dev/null)
 
+# Trace smoke gate: a small adaptation run with TASFAR_TRACE set must
+# produce a JSONL trace where every line parses with `tasfar_nn::json` and
+# carries ts/kind/name, covering the five pipeline stages, the training
+# loop, and the parallel pool (`trace-check` validates all of that).
+echo "==> trace smoke (TASFAR_TRACE on the quickstart example)"
+TASFAR_TRACE="$scratch/trace.jsonl" \
+    cargo run --release -p examples --bin quickstart >/dev/null
+test -s "$scratch/trace.jsonl" || { echo "trace smoke: no trace written" >&2; exit 1; }
+cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/trace.jsonl" \
+    --require stage.predict,stage.split,stage.estimate_density,stage.pseudo_label,stage.fine_tune,train_epoch,parallel_pool
+
 echo "verify: all green"
