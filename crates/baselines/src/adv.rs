@@ -8,8 +8,10 @@
 //! loss. Like MMD, this is source-based and serves as an upper reference.
 
 use crate::common::{
-    bce_with_logits, rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter,
+    bce_with_logits, rejoin, require_source, split_model, validate_target, zero_grad,
+    BaselineConfig, DomainAdapter,
 };
+use tasfar_core::error::AdaptError;
 use tasfar_data::Dataset;
 use tasfar_nn::init::Init;
 use tasfar_nn::layers::{Dense, Layer, Mode, Relu, Sequential};
@@ -65,9 +67,16 @@ impl<M: SplitRegressor> DomainAdapter<M> for AdvAdapter {
         true
     }
 
-    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
-        let source = source.expect("ADV is source-based: source dataset required");
-        assert!(target_x.rows() > 1, "ADV: need at least 2 target samples");
+    fn adapt(
+        &self,
+        model: &mut M,
+        source: Option<&Dataset>,
+        target_x: &Tensor,
+        loss: &dyn Loss,
+    ) -> Result<(), AdaptError> {
+        let source = require_source(source, "adv")?;
+        // The discriminator needs ≥ 2 samples per domain.
+        validate_target(target_x, 2)?;
         let mut span = tasfar_obs::span("baseline.adapt");
         span.field("scheme", "ADV");
         span.field("target_rows", target_x.rows());
@@ -142,6 +151,7 @@ impl<M: SplitRegressor> DomainAdapter<M> for AdvAdapter {
             }
         }
         rejoin(model, features, head);
+        Ok(())
     }
 }
 
@@ -198,7 +208,9 @@ mod tests {
             0.3,
             16,
         );
-        adapter.adapt(&mut model, Some(&source), &xt, &Mse);
+        adapter
+            .adapt(&mut model, Some(&source), &xt, &Mse)
+            .expect("ADV adaptation with source data succeeds");
         let after = metrics::mse(&model.predict(&xt), &yt);
         assert!(
             after < before,
@@ -220,7 +232,9 @@ mod tests {
             0.3,
             16,
         );
-        adapter.adapt(&mut model, Some(&source), &xt, &Mse);
+        adapter
+            .adapt(&mut model, Some(&source), &xt, &Mse)
+            .expect("ADV adaptation with source data succeeds");
         let src_mse = metrics::mse(&model.predict(&source.x), &source.y);
         assert!(
             src_mse < 0.1,
@@ -229,14 +243,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "source dataset required")]
-    fn requires_source_data() {
+    fn missing_source_is_a_typed_error() {
+        use tasfar_core::error::ErrorKind;
         let mut rng = Rng::new(3);
         let mut model = Sequential::new()
             .add(Dense::new(1, 4, Init::HeNormal, &mut rng))
             .add(Relu::new())
             .add(Dense::new(4, 1, Init::XavierUniform, &mut rng));
         let adapter = AdvAdapter::new(BaselineConfig::default(), 0.3, 8);
-        adapter.adapt(&mut model, None, &Tensor::zeros(4, 1), &Mse);
+        let err = adapter
+            .adapt(&mut model, None, &Tensor::zeros(4, 1), &Mse)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MissingSource { baseline: "adv" });
+        assert!(!err.recoverable());
     }
 }

@@ -15,7 +15,8 @@
 //! the real one; the paper finds its gains inconsistent across users and
 //! near zero on crowd counting, which our experiments reproduce.
 
-use crate::common::{zero_grad, BaselineConfig, DomainAdapter};
+use crate::common::{validate_target, zero_grad, BaselineConfig, DomainAdapter};
+use tasfar_core::error::AdaptError;
 use tasfar_data::Dataset;
 use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
@@ -72,8 +73,14 @@ impl<M: SplitRegressor> DomainAdapter<M> for AugfreeAdapter {
         false
     }
 
-    fn adapt(&self, model: &mut M, _source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
-        assert!(target_x.rows() > 0, "AUGfree: empty target batch");
+    fn adapt(
+        &self,
+        model: &mut M,
+        _source: Option<&Dataset>,
+        target_x: &Tensor,
+        loss: &dyn Loss,
+    ) -> Result<(), AdaptError> {
+        validate_target(target_x, 1)?;
         let mut span = tasfar_obs::span("baseline.adapt");
         span.field("scheme", "AUGfree");
         span.field("target_rows", target_x.rows());
@@ -108,6 +115,7 @@ impl<M: SplitRegressor> DomainAdapter<M> for AugfreeAdapter {
             }
         }
         model.restore_whole(student);
+        Ok(())
     }
 }
 
@@ -193,7 +201,9 @@ mod tests {
             },
             0.3,
         );
-        adapter.adapt(&mut model, None, &noisy, &Mse);
+        adapter
+            .adapt(&mut model, None, &noisy, &Mse)
+            .expect("AUGfree adaptation succeeds on a healthy batch");
         let after = metrics::mse(&model.predict(&noisy), &yt);
         assert!(
             after <= before * 1.05,
@@ -238,7 +248,9 @@ mod tests {
             },
             0.2,
         );
-        adapter.adapt(&mut model, None, &xt, &Mse);
+        adapter
+            .adapt(&mut model, None, &xt, &Mse)
+            .expect("AUGfree adaptation succeeds on a healthy batch");
         let after = metrics::mse(&model.predict(&xt), &yt);
         assert!(
             (after - before).abs() < 0.05 + before,

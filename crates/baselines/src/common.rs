@@ -6,6 +6,7 @@
 //! *one* concatenated batch and the gradients are reassembled before the
 //! single backward call.
 
+use tasfar_core::error::{AdaptError, ErrorKind};
 use tasfar_data::Dataset;
 use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
@@ -31,9 +32,48 @@ pub trait DomainAdapter<M: SplitRegressor> {
     /// Adapts `model` in place using unlabeled `target_x` (and the source
     /// dataset when the scheme is source-based).
     ///
-    /// # Panics
-    /// Panics if a source-based scheme is called without source data.
-    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss);
+    /// # Errors
+    /// [`ErrorKind::MissingSource`] when a source-based scheme runs without
+    /// source data, [`ErrorKind::EmptyTargetBatch`] /
+    /// [`ErrorKind::NonFiniteInput`] on unusable target batches — the same
+    /// taxonomy the TASFAR pipeline reports, so the benchmark harness
+    /// handles every scheme's failures uniformly.
+    fn adapt(
+        &self,
+        model: &mut M,
+        source: Option<&Dataset>,
+        target_x: &Tensor,
+        loss: &dyn Loss,
+    ) -> Result<(), AdaptError>;
+}
+
+/// Pre-flight validation shared by the baseline adapters: the target batch
+/// must have at least `min_rows` rows (≥ 1) and contain only finite values.
+pub fn validate_target(target_x: &Tensor, min_rows: usize) -> Result<(), AdaptError> {
+    if target_x.rows() < min_rows.max(1) {
+        return Err(AdaptError::new(ErrorKind::EmptyTargetBatch));
+    }
+    let bad = target_x
+        .as_slice()
+        .iter()
+        .filter(|v| !v.is_finite())
+        .count();
+    if bad > 0 {
+        return Err(AdaptError::new(ErrorKind::NonFiniteInput {
+            what: "target batch",
+            bad,
+        }));
+    }
+    Ok(())
+}
+
+/// Unwraps the source dataset a source-based scheme needs, or reports the
+/// typed [`ErrorKind::MissingSource`] failure.
+pub fn require_source<'a>(
+    source: Option<&'a Dataset>,
+    baseline: &'static str,
+) -> Result<&'a Dataset, AdaptError> {
+    source.ok_or(AdaptError::new(ErrorKind::MissingSource { baseline }))
 }
 
 /// Hyper-parameters shared by the baseline training loops.

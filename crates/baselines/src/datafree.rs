@@ -10,7 +10,10 @@
 //! marginal feature statistics only repairs small "measurement-shift"-style
 //! gaps — it carries no information about the target label distribution.
 
-use crate::common::{rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter};
+use crate::common::{
+    rejoin, split_model, validate_target, zero_grad, BaselineConfig, DomainAdapter,
+};
+use tasfar_core::error::AdaptError;
 use tasfar_data::Dataset;
 use tasfar_nn::layers::{Layer, Mode};
 use tasfar_nn::loss::Loss;
@@ -185,11 +188,16 @@ impl<M: SplitRegressor> DomainAdapter<M> for DatafreeAdapter {
         false
     }
 
-    fn adapt(&self, model: &mut M, _source: Option<&Dataset>, target_x: &Tensor, _loss: &dyn Loss) {
-        assert!(
-            target_x.rows() > 1,
-            "Datafree: need at least 2 target samples"
-        );
+    fn adapt(
+        &self,
+        model: &mut M,
+        _source: Option<&Dataset>,
+        target_x: &Tensor,
+        _loss: &dyn Loss,
+    ) -> Result<(), AdaptError> {
+        // Histogram matching needs ≥ 2 samples for a meaningful target
+        // histogram.
+        validate_target(target_x, 2)?;
         let mut span = tasfar_obs::span("baseline.adapt");
         span.field("scheme", "Datafree");
         span.field("target_rows", target_x.rows());
@@ -225,6 +233,7 @@ impl<M: SplitRegressor> DomainAdapter<M> for DatafreeAdapter {
             }
         }
         rejoin(model, features, head);
+        Ok(())
     }
 }
 
@@ -334,7 +343,9 @@ mod tests {
             },
             stats,
         );
-        adapter.adapt(&mut model, None, &xt, &Mse);
+        adapter
+            .adapt(&mut model, None, &xt, &Mse)
+            .expect("Datafree adaptation succeeds without source data");
         let after = metrics::mse(&model.predict(&xt), &true_y);
         assert!(
             after < before * 0.8,
@@ -351,5 +362,39 @@ mod tests {
         };
         let adapter = DatafreeAdapter::new(BaselineConfig::default(), stats);
         assert!(!DomainAdapter::<Sequential>::requires_source(&adapter));
+    }
+
+    #[test]
+    fn degenerate_target_batches_are_typed_errors() {
+        use tasfar_core::error::ErrorKind;
+        let mut rng = Rng::new(3);
+        let mut model = Sequential::new()
+            .add(Dense::new(1, 4, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(4, 1, Init::XavierUniform, &mut rng));
+        let spec = SoftHistogram::new(0.0, 1.0, 4);
+        let stats = FeatureStats {
+            specs: vec![spec.clone()],
+            histograms: vec![spec.evaluate(&[0.5])],
+        };
+        let adapter = DatafreeAdapter::new(BaselineConfig::default(), stats);
+
+        let err = adapter
+            .adapt(&mut model, None, &Tensor::zeros(1, 1), &Mse)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::EmptyTargetBatch);
+
+        let mut poisoned = Tensor::zeros(8, 1);
+        poisoned.set(2, 0, f64::NAN);
+        let err = adapter
+            .adapt(&mut model, None, &poisoned, &Mse)
+            .unwrap_err();
+        assert_eq!(
+            err.kind,
+            ErrorKind::NonFiniteInput {
+                what: "target batch",
+                bad: 1
+            }
+        );
     }
 }

@@ -12,7 +12,10 @@
 //! time — the storage/privacy cost TASFAR exists to avoid. It serves as the
 //! upper-reference comparison in every experiment.
 
-use crate::common::{rejoin, split_model, zero_grad, BaselineConfig, DomainAdapter};
+use crate::common::{
+    rejoin, require_source, split_model, validate_target, zero_grad, BaselineConfig, DomainAdapter,
+};
+use tasfar_core::error::AdaptError;
 use tasfar_data::Dataset;
 use tasfar_nn::layers::Layer;
 use tasfar_nn::loss::Loss;
@@ -130,9 +133,16 @@ impl<M: SplitRegressor> DomainAdapter<M> for MmdAdapter {
         true
     }
 
-    fn adapt(&self, model: &mut M, source: Option<&Dataset>, target_x: &Tensor, loss: &dyn Loss) {
-        let source = source.expect("MMD is source-based: source dataset required");
-        assert!(target_x.rows() > 1, "MMD: need at least 2 target samples");
+    fn adapt(
+        &self,
+        model: &mut M,
+        source: Option<&Dataset>,
+        target_x: &Tensor,
+        loss: &dyn Loss,
+    ) -> Result<(), AdaptError> {
+        let source = require_source(source, "mmd")?;
+        // The MMD estimator needs ≥ 2 samples per domain.
+        validate_target(target_x, 2)?;
         let mut span = tasfar_obs::span("baseline.adapt");
         span.field("scheme", "MMD");
         span.field("target_rows", target_x.rows());
@@ -184,6 +194,7 @@ impl<M: SplitRegressor> DomainAdapter<M> for MmdAdapter {
             }
         }
         rejoin(model, features, head);
+        Ok(())
     }
 }
 
@@ -309,7 +320,9 @@ mod tests {
             },
             1.0,
         );
-        adapter.adapt(&mut model, Some(&source), &xt, &tasfar_nn::loss::Mse);
+        adapter
+            .adapt(&mut model, Some(&source), &xt, &tasfar_nn::loss::Mse)
+            .expect("MMD adaptation with source data succeeds");
         let after = {
             let p = model.predict(&xt);
             tasfar_core::metrics::mse(&p, &yt)
@@ -321,19 +334,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "source dataset required")]
-    fn requires_source_data() {
+    fn missing_source_is_a_typed_error() {
+        use tasfar_core::error::ErrorKind;
         let mut rng = Rng::new(5);
         let mut model = Sequential::new()
             .add(Dense::new(1, 4, Init::HeNormal, &mut rng))
             .add(Relu::new())
             .add(Dense::new(4, 1, Init::XavierUniform, &mut rng));
+        let reference = model.clone();
         let adapter = MmdAdapter::new(BaselineConfig::default(), 1.0);
-        adapter.adapt(
-            &mut model,
-            None,
-            &Tensor::zeros(4, 1),
-            &tasfar_nn::loss::Mse,
+        let err = adapter
+            .adapt(
+                &mut model,
+                None,
+                &Tensor::zeros(4, 1),
+                &tasfar_nn::loss::Mse,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::MissingSource { baseline: "mmd" });
+        assert!(!err.recoverable(), "no retry can conjure source data");
+        // Rejected before any training: model untouched.
+        let probe = Tensor::zeros(2, 1);
+        assert_eq!(
+            model.predict(&probe).as_slice(),
+            reference.clone().predict(&probe).as_slice()
         );
     }
 }

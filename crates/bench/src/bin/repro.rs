@@ -292,9 +292,26 @@ fn main() {
         run(name, &mut ctxs);
     }
     // Final counter/gauge/histogram snapshot next to the CSVs: how much work
-    // (epochs, MC-dropout passes, KDE samples, pool chunks) the run did.
+    // (epochs, MC-dropout passes, KDE samples, pool chunks) the run did —
+    // plus one outcome record per adaptation run (`adapted` /
+    // `recovered:<n>` / `fell_back`), so regressions in recovery behaviour
+    // show up in the saved perf trajectory.
     tasfar_obs::sync_pool_metrics();
-    let metrics = tasfar_obs::metrics::snapshot();
+    let mut metrics = tasfar_obs::metrics::snapshot();
+    let runs = Json::Arr(
+        tasfar_bench::schemes::outcome_log::drain()
+            .into_iter()
+            .map(|(scheme, outcome)| {
+                Json::obj(vec![
+                    ("scheme", Json::Str(scheme)),
+                    ("outcome", Json::Str(outcome)),
+                ])
+            })
+            .collect(),
+    );
+    if let Json::Obj(pairs) = &mut metrics {
+        pairs.push(("runs".to_string(), runs));
+    }
     let path = results_dir().join("repro_metrics.json");
     if let Err(e) = std::fs::write(&path, format!("{metrics}\n")) {
         eprintln!("[warn] could not write {}: {e}", path.display());

@@ -28,7 +28,8 @@ fn tasfar_variant(
         let mut model = ctx.model.clone();
         let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
         let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
-        let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+        let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg)
+            .expect("the ablation's adaptation batch must adapt");
         let after_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
         let after_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
         adapt_red.push(metrics::error_reduction_pct(before_adapt, after_adapt));
@@ -93,7 +94,8 @@ pub fn ablation_early_stop(ctx: &PdrContext) -> Table {
                 let mut model = ctx.model.clone();
                 let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
                 let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
-                let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+                let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg)
+                    .expect("the ablation's adaptation batch must adapt");
                 epochs_used.push(outcome.fit.epoch_losses.len() as f64);
                 adapt_red.push(metrics::error_reduction_pct(
                     before_adapt,
@@ -141,7 +143,8 @@ pub fn ablation_tau_rescale(ctx: &PdrContext) -> Table {
             let mut model = ctx.model.clone();
             let before_adapt = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
             let before_test = metrics::step_error(&model.predict(&test_ds.x), &test_ds.y);
-            let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
+            let outcome = adapt(&mut model, &ctx.calib, &adapt_ds.x, &Mse, &cfg)
+                .expect("the ablation's adaptation batch must adapt");
             ratios.push(outcome.split.uncertain_ratio());
             adapt_red.push(metrics::error_reduction_pct(
                 before_adapt,

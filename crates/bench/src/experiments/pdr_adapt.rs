@@ -304,12 +304,8 @@ fn tasfar_training_set(
     let mut probe = ctx.model.clone();
     let mut cfg = ctx.tasfar.clone();
     cfg.epochs = 0;
-    let outcome = adapt(&mut probe, &ctx.calib, &adapt_ds.x, &Mse, &cfg);
-    assert!(
-        outcome.skipped.is_none(),
-        "tasfar_training_set: {:?}",
-        outcome.skipped
-    );
+    let outcome = adapt(&mut probe, &ctx.calib, &adapt_ds.x, &Mse, &cfg)
+        .expect("tasfar_training_set: the probe batch must adapt");
     let dims = adapt_ds.output_dim();
     let n = outcome.split.uncertain.len() + outcome.split.confident.len();
     let mut rows = Vec::with_capacity(n);
@@ -486,8 +482,9 @@ pub fn fig22(ctx: &PdrContext) -> Table {
     let mixed = Dataset::concat(&[&a1.subset(&idx), &a2.subset(&idx)]);
     let mut model = ctx.model.clone();
     let before = metrics::step_error(&model.predict(&mixed.x), &mixed.y);
-    let outcome = adapt(&mut model, &ctx.calib, &mixed.x, &Mse, &ctx.tasfar);
-    if let Some(tasfar_core::adapt::BuiltMaps::Joint2d(map)) = &outcome.maps {
+    let outcome = adapt(&mut model, &ctx.calib, &mixed.x, &Mse, &ctx.tasfar)
+        .expect("fig22: the balanced two-user mix must adapt");
+    if let tasfar_core::adapt::BuiltMaps::Joint2d(map) = &outcome.maps {
         println!(
             "-- balanced two-user mix: estimated label density map (Fig. 22's double ring) --"
         );

@@ -309,7 +309,8 @@ pub fn fig9(ctx: &PdrContext) -> Table {
         let mut cfg = ctx.tasfar.clone();
         cfg.segments = q;
         let mut model = ctx.model.clone();
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg)
+            .expect("the sweep's re-calibration succeeds on the source set");
         // Swap the re-fitted calibration into a context view.
         let ctx_view = PdrContext {
             world: ctx.world.clone(),
@@ -348,7 +349,8 @@ pub fn fig10(ctx: &PdrContext) -> Table {
         let mut cfg = ctx.tasfar.clone();
         cfg.eta = eta;
         let mut model = ctx.model.clone();
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg)
+            .expect("the sweep's re-calibration succeeds on the source set");
         let tau = calib.classifier.tau;
         let ctx_view = PdrContext {
             world: ctx.world.clone(),

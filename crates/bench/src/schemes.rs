@@ -1,10 +1,20 @@
 //! Uniform scheme runner: adapts a fresh copy of the source model with any
 //! of the six schemes of the paper's comparison (Baseline = no adaptation).
+//!
+//! Every run goes through the fault-tolerant path: TASFAR runs under
+//! [`adapt_guarded`] (retry + source-checkpoint fallback), and a baseline
+//! whose adapter reports a typed [`AdaptError`] degrades to the unmodified
+//! source model instead of crashing the sweep. Each run's outcome label is
+//! appended to the process-wide [`outcome_log`], which `repro` drains into
+//! `results/repro_metrics.json`.
+
+use std::sync::Mutex;
 
 use tasfar_baselines::{
     record_source_stats, AdvAdapter, AugfreeAdapter, BaselineConfig, DatafreeAdapter,
     DomainAdapter, MmdAdapter,
 };
+use tasfar_core::error::AdaptError;
 use tasfar_core::prelude::*;
 use tasfar_data::Dataset;
 use tasfar_nn::layers::Sequential;
@@ -75,8 +85,58 @@ pub struct SchemeRun<'a> {
     pub seed: u64,
 }
 
+/// Process-wide log of per-run adaptation outcomes, one entry per
+/// [`run_scheme`] call: `(scheme name, outcome label)`. Labels are
+/// `"adapted"`, `"recovered:<retries>"`, or `"fell_back"` (`"baseline"` for
+/// the unadapted reference). `repro` drains this into
+/// `results/repro_metrics.json` so a saved run shows exactly which
+/// adaptations needed the recovery machinery.
+pub mod outcome_log {
+    use super::OUTCOMES;
+
+    /// Appends one outcome record.
+    pub fn record(scheme: &str, outcome: String) {
+        let mut log = OUTCOMES.lock().unwrap_or_else(|e| e.into_inner());
+        log.push((scheme.to_string(), outcome));
+    }
+
+    /// Takes every record logged so far, leaving the log empty.
+    pub fn drain() -> Vec<(String, String)> {
+        let mut log = OUTCOMES.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut *log)
+    }
+}
+
+static OUTCOMES: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Turns a baseline adapter result into an outcome label, restoring the
+/// source model on failure (the same do-no-harm contract the guarded
+/// TASFAR path provides).
+fn settle_baseline(
+    result: Result<(), AdaptError>,
+    model: &mut Sequential,
+    source_model: &Sequential,
+    scheme: Scheme,
+) -> String {
+    match result {
+        Ok(()) => "adapted".to_string(),
+        Err(err) => {
+            eprintln!(
+                "[warn] {} adaptation failed ({err}); keeping source model",
+                scheme.name()
+            );
+            *model = source_model.clone();
+            "fell_back".to_string()
+        }
+    }
+}
+
 /// Adapts a fresh copy of the source model with the given scheme and
 /// returns the adapted model.
+///
+/// Never panics on degenerate batches: TASFAR runs under [`adapt_guarded`]
+/// and the baselines fall back to the source model when their adapter
+/// reports an error. The outcome label is recorded in [`outcome_log`].
 pub fn run_scheme(scheme: Scheme, run: &SchemeRun<'_>) -> Sequential {
     let mut model = run.source_model.clone();
     // Feature-alignment objectives are not anchored to the regression
@@ -92,41 +152,62 @@ pub fn run_scheme(scheme: Scheme, run: &SchemeRun<'_>) -> Sequential {
         seed: run.seed,
         ..BaselineConfig::default()
     };
-    match scheme {
-        Scheme::Baseline => {}
+    let outcome = match scheme {
+        Scheme::Baseline => "baseline".to_string(),
         Scheme::Mmd => {
-            MmdAdapter::new(base(8, 1e-5), 0.3).adapt(
+            let result = MmdAdapter::new(base(8, 1e-5), 0.3).adapt(
                 &mut model,
                 Some(run.source),
                 run.target_x,
                 run.loss,
             );
+            settle_baseline(result, &mut model, run.source_model, scheme)
         }
         Scheme::Adv => {
-            AdvAdapter::new(base(15, 1e-4), 0.1, 32).adapt(
+            let result = AdvAdapter::new(base(15, 1e-4), 0.1, 32).adapt(
                 &mut model,
                 Some(run.source),
                 run.target_x,
                 run.loss,
             );
+            settle_baseline(result, &mut model, run.source_model, scheme)
         }
         Scheme::Datafree => {
             let stats = record_source_stats(&mut model, run.source, run.split_at, 16);
-            DatafreeAdapter::new(base(5, 1e-5), stats).adapt(
+            let result = DatafreeAdapter::new(base(5, 1e-5), stats).adapt(
                 &mut model,
                 None,
                 run.target_x,
                 run.loss,
             );
+            settle_baseline(result, &mut model, run.source_model, scheme)
         }
         Scheme::Augfree => {
-            AugfreeAdapter::new(base(8, 2e-5), 0.1).adapt(&mut model, None, run.target_x, run.loss);
+            let result = AugfreeAdapter::new(base(8, 2e-5), 0.1).adapt(
+                &mut model,
+                None,
+                run.target_x,
+                run.loss,
+            );
+            settle_baseline(result, &mut model, run.source_model, scheme)
         }
         Scheme::Tasfar => {
             let mut cfg = run.tasfar.clone();
             cfg.seed = run.seed;
-            let _ = adapt(&mut model, run.calib, run.target_x, run.loss, &cfg);
+            let guarded = adapt_guarded(
+                &mut model,
+                run.calib,
+                run.target_x,
+                run.loss,
+                &cfg,
+                &RecoveryPolicy::default(),
+            );
+            match &guarded {
+                GuardedOutcome::Recovered { retries, .. } => format!("recovered:{retries}"),
+                other => other.label().to_string(),
+            }
         }
-    }
+    };
+    outcome_log::record(scheme.name(), outcome);
     model
 }

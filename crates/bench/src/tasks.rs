@@ -150,7 +150,8 @@ impl PdrContext {
 
         let tasfar = pdr_tasfar_config(scale);
         let scaled_source = Dataset::new(x, world.source.y.clone());
-        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar);
+        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar)
+            .expect("PDR source calibration succeeds on the generated world");
         PdrContext {
             world,
             model,
@@ -281,7 +282,8 @@ impl CrowdContext {
 
         let tasfar = crowd_tasfar_config(scale);
         let scaled_source = Dataset::new(x, world.source.y.clone());
-        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar);
+        let calib = calibrate_on_source(&mut model, &scaled_source, &tasfar)
+            .expect("crowd source calibration succeeds on the generated world");
         CrowdContext {
             world,
             model,
@@ -411,7 +413,8 @@ fn build_tabular(
         batch_size: 32,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &tasfar);
+    let calib = calibrate_on_source(&mut model, &source, &tasfar)
+        .expect("tabular source calibration succeeds on the generated world");
     TabularContext {
         source,
         target,

@@ -18,6 +18,7 @@
 use crate::calibration::{ErrorModel, QsCalibration};
 use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
 use crate::density::{DensityMap1d, DensityMap2d};
+use crate::error::{AdaptError, ErrorKind};
 use crate::pipeline::{
     estimate_density_stage, finetune_stage, predict_stage, pseudo_label_stage, split_stage,
     PipelineTrace,
@@ -81,6 +82,10 @@ pub struct TasfarConfig {
     pub finetune_dropout: bool,
     /// Seed for shuffling during fine-tuning.
     pub seed: u64,
+    /// Minimum confident samples the density stage needs before it will
+    /// estimate a label prior; below it, `adapt` fails with
+    /// [`ErrorKind::NoConfidentSamples`]. At least 1 is always enforced.
+    pub min_confident: usize,
 }
 
 impl Default for TasfarConfig {
@@ -106,6 +111,7 @@ impl Default for TasfarConfig {
             }),
             finetune_dropout: false,
             seed: 0,
+            min_confident: 1,
         }
     }
 }
@@ -135,6 +141,7 @@ impl ToJson for TasfarConfig {
             ("early_stop", self.early_stop.to_json_value()),
             ("finetune_dropout", Json::Bool(self.finetune_dropout)),
             ("seed", Json::from(self.seed)),
+            ("min_confident", Json::from(self.min_confident)),
         ])
     }
 }
@@ -158,6 +165,11 @@ impl FromJson for TasfarConfig {
             early_stop: Option::<EarlyStop>::from_json_value(v.field("early_stop")?)?,
             finetune_dropout: v.field("finetune_dropout")?.as_bool()?,
             seed: v.field("seed")?.as_u64()?,
+            // Absent in configs saved before the field existed: default 1.
+            min_confident: match v.field("min_confident") {
+                Ok(f) => f.as_usize()?,
+                Err(_) => 1,
+            },
         })
     }
 }
@@ -199,22 +211,36 @@ impl FromJson for SourceCalibration {
 /// Generic over any [`StochasticRegressor`] — the model is a black box that
 /// only needs deterministic and dropout-active forward passes.
 ///
-/// # Panics
-/// Panics if the source dataset is empty.
+/// # Errors
+/// * [`ErrorKind::EmptySource`] — the source dataset has no rows.
+/// * [`ErrorKind::NonFiniteInput`] — the source inputs, labels, or the
+///   model's MC predictions on them carry NaN/±∞ values.
 pub fn calibrate_on_source<M: StochasticRegressor + ?Sized>(
     model: &mut M,
     source: &Dataset,
     cfg: &TasfarConfig,
-) -> SourceCalibration {
-    assert!(
-        !source.is_empty(),
-        "calibrate_on_source: empty source dataset"
-    );
+) -> Result<SourceCalibration, AdaptError> {
+    if source.is_empty() {
+        return Err(AdaptError::new(ErrorKind::EmptySource));
+    }
+    let bad = source
+        .y
+        .as_slice()
+        .iter()
+        .filter(|v| !v.is_finite())
+        .count();
+    if bad > 0 {
+        return Err(AdaptError::new(ErrorKind::NonFiniteInput {
+            what: "source labels",
+            bad,
+        }));
+    }
     let mut span = tasfar_obs::span("calibrate");
     span.field("source_rows", source.len());
     span.field("dims", source.output_dim());
     let mut trace = PipelineTrace::default();
-    let mc = predict_stage(model, &source.x, cfg, &mut trace);
+    // `predict_stage` validates `source.x` and the MC outputs.
+    let mc = predict_stage(model, &source.x, cfg, &mut trace)?;
     let classifier = ConfidenceClassifier::calibrate(&mc.uncertainty, cfg.eta);
     let median_uncertainty = median(&mc.uncertainty);
 
@@ -230,11 +256,11 @@ pub fn calibrate_on_source<M: StochasticRegressor + ?Sized>(
             .collect();
         qs.push(QsCalibration::fit(&u_d, &err_d, cfg.segments));
     }
-    SourceCalibration {
+    Ok(SourceCalibration {
         classifier,
         qs,
         median_uncertainty,
-    }
+    })
 }
 
 /// The density map(s) built during an adaptation.
@@ -246,10 +272,12 @@ pub enum BuiltMaps {
     Joint2d(DensityMap2d),
 }
 
-/// The result of one [`adapt`] run.
+/// The result of one *successful* [`adapt`] run — every stage completed.
+/// Failed runs return an [`AdaptError`] instead, so an outcome always holds
+/// real maps, pseudo-labels, and a fine-tune report.
 #[derive(Debug)]
 pub struct AdaptationOutcome {
-    /// The fine-tuning report (empty when adaptation was skipped).
+    /// The fine-tuning report.
     pub fit: FitReport,
     /// The MC prediction on the target batch *before* adaptation.
     pub mc: McPrediction,
@@ -259,10 +287,8 @@ pub struct AdaptationOutcome {
     /// `split.uncertain`.
     pub pseudo: Vec<PseudoLabel>,
     /// The density map(s) estimated from the confident predictions.
-    pub maps: Option<BuiltMaps>,
-    /// Why adaptation was skipped, if it was.
-    pub skipped: Option<&'static str>,
-    /// Per-stage execution records (wall time, sample counts, skip reason).
+    pub maps: BuiltMaps,
+    /// Per-stage execution records (wall time, sample counts).
     pub trace: PipelineTrace,
 }
 
@@ -316,21 +342,24 @@ pub fn scenario_classifier(
 /// `model` is modified in place: on return it is the target model. The
 /// returned outcome carries every intermediate product for analysis.
 ///
-/// Degenerate batches are handled conservatively: if the split leaves no
-/// confident data (no prior can be estimated) or no uncertain data (nothing
-/// needs pseudo-labels), the model is returned unchanged with
-/// `outcome.skipped` set.
+/// Degenerate batches are handled conservatively: any stage failure — no
+/// confident data, no uncertain data, a massless density map, a diverging
+/// fine-tune — aborts the pipeline with a typed [`AdaptError`] classifying
+/// the stage, cause, and recoverability. Failures before the `FineTune`
+/// stage leave the model untouched; a mid-fine-tune failure may leave
+/// partially updated weights, which [`crate::guard::adapt_guarded`] rolls
+/// back to the pre-adaptation snapshot.
 ///
-/// # Panics
-/// Panics if `target_x` is empty.
+/// # Errors
+/// [`ErrorKind::EmptyTargetBatch`] for an empty batch, plus every stage
+/// error documented in [`crate::pipeline`].
 pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
     model: &mut M,
     calib: &SourceCalibration,
     target_x: &Tensor,
     loss: &dyn Loss,
     cfg: &TasfarConfig,
-) -> AdaptationOutcome {
-    assert!(target_x.rows() > 0, "adapt: empty target batch");
+) -> Result<AdaptationOutcome, AdaptError> {
     // The whole run nests under one span, so every stage span below links to
     // it; the closing `parallel_pool` event summarises scheduling for the run.
     let mut run_span = tasfar_obs::timed_span("adapt");
@@ -338,72 +367,54 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
     tasfar_obs::metrics::counter("adapt.runs").incr();
 
     let mut trace = PipelineTrace::default();
-    let mc = predict_stage(model, target_x, cfg, &mut trace);
-    let (classifier, split) = split_stage(calib, cfg, &mc, &mut trace);
-
-    let mut outcome = AdaptationOutcome {
-        fit: FitReport {
-            epoch_losses: Vec::new(),
-            stopped_early_at: None,
-        },
-        mc,
-        split,
-        pseudo: Vec::new(),
-        maps: None,
-        skipped: None,
-        trace: PipelineTrace::default(),
-    };
-
-    let density = estimate_density_stage(
-        &outcome.mc,
-        calib,
-        &classifier,
-        &outcome.split,
-        cfg,
-        &mut trace,
-    );
-    let Some(density) = density else {
-        outcome.skipped = trace.skip_reason();
-        outcome.trace = trace;
-        finish_run(run_span, &outcome);
-        return outcome;
-    };
-
-    outcome.pseudo = pseudo_label_stage(&outcome.mc, &outcome.split, &density, cfg, &mut trace);
-    outcome.maps = Some(density.maps);
-
-    match finetune_stage(
-        model,
-        target_x,
-        &outcome.mc,
-        &outcome.split,
-        &outcome.pseudo,
-        loss,
-        cfg,
-        &mut trace,
-    ) {
-        Some(report) => outcome.fit = report,
-        None => outcome.skipped = trace.skip_reason(),
+    match run_stages(model, calib, target_x, loss, cfg, &mut trace) {
+        Ok(mut outcome) => {
+            outcome.trace = trace;
+            run_span.field("stages", outcome.trace.stages.len());
+            run_span.field("pseudo_labels", outcome.pseudo.len());
+            run_span.field("finetune_epochs", outcome.fit.epoch_losses.len());
+            // Emitted while the run span is still open, so the pool summary
+            // nests under `adapt` in the trace.
+            tasfar_obs::emit_pool_event();
+            Ok(outcome)
+        }
+        Err(err) => {
+            tasfar_obs::metrics::counter("adapt.failed").incr();
+            run_span.field("error", err.label());
+            run_span.field("recoverable", err.recoverable());
+            run_span.field("stages", trace.stages.len());
+            tasfar_obs::emit_pool_event();
+            Err(err)
+        }
     }
-    outcome.trace = trace;
-    finish_run(run_span, &outcome);
-    outcome
 }
 
-/// Annotates and closes the run span, counts skips, and emits the
-/// `parallel_pool` scheduling summary for the run (all no-ops record-wise
-/// when tracing is off; the skip/run counters always update).
-fn finish_run(mut span: tasfar_obs::SpanGuard, outcome: &AdaptationOutcome) {
-    if let Some(reason) = outcome.skipped {
-        tasfar_obs::metrics::counter("adapt.skipped").incr();
-        span.field("skipped", reason);
+/// The staged pipeline body: stops at the first failing stage, which has
+/// already recorded its abort in `trace`.
+fn run_stages<M: StochasticRegressor + TrainableRegressor + ?Sized>(
+    model: &mut M,
+    calib: &SourceCalibration,
+    target_x: &Tensor,
+    loss: &dyn Loss,
+    cfg: &TasfarConfig,
+    trace: &mut PipelineTrace,
+) -> Result<AdaptationOutcome, AdaptError> {
+    if target_x.rows() == 0 {
+        return Err(AdaptError::new(ErrorKind::EmptyTargetBatch));
     }
-    span.field("stages", outcome.trace.stages.len());
-    span.field("pseudo_labels", outcome.pseudo.len());
-    span.field("finetune_epochs", outcome.fit.epoch_losses.len());
-    // Emitted while the run span is still open, so the pool summary nests
-    // under `adapt` in the trace.
-    tasfar_obs::emit_pool_event();
+    let mc = predict_stage(model, target_x, cfg, trace)?;
+    let (classifier, split) = split_stage(calib, cfg, &mc, trace)?;
+    let density = estimate_density_stage(&mc, calib, &classifier, &split, cfg, trace)?;
+    let pseudo = pseudo_label_stage(&mc, &split, &density, cfg, trace)?;
+    let fit = finetune_stage(model, target_x, &mc, &split, &pseudo, loss, cfg, trace)?;
+    Ok(AdaptationOutcome {
+        fit,
+        mc,
+        split,
+        pseudo,
+        maps: density.maps,
+        trace: PipelineTrace::default(),
+    })
 }
 
 #[cfg(test)]
@@ -526,7 +537,8 @@ mod tests {
     #[test]
     fn calibration_has_one_qs_per_dim() {
         let mut toy = build_toy(1);
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &toy_config());
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &toy_config())
+            .expect("healthy source calibrates");
         assert_eq!(calib.qs.len(), 1);
         assert!(calib.classifier.tau > 0.0);
         // σ must be monotone in u (a₁ ≥ 0 by construction).
@@ -537,10 +549,10 @@ mod tests {
     fn adaptation_reduces_target_error() {
         let mut toy = build_toy(2);
         let cfg = toy_config();
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
         let before = evaluate(&mut toy.model, &Mse, &toy.target_x, &toy.target_y);
-        let outcome = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
-        assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+        let outcome =
+            adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg).expect("healthy batch adapts");
         let after = evaluate(&mut toy.model, &Mse, &toy.target_x, &toy.target_y);
         assert!(
             after < before,
@@ -556,8 +568,8 @@ mod tests {
         // the source predictions, on the uncertain set.
         let mut toy = build_toy(3);
         let cfg = toy_config();
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
-        let outcome = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
+        let outcome = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg).unwrap();
         let mut err_pred = 0.0;
         let mut err_pseudo = 0.0;
         for (row, &i) in outcome.split.uncertain.iter().enumerate() {
@@ -575,8 +587,8 @@ mod tests {
     fn uncertain_share_exceeds_one_minus_eta_under_domain_gap() {
         let mut toy = build_toy(4);
         let cfg = toy_config();
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
-        let outcome = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
+        let outcome = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg).unwrap();
         assert!(
             outcome.split.uncertain_ratio() > 1.0 - cfg.eta,
             "target uncertain ratio {} should exceed {}",
@@ -593,15 +605,16 @@ mod tests {
             use_credibility: false,
             ..toy_config()
         };
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg_on);
-        let a = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_on);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg_on).unwrap();
+        let a = adapt(&mut toy.model.clone(), &calib, &toy.target_x, &Mse, &cfg_on).unwrap();
         let b = adapt(
             &mut toy.model.clone(),
             &calib,
             &toy.target_x,
             &Mse,
             &cfg_off,
-        );
+        )
+        .unwrap();
         assert_eq!(a.pseudo.len(), b.pseudo.len());
         for (pa, pb) in a.pseudo.iter().zip(&b.pseudo) {
             assert_eq!(pa.value, pb.value);
@@ -609,10 +622,10 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_batches_are_skipped_safely() {
+    fn degenerate_batches_return_typed_recoverable_errors() {
         let mut toy = build_toy(6);
         let cfg = toy_config();
-        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
         // Force everything uncertain with a tiny tau.
         let tiny = SourceCalibration {
             classifier: ConfidenceClassifier::from_tau(1e-12, 0.9),
@@ -620,12 +633,17 @@ mod tests {
             median_uncertainty: calib.median_uncertainty,
         };
         let snapshot = toy.model.clone();
-        let outcome = adapt(&mut toy.model, &tiny, &toy.target_x, &Mse, &cfg);
+        let err = adapt(&mut toy.model, &tiny, &toy.target_x, &Mse, &cfg).unwrap_err();
         assert_eq!(
-            outcome.skipped,
-            Some("no confident data to estimate the label distribution")
+            err.kind,
+            ErrorKind::NoConfidentSamples {
+                found: 0,
+                required: 1
+            }
         );
-        // Model untouched.
+        assert_eq!(err.stage, Some(crate::pipeline::Stage::EstimateDensity));
+        assert!(err.recoverable(), "a widened tau could fix this split");
+        // Model untouched: the failure precedes the fine-tune.
         let mut m = toy.model.clone();
         let mut s = snapshot.clone();
         assert_eq!(m.predict(&toy.target_x), s.predict(&toy.target_x));
@@ -636,8 +654,59 @@ mod tests {
             qs: calib.qs,
             median_uncertainty: calib.median_uncertainty,
         };
-        let outcome = adapt(&mut toy.model, &huge, &toy.target_x, &Mse, &cfg);
-        assert_eq!(outcome.skipped, Some("no uncertain data to pseudo-label"));
+        let err = adapt(&mut toy.model, &huge, &toy.target_x, &Mse, &cfg).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NoUncertainSamples);
+        assert!(err.recoverable());
+    }
+
+    #[test]
+    fn empty_and_poisoned_batches_are_rejected_up_front() {
+        let mut toy = build_toy(8);
+        let cfg = toy_config();
+        let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
+
+        let empty = Tensor::zeros(0, 2);
+        let err = adapt(&mut toy.model, &calib, &empty, &Mse, &cfg).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::EmptyTargetBatch);
+        assert!(!err.recoverable());
+
+        let snapshot = toy.model.clone();
+        let mut poisoned = toy.target_x.clone();
+        poisoned.set(3, 0, f64::NAN);
+        poisoned.set(7, 1, f64::INFINITY);
+        let err = adapt(&mut toy.model, &calib, &poisoned, &Mse, &cfg).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ErrorKind::NonFiniteInput {
+                what: "target batch",
+                bad: 2
+            }
+        );
+        assert!(!err.recoverable(), "corrupt data cannot be retried away");
+        // The check runs before any forward pass: model untouched.
+        let mut m = toy.model.clone();
+        let mut s = snapshot.clone();
+        assert_eq!(m.predict(&toy.target_x), s.predict(&toy.target_x));
+    }
+
+    #[test]
+    fn calibration_rejects_empty_and_poisoned_sources() {
+        let mut toy = build_toy(9);
+        let cfg = toy_config();
+        let empty = Dataset::new(Tensor::zeros(0, 2), Tensor::zeros(0, 1));
+        let err = calibrate_on_source(&mut toy.model, &empty, &cfg).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::EmptySource);
+
+        let mut bad_y = toy.source.clone();
+        bad_y.y.set(0, 0, f64::NAN);
+        let err = calibrate_on_source(&mut toy.model, &bad_y, &cfg).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ErrorKind::NonFiniteInput {
+                what: "source labels",
+                bad: 1
+            }
+        );
     }
 
     #[test]
@@ -645,11 +714,34 @@ mod tests {
         let run = || {
             let mut toy = build_toy(7);
             let cfg = toy_config();
-            let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg);
-            let _ = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg);
+            let calib = calibrate_on_source(&mut toy.model, &toy.source, &cfg).unwrap();
+            let _ = adapt(&mut toy.model, &calib, &toy.target_x, &Mse, &cfg).unwrap();
             let mut m = toy.model;
             m.predict(&toy.target_x).as_slice().to_vec()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn config_json_roundtrips_and_tolerates_missing_min_confident() {
+        let cfg = TasfarConfig {
+            min_confident: 5,
+            ..TasfarConfig::default()
+        };
+        let restored = TasfarConfig::from_json_value(&cfg.to_json_value()).unwrap();
+        assert_eq!(restored.min_confident, 5);
+
+        // A config serialized before `min_confident` existed still decodes.
+        let legacy = match TasfarConfig::default().to_json_value() {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "min_confident")
+                    .collect(),
+            ),
+            _ => unreachable!("TasfarConfig serializes to an object"),
+        };
+        let restored = TasfarConfig::from_json_value(&legacy).unwrap();
+        assert_eq!(restored.min_confident, 1);
     }
 }

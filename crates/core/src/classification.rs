@@ -336,7 +336,7 @@ mod tests {
             early_stop: None,
             ..TasfarConfig::default()
         };
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg).unwrap();
 
         // Target scenario: class 2 dominates, 40 % hard inputs.
         let (xt, _, labels) = gen(400, [0.15, 0.15, 0.7], 0.4, &mut rng);

@@ -200,6 +200,14 @@ impl DensityMap1d {
         self.total_mass() / self.spec.bins as f64
     }
 
+    /// Zeroes every cell — the `Fault::ZeroDensityMass` chaos payload,
+    /// simulating an estimate whose mass leaked entirely off-grid.
+    pub(crate) fn chaos_clear_mass(&mut self) {
+        for m in &mut self.mass {
+            *m = 0.0;
+        }
+    }
+
     /// Probability *density* (mass / cell width) of cell `i` — the
     /// resolution-independent quantity compared in Fig. 7.
     pub fn pdf(&self, i: usize) -> f64 {
@@ -363,6 +371,14 @@ impl DensityMap2d {
     /// Mean cell mass (the 2-D `d̄ᵢ`).
     pub fn mean_mass(&self) -> f64 {
         self.total_mass() / self.mass.len() as f64
+    }
+
+    /// Zeroes every cell — the `Fault::ZeroDensityMass` chaos payload,
+    /// simulating an estimate whose mass leaked entirely off-grid.
+    pub(crate) fn chaos_clear_mass(&mut self) {
+        for m in &mut self.mass {
+            *m = 0.0;
+        }
     }
 
     /// Mean absolute probability-density difference (2-D Fig. 7 metric).

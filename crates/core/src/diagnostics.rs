@@ -9,11 +9,13 @@
 use crate::adapt::{AdaptationOutcome, BuiltMaps};
 use std::fmt;
 
-/// Label-free health indicators of one adaptation run.
+/// Label-free health indicators of one *successful* adaptation run.
+///
+/// Failed runs never produce an [`AdaptationOutcome`] — they report a typed
+/// [`crate::error::AdaptError`] instead, which carries its own stage, cause,
+/// and recoverability classification.
 #[derive(Debug, Clone)]
 pub struct AdaptationDiagnostics {
-    /// Why the run was skipped, if it was.
-    pub skipped: Option<&'static str>,
     /// Samples in the target batch.
     pub batch_size: usize,
     /// Share classified uncertain.
@@ -84,15 +86,14 @@ impl AdaptationDiagnostics {
         }
 
         let map_concentration = match &outcome.maps {
-            Some(BuiltMaps::Joint2d(m)) => concentration(m.masses().to_vec()),
-            Some(BuiltMaps::PerDim(maps)) => {
+            BuiltMaps::Joint2d(m) => concentration(m.masses().to_vec()),
+            BuiltMaps::PerDim(maps) => {
                 let per: Vec<f64> = maps
                     .iter()
                     .map(|m| concentration(m.masses().to_vec()))
                     .collect();
                 per.iter().sum::<f64>() / per.len().max(1) as f64
             }
-            None => 0.0,
         };
 
         let loss_improvement = match (
@@ -104,7 +105,6 @@ impl AdaptationDiagnostics {
         };
 
         AdaptationDiagnostics {
-            skipped: outcome.skipped,
             batch_size,
             uncertain_ratio: outcome.split.uncertain_ratio(),
             informative_ratio: if outcome.pseudo.is_empty() {
@@ -121,11 +121,10 @@ impl AdaptationDiagnostics {
     }
 
     /// A coarse verdict: `true` when the run shows the signatures of a
-    /// productive adaptation (not skipped, some uncertain data, informative
+    /// productive adaptation (some uncertain data, informative
     /// pseudo-labels, a structured map, a falling loss).
     pub fn looks_healthy(&self) -> bool {
-        self.skipped.is_none()
-            && self.uncertain_ratio > 0.01
+        self.uncertain_ratio > 0.01
             && self.informative_ratio > 0.5
             && self.map_concentration > 0.2
             && self.loss_improvement > 1.0
@@ -134,9 +133,6 @@ impl AdaptationDiagnostics {
 
 impl fmt::Display for AdaptationDiagnostics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if let Some(reason) = self.skipped {
-            return writeln!(f, "adaptation skipped: {reason}");
-        }
         writeln!(f, "adaptation diagnostics")?;
         writeln!(f, "  batch size          {}", self.batch_size)?;
         writeln!(
@@ -237,7 +233,7 @@ mod tests {
             early_stop: None,
             ..TasfarConfig::default()
         };
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg).unwrap();
         let mut xt = Tensor::zeros(300, 2);
         for i in 0..300 {
             let y = rng.gaussian(cluster, 0.05);
@@ -258,14 +254,13 @@ mod tests {
                 },
             );
         }
-        adapt(&mut model, &calib, &xt, &Mse, &cfg)
+        adapt(&mut model, &calib, &xt, &Mse, &cfg).expect("healthy toy batch adapts")
     }
 
     #[test]
     fn healthy_run_is_diagnosed_healthy() {
         let outcome = toy_outcome(0.5);
         let diag = AdaptationDiagnostics::from_outcome(&outcome);
-        assert!(diag.skipped.is_none());
         assert!(diag.uncertain_ratio > 0.05);
         assert!(diag.informative_ratio > 0.9);
         assert!(
@@ -322,17 +317,5 @@ mod tests {
         // Degenerate inputs.
         assert_eq!(concentration(Vec::new()), 0.0);
         assert_eq!(concentration(vec![0.0; 10]), 0.0);
-    }
-
-    #[test]
-    fn skipped_outcome_displays_reason() {
-        let outcome = {
-            let mut o = toy_outcome(0.5);
-            o.skipped = Some("test reason");
-            o
-        };
-        let diag = AdaptationDiagnostics::from_outcome(&outcome);
-        assert!(!diag.looks_healthy());
-        assert!(diag.to_string().contains("test reason"));
     }
 }

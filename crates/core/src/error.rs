@@ -1,0 +1,243 @@
+//! Typed failure taxonomy for the adaptation pipeline.
+//!
+//! Every fallible step of the TASFAR pipeline reports an [`AdaptError`]
+//! instead of panicking: which [`Stage`] failed (when one was running), what
+//! went wrong ([`ErrorKind`]), and — the axis the recovery layer keys on —
+//! whether a retry with adjusted hyper-parameters can plausibly succeed
+//! ([`AdaptError::recoverable`]). Unrecoverable failures (corrupt inputs,
+//! empty batches, caller bugs) go straight to graceful degradation in
+//! [`crate::guard::adapt_guarded`]; recoverable ones (degenerate splits,
+//! massless density maps, diverging fine-tunes) earn bounded retries.
+
+use crate::pipeline::Stage;
+use std::fmt;
+use tasfar_nn::error::TrainError;
+
+/// What went wrong during calibration or adaptation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// An input or intermediate tensor carried NaN/±∞ values. `what` names
+    /// the offending quantity, `bad` counts the non-finite entries.
+    NonFiniteInput {
+        /// The quantity that failed the finiteness check.
+        what: &'static str,
+        /// How many entries were non-finite.
+        bad: usize,
+    },
+    /// The target batch had no rows.
+    EmptyTargetBatch,
+    /// The source dataset for calibration had no rows.
+    EmptySource,
+    /// The confidence split left fewer confident samples than the
+    /// configured minimum — no label prior can be estimated.
+    NoConfidentSamples {
+        /// Confident samples found.
+        found: usize,
+        /// `TasfarConfig::min_confident` (at least 1).
+        required: usize,
+    },
+    /// The confidence split left no uncertain samples — nothing to
+    /// pseudo-label.
+    NoUncertainSamples,
+    /// The estimated density map carries no probability mass.
+    ZeroDensityMass,
+    /// The density grid/bandwidth is degenerate (non-finite or
+    /// non-positive), so no map can be built.
+    DegenerateBandwidth {
+        /// The offending cell width or spread value.
+        value: f64,
+    },
+    /// Every pseudo-label carried zero credibility, leaving an all-zero
+    /// training weight vector.
+    ZeroCredibility {
+        /// Pseudo-labels produced before the weights zeroed out.
+        labels: usize,
+    },
+    /// The fine-tune (or a baseline's training loop) failed.
+    Train(TrainError),
+    /// A baseline that needs source data was run without it.
+    MissingSource {
+        /// The baseline that required the data.
+        baseline: &'static str,
+    },
+}
+
+/// A classified failure of [`crate::adapt::adapt`],
+/// [`crate::adapt::calibrate_on_source`], or a baseline adapter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptError {
+    /// The pipeline stage that failed; `None` for failures outside the
+    /// staged pipeline (pre-flight validation, calibration, baselines).
+    pub stage: Option<Stage>,
+    /// The failure classification.
+    pub kind: ErrorKind,
+}
+
+impl AdaptError {
+    /// An error outside any pipeline stage.
+    pub fn new(kind: ErrorKind) -> AdaptError {
+        AdaptError { stage: None, kind }
+    }
+
+    /// An error attributed to a pipeline stage.
+    pub fn at(stage: Stage, kind: ErrorKind) -> AdaptError {
+        AdaptError {
+            stage: Some(stage),
+            kind,
+        }
+    }
+
+    /// Whether a retry with adjusted hyper-parameters (wider τ or grid
+    /// cell, smaller learning rate) can plausibly succeed. Corrupt or empty
+    /// inputs cannot be retried away; degenerate splits, massless maps, and
+    /// diverging fine-tunes can.
+    pub fn recoverable(&self) -> bool {
+        match &self.kind {
+            ErrorKind::NoConfidentSamples { .. }
+            | ErrorKind::NoUncertainSamples
+            | ErrorKind::ZeroDensityMass
+            | ErrorKind::DegenerateBandwidth { .. }
+            | ErrorKind::ZeroCredibility { .. } => true,
+            ErrorKind::Train(e) => e.recoverable(),
+            ErrorKind::NonFiniteInput { .. }
+            | ErrorKind::EmptyTargetBatch
+            | ErrorKind::EmptySource
+            | ErrorKind::MissingSource { .. } => false,
+        }
+    }
+
+    /// Stable snake_case label for metrics, span fields, and traces.
+    pub fn label(&self) -> &'static str {
+        match &self.kind {
+            ErrorKind::NonFiniteInput { .. } => "non_finite_input",
+            ErrorKind::EmptyTargetBatch => "empty_target_batch",
+            ErrorKind::EmptySource => "empty_source",
+            ErrorKind::NoConfidentSamples { .. } => "no_confident_samples",
+            ErrorKind::NoUncertainSamples => "no_uncertain_samples",
+            ErrorKind::ZeroDensityMass => "zero_density_mass",
+            ErrorKind::DegenerateBandwidth { .. } => "degenerate_bandwidth",
+            ErrorKind::ZeroCredibility { .. } => "zero_credibility",
+            ErrorKind::Train(_) => "train",
+            ErrorKind::MissingSource { .. } => "missing_source",
+        }
+    }
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(stage) = self.stage {
+            write!(f, "stage `{stage}`: ")?;
+        }
+        match &self.kind {
+            ErrorKind::NonFiniteInput { what, bad } => {
+                write!(f, "{what} contains {bad} non-finite value(s)")
+            }
+            ErrorKind::EmptyTargetBatch => write!(f, "adapt: empty target batch"),
+            ErrorKind::EmptySource => write!(f, "calibrate_on_source: empty source dataset"),
+            ErrorKind::NoConfidentSamples { found, required } => write!(
+                f,
+                "no confident data to estimate the label distribution \
+                 ({found} confident, {required} required)"
+            ),
+            ErrorKind::NoUncertainSamples => write!(f, "no uncertain data to pseudo-label"),
+            ErrorKind::ZeroDensityMass => {
+                write!(f, "the estimated label density map carries no mass")
+            }
+            ErrorKind::DegenerateBandwidth { value } => {
+                write!(f, "degenerate density bandwidth ({value})")
+            }
+            ErrorKind::ZeroCredibility { labels } => write!(
+                f,
+                "all pseudo-labels carry zero credibility ({labels} label(s))"
+            ),
+            ErrorKind::Train(e) => write!(f, "fine-tune failed: {e}"),
+            ErrorKind::MissingSource { baseline } => {
+                write!(f, "{baseline} requires source data (`source` was None)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ErrorKind::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TrainError> for AdaptError {
+    fn from(e: TrainError) -> AdaptError {
+        AdaptError::at(Stage::FineTune, ErrorKind::Train(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability_matches_the_taxonomy() {
+        let recoverable = [
+            ErrorKind::NoConfidentSamples {
+                found: 0,
+                required: 1,
+            },
+            ErrorKind::NoUncertainSamples,
+            ErrorKind::ZeroDensityMass,
+            ErrorKind::DegenerateBandwidth { value: f64::NAN },
+            ErrorKind::ZeroCredibility { labels: 3 },
+            ErrorKind::Train(TrainError::NonFinite {
+                loss: f64::NAN,
+                epoch: 0,
+            }),
+        ];
+        for kind in recoverable {
+            assert!(AdaptError::new(kind.clone()).recoverable(), "{kind:?}");
+        }
+        let fatal = [
+            ErrorKind::NonFiniteInput {
+                what: "target batch",
+                bad: 2,
+            },
+            ErrorKind::EmptyTargetBatch,
+            ErrorKind::EmptySource,
+            ErrorKind::MissingSource { baseline: "mmd" },
+            ErrorKind::Train(TrainError::EmptyDataset),
+        ];
+        for kind in fatal {
+            assert!(!AdaptError::new(kind.clone()).recoverable(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn display_names_the_stage_and_cause() {
+        let err = AdaptError::at(
+            Stage::EstimateDensity,
+            ErrorKind::NoConfidentSamples {
+                found: 0,
+                required: 4,
+            },
+        );
+        let text = err.to_string();
+        assert!(text.contains("estimate_density"), "{text}");
+        assert!(text.contains("0 confident, 4 required"), "{text}");
+        assert_eq!(err.label(), "no_confident_samples");
+    }
+
+    #[test]
+    fn train_errors_chain_as_source() {
+        use std::error::Error;
+        let err: AdaptError = TrainError::Diverged {
+            loss: 80.0,
+            baseline: 1.0,
+            factor: 8.0,
+            epoch: 3,
+        }
+        .into();
+        assert_eq!(err.stage, Some(Stage::FineTune));
+        assert!(err.source().is_some());
+        assert!(err.recoverable());
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic, seeded fault injection for the adaptation pipeline.
+//!
+//! Chaos-testing support: arm exactly one [`Fault`] — programmatically via
+//! [`arm`]/[`arm_seeded`], or through the `TASFAR_CHAOS` environment
+//! variable — and the next pipeline run that reaches the fault's stage
+//! corrupts its own intermediate state in a reproducible way. Faults are
+//! **one-shot**: the first run that trips one consumes it, so a guarded
+//! retry observes the healthy pipeline. Every injection increments the
+//! `chaos.injected.<fault>` counter in the metrics registry, so traces and
+//! snapshots show exactly which runs were sabotaged.
+//!
+//! The injected corruption is indistinguishable from the real failure it
+//! models — a NaN-poisoned batch, a split with nothing confident, a
+//! massless density map, a mid-training loss explosion — which is the
+//! point: the chaos suite proves the *validation and recovery* layers catch
+//! the corruption, not that the injector can throw errors.
+
+use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::{Mutex, Once};
+
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// The injectable fault classes, one per pipeline failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Poison a seeded selection of target-batch entries with NaN before
+    /// the `Predict` stage's input validation.
+    NanBatch,
+    /// Reclassify every confident sample as uncertain after the `Split`
+    /// stage, starving the density estimator.
+    EmptyConfidentSplit,
+    /// Zero the estimated density map's mass after `EstimateDensity`.
+    ZeroDensityMass,
+    /// Swap the fine-tune loss for one whose value grows ×10 per batch,
+    /// tripping the divergence guard.
+    LossExplosion,
+}
+
+impl Fault {
+    /// Stable snake_case label (metrics and `TASFAR_CHAOS` syntax).
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::NanBatch => "nan_batch",
+            Fault::EmptyConfidentSplit => "empty_confident_split",
+            Fault::ZeroDensityMass => "zero_density_mass",
+            Fault::LossExplosion => "loss_explosion",
+        }
+    }
+
+    /// Parses a label back to a fault (the `TASFAR_CHAOS` value).
+    pub fn parse(label: &str) -> Option<Fault> {
+        match label {
+            "nan_batch" => Some(Fault::NanBatch),
+            "empty_confident_split" => Some(Fault::EmptyConfidentSplit),
+            "zero_density_mass" => Some(Fault::ZeroDensityMass),
+            "loss_explosion" => Some(Fault::LossExplosion),
+            _ => None,
+        }
+    }
+
+    fn counter_name(self) -> &'static str {
+        match self {
+            Fault::NanBatch => "chaos.injected.nan_batch",
+            Fault::EmptyConfidentSplit => "chaos.injected.empty_confident_split",
+            Fault::ZeroDensityMass => "chaos.injected.zero_density_mass",
+            Fault::LossExplosion => "chaos.injected.loss_explosion",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Armed {
+    fault: Fault,
+    seed: u64,
+}
+
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+static ENV_INIT: Once = Once::new();
+
+fn slot() -> std::sync::MutexGuard<'static, Option<Armed>> {
+    ARMED.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms `fault` with seed 0. One-shot: consumed by the next run that
+/// reaches the fault's stage.
+pub fn arm(fault: Fault) {
+    arm_seeded(fault, 0);
+}
+
+/// Arms `fault` with an explicit seed (the seed steers which entries a
+/// [`Fault::NanBatch`] poisons; other faults ignore it but record it).
+pub fn arm_seeded(fault: Fault, seed: u64) {
+    *slot() = Some(Armed { fault, seed });
+}
+
+/// Disarms any pending fault.
+pub fn disarm() {
+    *slot() = None;
+}
+
+/// The currently armed fault, if any (not consumed).
+pub fn armed() -> Option<Fault> {
+    slot().map(|a| a.fault)
+}
+
+/// Arms a fault from `TASFAR_CHAOS` (`<fault>` or `<fault>:<seed>`), once
+/// per process. Called on entry to `adapt_guarded`, so source-side
+/// calibration is never sabotaged — the chaos lands on the guarded
+/// adaptation it is meant to exercise. Unknown labels are ignored.
+pub fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Ok(value) = std::env::var("TASFAR_CHAOS") {
+            let (label, seed) = match value.split_once(':') {
+                Some((l, s)) => (l, s.parse().unwrap_or(0)),
+                None => (value.as_str(), 0),
+            };
+            if let Some(fault) = Fault::parse(label) {
+                arm_seeded(fault, seed);
+            }
+        }
+    });
+}
+
+/// Consumes the armed fault if it matches `fault`, returning its seed.
+/// Counts the injection in `chaos.injected.<fault>`.
+pub(crate) fn take(fault: Fault) -> Option<u64> {
+    let mut guard = slot();
+    match *guard {
+        Some(armed) if armed.fault == fault => {
+            *guard = None;
+            tasfar_obs::metrics::counter(fault.counter_name()).incr();
+            tasfar_obs::event(
+                "chaos.injected",
+                vec![
+                    ("fault", fault.label().into()),
+                    ("seed", (armed.seed as f64).into()),
+                ],
+            );
+            Some(armed.seed)
+        }
+        _ => None,
+    }
+}
+
+/// A copy of `x` with a seeded selection of entries replaced by NaN —
+/// the [`Fault::NanBatch`] payload. Deterministic in `(shape, seed)`.
+pub(crate) fn nan_corrupted(x: &Tensor, seed: u64) -> Tensor {
+    let mut out = x.clone();
+    let n = out.as_slice().len();
+    if n == 0 {
+        return out;
+    }
+    let mut rng = Rng::new(seed.wrapping_add(0x0005_eedc_4a05));
+    // Poison ~1% of the batch, at least one entry.
+    let poisoned = (n / 100).max(1);
+    let slice = out.as_mut_slice();
+    for _ in 0..poisoned {
+        slice[rng.below(n)] = f64::NAN;
+    }
+    out
+}
+
+/// A loss whose value grows ×10 on every evaluation — the
+/// [`Fault::LossExplosion`] payload. The gradient is zero, so the weights
+/// stay untouched while the divergence guard watches the value blow past
+/// its epoch-0 baseline.
+pub(crate) struct ExplodingLoss {
+    calls: AtomicI32,
+}
+
+impl ExplodingLoss {
+    pub(crate) fn new() -> ExplodingLoss {
+        ExplodingLoss {
+            calls: AtomicI32::new(0),
+        }
+    }
+}
+
+impl tasfar_nn::loss::Loss for ExplodingLoss {
+    fn name(&self) -> &'static str {
+        "chaos_exploding"
+    }
+
+    fn per_sample(&self, pred: &Tensor, _target: &Tensor) -> Vec<f64> {
+        let k = self.calls.fetch_add(1, Ordering::SeqCst);
+        vec![10f64.powi(k.min(300)); pred.rows()]
+    }
+
+    fn grad(&self, pred: &Tensor, _target: &Tensor, _weights: Option<&[f64]>) -> Tensor {
+        Tensor::zeros(pred.rows(), pred.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The armed slot is process-global; these tests must not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn arming_is_one_shot() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm();
+        arm_seeded(Fault::ZeroDensityMass, 7);
+        assert_eq!(armed(), Some(Fault::ZeroDensityMass));
+        // A different stage's probe leaves the fault armed.
+        assert_eq!(take(Fault::NanBatch), None);
+        assert_eq!(take(Fault::ZeroDensityMass), Some(7));
+        // Consumed: the retry sees a healthy pipeline.
+        assert_eq!(take(Fault::ZeroDensityMass), None);
+        assert_eq!(armed(), None);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for fault in [
+            Fault::NanBatch,
+            Fault::EmptyConfidentSplit,
+            Fault::ZeroDensityMass,
+            Fault::LossExplosion,
+        ] {
+            assert_eq!(Fault::parse(fault.label()), Some(fault));
+        }
+        assert_eq!(Fault::parse("segfault"), None);
+    }
+
+    #[test]
+    fn nan_corruption_is_deterministic_and_nonempty() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let x = Tensor::zeros(40, 3);
+        let a = nan_corrupted(&x, 11);
+        let b = nan_corrupted(&x, 11);
+        let bad = |t: &Tensor| {
+            t.as_slice()
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.is_nan())
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        };
+        assert!(!bad(&a).is_empty());
+        assert_eq!(bad(&a), bad(&b), "same seed, same poisoned entries");
+        assert_ne!(bad(&a), bad(&nan_corrupted(&x, 12)));
+    }
+}

@@ -49,13 +49,31 @@
 //! let cfg = TasfarConfig::default();
 //!
 //! // Phase 1 (source side): calibrate τ and Q_s, then ship the model.
-//! let calib = calibrate_on_source(&mut model, &source, &cfg);
+//! let calib = calibrate_on_source(&mut model, &source, &cfg)
+//!     .expect("source calibration failed");
 //!
-//! // Phase 2 (target side): adapt with *unlabeled* target data only.
+//! // Phase 2 (target side): adapt with *unlabeled* target data only, under
+//! // the do-no-harm guard — failures roll the model back to its source
+//! // weights instead of shipping a broken adaptation.
 //! let target_x: Tensor = get_target_inputs();
-//! let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
-//! println!("uncertain share: {:.1}%", 100.0 * outcome.split.uncertain_ratio());
+//! let outcome = adapt_guarded(
+//!     &mut model, &calib, &target_x, &Mse, &cfg, &RecoveryPolicy::default(),
+//! );
+//! match outcome.adaptation() {
+//!     Some(a) => println!(
+//!         "{} (retries {}): uncertain share {:.1}%",
+//!         outcome.label(),
+//!         outcome.retries(),
+//!         100.0 * a.split.uncertain_ratio(),
+//!     ),
+//!     None => println!("fell back to the source model"),
+//! }
 //! ```
+//!
+//! Fault tolerance: every fallible step returns a typed [`error::AdaptError`]
+//! (stage, cause, recoverability) instead of panicking; [`guard`] adds
+//! bounded retries and source-checkpoint rollback; [`faultinject`] provides
+//! the deterministic chaos hooks the robustness suite drives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,6 +84,9 @@ pub mod classification;
 pub mod confidence;
 pub mod density;
 pub mod diagnostics;
+pub mod error;
+pub mod faultinject;
+pub mod guard;
 pub mod metrics;
 pub mod partition;
 pub mod pipeline;
@@ -83,6 +104,8 @@ pub mod prelude {
     pub use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
     pub use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
     pub use crate::diagnostics::AdaptationDiagnostics;
+    pub use crate::error::{AdaptError, ErrorKind};
+    pub use crate::guard::{adapt_guarded, GuardedOutcome, RecoveryPolicy};
     pub use crate::metrics;
     pub use crate::partition::{adapt_partitioned, group_by_key, PartitionedAdaptation};
     pub use crate::pipeline::{PipelineTrace, Stage, StageTrace};

@@ -15,17 +15,20 @@
 //! and, by default, its own adapted model.
 
 use crate::adapt::{adapt, AdaptationOutcome, SourceCalibration, TasfarConfig};
-use crate::pipeline::PipelineTrace;
+use crate::error::{AdaptError, ErrorKind};
 use tasfar_nn::loss::Loss;
 use tasfar_nn::model::{Regressor, StochasticRegressor, TrainableRegressor};
 use tasfar_nn::tensor::Tensor;
 
 /// The result of a partitioned adaptation, generic over the regressor type.
 pub struct PartitionedAdaptation<M> {
-    /// One adapted model per group, in group order.
+    /// One model per group, in group order: adapted where its group's run
+    /// succeeded, an untouched source copy where it failed.
     pub models: Vec<M>,
-    /// The per-group adaptation outcomes.
-    pub outcomes: Vec<AdaptationOutcome>,
+    /// The per-group adaptation results. A failed group keeps its typed
+    /// [`AdaptError`]; its model stays the unadapted source copy, so one
+    /// degenerate partition never poisons the others.
+    pub outcomes: Vec<Result<AdaptationOutcome, AdaptError>>,
     /// The group key of every input row, as passed in.
     pub group_of_row: Vec<usize>,
 }
@@ -88,10 +91,12 @@ pub fn group_by_key(keys: &[usize]) -> Vec<Vec<usize>> {
 /// Runs TASFAR independently on each partition of the target batch.
 ///
 /// `keys[i]` is the (dense, 0-based) group of row `i`; empty groups are
-/// allowed and yield an unadapted model copy. Each group's adaptation is
+/// allowed and yield an unadapted model copy with an
+/// [`ErrorKind::EmptyTargetBatch`] outcome. Each group's adaptation is
 /// fully independent — its own confidence split, density map, pseudo-labels,
 /// and fine-tune — so one scenario's label distribution never corrupts
-/// another's (the paper's Fig. 20/22 failure mode).
+/// another's (the paper's Fig. 20/22 failure mode), and a group whose run
+/// fails keeps a fresh, unadapted source copy (per-group do-no-harm).
 ///
 /// # Panics
 /// Panics if `keys.len() != target_x.rows()` or the batch is empty.
@@ -119,33 +124,19 @@ where
     for rows in &groups {
         let mut model = source_model.clone();
         if rows.is_empty() {
-            // Preserve group indexing with a no-op outcome.
-            let outcome = AdaptationOutcome {
-                fit: tasfar_nn::train::FitReport {
-                    epoch_losses: Vec::new(),
-                    stopped_early_at: None,
-                },
-                mc: crate::uncertainty::McPrediction {
-                    point: Tensor::zeros(0, 1),
-                    mc_mean: Tensor::zeros(0, 1),
-                    std: Tensor::zeros(0, 1),
-                    uncertainty: Vec::new(),
-                },
-                split: crate::confidence::ConfidenceSplit {
-                    confident: Vec::new(),
-                    uncertain: Vec::new(),
-                },
-                pseudo: Vec::new(),
-                maps: None,
-                skipped: Some("empty partition"),
-                trace: PipelineTrace::default(),
-            };
+            // Preserve group indexing: the typed error a zero-row adapt
+            // call would report, with the model left as the source copy.
             models.push(model);
-            outcomes.push(outcome);
+            outcomes.push(Err(AdaptError::new(ErrorKind::EmptyTargetBatch)));
             continue;
         }
         let xg = target_x.select_rows(rows);
         let outcome = adapt(&mut model, calib, &xg, loss, cfg);
+        if outcome.is_err() {
+            // Per-group do-no-harm: a failed fine-tune may have touched the
+            // clone's weights — replace it with a fresh source copy.
+            model = source_model.clone();
+        }
         models.push(model);
         outcomes.push(outcome);
     }
@@ -225,7 +216,7 @@ mod tests {
             early_stop: None,
             ..TasfarConfig::default()
         };
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg).unwrap();
 
         // Two scenarios: labels at −0.6 and +0.6.
         let n = 400;
@@ -270,7 +261,7 @@ mod tests {
 
         // Fused: one adaptation over the mixed batch.
         let mut fused = model.clone();
-        let _ = adapt(&mut fused, &calib, &xt, &Mse, &cfg);
+        let _ = adapt(&mut fused, &calib, &xt, &Mse, &cfg).unwrap();
         let fused_mse = crate::metrics::mse(&fused.predict(&xt), &yt);
 
         // Partitioned.
@@ -312,9 +303,11 @@ mod tests {
         let keys = vec![2usize; xt.rows()];
         let parted = adapt_partitioned(&model, &calib, &xt, &keys, &Mse, &cfg);
         assert_eq!(parted.num_groups(), 3);
-        assert_eq!(parted.outcomes[0].skipped, Some("empty partition"));
-        assert_eq!(parted.outcomes[1].skipped, Some("empty partition"));
-        assert!(parted.outcomes[2].skipped.is_none());
+        for g in 0..2 {
+            let err = parted.outcomes[g].as_ref().unwrap_err();
+            assert_eq!(err.kind, ErrorKind::EmptyTargetBatch);
+        }
+        assert!(parted.outcomes[2].is_ok());
     }
 
     #[test]

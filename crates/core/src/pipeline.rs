@@ -9,9 +9,11 @@
 //! McPrediction  ConfidenceSplit  DensityArtifacts  Vec<PseudoLabel>  FitReport
 //! ```
 //!
-//! Every stage records a [`StageTrace`] — wall time, sample counts, and the
-//! skip reason if the stage bailed out — in the [`PipelineTrace`] that
-//! travels with the [`crate::adapt::AdaptationOutcome`]. The stages are
+//! Every stage validates its inputs and returns a typed
+//! [`AdaptError`] instead of panicking; each records a [`StageTrace`] —
+//! wall time, sample counts, and the error label if the stage aborted — in
+//! the [`PipelineTrace`] that travels with the
+//! [`crate::adapt::AdaptationOutcome`]. The stages are
 //! generic over the `tasfar_nn::model` traits
 //! ([`StochasticRegressor`] for prediction, [`TrainableRegressor`] for the
 //! fine-tune), so *any* regressor implementing them — not just
@@ -36,6 +38,8 @@ use std::time::Duration;
 use crate::adapt::{scenario_classifier, BuiltMaps, SourceCalibration, TasfarConfig};
 use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
 use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
+use crate::error::{AdaptError, ErrorKind};
+use crate::faultinject::{self, Fault};
 use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
 use crate::uncertainty::{McDropout, McPrediction};
 use tasfar_nn::loss::Loss;
@@ -43,7 +47,7 @@ use tasfar_nn::model::{StochasticRegressor, TrainableRegressor};
 use tasfar_nn::optim::Adam;
 use tasfar_nn::parallel::{chunk_bounds, chunk_count, map_chunks};
 use tasfar_nn::tensor::Tensor;
-use tasfar_nn::train::{FitReport, TrainConfig};
+use tasfar_nn::train::{DivergenceGuard, FitReport, TrainConfig};
 
 /// Uncertain samples pseudo-labelled per parallel chunk. Fixed (independent
 /// of thread count) so the chunk geometry — and therefore the output — is
@@ -124,7 +128,8 @@ pub struct StageTrace {
     /// (EstimateDensity), *informative* pseudo-labels (PseudoLabel),
     /// trained rows (FineTune). Zero when the stage was skipped.
     pub samples_out: usize,
-    /// Why the stage aborted the pipeline, if it did.
+    /// Why the stage aborted the pipeline, if it did — the
+    /// [`AdaptError::label`] of the typed error it returned.
     pub skipped: Option<&'static str>,
 }
 
@@ -179,6 +184,25 @@ impl PipelineTrace {
         });
         // `span` drops here, emitting the stage record when tracing is on.
     }
+
+    /// Records a failing stage (zero samples out, the error's label as the
+    /// abort reason) and returns the typed error for propagation.
+    fn fail(
+        &mut self,
+        stage: Stage,
+        span: tasfar_obs::SpanGuard,
+        samples_in: usize,
+        kind: ErrorKind,
+    ) -> AdaptError {
+        let err = AdaptError::at(stage, kind);
+        self.record(stage, span, samples_in, 0, Some(err.label()));
+        err
+    }
+}
+
+/// Count of non-finite entries in a tensor (stage input validation).
+fn non_finite(t: &Tensor) -> usize {
+    t.as_slice().iter().filter(|v| !v.is_finite()).count()
 }
 
 /// What [`estimate_density_stage`] hands to [`pseudo_label_stage`]: the
@@ -200,32 +224,87 @@ pub struct DensityArtifacts {
 
 /// **Stage 1 — Predict**: MC-dropout point predictions and uncertainty on
 /// the batch.
+///
+/// # Errors
+/// [`ErrorKind::NonFiniteInput`] when the target batch — or the model's MC
+/// output — carries NaN/±∞ values. The input check runs *before* any
+/// forward pass, so a poisoned batch never reaches the model.
 pub fn predict_stage<M: StochasticRegressor + ?Sized>(
     model: &mut M,
     x: &Tensor,
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
-) -> McPrediction {
+) -> Result<McPrediction, AdaptError> {
     let span = tasfar_obs::timed_span(Stage::Predict.span_name());
+    let corrupted =
+        faultinject::take(Fault::NanBatch).map(|seed| faultinject::nan_corrupted(x, seed));
+    let x = corrupted.as_ref().unwrap_or(x);
+    let bad = non_finite(x);
+    if bad > 0 {
+        return Err(trace.fail(
+            Stage::Predict,
+            span,
+            x.rows(),
+            ErrorKind::NonFiniteInput {
+                what: "target batch",
+                bad,
+            },
+        ));
+    }
     let mc = McDropout::new(cfg.mc_samples)
         .relative(cfg.relative_uncertainty)
         .predict(model, x);
+    let bad = non_finite(&mc.point)
+        + non_finite(&mc.std)
+        + mc.uncertainty.iter().filter(|u| !u.is_finite()).count();
+    if bad > 0 {
+        return Err(trace.fail(
+            Stage::Predict,
+            span,
+            x.rows(),
+            ErrorKind::NonFiniteInput {
+                what: "MC-dropout prediction",
+                bad,
+            },
+        ));
+    }
     trace.record(Stage::Predict, span, x.rows(), mc.point.rows(), None);
-    mc
+    Ok(mc)
 }
 
 /// **Stage 2 — Split**: partitions the batch into confident/uncertain at the
 /// (possibly scenario-rescaled) threshold τ. Returns the classifier actually
 /// used, so downstream stages see the effective τ.
+///
+/// # Errors
+/// [`ErrorKind::DegenerateBandwidth`] when the effective threshold τ is
+/// non-finite or non-positive (nothing meaningful can be split). Degenerate
+/// *partitions* — nothing confident, nothing uncertain — are classified by
+/// [`estimate_density_stage`], which knows the configured minimum.
 pub fn split_stage(
     calib: &SourceCalibration,
     cfg: &TasfarConfig,
     mc: &McPrediction,
     trace: &mut PipelineTrace,
-) -> (ConfidenceClassifier, ConfidenceSplit) {
+) -> Result<(ConfidenceClassifier, ConfidenceSplit), AdaptError> {
     let span = tasfar_obs::timed_span(Stage::Split.span_name());
     let classifier = scenario_classifier(calib, cfg, &mc.uncertainty);
-    let split = classifier.split(&mc.uncertainty);
+    if !classifier.tau.is_finite() || classifier.tau < 0.0 {
+        let tau = classifier.tau;
+        return Err(trace.fail(
+            Stage::Split,
+            span,
+            mc.uncertainty.len(),
+            ErrorKind::DegenerateBandwidth { value: tau },
+        ));
+    }
+    let mut split = classifier.split(&mc.uncertainty);
+    if faultinject::take(Fault::EmptyConfidentSplit).is_some() {
+        // Simulate a batch where nothing clears τ: everything formerly
+        // confident becomes uncertain (the partition invariant holds).
+        split.uncertain.append(&mut split.confident);
+        split.uncertain.sort_unstable();
+    }
     trace.record(
         Stage::Split,
         span,
@@ -233,7 +312,7 @@ pub fn split_stage(
         split.uncertain.len(),
         None,
     );
-    (classifier, split)
+    Ok((classifier, split))
 }
 
 /// Builds the grid for one label dimension around the confident predictions,
@@ -265,9 +344,16 @@ fn sigmas_for(mc: &McPrediction, calib: &SourceCalibration, indices: &[usize]) -
 /// map(s) from the confident predictions (Algorithm 2) and prepares the
 /// uncertain samples' generator inputs.
 ///
-/// Returns `None` — with the reason recorded in `trace` — when the split is
-/// degenerate: no confident data (no prior can be estimated) or no uncertain
-/// data (nothing needs pseudo-labels).
+/// # Errors
+/// * [`ErrorKind::NoConfidentSamples`] — fewer confident samples than
+///   `cfg.min_confident` (no prior can be estimated).
+/// * [`ErrorKind::NoUncertainSamples`] — nothing needs pseudo-labels.
+/// * [`ErrorKind::DegenerateBandwidth`] — the grid cell width or a
+///   calibrated spread σ is non-finite/non-positive, so no grid can be
+///   built.
+/// * [`ErrorKind::ZeroDensityMass`] — the estimated map carries no
+///   probability mass (a flat, uninformative prior; the paper's Fig. 22
+///   failure signature taken to its limit).
 pub fn estimate_density_stage(
     mc: &McPrediction,
     calib: &SourceCalibration,
@@ -275,27 +361,35 @@ pub fn estimate_density_stage(
     split: &ConfidenceSplit,
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
-) -> Option<DensityArtifacts> {
+) -> Result<DensityArtifacts, AdaptError> {
     let span = tasfar_obs::timed_span(Stage::EstimateDensity.span_name());
-    if split.confident.is_empty() {
-        trace.record(
+    let required = cfg.min_confident.max(1);
+    if split.confident.len() < required {
+        let found = split.confident.len();
+        return Err(trace.fail(
             Stage::EstimateDensity,
             span,
-            0,
-            0,
-            Some("no confident data to estimate the label distribution"),
-        );
-        return None;
+            found,
+            ErrorKind::NoConfidentSamples { found, required },
+        ));
     }
     if split.uncertain.is_empty() {
-        trace.record(
+        return Err(trace.fail(
             Stage::EstimateDensity,
             span,
             split.confident.len(),
-            0,
-            Some("no uncertain data to pseudo-label"),
-        );
-        return None;
+            ErrorKind::NoUncertainSamples,
+        ));
+    }
+    if !cfg.grid_cell.is_finite() || cfg.grid_cell <= 0.0 {
+        return Err(trace.fail(
+            Stage::EstimateDensity,
+            span,
+            split.confident.len(),
+            ErrorKind::DegenerateBandwidth {
+                value: cfg.grid_cell,
+            },
+        ));
     }
 
     let dims = mc.point.cols();
@@ -304,8 +398,25 @@ pub fn estimate_density_stage(
     let unc_sigma = sigmas_for(mc, calib, &split.uncertain);
     let unc_pred = mc.point.select_rows(&split.uncertain);
 
+    // A non-finite spread would blow the grid bounds up to ±∞ (and the bin
+    // count with them); a non-positive one degenerates the instance
+    // distribution. Catch both before any grid is allocated.
+    if let Some(&bad) = conf_sigma
+        .as_slice()
+        .iter()
+        .chain(unc_sigma.as_slice())
+        .find(|s| !s.is_finite() || **s <= 0.0)
+    {
+        return Err(trace.fail(
+            Stage::EstimateDensity,
+            span,
+            split.confident.len(),
+            ErrorKind::DegenerateBandwidth { value: bad },
+        ));
+    }
+
     let joint = cfg.joint_2d && dims == 2;
-    let maps = if joint {
+    let mut maps = if joint {
         let xgrid = dim_grid(conf_pred.col_iter(0), conf_sigma.col_iter(0), cfg.grid_cell);
         let ygrid = dim_grid(conf_pred.col_iter(1), conf_sigma.col_iter(1), cfg.grid_cell);
         BuiltMaps::Joint2d(DensityMap2d::estimate(
@@ -330,6 +441,29 @@ pub fn estimate_density_stage(
                 .collect(),
         )
     };
+    if faultinject::take(Fault::ZeroDensityMass).is_some() {
+        match &mut maps {
+            BuiltMaps::Joint2d(m) => m.chaos_clear_mass(),
+            BuiltMaps::PerDim(ms) => ms.iter_mut().for_each(DensityMap1d::chaos_clear_mass),
+        }
+    }
+    // A massless map (or any massless dimension) yields all-fallback
+    // pseudo-labels downstream; classify it here, where it originates.
+    let min_mass = match &maps {
+        BuiltMaps::Joint2d(m) => m.total_mass(),
+        BuiltMaps::PerDim(ms) => ms
+            .iter()
+            .map(DensityMap1d::total_mass)
+            .fold(f64::INFINITY, f64::min),
+    };
+    if min_mass.is_nan() || min_mass <= 0.0 {
+        return Err(trace.fail(
+            Stage::EstimateDensity,
+            span,
+            split.confident.len(),
+            ErrorKind::ZeroDensityMass,
+        ));
+    }
     trace.record(
         Stage::EstimateDensity,
         span,
@@ -337,7 +471,7 @@ pub fn estimate_density_stage(
         split.confident.len(),
         None,
     );
-    Some(DensityArtifacts {
+    Ok(DensityArtifacts {
         maps,
         unc_pred,
         unc_sigma,
@@ -353,13 +487,18 @@ pub fn estimate_density_stage(
 /// chunks and splice the per-chunk vectors back together in chunk order —
 /// bit-identical for any thread count. Chunk geometry depends only on the
 /// uncertain-set size.
+///
+/// # Errors
+/// [`ErrorKind::NonFiniteInput`] when any generated pseudo-label value or
+/// credibility is non-finite — corrupt labels must never reach the
+/// fine-tune.
 pub fn pseudo_label_stage(
     mc: &McPrediction,
     split: &ConfidenceSplit,
     density: &DensityArtifacts,
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
-) -> Vec<PseudoLabel> {
+) -> Result<Vec<PseudoLabel>, AdaptError> {
     let span = tasfar_obs::timed_span(Stage::PseudoLabel.span_name());
     let uncertain = &split.uncertain;
     let uncertainty = &mc.uncertainty;
@@ -426,18 +565,41 @@ pub fn pseudo_label_stage(
             pseudo.extend(chunks.into_iter().flatten());
         }
     }
+    let bad = pseudo
+        .iter()
+        .flat_map(|p| p.value.iter())
+        .filter(|v| !v.is_finite())
+        .count()
+        + pseudo.iter().filter(|p| !p.credibility.is_finite()).count();
+    if bad > 0 {
+        return Err(trace.fail(
+            Stage::PseudoLabel,
+            span,
+            n_unc,
+            ErrorKind::NonFiniteInput {
+                what: "pseudo-labels",
+                bad,
+            },
+        ));
+    }
     let informative = pseudo.iter().filter(|p| p.informative).count();
     trace.record(Stage::PseudoLabel, span, n_unc, informative, None);
-    pseudo
+    Ok(pseudo)
 }
 
 /// **Stage 5 — FineTune**: assembles the credibility-weighted training set
 /// (pseudo-labelled uncertain rows, plus self-labelled confident replay when
 /// `cfg.replay_confident`) and fine-tunes the model via
-/// [`TrainableRegressor::fit_weighted`] (Eq. 22).
+/// [`TrainableRegressor::fit_weighted`] (Eq. 22). The fine-tune runs under
+/// a [`DivergenceGuard`], so a loss blowing past 8× its epoch-0 baseline
+/// aborts with a typed error instead of silently wrecking the weights.
 ///
-/// Returns `None` — with the reason recorded in `trace` — when every
-/// training weight is zero, leaving the model untouched.
+/// # Errors
+/// * [`ErrorKind::ZeroCredibility`] — every training weight is zero; the
+///   model is left untouched.
+/// * [`ErrorKind::Train`] — the fine-tune itself failed (non-finite loss,
+///   divergence, shape mismatch). The model may hold partially fine-tuned
+///   weights; [`crate::guard::adapt_guarded`] rolls back to the snapshot.
 #[allow(clippy::too_many_arguments)]
 pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
     model: &mut M,
@@ -448,7 +610,7 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
     loss: &dyn Loss,
     cfg: &TasfarConfig,
     trace: &mut PipelineTrace,
-) -> Option<FitReport> {
+) -> Result<FitReport, AdaptError> {
     let span = tasfar_obs::timed_span(Stage::FineTune.span_name());
     let dims = mc.point.cols();
     let n_unc = split.uncertain.len();
@@ -485,15 +647,21 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
     }
 
     if weights.iter().sum::<f64>() <= 0.0 {
-        trace.record(
+        return Err(trace.fail(
             Stage::FineTune,
             span,
             n_unc + n_conf,
-            0,
-            Some("all pseudo-labels carry zero credibility"),
-        );
-        return None;
+            ErrorKind::ZeroCredibility { labels: n_unc },
+        ));
     }
+
+    let exploding;
+    let loss: &dyn Loss = if faultinject::take(Fault::LossExplosion).is_some() {
+        exploding = faultinject::ExplodingLoss::new();
+        &exploding
+    } else {
+        loss
+    };
 
     let train_x = target_x.select_rows(&train_x_rows);
     let mut optimizer = Adam::new(cfg.learning_rate);
@@ -517,11 +685,17 @@ pub fn finetune_stage<M: TrainableRegressor + ?Sized>(
             // `train_observer()` is Some only when tracing is enabled, so
             // the untraced fine-tune loop stays free of clock reads.
             observer: tasfar_obs::train_observer(),
+            divergence: Some(DivergenceGuard::default()),
             ..TrainConfig::default()
         },
     );
-    trace.record(Stage::FineTune, span, n_unc + n_conf, n_unc + n_conf, None);
-    Some(report)
+    match report {
+        Ok(report) => {
+            trace.record(Stage::FineTune, span, n_unc + n_conf, n_unc + n_conf, None);
+            Ok(report)
+        }
+        Err(e) => Err(trace.fail(Stage::FineTune, span, n_unc + n_conf, ErrorKind::Train(e))),
+    }
 }
 
 #[cfg(test)]

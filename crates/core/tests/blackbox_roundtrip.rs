@@ -54,7 +54,7 @@ fn fn_regressor_completes_the_full_round_trip() {
     let source = Dataset::new(xs, ys);
 
     let mut model = mock(0x5eed);
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("mock source calibrates");
     assert_eq!(calib.qs.len(), 1, "one Q_s fit per output dimension");
     assert!(calib.classifier.tau > 0.0);
     // σ(u) must be monotone for the mock too: spread grows with |x|.
@@ -65,11 +65,11 @@ fn fn_regressor_completes_the_full_round_trip() {
     let m = 200;
     let target_x = Tensor::from_fn(m, 1, |r, _| 2.0 * r as f64 / (m - 1) as f64);
 
-    let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+    let outcome =
+        adapt(&mut model, &calib, &target_x, &Mse, &cfg).expect("healthy mock batch adapts");
 
-    // The pipeline ran end to end: no skip, both partitions populated,
-    // pseudo-labels generated, and the fine-tune actually trained.
-    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
+    // The pipeline ran end to end: both partitions populated, pseudo-labels
+    // generated, and the fine-tune actually trained.
     assert!(!outcome.split.confident.is_empty());
     assert!(!outcome.split.uncertain.is_empty());
     assert_eq!(outcome.pseudo.len(), outcome.split.uncertain.len());
@@ -117,8 +117,8 @@ fn fn_regressor_adaptation_is_deterministic() {
 
     let run = || {
         let mut model = mock(0x5eed);
-        let calib = calibrate_on_source(&mut model, &source, &cfg);
-        let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
+        let calib = calibrate_on_source(&mut model, &source, &cfg).unwrap();
+        let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg).unwrap();
         (model.bias()[0].to_bits(), outcome.pseudo.len())
     };
     assert_eq!(run(), run(), "same seed → bit-identical adapted bias");

@@ -1,0 +1,59 @@
+//! The `TASFAR_CHAOS` environment hook, in its own test binary: the env
+//! variable is read once per process, on the first `adapt_guarded` call, so
+//! the test must own that first call.
+
+mod chaos_util;
+
+use chaos_util::{calibrated_toy, fnv1a_bits};
+use tasfar_core::faultinject;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+
+#[test]
+fn env_armed_fault_hits_the_first_guarded_run_only() {
+    std::env::set_var("TASFAR_CHAOS", "nan_batch:5");
+    let mut toy = calibrated_toy(41);
+    let reference_hash = fnv1a_bits(toy.model.clone().predict(&toy.target_x).as_slice());
+
+    // First guarded run: reads the env, arms the fault, gets sabotaged.
+    let outcome = adapt_guarded(
+        &mut toy.model,
+        &toy.calib,
+        &toy.target_x,
+        &Mse,
+        &toy.cfg,
+        &RecoveryPolicy::default(),
+    );
+    match &outcome {
+        GuardedOutcome::FellBackToSource { error, .. } => {
+            assert_eq!(error.label(), "non_finite_input");
+        }
+        other => panic!("expected fallback, got {}", other.label()),
+    }
+    assert_eq!(
+        tasfar_obs::metrics::counter("chaos.injected.nan_batch").get(),
+        1
+    );
+    assert_eq!(faultinject::armed(), None, "env arming is one-shot too");
+    assert_eq!(
+        fnv1a_bits(toy.model.clone().predict(&toy.target_x).as_slice()),
+        reference_hash
+    );
+
+    // Second run in the same process: the env is not re-read, the pipeline
+    // is healthy again.
+    let outcome = adapt_guarded(
+        &mut toy.model,
+        &toy.calib,
+        &toy.target_x,
+        &Mse,
+        &toy.cfg,
+        &RecoveryPolicy::default(),
+    );
+    assert_eq!(outcome.label(), "adapted");
+    assert_eq!(
+        tasfar_obs::metrics::counter("chaos.injected.nan_batch").get(),
+        1,
+        "no second injection"
+    );
+}

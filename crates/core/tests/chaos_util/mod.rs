@@ -1,0 +1,95 @@
+//! Shared toy-task builder for the chaos suites (`chaos.rs`,
+//! `chaos_env.rs`). Same scenario shape as the `adapt` unit tests: the
+//! source labels are uniform, the target labels cluster at 0.6, and a share
+//! of "hard" inputs carries the uncertainty signal.
+
+use tasfar_core::prelude::*;
+use tasfar_data::Dataset;
+use tasfar_nn::prelude::*;
+
+pub struct Toy {
+    pub model: Sequential,
+    pub calib: SourceCalibration,
+    pub cfg: TasfarConfig,
+    pub target_x: Tensor,
+}
+
+fn scenario(rng: &mut Rng, n: usize, label: impl Fn(&mut Rng) -> f64, hard_share: f64) -> Dataset {
+    let mut x = Tensor::zeros(n, 2);
+    let mut y = Tensor::zeros(n, 1);
+    for i in 0..n {
+        let v = label(rng);
+        let hard = rng.bernoulli(hard_share);
+        let noise = if hard {
+            rng.gaussian(0.0, 0.8)
+        } else {
+            rng.gaussian(0.0, 0.03)
+        };
+        x.set(i, 0, v + noise);
+        x.set(
+            i,
+            1,
+            if hard {
+                rng.uniform(3.0, 5.0)
+            } else {
+                rng.uniform(0.0, 0.5)
+            },
+        );
+        y.set(i, 0, v);
+    }
+    Dataset::new(x, y)
+}
+
+/// A trained, calibrated toy deployment ready for guarded adaptation.
+pub fn calibrated_toy(seed: u64) -> Toy {
+    let mut rng = Rng::new(seed);
+    let source = scenario(&mut rng, 400, |r| r.uniform(-1.0, 1.0), 0.05);
+    let mut model = Sequential::new()
+        .add(Dense::new(2, 24, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(24, 1, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(5e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &source.x,
+        &source.y,
+        None,
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 30,
+        learning_rate: 1e-3,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("the toy source calibrates");
+    let target_x = scenario(&mut rng, 200, |r| r.gaussian(0.6, 0.05), 0.4).x;
+    Toy {
+        model,
+        calib,
+        cfg,
+        target_x,
+    }
+}
+
+/// FNV-1a over the f64 bit patterns — bit-exact fingerprint of a
+/// prediction tensor (same scheme as the golden-adapt suite).
+pub fn fnv1a_bits(values: &[f64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}

@@ -1,9 +1,69 @@
 //! Dataset containers, splits, and feature scaling shared by all four tasks.
 
+use std::fmt;
 use std::io::Write;
 use std::path::Path;
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
+
+/// A typed dataset-construction error: what went wrong and with which
+/// shapes/values, so callers assembling datasets from external config can
+/// report the problem instead of aborting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// `x` and `y` disagree on the number of rows.
+    MisalignedRows {
+        /// Rows in `x`.
+        x_rows: usize,
+        /// Rows in `y`.
+        y_rows: usize,
+    },
+    /// A split fraction fell outside `[0, 1]`.
+    FractionOutOfRange {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// [`Dataset::try_concat`] was handed no parts.
+    EmptyConcat,
+    /// More rows were requested than the dataset holds.
+    SampleTooLarge {
+        /// Rows requested.
+        requested: usize,
+        /// Rows available.
+        available: usize,
+    },
+    /// A tensor's column count disagrees with the fitted scaler.
+    ColumnMismatch {
+        /// Columns in the input.
+        got: usize,
+        /// Columns the scaler was fitted on.
+        fitted: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::MisalignedRows { x_rows, y_rows } => {
+                write!(f, "Dataset: x has {x_rows} rows but y has {y_rows}")
+            }
+            DataError::FractionOutOfRange { fraction } => {
+                write!(f, "split_fraction: fraction ({fraction}) out of [0,1]")
+            }
+            DataError::EmptyConcat => f.write_str("Dataset::concat: no parts"),
+            DataError::SampleTooLarge {
+                requested,
+                available,
+            } => write!(f, "sample: requested {requested} of {available} rows"),
+            DataError::ColumnMismatch { got, fitted } => write!(
+                f,
+                "Scaler: column count mismatch ({got} columns, fitted on {fitted})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
 
 /// A supervised regression dataset: inputs `x` and labels `y`, row-aligned.
 #[derive(Debug, Clone)]
@@ -18,16 +78,26 @@ impl Dataset {
     /// Bundles inputs and labels.
     ///
     /// # Panics
-    /// Panics if `x` and `y` disagree on the number of rows.
+    /// Panics if `x` and `y` disagree on the number of rows. Use
+    /// [`Dataset::try_new`] to validate externally supplied data without
+    /// aborting.
     pub fn new(x: Tensor, y: Tensor) -> Self {
-        assert_eq!(
-            x.rows(),
-            y.rows(),
-            "Dataset: x has {} rows but y has {}",
-            x.rows(),
-            y.rows()
-        );
-        Dataset { x, y }
+        match Self::try_new(x, y) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::new`]: misaligned rows become a typed
+    /// [`DataError`] carrying both row counts.
+    pub fn try_new(x: Tensor, y: Tensor) -> Result<Self, DataError> {
+        if x.rows() != y.rows() {
+            return Err(DataError::MisalignedRows {
+                x_rows: x.rows(),
+                y_rows: y.rows(),
+            });
+        }
+        Ok(Dataset { x, y })
     }
 
     /// Number of samples.
@@ -63,43 +133,81 @@ impl Dataset {
     /// 80 % adaptation / 20 % test protocol.
     ///
     /// # Panics
-    /// Panics unless `0 <= fraction <= 1`.
+    /// Panics unless `0 <= fraction <= 1`; see
+    /// [`Dataset::try_split_fraction`].
     pub fn split_fraction(&self, fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
-        assert!(
-            (0.0..=1.0).contains(&fraction),
-            "split_fraction: fraction ({fraction}) out of [0,1]"
-        );
+        match self.try_split_fraction(fraction, rng) {
+            Ok(parts) => parts,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::split_fraction`]: an out-of-range fraction (from
+    /// e.g. an experiment config file) is a typed [`DataError`]. The RNG is
+    /// only advanced when the fraction is valid.
+    pub fn try_split_fraction(
+        &self,
+        fraction: f64,
+        rng: &mut Rng,
+    ) -> Result<(Dataset, Dataset), DataError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(DataError::FractionOutOfRange { fraction });
+        }
         let perm = rng.permutation(self.len());
         let cut = ((self.len() as f64) * fraction).round() as usize;
-        (self.subset(&perm[..cut]), self.subset(&perm[cut..]))
+        Ok((self.subset(&perm[..cut]), self.subset(&perm[cut..])))
     }
 
     /// Concatenates datasets (all must agree on feature and label widths).
     ///
     /// # Panics
-    /// Panics if `parts` is empty or shapes disagree.
+    /// Panics if `parts` is empty or shapes disagree; see
+    /// [`Dataset::try_concat`].
     pub fn concat(parts: &[&Dataset]) -> Dataset {
-        assert!(!parts.is_empty(), "Dataset::concat: no parts");
+        match Self::try_concat(parts) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::concat`]: an empty part list is a typed
+    /// [`DataError`]. (Width disagreements still panic inside the stacking
+    /// kernel — they are construction bugs, not data conditions.)
+    pub fn try_concat(parts: &[&Dataset]) -> Result<Dataset, DataError> {
+        if parts.is_empty() {
+            return Err(DataError::EmptyConcat);
+        }
         let xs: Vec<&Tensor> = parts.iter().map(|d| &d.x).collect();
         let ys: Vec<&Tensor> = parts.iter().map(|d| &d.y).collect();
-        Dataset {
+        Ok(Dataset {
             x: Tensor::vstack(&xs),
             y: Tensor::vstack(&ys),
-        }
+        })
     }
 
     /// A seeded random sample of `n` rows without replacement.
     ///
     /// # Panics
-    /// Panics if `n > len`.
+    /// Panics if `n > len`; see [`Dataset::try_sample`].
     pub fn sample(&self, n: usize, rng: &mut Rng) -> Dataset {
-        assert!(
-            n <= self.len(),
-            "sample: requested {n} of {} rows",
-            self.len()
-        );
+        match self.try_sample(n, rng) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Dataset::sample`]: an oversized request (from a config
+    /// asking for more rows than a scene provides) is a typed [`DataError`].
+    /// The RNG is only advanced when the request fits.
+    pub fn try_sample(&self, n: usize, rng: &mut Rng) -> Result<Dataset, DataError> {
+        if n > self.len() {
+            return Err(DataError::SampleTooLarge {
+                requested: n,
+                available: self.len(),
+            });
+        }
         let perm = rng.permutation(self.len());
-        self.subset(&perm[..n])
+        Ok(self.subset(&perm[..n]))
     }
 
     /// Writes the dataset as CSV with the given feature names (label columns
@@ -165,28 +273,61 @@ impl Scaler {
     /// Applies `(x − μ) / σ` per column.
     ///
     /// # Panics
-    /// Panics if the column count differs from the fitted data.
+    /// Panics if the column count differs from the fitted data; see
+    /// [`Scaler::try_transform`].
     pub fn transform(&self, x: &Tensor) -> Tensor {
-        assert_eq!(x.cols(), self.means.len(), "Scaler: column count mismatch");
+        match self.try_transform(x) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Scaler::transform`]: a column-count mismatch is a typed
+    /// [`DataError`] carrying both widths.
+    pub fn try_transform(&self, x: &Tensor) -> Result<Tensor, DataError> {
+        if x.cols() != self.means.len() {
+            return Err(DataError::ColumnMismatch {
+                got: x.cols(),
+                fitted: self.means.len(),
+            });
+        }
         let mut out = x.clone();
         for row in out.as_mut_slice().chunks_exact_mut(self.means.len()) {
             for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
                 *v = (*v - m) / s;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Inverts [`Scaler::transform`].
+    ///
+    /// # Panics
+    /// Panics if the column count differs from the fitted data; see
+    /// [`Scaler::try_inverse`].
     pub fn inverse(&self, x: &Tensor) -> Tensor {
-        assert_eq!(x.cols(), self.means.len(), "Scaler: column count mismatch");
+        match self.try_inverse(x) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Scaler::inverse`]: a column-count mismatch is a typed
+    /// [`DataError`] carrying both widths.
+    pub fn try_inverse(&self, x: &Tensor) -> Result<Tensor, DataError> {
+        if x.cols() != self.means.len() {
+            return Err(DataError::ColumnMismatch {
+                got: x.cols(),
+                fitted: self.means.len(),
+            });
+        }
         let mut out = x.clone();
         for row in out.as_mut_slice().chunks_exact_mut(self.means.len()) {
             for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
                 *v = *v * s + m;
             }
         }
-        out
+        Ok(out)
     }
 
     /// The fitted per-column means.
@@ -222,6 +363,63 @@ mod tests {
     #[should_panic(expected = "Dataset: x has")]
     fn misaligned_rows_panic() {
         Dataset::new(Tensor::zeros(3, 2), Tensor::zeros(4, 1));
+    }
+
+    /// Satellite: every out-of-range input reaches callers as a typed
+    /// [`DataError`] with full context, not a panic.
+    #[test]
+    fn negative_inputs_return_typed_errors() {
+        let err = Dataset::try_new(Tensor::zeros(3, 2), Tensor::zeros(4, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::MisalignedRows {
+                x_rows: 3,
+                y_rows: 4
+            }
+        );
+        assert!(err.to_string().contains("x has 3 rows but y has 4"));
+
+        let d = toy(10);
+        let mut rng = Rng::new(9);
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = d.try_split_fraction(bad, &mut rng).unwrap_err();
+            assert!(matches!(err, DataError::FractionOutOfRange { .. }));
+        }
+
+        assert_eq!(
+            Dataset::try_concat(&[]).unwrap_err(),
+            DataError::EmptyConcat
+        );
+
+        let err = d.try_sample(11, &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            DataError::SampleTooLarge {
+                requested: 11,
+                available: 10
+            }
+        );
+
+        let scaler = Scaler::fit(&Tensor::zeros(4, 3));
+        let err = scaler.try_transform(&Tensor::zeros(4, 2)).unwrap_err();
+        assert_eq!(err, DataError::ColumnMismatch { got: 2, fitted: 3 });
+        let err = scaler.try_inverse(&Tensor::zeros(4, 5)).unwrap_err();
+        assert_eq!(err, DataError::ColumnMismatch { got: 5, fitted: 3 });
+    }
+
+    /// The fallible validators must not advance the RNG on rejection, so a
+    /// recovered caller keeps its deterministic stream.
+    #[test]
+    fn rejected_calls_leave_the_rng_untouched() {
+        let d = toy(10);
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        assert!(d.try_split_fraction(2.0, &mut a).is_err());
+        assert!(d.try_sample(99, &mut a).is_err());
+        let (p, q) = d.try_split_fraction(0.5, &mut a).unwrap();
+        let (r, s) = d.try_split_fraction(0.5, &mut b).unwrap();
+        assert_eq!(p.y.as_slice(), r.y.as_slice());
+        assert_eq!(q.y.as_slice(), s.y.as_slice());
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod housing;
 pub mod pdr;
 pub mod taxi;
 
-pub use dataset::{Dataset, Scaler};
+pub use dataset::{DataError, Dataset, Scaler};

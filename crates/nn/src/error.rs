@@ -1,0 +1,179 @@
+//! Typed training errors.
+//!
+//! TASFAR adapts models *without labels*, so a fine-tune that goes wrong —
+//! a NaN loss, an exploding gradient, a shape mismatch in a hand-assembled
+//! pseudo-label set — has no validation metric to catch it. The trainer
+//! therefore reports every such condition as a [`TrainError`] instead of
+//! panicking or silently writing poisoned weights; the adaptation layer in
+//! `tasfar-core` maps these into its own taxonomy and decides whether to
+//! retry or roll back.
+
+use std::fmt;
+
+/// Everything that can go wrong inside a training run.
+///
+/// Variants are split along a recoverability axis that the adaptation layer
+/// exploits: input problems ([`TrainError::ShapeMismatch`],
+/// [`TrainError::InvalidConfig`]) are caller bugs and never retried, while
+/// numeric blow-ups ([`TrainError::NonFinite`], [`TrainError::Diverged`],
+/// [`TrainError::ExplodingGradient`]) are plausibly hyperparameter-induced
+/// and a retry with a smaller learning rate can succeed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Tensors handed to the trainer disagree on their dimensions. The
+    /// message carries the full context (which tensors, which sizes).
+    ShapeMismatch {
+        /// Human-readable description, e.g. `"fit: x has 3 rows but y has 4"`.
+        context: String,
+    },
+    /// A non-empty training run was requested on an empty dataset.
+    EmptyDataset,
+    /// The training configuration is unusable (e.g. a zero batch size).
+    InvalidConfig {
+        /// What exactly is wrong with the configuration.
+        context: String,
+    },
+    /// A batch or epoch loss came out NaN or infinite. The weights have
+    /// *not* been updated with the offending gradient: the check fires
+    /// before the backward pass of the poisoned batch.
+    NonFinite {
+        /// The offending loss value (NaN or ±∞).
+        loss: f64,
+        /// Epoch index (0-based) at which the loss degenerated.
+        epoch: usize,
+    },
+    /// The per-epoch mean loss grew past `factor ×` the first epoch's loss
+    /// while a divergence guard was armed.
+    Diverged {
+        /// The epoch mean loss that tripped the guard.
+        loss: f64,
+        /// The reference loss (first epoch's mean).
+        baseline: f64,
+        /// The configured blow-up factor.
+        factor: f64,
+        /// Epoch index (0-based) at which divergence was detected.
+        epoch: usize,
+    },
+    /// The global gradient L2 norm exceeded the configured limit while a
+    /// gradient guard was armed. The step was not applied.
+    ExplodingGradient {
+        /// The gradient norm that tripped the guard (may be NaN/∞).
+        norm: f64,
+        /// The configured limit.
+        limit: f64,
+        /// Epoch index (0-based) at which the gradient exploded.
+        epoch: usize,
+    },
+}
+
+impl TrainError {
+    /// Whether retrying with adjusted hyperparameters (smaller learning
+    /// rate, fewer epochs) can plausibly succeed. Shape and configuration
+    /// errors are deterministic caller bugs and return `false`.
+    pub fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            TrainError::NonFinite { .. }
+                | TrainError::Diverged { .. }
+                | TrainError::ExplodingGradient { .. }
+        )
+    }
+
+    /// A short static label for metrics and trace fields.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrainError::ShapeMismatch { .. } => "shape_mismatch",
+            TrainError::EmptyDataset => "empty_dataset",
+            TrainError::InvalidConfig { .. } => "invalid_config",
+            TrainError::NonFinite { .. } => "non_finite_loss",
+            TrainError::Diverged { .. } => "diverged",
+            TrainError::ExplodingGradient { .. } => "exploding_gradient",
+        }
+    }
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::ShapeMismatch { context } => f.write_str(context),
+            TrainError::EmptyDataset => f.write_str("fit: cannot train on an empty dataset"),
+            TrainError::InvalidConfig { context } => f.write_str(context),
+            TrainError::NonFinite { loss, epoch } => {
+                write!(f, "non-finite training loss {loss} at epoch {epoch}")
+            }
+            TrainError::Diverged {
+                loss,
+                baseline,
+                factor,
+                epoch,
+            } => write!(
+                f,
+                "training diverged at epoch {epoch}: loss {loss:.6e} exceeds \
+                 {factor}x the first epoch's {baseline:.6e}"
+            ),
+            TrainError::ExplodingGradient { norm, limit, epoch } => write!(
+                f,
+                "gradient norm {norm:.6e} exceeds limit {limit:.6e} at epoch {epoch}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability_axis() {
+        assert!(TrainError::NonFinite {
+            loss: f64::NAN,
+            epoch: 3
+        }
+        .recoverable());
+        assert!(TrainError::Diverged {
+            loss: 1e9,
+            baseline: 1.0,
+            factor: 10.0,
+            epoch: 2
+        }
+        .recoverable());
+        assert!(TrainError::ExplodingGradient {
+            norm: 1e12,
+            limit: 1e3,
+            epoch: 0
+        }
+        .recoverable());
+        assert!(!TrainError::EmptyDataset.recoverable());
+        assert!(!TrainError::ShapeMismatch {
+            context: "x".into()
+        }
+        .recoverable());
+        assert!(!TrainError::InvalidConfig {
+            context: "x".into()
+        }
+        .recoverable());
+    }
+
+    #[test]
+    fn display_preserves_shape_context_verbatim() {
+        let e = TrainError::ShapeMismatch {
+            context: "fit: x has 3 rows but y has 4".into(),
+        };
+        assert_eq!(e.to_string(), "fit: x has 3 rows but y has 4");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            TrainError::NonFinite {
+                loss: f64::INFINITY,
+                epoch: 0
+            }
+            .label(),
+            "non_finite_loss"
+        );
+        assert_eq!(TrainError::EmptyDataset.label(), "empty_dataset");
+    }
+}

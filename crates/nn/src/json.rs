@@ -30,6 +30,20 @@ impl JsonError {
     pub fn new(msg: impl Into<String>) -> Self {
         JsonError { msg: msg.into() }
     }
+
+    /// Wraps the error with the path segment it occurred under, so decode
+    /// failures deep in a nested bundle report the full key path instead of
+    /// just the leaf (`at `config.early_stop`: missing field `window``).
+    /// Consecutive segments merge into one dotted path; segments written as
+    /// `[i]` attach without a dot (array indices).
+    pub fn at(self, segment: &str) -> JsonError {
+        let msg = match self.msg.strip_prefix("at `") {
+            Some(rest) if rest.starts_with('[') => format!("at `{segment}{rest}"),
+            Some(rest) => format!("at `{segment}.{rest}"),
+            None => format!("at `{segment}`: {}", self.msg),
+        };
+        JsonError { msg }
+    }
 }
 
 impl fmt::Display for JsonError {
@@ -81,6 +95,12 @@ impl Json {
     pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
         self.get(key)
             .ok_or_else(|| JsonError::new(format!("missing field `{key}`")))
+    }
+
+    /// Looks up `key` and decodes it as `T`, attaching `key` to the path of
+    /// any decode error (see [`JsonError::at`]).
+    pub fn decode<T: FromJson>(&self, key: &str) -> Result<T, JsonError> {
+        T::from_json_value(self.field(key)?).map_err(|e| e.at(key))
     }
 
     /// The value as a float (integers coerce).
@@ -239,7 +259,11 @@ impl<T: ToJson> ToJson for Vec<T> {
 }
 impl<T: FromJson> FromJson for Vec<T> {
     fn from_json_value(v: &Json) -> Result<Self, JsonError> {
-        v.as_arr()?.iter().map(T::from_json_value).collect()
+        v.as_arr()?
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json_value(item).map_err(|e| e.at(&format!("[{i}]"))))
+            .collect()
     }
 }
 impl<T: ToJson> ToJson for Option<T> {
@@ -589,6 +613,53 @@ pub fn object_keys(v: &Json) -> HashMap<&str, &Json> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn error_paths_chain_through_nested_decodes() {
+        // A wrong-typed element inside an array inside an object reports
+        // the full path, not just the leaf failure.
+        let v = Json::parse(r#"{"xs": [1.0, true, 3.0]}"#).unwrap();
+        let err = v.decode::<Vec<f64>>("xs").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("at `xs[1]`"), "got: {msg}");
+        assert!(msg.contains("expected number"), "got: {msg}");
+
+        // Missing keys name the key.
+        let err = v.decode::<f64>("absent").unwrap_err();
+        assert!(err.to_string().contains("missing field `absent`"));
+
+        // Manual chaining merges segments into one dotted path.
+        let err = JsonError::new("missing field `window`")
+            .at("early_stop")
+            .at("config");
+        assert!(
+            err.to_string()
+                .contains("at `config.early_stop`: missing field `window`"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\": }",
+            "{\"a\": 1,}",
+            "tru",
+            "\"unterminated",
+            "1e",
+            "{\"a\": 1} trailing",
+            "[1 2]",
+            "nan",
+        ] {
+            assert!(
+                Json::parse(bad).is_err(),
+                "parser must reject {bad:?} with an error"
+            );
+        }
+    }
 
     #[test]
     fn scalars_roundtrip() {

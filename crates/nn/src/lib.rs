@@ -55,6 +55,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod gradcheck;
 pub mod init;
 pub mod json;
@@ -73,8 +74,11 @@ pub mod spec;
 pub mod tensor;
 pub mod train;
 
+pub use error::TrainError;
+
 /// One-stop imports for model building and training.
 pub mod prelude {
+    pub use crate::error::TrainError;
     pub use crate::gradcheck::check_gradients;
     pub use crate::init::Init;
     pub use crate::json::{FromJson, Json, JsonError, ToJson};
@@ -84,11 +88,14 @@ pub mod prelude {
     };
     pub use crate::loss::{Huber, Loss, Mae, Mse, Msle};
     pub use crate::model::{
-        FnRegressor, Regressor, SplitRegressor, StochasticRegressor, TrainableRegressor,
+        CheckpointRegressor, FnRegressor, Regressor, SplitRegressor, StochasticRegressor,
+        TrainableRegressor,
     };
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::rng::Rng;
     pub use crate::schedule::LrSchedule;
     pub use crate::tensor::Tensor;
-    pub use crate::train::{evaluate, fit, EarlyStop, FitReport, TrainConfig, TrainObserver};
+    pub use crate::train::{
+        evaluate, fit, try_fit, DivergenceGuard, EarlyStop, FitReport, TrainConfig, TrainObserver,
+    };
 }

@@ -10,6 +10,7 @@
 //!
 //! so that uniform weights reduce exactly to the unweighted mean loss.
 
+use crate::error::TrainError;
 use crate::tensor::Tensor;
 
 /// A differentiable regression loss.
@@ -48,6 +49,27 @@ pub trait Loss: Send {
                 assert!(total > 0.0, "{}: weights must not sum to zero", self.name());
                 per.iter().zip(w).map(|(&l, &wi)| l * wi).sum::<f64>() / total
             }
+        }
+    }
+
+    /// [`Loss::value`] with a finite check: a NaN or ±∞ loss becomes
+    /// [`TrainError::NonFinite`] carrying the offending value and the
+    /// caller's `epoch`, instead of propagating into the gradient step and
+    /// poisoning every weight. This is a real branch, not a `debug_assert` —
+    /// release builds on unlabeled target data are exactly where the check
+    /// is needed.
+    fn checked_value(
+        &self,
+        pred: &Tensor,
+        target: &Tensor,
+        weights: Option<&[f64]>,
+        epoch: usize,
+    ) -> Result<f64, TrainError> {
+        let v = self.value(pred, target, weights);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(TrainError::NonFinite { loss: v, epoch })
         }
     }
 }
@@ -412,6 +434,65 @@ mod tests {
     #[should_panic(expected = "mse: pred")]
     fn shape_mismatch_panics() {
         Mse.per_sample(&Tensor::zeros(1, 2), &Tensor::zeros(2, 1));
+    }
+
+    /// Satellite: NaN/Inf predictions through every loss, forward and
+    /// backward. The forward value must degenerate (so `checked_value`
+    /// catches it before any weight update), and a NaN prediction must also
+    /// poison the gradient — proving the value check is the *earliest*
+    /// usable gate.
+    #[test]
+    fn non_finite_predictions_are_caught_by_checked_value() {
+        let losses: Vec<Box<dyn Loss>> = vec![
+            Box::new(Mse),
+            Box::new(Mae),
+            Box::new(Huber::new(1.0)),
+            Box::new(Msle),
+        ];
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for loss in &losses {
+                let pred = t(2, 1, &[bad, 1.0]);
+                let target = t(2, 1, &[0.0, 0.0]);
+                let v = loss.value(&pred, &target, None);
+                assert!(
+                    !v.is_finite(),
+                    "{} must not absorb a {bad} prediction into a finite loss",
+                    loss.name()
+                );
+                match loss.checked_value(&pred, &target, None, 7) {
+                    Err(TrainError::NonFinite { loss: l, epoch }) => {
+                        assert_eq!(epoch, 7);
+                        assert!(!l.is_finite());
+                    }
+                    other => panic!("{}: expected NonFinite, got {other:?}", loss.name()),
+                }
+            }
+        }
+        // Backward: a NaN prediction propagates into the gradient. Two
+        // saturations are by design and excluded: MAE/Huber keep bounded
+        // gradients for *infinite* predictions (their slopes saturate), and
+        // MSLE's clamp maps even a NaN prediction to the clamp point in the
+        // gradient (`f64::max` discards NaN) — which is exactly why the
+        // forward value, degenerate in every case above, is the gate.
+        let losses: Vec<Box<dyn Loss>> =
+            vec![Box::new(Mse), Box::new(Mae), Box::new(Huber::new(1.0))];
+        for loss in &losses {
+            let pred = t(2, 1, &[f64::NAN, 1.0]);
+            let target = t(2, 1, &[0.0, 0.0]);
+            let g = loss.grad(&pred, &target, None);
+            assert!(
+                g.as_slice().iter().any(|v| !v.is_finite()),
+                "{}: NaN prediction must poison the gradient",
+                loss.name()
+            );
+        }
+    }
+
+    #[test]
+    fn checked_value_passes_finite_losses_through() {
+        let pred = t(2, 1, &[3.0, 0.0]);
+        let target = t(2, 1, &[1.0, 0.0]);
+        assert_eq!(Mse.checked_value(&pred, &target, None, 0), Ok(2.0));
     }
 
     /// Numeric check of every loss gradient via central differences.

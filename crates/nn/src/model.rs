@@ -17,12 +17,13 @@
 //! [`Sequential`] implements all four. [`FnRegressor`] is a closure-backed
 //! mock proving the adaptation pipeline runs on a non-`Sequential` model.
 
+use crate::error::TrainError;
 use crate::layers::{Layer, Mode, Param, Sequential};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::rng::Rng;
 use crate::tensor::Tensor;
-use crate::train::{fit, FitReport, TrainConfig};
+use crate::train::{try_fit, FitReport, TrainConfig};
 
 /// Deterministic batch regression: the minimum surface every stage of the
 /// pipeline can rely on.
@@ -53,6 +54,13 @@ pub trait TrainableRegressor: Regressor {
     /// Weights follow the convention of [`crate::loss`]: the objective is
     /// the weight-normalised mean loss, so uniform weights match unweighted
     /// training.
+    ///
+    /// # Errors
+    /// Returns a [`TrainError`] on shape mismatches, unusable configuration,
+    /// or numeric failure mid-run (NaN/∞ loss, armed divergence guard). A
+    /// numeric error leaves the model with the updates of the epochs that
+    /// completed *before* the failure; callers needing rollback snapshot via
+    /// [`CheckpointRegressor`] first.
     fn fit_weighted(
         &mut self,
         optimizer: &mut dyn Optimizer,
@@ -61,7 +69,30 @@ pub trait TrainableRegressor: Regressor {
         y: &Tensor,
         weights: Option<&[f64]>,
         cfg: &TrainConfig,
-    ) -> FitReport;
+    ) -> Result<FitReport, TrainError>;
+}
+
+/// A regressor whose learnable state can be snapshotted and restored — the
+/// substrate of the do-no-harm guarantee: guarded adaptation checkpoints the
+/// source weights, fine-tunes, and rolls back bit-identically when the run
+/// degenerates.
+pub trait CheckpointRegressor: Regressor {
+    /// The snapshot type. `Clone + Send` so guards can hold and ship it.
+    type Checkpoint: Clone + Send + 'static;
+
+    /// Captures the current learnable state (weights/biases). The snapshot
+    /// covers everything [`CheckpointRegressor::restore`] writes back;
+    /// transient state that does not affect `Mode::Eval` predictions (e.g.
+    /// dropout RNG positions) may be excluded.
+    fn checkpoint(&mut self) -> Self::Checkpoint;
+
+    /// Restores a snapshot taken by [`CheckpointRegressor::checkpoint`],
+    /// making subsequent deterministic predictions bit-identical to those at
+    /// capture time.
+    ///
+    /// # Panics
+    /// May panic if the snapshot comes from a structurally different model.
+    fn restore(&mut self, snapshot: &Self::Checkpoint);
 }
 
 /// A regressor decomposable into a feature extractor and a head — the shape
@@ -147,8 +178,23 @@ impl TrainableRegressor for Sequential {
         y: &Tensor,
         weights: Option<&[f64]>,
         cfg: &TrainConfig,
-    ) -> FitReport {
-        fit(self, optimizer, loss, x, y, weights, cfg)
+    ) -> Result<FitReport, TrainError> {
+        try_fit(self, optimizer, loss, x, y, weights, cfg)
+    }
+}
+
+impl CheckpointRegressor for Sequential {
+    /// The snapshot is a full clone of the chain: parameters, BatchNorm
+    /// running statistics, and dropout PRNG positions all included, so a
+    /// restore is bit-identical in *every* mode, not just `Eval`.
+    type Checkpoint = Sequential;
+
+    fn checkpoint(&mut self) -> Sequential {
+        self.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Sequential) {
+        *self = snapshot.clone();
     }
 }
 
@@ -281,17 +327,28 @@ impl TrainableRegressor for FnRegressor {
         y: &Tensor,
         weights: Option<&[f64]>,
         cfg: &TrainConfig,
-    ) -> FitReport {
+    ) -> Result<FitReport, TrainError> {
+        if x.rows() != y.rows() {
+            return Err(TrainError::ShapeMismatch {
+                context: format!(
+                    "FnRegressor: x has {} rows but y has {}",
+                    x.rows(),
+                    y.rows()
+                ),
+            });
+        }
         let mut report = FitReport {
             epoch_losses: Vec::with_capacity(cfg.epochs),
             stopped_early_at: None,
         };
         if weights.is_some_and(|w| w.iter().sum::<f64>() <= 0.0) {
-            return report;
+            return Ok(report);
         }
-        for _ in 0..cfg.epochs {
+        for epoch in 0..cfg.epochs {
             let pred = self.predict(x);
-            report.epoch_losses.push(loss.value(&pred, y, weights));
+            report
+                .epoch_losses
+                .push(loss.checked_value(&pred, y, weights, epoch)?);
             let grad = loss.grad(&pred, y, weights);
             self.bias.zero_grad();
             for row in grad.iter_rows() {
@@ -302,7 +359,28 @@ impl TrainableRegressor for FnRegressor {
             }
             optimizer.step(&mut [&mut self.bias]);
         }
-        report
+        Ok(report)
+    }
+}
+
+impl CheckpointRegressor for FnRegressor {
+    /// Only the learnable bias is snapshotted — the closures are opaque and
+    /// stateless as far as `Mode::Eval`-equivalent prediction is concerned,
+    /// and the noise PRNG is exactly the transient state the contract lets
+    /// implementations exclude.
+    type Checkpoint = Tensor;
+
+    fn checkpoint(&mut self) -> Tensor {
+        self.bias.value.clone()
+    }
+
+    fn restore(&mut self, snapshot: &Tensor) {
+        assert_eq!(
+            self.bias.value.shape(),
+            snapshot.shape(),
+            "FnRegressor::restore: snapshot shape mismatch"
+        );
+        self.bias.value = snapshot.clone();
     }
 }
 
@@ -393,17 +471,19 @@ mod tests {
         // Training against shifted targets moves the bias toward the shift.
         let y = base.map(|v| v + 1.0);
         let mut opt = Adam::new(0.2);
-        let report = reg.fit_weighted(
-            &mut opt,
-            &Mse,
-            &x,
-            &y,
-            None,
-            &TrainConfig {
-                epochs: 200,
-                ..TrainConfig::default()
-            },
-        );
+        let report = reg
+            .fit_weighted(
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                &TrainConfig {
+                    epochs: 200,
+                    ..TrainConfig::default()
+                },
+            )
+            .expect("mock fine-tune must succeed");
         assert!(report.final_loss() < report.epoch_losses[0]);
         assert!(
             (reg.bias()[0] - 1.0).abs() < 0.1,
@@ -423,15 +503,98 @@ mod tests {
         let x = Tensor::zeros(4, 1);
         let y = Tensor::full(4, 1, 3.0);
         let mut opt = Adam::new(0.5);
-        let report = reg.fit_weighted(
-            &mut opt,
-            &Mse,
-            &x,
-            &y,
-            Some(&[0.0; 4]),
-            &TrainConfig::default(),
-        );
+        let report = reg
+            .fit_weighted(
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                Some(&[0.0; 4]),
+                &TrainConfig::default(),
+            )
+            .expect("zero-weight fine-tune must succeed");
         assert!(report.epoch_losses.is_empty());
         assert_eq!(reg.bias()[0], 0.0);
+    }
+
+    #[test]
+    fn sequential_checkpoint_restores_bit_identical_predictions() {
+        let mut rng = Rng::new(11);
+        let mut m = mlp(&mut rng);
+        let x = Tensor::rand_normal(16, 2, 0.0, 1.0, &mut rng);
+        let y = Tensor::rand_normal(16, 1, 0.0, 1.0, &mut rng);
+        let before = Regressor::predict(&mut m, &x);
+        let snap = m.checkpoint();
+
+        let mut opt = Adam::new(0.1);
+        let _ = m
+            .fit_weighted(
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                &TrainConfig {
+                    epochs: 10,
+                    ..TrainConfig::default()
+                },
+            )
+            .unwrap();
+        assert_ne!(
+            Regressor::predict(&mut m, &x),
+            before,
+            "training must move the weights"
+        );
+
+        m.restore(&snap);
+        let after = Regressor::predict(&mut m, &x);
+        let same_bits = before
+            .as_slice()
+            .iter()
+            .zip(after.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same_bits, "restore must be bit-identical");
+    }
+
+    #[test]
+    fn fn_regressor_checkpoint_restores_bias() {
+        let mut reg = FnRegressor::new(
+            |x| Tensor::zeros(x.rows(), 1),
+            |x| vec![0.1; x.rows()],
+            1,
+            3,
+        );
+        let snap = reg.checkpoint();
+        let x = Tensor::zeros(4, 1);
+        let y = Tensor::full(4, 1, 3.0);
+        let mut opt = Adam::new(0.5);
+        let _ = reg
+            .fit_weighted(&mut opt, &Mse, &x, &y, None, &TrainConfig::default())
+            .unwrap();
+        assert_ne!(reg.bias()[0], 0.0);
+        reg.restore(&snap);
+        assert_eq!(reg.bias()[0], 0.0);
+    }
+
+    #[test]
+    fn fn_regressor_fit_reports_mismatched_rows() {
+        let mut reg = FnRegressor::new(
+            |x| Tensor::zeros(x.rows(), 1),
+            |x| vec![0.1; x.rows()],
+            1,
+            3,
+        );
+        let mut opt = Adam::new(0.5);
+        let err = reg
+            .fit_weighted(
+                &mut opt,
+                &Mse,
+                &Tensor::zeros(3, 1),
+                &Tensor::zeros(4, 1),
+                None,
+                &TrainConfig::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::ShapeMismatch { .. }));
     }
 }

@@ -191,6 +191,9 @@ struct Job {
     pending: AtomicUsize,
     /// Helper slots left (submitter participates outside this budget).
     slots: AtomicUsize,
+    /// Whether any chunk panicked. Per-job state (a fresh `Job` is allocated
+    /// for every submission), so one panicked region can never taint the
+    /// next — the pool stays reusable after `resume_unwind`.
     panicked: AtomicBool,
     payload: Mutex<Option<Box<dyn Any + Send>>>,
     done: Mutex<bool>,
@@ -223,13 +226,13 @@ impl Job {
             let result = catch_unwind(AssertUnwindSafe(|| f(c)));
             if let Err(e) = result {
                 self.panicked.store(true, Ordering::SeqCst);
-                let mut slot = self.payload.lock().unwrap();
+                let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
                 if slot.is_none() {
                     *slot = Some(e);
                 }
             }
             if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-                *self.done.lock().unwrap() = true;
+                *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
                 self.done_cv.notify_all();
             }
         }
@@ -282,7 +285,7 @@ fn worker_loop(worker_index: usize) {
     let pool = pool();
     loop {
         let job = {
-            let mut state = pool.state.lock().unwrap();
+            let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 let picked = state
                     .queue
@@ -292,7 +295,7 @@ fn worker_loop(worker_index: usize) {
                 if let Some(j) = picked {
                     break j;
                 }
-                state = pool.cv.wait(state).unwrap();
+                state = pool.cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
         job.run_chunks();
@@ -348,7 +351,7 @@ where
 
     let pool = pool();
     {
-        let mut state = pool.state.lock().unwrap();
+        let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
         let want = (threads - 1).min(MAX_WORKERS);
         while state.spawned < want {
             let worker_index = state.spawned;
@@ -371,22 +374,25 @@ where
 
     // Wait for helpers to drain the remaining chunks.
     {
-        let mut finished = job.done.lock().unwrap();
+        let mut finished = job.done.lock().unwrap_or_else(|e| e.into_inner());
         while !*finished {
-            finished = job.done_cv.wait(finished).unwrap();
+            finished = job
+                .done_cv
+                .wait(finished)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
     // Retire the job from the queue (workers skip exhausted jobs, but don't
     // let the queue grow without bound).
     {
-        let mut state = pool.state.lock().unwrap();
+        let mut state = pool.state.lock().unwrap_or_else(|e| e.into_inner());
         state.queue.retain(|j| !Arc::ptr_eq(j, &job));
     }
     if job.panicked.load(Ordering::SeqCst) {
         let payload = job
             .payload
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .take()
             .unwrap_or_else(|| Box::new("parallel chunk panicked"));
         std::panic::resume_unwind(payload);
@@ -404,11 +410,11 @@ where
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n_chunks).map(|_| None).collect());
     parallel_for_each_chunk(n_chunks, |c| {
         let value = f(c);
-        results.lock().unwrap()[c] = Some(value);
+        results.lock().unwrap_or_else(|e| e.into_inner())[c] = Some(value);
     });
     results
         .into_inner()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|v| v.expect("map_chunks: chunk did not produce a value"))
         .collect()
@@ -580,6 +586,56 @@ mod tests {
             .or_else(|| err.downcast_ref::<String>().cloned())
             .unwrap_or_default();
         assert!(msg.contains("chunk five exploded"), "payload was {msg:?}");
+    }
+
+    /// Satellite regression: a panicked job must not wedge the pool. The
+    /// workers stay alive, the queue is drained, and both ordinary and
+    /// panicking jobs submitted *afterwards* behave exactly like a fresh
+    /// pool (the panic flag is per-job and cannot stick).
+    #[test]
+    fn pool_is_reusable_after_a_panicked_job() {
+        let _guard = CONFIG_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(4);
+
+        let first = std::panic::catch_unwind(|| {
+            parallel_for_each_chunk(8, |c| {
+                if c == 3 {
+                    panic!("first job exploded");
+                }
+            });
+        });
+        assert!(first.is_err(), "the first panic must propagate");
+
+        // An ordinary job right after the panicked one must run all chunks
+        // and return correct, ordered results.
+        let got = map_chunks(16, |c| c * 2);
+        let want: Vec<usize> = (0..16).map(|c| c * 2).collect();
+        assert_eq!(got, want, "pool must execute post-panic jobs correctly");
+
+        // A second panicking job still reports *its own* payload — the
+        // panicked flag did not leak from the first job.
+        let second = std::panic::catch_unwind(|| {
+            parallel_for_each_chunk(8, |c| {
+                if c == 5 {
+                    panic!("second job exploded");
+                }
+            });
+        });
+        let err = second.expect_err("the second panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("second job exploded"), "payload was {msg:?}");
+
+        // And the pool still works after the second panic too.
+        let got = map_chunks(9, |c| c + 1);
+        let want: Vec<usize> = (1..=9).collect();
+        assert_eq!(got, want);
+
+        reset_threads();
     }
 
     #[test]

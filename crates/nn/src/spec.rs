@@ -355,7 +355,7 @@ impl ToJson for ModelSpec {
 impl FromJson for ModelSpec {
     fn from_json_value(v: &Json) -> Result<Self, JsonError> {
         Ok(ModelSpec {
-            layers: Vec::<LayerSpec>::from_json_value(v.field("layers")?)?,
+            layers: v.decode("layers")?,
         })
     }
 }
@@ -372,8 +372,8 @@ impl ToJson for SavedModel {
 impl FromJson for SavedModel {
     fn from_json_value(v: &Json) -> Result<Self, JsonError> {
         Ok(SavedModel {
-            spec: ModelSpec::from_json_value(v.field("spec")?)?,
-            params: Vec::<Vec<f64>>::from_json_value(v.field("params")?)?,
+            spec: v.decode("spec")?,
+            params: v.decode("params")?,
         })
     }
 }

@@ -9,6 +9,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::error::TrainError;
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::layers::{Layer, Mode, Sequential};
 use crate::loss::Loss;
@@ -66,6 +67,11 @@ pub struct TrainConfig {
     /// Optional per-epoch observer (telemetry). `None` (the default) keeps
     /// the loop free of clock reads; observers never affect the arithmetic.
     pub observer: Option<Arc<dyn TrainObserver>>,
+    /// Optional divergence guard: abort the run with
+    /// [`TrainError::Diverged`] when an epoch's mean loss blows past the
+    /// first epoch's by the configured factor. `None` (the default) keeps
+    /// the historical behaviour of training to completion regardless.
+    pub divergence: Option<DivergenceGuard>,
 }
 
 impl Default for TrainConfig {
@@ -79,6 +85,7 @@ impl Default for TrainConfig {
             mode: Mode::Train,
             schedule: LrSchedule::Constant,
             observer: None,
+            divergence: None,
         }
     }
 }
@@ -97,7 +104,42 @@ impl fmt::Debug for TrainConfig {
                 "observer",
                 &self.observer.as_ref().map(|_| "dyn TrainObserver"),
             )
+            .field("divergence", &self.divergence)
             .finish()
+    }
+}
+
+/// Loss blow-up detector for [`try_fit`].
+///
+/// The first completed epoch's mean loss becomes the baseline; any later
+/// epoch whose mean loss exceeds `baseline × factor` aborts the run with
+/// [`TrainError::Diverged`]. With pseudo-label fine-tuning there is no
+/// held-out labelled set that could catch a diverging run, so the training
+/// loss itself is the only signal available.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceGuard {
+    /// Blow-up factor relative to the first epoch's mean loss. Must be
+    /// `> 1` to be meaningful; typical values are 4–10.
+    pub factor: f64,
+}
+
+impl Default for DivergenceGuard {
+    fn default() -> Self {
+        DivergenceGuard { factor: 8.0 }
+    }
+}
+
+impl ToJson for DivergenceGuard {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![("factor", Json::Num(self.factor))])
+    }
+}
+
+impl FromJson for DivergenceGuard {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        Ok(DivergenceGuard {
+            factor: v.field("factor")?.as_f64()?,
+        })
     }
 }
 
@@ -147,7 +189,7 @@ impl Default for EarlyStop {
 }
 
 /// The outcome of [`fit`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FitReport {
     /// Mean training loss per completed epoch.
     pub epoch_losses: Vec<f64>,
@@ -169,7 +211,10 @@ impl FitReport {
 ///
 /// # Panics
 /// Panics if `x` and `y` disagree on the batch size, if `weights` has the
-/// wrong length, or if the dataset is empty while `epochs > 0`.
+/// wrong length, or if the dataset is empty while `epochs > 0`. This is the
+/// historical panicking façade over [`try_fit`]; numeric failures
+/// ([`TrainError::NonFinite`], [`TrainError::Diverged`]) also panic here, so
+/// callers that need to recover must use [`try_fit`].
 pub fn fit(
     model: &mut Sequential,
     optimizer: &mut dyn Optimizer,
@@ -179,21 +224,56 @@ pub fn fit(
     weights: Option<&[f64]>,
     cfg: &TrainConfig,
 ) -> FitReport {
-    assert_eq!(
-        x.rows(),
-        y.rows(),
-        "fit: x has {} rows but y has {}",
-        x.rows(),
-        y.rows()
-    );
-    if let Some(w) = weights {
-        assert_eq!(w.len(), x.rows(), "fit: weight length mismatch");
+    match try_fit(model, optimizer, loss, x, y, weights, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
     }
-    assert!(
-        x.rows() > 0 || cfg.epochs == 0,
-        "fit: cannot train on an empty dataset"
-    );
-    assert!(cfg.batch_size > 0, "fit: batch_size must be positive");
+}
+
+/// Fallible core of [`fit`]: trains `model` on `(x, y)` and reports every
+/// failure as a typed [`TrainError`] instead of panicking.
+///
+/// Validation failures (shape mismatch, empty dataset with `epochs > 0`,
+/// zero batch size) return `Err` before any weight is touched. Numeric
+/// failures abort mid-run: a NaN/∞ batch loss returns
+/// [`TrainError::NonFinite`] *before* the poisoned gradient is applied, and
+/// an armed [`DivergenceGuard`] returns [`TrainError::Diverged`] at the end
+/// of the offending epoch. In both cases earlier epochs' updates remain in
+/// the model — callers that need the do-no-harm guarantee snapshot weights
+/// first (see `tasfar_core`'s guarded adaptation).
+pub fn try_fit(
+    model: &mut Sequential,
+    optimizer: &mut dyn Optimizer,
+    loss: &dyn Loss,
+    x: &Tensor,
+    y: &Tensor,
+    weights: Option<&[f64]>,
+    cfg: &TrainConfig,
+) -> Result<FitReport, TrainError> {
+    if x.rows() != y.rows() {
+        return Err(TrainError::ShapeMismatch {
+            context: format!("fit: x has {} rows but y has {}", x.rows(), y.rows()),
+        });
+    }
+    if let Some(w) = weights {
+        if w.len() != x.rows() {
+            return Err(TrainError::ShapeMismatch {
+                context: format!(
+                    "fit: weight length mismatch ({} weights for {} rows)",
+                    w.len(),
+                    x.rows()
+                ),
+            });
+        }
+    }
+    if x.rows() == 0 && cfg.epochs > 0 {
+        return Err(TrainError::EmptyDataset);
+    }
+    if cfg.batch_size == 0 {
+        return Err(TrainError::InvalidConfig {
+            context: "fit: batch_size must be positive".into(),
+        });
+    }
 
     let n = x.rows();
     let mut rng = Rng::new(cfg.seed);
@@ -231,7 +311,11 @@ pub fn fit(
 
             model.zero_grad();
             let pred = model.forward(&xb, cfg.mode);
-            let batch_loss = loss.value(&pred, &yb, wb_ref);
+            // The finite check runs *before* the backward pass: a NaN loss
+            // means the gradient would be NaN too, and applying it would
+            // overwrite every weight with NaN. Erroring out here leaves the
+            // model in its pre-batch state.
+            let batch_loss = loss.checked_value(&pred, &yb, wb_ref, epoch)?;
             let grad = loss.grad(&pred, &yb, wb_ref);
             model.backward(&grad);
             optimizer.step(&mut model.params_mut());
@@ -250,6 +334,21 @@ pub fn fit(
             observer.on_epoch(epoch, mean_loss, optimizer.learning_rate(), wall);
         }
 
+        if let Some(guard) = &cfg.divergence {
+            let baseline = report.epoch_losses[0];
+            if epoch > 0 && baseline.is_finite() && baseline > 0.0 {
+                let limit = guard.factor * baseline;
+                if mean_loss > limit {
+                    return Err(TrainError::Diverged {
+                        loss: mean_loss,
+                        baseline,
+                        factor: guard.factor,
+                        epoch,
+                    });
+                }
+            }
+        }
+
         if let Some(es) = &cfg.early_stop {
             if should_stop(&report.epoch_losses, es, epoch) {
                 report.stopped_early_at = Some(epoch);
@@ -260,7 +359,7 @@ pub fn fit(
             }
         }
     }
-    report
+    Ok(report)
 }
 
 /// The Fig. 13 stopping rule: stop once the relative improvement of the
@@ -569,6 +668,191 @@ mod tests {
             assert_eq!(loss.to_bits(), observed.epoch_losses[i].to_bits());
         }
         assert_eq!(*recorder.stopped.lock().unwrap(), observed.stopped_early_at);
+    }
+
+    #[test]
+    fn try_fit_reports_validation_errors_without_touching_weights() {
+        let mut rng = Rng::new(20);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let probe = Tensor::full(1, 1, 1.0);
+        let before = model.predict(&probe);
+        let mut opt = Adam::new(0.1);
+
+        let shape = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(3, 1),
+            &Tensor::zeros(4, 1),
+            None,
+            &TrainConfig::default(),
+        );
+        assert!(matches!(shape, Err(TrainError::ShapeMismatch { .. })));
+
+        let weights = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(3, 1),
+            &Tensor::zeros(3, 1),
+            Some(&[1.0]),
+            &TrainConfig::default(),
+        );
+        assert!(matches!(weights, Err(TrainError::ShapeMismatch { .. })));
+
+        let empty = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(0, 1),
+            &Tensor::zeros(0, 1),
+            None,
+            &TrainConfig::default(),
+        );
+        assert_eq!(empty, Err(TrainError::EmptyDataset));
+
+        let batch = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &Tensor::zeros(3, 1),
+            &Tensor::zeros(3, 1),
+            None,
+            &TrainConfig {
+                batch_size: 0,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(matches!(batch, Err(TrainError::InvalidConfig { .. })));
+
+        assert_eq!(model.predict(&probe), before, "no error may update weights");
+    }
+
+    #[test]
+    fn nan_targets_fail_fast_with_clean_weights() {
+        let mut rng = Rng::new(21);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let probe = Tensor::full(1, 1, 1.0);
+        let before = model.predict(&probe);
+        let mut opt = Adam::new(0.1);
+        let x = Tensor::full(8, 1, 1.0);
+        let y = Tensor::full(8, 1, f64::NAN);
+        let err = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            TrainError::NonFinite { loss, epoch } => {
+                assert!(!loss.is_finite());
+                assert_eq!(epoch, 0);
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+        // The check fires before the poisoned backward pass, so the model
+        // still predicts exactly what it did before the call.
+        assert_eq!(model.predict(&probe), before);
+        assert!(model.predict(&probe).as_slice()[0].is_finite());
+    }
+
+    #[test]
+    fn divergence_guard_catches_a_blowing_up_run() {
+        use std::sync::atomic::{AtomicI32, Ordering};
+
+        /// Scripted loss: 10× larger on every value call, gradient zero —
+        /// a pure loss-curve blow-up with no numeric side effects.
+        struct Exploding(AtomicI32);
+        impl Loss for Exploding {
+            fn name(&self) -> &'static str {
+                "exploding"
+            }
+            fn per_sample(&self, pred: &Tensor, _target: &Tensor) -> Vec<f64> {
+                let k = self.0.fetch_add(1, Ordering::Relaxed);
+                vec![10f64.powi(k); pred.rows()]
+            }
+            fn grad(&self, pred: &Tensor, _target: &Tensor, _w: Option<&[f64]>) -> Tensor {
+                Tensor::zeros(pred.rows(), pred.cols())
+            }
+        }
+
+        let mut rng = Rng::new(22);
+        let mut model = Sequential::new().add(Dense::new(1, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.01);
+        let x = Tensor::zeros(8, 1);
+        let y = Tensor::zeros(8, 1);
+        let err = try_fit(
+            &mut model,
+            &mut opt,
+            &Exploding(AtomicI32::new(0)),
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                epochs: 50,
+                batch_size: 8,
+                divergence: Some(DivergenceGuard { factor: 8.0 }),
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.recoverable());
+        match err {
+            TrainError::Diverged {
+                loss,
+                baseline,
+                factor,
+                epoch,
+            } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(baseline, 1.0);
+                assert_eq!(loss, 10.0);
+                assert_eq!(factor, 8.0);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_guard_stays_quiet_on_healthy_runs() {
+        let mut rng = Rng::new(23);
+        let (x, y) = linear_data(&mut rng, 128);
+        let mut model = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng));
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 32,
+            ..TrainConfig::default()
+        };
+        let guarded = try_fit(
+            &mut model,
+            &mut opt,
+            &Mse,
+            &x,
+            &y,
+            None,
+            &TrainConfig {
+                divergence: Some(DivergenceGuard::default()),
+                ..cfg.clone()
+            },
+        )
+        .expect("healthy run must not trip the guard");
+        // The guard is observation-only: losses are bit-identical to an
+        // unguarded run.
+        let mut rng2 = Rng::new(23);
+        let (x2, y2) = linear_data(&mut rng2, 128);
+        let mut model2 = Sequential::new().add(Dense::new(2, 1, Init::XavierUniform, &mut rng2));
+        let mut opt2 = Adam::new(0.05);
+        let plain = try_fit(&mut model2, &mut opt2, &Mse, &x2, &y2, None, &cfg).unwrap();
+        assert_eq!(guarded.epoch_losses, plain.epoch_losses);
     }
 
     #[test]

@@ -63,7 +63,8 @@ fn main() {
         epochs: 100,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib =
+        calibrate_on_source(&mut model, &source, &cfg).expect("the dense source scenes calibrate");
 
     println!(
         "\n{:>7} {:>11} {:>10} {:>10} {:>8}",
@@ -76,12 +77,8 @@ fn main() {
 
         let mut scene_model = model.clone();
         let before = metrics::mae(&scene_model.predict(&test_ds.x), &test_ds.y);
-        let outcome = adapt(&mut scene_model, &calib, &adapt_ds.x, &Mse, &cfg);
-        if let Some(reason) = outcome.skipped {
-            println!(
-                "scene {}: adaptation skipped ({reason})",
-                scene.profile.id + 1
-            );
+        if let Err(err) = adapt(&mut scene_model, &calib, &adapt_ds.x, &Mse, &cfg) {
+            println!("scene {}: adaptation skipped ({err})", scene.profile.id + 1);
         }
         let after = metrics::mae(&scene_model.predict(&test_ds.x), &test_ds.y);
         println!(

@@ -70,7 +70,8 @@ fn main() {
         epochs: 100,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg)
+        .expect("the inland source districts calibrate");
 
     let mut split_rng = Rng::new(1);
     let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut split_rng);
@@ -81,7 +82,8 @@ fn main() {
         "adapting on {} unlabeled coastal districts...",
         adapt_ds.len()
     );
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg)
+        .expect("the coastal target batch adapts");
     println!(
         "confident/uncertain: {}/{}",
         outcome.split.confident.len(),

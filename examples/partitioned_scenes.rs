@@ -49,7 +49,8 @@ fn main() {
         epochs: 100,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib =
+        calibrate_on_source(&mut model, &source, &cfg).expect("the dense source scenes calibrate");
 
     // Build the fused target batch with per-row scene keys.
     let mut adapt_parts = Vec::new();
@@ -77,7 +78,10 @@ fn main() {
         parted
             .outcomes
             .iter()
-            .map(|o| format!("{:.2}", o.split.uncertain_ratio()))
+            .map(|o| match o {
+                Ok(o) => format!("{:.2}", o.split.uncertain_ratio()),
+                Err(e) => format!("failed: {e}"),
+            })
             .collect::<Vec<_>>()
     );
 

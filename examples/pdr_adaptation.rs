@@ -74,7 +74,7 @@ fn main() {
         epochs: 100,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("the source users calibrate");
     println!("tau = {:.4}", calib.classifier.tau);
 
     // ---- adapt to each unseen user ---------------------------------------
@@ -101,7 +101,8 @@ fn main() {
 
         println!("adapting on {} unlabeled steps...", adapt_ds.len());
         let before_adapt = metrics::step_error(&user_model.predict(&adapt_ds.x), &adapt_ds.y);
-        let outcome = adapt(&mut user_model, &calib, &adapt_ds.x, &Mse, &cfg);
+        let outcome = adapt(&mut user_model, &calib, &adapt_ds.x, &Mse, &cfg)
+            .expect("the user's trajectory batch adapts");
         println!(
             "confident/uncertain: {}/{}; fine-tune epochs: {}",
             outcome.split.confident.len(),

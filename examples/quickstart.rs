@@ -71,7 +71,8 @@ fn main() {
         epochs: 80,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib =
+        calibrate_on_source(&mut model, &source, &cfg).expect("the source scenario calibrates");
     println!(
         "calibration: tau = {:.4}, Q_s = {:.3} + {:.3}·u",
         calib.classifier.tau, calib.qs[0].a0, calib.qs[0].a1
@@ -103,19 +104,48 @@ fn main() {
     }
 
     // ---- phase 2: source-free adaptation (labels yt never touched) ------
+    // The guarded entry point wraps the pipeline in the fault-tolerant
+    // path: recoverable errors trigger policy-driven retries, and anything
+    // unrecoverable rolls the model back to the source checkpoint
+    // (do-no-harm). Honors `TASFAR_CHAOS` fault injection.
     let before = metrics::mse(&model.predict(&xt), &yt);
-    let outcome = adapt(&mut model, &calib, &xt, &Mse, &cfg);
+    let outcome = adapt_guarded(
+        &mut model,
+        &calib,
+        &xt,
+        &Mse,
+        &cfg,
+        &RecoveryPolicy::default(),
+    );
     let after = metrics::mse(&model.predict(&xt), &yt);
 
+    match &outcome {
+        GuardedOutcome::Adapted(_) => {}
+        GuardedOutcome::Recovered { retries, .. } => {
+            println!("adaptation recovered after {retries} retry(ies)");
+        }
+        GuardedOutcome::FellBackToSource { error, retries } => {
+            println!("adaptation fell back to the source model ({error}; {retries} retries)");
+            assert_eq!(
+                before, after,
+                "fallback must restore the source model bit-identically"
+            );
+            println!("target MSE unchanged at {after:.5} — do-no-harm held");
+            return;
+        }
+    }
+    let adapted = outcome
+        .adaptation()
+        .expect("adapted/recovered outcomes carry the pipeline result");
     println!(
         "target split: {} confident / {} uncertain ({:.1}% uncertain)",
-        outcome.split.confident.len(),
-        outcome.split.uncertain.len(),
-        100.0 * outcome.split.uncertain_ratio()
+        adapted.split.confident.len(),
+        adapted.split.uncertain.len(),
+        100.0 * adapted.split.uncertain_ratio()
     );
     println!(
         "mean pseudo-label credibility: {:.3}",
-        outcome.mean_credibility()
+        adapted.mean_credibility()
     );
     println!("target MSE before adaptation: {before:.5}");
     println!("target MSE after  adaptation: {after:.5}");

@@ -81,7 +81,8 @@ fn main() {
         epochs: 80,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib =
+        calibrate_on_source(&mut model, &source, &cfg).expect("the source scenario calibrates");
 
     let bundle_model = SavedModel::capture(&spec, &mut model).to_json();
     let bundle_calib = ToJson::to_json(&calib);
@@ -114,7 +115,8 @@ fn main() {
         &target.x,
         &Mse,
         &device_cfg,
-    );
+    )
+    .expect("the restored bundle adapts on-device");
     let after = metrics::mse(&device_model.predict(&target.x), &target.y);
     println!(
         "device adaptation: {} uncertain samples pseudo-labelled; MSE {before:.5} -> {after:.5} ({:.1}% reduction)",

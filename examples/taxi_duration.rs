@@ -67,7 +67,8 @@ fn main() {
         epochs: 100,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg)
+        .expect("the outer-borough source trips calibrate");
 
     let mut split_rng = Rng::new(2);
     let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut split_rng);
@@ -77,7 +78,8 @@ fn main() {
         "adapting on {} unlabeled Manhattan trips...",
         adapt_ds.len()
     );
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg)
+        .expect("the Manhattan target batch adapts");
     println!(
         "confident/uncertain: {}/{}; mean credibility {:.3}",
         outcome.split.confident.len(),

@@ -44,4 +44,17 @@ test -s "$scratch/trace.jsonl" || { echo "trace smoke: no trace written" >&2; ex
 cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/trace.jsonl" \
     --require stage.predict,stage.split,stage.estimate_density,stage.pseudo_label,stage.fine_tune,train_epoch,parallel_pool
 
+# Chaos gate: the fault-injection suite must hold (every fault class caught,
+# classified, recovered or degraded per policy, rollbacks bit-identical) and
+# a sabotaged quickstart must survive end-to-end — TASFAR_CHAOS poisons the
+# adaptation batch with NaNs, the guard must fall back to the source
+# checkpoint, exit 0, and leave the recovery events in the trace.
+echo "==> chaos gate (fault-injection suite + sabotaged quickstart)"
+cargo test -q --release -p tasfar-core --test chaos --test chaos_env
+TASFAR_CHAOS=nan_batch TASFAR_TRACE="$scratch/chaos_trace.jsonl" \
+    cargo run --release -p examples --bin quickstart >/dev/null
+test -s "$scratch/chaos_trace.jsonl" || { echo "chaos gate: no trace written" >&2; exit 1; }
+cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/chaos_trace.jsonl" \
+    --require chaos.injected,guard.rollback,adapt_guarded
+
 echo "verify: all green"

@@ -20,7 +20,7 @@ fn calibrated_toy() -> (
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
     (model, calib, cfg, toy.target_x)
 }
 
@@ -31,14 +31,16 @@ fn adapt_on_a_tiny_batch_is_safe() {
         let mut m = model.clone();
         let rows: Vec<usize> = (0..n).collect();
         let xb = target_x.select_rows(&rows);
-        let outcome = adapt(&mut m, &calib, &xb, &Mse, &cfg);
         // Tiny batches usually degenerate to all-confident or all-uncertain;
-        // either way the pipeline must not panic and must report why it
-        // skipped (or produce finite pseudo-labels).
-        if outcome.skipped.is_none() {
-            for p in &outcome.pseudo {
-                assert!(p.value[0].is_finite());
+        // either way the pipeline must not panic: it reports a typed,
+        // recoverable error (or produces finite pseudo-labels).
+        match adapt(&mut m, &calib, &xb, &Mse, &cfg) {
+            Ok(outcome) => {
+                for p in &outcome.pseudo {
+                    assert!(p.value[0].is_finite());
+                }
             }
+            Err(err) => assert!(err.recoverable(), "unexpected fatal error: {err}"),
         }
         assert!(m.predict(&xb).all_finite());
     }
@@ -52,8 +54,7 @@ fn adapt_with_identical_rows_is_safe() {
     let rows = vec![0usize; 64];
     let xb = target_x.select_rows(&rows);
     let mut m = model.clone();
-    let outcome = adapt(&mut m, &calib, &xb, &Mse, &cfg);
-    let _ = outcome; // any skip reason is acceptable
+    let _ = adapt(&mut m, &calib, &xb, &Mse, &cfg); // any typed error is acceptable
     assert!(m.predict(&xb).all_finite());
 }
 
@@ -104,8 +105,8 @@ fn scenario_rescale_with_degenerate_targets() {
     let cls = tasfar_core::adapt::scenario_classifier(&calib, &cfg, &[]);
     assert_eq!(cls.tau, calib.classifier.tau);
     // And a normal batch still adapts.
-    let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg);
-    assert!(outcome.skipped.is_none() || outcome.pseudo.is_empty());
+    let outcome = adapt(&mut model, &calib, &target_x, &Mse, &cfg).expect("toy target adapts");
+    assert!(!outcome.pseudo.is_empty());
 }
 
 #[test]
@@ -202,8 +203,11 @@ fn partitioned_adapter_with_single_group_matches_plain_adapt_structure() {
     let parted =
         tasfar_core::partition::adapt_partitioned(&model, &calib, &target_x, &keys, &Mse, &cfg);
     assert_eq!(parted.num_groups(), 1);
+    let outcome = parted.outcomes[0]
+        .as_ref()
+        .expect("single toy group adapts");
     assert_eq!(
-        parted.outcomes[0].split.confident.len() + parted.outcomes[0].split.uncertain.len(),
+        outcome.split.confident.len() + outcome.split.uncertain.len(),
         target_x.rows()
     );
 }

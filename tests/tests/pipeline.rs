@@ -24,10 +24,9 @@ fn tasfar_improves_the_toy_target() {
     let toy = toy_task(1, 0.6);
     let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 1);
     let cfg = toy_config();
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
     let before = metrics::mse(&model.predict(&toy.target_x), &toy.target_y);
-    let outcome = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
-    assert!(outcome.skipped.is_none());
+    adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg).expect("toy target adapts");
     let after = metrics::mse(&model.predict(&toy.target_x), &toy.target_y);
     assert!(
         after < before,
@@ -40,8 +39,8 @@ fn tasfar_outcome_is_internally_consistent() {
     let toy = toy_task(2, -0.5);
     let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 2);
     let cfg = toy_config();
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
-    let outcome = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
+    let outcome = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg).expect("toy target adapts");
 
     // The partition covers the batch exactly once.
     let mut all: Vec<usize> = outcome
@@ -63,7 +62,7 @@ fn tasfar_outcome_is_internally_consistent() {
     }
 
     // The density map carries probability mass.
-    match outcome.maps.as_ref().expect("maps built") {
+    match &outcome.maps {
         tasfar_core::adapt::BuiltMaps::PerDim(maps) => {
             assert_eq!(maps.len(), 1);
             let m = &maps[0];
@@ -78,8 +77,9 @@ fn pseudo_labels_pull_toward_the_target_cluster() {
     let toy = toy_task(3, 0.7);
     let mut model = train_mlp(&toy.source, 32, 120, 5e-3, 3);
     let cfg = toy_config();
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
-    let outcome = adapt(&mut model.clone(), &calib, &toy.target_x, &Mse, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
+    let outcome =
+        adapt(&mut model.clone(), &calib, &toy.target_x, &Mse, &cfg).expect("toy target adapts");
     // Informative pseudo-labels should be closer to 0.7 than the raw
     // predictions are, on average.
     let mut d_pred = 0.0;
@@ -133,7 +133,9 @@ fn all_baselines_run_and_preserve_sanity_on_the_toy_task() {
         } else {
             None
         };
-        adapter.adapt(&mut m, source, &toy.target_x, &Mse);
+        adapter
+            .adapt(&mut m, source, &toy.target_x, &Mse)
+            .unwrap_or_else(|e| panic!("{}: adaptation failed: {e}", adapter.name()));
         let after = metrics::mse(&m.predict(&toy.target_x), &toy.target_y);
         assert!(
             after.is_finite() && after < before * 3.0,
@@ -149,8 +151,9 @@ fn full_pipeline_is_deterministic_across_runs() {
         let toy = toy_task(5, 0.4);
         let mut model = train_mlp(&toy.source, 16, 60, 5e-3, 5);
         let cfg = toy_config();
-        let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
-        let _ = adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg);
+        let calib =
+            calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
+        adapt(&mut model, &calib, &toy.target_x, &Mse, &cfg).expect("toy target adapts");
         model.predict(&toy.target_x).as_slice().to_vec()
     };
     assert_eq!(run(), run());
@@ -167,7 +170,7 @@ fn scenario_tau_rescale_handles_uniformly_shifted_uncertainty() {
         scenario_tau_rescale: true,
         ..toy_config()
     };
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
     let mc = McDropout::new(cfg.mc_samples).predict(&mut model, &toy.target_x);
     let doubled: Vec<f64> = mc.uncertainty.iter().map(|u| u * 2.0).collect();
     let classifier = tasfar_core::adapt::scenario_classifier(&calib, &cfg, &doubled);

@@ -48,7 +48,7 @@ fn full_deployment_bundle_roundtrip() {
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &toy.source, &cfg);
+    let calib = calibrate_on_source(&mut model, &toy.source, &cfg).expect("toy source calibrates");
 
     // ---- serialize the whole bundle: model + calibration + config -------
     let model_json = SavedModel::capture(&spec, &mut model).to_json();
@@ -79,8 +79,7 @@ fn full_deployment_bundle_roundtrip() {
     // MC-dropout consumes it. What must hold is that the restored bundle
     // adapts *successfully*.
     let before = metrics::mse(&restored.predict(&toy.target_x), &toy.target_y);
-    let outcome = adapt(&mut restored, &calib2, &toy.target_x, &Mse, &cfg2);
-    assert!(outcome.skipped.is_none());
+    adapt(&mut restored, &calib2, &toy.target_x, &Mse, &cfg2).expect("the restored bundle adapts");
     let after = metrics::mse(&restored.predict(&toy.target_x), &toy.target_y);
     assert!(
         after < before,
@@ -107,6 +106,7 @@ fn tasfar_config_json_roundtrip_preserves_every_field() {
         early_stop: None,
         finetune_dropout: true,
         seed: 99,
+        min_confident: 3,
     };
     let json = ToJson::to_json(&cfg);
     let back = TasfarConfig::from_json(&json).unwrap();
@@ -126,6 +126,7 @@ fn tasfar_config_json_roundtrip_preserves_every_field() {
     assert!(back.early_stop.is_none());
     assert_eq!(back.finetune_dropout, cfg.finetune_dropout);
     assert_eq!(back.seed, cfg.seed);
+    assert_eq!(back.min_confident, cfg.min_confident);
 }
 
 #[test]

@@ -59,7 +59,7 @@ fn pdr_end_to_end_small() {
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("PDR source calibrates");
     assert_eq!(calib.qs.len(), 2, "one Q_s per label dimension");
 
     let user = &world.unseen_users[0];
@@ -71,13 +71,13 @@ fn pdr_end_to_end_small() {
     let adapt_ds = Dataset::concat(&parts.iter().collect::<Vec<_>>());
 
     let before = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let outcome =
+        adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg).expect("PDR user batch adapts");
     let after = metrics::step_error(&model.predict(&adapt_ds.x), &adapt_ds.y);
 
-    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
     assert!(matches!(
         outcome.maps,
-        Some(tasfar_core::adapt::BuiltMaps::Joint2d(_))
+        tasfar_core::adapt::BuiltMaps::Joint2d(_)
     ));
     // The adaptation must not blow up the model even at this small scale.
     assert!(
@@ -107,7 +107,7 @@ fn crowd_end_to_end_small() {
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("the source set calibrates");
 
     // Adapt to the sparsest scene — the largest gap from the dense source.
     let scene = &world.scenes[0];
@@ -116,10 +116,9 @@ fn crowd_end_to_end_small() {
     let (adapt_ds, test_ds) = data.split_fraction(0.8, &mut rng);
 
     let before = metrics::mae(&model.predict(&test_ds.x), &test_ds.y);
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg).expect("crowd scene adapts");
     let after = metrics::mae(&model.predict(&test_ds.x), &test_ds.y);
 
-    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
     assert!(
         outcome.split.uncertain_ratio() > 0.05,
         "the shifted scene should show uncertain data"
@@ -150,15 +149,14 @@ fn housing_end_to_end_small() {
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("the source set calibrates");
     let mut rng = Rng::new(3);
     let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut rng);
 
     let before = metrics::mse(&model.predict(&test_ds.x), &test_ds.y);
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg).expect("housing target adapts");
     let after = metrics::mse(&model.predict(&test_ds.x), &test_ds.y);
 
-    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
     assert!(
         after < before,
         "housing adaptation should reduce coastal MSE: {before:.4} → {after:.4}"
@@ -186,15 +184,14 @@ fn taxi_end_to_end_small() {
         early_stop: None,
         ..TasfarConfig::default()
     };
-    let calib = calibrate_on_source(&mut model, &source, &cfg);
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("the source set calibrates");
     let mut rng = Rng::new(4);
     let (adapt_ds, test_ds) = target.split_fraction(0.8, &mut rng);
 
     let before = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
-    let outcome = adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg);
+    adapt(&mut model, &calib, &adapt_ds.x, &Mse, &cfg).expect("taxi target adapts");
     let after = metrics::rmsle(&model.predict(&test_ds.x), &test_ds.y);
 
-    assert!(outcome.skipped.is_none(), "skipped: {:?}", outcome.skipped);
     assert!(
         after < before,
         "taxi adaptation should reduce Manhattan RMSLE: {before:.4} → {after:.4}"
