@@ -3,9 +3,18 @@
 //! Replaces the former Criterion benches (the build environment has no
 //! crates.io access). Each kernel is timed with a warmup phase followed by
 //! `TASFAR_BENCH_SAMPLES` (default 9) timed samples; the reported figure is
-//! the median ns/iteration. Every kernel runs once with the parallel runtime
-//! pinned to 1 thread and once at 4 threads, and the 4-thread row carries
-//! its speedup over the 1-thread baseline.
+//! the median ns/iteration, alongside the total wall time spent in the timed
+//! samples and the warmup iteration count. Every kernel runs once with the
+//! parallel runtime pinned to 1 thread and once at 4 threads, and the
+//! 4-thread row carries its speedup over the 1-thread baseline. On a
+//! single-CPU host the >1-thread rows are tagged `thread_scaling_na`: the
+//! speedup figure is still computed but measures scheduling overhead, not
+//! scaling.
+//!
+//! The binary also audits the zero-allocation contract: a counting global
+//! allocator measures heap allocations across steady-state `train_step` +
+//! fused MC-dropout iterations (expected: 0 at one thread) and reports them
+//! as the `alloc.hot_path` gauge, next to the scratch-arena counters.
 //!
 //! Run with: `cargo run --release -p tasfar-bench --bin kernels`
 //!
@@ -13,15 +22,48 @@
 //! (git-tracked at the repo root), including the host's CPU count — the
 //! speedups are only meaningful relative to it.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::time::Instant;
 use tasfar_core::density::{DensityMap1d, GridSpec};
-use tasfar_core::uncertainty::McDropout;
+use tasfar_core::uncertainty::{McDropout, McPrediction};
 use tasfar_nn::json::Json;
 use tasfar_nn::layers::{Conv1d, Dense, Dropout, Layer, Mode, Relu, Sequential, TcnBlock};
 use tasfar_nn::parallel;
-use tasfar_nn::prelude::Init;
+use tasfar_nn::prelude::{train_step, Adam, Init, Mse, Scratch};
 use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
+
+/// Counts heap acquisitions (`alloc` + `realloc`) on this thread, for the
+/// hot-path allocation audit. Deallocations are not counted.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
 
 /// One benchmark result row.
 struct Row {
@@ -29,22 +71,29 @@ struct Row {
     size: String,
     threads: usize,
     ns_per_iter: f64,
+    /// Total wall time across the timed samples, nanoseconds.
+    wall_ns_total: f64,
+    /// Untimed iterations run before sampling started.
+    warmup_iters: usize,
 }
 
 /// Times `f` (already warmed up) and returns the median ns/call over
-/// `samples` samples of `iters` calls each.
-fn time_median(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+/// `samples` samples of `iters` calls each, plus the total wall time spent.
+fn time_median(samples: usize, iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut total = 0.0f64;
     let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {
             let t0 = Instant::now();
             for _ in 0..iters {
                 f();
             }
-            t0.elapsed().as_nanos() as f64 / iters as f64
+            let ns = t0.elapsed().as_nanos() as f64;
+            total += ns;
+            ns / iters as f64
         })
         .collect();
     per_iter.sort_by(f64::total_cmp);
-    per_iter[per_iter.len() / 2]
+    (per_iter[per_iter.len() / 2], total)
 }
 
 fn bench(
@@ -61,9 +110,9 @@ fn bench(
     for _ in 0..iters {
         f();
     }
-    let ns = time_median(samples, iters, &mut f);
+    let (ns, wall) = time_median(samples, iters, &mut f);
     println!(
-        "{kernel:>12} {size:<14} threads={threads}  {:>12.0} ns/iter",
+        "{kernel:>16} {size:<14} threads={threads}  {:>12.0} ns/iter",
         ns
     );
     rows.push(Row {
@@ -71,6 +120,8 @@ fn bench(
         size: size.to_string(),
         threads,
         ns_per_iter: ns,
+        wall_ns_total: wall,
+        warmup_iters: iters,
     });
 }
 
@@ -184,7 +235,12 @@ fn main() {
         }
     }
 
-    // --- MC-dropout (T = 20) ---------------------------------------------
+    // --- MC-dropout (T = 20), per-pass vs fused ---------------------------
+    // `mc_dropout` is the reference per-pass estimator; `mc_dropout_fused`
+    // runs the same 20 passes as one stacked batched forward into a reused
+    // out-parameter (the production path behind `McDropout::predict`). The
+    // two are bit-identical (pinned by `tasfar-core/tests/fused_mc.rs`), so
+    // the gap between the rows is pure overhead removed.
     {
         let x = Tensor::rand_normal(128, 8, 0.0, 1.0, &mut rng);
         let iters = if quick { 1 } else { 2 };
@@ -198,7 +254,60 @@ fn main() {
                 samples,
                 iters,
                 || {
-                    std::hint::black_box(McDropout::new(20).predict(&mut model, &x));
+                    std::hint::black_box(McDropout::new(20).predict_unfused(&mut model, &x));
+                },
+            );
+        }
+        for &t in &thread_counts {
+            let mut model = mc_model(&mut Rng::new(7));
+            let est = McDropout::new(20);
+            let mut out = McPrediction::empty();
+            bench(
+                &mut rows,
+                "mc_dropout_fused",
+                "T=20 b128 mlp64",
+                t,
+                samples,
+                iters,
+                || {
+                    est.predict_into(&mut model, &x, &mut out);
+                    std::hint::black_box(&mut out);
+                },
+            );
+        }
+    }
+
+    // --- one full training step ------------------------------------------
+    {
+        let iters = if quick { 1 } else { 4 };
+        for &t in &thread_counts {
+            let mut step_rng = Rng::new(11);
+            let mut model = mc_model(&mut step_rng);
+            let mut opt = Adam::new(1e-4);
+            let x = Tensor::rand_normal(128, 8, 0.0, 1.0, &mut step_rng);
+            let y = Tensor::rand_normal(128, 1, 0.0, 1.0, &mut step_rng);
+            let mut scratch = Scratch::new();
+            bench(
+                &mut rows,
+                "train_step",
+                "b128 mlp64",
+                t,
+                samples,
+                iters,
+                || {
+                    let loss = train_step(
+                        &mut model,
+                        &mut opt,
+                        &Mse,
+                        &x,
+                        &y,
+                        None,
+                        Mode::Train,
+                        0,
+                        &mut scratch,
+                    )
+                    .expect("bench train_step");
+                    std::hint::black_box(loss);
                 },
             );
         }
@@ -230,6 +339,58 @@ fn main() {
         }
     }
 
+    // --- hot-path allocation audit ----------------------------------------
+    // With the arena warm and one thread pinned, steady-state train_step and
+    // fused MC-dropout iterations must not touch the heap. The same contract
+    // is enforced test-side by the `alloc_audit` suites; here it is recorded
+    // into the result file as provenance for the numbers above.
+    let hot_path_allocs = {
+        parallel::set_threads(1);
+        let mut audit_rng = Rng::new(13);
+        let mut model = mc_model(&mut audit_rng);
+        let mut opt = Adam::new(1e-4);
+        let x = Tensor::rand_normal(64, 8, 0.0, 1.0, &mut audit_rng);
+        let y = Tensor::rand_normal(64, 1, 0.0, 1.0, &mut audit_rng);
+        let mut scratch = Scratch::new();
+        let est = McDropout::new(20);
+        let mut out = McPrediction::empty();
+        for _ in 0..3 {
+            train_step(
+                &mut model,
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                Mode::Train,
+                0,
+                &mut scratch,
+            )
+            .expect("audit train_step");
+            est.predict_into(&mut model, &x, &mut out);
+        }
+        let before = alloc_count();
+        for _ in 0..5 {
+            train_step(
+                &mut model,
+                &mut opt,
+                &Mse,
+                &x,
+                &y,
+                None,
+                Mode::Train,
+                0,
+                &mut scratch,
+            )
+            .expect("audit train_step");
+            est.predict_into(&mut model, &x, &mut out);
+        }
+        let allocs = alloc_count() - before;
+        println!("hot-path allocations over 5 steady-state iterations: {allocs}");
+        tasfar_obs::metrics::gauge("alloc.hot_path").set(allocs as i64);
+        allocs
+    };
+
     parallel::reset_threads();
 
     // --- span guard off-state overhead ------------------------------------
@@ -241,11 +402,11 @@ fn main() {
         for _ in 0..iters {
             std::hint::black_box(tasfar_obs::span("bench.noop"));
         }
-        let ns = time_median(samples, iters, || {
+        let (ns, wall) = time_median(samples, iters, || {
             std::hint::black_box(tasfar_obs::span("bench.noop"));
         });
         println!(
-            "{:>12} {:<14} threads=1  {ns:>12.1} ns/iter",
+            "{:>16} {:<14} threads=1  {ns:>12.1} ns/iter",
             "span_off", "disabled"
         );
         rows.push(Row {
@@ -253,6 +414,8 @@ fn main() {
             size: "disabled".to_string(),
             threads: 1,
             ns_per_iter: ns,
+            wall_ns_total: wall,
+            warmup_iters: iters,
         });
         assert!(
             cfg!(debug_assertions) || ns < 50.0,
@@ -260,7 +423,33 @@ fn main() {
         );
     }
 
+    // --- self-checks -------------------------------------------------------
+    // The fused MC path exists to be faster than the per-pass one on the
+    // same host in the same run; regressing that is a bench failure, not a
+    // number to record. (Debug builds are exempt: they measure the
+    // allocator, not the kernels.)
+    let ns_of = |kernel: &str| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.threads == 1)
+            .map(|r| r.ns_per_iter)
+            .expect("kernel row missing")
+    };
+    let (unfused, fused) = (ns_of("mc_dropout"), ns_of("mc_dropout_fused"));
+    println!(
+        "mc_dropout fused speedup at 1 thread: {:.2}x",
+        unfused / fused
+    );
+    assert!(
+        cfg!(debug_assertions) || fused < unfused,
+        "fused MC-dropout ({fused:.0} ns) must beat the per-pass path ({unfused:.0} ns)"
+    );
+    assert!(
+        cfg!(debug_assertions) || hot_path_allocs == 0,
+        "steady-state hot path performed {hot_path_allocs} heap allocations"
+    );
+
     // --- report -----------------------------------------------------------
+    tasfar_obs::sync_arena_metrics();
     let results: Vec<Json> = rows
         .iter()
         .map(|r| {
@@ -269,19 +458,29 @@ fn main() {
                 .find(|b| b.kernel == r.kernel && b.size == r.size && b.threads == 1)
                 .map(|b| b.ns_per_iter)
                 .unwrap_or(r.ns_per_iter);
-            Json::obj(vec![
+            let mut pairs = vec![
                 ("kernel", Json::from(r.kernel)),
                 ("size", Json::from(r.size.clone())),
                 ("threads", Json::from(r.threads)),
                 ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                ("wall_ns_total", Json::Num(r.wall_ns_total)),
+                ("warmup_iters", Json::from(r.warmup_iters)),
                 ("speedup_vs_1_thread", Json::Num(baseline / r.ns_per_iter)),
-            ])
+            ];
+            // On a single-CPU host a >1-thread run cannot scale; tag the row
+            // so consumers don't read scheduling overhead as a regression.
+            if cpus == 1 && r.threads > 1 {
+                pairs.push(("thread_scaling_na", Json::Bool(true)));
+            }
+            Json::obj(pairs)
         })
         .collect();
     let doc = Json::obj(vec![
         ("host_cpus", Json::from(cpus)),
         ("samples_per_point", Json::from(samples)),
         ("results", Json::Arr(results)),
+        ("alloc_hot_path", Json::from(hot_path_allocs)),
+        ("arena", tasfar_obs::arena_stats_json()),
         ("parallel_pool", tasfar_obs::pool_stats_json()),
     ]);
     std::fs::write("BENCH_kernels.json", format!("{doc}\n")).expect("write BENCH_kernels.json");

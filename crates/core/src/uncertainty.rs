@@ -25,6 +25,20 @@ pub struct McPrediction {
     pub uncertainty: Vec<f64>,
 }
 
+impl McPrediction {
+    /// An empty prediction, for use as a reusable out-parameter with
+    /// [`McDropout::predict_into`]: after the first call its buffers hold
+    /// the batch shape and later calls refill them without allocating.
+    pub fn empty() -> Self {
+        McPrediction {
+            point: Tensor::zeros(0, 0),
+            mc_mean: Tensor::zeros(0, 0),
+            std: Tensor::zeros(0, 0),
+            uncertainty: Vec::new(),
+        }
+    }
+}
+
 /// MC-dropout estimator configuration.
 #[derive(Debug, Clone)]
 pub struct McDropout {
@@ -69,13 +83,107 @@ impl McDropout {
 
     /// Runs the estimator on a batch.
     ///
-    /// Works with any [`StochasticRegressor`]: the deterministic point
-    /// prediction comes from [`Regressor::predict`] and the `T` stochastic
-    /// passes from [`StochasticRegressor::stochastic_passes`], which the
-    /// model contract requires to be seed-deterministic (`Sequential` runs
-    /// them on [`tasfar_nn::parallel`] with pre-split dropout streams, so
-    /// the results are bit-identical for any thread count).
+    /// Works with any [`StochasticRegressor`]. This is the *fused* path —
+    /// see [`McDropout::predict_into`], of which this is a convenience
+    /// wrapper that allocates a fresh [`McPrediction`].
     pub fn predict<M: StochasticRegressor + ?Sized>(
+        &self,
+        model: &mut M,
+        x: &Tensor,
+    ) -> McPrediction {
+        let mut out = McPrediction::empty();
+        self.predict_into(model, x, &mut out);
+        out
+    }
+
+    /// Runs the estimator on a batch, writing into a reusable out-parameter.
+    ///
+    /// The `T` stochastic passes run as **one** batched forward through
+    /// [`StochasticRegressor::stochastic_passes_fused`] (rows = `T × n`),
+    /// which the model contract requires to be bit-identical to the per-pass
+    /// [`StochasticRegressor::stochastic_passes`] — same dropout mask bits
+    /// from the same pre-split per-pass streams, same accumulation order —
+    /// so the fused estimate equals [`McDropout::predict_unfused`] exactly
+    /// (pinned by `tests/fused_mc.rs`), for any thread count.
+    ///
+    /// Every intermediate lives in the thread's scratch arena and `out`'s
+    /// buffers are refilled in place, so steady-state calls with a warmed
+    /// arena perform zero heap allocations (pinned by `tests/alloc_audit.rs`).
+    pub fn predict_into<M: StochasticRegressor + ?Sized>(
+        &self,
+        model: &mut M,
+        x: &Tensor,
+        out: &mut McPrediction,
+    ) {
+        let mut span = tasfar_obs::span("mc_dropout.predict");
+        span.field("rows", x.rows());
+        span.field("samples", self.samples);
+        tasfar_obs::metrics::counter("mc_dropout.predicts").incr();
+        tasfar_obs::metrics::counter("mc_dropout.passes").add(self.samples as u64);
+        tasfar_obs::metrics::counter("mc_dropout.rows").add(x.rows() as u64);
+        // One arena scope for the whole estimate: `predict_into` is the
+        // outermost entry of this hot path, so no nested `scratch::with`
+        // (which would fall back to a fresh, non-reusing arena) runs below.
+        tasfar_nn::scratch::with(|scratch| {
+            let point = model.predict_scratch(x, scratch);
+            let (n, d) = point.shape();
+            out.point.copy_from(&point);
+            scratch.give(point);
+
+            let stacked = model.stochastic_passes_fused(x, self.samples, scratch);
+            let block = n * d;
+            let inv_t = 1.0 / self.samples as f64;
+
+            // Two-pass variance: keeping all T passes avoids the catastrophic
+            // cancellation of the E[x²] − E[x]² shortcut, so deterministic
+            // models report exactly zero uncertainty. Both accumulations run
+            // per pass in t-ascending order, matching the unfused path's
+            // `for pass in &passes` loops operation for operation.
+            out.mc_mean.resize_to(n, d);
+            let mean = out.mc_mean.as_mut_slice();
+            let s = stacked.as_slice();
+            for t in 0..self.samples {
+                let pass = &s[t * block..(t + 1) * block];
+                for (m, &v) in mean.iter_mut().zip(pass) {
+                    *m += v;
+                }
+            }
+            for m in mean.iter_mut() {
+                *m *= inv_t;
+            }
+            out.std.resize_to(n, d);
+            let var = out.std.as_mut_slice();
+            for t in 0..self.samples {
+                let pass = &s[t * block..(t + 1) * block];
+                for (v, (&p, &m)) in var.iter_mut().zip(pass.iter().zip(mean.iter())) {
+                    let dev = p - m;
+                    *v += dev * dev;
+                }
+            }
+            scratch.give(stacked);
+            for v in out.std.as_mut_slice() {
+                *v = (*v * inv_t).sqrt();
+            }
+
+            let dim = d.max(1) as f64;
+            out.uncertainty.clear();
+            out.uncertainty
+                .extend(out.std.iter_rows().map(|row| row.iter().sum::<f64>() / dim));
+            if self.relative {
+                for (u, row) in out.uncertainty.iter_mut().zip(out.point.iter_rows()) {
+                    let mag = (row.iter().map(|v| v * v).sum::<f64>() / dim).sqrt();
+                    *u /= mag.max(0.05);
+                }
+            }
+        });
+    }
+
+    /// The reference per-pass estimator: `T` independent stochastic
+    /// forwards via [`StochasticRegressor::stochastic_passes`], aggregated
+    /// exactly as [`McDropout::predict_into`]. Kept as the equivalence
+    /// oracle for the fused path and as the unfused side of the kernel
+    /// bench; produces bit-identical output to `predict`.
+    pub fn predict_unfused<M: StochasticRegressor + ?Sized>(
         &self,
         model: &mut M,
         x: &Tensor,

@@ -4,8 +4,27 @@
 //! ReLU-family, the output for tanh/sigmoid where the derivative is cheaper
 //! to express in terms of the output).
 
-use super::{Layer, Mode, Param};
+use super::{Layer, McContext, Mode, Param};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
+
+/// Copies `src` into the persistent cache slot, reusing its buffer.
+fn cache_into(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(c) => c.copy_from(src),
+        None => *slot = Some(src.clone()),
+    }
+}
+
+/// The shared `forward_mc` body: the exact elementwise map of the layer's
+/// `forward_scratch`, minus the derivative cache (the fused MC path never
+/// runs a backward) and minus `take`'s zero prefill (`map_into` clears and
+/// refills in a single pass).
+fn map_uncached(input: &Tensor, f: impl Fn(f64) -> f64, scratch: &mut Scratch) -> Tensor {
+    let mut out = scratch.take_spare(input.len());
+    input.map_into(f, &mut out);
+    out
+}
 
 /// Rectified linear unit: `max(0, x)`.
 #[derive(Clone, Default)]
@@ -21,17 +40,30 @@ impl Relu {
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.cached_input = Some(input.clone());
-        input.map(|x| x.max(0.0))
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
+        cache_into(&mut self.cached_input, input);
+        let mut out = scratch.take(input.rows(), input.cols());
+        input.map_into(|x| x.max(0.0), &mut out);
+        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn forward_mc(
+        &mut self,
+        input: &Tensor,
+        _ctx: &mut McContext,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        map_uncached(input, |x| x.max(0.0), scratch)
+    }
+
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self
             .cached_input
             .as_ref()
             .expect("Relu::backward before forward");
-        grad_output.zip_map(input, |g, x| if x > 0.0 { g } else { 0.0 })
+        let mut out = scratch.take(grad_output.rows(), grad_output.cols());
+        grad_output.zip_map_into(input, |g, x| if x > 0.0 { g } else { 0.0 }, &mut out);
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -74,19 +106,33 @@ impl LeakyRelu {
 }
 
 impl Layer for LeakyRelu {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        self.cached_input = Some(input.clone());
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
+        cache_into(&mut self.cached_input, input);
         let a = self.alpha;
-        input.map(|x| if x > 0.0 { x } else { a * x })
+        let mut out = scratch.take(input.rows(), input.cols());
+        input.map_into(|x| if x > 0.0 { x } else { a * x }, &mut out);
+        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn forward_mc(
+        &mut self,
+        input: &Tensor,
+        _ctx: &mut McContext,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        let a = self.alpha;
+        map_uncached(input, |x| if x > 0.0 { x } else { a * x }, scratch)
+    }
+
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self
             .cached_input
             .as_ref()
             .expect("LeakyRelu::backward before forward");
         let a = self.alpha;
-        grad_output.zip_map(input, |g, x| if x > 0.0 { g } else { a * g })
+        let mut out = scratch.take(grad_output.rows(), grad_output.cols());
+        grad_output.zip_map_into(input, |g, x| if x > 0.0 { g } else { a * g }, &mut out);
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -116,18 +162,30 @@ impl Tanh {
 }
 
 impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(f64::tanh);
-        self.cached_output = Some(out.clone());
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.take(input.rows(), input.cols());
+        input.map_into(f64::tanh, &mut out);
+        cache_into(&mut self.cached_output, &out);
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn forward_mc(
+        &mut self,
+        input: &Tensor,
+        _ctx: &mut McContext,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        map_uncached(input, f64::tanh, scratch)
+    }
+
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let out = self
             .cached_output
             .as_ref()
             .expect("Tanh::backward before forward");
-        grad_output.zip_map(out, |g, y| g * (1.0 - y * y))
+        let mut dx = scratch.take(grad_output.rows(), grad_output.cols());
+        grad_output.zip_map_into(out, |g, y| g * (1.0 - y * y), &mut dx);
+        dx
     }
 
     fn name(&self) -> &'static str {
@@ -157,18 +215,30 @@ impl Sigmoid {
 }
 
 impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.cached_output = Some(out.clone());
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.take(input.rows(), input.cols());
+        input.map_into(|x| 1.0 / (1.0 + (-x).exp()), &mut out);
+        cache_into(&mut self.cached_output, &out);
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn forward_mc(
+        &mut self,
+        input: &Tensor,
+        _ctx: &mut McContext,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        map_uncached(input, |x| 1.0 / (1.0 + (-x).exp()), scratch)
+    }
+
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let out = self
             .cached_output
             .as_ref()
             .expect("Sigmoid::backward before forward");
-        grad_output.zip_map(out, |g, y| g * y * (1.0 - y))
+        let mut dx = scratch.take(grad_output.rows(), grad_output.cols());
+        grad_output.zip_map_into(out, |g, y| g * y * (1.0 - y), &mut dx);
+        dx
     }
 
     fn name(&self) -> &'static str {

@@ -1,6 +1,7 @@
 //! Batch normalisation over the feature axis.
 
 use super::{Layer, Mode, Param};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Batch normalisation (Ioffe & Szegedy) for `(batch, features)` inputs.
@@ -74,7 +75,7 @@ impl BatchNorm1d {
 }
 
 impl Layer for BatchNorm1d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward_scratch(&mut self, input: &Tensor, mode: Mode, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             input.cols(),
             self.dim,
@@ -83,22 +84,39 @@ impl Layer for BatchNorm1d {
             input.cols()
         );
         let use_batch = mode.batch_stats() && input.rows() > 1;
-        let (mean, var) = if use_batch {
-            (input.mean_rows(), input.var_rows())
+        let mut mean = scratch.take_vec(self.dim);
+        let mut var = scratch.take_vec(self.dim);
+        if use_batch {
+            input.mean_rows_into(&mut mean);
+            input.var_rows_with_means_into(&mean, &mut var);
         } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
-        let inv_std: Vec<f64> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            mean.copy_from_slice(&self.running_mean);
+            var.copy_from_slice(&self.running_var);
+        }
 
-        let mut x_hat = input.clone();
-        for row in x_hat.as_mut_slice().chunks_exact_mut(self.dim) {
-            for ((v, &m), &s) in row.iter_mut().zip(&mean).zip(&inv_std) {
+        // Reuse the persistent cache buffers; first call allocates them.
+        let eps = self.eps;
+        let cache = self.cache.get_or_insert_with(|| BnCache {
+            x_hat: Tensor::zeros(0, 0),
+            inv_std: Vec::new(),
+            batch_stats: false,
+        });
+        cache.batch_stats = use_batch;
+        cache.inv_std.clear();
+        cache
+            .inv_std
+            .extend(var.iter().map(|&v| 1.0 / (v + eps).sqrt()));
+
+        cache.x_hat.copy_from(input);
+        for row in cache.x_hat.as_mut_slice().chunks_exact_mut(self.dim) {
+            for ((v, &m), &s) in row.iter_mut().zip(&mean).zip(&cache.inv_std) {
                 *v = (*v - m) * s;
             }
         }
-        let out = x_hat
-            .mul_row_broadcast(self.gamma.value.as_slice())
-            .add_row_broadcast(self.beta.value.as_slice());
+        let mut out = scratch.take(input.rows(), self.dim);
+        out.copy_from(&cache.x_hat);
+        out.mul_row_broadcast_assign(self.gamma.value.as_slice());
+        out.add_row_broadcast_assign(self.beta.value.as_slice());
 
         if use_batch {
             // Update running moments with the batch statistics.
@@ -113,16 +131,12 @@ impl Layer for BatchNorm1d {
                 *rv = (1.0 - m) * *rv + m * bv;
             }
         }
-
-        self.cache = Some(BnCache {
-            x_hat,
-            inv_std,
-            batch_stats: use_batch,
-        });
+        scratch.give_vec(mean);
+        scratch.give_vec(var);
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let cache = self
             .cache
             .as_ref()
@@ -131,8 +145,13 @@ impl Layer for BatchNorm1d {
         let gamma = self.gamma.value.as_slice();
 
         // dβ = Σ g, dγ = Σ g ⊙ x̂ (column sums).
-        let dbeta = grad_output.sum_rows();
-        let dgamma = grad_output.mul(&cache.x_hat).sum_rows();
+        let mut dbeta = scratch.take_vec(self.dim);
+        grad_output.sum_rows_into(&mut dbeta);
+        let mut gx = scratch.take(grad_output.rows(), self.dim);
+        grad_output.zip_map_into(&cache.x_hat, |g, x| g * x, &mut gx);
+        let mut dgamma = scratch.take_vec(self.dim);
+        gx.sum_rows_into(&mut dgamma);
+        scratch.give(gx);
         for (g, d) in self.beta.grad.as_mut_slice().iter_mut().zip(&dbeta) {
             *g += d;
         }
@@ -142,12 +161,16 @@ impl Layer for BatchNorm1d {
 
         if !cache.batch_stats {
             // Running moments are constants: dx = g ⊙ γ ⊙ inv_std.
-            let mut dx = grad_output.mul_row_broadcast(gamma);
+            let mut dx = scratch.take(grad_output.rows(), self.dim);
+            dx.copy_from(grad_output);
+            dx.mul_row_broadcast_assign(gamma);
             for row in dx.as_mut_slice().chunks_exact_mut(self.dim) {
                 for (v, &s) in row.iter_mut().zip(&cache.inv_std) {
                     *v *= s;
                 }
             }
+            scratch.give_vec(dbeta);
+            scratch.give_vec(dgamma);
             return dx;
         }
 
@@ -155,7 +178,7 @@ impl Layer for BatchNorm1d {
         // dx = (γ·inv_std / N) · (N·g − Σg − x̂·Σ(g⊙x̂))
         let sum_g = &dbeta;
         let sum_gx = &dgamma;
-        let mut dx = Tensor::zeros(grad_output.rows(), self.dim);
+        let mut dx = scratch.take(grad_output.rows(), self.dim);
         for ((g_row, xh_row), dx_row) in grad_output
             .iter_rows()
             .zip(cache.x_hat.iter_rows())
@@ -166,11 +189,18 @@ impl Layer for BatchNorm1d {
                 dx_row[c] = coeff * (n * g_row[c] - sum_g[c] - xh_row[c] * sum_gx[c]);
             }
         }
+        scratch.give_vec(dbeta);
+        scratch.give_vec(dgamma);
         dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
     }
 
     fn name(&self) -> &'static str {

@@ -13,6 +13,7 @@
 use super::{Layer, Mode, Param};
 use crate::init::Init;
 use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A causal, dilated 1-D convolution over channels-major packed rows.
@@ -83,7 +84,7 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             input.cols(),
             self.input_width(),
@@ -98,7 +99,7 @@ impl Layer for Conv1d {
         let w = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
         let out_width = out_ch * t_len;
-        let mut out = Tensor::zeros(input.rows(), out_width);
+        let mut out = scratch.take(input.rows(), out_width);
         // Batch rows are independent, so the kernel parallelises over output
         // rows; per-row arithmetic order never changes, keeping results
         // bit-identical for any thread count.
@@ -132,11 +133,14 @@ impl Layer for Conv1d {
                 }
             },
         );
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(c) => c.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self
             .cached_input
             .as_ref()
@@ -151,27 +155,26 @@ impl Layer for Conv1d {
         let w = self.weight.value.as_slice();
         let in_width = in_ch * t_len;
         let n_rows = input.rows();
-        let mut grad_input = Tensor::zeros(n_rows, in_width);
+        let mut grad_input = scratch.take(n_rows, in_width);
 
         // Parallel across batch rows: `grad_input` rows are disjoint, while
-        // the shared `dw`/`db` reductions accumulate into per-chunk buffers
-        // that are combined in chunk order afterwards. Chunk boundaries are
-        // fixed by the batch size alone, so gradients are bit-identical for
-        // any thread count.
+        // the shared `dw`/`db` reductions accumulate into per-chunk aux
+        // buffers (laid out `dw ++ db`) that are combined in chunk order
+        // afterwards. Chunk boundaries are fixed by the batch size alone, so
+        // gradients are bit-identical for any thread count.
         const ROWS_PER_CHUNK: usize = 8;
-        // One (dw, db) partial per chunk, filled in by that chunk's worker.
-        type ChunkPartial = Option<(Vec<f64>, Vec<f64>)>;
         let n_chunks = crate::parallel::chunk_count(n_rows, ROWS_PER_CHUNK);
-        let partials: std::sync::Mutex<Vec<ChunkPartial>> =
-            std::sync::Mutex::new((0..n_chunks).map(|_| None).collect());
-        crate::parallel::for_each_row_chunk(
+        let aux_per_chunk = w.len() + out_ch;
+        let mut aux = scratch.take_vec(n_chunks * aux_per_chunk);
+        crate::parallel::for_each_row_chunk_with_aux(
             grad_input.as_mut_slice(),
             in_width,
             ROWS_PER_CHUNK,
-            |rows, gx_chunk| {
-                let mut dw_local = vec![0.0; w.len()];
-                let mut db_local = vec![0.0; out_ch];
-                for (local, r) in rows.clone().enumerate() {
+            &mut aux,
+            aux_per_chunk,
+            |rows, gx_chunk, partial| {
+                let (dw_local, db_local) = partial.split_at_mut(w.len());
+                for (local, r) in rows.enumerate() {
                     let x_row = input.row(r);
                     let g_row = grad_output.row(r);
                     let gx_row = &mut gx_chunk[local * in_width..(local + 1) * in_width];
@@ -196,26 +199,30 @@ impl Layer for Conv1d {
                         }
                     }
                 }
-                let chunk_index = rows.start / ROWS_PER_CHUNK;
-                partials.lock().unwrap()[chunk_index] = Some((dw_local, db_local));
             },
         );
         let dw = self.weight.grad.as_mut_slice();
         let db = self.bias.grad.as_mut_slice();
-        for partial in partials.into_inner().unwrap() {
-            let (dw_local, db_local) = partial.expect("Conv1d::backward: missing chunk partial");
-            for (acc, v) in dw.iter_mut().zip(&dw_local) {
+        for partial in aux.chunks_exact(aux_per_chunk) {
+            let (dw_local, db_local) = partial.split_at(w.len());
+            for (acc, v) in dw.iter_mut().zip(dw_local) {
                 *acc += v;
             }
-            for (acc, v) in db.iter_mut().zip(&db_local) {
+            for (acc, v) in db.iter_mut().zip(db_local) {
                 *acc += v;
             }
         }
+        scratch.give_vec(aux);
         grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn name(&self) -> &'static str {

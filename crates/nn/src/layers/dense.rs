@@ -1,8 +1,9 @@
 //! Fully-connected (affine) layer.
 
-use super::{Layer, Mode, Param};
+use super::{Layer, McContext, Mode, Param};
 use crate::init::Init;
 use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// `y = x · W + b` with `W: (in_dim, out_dim)`, `b: (1, out_dim)`.
@@ -55,7 +56,7 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             input.cols(),
             self.in_dim,
@@ -63,13 +64,39 @@ impl Layer for Dense {
             self.in_dim,
             input.cols()
         );
-        let mut out = input.matmul(&self.weight.value);
+        let mut out = scratch.take(input.rows(), self.out_dim);
+        input.matmul_into(&self.weight.value, &mut out);
         out.add_row_broadcast_assign(self.bias.value.as_slice());
-        self.cached_input = Some(input.clone());
+        match &mut self.cached_input {
+            Some(c) => c.copy_from(input),
+            None => self.cached_input = Some(input.clone()),
+        }
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn forward_mc(
+        &mut self,
+        input: &Tensor,
+        _ctx: &mut McContext,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.in_dim,
+            "Dense: expected {} input features, got {}",
+            self.in_dim,
+            input.cols()
+        );
+        // Same affine map as `forward_scratch`, minus the input cache: the
+        // fused MC path never runs a backward pass, so caching would only
+        // add a full copy of the stacked batch per layer.
+        let mut out = scratch.take_spare(input.rows() * self.out_dim);
+        input.matmul_into(&self.weight.value, &mut out);
+        out.add_row_broadcast_assign(self.bias.value.as_slice());
+        out
+    }
+
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let input = self
             .cached_input
             .as_ref()
@@ -79,17 +106,31 @@ impl Layer for Dense {
             self.out_dim,
             "Dense: grad width mismatch"
         );
-        // dW = xᵀ · g, db = column sums of g, dx = g · Wᵀ.
-        self.weight.grad.add_assign(&input.t_matmul(grad_output));
-        let db = grad_output.sum_rows();
+        // dW = xᵀ · g, db = column sums of g, dx = g · Wᵀ. dW goes through a
+        // temporary (not straight into the accumulator) so `grad += 0 + dW`
+        // keeps the exact signed-zero semantics of accumulate-after-compute.
+        let mut dw = scratch.take(self.in_dim, self.out_dim);
+        input.t_matmul_into(grad_output, &mut dw);
+        self.weight.grad.add_assign(&dw);
+        scratch.give(dw);
+        let mut db = scratch.take_vec(self.out_dim);
+        grad_output.sum_rows_into(&mut db);
         for (g, d) in self.bias.grad.as_mut_slice().iter_mut().zip(&db) {
             *g += d;
         }
-        grad_output.matmul_t(&self.weight.value)
+        scratch.give_vec(db);
+        let mut dx = scratch.take(grad_output.rows(), self.in_dim);
+        grad_output.matmul_t_into(&self.weight.value, &mut dx);
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn name(&self) -> &'static str {

@@ -7,8 +7,9 @@
 //! standard deviation of the predictions as the model uncertainty, following
 //! Gal & Ghahramani's MC-dropout interpretation.
 
-use super::{Layer, Mode, Param};
+use super::{Layer, McContext, Mode, Param};
 use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Inverted dropout with drop probability `p`.
@@ -17,8 +18,10 @@ pub struct Dropout {
     p: f64,
     rng: Rng,
     /// Mask (already including the `1/(1-p)` scale) from the last stochastic
-    /// forward; `None` after a deterministic forward.
-    cached_mask: Option<Tensor>,
+    /// forward. The buffer persists across steps so mask refills never
+    /// allocate; `mask_live` says whether the last forward was stochastic.
+    mask: Tensor,
+    mask_live: bool,
 }
 
 impl Dropout {
@@ -32,7 +35,8 @@ impl Dropout {
         Dropout {
             p,
             rng: rng.split(),
-            cached_mask: None,
+            mask: Tensor::zeros(0, 0),
+            mask_live: false,
         }
     }
 
@@ -43,30 +47,71 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward_scratch(&mut self, input: &Tensor, mode: Mode, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.take(input.rows(), input.cols());
         if !mode.dropout_active() || self.p == 0.0 {
-            self.cached_mask = None;
-            return input.clone();
+            self.mask_live = false;
+            out.copy_from(input);
+            return out;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
-        let mask = Tensor::from_fn(input.rows(), input.cols(), |_, _| {
-            if self.rng.bernoulli(keep) {
-                scale
-            } else {
-                0.0
-            }
-        });
-        let out = input.mul(&mask);
-        self.cached_mask = Some(mask);
+        // Refill the persistent mask row-major — the exact draw order
+        // `Tensor::from_fn` used, so the mask bits are unchanged.
+        self.mask.resize_to(input.rows(), input.cols());
+        for m in self.mask.as_mut_slice() {
+            *m = if self.rng.bernoulli(keep) { scale } else { 0.0 };
+        }
+        self.mask_live = true;
+        input.zip_map_into(&self.mask, |x, m| x * m, &mut out);
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        match &self.cached_mask {
-            Some(mask) => grad_output.mul(mask),
-            None => grad_output.clone(),
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut out = scratch.take(grad_output.rows(), grad_output.cols());
+        if self.mask_live {
+            grad_output.zip_map_into(&self.mask, |g, m| g * m, &mut out);
+        } else {
+            out.copy_from(grad_output);
         }
+        out
+    }
+
+    fn forward_mc(&mut self, input: &Tensor, ctx: &mut McContext, scratch: &mut Scratch) -> Tensor {
+        let layer = ctx.next_dropout;
+        ctx.next_dropout += 1;
+        let mut out = scratch.take(input.rows(), input.cols());
+        if self.p == 0.0 {
+            out.copy_from(input);
+            return out;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        debug_assert_eq!(
+            input.rows(),
+            ctx.samples * ctx.batch,
+            "Dropout: fused batch mismatch"
+        );
+        let block = ctx.batch * input.cols();
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        // Each pass block draws its mask from that pass's pre-split stream,
+        // row-major within the block — bit-for-bit the mask the per-pass
+        // path would draw, and `x * m` matches `input.mul(&mask)` exactly
+        // (including signed zeros). The stream runs as a local copy for the
+        // block (written back afterwards) so its state stays in registers
+        // instead of round-tripping through the slice on every draw.
+        for t in 0..ctx.samples {
+            let slot = &mut ctx.streams[t * ctx.n_dropout + layer];
+            let mut rng = slot.clone();
+            let range = t * block..(t + 1) * block;
+            for (d, &s) in dst[range.clone()].iter_mut().zip(&src[range]) {
+                let m = if rng.bernoulli(keep) { scale } else { 0.0 };
+                *d = s * m;
+            }
+            *slot = rng;
+        }
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -83,6 +128,10 @@ impl Layer for Dropout {
 
     fn dropout_rngs_mut(&mut self) -> Vec<&mut Rng> {
         vec![&mut self.rng]
+    }
+
+    fn visit_dropout_rngs(&mut self, f: &mut dyn FnMut(&mut Rng)) {
+        f(&mut self.rng);
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -26,6 +26,8 @@ pub use pool::GlobalAvgPool1d;
 pub use sequential::Sequential;
 pub use tcn::TcnBlock;
 
+use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Forward-pass mode.
@@ -85,6 +87,29 @@ impl Param {
     }
 }
 
+/// Shared bookkeeping for one fused batched MC-dropout forward pass.
+///
+/// The fused path stacks the `T` stochastic passes into one tall batch
+/// (rows = `samples × batch`). Every op in `Mode::StochasticEval` is
+/// row-independent, so the only thing a layer must handle specially is
+/// dropout: each block of `batch` rows must draw its mask from that pass's
+/// pre-split RNG stream, exactly as the per-pass path would. `McContext`
+/// carries the streams (laid out pass-major, layer-minor: stream for pass
+/// `t`, dropout layer `l` lives at `streams[t * n_dropout + l]`) and hands
+/// each [`Dropout`] its layer index via `next_dropout`.
+pub struct McContext<'a> {
+    /// Number of stacked stochastic passes `T`.
+    pub samples: usize,
+    /// Rows per pass (the original batch size).
+    pub batch: usize,
+    /// Pre-split per-(pass, dropout-layer) RNG streams, pass-major.
+    pub streams: &'a mut [Rng],
+    /// Number of dropout layers in the model (the stride of `streams`).
+    pub n_dropout: usize,
+    /// Index of the next dropout layer to be visited, in definition order.
+    pub next_dropout: usize,
+}
+
 /// A differentiable network layer.
 ///
 /// Contract:
@@ -95,11 +120,48 @@ impl Param {
 ///   optimizer keys its per-parameter state by position).
 pub trait Layer: Send + Sync {
     /// Computes the layer output for a `(batch, features)` input.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+    ///
+    /// Equivalent to [`Layer::forward_scratch`] with the per-thread arena;
+    /// concrete layers implement `forward_scratch` and inherit this wrapper.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        crate::scratch::with(|scratch| self.forward_scratch(input, mode, scratch))
+    }
+
+    /// [`Layer::forward`] with an explicit scratch arena: all intermediate
+    /// buffers (and the returned tensor's backing storage) are checked out
+    /// of `scratch`, so steady-state calls are allocation-free. The caller
+    /// may `give` the returned tensor back once done with it.
+    ///
+    /// Must be arithmetically identical to `forward` — same kernels, same
+    /// accumulation order — only the buffer provenance differs.
+    fn forward_scratch(&mut self, input: &Tensor, mode: Mode, scratch: &mut Scratch) -> Tensor;
 
     /// Back-propagates `grad_output` (`∂L/∂output`), accumulating parameter
     /// gradients and returning `∂L/∂input`.
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+    ///
+    /// Equivalent to [`Layer::backward_scratch`] with the per-thread arena.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        crate::scratch::with(|scratch| self.backward_scratch(grad_output, scratch))
+    }
+
+    /// [`Layer::backward`] with an explicit scratch arena; same contract as
+    /// [`Layer::forward_scratch`].
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor;
+
+    /// Forward pass for the fused batched MC-dropout path: `input` holds
+    /// `ctx.samples` stacked copies of the batch and every dropout layer
+    /// draws per-pass masks from `ctx.streams`. The default is correct for
+    /// any layer without dropout state (all `StochasticEval` ops are
+    /// row-independent); layers owning dropout RNGs must override.
+    fn forward_mc(&mut self, input: &Tensor, ctx: &mut McContext, scratch: &mut Scratch) -> Tensor {
+        debug_assert!(
+            self.dropout_rngs_mut().is_empty(),
+            "{}: layers with dropout state must override forward_mc",
+            self.name()
+        );
+        let _ = &ctx;
+        self.forward_scratch(input, Mode::StochasticEval, scratch)
+    }
 
     /// Trainable parameters, in a stable order. Parameter-free layers return
     /// an empty vector.
@@ -125,6 +187,24 @@ pub trait Layer: Send + Sync {
     /// results (see `tasfar-core`'s `McDropout`).
     fn dropout_rngs_mut(&mut self) -> Vec<&mut crate::rng::Rng> {
         Vec::new()
+    }
+
+    /// Visits every trainable parameter in the same stable order as
+    /// [`Layer::params_mut`], without allocating the intermediate vector.
+    /// Containers override to recurse.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
+    /// Visits every dropout PRNG in the same stable order as
+    /// [`Layer::dropout_rngs_mut`], without allocating the intermediate
+    /// vector. Containers override to recurse.
+    fn visit_dropout_rngs(&mut self, f: &mut dyn FnMut(&mut Rng)) {
+        for rng in self.dropout_rngs_mut() {
+            f(rng);
+        }
     }
 
     /// Clones the layer behind the trait object (state included).

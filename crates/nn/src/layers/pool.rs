@@ -1,6 +1,7 @@
 //! Pooling over the time axis of channels-major packed rows.
 
 use super::{Layer, Mode, Param};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Global average pooling: collapses a `(channels, time)` packed row of
@@ -31,7 +32,7 @@ impl GlobalAvgPool1d {
 }
 
 impl Layer for GlobalAvgPool1d {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+    fn forward_scratch(&mut self, input: &Tensor, _mode: Mode, scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             input.cols(),
             self.channels * self.time_len,
@@ -40,7 +41,7 @@ impl Layer for GlobalAvgPool1d {
             input.cols()
         );
         let inv = 1.0 / self.time_len as f64;
-        let mut out = Tensor::zeros(input.rows(), self.channels);
+        let mut out = scratch.take(input.rows(), self.channels);
         for (x_row, y_row) in input
             .iter_rows()
             .zip(out.as_mut_slice().chunks_exact_mut(self.channels))
@@ -54,7 +55,7 @@ impl Layer for GlobalAvgPool1d {
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
         let batch = self
             .cached_batch
             .expect("GlobalAvgPool1d::backward called before forward");
@@ -64,7 +65,7 @@ impl Layer for GlobalAvgPool1d {
             "GlobalAvgPool1d: grad shape mismatch"
         );
         let inv = 1.0 / self.time_len as f64;
-        let mut grad_input = Tensor::zeros(batch, self.channels * self.time_len);
+        let mut grad_input = scratch.take(batch, self.channels * self.time_len);
         for (g_row, gx_row) in grad_output.iter_rows().zip(
             grad_input
                 .as_mut_slice()

@@ -1,6 +1,7 @@
 //! The `Sequential` container: an ordered chain of layers.
 
-use super::{Layer, Mode, Param};
+use super::{Layer, McContext, Mode, Param};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A feed-forward chain of layers, itself a [`Layer`].
@@ -12,12 +13,18 @@ use crate::tensor::Tensor;
 #[derive(Clone, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Persistent buffer for the fused MC-dropout pass's pre-split per-pass
+    /// RNG streams (reused so steady-state fused inference never allocates).
+    mc_streams: Vec<crate::rng::Rng>,
 }
 
 impl Sequential {
     /// An empty chain (the identity function).
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential {
+            layers: Vec::new(),
+            mc_streams: Vec::new(),
+        }
     }
 
     /// Appends a layer, builder style.
@@ -59,6 +66,7 @@ impl Sequential {
         assert!(index <= self.layers.len(), "split_off: index out of range");
         Sequential {
             layers: self.layers.split_off(index),
+            mc_streams: Vec::new(),
         }
     }
 
@@ -74,9 +82,27 @@ impl Sequential {
 
     /// Zeroes every parameter gradient in the chain.
     pub fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Hands out the persistent fused-MC stream buffer (see
+    /// [`StochasticRegressor::stochastic_passes_fused`][fused]). The caller
+    /// takes it, refills it, and puts it back so the buffer is reused.
+    ///
+    /// [fused]: crate::model::StochasticRegressor::stochastic_passes_fused
+    pub(crate) fn take_mc_streams(&mut self) -> Vec<crate::rng::Rng> {
+        std::mem::take(&mut self.mc_streams)
+    }
+
+    /// Returns the fused-MC stream buffer after use.
+    pub(crate) fn put_mc_streams(&mut self, streams: Vec<crate::rng::Rng>) {
+        self.mc_streams = streams;
+    }
+
+    /// The layer chain, for the fused-MC driver in `crate::model` (which
+    /// runs the dropout-free prefix of the chain on the un-stacked batch).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
     }
 
     /// Total number of scalar parameters.
@@ -108,20 +134,52 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+    fn forward_scratch(&mut self, input: &Tensor, mode: Mode, scratch: &mut Scratch) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            let mut out = scratch.take(input.rows(), input.cols());
+            out.copy_from(input);
+            return out;
+        };
+        let mut x = first.forward_scratch(input, mode, scratch);
+        for layer in layers {
+            let next = layer.forward_scratch(&x, mode, scratch);
+            scratch.give(x);
+            x = next;
         }
         x
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = grad_output.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let mut layers = self.layers.iter_mut().rev();
+        let Some(first) = layers.next() else {
+            let mut out = scratch.take(grad_output.rows(), grad_output.cols());
+            out.copy_from(grad_output);
+            return out;
+        };
+        let mut g = first.backward_scratch(grad_output, scratch);
+        for layer in layers {
+            let next = layer.backward_scratch(&g, scratch);
+            scratch.give(g);
+            g = next;
         }
         g
+    }
+
+    fn forward_mc(&mut self, input: &Tensor, ctx: &mut McContext, scratch: &mut Scratch) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            let mut out = scratch.take(input.rows(), input.cols());
+            out.copy_from(input);
+            return out;
+        };
+        let mut x = first.forward_mc(input, ctx, scratch);
+        for layer in layers {
+            let next = layer.forward_mc(&x, ctx, scratch);
+            scratch.give(x);
+            x = next;
+        }
+        x
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -129,6 +187,18 @@ impl Layer for Sequential {
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .collect()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_dropout_rngs(&mut self, f: &mut dyn FnMut(&mut crate::rng::Rng)) {
+        for layer in &mut self.layers {
+            layer.visit_dropout_rngs(f);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -4,8 +4,9 @@
 //! The PDR regressor in this reproduction is a stack of these blocks — the
 //! same architecture family as RoNIN's TCN backbone that the paper adapts.
 
-use super::{Conv1d, Dropout, Layer, Mode, Param, Relu};
+use super::{Conv1d, Dropout, Layer, McContext, Mode, Param, Relu};
 use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// `out = ReLU( branch(x) + skip(x) )` where the branch is two dilated causal
@@ -61,35 +62,93 @@ impl TcnBlock {
 }
 
 impl Layer for TcnBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut b = self.conv1.forward(input, mode);
-        b = self.relu1.forward(&b, mode);
-        b = self.drop1.forward(&b, mode);
-        b = self.conv2.forward(&b, mode);
-        b = self.relu2.forward(&b, mode);
-        b = self.drop2.forward(&b, mode);
-        let skip = match &mut self.downsample {
-            Some(down) => down.forward(input, mode),
-            None => input.clone(),
-        };
-        self.relu_out.forward(&b.add(&skip), mode)
+    fn forward_scratch(&mut self, input: &Tensor, mode: Mode, scratch: &mut Scratch) -> Tensor {
+        let mut b = self.conv1.forward_scratch(input, mode, scratch);
+        for stage in [
+            &mut self.relu1 as &mut dyn Layer,
+            &mut self.drop1,
+            &mut self.conv2,
+            &mut self.relu2,
+            &mut self.drop2,
+        ] {
+            let next = stage.forward_scratch(&b, mode, scratch);
+            scratch.give(b);
+            b = next;
+        }
+        let mut sum = scratch.take(b.rows(), b.cols());
+        match &mut self.downsample {
+            Some(down) => {
+                let skip = down.forward_scratch(input, mode, scratch);
+                b.zip_map_into(&skip, |x, s| x + s, &mut sum);
+                scratch.give(skip);
+            }
+            None => b.zip_map_into(input, |x, s| x + s, &mut sum),
+        }
+        scratch.give(b);
+        let out = self.relu_out.forward_scratch(&sum, mode, scratch);
+        scratch.give(sum);
+        out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let g_sum = self.relu_out.backward(grad_output);
+    fn backward_scratch(&mut self, grad_output: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let g_sum = self.relu_out.backward_scratch(grad_output, scratch);
         // Branch path.
-        let mut gb = self.drop2.backward(&g_sum);
-        gb = self.relu2.backward(&gb);
-        gb = self.conv2.backward(&gb);
-        gb = self.drop1.backward(&gb);
-        gb = self.relu1.backward(&gb);
-        gb = self.conv1.backward(&gb);
+        let mut gb = self.drop2.backward_scratch(&g_sum, scratch);
+        for stage in [
+            &mut self.relu2 as &mut dyn Layer,
+            &mut self.conv2,
+            &mut self.drop1,
+            &mut self.relu1,
+            &mut self.conv1,
+        ] {
+            let next = stage.backward_scratch(&gb, scratch);
+            scratch.give(gb);
+            gb = next;
+        }
         // Skip path.
-        let gr = match &mut self.downsample {
-            Some(down) => down.backward(&g_sum),
-            None => g_sum,
-        };
-        gb.add(&gr)
+        let mut out = scratch.take(gb.rows(), gb.cols());
+        match &mut self.downsample {
+            Some(down) => {
+                let gr = down.backward_scratch(&g_sum, scratch);
+                gb.zip_map_into(&gr, |a, b| a + b, &mut out);
+                scratch.give(gr);
+            }
+            None => gb.zip_map_into(&g_sum, |a, b| a + b, &mut out),
+        }
+        scratch.give(g_sum);
+        scratch.give(gb);
+        out
+    }
+
+    fn forward_mc(&mut self, input: &Tensor, ctx: &mut McContext, scratch: &mut Scratch) -> Tensor {
+        // Same chain as forward_scratch in StochasticEval mode; the dropout
+        // layers are visited in definition order (drop1, drop2), matching
+        // `dropout_rngs_mut`, so each consumes its own pre-split streams.
+        let mut b = self.conv1.forward_mc(input, ctx, scratch);
+        for stage in [
+            &mut self.relu1 as &mut dyn Layer,
+            &mut self.drop1,
+            &mut self.conv2,
+            &mut self.relu2,
+            &mut self.drop2,
+        ] {
+            let next = stage.forward_mc(&b, ctx, scratch);
+            scratch.give(b);
+            b = next;
+        }
+        let mut sum = scratch.take(b.rows(), b.cols());
+        match &mut self.downsample {
+            Some(down) => {
+                let skip = down.forward_mc(input, ctx, scratch);
+                b.zip_map_into(&skip, |x, s| x + s, &mut sum);
+                scratch.give(skip);
+            }
+            None => b.zip_map_into(input, |x, s| x + s, &mut sum),
+        }
+        scratch.give(b);
+        let out = self.relu_out.forward_mc(&sum, ctx, scratch);
+        scratch.give(sum);
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -120,6 +179,19 @@ impl Layer for TcnBlock {
         let mut rngs = self.drop1.dropout_rngs_mut();
         rngs.extend(self.drop2.dropout_rngs_mut());
         rngs
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        if let Some(down) = &mut self.downsample {
+            down.visit_params(f);
+        }
+    }
+
+    fn visit_dropout_rngs(&mut self, f: &mut dyn FnMut(&mut Rng)) {
+        self.drop1.visit_dropout_rngs(f);
+        self.drop2.visit_dropout_rngs(f);
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -30,6 +30,9 @@
 //! * [`parallel`] — a zero-dependency deterministic thread pool; the matmul,
 //!   convolution, MC-dropout, and KDE hot paths run on it and return
 //!   bit-identical results for any thread count (`TASFAR_THREADS`).
+//! * [`scratch`] — a size-bucketed buffer arena threaded through the layers
+//!   and the training loop, making steady-state forward/backward and fused
+//!   MC-dropout inference allocation-free after warm-up.
 //! * [`json`] — a minimal JSON reader/writer (the build environment has no
 //!   crates.io access, so `serde` is not an option).
 //!
@@ -70,6 +73,7 @@ pub mod optim;
 pub mod parallel;
 pub mod rng;
 pub mod schedule;
+pub mod scratch;
 pub mod spec;
 pub mod tensor;
 pub mod train;
@@ -94,8 +98,10 @@ pub mod prelude {
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::rng::Rng;
     pub use crate::schedule::LrSchedule;
+    pub use crate::scratch::Scratch;
     pub use crate::tensor::Tensor;
     pub use crate::train::{
-        evaluate, fit, try_fit, DivergenceGuard, EarlyStop, FitReport, TrainConfig, TrainObserver,
+        evaluate, fit, train_step, try_fit, DivergenceGuard, EarlyStop, FitReport, TrainConfig,
+        TrainObserver,
     };
 }

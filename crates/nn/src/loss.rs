@@ -24,12 +24,43 @@ pub trait Loss: Send {
     /// Panics on shape mismatch.
     fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64>;
 
+    /// Out-parameter form of [`Loss::per_sample`]: clears `out` and refills
+    /// it with the per-sample losses, reusing its capacity. The default
+    /// delegates to `per_sample`; the built-in losses override it to write
+    /// directly so the steady-state training loop never allocates.
+    fn per_sample_into(&self, pred: &Tensor, target: &Tensor, out: &mut Vec<f64>) {
+        let per = self.per_sample(pred, target);
+        out.clear();
+        out.extend_from_slice(&per);
+    }
+
     /// `∂L/∂pred` for the (optionally weighted) mean loss.
     fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor;
 
+    /// Out-parameter form of [`Loss::grad`]: writes `∂L/∂pred` into `out`,
+    /// reusing its storage. The default delegates to `grad` (and so still
+    /// allocates); the built-in losses override it allocation-free.
+    fn grad_into(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>, out: &mut Tensor) {
+        *out = self.grad(pred, target, weights);
+    }
+
     /// The (optionally weighted) mean loss value.
     fn value(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> f64 {
-        let per = self.per_sample(pred, target);
+        let mut per = Vec::new();
+        self.value_with(pred, target, weights, &mut per)
+    }
+
+    /// [`Loss::value`] routing the per-sample losses through a
+    /// caller-provided scratch vector, so the hot training loop performs no
+    /// heap allocation. The reduction is identical to `value`.
+    fn value_with(
+        &self,
+        pred: &Tensor,
+        target: &Tensor,
+        weights: Option<&[f64]>,
+        per: &mut Vec<f64>,
+    ) -> f64 {
+        self.per_sample_into(pred, target, per);
         match weights {
             None => {
                 if per.is_empty() {
@@ -72,6 +103,25 @@ pub trait Loss: Send {
             Err(TrainError::NonFinite { loss: v, epoch })
         }
     }
+
+    /// [`Loss::checked_value`] over [`Loss::value_with`]: the same finite
+    /// gate, with the per-sample losses staged in a caller-provided scratch
+    /// vector instead of a fresh allocation.
+    fn checked_value_with(
+        &self,
+        pred: &Tensor,
+        target: &Tensor,
+        weights: Option<&[f64]>,
+        epoch: usize,
+        per: &mut Vec<f64>,
+    ) -> Result<f64, TrainError> {
+        let v = self.value_with(pred, target, weights, per);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(TrainError::NonFinite { loss: v, epoch })
+        }
+    }
 }
 
 fn assert_same_shape(name: &str, pred: &Tensor, target: &Tensor) {
@@ -84,18 +134,31 @@ fn assert_same_shape(name: &str, pred: &Tensor, target: &Tensor) {
     );
 }
 
-/// The scale each sample's pointwise gradient receives under the weighted
-/// mean: `wᵢ / (D · Σw)`; with no weights, `1 / (D · B)`.
-fn sample_scales(batch: usize, dim: usize, weights: Option<&[f64]>) -> Vec<f64> {
+/// Applies the per-sample gradient scale in place, without materialising a
+/// scale vector: row `i` of `g` is multiplied by `extra · wᵢ / (D · Σw)`;
+/// with no weights, by `extra / (D · B)`. `extra` carries a loss-specific
+/// constant (2 for MSE) so the whole scaling stays one multiply per element.
+fn scale_rows(g: &mut Tensor, weights: Option<&[f64]>, extra: f64) {
+    let batch = g.rows();
+    let dim = g.cols();
     match weights {
-        None => vec![1.0 / (batch.max(1) * dim.max(1)) as f64; batch],
+        None => {
+            let s = extra / (batch.max(1) * dim.max(1)) as f64;
+            for v in g.as_mut_slice() {
+                *v *= s;
+            }
+        }
         Some(w) => {
             assert_eq!(w.len(), batch, "loss: weight length mismatch");
             let total: f64 = w.iter().sum();
             assert!(total > 0.0, "loss: weights must not sum to zero");
-            w.iter()
-                .map(|&wi| wi / (total * dim.max(1) as f64))
-                .collect()
+            let denom = total * dim.max(1) as f64;
+            for (row, &wi) in g.as_mut_slice().chunks_exact_mut(dim.max(1)).zip(w) {
+                let s = extra * (wi / denom);
+                for v in row {
+                    *v *= s;
+                }
+            }
         }
     }
 }
@@ -110,28 +173,32 @@ impl Loss for Mse {
     }
 
     fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.per_sample_into(pred, target, &mut out);
+        out
+    }
+
+    fn per_sample_into(&self, pred: &Tensor, target: &Tensor, out: &mut Vec<f64>) {
         assert_same_shape("mse", pred, target);
         let d = pred.cols().max(1) as f64;
-        pred.iter_rows()
-            .zip(target.iter_rows())
-            .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).powi(2)).sum::<f64>() / d)
-            .collect()
+        out.clear();
+        out.extend(
+            pred.iter_rows()
+                .zip(target.iter_rows())
+                .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).powi(2)).sum::<f64>() / d),
+        );
     }
 
     fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
-        assert_same_shape("mse", pred, target);
-        let scales = sample_scales(pred.rows(), pred.cols(), weights);
-        let mut g = pred.sub(target);
-        for (row, &s) in g
-            .as_mut_slice()
-            .chunks_exact_mut(pred.cols().max(1))
-            .zip(&scales)
-        {
-            for v in row {
-                *v *= 2.0 * s;
-            }
-        }
+        let mut g = Tensor::zeros(0, 0);
+        self.grad_into(pred, target, weights, &mut g);
         g
+    }
+
+    fn grad_into(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>, out: &mut Tensor) {
+        assert_same_shape("mse", pred, target);
+        pred.zip_map_into(target, |a, b| a - b, out);
+        scale_rows(out, weights, 2.0);
     }
 }
 
@@ -145,28 +212,32 @@ impl Loss for Mae {
     }
 
     fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.per_sample_into(pred, target, &mut out);
+        out
+    }
+
+    fn per_sample_into(&self, pred: &Tensor, target: &Tensor, out: &mut Vec<f64>) {
         assert_same_shape("mae", pred, target);
         let d = pred.cols().max(1) as f64;
-        pred.iter_rows()
-            .zip(target.iter_rows())
-            .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / d)
-            .collect()
+        out.clear();
+        out.extend(
+            pred.iter_rows()
+                .zip(target.iter_rows())
+                .map(|(p, t)| p.iter().zip(t).map(|(&a, &b)| (a - b).abs()).sum::<f64>() / d),
+        );
     }
 
     fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
-        assert_same_shape("mae", pred, target);
-        let scales = sample_scales(pred.rows(), pred.cols(), weights);
-        let mut g = pred.zip_map(target, |a, b| (a - b).signum());
-        for (row, &s) in g
-            .as_mut_slice()
-            .chunks_exact_mut(pred.cols().max(1))
-            .zip(&scales)
-        {
-            for v in row {
-                *v *= s;
-            }
-        }
+        let mut g = Tensor::zeros(0, 0);
+        self.grad_into(pred, target, weights, &mut g);
         g
+    }
+
+    fn grad_into(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>, out: &mut Tensor) {
+        assert_same_shape("mae", pred, target);
+        pred.zip_map_into(target, |a, b| (a - b).signum(), out);
+        scale_rows(out, weights, 1.0);
     }
 }
 
@@ -191,50 +262,54 @@ impl Loss for Huber {
     }
 
     fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.per_sample_into(pred, target, &mut out);
+        out
+    }
+
+    fn per_sample_into(&self, pred: &Tensor, target: &Tensor, out: &mut Vec<f64>) {
         assert_same_shape("huber", pred, target);
         let d = pred.cols().max(1) as f64;
         let delta = self.delta;
-        pred.iter_rows()
-            .zip(target.iter_rows())
-            .map(|(p, t)| {
-                p.iter()
-                    .zip(t)
-                    .map(|(&a, &b)| {
-                        let e = (a - b).abs();
-                        if e <= delta {
-                            0.5 * e * e
-                        } else {
-                            delta * (e - 0.5 * delta)
-                        }
-                    })
-                    .sum::<f64>()
-                    / d
-            })
-            .collect()
+        out.clear();
+        out.extend(pred.iter_rows().zip(target.iter_rows()).map(|(p, t)| {
+            p.iter()
+                .zip(t)
+                .map(|(&a, &b)| {
+                    let e = (a - b).abs();
+                    if e <= delta {
+                        0.5 * e * e
+                    } else {
+                        delta * (e - 0.5 * delta)
+                    }
+                })
+                .sum::<f64>()
+                / d
+        }));
     }
 
     fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
-        assert_same_shape("huber", pred, target);
-        let scales = sample_scales(pred.rows(), pred.cols(), weights);
-        let delta = self.delta;
-        let mut g = pred.zip_map(target, |a, b| {
-            let e = a - b;
-            if e.abs() <= delta {
-                e
-            } else {
-                delta * e.signum()
-            }
-        });
-        for (row, &s) in g
-            .as_mut_slice()
-            .chunks_exact_mut(pred.cols().max(1))
-            .zip(&scales)
-        {
-            for v in row {
-                *v *= s;
-            }
-        }
+        let mut g = Tensor::zeros(0, 0);
+        self.grad_into(pred, target, weights, &mut g);
         g
+    }
+
+    fn grad_into(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>, out: &mut Tensor) {
+        assert_same_shape("huber", pred, target);
+        let delta = self.delta;
+        pred.zip_map_into(
+            target,
+            |a, b| {
+                let e = a - b;
+                if e.abs() <= delta {
+                    e
+                } else {
+                    delta * e.signum()
+                }
+            },
+            out,
+        );
+        scale_rows(out, weights, 1.0);
     }
 }
 
@@ -280,34 +355,34 @@ impl Loss for Msle {
     }
 
     fn per_sample(&self, pred: &Tensor, target: &Tensor) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.per_sample_into(pred, target, &mut out);
+        out
+    }
+
+    fn per_sample_into(&self, pred: &Tensor, target: &Tensor, out: &mut Vec<f64>) {
         assert_same_shape("msle", pred, target);
         let d = pred.cols().max(1) as f64;
-        pred.iter_rows()
-            .zip(target.iter_rows())
-            .map(|(p, t)| {
-                p.iter()
-                    .zip(t)
-                    .map(|(&a, &b)| Self::point(a, Self::target_log(b)))
-                    .sum::<f64>()
-                    / d
-            })
-            .collect()
+        out.clear();
+        out.extend(pred.iter_rows().zip(target.iter_rows()).map(|(p, t)| {
+            p.iter()
+                .zip(t)
+                .map(|(&a, &b)| Self::point(a, Self::target_log(b)))
+                .sum::<f64>()
+                / d
+        }));
     }
 
     fn grad(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>) -> Tensor {
-        assert_same_shape("msle", pred, target);
-        let scales = sample_scales(pred.rows(), pred.cols(), weights);
-        let mut g = pred.zip_map(target, |a, b| Self::point_grad(a, Self::target_log(b)));
-        for (row, &s) in g
-            .as_mut_slice()
-            .chunks_exact_mut(pred.cols().max(1))
-            .zip(&scales)
-        {
-            for v in row {
-                *v *= s;
-            }
-        }
+        let mut g = Tensor::zeros(0, 0);
+        self.grad_into(pred, target, weights, &mut g);
         g
+    }
+
+    fn grad_into(&self, pred: &Tensor, target: &Tensor, weights: Option<&[f64]>, out: &mut Tensor) {
+        assert_same_shape("msle", pred, target);
+        pred.zip_map_into(target, |a, b| Self::point_grad(a, Self::target_log(b)), out);
+        scale_rows(out, weights, 1.0);
     }
 }
 

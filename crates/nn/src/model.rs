@@ -18,10 +18,11 @@
 //! mock proving the adaptation pipeline runs on a non-`Sequential` model.
 
 use crate::error::TrainError;
-use crate::layers::{Layer, Mode, Param, Sequential};
+use crate::layers::{Layer, McContext, Mode, Param, Sequential};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::rng::Rng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 use crate::train::{try_fit, FitReport, TrainConfig};
 
@@ -31,6 +32,15 @@ pub trait Regressor {
     /// Predicts a `(n, d)` output batch for a `(n, k)` input batch, with all
     /// stochastic machinery (dropout, batch statistics) disabled.
     fn predict(&mut self, x: &Tensor) -> Tensor;
+
+    /// [`Regressor::predict`] with an explicit scratch arena: the returned
+    /// tensor's buffer is checked out of `scratch` (give it back when done)
+    /// and steady-state calls allocate nothing. The default ignores the
+    /// arena and delegates to `predict`, which is always correct.
+    fn predict_scratch(&mut self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        let _ = scratch;
+        self.predict(x)
+    }
 }
 
 /// A regressor that can run *stochastic* forward passes for sampling-based
@@ -44,6 +54,32 @@ pub trait StochasticRegressor: Regressor {
     /// PRNG stream per pass so results are bit-identical for any thread
     /// count).
     fn stochastic_passes(&mut self, x: &Tensor, samples: usize) -> Vec<Tensor>;
+
+    /// The fused form of [`stochastic_passes`]: the `samples` passes are
+    /// returned stacked into one `(samples × n, d)` tensor (pass `t`
+    /// occupies rows `[t·n, (t+1)·n)`), checked out of `scratch`.
+    ///
+    /// Implementations must produce exactly the values `stochastic_passes`
+    /// would — same bits, same internal-RNG advancement — so callers may
+    /// choose either path freely. The default stacks the per-pass results;
+    /// [`Sequential`] overrides with a single batched forward.
+    ///
+    /// [`stochastic_passes`]: StochasticRegressor::stochastic_passes
+    fn stochastic_passes_fused(
+        &mut self,
+        x: &Tensor,
+        samples: usize,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        let passes = self.stochastic_passes(x, samples);
+        let cols = passes.first().map_or(0, Tensor::cols);
+        let block = x.rows() * cols;
+        let mut out = scratch.take(samples * x.rows(), cols);
+        for (t, pass) in passes.iter().enumerate() {
+            out.as_mut_slice()[t * block..(t + 1) * block].copy_from_slice(pass.as_slice());
+        }
+        out
+    }
 }
 
 /// A regressor that can be fine-tuned with per-sample weights — the
@@ -136,6 +172,10 @@ impl Regressor for Sequential {
     fn predict(&mut self, x: &Tensor) -> Tensor {
         self.forward(x, Mode::Eval)
     }
+
+    fn predict_scratch(&mut self, x: &Tensor, scratch: &mut Scratch) -> Tensor {
+        self.forward_scratch(x, Mode::Eval, scratch)
+    }
 }
 
 impl StochasticRegressor for Sequential {
@@ -166,6 +206,79 @@ impl StochasticRegressor for Sequential {
             }
             pass_model.forward(x, Mode::StochasticEval)
         })
+    }
+
+    /// One batched `StochasticEval` forward over `samples` stacked copies of
+    /// `x`. Every op in that mode is row-independent (matmuls accumulate
+    /// `p = 0..k` per output element regardless of row grouping; batch-norm
+    /// is frozen to running moments; conv/pool/activations are per-row), so
+    /// stacking the passes as extra rows cannot change any bit — and the
+    /// dropout masks are drawn per pass block from the same pre-split
+    /// streams, in the same order, as the per-pass path. The dropout-free
+    /// prefix of the chain runs once on the plain batch (its rows would be
+    /// identical in every stacked block) before stacking. Stream derivation
+    /// is also identical (one `split` per dropout layer per pass, pass-
+    /// major), so the model's own RNGs advance exactly as in
+    /// [`StochasticRegressor::stochastic_passes`].
+    fn stochastic_passes_fused(
+        &mut self,
+        x: &Tensor,
+        samples: usize,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        let mut streams = self.take_mc_streams();
+        streams.clear();
+        for _ in 0..samples {
+            self.visit_dropout_rngs(&mut |rng| streams.push(rng.split()));
+        }
+        let n_dropout = streams.len().checked_div(samples).unwrap_or(0);
+        // The leading dropout-free layers are deterministic and
+        // row-independent in this mode, so every stacked copy of `x` would
+        // produce the same rows through them. Run that prefix once on the
+        // plain batch and replicate its output, instead of forwarding
+        // `samples` identical copies through the widest tensors.
+        let mut prefix_len = 0;
+        for layer in self.layers_mut().iter_mut() {
+            let mut has_dropout = false;
+            layer.visit_dropout_rngs(&mut |_| has_dropout = true);
+            if has_dropout {
+                break;
+            }
+            prefix_len += 1;
+        }
+        let mut ctx = McContext {
+            samples,
+            batch: x.rows(),
+            streams: &mut streams,
+            n_dropout,
+            next_dropout: 0,
+        };
+        let (prefix, rest) = self.layers_mut().split_at_mut(prefix_len);
+        let mut cur: Option<Tensor> = None;
+        for layer in prefix {
+            let next = layer.forward_mc(cur.as_ref().unwrap_or(x), &mut ctx, scratch);
+            if let Some(prev) = cur.take() {
+                scratch.give(prev);
+            }
+            cur = Some(next);
+        }
+        let base = cur.as_ref().unwrap_or(x);
+        let mut v = scratch.take_vec_spare(samples * base.len());
+        for _ in 0..samples {
+            v.extend_from_slice(base.as_slice());
+        }
+        let stacked = Tensor::from_vec(samples * base.rows(), base.cols(), v);
+        if let Some(prev) = cur.take() {
+            scratch.give(prev);
+        }
+        let mut out = stacked;
+        for layer in rest {
+            let next = layer.forward_mc(&out, &mut ctx, scratch);
+            scratch.give(out);
+            out = next;
+        }
+        self.put_mc_streams(streams);
+        out
     }
 }
 

@@ -12,30 +12,33 @@ use crate::tensor::Tensor;
 /// A gradient-based parameter updater.
 pub trait Optimizer: Send {
     /// Applies one update step using the accumulated gradients.
-    fn step(&mut self, params: &mut [&mut Param]);
+    ///
+    /// Equivalent to [`begin_step`](Optimizer::begin_step) followed by one
+    /// [`step_param`](Optimizer::step_param) per parameter, in order — which
+    /// is also the allocation-free way to drive the optimizer when the
+    /// parameters are reached through a visitor instead of a collected slice.
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.begin_step(params.len());
+        for (i, p) in params.iter_mut().enumerate() {
+            self.step_param(i, p);
+        }
+    }
+
+    /// Opens an update step over `n` parameters: validates the model binding
+    /// and advances any per-step state (e.g. Adam's time step). Follow with
+    /// exactly one [`step_param`](Optimizer::step_param) call per parameter,
+    /// in the stable `params_mut` order.
+    fn begin_step(&mut self, n: usize);
+
+    /// Updates the parameter at position `index` within the step opened by
+    /// [`begin_step`](Optimizer::begin_step).
+    fn step_param(&mut self, index: usize, param: &mut Param);
 
     /// The current learning rate.
     fn learning_rate(&self) -> f64;
 
     /// Overrides the learning rate (used by schedules and fine-tuning).
     fn set_learning_rate(&mut self, lr: f64);
-}
-
-fn validate_state(state: &[Tensor], params: &[&mut Param]) {
-    assert_eq!(
-        state.len(),
-        params.len(),
-        "optimizer: parameter count changed ({} → {}); optimizers are bound to one model",
-        state.len(),
-        params.len()
-    );
-    for (s, p) in state.iter().zip(params.iter()) {
-        assert_eq!(
-            s.shape(),
-            p.value.shape(),
-            "optimizer: parameter shape changed; optimizers are bound to one model"
-        );
-    }
 }
 
 /// Stochastic gradient descent with classical momentum and decoupled
@@ -80,25 +83,37 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        if self.velocity.is_empty() {
-            self.velocity = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
-                .collect();
+    fn begin_step(&mut self, n: usize) {
+        assert!(
+            self.velocity.is_empty() || self.velocity.len() == n,
+            "optimizer: parameter count changed ({} → {}); optimizers are bound to one model",
+            self.velocity.len(),
+            n
+        );
+    }
+
+    fn step_param(&mut self, index: usize, p: &mut Param) {
+        if self.velocity.len() <= index {
+            // First step: momentum buffers appear as parameters are visited.
+            debug_assert_eq!(self.velocity.len(), index);
+            self.velocity
+                .push(Tensor::zeros(p.value.rows(), p.value.cols()));
         }
-        validate_state(&self.velocity, params);
-        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            if self.weight_decay > 0.0 {
-                p.value.scale_assign(1.0 - self.lr * self.weight_decay);
-            }
-            if self.momentum > 0.0 {
-                v.scale_assign(self.momentum);
-                v.add_assign(&p.grad);
-                p.value.axpy(-self.lr, v);
-            } else {
-                p.value.axpy(-self.lr, &p.grad);
-            }
+        let v = &mut self.velocity[index];
+        assert_eq!(
+            v.shape(),
+            p.value.shape(),
+            "optimizer: parameter shape changed; optimizers are bound to one model"
+        );
+        if self.weight_decay > 0.0 {
+            p.value.scale_assign(1.0 - self.lr * self.weight_decay);
+        }
+        if self.momentum > 0.0 {
+            v.scale_assign(self.momentum);
+            v.add_assign(&p.grad);
+            p.value.axpy(-self.lr, v);
+        } else {
+            p.value.axpy(-self.lr, &p.grad);
         }
     }
 
@@ -120,6 +135,10 @@ pub struct Adam {
     eps: f64,
     weight_decay: f64,
     t: u64,
+    /// Bias corrections `1 − βᵢᵗ`, cached by `begin_step` for the step's
+    /// `step_param` calls.
+    bc1: f64,
+    bc2: f64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
 }
@@ -153,6 +172,8 @@ impl Adam {
             eps,
             weight_decay,
             t: 0,
+            bc1: 1.0,
+            bc2: 1.0,
             m: Vec::new(),
             v: Vec::new(),
         }
@@ -160,33 +181,45 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        if self.m.is_empty() {
-            self.m = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value.rows(), p.value.cols()))
-                .collect();
-            self.v = self.m.clone();
-        }
-        validate_state(&self.m, params);
+    fn begin_step(&mut self, n: usize) {
+        assert!(
+            self.m.is_empty() || self.m.len() == n,
+            "optimizer: parameter count changed ({} → {}); optimizers are bound to one model",
+            self.m.len(),
+            n
+        );
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            if self.weight_decay > 0.0 {
-                p.value.scale_assign(1.0 - self.lr * self.weight_decay);
-            }
-            let g = p.grad.as_slice();
-            let mv = m.as_mut_slice();
-            let vv = v.as_mut_slice();
-            let theta = p.value.as_mut_slice();
-            for i in 0..g.len() {
-                mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
-                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
-                let m_hat = mv[i] / bc1;
-                let v_hat = vv[i] / bc2;
-                theta[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-            }
+        self.bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        self.bc2 = 1.0 - self.beta2.powi(self.t as i32);
+    }
+
+    fn step_param(&mut self, index: usize, p: &mut Param) {
+        if self.m.len() <= index {
+            // First step: moment buffers appear as parameters are visited.
+            debug_assert_eq!(self.m.len(), index);
+            self.m.push(Tensor::zeros(p.value.rows(), p.value.cols()));
+            self.v.push(Tensor::zeros(p.value.rows(), p.value.cols()));
+        }
+        let m = &mut self.m[index];
+        let v = &mut self.v[index];
+        assert_eq!(
+            m.shape(),
+            p.value.shape(),
+            "optimizer: parameter shape changed; optimizers are bound to one model"
+        );
+        if self.weight_decay > 0.0 {
+            p.value.scale_assign(1.0 - self.lr * self.weight_decay);
+        }
+        let g = p.grad.as_slice();
+        let mv = m.as_mut_slice();
+        let vv = v.as_mut_slice();
+        let theta = p.value.as_mut_slice();
+        for i in 0..g.len() {
+            mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
+            vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let m_hat = mv[i] / self.bc1;
+            let v_hat = vv[i] / self.bc2;
+            theta[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
     }
 

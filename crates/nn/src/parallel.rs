@@ -484,6 +484,65 @@ where
     });
 }
 
+/// [`for_each_row_chunk`] with a per-chunk auxiliary buffer: chunk `c`
+/// additionally receives the disjoint slice
+/// `aux[c * aux_per_chunk .. (c + 1) * aux_per_chunk]`, for kernels that
+/// produce per-chunk partial results (e.g. weight-gradient accumulators)
+/// without allocating. The caller combines the partials in chunk order
+/// afterwards, which keeps reductions bit-identical for any thread count.
+///
+/// # Panics
+/// Panics if `out.len()` is not a whole number of rows, or `aux.len()` is
+/// not exactly `n_chunks * aux_per_chunk`.
+pub fn for_each_row_chunk_with_aux<F>(
+    out: &mut [f64],
+    row_width: usize,
+    rows_per_chunk: usize,
+    aux: &mut [f64],
+    aux_per_chunk: usize,
+    f: F,
+) where
+    F: Fn(Range<usize>, &mut [f64], &mut [f64]) + Sync,
+{
+    assert!(
+        row_width > 0,
+        "for_each_row_chunk_with_aux: row_width must be positive"
+    );
+    assert_eq!(
+        out.len() % row_width,
+        0,
+        "for_each_row_chunk_with_aux: buffer is not a whole number of rows"
+    );
+    let rows = out.len() / row_width;
+    let n_chunks = chunk_count(rows, rows_per_chunk.max(1));
+    assert_eq!(
+        aux.len(),
+        n_chunks * aux_per_chunk,
+        "for_each_row_chunk_with_aux: aux buffer must hold {aux_per_chunk} values per chunk"
+    );
+    let base = SendPtr(out.as_mut_ptr());
+    let aux_base = SendPtr(aux.as_mut_ptr());
+    // Borrow the wrappers themselves (see `for_each_row_chunk`).
+    let base = &base;
+    let aux_base = &aux_base;
+    parallel_for_each_chunk(n_chunks, |c| {
+        let range = chunk_bounds(rows, rows_per_chunk.max(1), c);
+        // SAFETY: ranges from `chunk_bounds` are disjoint and in-bounds, and
+        // aux slices are indexed by the chunk id, so each chunk owns both of
+        // its sub-slices exclusively.
+        let (slice, aux_slice) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(
+                    base.0.add(range.start * row_width),
+                    (range.end - range.start) * row_width,
+                ),
+                std::slice::from_raw_parts_mut(aux_base.0.add(c * aux_per_chunk), aux_per_chunk),
+            )
+        };
+        f(range, slice, aux_slice);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

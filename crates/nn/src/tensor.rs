@@ -204,6 +204,35 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes to `rows × cols` with every entry zeroed, reusing the
+    /// backing allocation whenever its capacity suffices. The result is
+    /// indistinguishable from a fresh [`Tensor::zeros`].
+    pub fn resize_to(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes to `rows × cols` *without* the zero prefill of
+    /// [`Tensor::resize_to`], for kernels that assign every output cell.
+    /// Entries that were present before the call keep their stale values,
+    /// so the caller must overwrite all of them.
+    fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other` (shape and contents), reusing
+    /// the backing allocation whenever its capacity suffices.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
     // ----- element access -----------------------------------------------
 
     /// The entry at `(r, c)`.
@@ -279,11 +308,23 @@ impl Tensor {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Tensor {
-        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Tensor::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Tensor::select_rows`] writing into a caller-provided tensor,
+    /// reusing its backing allocation whenever the capacity suffices.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Tensor) {
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
         for &i in indices {
-            out.extend_from_slice(self.row(i));
+            out.data.extend_from_slice(self.row(i));
         }
-        Tensor::from_vec(indices.len(), self.cols, out)
     }
 
     /// Rows `lo..hi` as a new tensor.
@@ -352,52 +393,102 @@ impl Tensor {
     /// # Panics
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul`] writing into a caller-provided tensor.
+    ///
+    /// `out` is reshaped to `(self.rows, other.cols)` and zeroed without
+    /// reallocating when its capacity suffices; the kernel — and therefore
+    /// every accumulation order and every bit of the result — is exactly the
+    /// one behind [`Tensor::matmul`].
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} × {}x{} is shape-incompatible",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = vec![0.0; m * n];
+        // The tile kernel below assigns every output cell (accumulators are
+        // stored, never added into the output), so skip the zero prefill.
+        out.resize_for_overwrite(m, n);
+        let out = &mut out.data[..];
         let a_data = &self.data;
         let b_data = &other.data;
         let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
             let mut local = rows.start;
             let mut chunk = chunk;
             // Two output rows per iteration: both reuse each b-row load.
+            // Within a row pair the output is produced in 8-column register
+            // tiles: the accumulators live in registers for the whole `p`
+            // sweep and are stored once, instead of a read-modify-write of
+            // the output row per `p`. Every output element still accumulates
+            // its `k` products in ascending-`p` order from a 0.0 start, so
+            // the result is bit-identical to the untiled form.
             while local + 2 <= rows.end {
                 let (o0, rest) = chunk.split_at_mut(n);
                 let (o1, rest) = rest.split_at_mut(n);
                 chunk = rest;
                 let a0 = &a_data[local * k..(local + 1) * k];
                 let a1 = &a_data[(local + 1) * k..(local + 2) * k];
-                for p in 0..k {
-                    let (s0, s1) = (a0[p], a1[p]);
-                    let b_row = &b_data[p * n..(p + 1) * n];
-                    for j in 0..n {
-                        o0[j] += s0 * b_row[j];
-                        o1[j] += s1 * b_row[j];
+                let mut j = 0;
+                while j + 8 <= n {
+                    let mut acc0 = [0.0f64; 8];
+                    let mut acc1 = [0.0f64; 8];
+                    for p in 0..k {
+                        let (s0, s1) = (a0[p], a1[p]);
+                        let b_blk = &b_data[p * n + j..p * n + j + 8];
+                        for t in 0..8 {
+                            acc0[t] += s0 * b_blk[t];
+                            acc1[t] += s1 * b_blk[t];
+                        }
                     }
+                    o0[j..j + 8].copy_from_slice(&acc0);
+                    o1[j..j + 8].copy_from_slice(&acc1);
+                    j += 8;
+                }
+                while j < n {
+                    let (mut c0, mut c1) = (0.0, 0.0);
+                    for p in 0..k {
+                        let b = b_data[p * n + j];
+                        c0 += a0[p] * b;
+                        c1 += a1[p] * b;
+                    }
+                    o0[j] = c0;
+                    o1[j] = c1;
+                    j += 1;
                 }
                 local += 2;
             }
             if local < rows.end {
                 let o0 = chunk;
                 let a0 = &a_data[local * k..(local + 1) * k];
-                for (p, &s0) in a0.iter().enumerate() {
-                    let b_row = &b_data[p * n..(p + 1) * n];
-                    for (o, &b) in o0.iter_mut().zip(b_row) {
-                        *o += s0 * b;
+                let mut j = 0;
+                while j + 8 <= n {
+                    let mut acc0 = [0.0f64; 8];
+                    for p in 0..k {
+                        let s0 = a0[p];
+                        let b_blk = &b_data[p * n + j..p * n + j + 8];
+                        for t in 0..8 {
+                            acc0[t] += s0 * b_blk[t];
+                        }
                     }
+                    o0[j..j + 8].copy_from_slice(&acc0);
+                    j += 8;
+                }
+                while j < n {
+                    let mut c0 = 0.0;
+                    for p in 0..k {
+                        c0 += a0[p] * b_data[p * n + j];
+                    }
+                    o0[j] = c0;
+                    j += 1;
                 }
             }
         });
-        Tensor {
-            rows: m,
-            cols: n,
-            data: out,
-        }
     }
 
     /// `selfᵀ × other` without materialising the transpose.
@@ -407,17 +498,29 @@ impl Tensor {
     /// the accumulation order — and therefore every bit of the result — is
     /// independent of the thread count.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::t_matmul`] writing into a caller-provided tensor.
+    ///
+    /// `out` is reshaped to `(self.cols, other.cols)` and zeroed without
+    /// reallocating when its capacity suffices; the kernel is exactly the one
+    /// behind [`Tensor::t_matmul`], so the result is bit-identical.
+    pub fn t_matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
             "t_matmul: {}x{} ᵀ× {}x{} is shape-incompatible",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        let mut out = vec![0.0; m * n];
+        out.resize_to(m, n);
+        let out = &mut out.data[..];
         let a_data = &self.data;
         let b_data = &other.data;
         let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
             for (local, i) in rows.clone().enumerate() {
                 let out_row = &mut chunk[local * n..(local + 1) * n];
                 for p in 0..k {
@@ -429,11 +532,6 @@ impl Tensor {
                 }
             }
         });
-        Tensor {
-            rows: m,
-            cols: n,
-            data: out,
-        }
     }
 
     /// `self × otherᵀ` without materialising the transpose.
@@ -443,17 +541,31 @@ impl Tensor {
     /// `other` rows. Each dot product accumulates in index order, keeping
     /// results bit-identical for any thread count.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// [`Tensor::matmul_t`] writing into a caller-provided tensor.
+    ///
+    /// `out` is reshaped to `(self.rows, other.rows)` without reallocating
+    /// when its capacity suffices; every output cell is assigned (never
+    /// accumulated into), so stale contents cannot leak through. The kernel
+    /// is exactly the one behind [`Tensor::matmul_t`].
+    pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t: {}x{} × {}x{}ᵀ is shape-incompatible",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = vec![0.0; m * n];
+        // Every cell is assigned from a register accumulator; no prefill.
+        out.resize_for_overwrite(m, n);
+        let out = &mut out.data[..];
         let a_data = &self.data;
         let b_data = &other.data;
         let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(&mut out, n, rows_per_chunk, |rows, chunk| {
+        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
             for (local, i) in rows.clone().enumerate() {
                 let a_row = &a_data[i * k..(i + 1) * k];
                 let out_row = &mut chunk[local * n..(local + 1) * n];
@@ -487,11 +599,6 @@ impl Tensor {
                 }
             }
         });
-        Tensor {
-            rows: m,
-            cols: n,
-            data: out,
-        }
     }
 
     /// The transpose as a new tensor.
@@ -598,6 +705,29 @@ impl Tensor {
         }
     }
 
+    /// [`Tensor::map`] writing into a caller-provided tensor, reusing its
+    /// backing allocation whenever the capacity suffices.
+    pub fn map_into(&self, f: impl Fn(f64) -> f64, out: &mut Tensor) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.extend(self.data.iter().map(|&x| f(x)));
+    }
+
+    /// [`Tensor::zip_map`] writing into a caller-provided tensor, reusing
+    /// its backing allocation whenever the capacity suffices.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip_map_into(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "zip_map: shape mismatch");
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.data.clear();
+        out.data
+            .extend(self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)));
+    }
+
     // ----- broadcasts -----------------------------------------------------
 
     /// Adds a length-`cols` row vector to every row.
@@ -631,18 +761,23 @@ impl Tensor {
 
     /// Multiplies every row entrywise by a length-`cols` vector.
     pub fn mul_row_broadcast(&self, scale: &[f64]) -> Tensor {
+        let mut out = self.clone();
+        out.mul_row_broadcast_assign(scale);
+        out
+    }
+
+    /// In-place row-broadcast multiplication.
+    pub fn mul_row_broadcast_assign(&mut self, scale: &[f64]) {
         assert_eq!(
             scale.len(),
             self.cols,
             "mul_row_broadcast: scale length mismatch"
         );
-        let mut out = self.clone();
-        for row in out.data.chunks_exact_mut(out.cols) {
+        for row in self.data.chunks_exact_mut(self.cols) {
             for (v, &s) in row.iter_mut().zip(scale) {
                 *v *= s;
             }
         }
-        out
     }
 
     /// Multiplies row `r` by `weights[r]` (per-sample weighting).
@@ -679,44 +814,72 @@ impl Tensor {
 
     /// Per-column sums (a length-`cols` vector).
     pub fn sum_rows(&self) -> Vec<f64> {
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::sum_rows`] writing into a caller-provided vector, reusing
+    /// its allocation whenever the capacity suffices. The accumulation order
+    /// — and therefore every bit — matches [`Tensor::sum_rows`].
+    pub fn sum_rows_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.data.chunks_exact(self.cols.max(1)) {
             for (o, &v) in out.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Per-column means.
     pub fn mean_rows(&self) -> Vec<f64> {
-        let mut sums = self.sum_rows();
+        let mut out = Vec::new();
+        self.mean_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::mean_rows`] writing into a caller-provided vector.
+    pub fn mean_rows_into(&self, out: &mut Vec<f64>) {
+        self.sum_rows_into(out);
         if self.rows > 0 {
             let inv = 1.0 / self.rows as f64;
-            for s in &mut sums {
+            for s in out.iter_mut() {
                 *s *= inv;
             }
         }
-        sums
     }
 
     /// Per-column population variances.
     pub fn var_rows(&self) -> Vec<f64> {
         let means = self.mean_rows();
-        let mut out = vec![0.0; self.cols];
+        let mut out = Vec::new();
+        self.var_rows_with_means_into(&means, &mut out);
+        out
+    }
+
+    /// [`Tensor::var_rows`] against caller-supplied per-column `means`,
+    /// writing into a caller-provided vector. Passing the exact output of
+    /// [`Tensor::mean_rows`] reproduces [`Tensor::var_rows`] bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `means.len() != cols`.
+    pub fn var_rows_with_means_into(&self, means: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(means.len(), self.cols, "var_rows: means length mismatch");
+        out.clear();
+        out.resize(self.cols, 0.0);
         for row in self.data.chunks_exact(self.cols.max(1)) {
-            for ((o, &v), &m) in out.iter_mut().zip(row).zip(&means) {
+            for ((o, &v), &m) in out.iter_mut().zip(row).zip(means) {
                 let d = v - m;
                 *o += d * d;
             }
         }
         if self.rows > 0 {
             let inv = 1.0 / self.rows as f64;
-            for o in &mut out {
+            for o in out.iter_mut() {
                 *o *= inv;
             }
         }
-        out
     }
 
     /// Per-row sums (a length-`rows` vector).

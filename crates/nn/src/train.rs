@@ -16,6 +16,7 @@ use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::rng::Rng;
 use crate::schedule::LrSchedule;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A per-epoch observer hook on [`fit`].
@@ -230,6 +231,63 @@ pub fn fit(
     }
 }
 
+/// Runs one optimisation step on a single mini-batch: zero gradients,
+/// forward, checked loss, backward, optimizer update. This is the
+/// allocation-free core of [`try_fit`]'s inner loop — every intermediate
+/// (activations, per-sample losses, the loss gradient) lives in `scratch`,
+/// and the optimizer is driven through the parameter visitor, so after the
+/// arena and optimizer state have warmed up a steady-state call performs no
+/// heap allocation.
+///
+/// The finite check on the batch loss runs *before* the backward pass: a
+/// NaN/∞ loss returns [`TrainError::NonFinite`] with the model still in its
+/// pre-batch state (gradients zeroed, weights untouched).
+#[allow(clippy::too_many_arguments)]
+pub fn train_step(
+    model: &mut Sequential,
+    optimizer: &mut dyn Optimizer,
+    loss: &dyn Loss,
+    xb: &Tensor,
+    yb: &Tensor,
+    weights: Option<&[f64]>,
+    mode: Mode,
+    epoch: usize,
+    scratch: &mut Scratch,
+) -> Result<f64, TrainError> {
+    model.zero_grad();
+    let pred = model.forward_scratch(xb, mode, scratch);
+    let batch_loss = {
+        let mut per = scratch.take_vec(xb.rows());
+        let r = loss.checked_value_with(&pred, yb, weights, epoch, &mut per);
+        scratch.give_vec(per);
+        r
+    };
+    let batch_loss = match batch_loss {
+        Ok(v) => v,
+        Err(e) => {
+            scratch.give(pred);
+            return Err(e);
+        }
+    };
+    let mut grad = scratch.take(pred.rows(), pred.cols());
+    loss.grad_into(&pred, yb, weights, &mut grad);
+    scratch.give(pred);
+    let dx = model.backward_scratch(&grad, scratch);
+    scratch.give(grad);
+    scratch.give(dx);
+    // Drive the optimizer through the visitor instead of collecting
+    // `params_mut()` into a Vec; the visit order is the same stable order.
+    let mut count = 0usize;
+    model.visit_params(&mut |_| count += 1);
+    optimizer.begin_step(count);
+    let mut index = 0usize;
+    model.visit_params(&mut |p| {
+        optimizer.step_param(index, p);
+        index += 1;
+    });
+    Ok(batch_loss)
+}
+
 /// Fallible core of [`fit`]: trains `model` on `(x, y)` and reports every
 /// failure as a typed [`TrainError`] instead of panicking.
 ///
@@ -284,82 +342,91 @@ pub fn try_fit(
     };
     let base_lr = optimizer.learning_rate();
 
-    for epoch in 0..cfg.epochs {
-        // Clock reads happen only when an observer is attached, so the
-        // unobserved loop stays exactly as lean as before.
-        let epoch_start = cfg.observer.as_ref().map(|_| Instant::now());
-        optimizer.set_learning_rate(cfg.schedule.rate(base_lr, epoch));
-        if cfg.shuffle {
-            rng.shuffle(&mut order);
-        }
-        let mut epoch_loss = 0.0;
-        let mut epoch_weight = 0.0;
-        for chunk in order.chunks(cfg.batch_size) {
-            let xb = x.select_rows(chunk);
-            let yb = y.select_rows(chunk);
-            let wb: Option<Vec<f64>> = weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
-            let wb_ref = wb.as_deref();
-            // Skip batches whose weights sum to zero — they carry no signal
-            // and would poison the normalisation.
-            let batch_weight = match wb_ref {
-                Some(w) => w.iter().sum::<f64>(),
-                None => chunk.len() as f64,
+    // Persistent mini-batch buffers: allocated (at most) once on the first
+    // batch, reused for the rest of the run via `select_rows_into` and
+    // clear-and-extend. Together with `train_step`'s scratch arena this
+    // makes the steady-state epoch loop allocation-free.
+    let mut xb = Tensor::zeros(0, 0);
+    let mut yb = Tensor::zeros(0, 0);
+    let mut wb: Vec<f64> = Vec::new();
+
+    crate::scratch::with(|scratch| {
+        for epoch in 0..cfg.epochs {
+            // Clock reads happen only when an observer is attached, so the
+            // unobserved loop stays exactly as lean as before.
+            let epoch_start = cfg.observer.as_ref().map(|_| Instant::now());
+            optimizer.set_learning_rate(cfg.schedule.rate(base_lr, epoch));
+            if cfg.shuffle {
+                rng.shuffle(&mut order);
+            }
+            let mut epoch_loss = 0.0;
+            let mut epoch_weight = 0.0;
+            for chunk in order.chunks(cfg.batch_size) {
+                x.select_rows_into(chunk, &mut xb);
+                y.select_rows_into(chunk, &mut yb);
+                let wb_ref: Option<&[f64]> = match weights {
+                    Some(w) => {
+                        wb.clear();
+                        wb.extend(chunk.iter().map(|&i| w[i]));
+                        Some(&wb)
+                    }
+                    None => None,
+                };
+                // Skip batches whose weights sum to zero — they carry no
+                // signal and would poison the normalisation.
+                let batch_weight = match wb_ref {
+                    Some(w) => w.iter().sum::<f64>(),
+                    None => chunk.len() as f64,
+                };
+                if batch_weight <= 0.0 {
+                    continue;
+                }
+
+                let batch_loss = train_step(
+                    model, optimizer, loss, &xb, &yb, wb_ref, cfg.mode, epoch, scratch,
+                )?;
+
+                epoch_loss += batch_loss * batch_weight;
+                epoch_weight += batch_weight;
+            }
+            let mean_loss = if epoch_weight > 0.0 {
+                epoch_loss / epoch_weight
+            } else {
+                0.0
             };
-            if batch_weight <= 0.0 {
-                continue;
+            report.epoch_losses.push(mean_loss);
+            if let Some(observer) = &cfg.observer {
+                let wall = epoch_start.map(|s| s.elapsed()).unwrap_or_default();
+                observer.on_epoch(epoch, mean_loss, optimizer.learning_rate(), wall);
             }
 
-            model.zero_grad();
-            let pred = model.forward(&xb, cfg.mode);
-            // The finite check runs *before* the backward pass: a NaN loss
-            // means the gradient would be NaN too, and applying it would
-            // overwrite every weight with NaN. Erroring out here leaves the
-            // model in its pre-batch state.
-            let batch_loss = loss.checked_value(&pred, &yb, wb_ref, epoch)?;
-            let grad = loss.grad(&pred, &yb, wb_ref);
-            model.backward(&grad);
-            optimizer.step(&mut model.params_mut());
+            if let Some(guard) = &cfg.divergence {
+                let baseline = report.epoch_losses[0];
+                if epoch > 0 && baseline.is_finite() && baseline > 0.0 {
+                    let limit = guard.factor * baseline;
+                    if mean_loss > limit {
+                        return Err(TrainError::Diverged {
+                            loss: mean_loss,
+                            baseline,
+                            factor: guard.factor,
+                            epoch,
+                        });
+                    }
+                }
+            }
 
-            epoch_loss += batch_loss * batch_weight;
-            epoch_weight += batch_weight;
-        }
-        let mean_loss = if epoch_weight > 0.0 {
-            epoch_loss / epoch_weight
-        } else {
-            0.0
-        };
-        report.epoch_losses.push(mean_loss);
-        if let Some(observer) = &cfg.observer {
-            let wall = epoch_start.map(|s| s.elapsed()).unwrap_or_default();
-            observer.on_epoch(epoch, mean_loss, optimizer.learning_rate(), wall);
-        }
-
-        if let Some(guard) = &cfg.divergence {
-            let baseline = report.epoch_losses[0];
-            if epoch > 0 && baseline.is_finite() && baseline > 0.0 {
-                let limit = guard.factor * baseline;
-                if mean_loss > limit {
-                    return Err(TrainError::Diverged {
-                        loss: mean_loss,
-                        baseline,
-                        factor: guard.factor,
-                        epoch,
-                    });
+            if let Some(es) = &cfg.early_stop {
+                if should_stop(&report.epoch_losses, es, epoch) {
+                    report.stopped_early_at = Some(epoch);
+                    if let Some(observer) = &cfg.observer {
+                        observer.on_early_stop(epoch);
+                    }
+                    break;
                 }
             }
         }
-
-        if let Some(es) = &cfg.early_stop {
-            if should_stop(&report.epoch_losses, es, epoch) {
-                report.stopped_early_at = Some(epoch);
-                if let Some(observer) = &cfg.observer {
-                    observer.on_early_stop(epoch);
-                }
-                break;
-            }
-        }
-    }
-    Ok(report)
+        Ok(report)
+    })
 }
 
 /// The Fig. 13 stopping rule: stop once the relative improvement of the

@@ -94,6 +94,27 @@ pub fn sync_pool_metrics() {
     }
 }
 
+/// The scratch-arena counters as one JSON object (cumulative totals).
+pub fn arena_stats_json() -> Json {
+    let stats = tasfar_nn::scratch::stats();
+    Json::obj(vec![
+        ("checkouts", Json::UInt(stats.checkouts)),
+        ("reuses", Json::UInt(stats.reuses)),
+        ("bytes_peak", Json::UInt(stats.bytes_peak)),
+    ])
+}
+
+/// Mirrors the scratch-arena counters ([`tasfar_nn::scratch::stats`]) into
+/// the metrics registry as `arena.{checkouts,reuses,bytes_peak}` gauges, so
+/// a [`crate::metrics::snapshot`] shows how well the hot paths reuse their
+/// buffers.
+pub fn sync_arena_metrics() {
+    let stats = tasfar_nn::scratch::stats();
+    crate::metrics::gauge("arena.checkouts").set(stats.checkouts as i64);
+    crate::metrics::gauge("arena.reuses").set(stats.reuses as i64);
+    crate::metrics::gauge("arena.bytes_peak").set(stats.bytes_peak as i64);
+}
+
 /// Emits a `parallel_pool` event carrying [`pool_stats_json`] and refreshes
 /// the pool gauges. A no-op record-wise when tracing is disabled (the gauges
 /// still update).
@@ -179,6 +200,26 @@ mod tests {
         assert!(manifest.field("threads").unwrap().as_u64().unwrap() >= 1);
         let profile = manifest.field("profile").unwrap().as_str().unwrap();
         assert!(profile == "debug" || profile == "release");
+    }
+
+    #[test]
+    fn arena_metrics_mirror_scratch_stats() {
+        // Touch the arena so the counters are non-trivially populated.
+        tasfar_nn::scratch::with(|s| {
+            let v = s.take_vec(64);
+            s.give_vec(v);
+            let v = s.take_vec(64);
+            s.give_vec(v);
+        });
+        sync_arena_metrics();
+        let stats = tasfar_nn::scratch::stats();
+        assert_eq!(
+            crate::metrics::gauge("arena.checkouts").get(),
+            stats.checkouts as i64
+        );
+        let v = arena_stats_json();
+        assert!(v.field("checkouts").unwrap().as_u64().unwrap() >= 2);
+        assert!(v.field("bytes_peak").unwrap().as_u64().unwrap() >= 64 * 8);
     }
 
     #[test]

@@ -24,8 +24,19 @@ cargo test -q --doc --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Allocation-audit gate: the counting-allocator suites must prove that
+# steady-state train_step and fused McDropout::predict_into perform zero
+# heap allocations after warm-up, and that the scratch arena reuses its
+# buffers.
+echo "==> alloc-audit gate (zero steady-state heap allocations)"
+cargo test -q --release -p tasfar-nn --test alloc_audit
+cargo test -q --release -p tasfar-core --test alloc_audit
+
 # The bench writes BENCH_kernels.json into its working directory; run the
 # smoke pass from a scratch dir so the committed numbers are untouched.
+# The binary self-checks on every release run: it aborts unless the fused
+# MC-dropout path beats the per-pass path on this host and the hot-path
+# allocation count is zero, so this smoke run doubles as the perf gate.
 echo "==> bench smoke (TASFAR_BENCH_QUICK=1, 1 sample)"
 root="$PWD"
 scratch="$(mktemp -d)"
