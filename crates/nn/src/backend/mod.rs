@@ -1,0 +1,347 @@
+//! Pluggable CPU compute backends for the GEMM-family and Conv1d kernels.
+//!
+//! Every adaptation stage in this workspace — MC-dropout uncertainty sweeps,
+//! pseudo-label fine-tuning, the baseline adapters — bottoms out in the same
+//! handful of kernels: the three matmul variants behind [`crate::tensor::Tensor`]
+//! and the causal-convolution loops behind [`crate::layers::Conv1d`]. This
+//! module puts those entry points behind a [`Backend`] trait (the kubecl-style
+//! runtime abstraction named in the roadmap) so competing implementations can
+//! land side by side and be benchmarked apples-to-apples:
+//!
+//! * [`CpuNaive`] — the original scalar + threads kernels, ported verbatim.
+//!   This is the reference implementation the golden-hash suite was pinned
+//!   against.
+//! * [`CpuBlocked`] — cache-blocked loop nests driven by an explicit
+//!   [`TilingScheme`], with A/B panel packing into persistent thread-local
+//!   buffers, a register-tiled `mr×nr` microkernel, and a kernel-size-
+//!   specialised (k = 3) conv1d inner loop.
+//!
+//! ## Bit-identity contract
+//!
+//! Both backends accumulate every output element's `k` products in ascending
+//! index order from the same starting value, and Rust never contracts
+//! `a*b + c` into a fused multiply-add or re-associates float reductions
+//! without explicit fast-math. Blocking over `k` round-trips the accumulator
+//! through memory between panels — an exact operation for `f64` — so
+//! [`CpuBlocked`] is **bit-identical** to [`CpuNaive`] on every input, not
+//! merely close. The cross-backend property suite
+//! (`crates/nn/tests/backend_equiv.rs`) pins this exactly (`to_bits`
+//! equality), and the golden adaptation hashes hold under either backend.
+//!
+//! ## Selection
+//!
+//! The active backend is chosen once from the `TASFAR_BACKEND` environment
+//! variable (`naive` or `blocked`; default `blocked`) and can be overridden
+//! at runtime with [`set_backend`]. Every kernel dispatch increments a
+//! per-backend counter ([`stats`]) that `tasfar-obs` mirrors into the
+//! metrics registry as `backend.{naive,blocked}.calls`, so traces attribute
+//! kernel time to the backend that actually ran.
+
+mod blocked;
+mod naive;
+
+pub use blocked::{CpuBlocked, TilingScheme};
+pub use naive::CpuNaive;
+
+use crate::scratch::Scratch;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Geometry of a causal dilated 1-D convolution (see
+/// [`crate::layers::Conv1d`] for the packing convention: a `(channels,
+/// time)` window occupies one tensor row, channels-major).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv1dGeometry {
+    /// Input channel count.
+    pub in_ch: usize,
+    /// Output channel count.
+    pub out_ch: usize,
+    /// Kernel taps per channel pair.
+    pub kernel: usize,
+    /// Dilation between taps.
+    pub dilation: usize,
+    /// Window length in time steps.
+    pub time_len: usize,
+}
+
+impl Conv1dGeometry {
+    /// Input row width (`in_ch * time_len`).
+    pub fn input_width(&self) -> usize {
+        self.in_ch * self.time_len
+    }
+
+    /// Output row width (`out_ch * time_len`).
+    pub fn output_width(&self) -> usize {
+        self.out_ch * self.time_len
+    }
+
+    /// Flat weight length (`out_ch * in_ch * kernel`).
+    pub fn weight_len(&self) -> usize {
+        self.out_ch * self.in_ch * self.kernel
+    }
+}
+
+/// A CPU compute backend owning the GEMM-family and Conv1d inner loops.
+///
+/// ## Contract
+///
+/// * All GEMM entry points receive `out` with `out.len() == m * n` and
+///   **arbitrary contents**; the kernel must define every cell.
+/// * Per output element, the `k` products are accumulated in ascending
+///   index order starting from `0.0` — the bit-identity contract shared by
+///   every implementation and pinned by the golden-hash suite.
+/// * Implementations are free to parallelise through [`crate::parallel`];
+///   results must be bit-identical for any thread count.
+pub trait Backend: Sync {
+    /// Human-readable backend name (the `TASFAR_BACKEND` value).
+    fn name(&self) -> &'static str;
+
+    /// The selection tag this backend answers to.
+    fn kind(&self) -> BackendKind;
+
+    /// `C (m×n) = A (m×k) · B (k×n)`, all row-major.
+    fn matmul_into(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]);
+
+    /// `C (m×n) = Aᵀ · B` where `A` is stored `k×m` row-major (the transpose
+    /// is never materialised).
+    fn t_matmul_into(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]);
+
+    /// `C (m×n) = A · Bᵀ` where `B` is stored `n×k` row-major.
+    fn matmul_t_into(&self, m: usize, k: usize, n: usize, a: &[f64], b: &[f64], out: &mut [f64]);
+
+    /// Causal dilated conv forward: writes `(batch, out_ch·time)` into `out`
+    /// (already shaped and zeroed by the caller). `w` is the flat
+    /// `(out_ch, in_ch·kernel)` weight matrix, `bias` one value per output
+    /// channel.
+    fn conv1d_forward(
+        &self,
+        geo: &Conv1dGeometry,
+        input: &Tensor,
+        w: &[f64],
+        bias: &[f64],
+        out: &mut Tensor,
+    );
+
+    /// Causal dilated conv backward: accumulates the weight gradient into
+    /// `dw` (flat, `weight_len`) and bias gradient into `db` (`out_ch`), and
+    /// writes the input gradient into `grad_input` (already shaped and
+    /// zeroed). `scratch` serves the per-chunk reduction buffers so the call
+    /// is allocation-free at steady state.
+    #[allow(clippy::too_many_arguments)]
+    fn conv1d_backward(
+        &self,
+        geo: &Conv1dGeometry,
+        input: &Tensor,
+        grad_output: &Tensor,
+        w: &[f64],
+        dw: &mut [f64],
+        db: &mut [f64],
+        grad_input: &mut Tensor,
+        scratch: &mut Scratch,
+    );
+}
+
+/// Selection tag for the built-in backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The reference scalar + threads kernels ([`CpuNaive`]).
+    Naive,
+    /// Cache-blocked, panel-packed kernels ([`CpuBlocked`]).
+    Blocked,
+}
+
+impl BackendKind {
+    /// The `TASFAR_BACKEND` spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Naive => "naive",
+            BackendKind::Blocked => "blocked",
+        }
+    }
+
+    /// Parses a `TASFAR_BACKEND` value (trimmed, case-insensitive).
+    pub fn from_name(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "naive" => Some(BackendKind::Naive),
+            "blocked" => Some(BackendKind::Blocked),
+            _ => None,
+        }
+    }
+}
+
+/// The default backend when neither `TASFAR_BACKEND` nor [`set_backend`]
+/// says otherwise. `blocked` is bit-identical to `naive` and faster on every
+/// GEMM-shaped kernel, so it is the production default; `naive` remains one
+/// env var away as the reference.
+pub const DEFAULT_BACKEND: BackendKind = BackendKind::Blocked;
+
+/// Active backend selection; 0 = uninitialised, 1 = naive, 2 = blocked.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+static NAIVE: CpuNaive = CpuNaive;
+static BLOCKED: CpuBlocked = CpuBlocked::with_tiling(TilingScheme::DEFAULT);
+
+fn code_of(kind: BackendKind) -> usize {
+    match kind {
+        BackendKind::Naive => 1,
+        BackendKind::Blocked => 2,
+    }
+}
+
+/// The currently selected backend kind.
+///
+/// Resolution order: a prior [`set_backend`] call, else `TASFAR_BACKEND`
+/// (parsed with [`BackendKind::from_name`]; unknown values fall through),
+/// else [`DEFAULT_BACKEND`]. The environment is read once and cached;
+/// [`reset_backend`] forces a re-read.
+pub fn active_kind() -> BackendKind {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => BackendKind::Naive,
+        2 => BackendKind::Blocked,
+        _ => {
+            let kind = std::env::var("TASFAR_BACKEND")
+                .ok()
+                .and_then(|s| BackendKind::from_name(&s))
+                .unwrap_or(DEFAULT_BACKEND);
+            // Racing initialisers compute the same value; plain store is fine.
+            ACTIVE.store(code_of(kind), Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+/// Overrides the backend for subsequent kernel calls.
+///
+/// Outputs are bit-identical across backends; this only changes how the
+/// arithmetic is scheduled. Intended for tests, benchmarks, and embedders
+/// that want an explicit choice instead of the environment default.
+pub fn set_backend(kind: BackendKind) {
+    ACTIVE.store(code_of(kind), Ordering::Relaxed);
+}
+
+/// Drops any [`set_backend`] override and re-reads `TASFAR_BACKEND` on the
+/// next dispatch.
+pub fn reset_backend() {
+    ACTIVE.store(0, Ordering::Relaxed);
+}
+
+/// The active backend as a trait object (without touching the dispatch
+/// counters — use this for inspection; kernels go through the crate-private
+/// `dispatch`).
+pub fn active() -> &'static dyn Backend {
+    match active_kind() {
+        BackendKind::Naive => &NAIVE,
+        BackendKind::Blocked => &BLOCKED,
+    }
+}
+
+// ----- dispatch instrumentation ---------------------------------------------
+//
+// Mirrors the `parallel` pool-stats pattern: always-on relaxed counters in
+// the substrate, bridged into the obs metrics registry as
+// `backend.{naive,blocked}.calls` by `tasfar-obs`. Purely observational —
+// they never influence selection or results.
+
+/// Kernel dispatches served by [`CpuNaive`].
+static NAIVE_CALLS: AtomicU64 = AtomicU64::new(0);
+/// Kernel dispatches served by [`CpuBlocked`] (including calls it chose to
+/// route to the shared scalar path below its blocking cutoff — the policy is
+/// the backend's, so the dispatch is attributed to it).
+static BLOCKED_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the per-backend dispatch counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Kernel dispatches served by the naive backend.
+    pub naive_calls: u64,
+    /// Kernel dispatches served by the blocked backend.
+    pub blocked_calls: u64,
+}
+
+/// Reads the dispatch counters.
+pub fn stats() -> BackendStats {
+    BackendStats {
+        naive_calls: NAIVE_CALLS.load(Ordering::Relaxed),
+        blocked_calls: BLOCKED_CALLS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the dispatch counters (for benchmarks measuring one phase).
+pub fn reset_stats() {
+    NAIVE_CALLS.store(0, Ordering::Relaxed);
+    BLOCKED_CALLS.store(0, Ordering::Relaxed);
+}
+
+/// The active backend, with the dispatch counted. Every kernel entry point
+/// in [`crate::tensor`] and [`crate::layers::Conv1d`] routes through here —
+/// there is no bypass path.
+pub(crate) fn dispatch() -> &'static dyn Backend {
+    let kind = active_kind();
+    match kind {
+        BackendKind::Naive => NAIVE_CALLS.fetch_add(1, Ordering::Relaxed),
+        BackendKind::Blocked => BLOCKED_CALLS.fetch_add(1, Ordering::Relaxed),
+    };
+    match kind {
+        BackendKind::Naive => &NAIVE,
+        BackendKind::Blocked => &BLOCKED,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [BackendKind::Naive, BackendKind::Blocked] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(
+            BackendKind::from_name(" BLOCKED "),
+            Some(BackendKind::Blocked)
+        );
+        assert_eq!(BackendKind::from_name("Naive"), Some(BackendKind::Naive));
+        assert_eq!(BackendKind::from_name("gpu"), None);
+        assert_eq!(BackendKind::from_name(""), None);
+    }
+
+    #[test]
+    fn set_backend_switches_the_active_instance() {
+        let before = active_kind();
+        set_backend(BackendKind::Naive);
+        assert_eq!(active_kind(), BackendKind::Naive);
+        assert_eq!(active().name(), "naive");
+        set_backend(BackendKind::Blocked);
+        assert_eq!(active_kind(), BackendKind::Blocked);
+        assert_eq!(active().name(), "blocked");
+        set_backend(before);
+    }
+
+    #[test]
+    fn dispatch_counts_by_backend() {
+        let before_kind = active_kind();
+        set_backend(BackendKind::Naive);
+        let naive_before = stats().naive_calls;
+        let _ = dispatch();
+        assert!(stats().naive_calls > naive_before);
+        set_backend(BackendKind::Blocked);
+        let blocked_before = stats().blocked_calls;
+        let _ = dispatch();
+        assert!(stats().blocked_calls > blocked_before);
+        set_backend(before_kind);
+    }
+
+    #[test]
+    fn geometry_widths() {
+        let geo = Conv1dGeometry {
+            in_ch: 3,
+            out_ch: 5,
+            kernel: 2,
+            dilation: 1,
+            time_len: 7,
+        };
+        assert_eq!(geo.input_width(), 21);
+        assert_eq!(geo.output_width(), 35);
+        assert_eq!(geo.weight_len(), 30);
+    }
+}

@@ -11,6 +11,7 @@
 //! the input's time length, so TCN blocks can be residually stacked.
 
 use super::{Layer, Mode, Param};
+use crate::backend::Conv1dGeometry;
 use crate::init::Init;
 use crate::rng::Rng;
 use crate::scratch::Scratch;
@@ -81,6 +82,17 @@ impl Conv1d {
     pub fn out_channels(&self) -> usize {
         self.out_ch
     }
+
+    /// This layer's shape parameters as a backend [`Conv1dGeometry`].
+    pub fn geometry(&self) -> Conv1dGeometry {
+        Conv1dGeometry {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            kernel: self.kernel,
+            dilation: self.dilation,
+            time_len: self.time_len,
+        }
+    }
 }
 
 impl Layer for Conv1d {
@@ -94,45 +106,15 @@ impl Layer for Conv1d {
             self.input_width(),
             input.cols()
         );
-        let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
-        let (in_ch, out_ch) = (self.in_ch, self.out_ch);
+        let geo = self.geometry();
         let w = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
-        let out_width = out_ch * t_len;
-        let mut out = scratch.take(input.rows(), out_width);
-        // Batch rows are independent, so the kernel parallelises over output
-        // rows; per-row arithmetic order never changes, keeping results
-        // bit-identical for any thread count.
-        let rows_per_chunk =
-            crate::tensor::kernel_rows_per_chunk(input.rows(), 2 * out_ch * in_ch * k * t_len);
-        crate::parallel::for_each_row_chunk(
-            out.as_mut_slice(),
-            out_width,
-            rows_per_chunk,
-            |rows, chunk| {
-                for (local, r) in rows.clone().enumerate() {
-                    let x_row = input.row(r);
-                    let y_row = &mut chunk[local * out_width..(local + 1) * out_width];
-                    for o in 0..out_ch {
-                        let w_o = &w[o * in_ch * k..(o + 1) * in_ch * k];
-                        let y_o = &mut y_row[o * t_len..(o + 1) * t_len];
-                        y_o.fill(b[o]);
-                        for c in 0..in_ch {
-                            let x_c = &x_row[c * t_len..(c + 1) * t_len];
-                            let w_oc = &w_o[c * k..(c + 1) * k];
-                            for (tap, &wv) in w_oc.iter().enumerate() {
-                                // Tap `tap` reads the input `(k-1-tap)·dil`
-                                // steps back.
-                                let back = (k - 1 - tap) * dil;
-                                for t in back..t_len {
-                                    y_o[t] += wv * x_c[t - back];
-                                }
-                            }
-                        }
-                    }
-                }
-            },
-        );
+        let mut out = scratch.take(input.rows(), geo.output_width());
+        // The inner loops live on the active compute backend; every backend
+        // parallelises over independent batch rows with a fixed per-row
+        // arithmetic order, keeping results bit-identical for any thread
+        // count and across backends.
+        crate::backend::dispatch().conv1d_forward(&geo, input, w, b, &mut out);
         match &mut self.cached_input {
             Some(c) => c.copy_from(input),
             None => self.cached_input = Some(input.clone()),
@@ -150,69 +132,23 @@ impl Layer for Conv1d {
             self.output_width(),
             "Conv1d: grad width mismatch"
         );
-        let (t_len, k, dil) = (self.time_len, self.kernel, self.dilation);
-        let (in_ch, out_ch) = (self.in_ch, self.out_ch);
+        let geo = self.geometry();
         let w = self.weight.value.as_slice();
-        let in_width = in_ch * t_len;
-        let n_rows = input.rows();
-        let mut grad_input = scratch.take(n_rows, in_width);
-
-        // Parallel across batch rows: `grad_input` rows are disjoint, while
-        // the shared `dw`/`db` reductions accumulate into per-chunk aux
-        // buffers (laid out `dw ++ db`) that are combined in chunk order
-        // afterwards. Chunk boundaries are fixed by the batch size alone, so
-        // gradients are bit-identical for any thread count.
-        const ROWS_PER_CHUNK: usize = 8;
-        let n_chunks = crate::parallel::chunk_count(n_rows, ROWS_PER_CHUNK);
-        let aux_per_chunk = w.len() + out_ch;
-        let mut aux = scratch.take_vec(n_chunks * aux_per_chunk);
-        crate::parallel::for_each_row_chunk_with_aux(
-            grad_input.as_mut_slice(),
-            in_width,
-            ROWS_PER_CHUNK,
-            &mut aux,
-            aux_per_chunk,
-            |rows, gx_chunk, partial| {
-                let (dw_local, db_local) = partial.split_at_mut(w.len());
-                for (local, r) in rows.enumerate() {
-                    let x_row = input.row(r);
-                    let g_row = grad_output.row(r);
-                    let gx_row = &mut gx_chunk[local * in_width..(local + 1) * in_width];
-                    for o in 0..out_ch {
-                        let g_o = &g_row[o * t_len..(o + 1) * t_len];
-                        db_local[o] += g_o.iter().sum::<f64>();
-                        for c in 0..in_ch {
-                            let x_c = &x_row[c * t_len..(c + 1) * t_len];
-                            let gx_c = &mut gx_row[c * t_len..(c + 1) * t_len];
-                            for tap in 0..k {
-                                let back = (k - 1 - tap) * dil;
-                                let widx = o * in_ch * k + c * k + tap;
-                                let wv = w[widx];
-                                let mut dw_acc = 0.0;
-                                for t in back..t_len {
-                                    let g = g_o[t];
-                                    dw_acc += g * x_c[t - back];
-                                    gx_c[t - back] += g * wv;
-                                }
-                                dw_local[widx] += dw_acc;
-                            }
-                        }
-                    }
-                }
-            },
+        let mut grad_input = scratch.take(input.rows(), geo.input_width());
+        // The backend computes disjoint `grad_input` rows in parallel and
+        // reduces the shared `dw`/`db` gradients through per-chunk buffers
+        // combined in chunk order — bit-identical for any thread count and
+        // across backends.
+        crate::backend::dispatch().conv1d_backward(
+            &geo,
+            input,
+            grad_output,
+            w,
+            self.weight.grad.as_mut_slice(),
+            self.bias.grad.as_mut_slice(),
+            &mut grad_input,
+            scratch,
         );
-        let dw = self.weight.grad.as_mut_slice();
-        let db = self.bias.grad.as_mut_slice();
-        for partial in aux.chunks_exact(aux_per_chunk) {
-            let (dw_local, db_local) = partial.split_at(w.len());
-            for (acc, v) in dw.iter_mut().zip(dw_local) {
-                *acc += v;
-            }
-            for (acc, v) in db.iter_mut().zip(db_local) {
-                *acc += v;
-            }
-        }
-        scratch.give_vec(aux);
         grad_input
     }
 

@@ -7,6 +7,12 @@
 //! chain (possibly with intra-block residual connections handled inside
 //! [`TcnBlock`]), so reverse-mode differentiation reduces to walking the
 //! chain backwards.
+//!
+//! Layers own shapes, caches, and parameters; the arithmetic inner loops
+//! (GEMM for [`Dense`], the convolution sweeps for [`Conv1d`]) are
+//! delegated to the process-wide compute backend ([`crate::backend`]),
+//! which is free to reschedule them but never to change a single output
+//! bit.
 
 mod activations;
 mod batchnorm;

@@ -3,6 +3,11 @@
 //!
 //! The PDR regressor in this reproduction is a stack of these blocks — the
 //! same architecture family as RoNIN's TCN backbone that the paper adapts.
+//!
+//! The convolutional inner loops run on the active compute backend
+//! ([`crate::backend`]); with kernel size 3 — this block's shape — the
+//! blocked backend takes its fused three-tap path, bit-identical to the
+//! reference kernels.
 
 use super::{Conv1d, Dropout, Layer, McContext, Mode, Param, Relu};
 use crate::rng::Rng;

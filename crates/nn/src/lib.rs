@@ -10,6 +10,10 @@
 //! ## What's here
 //!
 //! * [`tensor::Tensor`] — dense row-major `(batch, features)` matrices.
+//! * [`backend`] — pluggable CPU compute backends behind the GEMM-family and
+//!   `Conv1d` kernels: the reference `CpuNaive` and the cache-blocked,
+//!   panel-packed `CpuBlocked` (bit-identical, selected via
+//!   `TASFAR_BACKEND` or `set_backend`).
 //! * [`rng::Rng`] — a splittable xoshiro256++ PRNG making every experiment
 //!   bit-reproducible.
 //! * [`layers`] — `Dense`, activations, inverted `Dropout` (the MC-dropout
@@ -58,6 +62,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
 pub mod gradcheck;
 pub mod init;
@@ -82,6 +87,9 @@ pub use error::TrainError;
 
 /// One-stop imports for model building and training.
 pub mod prelude {
+    pub use crate::backend::{
+        set_backend, Backend, BackendKind, CpuBlocked, CpuNaive, TilingScheme,
+    };
     pub use crate::error::TrainError;
     pub use crate::gradcheck::check_gradients;
     pub use crate::init::Init;

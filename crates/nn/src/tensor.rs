@@ -381,14 +381,11 @@ impl Tensor {
 
     /// Matrix product `self × other`.
     ///
-    /// Row-parallel register-blocked kernel on [`crate::parallel`]: output
-    /// rows are split into fixed chunks, each chunk computed by one thread.
-    /// Inside a chunk, pairs of output rows are accumulated together in
-    /// ikj order so each `other` row is loaded once per row pair and the
-    /// inner loop is a branch-free fused multiply-add sweep the compiler can
-    /// vectorise. Per-element accumulation order is `p = 0..k` regardless of
-    /// blocking or threads, so results are bit-identical for any thread
-    /// count.
+    /// Dispatches to the active [`crate::backend`] (see `TASFAR_BACKEND` /
+    /// [`crate::backend::set_backend`]). Every backend accumulates each
+    /// output element's `k` products in ascending `p = 0..k` order from a
+    /// `0.0` start, so results are bit-identical across backends and for
+    /// any thread count.
     ///
     /// # Panics
     /// Panics if the inner dimensions disagree.
@@ -400,103 +397,28 @@ impl Tensor {
 
     /// [`Tensor::matmul`] writing into a caller-provided tensor.
     ///
-    /// `out` is reshaped to `(self.rows, other.cols)` and zeroed without
-    /// reallocating when its capacity suffices; the kernel — and therefore
-    /// every accumulation order and every bit of the result — is exactly the
-    /// one behind [`Tensor::matmul`].
+    /// `out` is reshaped to `(self.rows, other.cols)` without reallocating
+    /// when its capacity suffices; the backend kernel assigns every output
+    /// cell, and the result is bit-for-bit the one [`Tensor::matmul`]
+    /// returns.
     pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
-            "matmul: {}x{} × {}x{} is shape-incompatible",
-            self.rows, self.cols, other.rows, other.cols
+            "matmul: left operand is {}x{} so its column count {} must equal the right \
+             operand's row count, but the right operand is {}x{}",
+            self.rows, self.cols, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        // The tile kernel below assigns every output cell (accumulators are
-        // stored, never added into the output), so skip the zero prefill.
+        // Backend kernels assign every output cell, so skip the zero prefill.
         out.resize_for_overwrite(m, n);
-        let out = &mut out.data[..];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
-            let mut local = rows.start;
-            let mut chunk = chunk;
-            // Two output rows per iteration: both reuse each b-row load.
-            // Within a row pair the output is produced in 8-column register
-            // tiles: the accumulators live in registers for the whole `p`
-            // sweep and are stored once, instead of a read-modify-write of
-            // the output row per `p`. Every output element still accumulates
-            // its `k` products in ascending-`p` order from a 0.0 start, so
-            // the result is bit-identical to the untiled form.
-            while local + 2 <= rows.end {
-                let (o0, rest) = chunk.split_at_mut(n);
-                let (o1, rest) = rest.split_at_mut(n);
-                chunk = rest;
-                let a0 = &a_data[local * k..(local + 1) * k];
-                let a1 = &a_data[(local + 1) * k..(local + 2) * k];
-                let mut j = 0;
-                while j + 8 <= n {
-                    let mut acc0 = [0.0f64; 8];
-                    let mut acc1 = [0.0f64; 8];
-                    for p in 0..k {
-                        let (s0, s1) = (a0[p], a1[p]);
-                        let b_blk = &b_data[p * n + j..p * n + j + 8];
-                        for t in 0..8 {
-                            acc0[t] += s0 * b_blk[t];
-                            acc1[t] += s1 * b_blk[t];
-                        }
-                    }
-                    o0[j..j + 8].copy_from_slice(&acc0);
-                    o1[j..j + 8].copy_from_slice(&acc1);
-                    j += 8;
-                }
-                while j < n {
-                    let (mut c0, mut c1) = (0.0, 0.0);
-                    for p in 0..k {
-                        let b = b_data[p * n + j];
-                        c0 += a0[p] * b;
-                        c1 += a1[p] * b;
-                    }
-                    o0[j] = c0;
-                    o1[j] = c1;
-                    j += 1;
-                }
-                local += 2;
-            }
-            if local < rows.end {
-                let o0 = chunk;
-                let a0 = &a_data[local * k..(local + 1) * k];
-                let mut j = 0;
-                while j + 8 <= n {
-                    let mut acc0 = [0.0f64; 8];
-                    for p in 0..k {
-                        let s0 = a0[p];
-                        let b_blk = &b_data[p * n + j..p * n + j + 8];
-                        for t in 0..8 {
-                            acc0[t] += s0 * b_blk[t];
-                        }
-                    }
-                    o0[j..j + 8].copy_from_slice(&acc0);
-                    j += 8;
-                }
-                while j < n {
-                    let mut c0 = 0.0;
-                    for p in 0..k {
-                        c0 += a0[p] * b_data[p * n + j];
-                    }
-                    o0[j] = c0;
-                    j += 1;
-                }
-            }
-        });
+        crate::backend::dispatch().matmul_into(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
     /// `selfᵀ × other` without materialising the transpose.
     ///
-    /// Parallel over output rows (columns of `self`); each output row is a
-    /// strided-`self` axpy sweep over `other` rows in `p = 0..k` order, so
-    /// the accumulation order — and therefore every bit of the result — is
-    /// independent of the thread count.
+    /// Dispatches to the active [`crate::backend`]; per-element accumulation
+    /// runs in `p = 0..k` order from a `0.0` start in every backend, so the
+    /// result is bit-identical across backends and thread counts.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(self.cols, other.cols);
         self.t_matmul_into(other, &mut out);
@@ -505,41 +427,28 @@ impl Tensor {
 
     /// [`Tensor::t_matmul`] writing into a caller-provided tensor.
     ///
-    /// `out` is reshaped to `(self.cols, other.cols)` and zeroed without
-    /// reallocating when its capacity suffices; the kernel is exactly the one
-    /// behind [`Tensor::t_matmul`], so the result is bit-identical.
+    /// `out` is reshaped to `(self.cols, other.cols)` without reallocating
+    /// when its capacity suffices; the backend kernel defines every output
+    /// cell, and the result is bit-for-bit the one [`Tensor::t_matmul`]
+    /// returns.
     pub fn t_matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
-            "t_matmul: {}x{} ᵀ× {}x{} is shape-incompatible",
-            self.rows, self.cols, other.rows, other.cols
+            "t_matmul: left operand is {}x{} (transposed to {}x{}) so its row count {} must \
+             equal the right operand's row count, but the right operand is {}x{}",
+            self.rows, self.cols, self.cols, self.rows, self.rows, other.rows, other.cols
         );
         let (m, k, n) = (self.cols, self.rows, other.cols);
-        out.resize_to(m, n);
-        let out = &mut out.data[..];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
-            for (local, i) in rows.clone().enumerate() {
-                let out_row = &mut chunk[local * n..(local + 1) * n];
-                for p in 0..k {
-                    let a = a_data[p * m + i];
-                    let b_row = &b_data[p * n..(p + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        // Backend kernels define every output cell, so skip the zero prefill.
+        out.resize_for_overwrite(m, n);
+        crate::backend::dispatch().t_matmul_into(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
     /// `self × otherᵀ` without materialising the transpose.
     ///
-    /// Parallel over output rows; within a row, four dot products run
-    /// together so each `self` row element is loaded once per quad of
-    /// `other` rows. Each dot product accumulates in index order, keeping
-    /// results bit-identical for any thread count.
+    /// Dispatches to the active [`crate::backend`]; per-element accumulation
+    /// runs in index order from a `0.0` start in every backend, so the
+    /// result is bit-identical across backends and thread counts.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         let mut out = Tensor::zeros(self.rows, other.rows);
         self.matmul_t_into(other, &mut out);
@@ -550,55 +459,19 @@ impl Tensor {
     ///
     /// `out` is reshaped to `(self.rows, other.rows)` without reallocating
     /// when its capacity suffices; every output cell is assigned (never
-    /// accumulated into), so stale contents cannot leak through. The kernel
-    /// is exactly the one behind [`Tensor::matmul_t`].
+    /// accumulated into), so stale contents cannot leak through. The result
+    /// is bit-for-bit the one [`Tensor::matmul_t`] returns.
     pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
-            "matmul_t: {}x{} × {}x{}ᵀ is shape-incompatible",
-            self.rows, self.cols, other.rows, other.cols
+            "matmul_t: left operand is {}x{} so its column count {} must equal the right \
+             operand's column count (right is transposed), but the right operand is {}x{}",
+            self.rows, self.cols, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         // Every cell is assigned from a register accumulator; no prefill.
         out.resize_for_overwrite(m, n);
-        let out = &mut out.data[..];
-        let a_data = &self.data;
-        let b_data = &other.data;
-        let rows_per_chunk = kernel_rows_per_chunk(m, k * n);
-        crate::parallel::for_each_row_chunk(out, n, rows_per_chunk, |rows, chunk| {
-            for (local, i) in rows.clone().enumerate() {
-                let a_row = &a_data[i * k..(i + 1) * k];
-                let out_row = &mut chunk[local * n..(local + 1) * n];
-                let mut j = 0;
-                while j + 4 <= n {
-                    let b0 = &b_data[j * k..(j + 1) * k];
-                    let b1 = &b_data[(j + 1) * k..(j + 2) * k];
-                    let b2 = &b_data[(j + 2) * k..(j + 3) * k];
-                    let b3 = &b_data[(j + 3) * k..(j + 4) * k];
-                    let (mut c0, mut c1, mut c2, mut c3) = (0.0, 0.0, 0.0, 0.0);
-                    for (p, &a) in a_row.iter().enumerate() {
-                        c0 += a * b0[p];
-                        c1 += a * b1[p];
-                        c2 += a * b2[p];
-                        c3 += a * b3[p];
-                    }
-                    out_row[j] = c0;
-                    out_row[j + 1] = c1;
-                    out_row[j + 2] = c2;
-                    out_row[j + 3] = c3;
-                    j += 4;
-                }
-                while j < n {
-                    let b_row = &b_data[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    out_row[j] = acc;
-                    j += 1;
-                }
-            }
-        });
+        crate::backend::dispatch().matmul_t_into(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
     /// The transpose as a new tensor.

@@ -201,6 +201,45 @@ fn forward_backward_scratch_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn blocked_gemm_packing_is_allocation_free_after_warmup() {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(1);
+
+    // The MLP-sized audits above stay below the blocking cutoff; this one
+    // drives the blocked driver proper (256³ is far above it) so the audit
+    // covers panel packing. The first call grows the thread-local pack
+    // buffers; afterwards every call must reuse them — including across an
+    // interleaved smaller blocked shape, which must not shrink capacity.
+    tasfar_nn::backend::set_backend(tasfar_nn::backend::BackendKind::Blocked);
+    let mut rng = Rng::new(5);
+    let a = Tensor::rand_normal(256, 256, 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal(256, 256, 0.0, 1.0, &mut rng);
+    let small_a = Tensor::rand_normal(64, 80, 0.0, 1.0, &mut rng);
+    let small_b = Tensor::rand_normal(80, 72, 0.0, 1.0, &mut rng);
+    let mut out = Tensor::zeros(256, 256);
+    let mut small_out = Tensor::zeros(64, 72);
+    a.matmul_into(&b, &mut out);
+    a.t_matmul_into(&b, &mut out);
+    a.matmul_t_into(&b, &mut out);
+    small_a.matmul_into(&small_b, &mut small_out);
+
+    let before = alloc_count();
+    for _ in 0..5 {
+        a.matmul_into(&b, &mut out);
+        small_a.matmul_into(&small_b, &mut small_out);
+        a.t_matmul_into(&b, &mut out);
+        a.matmul_t_into(&b, &mut out);
+    }
+    let delta = alloc_count() - before;
+    tasfar_nn::backend::reset_backend();
+    reset_threads();
+    assert_eq!(
+        delta, 0,
+        "steady-state blocked GEMM performed {delta} heap allocations"
+    );
+}
+
+#[test]
 fn arena_serves_steady_state_from_reuses() {
     let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     set_threads(1);

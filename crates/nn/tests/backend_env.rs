@@ -1,0 +1,52 @@
+//! The `TASFAR_BACKEND` environment hook, in its own test binary: the env
+//! variable is resolved lazily on the first dispatch (or `active_kind`
+//! call), so round-tripping it needs a process where this test owns the
+//! first resolution — and `reset_backend` to force re-reads afterwards.
+
+use tasfar_nn::backend::{self, BackendKind};
+
+#[test]
+fn env_round_trip_selects_each_backend_and_rejects_junk() {
+    // First resolution comes from the env.
+    std::env::set_var("TASFAR_BACKEND", "naive");
+    assert_eq!(backend::active_kind(), BackendKind::Naive);
+    assert_eq!(backend::active().name(), "naive");
+
+    // A change to the env is invisible until reset: the selection is
+    // resolved once and cached for the process.
+    std::env::set_var("TASFAR_BACKEND", "blocked");
+    assert_eq!(backend::active_kind(), BackendKind::Naive);
+
+    backend::reset_backend();
+    assert_eq!(backend::active_kind(), BackendKind::Blocked);
+    assert_eq!(backend::active().name(), "blocked");
+
+    // Names are trimmed and case-insensitive.
+    std::env::set_var("TASFAR_BACKEND", "  NaIvE \n");
+    backend::reset_backend();
+    assert_eq!(backend::active_kind(), BackendKind::Naive);
+
+    // Junk and empty values fall back to the default.
+    for junk in ["gpu", "", "fastest"] {
+        std::env::set_var("TASFAR_BACKEND", junk);
+        backend::reset_backend();
+        assert_eq!(
+            backend::active_kind(),
+            backend::DEFAULT_BACKEND,
+            "TASFAR_BACKEND={junk:?} must fall back to the default"
+        );
+    }
+
+    // Unset: the default again.
+    std::env::remove_var("TASFAR_BACKEND");
+    backend::reset_backend();
+    assert_eq!(backend::active_kind(), backend::DEFAULT_BACKEND);
+
+    // A programmatic set_backend overrides whatever the env said.
+    std::env::set_var("TASFAR_BACKEND", "naive");
+    backend::reset_backend();
+    backend::set_backend(BackendKind::Blocked);
+    assert_eq!(backend::active_kind(), BackendKind::Blocked);
+    std::env::remove_var("TASFAR_BACKEND");
+    backend::reset_backend();
+}

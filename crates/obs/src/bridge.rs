@@ -115,6 +115,30 @@ pub fn sync_arena_metrics() {
     crate::metrics::gauge("arena.bytes_peak").set(stats.bytes_peak as i64);
 }
 
+/// The compute-backend dispatch counters as one JSON object: the active
+/// backend plus cumulative kernel dispatches served by each
+/// ([`tasfar_nn::backend::stats`]).
+pub fn backend_stats_json() -> Json {
+    let stats = tasfar_nn::backend::stats();
+    Json::obj(vec![
+        (
+            "active",
+            Json::from(tasfar_nn::backend::active_kind().name()),
+        ),
+        ("naive_calls", Json::UInt(stats.naive_calls)),
+        ("blocked_calls", Json::UInt(stats.blocked_calls)),
+    ])
+}
+
+/// Mirrors the compute-backend dispatch counters into the metrics registry
+/// as `backend.{naive,blocked}.calls` gauges, so traces attribute kernel
+/// time to the backend that actually ran (the PR 3 pool-stats pattern).
+pub fn sync_backend_metrics() {
+    let stats = tasfar_nn::backend::stats();
+    crate::metrics::gauge("backend.naive.calls").set(stats.naive_calls as i64);
+    crate::metrics::gauge("backend.blocked.calls").set(stats.blocked_calls as i64);
+}
+
 /// Emits a `parallel_pool` event carrying [`pool_stats_json`] and refreshes
 /// the pool gauges. A no-op record-wise when tracing is disabled (the gauges
 /// still update).
@@ -220,6 +244,24 @@ mod tests {
         let v = arena_stats_json();
         assert!(v.field("checkouts").unwrap().as_u64().unwrap() >= 2);
         assert!(v.field("bytes_peak").unwrap().as_u64().unwrap() >= 64 * 8);
+    }
+
+    #[test]
+    fn backend_metrics_mirror_dispatch_counters() {
+        // Drive at least one dispatch so the counters are populated.
+        let x = tasfar_nn::tensor::Tensor::zeros(2, 2);
+        let _ = x.matmul(&x);
+        let before = tasfar_nn::backend::stats();
+        assert!(before.naive_calls + before.blocked_calls >= 1);
+        sync_backend_metrics();
+        let mirrored = crate::metrics::gauge("backend.naive.calls").get()
+            + crate::metrics::gauge("backend.blocked.calls").get();
+        assert!(mirrored >= (before.naive_calls + before.blocked_calls) as i64);
+        let v = backend_stats_json();
+        let active = v.field("active").unwrap().as_str().unwrap().to_string();
+        assert!(active == "naive" || active == "blocked");
+        assert!(v.field("naive_calls").unwrap().as_u64().is_ok());
+        assert!(v.field("blocked_calls").unwrap().as_u64().is_ok());
     }
 
     #[test]

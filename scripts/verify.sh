@@ -32,17 +32,31 @@ echo "==> alloc-audit gate (zero steady-state heap allocations)"
 cargo test -q --release -p tasfar-nn --test alloc_audit
 cargo test -q --release -p tasfar-core --test alloc_audit
 
-# The bench writes BENCH_kernels.json into its working directory; run the
-# smoke pass from a scratch dir so the committed numbers are untouched.
-# The binary self-checks on every release run: it aborts unless the fused
-# MC-dropout path beats the per-pass path on this host and the hot-path
-# allocation count is zero, so this smoke run doubles as the perf gate.
-echo "==> bench smoke (TASFAR_BENCH_QUICK=1, 1 sample)"
-root="$PWD"
+# Backend gate: the numeric invariants must hold under BOTH compute
+# backends. The golden adaptation hashes and the gradchecks pin the exact
+# bits, so passing under naive and blocked proves the backends are
+# bit-identical end-to-end; the alloc audit proves blocked's pack buffers
+# stay out of the steady-state heap.
+echo "==> backend gate (golden hashes + gradcheck + alloc audit, both backends)"
+for be in naive blocked; do
+    echo "    TASFAR_BACKEND=$be"
+    TASFAR_BACKEND="$be" cargo test -q --release -p tasfar-core --test golden_adapt
+    TASFAR_BACKEND="$be" cargo test -q --release -p tasfar-nn --lib gradcheck
+    TASFAR_BACKEND="$be" cargo test -q --release -p tasfar-nn --test alloc_audit
+done
+
+# Bench smoke: the binary self-checks on every release run — it aborts
+# unless the fused MC-dropout path beats the per-pass path, the blocked
+# backend beats naive on the largest matmul, and the hot-path allocation
+# count is zero — so this smoke run doubles as the perf gate. It must run
+# from the repo root (`.cargo/config.toml` carries `target-cpu=native` and
+# is discovered from the working directory); TASFAR_BENCH_OUT keeps the
+# scratch result file away from the committed BENCH_kernels.json.
+echo "==> bench smoke (TASFAR_BENCH_QUICK=1, 3 samples)"
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
-(cd "$scratch" && TASFAR_BENCH_QUICK=1 TASFAR_BENCH_SAMPLES=1 \
-    cargo run --manifest-path "$root/Cargo.toml" --release -p tasfar-bench --bin kernels >/dev/null)
+TASFAR_BENCH_QUICK=1 TASFAR_BENCH_SAMPLES=3 TASFAR_BENCH_OUT="$scratch/BENCH_kernels.json" \
+    cargo run --release -p tasfar-bench --bin kernels >/dev/null
 
 # Trace smoke gate: a small adaptation run with TASFAR_TRACE set must
 # produce a JSONL trace where every line parses with `tasfar_nn::json` and
