@@ -1,0 +1,346 @@
+//! Accuracy-vs-bytes sweep for the adapter subspace layer.
+//!
+//! For each of the paper's four tasks (PDR, crowd counting, housing, taxi),
+//! one representative target scenario is adapted five ways: full fine-tuning
+//! (every weight moves, per-user resident state = the whole model) and
+//! low-rank adapters at rank ∈ {2, 4, 8, 16} (frozen source weights, only
+//! the `down`/`up` factors move, per-user state = the delta payload; see
+//! `tasfar_nn::adapter`). Each run records its per-user resident bytes, its
+//! adapt wall time, and its target error next to the unadapted baseline, so
+//! the result file answers "how much accuracy does rank r buy per byte".
+//!
+//! The task models are deliberately paper-scale (tens of KB), where the
+//! per-layer rank clamp `r ≤ min(rows, cols)` leaves the factors a sizable
+//! fraction of the base weights. The `memory_scaling` section therefore
+//! sweeps the same MLP shape across widths at rank 8 — at deployment widths
+//! the delta drops below 5 % of the full model, which the binary
+//! self-asserts (the KB-per-user regime the refactor exists for).
+//!
+//! Run with: `cargo run --release -p tasfar-bench --bin adapters`
+//!
+//! `TASFAR_BENCH_QUICK=1` switches the worlds to smoke-test scale;
+//! `TASFAR_BENCH_OUT` redirects the result file (default
+//! `BENCH_adapters.json` in the working directory, git-tracked at the repo
+//! root). Run from the repo root so `.cargo/config.toml` applies.
+
+use std::time::Instant;
+use tasfar_bench::schemes::resident_bytes;
+use tasfar_bench::tasks::{housing_context, taxi_context, CrowdContext, PdrContext, Scale};
+use tasfar_core::adapt::{adapt, SourceCalibration, TasfarConfig};
+use tasfar_core::metrics;
+use tasfar_data::Dataset;
+use tasfar_nn::adapter::{delta_footprint, enable_adapters, AdapterConfig};
+use tasfar_nn::init::Init;
+use tasfar_nn::json::Json;
+use tasfar_nn::layers::{Dense, Dropout, Relu, Sequential};
+use tasfar_nn::loss::Mse;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// One task's frozen inputs to the sweep.
+struct TaskCase {
+    name: &'static str,
+    model: Sequential,
+    calib: SourceCalibration,
+    cfg: TasfarConfig,
+    adapt_x: Tensor,
+    test: Dataset,
+    metric: &'static str,
+}
+
+fn metric_of(name: &str, pred: &Tensor, y: &Tensor) -> f64 {
+    match name {
+        "mae" => metrics::mae(pred, y),
+        "mse" => metrics::mse(pred, y),
+        "rmsle" => metrics::rmsle(pred, y),
+        other => panic!("unknown metric {other}"),
+    }
+}
+
+/// One sweep row: a (task, variant) adaptation run.
+struct Row {
+    task: &'static str,
+    variant: String,
+    rank: Option<usize>,
+    resident_bytes: u64,
+    adapt_ms: f64,
+    metric: &'static str,
+    err_baseline: f64,
+    err: f64,
+    /// Relative error vs the full fine-tuning run of the same task
+    /// (`(err − err_full) / err_full`; 0 for the full row itself).
+    rel_vs_full: f64,
+}
+
+fn run_case(case: &mut TaskCase, rows: &mut Vec<Row>) {
+    let err_baseline = metric_of(case.metric, &case.model.predict(&case.test.x), &case.test.y);
+    println!(
+        "[{}] baseline {} = {err_baseline:.5} ({} adapt rows, {} test rows)",
+        case.name,
+        case.metric,
+        case.adapt_x.rows(),
+        case.test.len()
+    );
+    let mut err_full = f64::NAN;
+    for (i, rank) in [None, Some(2usize), Some(4), Some(8), Some(16)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut model = case.model.clone();
+        let mut rng = Rng::new(0xAD00 + i as u64);
+        let variant = match rank {
+            None => "full".to_string(),
+            Some(r) => {
+                let attached = enable_adapters(&mut model, &AdapterConfig::rank(r), &mut rng);
+                assert!(attached > 0, "every task model has adapter-capable layers");
+                tasfar_obs::emit_adapter_event();
+                format!("rank:{r}")
+            }
+        };
+        let t0 = Instant::now();
+        adapt(&mut model, &case.calib, &case.adapt_x, &Mse, &case.cfg)
+            .unwrap_or_else(|e| panic!("{} {variant}: adaptation failed: {e}", case.name));
+        let adapt_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let bytes = resident_bytes(&mut model);
+        let err = metric_of(case.metric, &model.predict(&case.test.x), &case.test.y);
+        if rank.is_none() {
+            err_full = err;
+        }
+        let rel_vs_full = (err - err_full) / err_full;
+        println!(
+            "[{}] {variant:<8} {} = {err:.5} (vs full {rel_vs_full:+.1}%), \
+             {bytes} B resident, {adapt_ms:.0} ms",
+            case.name,
+            case.metric,
+            rel_vs_full = 100.0 * rel_vs_full
+        );
+        rows.push(Row {
+            task: case.name,
+            variant,
+            rank,
+            resident_bytes: bytes,
+            adapt_ms,
+            metric: case.metric,
+            err_baseline,
+            err,
+            rel_vs_full,
+        });
+    }
+}
+
+/// Delta-vs-full footprint of the tabular MLP shape at a given width, rank 8.
+fn scaling_point(width: usize) -> (u64, u64, f64) {
+    let mut rng = Rng::new(0x5CA1E);
+    let mut model = Sequential::new()
+        .add(Dense::new(8, width, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(width, width, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dense::new(width, 1, Init::XavierUniform, &mut rng));
+    let full_bytes = (model.num_parameters() * std::mem::size_of::<f64>()) as u64;
+    enable_adapters(&mut model, &AdapterConfig::rank(8), &mut rng);
+    let (_, delta_bytes) = delta_footprint(&mut model);
+    (
+        full_bytes,
+        delta_bytes,
+        delta_bytes as f64 / full_bytes as f64,
+    )
+}
+
+fn main() {
+    let quick = std::env::var("TASFAR_BENCH_QUICK").is_ok();
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    println!(
+        "adapter sweep at {} scale on {} host cpus",
+        if quick { "quick" } else { "full" },
+        tasfar_obs::host_cpus()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- PDR: first seen user's trajectories ------------------------------
+    {
+        let ctx = PdrContext::build(scale);
+        let user = &ctx.world.seen_users[0];
+        let (adapt_ds, test, _) = ctx.user_splits(user);
+        run_case(
+            &mut TaskCase {
+                name: "pdr",
+                model: ctx.model.clone(),
+                calib: ctx.calib.clone(),
+                cfg: ctx.tasfar.clone(),
+                adapt_x: adapt_ds.x,
+                test,
+                metric: "mae",
+            },
+            &mut rows,
+        );
+    }
+
+    // --- Crowd counting: scene 0 ------------------------------------------
+    {
+        let ctx = CrowdContext::build(scale);
+        let (adapt_ds, test) = ctx.scene_splits(0, 17);
+        run_case(
+            &mut TaskCase {
+                name: "crowd",
+                model: ctx.model.clone(),
+                calib: ctx.calib.clone(),
+                cfg: ctx.tasfar.clone(),
+                adapt_x: adapt_ds.x,
+                test,
+                metric: "mae",
+            },
+            &mut rows,
+        );
+    }
+
+    // --- Housing / taxi: 80/20 split of the target domain ------------------
+    for (name, metric, ctx) in [
+        ("housing", "mse", housing_context(scale)),
+        ("taxi", "rmsle", taxi_context(scale)),
+    ] {
+        let (adapt_ds, test) = ctx.target.split_fraction(0.8, &mut Rng::new(5));
+        run_case(
+            &mut TaskCase {
+                name,
+                model: ctx.model.clone(),
+                calib: ctx.calib.clone(),
+                cfg: ctx.tasfar.clone(),
+                adapt_x: adapt_ds.x,
+                test,
+                metric,
+            },
+            &mut rows,
+        );
+    }
+
+    // --- memory scaling: same MLP shape, growing width, rank 8 -------------
+    let widths = [64usize, 256, 1024];
+    let scaling: Vec<(usize, u64, u64, f64)> = widths
+        .iter()
+        .map(|&w| {
+            let (full, delta, ratio) = scaling_point(w);
+            println!(
+                "[scaling] width {w:>5}: full {full} B, rank-8 delta {delta} B \
+                 ({:.1}% of full)",
+                100.0 * ratio
+            );
+            (w, full, delta, ratio)
+        })
+        .collect();
+
+    // --- self-checks --------------------------------------------------------
+    // Structural: every rank ≤ 8 adapter run must keep strictly less
+    // resident state than its task's full fine-tune (rank 16 can exceed the
+    // base weights of the smallest layers — the sweep records that
+    // crossover instead of hiding it), and at deployment width the rank-8
+    // delta must be ≤ 5 % of the full model.
+    for task in ["pdr", "crowd", "housing", "taxi"] {
+        let full = rows
+            .iter()
+            .find(|r| r.task == task && r.rank.is_none())
+            .expect("full row")
+            .resident_bytes;
+        for r in rows
+            .iter()
+            .filter(|r| r.task == task && r.rank.is_some_and(|k| k <= 8))
+        {
+            assert!(
+                r.resident_bytes < full,
+                "{task} {}: delta {} B must undercut the full clone {} B",
+                r.variant,
+                r.resident_bytes,
+                full
+            );
+        }
+    }
+    let (_, _, _, deploy_ratio) = scaling[scaling.len() - 1];
+    assert!(
+        deploy_ratio <= 0.05,
+        "rank-8 delta at deployment width must be ≤ 5% of the full model \
+         (got {:.1}%)",
+        100.0 * deploy_ratio
+    );
+    // Accuracy: per task, the best adapter rank should land within 15 %
+    // relative error of full fine-tuning on at least 3 of the 4 tasks.
+    let mut within = 0usize;
+    for task in ["pdr", "crowd", "housing", "taxi"] {
+        let best = rows
+            .iter()
+            .filter(|r| r.task == task && r.rank.is_some())
+            .map(|r| r.rel_vs_full)
+            .fold(f64::INFINITY, f64::min);
+        let r8 = rows
+            .iter()
+            .find(|r| r.task == task && r.rank == Some(8))
+            .expect("rank-8 row")
+            .rel_vs_full;
+        println!(
+            "[{task}] best adapter rank vs full: {:+.1}% (rank 8: {:+.1}%)",
+            100.0 * best,
+            100.0 * r8
+        );
+        if best <= 0.15 {
+            within += 1;
+        }
+    }
+    println!("adapter accuracy within 15% of full fine-tuning on {within}/4 tasks");
+    if !quick {
+        assert!(
+            within >= 3,
+            "adapters must track full fine-tuning within 15% on ≥ 3 of 4 tasks \
+             (got {within})"
+        );
+    }
+
+    // --- report -------------------------------------------------------------
+    tasfar_obs::sync_adapter_metrics();
+    let results: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("task", Json::from(r.task)),
+                ("variant", Json::from(r.variant.clone())),
+                (
+                    "rank",
+                    match r.rank {
+                        Some(k) => Json::from(k),
+                        None => Json::Null,
+                    },
+                ),
+                ("resident_bytes", Json::UInt(r.resident_bytes)),
+                ("adapt_ms", Json::Num(r.adapt_ms)),
+                ("metric", Json::from(r.metric)),
+                ("err_baseline", Json::Num(r.err_baseline)),
+                ("err", Json::Num(r.err)),
+                ("rel_vs_full", Json::Num(r.rel_vs_full)),
+            ])
+        })
+        .collect();
+    let scaling_json: Vec<Json> = scaling
+        .iter()
+        .map(|&(w, full, delta, ratio)| {
+            Json::obj(vec![
+                ("width", Json::from(w)),
+                ("full_bytes", Json::UInt(full)),
+                ("rank8_delta_bytes", Json::UInt(delta)),
+                ("delta_ratio", Json::Num(ratio)),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("host_cpus", Json::from(tasfar_obs::host_cpus())),
+        ("scale", Json::from(if quick { "quick" } else { "full" })),
+        ("results", Json::Arr(results)),
+        ("memory_scaling", Json::Arr(scaling_json)),
+        ("rank8_within_15pct_tasks", Json::from(within)),
+        ("adapter", tasfar_obs::adapter_stats_json()),
+    ]);
+    let out_path =
+        std::env::var("TASFAR_BENCH_OUT").unwrap_or_else(|_| "BENCH_adapters.json".into());
+    std::fs::write(&out_path, format!("{doc}\n"))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path} ({} rows)", rows.len());
+}

@@ -301,10 +301,11 @@ fn main() {
     let runs = Json::Arr(
         tasfar_bench::schemes::outcome_log::drain()
             .into_iter()
-            .map(|(scheme, outcome)| {
+            .map(|(scheme, outcome, resident_bytes)| {
                 Json::obj(vec![
                     ("scheme", Json::Str(scheme)),
                     ("outcome", Json::Str(outcome)),
+                    ("resident_bytes", Json::from(resident_bytes)),
                 ])
             })
             .collect(),

@@ -86,28 +86,43 @@ pub struct SchemeRun<'a> {
 }
 
 /// Process-wide log of per-run adaptation outcomes, one entry per
-/// [`run_scheme`] call: `(scheme name, outcome label)`. Labels are
-/// `"adapted"`, `"recovered:<retries>"`, or `"fell_back"` (`"baseline"` for
-/// the unadapted reference). `repro` drains this into
+/// [`run_scheme`] call: `(scheme name, outcome label, resident bytes)`.
+/// Labels are `"adapted"`, `"recovered:<retries>"`, or `"fell_back"`
+/// (`"baseline"` for the unadapted reference); resident bytes is the
+/// per-run adapted-state footprint — the full parameter set for a model
+/// clone, or just the factor payload when the run adapted a low-rank
+/// delta ([`tasfar_nn::adapter`]). `repro` drains this into
 /// `results/repro_metrics.json` so a saved run shows exactly which
-/// adaptations needed the recovery machinery.
+/// adaptations needed the recovery machinery and what each one cost to
+/// keep resident.
 pub mod outcome_log {
     use super::OUTCOMES;
 
     /// Appends one outcome record.
-    pub fn record(scheme: &str, outcome: String) {
+    pub fn record(scheme: &str, outcome: String, resident_bytes: u64) {
         let mut log = OUTCOMES.lock().unwrap_or_else(|e| e.into_inner());
-        log.push((scheme.to_string(), outcome));
+        log.push((scheme.to_string(), outcome, resident_bytes));
     }
 
     /// Takes every record logged so far, leaving the log empty.
-    pub fn drain() -> Vec<(String, String)> {
+    pub fn drain() -> Vec<(String, String, u64)> {
         let mut log = OUTCOMES.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut *log)
     }
 }
 
-static OUTCOMES: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+static OUTCOMES: Mutex<Vec<(String, String, u64)>> = Mutex::new(Vec::new());
+
+/// The bytes a scheme run's adapted state keeps resident: the delta
+/// payload when adapters are attached, the full trainable parameter set
+/// otherwise.
+pub fn resident_bytes(model: &mut Sequential) -> u64 {
+    if model.has_adapters() {
+        tasfar_nn::adapter::delta_footprint(model).1
+    } else {
+        (model.num_parameters() * std::mem::size_of::<f64>()) as u64
+    }
+}
 
 /// Turns a baseline adapter result into an outcome label, restoring the
 /// source model on failure (the same do-no-harm contract the guarded
@@ -208,6 +223,7 @@ pub fn run_scheme(scheme: Scheme, run: &SchemeRun<'_>) -> Sequential {
             }
         }
     };
-    outcome_log::record(scheme.name(), outcome);
+    let bytes = resident_bytes(&mut model);
+    outcome_log::record(scheme.name(), outcome, bytes);
     model
 }

@@ -16,8 +16,12 @@
 
 use crate::adapt::{adapt, AdaptationOutcome, SourceCalibration, TasfarConfig};
 use crate::error::{AdaptError, ErrorKind};
+use tasfar_nn::adapter::AdapterConfig;
+use tasfar_nn::adapter::{delta_footprint, enable_adapters, export_deltas, import_deltas};
+use tasfar_nn::layers::{Layer, Sequential};
 use tasfar_nn::loss::Loss;
-use tasfar_nn::model::{Regressor, StochasticRegressor, TrainableRegressor};
+use tasfar_nn::model::{CheckpointRegressor, Regressor, StochasticRegressor, TrainableRegressor};
+use tasfar_nn::rng::Rng;
 use tasfar_nn::tensor::Tensor;
 
 /// The result of a partitioned adaptation, generic over the regressor type.
@@ -142,6 +146,171 @@ where
     }
     PartitionedAdaptation {
         models,
+        outcomes,
+        group_of_row: keys.to_vec(),
+    }
+}
+
+/// A partitioned adaptation that keeps **one** frozen source model and gives
+/// each group only a low-rank adapter delta.
+///
+/// [`adapt_partitioned`] clones the full source model per group — correct,
+/// but the per-group resident cost is the whole parameter set. On a phone
+/// fleet (the paper's pedestrian-dead-reckoning deployment) the natural unit
+/// of partitioning is the *user*, and thousands of full clones do not fit.
+/// This variant attaches zero-initialised adapters
+/// ([`tasfar_nn::adapter`], `W_eff = W + (α/r)·down·up`) to one shared copy
+/// of the source model; each group's fine-tune then only moves its own
+/// factor pair, so per-group state shrinks to O(rank·dim) floats.
+pub struct SharedDeltaAdaptation {
+    /// The single shared model: frozen source weights with adapters
+    /// attached, parked on the zero delta between calls. Use
+    /// [`Self::predict`] / [`Self::predict_group`] rather than calling it
+    /// directly — whichever delta was imported last is resident.
+    pub model: Sequential,
+    /// Per-group adapter factors, in group order. Failed and empty groups
+    /// keep the zero-initialised delta, i.e. bit-identical source
+    /// behaviour (per-group do-no-harm, same contract as
+    /// [`adapt_partitioned`]).
+    pub deltas: Vec<Vec<Tensor>>,
+    /// Resident bytes of each group's delta payload (factor scalars × 8).
+    pub delta_bytes: Vec<u64>,
+    /// The per-group adaptation results, as in [`PartitionedAdaptation`].
+    pub outcomes: Vec<Result<AdaptationOutcome, AdaptError>>,
+    /// The group key of every input row, as passed in.
+    pub group_of_row: Vec<usize>,
+}
+
+impl SharedDeltaAdaptation {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Bytes of the shared frozen model (base parameters + running state),
+    /// i.e. the one-off cost every group amortises.
+    pub fn shared_model_bytes(&mut self) -> u64 {
+        let mut scalars = 0usize;
+        self.model
+            .visit_base_params(&mut |p| scalars += p.value.as_slice().len());
+        self.model.visit_state(&mut |s| scalars += s.len());
+        (scalars * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Predicts `x` under group `g`'s delta (imports it into the shared
+    /// model first).
+    pub fn predict_group(&mut self, g: usize, x: &Tensor) -> Tensor {
+        import_deltas(&mut self.model, &self.deltas[g]);
+        self.model.predict(x)
+    }
+
+    /// Predicts each row with its group's delta, reassembled in input order.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(
+            x.rows(),
+            self.group_of_row.len(),
+            "SharedDeltaAdaptation::predict: expected {} rows",
+            self.group_of_row.len()
+        );
+        let dims = self
+            .predict_group(0, &x.slice_rows(0, 1.min(x.rows())))
+            .cols();
+        let mut out = Tensor::zeros(x.rows(), dims);
+        for g in 0..self.num_groups() {
+            let rows: Vec<usize> = self
+                .group_of_row
+                .iter()
+                .enumerate()
+                .filter(|(_, &gg)| gg == g)
+                .map(|(i, _)| i)
+                .collect();
+            if rows.is_empty() {
+                continue;
+            }
+            let pred = self.predict_group(g, &x.select_rows(&rows));
+            for (k, &i) in rows.iter().enumerate() {
+                for d in 0..dims {
+                    out.set(i, d, pred.get(k, d));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs TASFAR per partition against one shared frozen source model,
+/// producing a KB-scale delta per group instead of a full model clone.
+///
+/// Each group starts from the same delta-only checkpoint (zero adapter
+/// factors and source running state, restored via
+/// [`tasfar_nn::model::SeqCheckpoint`]), adapts in the rank-`adapter_cfg`
+/// subspace, and exports its factors. A failed or empty group keeps the
+/// zero delta — its predictions stay bit-identical to the source model.
+/// Unlike [`adapt_partitioned`], the groups share one dropout RNG stream
+/// (each full clone would carry its own copy), so per-group runs here are
+/// sequenced rather than replayed from identical RNG state.
+///
+/// # Panics
+/// Panics if `keys.len() != target_x.rows()`, the batch is empty, or the
+/// model has no adapter-capable layer.
+#[allow(clippy::too_many_arguments)]
+pub fn adapt_partitioned_shared(
+    source_model: &Sequential,
+    calib: &SourceCalibration,
+    target_x: &Tensor,
+    keys: &[usize],
+    loss: &dyn Loss,
+    cfg: &TasfarConfig,
+    adapter_cfg: &AdapterConfig,
+    rng: &mut Rng,
+) -> SharedDeltaAdaptation {
+    assert_eq!(
+        keys.len(),
+        target_x.rows(),
+        "adapt_partitioned_shared: {} keys for {} rows",
+        keys.len(),
+        target_x.rows()
+    );
+    let groups = group_by_key(keys);
+    let mut model = source_model.clone();
+    let attached = enable_adapters(&mut model, adapter_cfg, rng);
+    assert!(
+        attached > 0,
+        "adapt_partitioned_shared: the source model has no adapter-capable layers"
+    );
+    let init = model.checkpoint();
+    debug_assert!(init.is_delta());
+    let (_, bytes_per_group) = delta_footprint(&mut model);
+    let zero_delta = export_deltas(&mut model);
+
+    let mut deltas = Vec::with_capacity(groups.len());
+    let mut delta_bytes = Vec::with_capacity(groups.len());
+    let mut outcomes = Vec::with_capacity(groups.len());
+    for rows in &groups {
+        // Delta-only rollback: zero factors + source running state.
+        model.restore(&init);
+        delta_bytes.push(bytes_per_group);
+        if rows.is_empty() {
+            deltas.push(zero_delta.clone());
+            outcomes.push(Err(AdaptError::new(ErrorKind::EmptyTargetBatch)));
+            continue;
+        }
+        let xg = target_x.select_rows(rows);
+        let outcome = adapt(&mut model, calib, &xg, loss, cfg);
+        deltas.push(if outcome.is_ok() {
+            export_deltas(&mut model)
+        } else {
+            zero_delta.clone()
+        });
+        outcomes.push(outcome);
+    }
+    // Park the shared model on the source state so the first
+    // `predict_group` composes its delta onto clean running moments.
+    model.restore(&init);
+    SharedDeltaAdaptation {
+        model,
+        deltas,
+        delta_bytes,
         outcomes,
         group_of_row: keys.to_vec(),
     }
@@ -308,6 +477,76 @@ mod tests {
             assert_eq!(err.kind, ErrorKind::EmptyTargetBatch);
         }
         assert!(parted.outcomes[2].is_ok());
+    }
+
+    #[test]
+    fn shared_delta_variant_specialises_per_group_with_small_state() {
+        let (model, calib, xt, yt, keys, cfg) = setup();
+        let mut rng = Rng::new(77);
+        let mut shared = adapt_partitioned_shared(
+            &model,
+            &calib,
+            &xt,
+            &keys,
+            &Mse,
+            &cfg,
+            &AdapterConfig::rank(8),
+            &mut rng,
+        );
+        assert_eq!(shared.num_groups(), 2);
+        assert!(shared.outcomes.iter().all(|o| o.is_ok()));
+
+        let shared_mse = crate::metrics::mse(&shared.predict(&xt), &yt);
+        let mut baseline = model.clone();
+        let base_mse = crate::metrics::mse(&baseline.predict(&xt), &yt);
+        assert!(
+            shared_mse < base_mse,
+            "rank-constrained partitioned adaptation should still beat the \
+             baseline: {shared_mse:.4} vs {base_mse:.4}"
+        );
+
+        // The groups pull toward their own label clusters through nothing
+        // but their delta factors.
+        let probe = Tensor::from_vec(1, 2, vec![0.0, 4.0]);
+        let p0 = shared.predict_group(0, &probe).get(0, 0);
+        let p1 = shared.predict_group(1, &probe).get(0, 0);
+        assert!(p0 < p1, "group 0 clusters at −0.6, group 1 at +0.6");
+
+        // Per-group state is a delta, strictly smaller than a full clone.
+        let full = shared.shared_model_bytes();
+        for &b in &shared.delta_bytes {
+            assert!(b > 0 && b < full, "delta {b} B vs full clone {full} B");
+        }
+    }
+
+    #[test]
+    fn shared_empty_group_is_bit_identical_to_source() {
+        let (model, calib, xt, _, _, cfg) = setup();
+        let mut source = model.clone();
+        let source_pred = source.predict(&xt);
+        // Every row in group 1; group 0 empty.
+        let keys = vec![1usize; xt.rows()];
+        let mut rng = Rng::new(78);
+        let mut shared = adapt_partitioned_shared(
+            &model,
+            &calib,
+            &xt,
+            &keys,
+            &Mse,
+            &cfg,
+            &AdapterConfig::rank(4),
+            &mut rng,
+        );
+        let err = shared.outcomes[0].as_ref().unwrap_err();
+        assert_eq!(err.kind, ErrorKind::EmptyTargetBatch);
+        assert!(shared.outcomes[1].is_ok());
+        // The empty group's zero delta composes to the source bit pattern.
+        let p = shared.predict_group(0, &xt);
+        assert_eq!(
+            p.as_slice(),
+            source_pred.as_slice(),
+            "zero delta must reproduce source predictions bitwise"
+        );
     }
 
     #[test]

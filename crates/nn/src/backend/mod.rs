@@ -122,6 +122,38 @@ pub trait Backend: Sync {
         out: &mut Tensor,
     );
 
+    /// `C (m×n) += s · (A (m×k) · B (k×n))`: scaled-accumulate GEMM, the
+    /// kernel behind the adapter merge path (`W_eff = W + (α/r)·down·up`)
+    /// and [`crate::tensor::Tensor::addmm_scaled_into`].
+    ///
+    /// The product is computed exactly as [`Backend::matmul_into`] would —
+    /// same kernels, same ascending-`p` accumulation — into a scratch
+    /// temporary, then folded into `out` as `out[i] += s * tmp[i]` in index
+    /// order. Both halves are bit-deterministic, so the result is
+    /// bit-identical across backends and thread counts, and every backend
+    /// accelerates the inner product with its own GEMM. `scratch` serves the
+    /// temporary; steady-state calls are allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    fn addmm_scaled_into(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        s: f64,
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+        scratch: &mut Scratch,
+    ) {
+        debug_assert_eq!(out.len(), m * n, "addmm_scaled_into: out must be m*n");
+        let mut tmp = scratch.take_vec(m * n);
+        self.matmul_into(m, k, n, a, b, &mut tmp);
+        for (o, &t) in out.iter_mut().zip(tmp.iter()) {
+            *o += s * t;
+        }
+        scratch.give_vec(tmp);
+    }
+
     /// Causal dilated conv backward: accumulates the weight gradient into
     /// `dw` (flat, `weight_len`) and bias gradient into `db` (`out_ch`), and
     /// writes the input gradient into `grad_input` (already shaped and

@@ -203,6 +203,16 @@ impl Layer for BatchNorm1d {
         f(&mut self.beta);
     }
 
+    // The running moments are learnable state that `Eval` predictions depend
+    // on, but they carry no gradient — snapshots and serialization reach
+    // them here. (γ/β stay ordinary trainable params even when adapters are
+    // attached elsewhere: affine-BN adaptation is the TENT-style norm for
+    // test-time adaptation and costs only 2·dim scalars per layer.)
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f64])) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
     fn name(&self) -> &'static str {
         "BatchNorm1d"
     }

@@ -11,6 +11,7 @@
 //! the input's time length, so TCN blocks can be residually stacked.
 
 use super::{Layer, Mode, Param};
+use crate::adapter::{AdapterConfig, DeltaParams};
 use crate::backend::Conv1dGeometry;
 use crate::init::Init;
 use crate::rng::Rng;
@@ -18,6 +19,13 @@ use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A causal, dilated 1-D convolution over channels-major packed rows.
+///
+/// Like [`super::Dense`], the layer may carry a low-rank delta adapter
+/// ([`crate::adapter`]): the `(out_ch, in_ch·kernel)` weight matrix is then
+/// frozen and the convolution runs with the materialised effective kernel
+/// `W_eff = W + scale · down · up` (a scratch-resident GEMM, so both the
+/// merge and the sweep ride the active compute backend). With no delta,
+/// every code path below is byte-for-byte the pre-adapter one.
 #[derive(Clone)]
 pub struct Conv1d {
     in_ch: usize,
@@ -31,6 +39,8 @@ pub struct Conv1d {
     /// One bias per output channel, `(1, out_ch)`.
     bias: Param,
     cached_input: Option<Tensor>,
+    /// Optional low-rank delta over the packed weight matrix.
+    delta: Option<DeltaParams>,
 }
 
 impl Conv1d {
@@ -60,7 +70,24 @@ impl Conv1d {
             weight: Param::new(Init::HeNormal.tensor(out_ch, fan_in, fan_in, out_ch, rng)),
             bias: Param::new(Tensor::zeros(1, out_ch)),
             cached_input: None,
+            delta: None,
         }
+    }
+
+    /// The attached delta adapter, if any.
+    pub fn delta(&self) -> Option<&DeltaParams> {
+        self.delta.as_ref()
+    }
+
+    /// Writes `W + scale·down·up` into `w_eff` (pre-shaped by the caller to
+    /// the weight's shape) via the backend GEMM.
+    fn materialize_w_eff(&self, w_eff: &mut Tensor, scratch: &mut Scratch) {
+        let delta = self.delta.as_ref().expect("materialize_w_eff: no delta");
+        w_eff.copy_from(&self.weight.value);
+        delta
+            .down
+            .value
+            .addmm_scaled_into(&delta.up.value, delta.scale, w_eff, scratch);
     }
 
     /// Input row width this layer expects (`in_ch * time_len`).
@@ -107,14 +134,21 @@ impl Layer for Conv1d {
             input.cols()
         );
         let geo = self.geometry();
-        let w = self.weight.value.as_slice();
         let b = self.bias.value.as_slice();
         let mut out = scratch.take(input.rows(), geo.output_width());
         // The inner loops live on the active compute backend; every backend
         // parallelises over independent batch rows with a fixed per-row
         // arithmetic order, keeping results bit-identical for any thread
         // count and across backends.
-        crate::backend::dispatch().conv1d_forward(&geo, input, w, b, &mut out);
+        if self.delta.is_some() {
+            let mut w_eff = scratch.take(self.out_ch, self.in_ch * self.kernel);
+            self.materialize_w_eff(&mut w_eff, scratch);
+            crate::backend::dispatch().conv1d_forward(&geo, input, w_eff.as_slice(), b, &mut out);
+            scratch.give(w_eff);
+        } else {
+            let w = self.weight.value.as_slice();
+            crate::backend::dispatch().conv1d_forward(&geo, input, w, b, &mut out);
+        }
         match &mut self.cached_input {
             Some(c) => c.copy_from(input),
             None => self.cached_input = Some(input.clone()),
@@ -133,32 +167,105 @@ impl Layer for Conv1d {
             "Conv1d: grad width mismatch"
         );
         let geo = self.geometry();
-        let w = self.weight.value.as_slice();
         let mut grad_input = scratch.take(input.rows(), geo.input_width());
         // The backend computes disjoint `grad_input` rows in parallel and
         // reduces the shared `dw`/`db` gradients through per-chunk buffers
         // combined in chunk order — bit-identical for any thread count and
         // across backends.
-        crate::backend::dispatch().conv1d_backward(
-            &geo,
-            input,
-            grad_output,
-            w,
-            self.weight.grad.as_mut_slice(),
-            self.bias.grad.as_mut_slice(),
-            &mut grad_input,
-            scratch,
-        );
+        if self.delta.is_some() {
+            // Frozen base: run the sweep against W_eff, catch the effective
+            // weight/bias gradients in scratch, then project dW_eff onto the
+            // factors (chain rule through W_eff = W + s·down·up):
+            //   dDown = s · dW_eff · upᵀ,  dUp = s · downᵀ · dW_eff.
+            // The bias is frozen, so its gradient sink is discarded.
+            let fan = self.in_ch * self.kernel;
+            let mut w_eff = scratch.take(self.out_ch, fan);
+            self.materialize_w_eff(&mut w_eff, scratch);
+            let mut dw_eff = scratch.take(self.out_ch, fan);
+            let mut db_sink = scratch.take_vec(self.out_ch);
+            crate::backend::dispatch().conv1d_backward(
+                &geo,
+                input,
+                grad_output,
+                w_eff.as_slice(),
+                dw_eff.as_mut_slice(),
+                &mut db_sink,
+                &mut grad_input,
+                scratch,
+            );
+            scratch.give_vec(db_sink);
+            scratch.give(w_eff);
+            // The `input` borrow of `self` ends with the backend call, so the
+            // factors can be taken mutably for the projection.
+            if let Some(delta) = &mut self.delta {
+                let rank = delta.up.value.rows();
+                let mut ddown = scratch.take(self.out_ch, rank);
+                dw_eff.matmul_t_into(&delta.up.value, &mut ddown);
+                delta.down.grad.axpy(delta.scale, &ddown);
+                scratch.give(ddown);
+                let mut dup = scratch.take(rank, fan);
+                delta.down.value.t_matmul_into(&dw_eff, &mut dup);
+                delta.up.grad.axpy(delta.scale, &dup);
+                scratch.give(dup);
+            }
+            scratch.give(dw_eff);
+        } else {
+            let w = self.weight.value.as_slice();
+            crate::backend::dispatch().conv1d_backward(
+                &geo,
+                input,
+                grad_output,
+                w,
+                self.weight.grad.as_mut_slice(),
+                self.bias.grad.as_mut_slice(),
+                &mut grad_input,
+                scratch,
+            );
+        }
         grad_input
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        match &mut self.delta {
+            Some(d) => vec![&mut d.down, &mut d.up],
+            None => vec![&mut self.weight, &mut self.bias],
+        }
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match &mut self.delta {
+            Some(d) => {
+                f(&mut d.down);
+                f(&mut d.up);
+            }
+            None => {
+                f(&mut self.weight);
+                f(&mut self.bias);
+            }
+        }
+    }
+
+    fn visit_base_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    fn attach_adapters(&mut self, cfg: &AdapterConfig, rng: &mut Rng) -> usize {
+        self.delta = Some(DeltaParams::zero_init(
+            self.out_ch,
+            self.in_ch * self.kernel,
+            cfg,
+            rng,
+        ));
+        1
+    }
+
+    fn detach_adapters(&mut self) -> usize {
+        usize::from(self.delta.take().is_some())
+    }
+
+    fn adapted_layers(&self) -> usize {
+        usize::from(self.delta.is_some())
     }
 
     fn name(&self) -> &'static str {
@@ -281,5 +388,110 @@ mod tests {
         let mut rng = Rng::new(7);
         let mut conv = Conv1d::new(2, 2, 3, 1, 5, &mut rng);
         conv.forward(&Tensor::zeros(1, 9), Mode::Eval);
+    }
+
+    #[test]
+    fn adapter_forward_equals_conv_with_merged_weights() {
+        let mut rng = Rng::new(8);
+        let mut conv = Conv1d::new(2, 3, 3, 2, 8, &mut rng);
+        conv.attach_adapters(&AdapterConfig::rank(2), &mut rng);
+        let delta = conv.delta.as_mut().unwrap();
+        delta.up.value = Tensor::rand_normal(2, 6, 0.0, 0.4, &mut rng);
+        let scale = delta.scale;
+
+        // Reference: a plain conv whose weight is the merged W_eff.
+        let mut merged = conv.clone();
+        let w_eff = {
+            let d = conv.delta.as_ref().unwrap();
+            let mut w = conv.weight.value.clone();
+            let prod = d.down.value.matmul(&d.up.value);
+            for (wi, &p) in w.as_mut_slice().iter_mut().zip(prod.as_slice()) {
+                *wi += scale * p;
+            }
+            w
+        };
+        merged.detach_adapters();
+        merged.weight.value = w_eff;
+
+        let x = Tensor::rand_normal(4, 16, 0.0, 1.0, &mut rng);
+        let got = conv.forward(&x, Mode::Eval);
+        let want = merged.forward(&x, Mode::Eval);
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn adapter_backward_freezes_base_and_matches_finite_difference() {
+        let mut rng = Rng::new(9);
+        let mut conv = Conv1d::new(2, 2, 3, 1, 6, &mut rng);
+        conv.attach_adapters(&AdapterConfig::rank(2), &mut rng);
+        conv.delta.as_mut().unwrap().up.value = Tensor::rand_normal(2, 6, 0.0, 0.3, &mut rng);
+        let x = Tensor::rand_normal(3, 12, 0.0, 1.0, &mut rng);
+
+        let _ = conv.forward(&x, Mode::Train);
+        let g = Tensor::full(3, 12, 1.0);
+        let dx = conv.backward(&g);
+        assert_eq!(dx.shape(), (3, 12));
+        assert_eq!(
+            conv.weight.grad.sum(),
+            0.0,
+            "frozen base weight gets no grad"
+        );
+        assert_eq!(conv.bias.grad.sum(), 0.0, "frozen bias gets no grad");
+
+        // Finite-difference both factors under L = Σ y.
+        let eps = 1e-5;
+        let analytic: Vec<Vec<f64>> = {
+            let d = conv.delta.as_ref().unwrap();
+            vec![
+                d.down.grad.as_slice().to_vec(),
+                d.up.grad.as_slice().to_vec(),
+            ]
+        };
+        for (pi, grads) in analytic.iter().enumerate() {
+            for (i, &g_analytic) in grads.iter().enumerate() {
+                let read = |c: &Conv1d| {
+                    let d = c.delta.as_ref().unwrap();
+                    if pi == 0 {
+                        d.down.value.as_slice()[i]
+                    } else {
+                        d.up.value.as_slice()[i]
+                    }
+                };
+                let write = |c: &mut Conv1d, v: f64| {
+                    let d = c.delta.as_mut().unwrap();
+                    if pi == 0 {
+                        d.down.value.as_mut_slice()[i] = v;
+                    } else {
+                        d.up.value.as_mut_slice()[i] = v;
+                    }
+                };
+                let base = read(&conv);
+                write(&mut conv, base + eps);
+                let plus = conv.forward(&x, Mode::Eval).sum();
+                write(&mut conv, base - eps);
+                let minus = conv.forward(&x, Mode::Eval).sum();
+                write(&mut conv, base);
+                let numeric = (plus - minus) / (2.0 * eps);
+                assert!(
+                    (numeric - g_analytic).abs() < 1e-6,
+                    "factor {pi} entry {i}: numeric {numeric} vs analytic {g_analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_attach_is_prediction_preserving_and_detach_restores_base() {
+        let mut rng = Rng::new(10);
+        let mut conv = Conv1d::new(2, 3, 3, 1, 5, &mut rng);
+        let x = Tensor::rand_normal(2, 10, 0.0, 1.0, &mut rng);
+        let before = conv.forward(&x, Mode::Eval);
+        conv.attach_adapters(&AdapterConfig::rank(4), &mut rng);
+        assert_eq!(conv.adapted_layers(), 1);
+        let attached = conv.forward(&x, Mode::Eval);
+        assert_eq!(before.as_slice(), attached.as_slice());
+        assert_eq!(conv.detach_adapters(), 1);
+        let after = conv.forward(&x, Mode::Eval);
+        assert_eq!(before.as_slice(), after.as_slice());
     }
 }

@@ -213,6 +213,53 @@ pub trait Layer: Send + Sync {
         }
     }
 
+    /// Visits every *base* parameter — the layer's full weight set,
+    /// independent of any attached low-rank adapter ([`crate::adapter`]).
+    ///
+    /// When no adapters are attached this is identical to
+    /// [`Layer::visit_params`] (the default). Layers that can carry a
+    /// [`crate::adapter::DeltaParams`] override it so serialization
+    /// ([`crate::spec::SavedModel`]) always captures the frozen source
+    /// weights, never the delta factors.
+    fn visit_base_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.visit_params(f);
+    }
+
+    /// Visits every piece of non-parameter learnable state (currently the
+    /// batch-norm running moments) as mutable slices, in a stable
+    /// (definition) order. Containers recurse; stateless layers use the
+    /// default no-op.
+    ///
+    /// This is what lets snapshots ([`crate::model::CheckpointRegressor`],
+    /// [`crate::spec::SavedModel`]) round-trip state that affects `Eval`
+    /// predictions but is not a gradient-carrying [`Param`].
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f64])) {
+        let _ = f;
+    }
+
+    /// Attaches a low-rank delta adapter ([`crate::adapter::DeltaParams`])
+    /// to every adapter-capable layer beneath (and including) this one,
+    /// freezing the base weights, and returns how many layers were adapted.
+    /// Re-attaching replaces any existing delta. The default (adapter-free
+    /// layers) attaches nothing.
+    fn attach_adapters(&mut self, cfg: &crate::adapter::AdapterConfig, rng: &mut Rng) -> usize {
+        let _ = (cfg, rng);
+        0
+    }
+
+    /// Detaches any attached adapters, unfreezing the base weights, and
+    /// returns how many layers had one. The learned delta is discarded, not
+    /// merged: base weights are bit-identical to before the attach.
+    fn detach_adapters(&mut self) -> usize {
+        0
+    }
+
+    /// Number of layers beneath (and including) this one currently carrying
+    /// a delta adapter.
+    fn adapted_layers(&self) -> usize {
+        0
+    }
+
     /// Clones the layer behind the trait object (state included).
     fn clone_box(&self) -> Box<dyn Layer>;
 }

@@ -105,6 +105,13 @@ impl Sequential {
         &mut self.layers
     }
 
+    /// True when any layer in the chain carries a low-rank delta adapter
+    /// (see [`crate::adapter`]): the trainable set is then the KB-sized
+    /// delta state, not the full weights.
+    pub fn has_adapters(&self) -> bool {
+        self.adapted_layers() > 0
+    }
+
     /// Total number of scalar parameters.
     pub fn num_parameters(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.len()).sum()
@@ -199,6 +206,37 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.visit_dropout_rngs(f);
         }
+    }
+
+    fn visit_base_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_base_params(f);
+        }
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f64])) {
+        for layer in &mut self.layers {
+            layer.visit_state(f);
+        }
+    }
+
+    fn attach_adapters(
+        &mut self,
+        cfg: &crate::adapter::AdapterConfig,
+        rng: &mut crate::rng::Rng,
+    ) -> usize {
+        self.layers
+            .iter_mut()
+            .map(|l| l.attach_adapters(cfg, rng))
+            .sum()
+    }
+
+    fn detach_adapters(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.detach_adapters()).sum()
+    }
+
+    fn adapted_layers(&self) -> usize {
+        self.layers.iter().map(|l| l.adapted_layers()).sum()
     }
 
     fn name(&self) -> &'static str {

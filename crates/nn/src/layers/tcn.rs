@@ -199,6 +199,38 @@ impl Layer for TcnBlock {
         self.drop2.visit_dropout_rngs(f);
     }
 
+    fn visit_base_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_base_params(f);
+        self.conv2.visit_base_params(f);
+        if let Some(down) = &mut self.downsample {
+            down.visit_base_params(f);
+        }
+    }
+
+    fn attach_adapters(&mut self, cfg: &crate::adapter::AdapterConfig, rng: &mut Rng) -> usize {
+        let mut n = self.conv1.attach_adapters(cfg, rng);
+        n += self.conv2.attach_adapters(cfg, rng);
+        if let Some(down) = &mut self.downsample {
+            n += down.attach_adapters(cfg, rng);
+        }
+        n
+    }
+
+    fn detach_adapters(&mut self) -> usize {
+        let mut n = self.conv1.detach_adapters();
+        n += self.conv2.detach_adapters();
+        if let Some(down) = &mut self.downsample {
+            n += down.detach_adapters();
+        }
+        n
+    }
+
+    fn adapted_layers(&self) -> usize {
+        self.conv1.adapted_layers()
+            + self.conv2.adapted_layers()
+            + self.downsample.as_ref().map_or(0, |d| d.adapted_layers())
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -10,6 +10,9 @@
 //! ## What's here
 //!
 //! * [`tensor::Tensor`] — dense row-major `(batch, features)` matrices.
+//! * [`adapter`] — LoRA-style low-rank delta adapters over frozen source
+//!   weights (`W_eff = W + (α/r)·down·up`), the KB-scale per-user adaptation
+//!   state (`TASFAR_ADAPTER=off|rank:<r>`).
 //! * [`backend`] — pluggable CPU compute backends behind the GEMM-family and
 //!   `Conv1d` kernels: the reference `CpuNaive` and the cache-blocked,
 //!   panel-packed `CpuBlocked` (bit-identical, selected via
@@ -62,6 +65,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapter;
 pub mod backend;
 pub mod error;
 pub mod gradcheck;
@@ -87,6 +91,10 @@ pub use error::TrainError;
 
 /// One-stop imports for model building and training.
 pub mod prelude {
+    pub use crate::adapter::{
+        enable_adapters, enable_adapters_from_env, set_adapter_mode, AdapterConfig, AdapterMode,
+        DeltaParams,
+    };
     pub use crate::backend::{
         set_backend, Backend, BackendKind, CpuBlocked, CpuNaive, TilingScheme,
     };
@@ -100,8 +108,8 @@ pub mod prelude {
     };
     pub use crate::loss::{Huber, Loss, Mae, Mse, Msle};
     pub use crate::model::{
-        CheckpointRegressor, FnRegressor, Regressor, SplitRegressor, StochasticRegressor,
-        TrainableRegressor,
+        CheckpointRegressor, FnRegressor, Regressor, SeqCheckpoint, SplitRegressor,
+        StochasticRegressor, TrainableRegressor,
     };
     pub use crate::optim::{Adam, Optimizer, Sgd};
     pub use crate::rng::Rng;

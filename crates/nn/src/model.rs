@@ -296,18 +296,91 @@ impl TrainableRegressor for Sequential {
     }
 }
 
-impl CheckpointRegressor for Sequential {
-    /// The snapshot is a full clone of the chain: parameters, BatchNorm
-    /// running statistics, and dropout PRNG positions all included, so a
-    /// restore is bit-identical in *every* mode, not just `Eval`.
-    type Checkpoint = Sequential;
+/// A [`Sequential`] snapshot, sized to what can actually change.
+///
+/// With low-rank adapters attached ([`crate::adapter`]) the base weights are
+/// frozen, so rollback only needs the trainable values (delta factors plus
+/// any still-trainable params such as batch-norm affine) and the
+/// non-parameter state slices (batch-norm running moments) — an
+/// `O(rank·dim)` snapshot instead of an `O(weights)` clone. Without
+/// adapters, the snapshot stays the legacy full clone, which also preserves
+/// dropout PRNG positions so a restore is bit-identical in *every* mode.
+#[derive(Clone)]
+pub enum SeqCheckpoint {
+    /// Full clone of the chain (no adapters attached).
+    Full(Sequential),
+    /// Delta-only snapshot: trainable values in `visit_params` order plus
+    /// state slices in `visit_state` order.
+    Deltas {
+        /// Cloned trainable parameter values.
+        params: Vec<Tensor>,
+        /// Cloned non-parameter state (batch-norm running moments).
+        state: Vec<Vec<f64>>,
+    },
+}
 
-    fn checkpoint(&mut self) -> Sequential {
-        self.clone()
+impl SeqCheckpoint {
+    /// True when this is the delta-only (adapter) snapshot.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, SeqCheckpoint::Deltas { .. })
     }
 
-    fn restore(&mut self, snapshot: &Sequential) {
-        *self = snapshot.clone();
+    /// Resident bytes of the snapshot's `f64` payload.
+    pub fn payload_bytes(&mut self) -> usize {
+        match self {
+            SeqCheckpoint::Full(model) => model.num_parameters() * std::mem::size_of::<f64>(),
+            SeqCheckpoint::Deltas { params, state } => {
+                let scalars: usize = params.iter().map(|t| t.len()).sum::<usize>()
+                    + state.iter().map(|s| s.len()).sum::<usize>();
+                scalars * std::mem::size_of::<f64>()
+            }
+        }
+    }
+}
+
+impl CheckpointRegressor for Sequential {
+    /// Delta-only when adapters are attached, full clone otherwise — see
+    /// [`SeqCheckpoint`]. Either way a restore reproduces `Eval` (and, for
+    /// full clones, every-mode) predictions bit-identically.
+    type Checkpoint = SeqCheckpoint;
+
+    fn checkpoint(&mut self) -> SeqCheckpoint {
+        if !self.has_adapters() {
+            return SeqCheckpoint::Full(self.clone());
+        }
+        // Adapters freeze the base weights; only the trainable set and the
+        // running statistics can drift during adaptation.
+        let mut params = Vec::new();
+        self.visit_params(&mut |p| params.push(p.value.clone()));
+        let mut state = Vec::new();
+        self.visit_state(&mut |s| state.push(s.to_vec()));
+        SeqCheckpoint::Deltas { params, state }
+    }
+
+    fn restore(&mut self, snapshot: &SeqCheckpoint) {
+        match snapshot {
+            SeqCheckpoint::Full(full) => *self = full.clone(),
+            SeqCheckpoint::Deltas { params, state } => {
+                assert!(
+                    self.has_adapters(),
+                    "SeqCheckpoint: delta snapshot restored onto an adapter-free model"
+                );
+                let mut i = 0usize;
+                self.visit_params(&mut |p| {
+                    assert!(i < params.len(), "SeqCheckpoint: trainable set grew");
+                    p.value.copy_from(&params[i]);
+                    i += 1;
+                });
+                assert_eq!(i, params.len(), "SeqCheckpoint: trainable set shrank");
+                let mut j = 0usize;
+                self.visit_state(&mut |s| {
+                    assert!(j < state.len(), "SeqCheckpoint: state set grew");
+                    s.copy_from_slice(&state[j]);
+                    j += 1;
+                });
+                assert_eq!(j, state.len(), "SeqCheckpoint: state set shrank");
+            }
+        }
     }
 }
 
@@ -709,5 +782,58 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, TrainError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn adapted_checkpoint_is_delta_only_and_restores_bit_identically() {
+        let mut rng = Rng::new(31);
+        let mut m = mlp(&mut rng);
+        let full_bytes = m.num_parameters() * std::mem::size_of::<f64>();
+        crate::adapter::enable_adapters(&mut m, &crate::adapter::AdapterConfig::rank(4), &mut rng);
+        let x = Tensor::rand_normal(6, 2, 0.0, 1.0, &mut rng);
+        let reference = Regressor::predict(&mut m, &x);
+
+        let mut snap = m.checkpoint();
+        assert!(snap.is_delta(), "adapters attached ⇒ delta snapshot");
+        assert!(
+            snap.payload_bytes() < full_bytes,
+            "delta snapshot ({} B) must undercut a full clone ({} B)",
+            snap.payload_bytes(),
+            full_bytes
+        );
+
+        // Drift the trainable set, then roll back.
+        m.visit_params(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v += 0.37;
+            }
+        });
+        assert_ne!(Regressor::predict(&mut m, &x), reference);
+        m.restore(&snap);
+        assert_eq!(
+            Regressor::predict(&mut m, &x).as_slice(),
+            reference.as_slice(),
+            "delta restore must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn adapter_free_checkpoint_stays_a_full_clone() {
+        let mut rng = Rng::new(32);
+        let mut m = mlp(&mut rng);
+        let snap = m.checkpoint();
+        assert!(!snap.is_delta());
+        assert!(matches!(snap, SeqCheckpoint::Full(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta snapshot restored onto an adapter-free model")]
+    fn delta_snapshot_rejects_adapter_free_target() {
+        let mut rng = Rng::new(33);
+        let mut m = mlp(&mut rng);
+        crate::adapter::enable_adapters(&mut m, &crate::adapter::AdapterConfig::rank(2), &mut rng);
+        let snap = m.checkpoint();
+        m.detach_adapters();
+        m.restore(&snap);
     }
 }

@@ -276,61 +276,95 @@ impl ModelSpec {
     }
 }
 
-/// A serializable snapshot: architecture + flat parameter values (one vector
-/// per parameter tensor, in [`crate::layers::Layer::params_mut`] order).
+/// A serializable snapshot: architecture + flat *base* parameter values
+/// (one vector per parameter tensor, in
+/// [`crate::layers::Layer::visit_base_params`] order — with adapters
+/// attached the frozen source weights are what gets captured, never the
+/// delta factors; those travel separately as a [`DeltaArtifact`]) + the
+/// non-parameter layer state (batch-norm running moments, in
+/// [`crate::layers::Layer::visit_state`] order).
 ///
-/// Note: non-parameter layer state (batch-norm running moments) is captured
-/// by dedicated fields because it is not part of the gradient-bearing
-/// parameter set.
+/// JSON back-compatibility: snapshots written before the `state` field
+/// existed load fine — a missing `state` is treated as empty and skipped on
+/// restore (pre-state snapshots never captured moments to begin with).
 #[derive(Debug, Clone)]
 pub struct SavedModel {
     /// The architecture.
     pub spec: ModelSpec,
-    /// Flat parameter values, `params_mut()` order.
+    /// Flat base parameter values, `visit_base_params` order.
     pub params: Vec<Vec<f64>>,
+    /// Non-parameter state slices (batch-norm running moments),
+    /// `visit_state` order.
+    pub state: Vec<Vec<f64>>,
 }
 
 impl SavedModel {
-    /// Snapshots a model's parameters against its spec.
+    /// Snapshots a model's base parameters and state against its spec.
     ///
     /// # Panics
     /// Panics if `model` was not built from `spec` (parameter count
     /// mismatch).
     pub fn capture(spec: &ModelSpec, model: &mut Sequential) -> Self {
-        let params: Vec<Vec<f64>> = model
-            .params_mut()
-            .iter()
-            .map(|p| p.value.as_slice().to_vec())
-            .collect();
+        let mut params: Vec<Vec<f64>> = Vec::new();
+        model.visit_base_params(&mut |p| params.push(p.value.as_slice().to_vec()));
+        let mut state: Vec<Vec<f64>> = Vec::new();
+        model.visit_state(&mut |s| state.push(s.to_vec()));
         SavedModel {
             spec: spec.clone(),
             params,
+            state,
         }
     }
 
     /// Rebuilds the model and loads the snapshot into it.
     ///
     /// # Panics
-    /// Panics if the stored parameters do not fit the spec.
+    /// Panics if the stored parameters or state do not fit the spec.
     pub fn restore(&self, rng: &mut Rng) -> Sequential {
         let mut model = self.spec.build(rng);
-        {
-            let mut params = model.params_mut();
-            assert_eq!(
-                params.len(),
-                self.params.len(),
-                "SavedModel: stored {} parameter tensors, model has {}",
-                self.params.len(),
-                params.len()
+        let mut i = 0usize;
+        model.visit_base_params(&mut |p| {
+            assert!(
+                i < self.params.len(),
+                "SavedModel: stored {} parameter tensors, model has more",
+                self.params.len()
             );
-            for (p, stored) in params.iter_mut().zip(&self.params) {
-                assert_eq!(
-                    p.value.len(),
-                    stored.len(),
-                    "SavedModel: parameter length mismatch"
+            assert_eq!(
+                p.value.len(),
+                self.params[i].len(),
+                "SavedModel: parameter length mismatch"
+            );
+            p.value.as_mut_slice().copy_from_slice(&self.params[i]);
+            i += 1;
+        });
+        assert_eq!(
+            i,
+            self.params.len(),
+            "SavedModel: stored {} parameter tensors, model has {i}",
+            self.params.len()
+        );
+        if !self.state.is_empty() {
+            let mut j = 0usize;
+            model.visit_state(&mut |s| {
+                assert!(
+                    j < self.state.len(),
+                    "SavedModel: stored {} state slices, model has more",
+                    self.state.len()
                 );
-                p.value.as_mut_slice().copy_from_slice(stored);
-            }
+                assert_eq!(
+                    s.len(),
+                    self.state[j].len(),
+                    "SavedModel: state length mismatch"
+                );
+                s.copy_from_slice(&self.state[j]);
+                j += 1;
+            });
+            assert_eq!(
+                j,
+                self.state.len(),
+                "SavedModel: stored {} state slices, model has {j}",
+                self.state.len()
+            );
         }
         model
     }
@@ -365,6 +399,7 @@ impl ToJson for SavedModel {
         Json::obj(vec![
             ("spec", self.spec.to_json_value()),
             ("params", self.params.to_json_value()),
+            ("state", self.state.to_json_value()),
         ])
     }
 }
@@ -374,6 +409,158 @@ impl FromJson for SavedModel {
         Ok(SavedModel {
             spec: v.decode("spec")?,
             params: v.decode("params")?,
+            // Absent in pre-state snapshots: treat as empty (skip on restore).
+            state: match v.field("state") {
+                Ok(s) => FromJson::from_json_value(s)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
+}
+
+/// A standalone, serializable adaptation delta: the full trainable state of
+/// an adapted model ([`crate::adapter`]) — low-rank factors plus any
+/// still-trainable params (batch-norm affine) — in
+/// [`crate::layers::Layer::visit_params`] order.
+///
+/// This is the per-user artifact of the multi-tenant serving story: one
+/// frozen source [`SavedModel`] is shared, and each user ships/loads only a
+/// `DeltaArtifact` (KBs, not the full weight set). [`DeltaArtifact::apply`]
+/// attaches adapters with the artifact's config when the target model has
+/// none, then overwrites the trainable values, so
+/// `SavedModel::restore` → `DeltaArtifact::apply` reproduces the adapted
+/// model's `Eval` predictions bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaArtifact {
+    /// Requested adapter rank (individual layers may clamp it).
+    pub rank: usize,
+    /// LoRA scaling numerator α.
+    pub alpha: f64,
+    /// `(rows, cols)` of each trainable tensor, `visit_params` order.
+    pub shapes: Vec<(usize, usize)>,
+    /// Flat values matching `shapes`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl DeltaArtifact {
+    /// Snapshots the trainable state of an adapted model.
+    ///
+    /// # Panics
+    /// Panics if `model` has no adapters attached (a full-weight export
+    /// through this API would silently defeat its purpose).
+    pub fn capture(model: &mut Sequential, cfg: &crate::adapter::AdapterConfig) -> Self {
+        assert!(
+            model.has_adapters(),
+            "DeltaArtifact::capture: model has no adapters attached"
+        );
+        let mut shapes = Vec::new();
+        let mut values = Vec::new();
+        model.visit_params(&mut |p| {
+            shapes.push(p.value.shape());
+            values.push(p.value.as_slice().to_vec());
+        });
+        DeltaArtifact {
+            rank: cfg.rank,
+            alpha: cfg.alpha,
+            shapes,
+            values,
+        }
+    }
+
+    /// The adapter configuration this delta was trained under.
+    pub fn config(&self) -> crate::adapter::AdapterConfig {
+        crate::adapter::AdapterConfig {
+            rank: self.rank,
+            alpha: self.alpha,
+        }
+    }
+
+    /// Loads the delta onto `model` — a shared frozen source model, or one
+    /// that already carries adapters of the same shape. Attaches adapters
+    /// with [`DeltaArtifact::config`] if none are present (the random
+    /// `down` init is immediately overwritten, so `rng` only feeds the
+    /// attach), then copies every trainable value in place.
+    ///
+    /// # Panics
+    /// Panics on trainable-tensor count or shape mismatch.
+    pub fn apply(&self, model: &mut Sequential, rng: &mut Rng) {
+        if !model.has_adapters() {
+            model.attach_adapters(&self.config(), rng);
+        }
+        let mut i = 0usize;
+        model.visit_params(&mut |p| {
+            assert!(
+                i < self.values.len(),
+                "DeltaArtifact: model exposes more trainable tensors than stored"
+            );
+            assert_eq!(
+                p.value.shape(),
+                self.shapes[i],
+                "DeltaArtifact: shape mismatch at tensor {i}"
+            );
+            p.value.as_mut_slice().copy_from_slice(&self.values[i]);
+            i += 1;
+        });
+        assert_eq!(
+            i,
+            self.values.len(),
+            "DeltaArtifact: stored more trainable tensors than the model exposes"
+        );
+    }
+
+    /// Resident bytes of the delta payload.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.iter().map(|v| v.len()).sum::<usize>() * std::mem::size_of::<f64>()
+    }
+
+    /// Serializes to a JSON string.
+    pub fn to_json(&self) -> String {
+        ToJson::to_json(self)
+    }
+
+    /// Deserializes from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, JsonError> {
+        <Self as FromJson>::from_json(json)
+    }
+}
+
+impl ToJson for DeltaArtifact {
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("rank", Json::from(self.rank)),
+            ("alpha", Json::Num(self.alpha)),
+            (
+                "shapes",
+                Json::Arr(
+                    self.shapes
+                        .iter()
+                        .map(|&(r, c)| Json::Arr(vec![Json::from(r), Json::from(c)]))
+                        .collect(),
+                ),
+            ),
+            ("values", self.values.to_json_value()),
+        ])
+    }
+}
+
+impl FromJson for DeltaArtifact {
+    fn from_json_value(v: &Json) -> Result<Self, JsonError> {
+        let shapes_json = v.field("shapes")?.as_arr()?;
+        let mut shapes = Vec::with_capacity(shapes_json.len());
+        for s in shapes_json {
+            let pair = s.as_arr()?;
+            if pair.len() != 2 {
+                return Err(JsonError::new(
+                    "DeltaArtifact: each shape must be [rows, cols]".to_string(),
+                ));
+            }
+            shapes.push((pair[0].as_usize()?, pair[1].as_usize()?));
+        }
+        Ok(DeltaArtifact {
+            rank: v.field("rank")?.as_usize()?,
+            alpha: v.field("alpha")?.as_f64()?,
+            shapes,
+            values: v.decode("values")?,
         })
     }
 }
@@ -486,5 +673,181 @@ mod tests {
         let mut saved = SavedModel::capture(&spec, &mut model);
         saved.params[0].pop();
         let _ = saved.restore(&mut rng);
+    }
+
+    /// Builds the spec's model, trains it a little in `Train` mode (so
+    /// dropout masks fire and batch-norm moments move off their init), and
+    /// asserts save → JSON → restore reproduces `Eval` predictions bitwise.
+    fn assert_roundtrip_bits_equal(spec: ModelSpec, in_width: usize, seed: u64) {
+        let mut rng = Rng::new(seed);
+        let mut model = spec.build(&mut rng);
+        for _ in 0..3 {
+            let x = Tensor::rand_normal(16, in_width, 0.5, 2.0, &mut rng);
+            let y = model.forward(&x, Mode::Train);
+            let _ = model.backward(&Tensor::full(y.rows(), y.cols(), 1.0));
+        }
+        let saved = SavedModel::capture(&spec, &mut model);
+        let mut restored = SavedModel::from_json(&saved.to_json())
+            .unwrap()
+            .restore(&mut Rng::new(seed ^ 0xdead));
+        let x = Tensor::rand_normal(7, in_width, 0.0, 1.0, &mut rng);
+        assert_eq!(
+            model.predict(&x).as_slice(),
+            restored.predict(&x).as_slice(),
+            "round-trip must be bit-identical for {:?}",
+            spec.layers.first()
+        );
+    }
+
+    #[test]
+    fn batchnorm_roundtrip_preserves_trained_running_moments() {
+        // This is the case the pre-`state` SavedModel silently got wrong:
+        // γ/β round-tripped but the running moments reset to (0, 1).
+        assert_roundtrip_bits_equal(
+            ModelSpec::new(vec![
+                LayerSpec::Dense {
+                    in_dim: 3,
+                    out_dim: 4,
+                },
+                LayerSpec::BatchNorm1d { dim: 4 },
+                LayerSpec::Relu,
+                LayerSpec::Dense {
+                    in_dim: 4,
+                    out_dim: 1,
+                },
+            ]),
+            3,
+            41,
+        );
+    }
+
+    #[test]
+    fn every_layer_kind_roundtrips_bits_equal() {
+        assert_roundtrip_bits_equal(
+            ModelSpec::new(vec![
+                LayerSpec::Dense {
+                    in_dim: 2,
+                    out_dim: 3,
+                },
+                LayerSpec::Tanh,
+                LayerSpec::Dense {
+                    in_dim: 3,
+                    out_dim: 1,
+                },
+                LayerSpec::Sigmoid,
+            ]),
+            2,
+            42,
+        );
+        assert_roundtrip_bits_equal(
+            ModelSpec::new(vec![
+                LayerSpec::Conv1d {
+                    in_ch: 2,
+                    out_ch: 3,
+                    kernel: 3,
+                    dilation: 2,
+                    time_len: 6,
+                },
+                LayerSpec::LeakyRelu { alpha: 0.05 },
+                LayerSpec::GlobalAvgPool1d {
+                    channels: 3,
+                    time_len: 6,
+                },
+                LayerSpec::Dense {
+                    in_dim: 3,
+                    out_dim: 2,
+                },
+            ]),
+            12,
+            43,
+        );
+        assert_roundtrip_bits_equal(
+            ModelSpec::new(vec![
+                LayerSpec::TcnBlock {
+                    in_ch: 2,
+                    out_ch: 4,
+                    kernel: 3,
+                    dilation: 1,
+                    time_len: 5,
+                    dropout_p: 0.1,
+                },
+                LayerSpec::GlobalAvgPool1d {
+                    channels: 4,
+                    time_len: 5,
+                },
+                LayerSpec::Dropout { p: 0.3 },
+                LayerSpec::Dense {
+                    in_dim: 4,
+                    out_dim: 1,
+                },
+            ]),
+            10,
+            44,
+        );
+    }
+
+    #[test]
+    fn pre_state_json_still_loads() {
+        let mut rng = Rng::new(6);
+        let spec = demo_spec();
+        let mut model = spec.build(&mut rng);
+        let saved = SavedModel::capture(&spec, &mut model);
+        // Strip the `state` field, emulating a snapshot from before it
+        // existed.
+        let mut json_val = match crate::json::Json::parse(&saved.to_json()).unwrap() {
+            crate::json::Json::Obj(pairs) => pairs,
+            other => panic!("expected object, got {other:?}"),
+        };
+        json_val.retain(|(k, _)| k != "state");
+        let legacy = crate::json::Json::Obj(json_val).to_string();
+        let loaded = SavedModel::from_json(&legacy).unwrap();
+        assert!(loaded.state.is_empty());
+        let mut restored = loaded.restore(&mut Rng::new(7));
+        let x = Tensor::rand_normal(3, 12, 0.0, 1.0, &mut rng);
+        assert_eq!(model.predict(&x), restored.predict(&x));
+    }
+
+    #[test]
+    fn adapted_model_saves_base_weights_and_delta_artifact_roundtrips() {
+        use crate::adapter::{enable_adapters, AdapterConfig};
+        let mut rng = Rng::new(51);
+        let spec = demo_spec();
+        let mut model = spec.build(&mut rng);
+        let x = Tensor::rand_normal(5, 12, 0.0, 1.0, &mut rng);
+        let source_pred = model.predict(&x);
+
+        // Adapt: attach, then drift the trainable set to a "trained" delta.
+        let cfg = AdapterConfig::rank(4);
+        enable_adapters(&mut model, &cfg, &mut rng);
+        model.visit_params(&mut |p| {
+            let noise = Tensor::rand_normal(p.value.rows(), p.value.cols(), 0.0, 0.05, &mut rng);
+            p.value.add_assign(&noise);
+        });
+        let adapted_pred = model.predict(&x);
+        assert_ne!(adapted_pred.as_slice(), source_pred.as_slice());
+
+        // SavedModel must capture the *frozen base* weights: restoring it
+        // alone reproduces the source model, not the adapted one.
+        let saved = SavedModel::capture(&spec, &mut model);
+        let mut restored_source = SavedModel::from_json(&saved.to_json())
+            .unwrap()
+            .restore(&mut Rng::new(999));
+        assert_eq!(
+            restored_source.predict(&x).as_slice(),
+            source_pred.as_slice(),
+            "SavedModel of an adapted model must hold the frozen source weights"
+        );
+
+        // The delta travels separately and re-applies onto the shared source.
+        let artifact = DeltaArtifact::capture(&mut model, &cfg);
+        assert!(artifact.payload_bytes() > 0);
+        let decoded = DeltaArtifact::from_json(&artifact.to_json()).unwrap();
+        assert_eq!(decoded, artifact);
+        decoded.apply(&mut restored_source, &mut Rng::new(1000));
+        assert_eq!(
+            restored_source.predict(&x).as_slice(),
+            adapted_pred.as_slice(),
+            "source SavedModel + DeltaArtifact must reproduce the adapted model bitwise"
+        );
     }
 }

@@ -474,6 +474,56 @@ impl Tensor {
         crate::backend::dispatch().matmul_t_into(m, k, n, &self.data, &other.data, &mut out.data);
     }
 
+    /// Scaled-accumulate matrix product: `out += s · (self × other)`.
+    ///
+    /// Unlike the `*_into` family, `out` is **not** reshaped — it must
+    /// already be `(self.rows, other.cols)`, and its existing contents are
+    /// accumulated into, which is the point: this is the adapter merge
+    /// kernel (`W_eff = W + (α/r)·down·up`) and the general `C += s·A·B`
+    /// building block. Dispatches to the active [`crate::backend`]; the
+    /// product uses the backend's own GEMM (ascending-`p` accumulation) and
+    /// the fold-in runs in index order, so results are bit-identical across
+    /// backends and thread counts and exactly match the naive composition
+    /// `matmul` → elementwise `out[i] += s · tmp[i]`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or `out` has the wrong shape.
+    pub fn addmm_scaled_into(
+        &self,
+        other: &Tensor,
+        s: f64,
+        out: &mut Tensor,
+        scratch: &mut crate::scratch::Scratch,
+    ) {
+        assert_eq!(
+            self.cols, other.rows,
+            "addmm_scaled_into: left operand is {}x{} so its column count {} must equal the \
+             right operand's row count, but the right operand is {}x{}",
+            self.rows, self.cols, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, other.cols),
+            "addmm_scaled_into: out is {}x{} but must be pre-shaped to {}x{} (it is \
+             accumulated into, not overwritten)",
+            out.rows,
+            out.cols,
+            self.rows,
+            other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        crate::backend::dispatch().addmm_scaled_into(
+            m,
+            k,
+            n,
+            s,
+            &self.data,
+            &other.data,
+            &mut out.data,
+            scratch,
+        );
+    }
+
     /// The transpose as a new tensor.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
@@ -962,5 +1012,51 @@ mod tests {
         assert!(!x.all_finite());
         x.set(0, 1, f64::INFINITY);
         assert!(!x.all_finite());
+    }
+
+    #[test]
+    fn addmm_scaled_matches_naive_composition_bitwise() {
+        // Whatever backend is active services both sides, so this pins the
+        // addmm contract (product via the backend GEMM, fold-in in index
+        // order) to the naive composition exactly, bit for bit.
+        let mut rng = Rng::new(77);
+        for &(m, k, n) in &[(1, 1, 1), (3, 2, 5), (7, 13, 4), (16, 16, 16), (33, 9, 21)] {
+            let a = Tensor::rand_normal(m, k, 0.0, 1.0, &mut rng);
+            let b = Tensor::rand_normal(k, n, 0.0, 1.0, &mut rng);
+            let base = Tensor::rand_normal(m, n, 0.0, 1.0, &mut rng);
+            let s = rng.uniform(-2.0, 2.0);
+
+            let mut got = base.clone();
+            crate::scratch::with(|scratch| a.addmm_scaled_into(&b, s, &mut got, scratch));
+
+            let tmp = a.matmul(&b);
+            let mut want = base.clone();
+            for (w, &t) in want.as_mut_slice().iter_mut().zip(tmp.as_slice()) {
+                *w += s * t;
+            }
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "addmm_scaled_into diverged from the naive composition at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "addmm_scaled_into: out is")]
+    fn addmm_scaled_rejects_misshapen_out() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(3, 4);
+        let mut out = Tensor::zeros(2, 5);
+        crate::scratch::with(|scratch| a.addmm_scaled_into(&b, 1.0, &mut out, scratch));
+    }
+
+    #[test]
+    #[should_panic(expected = "addmm_scaled_into: left operand is")]
+    fn addmm_scaled_rejects_inner_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(4, 4);
+        let mut out = Tensor::zeros(2, 4);
+        crate::scratch::with(|scratch| a.addmm_scaled_into(&b, 1.0, &mut out, scratch));
     }
 }

@@ -98,6 +98,25 @@ fn matmul_t_bits_match_across_backends() {
 }
 
 #[test]
+fn addmm_scaled_bits_match_across_backends() {
+    let _g = lock();
+    let mut rng = Rng::new(0xBE07);
+    for (m, k, n) in shapes() {
+        let a = rand_tensor(m, k, &mut rng);
+        let b = rand_tensor(k, n, &mut rng);
+        let base = rand_tensor(m, n, &mut rng);
+        let (nv, bl) = under_both(|| {
+            let mut out = base.clone();
+            tasfar_nn::scratch::with(|scratch| {
+                a.addmm_scaled_into(&b, 0.375, &mut out, scratch);
+            });
+            out
+        });
+        assert_bits_eq(&nv, &bl, &format!("addmm_scaled {m}x{k}x{n}"));
+    }
+}
+
+#[test]
 fn conv_layers_bits_match_across_backends() {
     use tasfar_nn::layers::{Conv1d, Layer, Mode};
     let _g = lock();

@@ -139,6 +139,47 @@ pub fn sync_backend_metrics() {
     crate::metrics::gauge("backend.blocked.calls").set(stats.blocked_calls as i64);
 }
 
+/// The adapter-layer gauges as one JSON object: the active mode plus the
+/// footprint of the most recent [`tasfar_nn::adapter::enable_adapters`]
+/// call ([`tasfar_nn::adapter::stats`]).
+pub fn adapter_stats_json() -> Json {
+    let stats = tasfar_nn::adapter::stats();
+    Json::obj(vec![
+        ("mode", Json::Str(tasfar_nn::adapter::active_mode().name())),
+        ("rank", Json::UInt(stats.rank)),
+        ("layers", Json::UInt(stats.layers)),
+        ("params", Json::UInt(stats.params)),
+        ("bytes", Json::UInt(stats.bytes)),
+    ])
+}
+
+/// Mirrors the adapter gauges ([`tasfar_nn::adapter::stats`]) into the
+/// metrics registry as `adapter.{rank,layers,params,bytes}`, so a
+/// [`crate::metrics::snapshot`] records the per-user delta footprint
+/// alongside the backend and pool counters.
+pub fn sync_adapter_metrics() {
+    let stats = tasfar_nn::adapter::stats();
+    crate::metrics::gauge("adapter.rank").set(stats.rank as i64);
+    crate::metrics::gauge("adapter.layers").set(stats.layers as i64);
+    crate::metrics::gauge("adapter.params").set(stats.params as i64);
+    crate::metrics::gauge("adapter.bytes").set(stats.bytes as i64);
+}
+
+/// Emits an `adapter_layer` event carrying [`adapter_stats_json`] and
+/// refreshes the adapter gauges. A no-op record-wise when tracing is
+/// disabled (the gauges still update).
+pub fn emit_adapter_event() {
+    sync_adapter_metrics();
+    if !crate::enabled() {
+        return;
+    }
+    crate::span::emit_record(
+        "event",
+        "adapter_layer",
+        vec![("adapter", adapter_stats_json())],
+    );
+}
+
 /// Emits a `parallel_pool` event carrying [`pool_stats_json`] and refreshes
 /// the pool gauges. A no-op record-wise when tracing is disabled (the gauges
 /// still update).
@@ -262,6 +303,36 @@ mod tests {
         assert!(active == "naive" || active == "blocked");
         assert!(v.field("naive_calls").unwrap().as_u64().is_ok());
         assert!(v.field("blocked_calls").unwrap().as_u64().is_ok());
+    }
+
+    #[test]
+    fn adapter_metrics_mirror_adapter_stats() {
+        use tasfar_nn::init::Init;
+        use tasfar_nn::layers::{Dense, Sequential};
+        let mut rng = tasfar_nn::rng::Rng::new(9);
+        let mut model = Sequential::new().add(Dense::new(6, 12, Init::XavierUniform, &mut rng));
+        tasfar_nn::adapter::enable_adapters(
+            &mut model,
+            &tasfar_nn::adapter::AdapterConfig::rank(3),
+            &mut rng,
+        );
+        sync_adapter_metrics();
+        let stats = tasfar_nn::adapter::stats();
+        assert_eq!(stats.rank, 3);
+        assert_eq!(
+            crate::metrics::gauge("adapter.params").get(),
+            stats.params as i64
+        );
+        assert_eq!(
+            crate::metrics::gauge("adapter.bytes").get(),
+            stats.bytes as i64
+        );
+        let v = adapter_stats_json();
+        assert_eq!(v.field("rank").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(v.field("layers").unwrap().as_u64().unwrap(), 1);
+        // down (6×3) + up (3×12) = 54 scalars.
+        assert_eq!(v.field("params").unwrap().as_u64().unwrap(), 54);
+        assert_eq!(v.field("bytes").unwrap().as_u64().unwrap(), 54 * 8);
     }
 
     #[test]

@@ -54,8 +54,9 @@ pub mod sink;
 pub mod span;
 
 pub use bridge::{
-    arena_stats_json, backend_stats_json, emit_manifest, emit_pool_event, host_cpus,
-    pool_stats_json, sync_arena_metrics, sync_backend_metrics, sync_pool_metrics, train_observer,
+    adapter_stats_json, arena_stats_json, backend_stats_json, emit_adapter_event, emit_manifest,
+    emit_pool_event, host_cpus, pool_stats_json, sync_adapter_metrics, sync_arena_metrics,
+    sync_backend_metrics, sync_pool_metrics, train_observer,
 };
 pub use sink::MemorySink;
 pub use span::{event, span, timed_span, SpanGuard};

@@ -65,6 +65,21 @@ fn main() {
     );
     println!("source training: final MSE {:.5}", report.final_loss());
 
+    // ---- optional adapter subspace (TASFAR_ADAPTER=rank:<r>) ------------
+    // Freezes the source weights and hands adaptation a zero-initialised
+    // low-rank delta to move instead, so the per-scenario adapted state is
+    // KB-scale. Off by default; attaching is prediction-preserving, so with
+    // `TASFAR_ADAPTER=off` (or unset) the run is bit-identical to before.
+    let adapter_layers = enable_adapters_from_env(&mut model, &mut rng);
+    if adapter_layers > 0 {
+        let stats = tasfar_nn::adapter::stats();
+        println!(
+            "adapter subspace: rank {} on {} layer(s), {} delta params ({} B)",
+            stats.rank, stats.layers, stats.params, stats.bytes
+        );
+    }
+    tasfar_obs::emit_adapter_event();
+
     // ---- phase 1: calibrate τ and Q_s on the source side ----------------
     let cfg = TasfarConfig {
         grid_cell: 0.05,
