@@ -337,6 +337,12 @@ fn main() {
         ("memory_scaling", Json::Arr(scaling_json)),
         ("rank8_within_15pct_tasks", Json::from(within)),
         ("adapter", tasfar_obs::adapter_stats_json()),
+        // Per-stage p50/p99 latencies across every adaptation in the sweep,
+        // so the bench-diff watchdog sees pipeline tails, not just totals.
+        (
+            "stage_latency_ns",
+            tasfar_bench::report::stage_latency_json(),
+        ),
     ]);
     let out_path =
         std::env::var("TASFAR_BENCH_OUT").unwrap_or_else(|_| "BENCH_adapters.json".into());

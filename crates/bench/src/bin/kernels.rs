@@ -89,20 +89,38 @@ struct Row {
     backend: &'static str,
     threads: usize,
     ns_per_iter: f64,
+    /// Median ns/call across the timed samples (nearest rank).
+    ns_per_iter_p50: f64,
+    /// 90th-percentile ns/call across the timed samples (nearest rank).
+    ns_per_iter_p90: f64,
     /// Total wall time across the timed samples, nanoseconds.
     wall_ns_total: f64,
     /// Untimed iterations run before sampling started.
     warmup_iters: usize,
 }
 
-/// Times `f` (already warmed up) and returns the best (minimum) ns/call over
-/// `samples` samples of `iters` calls each, plus the total wall time spent.
+/// Per-iteration timing distribution over the samples of one bench point.
+struct Timing {
+    /// Minimum ns/call — the headline figure (see below).
+    best: f64,
+    /// Median ns/call: how the kernel typically behaves, noise included.
+    p50: f64,
+    /// 90th-percentile ns/call: the noisy tail, for jitter tracking.
+    p90: f64,
+    /// Total wall time across the timed samples, nanoseconds.
+    total: f64,
+}
+
+/// Times `f` (already warmed up) over `samples` samples of `iters` calls
+/// each and returns the per-iteration distribution.
 ///
-/// The minimum, not the median: on a shared host the samples are the true
-/// cost plus non-negative scheduler/frequency noise, so the smallest sample
-/// is the least-perturbed estimate and the only one that compares two
-/// kernels fairly when load fluctuates between their runs.
-fn time_best(samples: usize, iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+/// The headline is the minimum, not the median: on a shared host the samples
+/// are the true cost plus non-negative scheduler/frequency noise, so the
+/// smallest sample is the least-perturbed estimate and the only one that
+/// compares two kernels fairly when load fluctuates between their runs. The
+/// p50/p90 figures ride along so the watchdog can distinguish a genuinely
+/// slower kernel from a noisier host.
+fn time_best(samples: usize, iters: usize, mut f: impl FnMut()) -> Timing {
     let mut total = 0.0f64;
     let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {
@@ -116,7 +134,14 @@ fn time_best(samples: usize, iters: usize, mut f: impl FnMut()) -> (f64, f64) {
         })
         .collect();
     per_iter.sort_by(f64::total_cmp);
-    (per_iter[0], total)
+    // Nearest-rank percentile over the sorted samples.
+    let rank = |q: f64| per_iter[((q * samples as f64).ceil() as usize).clamp(1, samples) - 1];
+    Timing {
+        best: per_iter[0],
+        p50: rank(0.50),
+        p90: rank(0.90),
+        total,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -136,19 +161,22 @@ fn bench(
     for _ in 0..iters {
         f();
     }
-    let (ns, wall) = time_best(samples, iters, &mut f);
+    let timing = time_best(samples, iters, &mut f);
     println!(
-        "{kernel:>16} {size:<14} {:<8} threads={threads}  {:>12.0} ns/iter",
+        "{kernel:>16} {size:<14} {:<8} threads={threads}  {:>12.0} ns/iter (p50 {:.0})",
         backend_kind.name(),
-        ns
+        timing.best,
+        timing.p50
     );
     rows.push(Row {
         kernel,
         size: size.to_string(),
         backend: backend_kind.name(),
         threads,
-        ns_per_iter: ns,
-        wall_ns_total: wall,
+        ns_per_iter: timing.best,
+        ns_per_iter_p50: timing.p50,
+        ns_per_iter_p90: timing.p90,
+        wall_ns_total: timing.total,
         warmup_iters: iters,
     });
 }
@@ -519,9 +547,10 @@ fn main() {
         for _ in 0..iters {
             std::hint::black_box(tasfar_obs::span("bench.noop"));
         }
-        let (ns, wall) = time_best(samples, iters, || {
+        let timing = time_best(samples, iters, || {
             std::hint::black_box(tasfar_obs::span("bench.noop"));
         });
+        let ns = timing.best;
         println!(
             "{:>16} {:<14} threads=1  {ns:>12.1} ns/iter",
             "span_off", "disabled"
@@ -531,8 +560,10 @@ fn main() {
             size: "disabled".to_string(),
             backend: default_backend.name(),
             threads: 1,
-            ns_per_iter: ns,
-            wall_ns_total: wall,
+            ns_per_iter: timing.best,
+            ns_per_iter_p50: timing.p50,
+            ns_per_iter_p90: timing.p90,
+            wall_ns_total: timing.total,
             warmup_iters: iters,
         });
         assert!(
@@ -608,6 +639,8 @@ fn main() {
                 ("backend", Json::from(r.backend)),
                 ("threads", Json::from(r.threads)),
                 ("ns_per_iter", Json::Num(r.ns_per_iter)),
+                ("ns_per_iter_p50", Json::Num(r.ns_per_iter_p50)),
+                ("ns_per_iter_p90", Json::Num(r.ns_per_iter_p90)),
                 ("wall_ns_total", Json::Num(r.wall_ns_total)),
                 ("warmup_iters", Json::from(r.warmup_iters)),
                 ("speedup_vs_1_thread", Json::Num(baseline / r.ns_per_iter)),

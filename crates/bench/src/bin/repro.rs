@@ -312,6 +312,12 @@ fn main() {
     );
     if let Json::Obj(pairs) = &mut metrics {
         pairs.push(("runs".to_string(), runs));
+        // Per-stage p50/p99 latencies (ns) for the bench-diff watchdog: the
+        // tail of each pipeline stage across every adaptation this run did.
+        pairs.push((
+            "stage_latency_ns".to_string(),
+            tasfar_bench::report::stage_latency_json(),
+        ));
     }
     let path = results_dir().join("repro_metrics.json");
     if let Err(e) = std::fs::write(&path, format!("{metrics}\n")) {

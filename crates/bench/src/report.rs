@@ -4,6 +4,41 @@
 use std::fs;
 use std::path::PathBuf;
 
+use tasfar_nn::json::Json;
+
+/// The five pipeline-stage histogram names, as registered by
+/// `tasfar-core`'s `PipelineTrace` (`pipeline.stage_ns.<stage>`). Kept here
+/// so the observability crate stays ignorant of core's naming.
+pub const STAGE_HISTOGRAMS: &[(&str, &str)] = &[
+    ("predict", "pipeline.stage_ns.predict"),
+    ("split", "pipeline.stage_ns.split"),
+    ("estimate_density", "pipeline.stage_ns.estimate_density"),
+    ("pseudo_label", "pipeline.stage_ns.pseudo_label"),
+    ("fine_tune", "pipeline.stage_ns.fine_tune"),
+];
+
+/// Per-stage latency percentiles from the live metrics registry, as a JSON
+/// object `{stage: {count, p50, p90, p99}}` (nanoseconds). Stages that never
+/// ran are omitted, so quick sweeps produce compact sections and `bench-diff`
+/// only holds the line on stages the baseline actually exercised.
+pub fn stage_latency_json() -> Json {
+    let mut stages: Vec<(String, Json)> = Vec::new();
+    for &(stage, histogram) in STAGE_HISTOGRAMS {
+        let h = tasfar_obs::metrics::histogram(histogram);
+        if h.count() == 0 {
+            continue;
+        }
+        let mut stats: Vec<(String, Json)> = vec![("count".into(), Json::UInt(h.count()))];
+        for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+            if let Some(v) = h.percentile(q) {
+                stats.push((label.into(), Json::Num(v)));
+            }
+        }
+        stages.push((stage.into(), Json::Obj(stats)));
+    }
+    Json::Obj(stages)
+}
+
 /// A printable, saveable results table.
 #[derive(Debug, Clone)]
 pub struct Table {

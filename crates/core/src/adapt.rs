@@ -371,6 +371,10 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
         Ok(mut outcome) => {
             outcome.trace = trace;
             run_span.field("stages", outcome.trace.stages.len());
+            run_span.field(
+                "stage_wall_ns",
+                outcome.trace.total_wall().as_nanos() as u64,
+            );
             run_span.field("pseudo_labels", outcome.pseudo.len());
             run_span.field("finetune_epochs", outcome.fit.epoch_losses.len());
             // Emitted while the run span is still open, so the pool summary
@@ -383,6 +387,7 @@ pub fn adapt<M: StochasticRegressor + TrainableRegressor + ?Sized>(
             run_span.field("error", err.label());
             run_span.field("recoverable", err.recoverable());
             run_span.field("stages", trace.stages.len());
+            run_span.field("stage_wall_ns", trace.total_wall().as_nanos() as u64);
             tasfar_obs::emit_pool_event();
             Err(err)
         }

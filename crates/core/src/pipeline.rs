@@ -171,6 +171,10 @@ impl PipelineTrace {
         let wall = span.elapsed();
         span.field("samples_in", samples_in);
         span.field("samples_out", samples_out);
+        // The measured stage wall also travels in the record itself, so
+        // trace analytics can self-time a stage without trusting `dur_ns`
+        // (which includes the serialisation overhead of the drop).
+        span.field("wall_ns", wall.as_nanos() as u64);
         if let Some(reason) = skipped {
             span.field("skipped", reason);
         }

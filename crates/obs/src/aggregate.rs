@@ -1,0 +1,391 @@
+//! Trace analytics: parse a JSONL trace back into a span forest and answer
+//! questions with it.
+//!
+//! The JSONL sinks ([`crate::sink`]) write flat records; this module is the
+//! inverse — it rebuilds the span hierarchy from the `id`/`parent` linkage
+//! and computes the figures an operator actually asks for:
+//!
+//! * **per-span-name statistics** ([`Forest::aggregate`]) — call counts,
+//!   total wall time, *self* time (total minus the time spent in child
+//!   spans), and child time, the numbers behind a flat profile table;
+//! * **critical paths** ([`Forest::critical_path`]) — the chain of
+//!   longest-duration children under a run span, i.e. where an `adapt` run
+//!   actually spent its wall clock;
+//! * **run coverage** ([`Forest::child_sum`]) — how much of a run span its
+//!   direct children account for, the sum-check `obs-report` gates on.
+//!
+//! Spans emit their record on *drop*, so a child appears in the file before
+//! its parent and the forest must be linked after reading the whole trace;
+//! records on worker threads have no cross-thread parent and become roots of
+//! their own trees (distinguished by the `thread` field).
+
+use std::collections::HashMap;
+
+use tasfar_nn::json::Json;
+
+/// One span record reconstructed from the trace.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Span name (`stage.predict`, `adapt`, …).
+    pub name: String,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Per-process thread id the span ran on.
+    pub thread: u64,
+    /// Open timestamp, nanoseconds since the trace epoch.
+    pub ts: u64,
+    /// Measured wall time.
+    pub dur_ns: u64,
+}
+
+/// Per-span-name aggregate statistics over one trace.
+#[derive(Debug, Clone)]
+pub struct NameStats {
+    /// Span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Sum of `dur_ns` over those spans.
+    pub total_ns: u64,
+    /// Sum of self time: `dur_ns` minus the time spent in direct child
+    /// spans (clamped at zero — child clocks are read independently, so a
+    /// nanosecond-scale overshoot is possible).
+    pub self_ns: u64,
+    /// Sum of direct-child time (`total_ns − self_ns`, pre-clamp).
+    pub child_ns: u64,
+    /// Largest single span of this name.
+    pub max_ns: u64,
+}
+
+/// One step of a critical path: the span name and its measured duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// Span name.
+    pub name: String,
+    /// The span's `dur_ns`.
+    pub dur_ns: u64,
+    /// The span's self time (duration minus direct children).
+    pub self_ns: u64,
+}
+
+/// A parsed trace: the span forest plus counts of the non-span records.
+#[derive(Debug, Default)]
+pub struct Forest {
+    /// All spans, in file order (i.e. close order).
+    pub spans: Vec<SpanNode>,
+    /// Direct children of each span (indices into `spans`), in file order.
+    pub children: Vec<Vec<usize>>,
+    /// Indices of root spans (no parent, or parent never emitted).
+    pub roots: Vec<usize>,
+    /// Count of `"event"` records.
+    pub events: usize,
+    /// Count of records of other kinds (`manifest`, `metrics`, …).
+    pub other_records: usize,
+    /// The last `"metrics"` record's `fields.metrics` snapshot, if any.
+    pub metrics_snapshot: Option<Json>,
+    /// `parent` ids referenced by some record but never emitted as a span.
+    pub dangling_parents: Vec<u64>,
+}
+
+impl Forest {
+    /// Parses a JSONL trace. Lines that are not valid JSON records abort
+    /// with an error naming the line; unknown kinds are counted and kept out
+    /// of the forest.
+    pub fn parse(text: &str) -> Result<Forest, String> {
+        let mut forest = Forest::default();
+        let mut referenced: Vec<(u64, usize)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = record
+                .field("kind")
+                .and_then(|v| v.as_str())
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            match kind {
+                "span" => {
+                    let get_u64 = |key: &str| {
+                        record
+                            .field(key)
+                            .and_then(|v| v.as_u64())
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))
+                    };
+                    let parent = match record.get("parent") {
+                        Some(Json::Null) | None => None,
+                        Some(v) => Some(
+                            v.as_u64()
+                                .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                        ),
+                    };
+                    let node = SpanNode {
+                        id: get_u64("id")?,
+                        name: record
+                            .field("name")
+                            .and_then(|v| v.as_str())
+                            .map_err(|e| format!("line {}: {e}", lineno + 1))?
+                            .to_string(),
+                        parent,
+                        thread: get_u64("thread").unwrap_or(0),
+                        ts: get_u64("ts")?,
+                        dur_ns: get_u64("dur_ns")?,
+                    };
+                    if let Some(p) = parent {
+                        referenced.push((p, forest.spans.len()));
+                    }
+                    forest.spans.push(node);
+                }
+                "event" => forest.events += 1,
+                "metrics" => {
+                    forest.other_records += 1;
+                    if let Some(snap) = record.get("fields").and_then(|f| f.get("metrics")) {
+                        forest.metrics_snapshot = Some(snap.clone());
+                    }
+                }
+                _ => forest.other_records += 1,
+            }
+        }
+        // Link children after the whole file is read: parents close after
+        // their children, so they appear later in the file.
+        let by_id: HashMap<u64, usize> = forest
+            .spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        forest.children = vec![Vec::new(); forest.spans.len()];
+        for &(parent_id, child_idx) in &referenced {
+            match by_id.get(&parent_id) {
+                Some(&p) => forest.children[p].push(child_idx),
+                None => forest.dangling_parents.push(parent_id),
+            }
+        }
+        for (i, span) in forest.spans.iter().enumerate() {
+            let rooted = match span.parent {
+                None => true,
+                Some(p) => !by_id.contains_key(&p),
+            };
+            if rooted {
+                forest.roots.push(i);
+            }
+        }
+        forest.dangling_parents.sort_unstable();
+        forest.dangling_parents.dedup();
+        Ok(forest)
+    }
+
+    /// Total number of span records.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when the trace contained no spans.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The self time of span `idx`: its duration minus the summed duration
+    /// of its direct children, clamped at zero.
+    pub fn self_ns(&self, idx: usize) -> u64 {
+        self.spans[idx].dur_ns.saturating_sub(self.child_sum(idx))
+    }
+
+    /// Summed duration of the direct children of span `idx`.
+    pub fn child_sum(&self, idx: usize) -> u64 {
+        self.children[idx]
+            .iter()
+            .map(|&c| self.spans[c].dur_ns)
+            .sum()
+    }
+
+    /// Indices of all spans named `name`, in file order.
+    pub fn named(&self, name: &str) -> Vec<usize> {
+        self.spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Per-name aggregate statistics, sorted by total time descending (ties
+    /// broken by name for stable output).
+    pub fn aggregate(&self) -> Vec<NameStats> {
+        let mut by_name: HashMap<&str, NameStats> = HashMap::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            let child = self.child_sum(i);
+            let stats = by_name.entry(&span.name).or_insert_with(|| NameStats {
+                name: span.name.clone(),
+                calls: 0,
+                total_ns: 0,
+                self_ns: 0,
+                child_ns: 0,
+                max_ns: 0,
+            });
+            stats.calls += 1;
+            stats.total_ns += span.dur_ns;
+            stats.self_ns += span.dur_ns.saturating_sub(child);
+            stats.child_ns += child.min(span.dur_ns);
+            stats.max_ns = stats.max_ns.max(span.dur_ns);
+        }
+        let mut out: Vec<NameStats> = by_name.into_values().collect();
+        out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        out
+    }
+
+    /// The critical path under span `idx`: starting at the span itself,
+    /// repeatedly descend into the longest-duration direct child.
+    pub fn critical_path(&self, idx: usize) -> Vec<PathStep> {
+        let mut path = Vec::new();
+        let mut cur = idx;
+        loop {
+            path.push(PathStep {
+                name: self.spans[cur].name.clone(),
+                dur_ns: self.spans[cur].dur_ns,
+                self_ns: self.self_ns(cur),
+            });
+            match self.children[cur]
+                .iter()
+                .copied()
+                .max_by_key(|&c| self.spans[c].dur_ns)
+            {
+                Some(next) => cur = next,
+                None => return path,
+            }
+        }
+    }
+
+    /// Collapsed-stack flamegraph lines in inferno format: each line is
+    /// `root;child;…;leaf <self_ns>`, with identical stacks merged. Lines
+    /// are sorted for deterministic output; zero-self-time stacks are
+    /// omitted.
+    pub fn folded(&self) -> Vec<String> {
+        let mut merged: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        let mut stack: Vec<&str> = Vec::new();
+        for &root in &self.roots {
+            self.fold_into(root, &mut stack, &mut merged);
+        }
+        merged
+            .into_iter()
+            .map(|(stack, self_ns)| format!("{stack} {self_ns}"))
+            .collect()
+    }
+
+    fn fold_into<'a>(
+        &'a self,
+        idx: usize,
+        stack: &mut Vec<&'a str>,
+        merged: &mut std::collections::BTreeMap<String, u64>,
+    ) {
+        stack.push(&self.spans[idx].name);
+        let self_ns = self.self_ns(idx);
+        if self_ns > 0 {
+            *merged.entry(stack.join(";")).or_insert(0) += self_ns;
+        }
+        for &child in &self.children[idx] {
+            self.fold_into(child, stack, merged);
+        }
+        stack.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic trace:
+    ///   run (100) ── a (60) ── leaf (10)
+    ///            └── b (30)
+    /// plus a worker-thread root `w` (5) and one event.
+    /// Children appear before parents, as a real drop-ordered trace does.
+    fn sample_trace() -> String {
+        [
+            r#"{"ts":20,"kind":"span","name":"leaf","id":3,"parent":2,"thread":0,"dur_ns":10}"#,
+            r#"{"ts":15,"kind":"span","name":"a","id":2,"parent":1,"thread":0,"dur_ns":60}"#,
+            r#"{"ts":80,"kind":"event","name":"ping","parent":1,"thread":0}"#,
+            r#"{"ts":76,"kind":"span","name":"b","id":4,"parent":1,"thread":0,"dur_ns":30}"#,
+            r#"{"ts":30,"kind":"span","name":"w","id":5,"parent":null,"thread":1,"dur_ns":5}"#,
+            r#"{"ts":10,"kind":"span","name":"run","id":1,"parent":null,"thread":0,"dur_ns":100}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn forest_links_children_across_drop_order() {
+        let f = Forest::parse(&sample_trace()).unwrap();
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.events, 1);
+        assert!(f.dangling_parents.is_empty());
+        // Roots: `run` and the worker span `w`.
+        let root_names: Vec<&str> = f.roots.iter().map(|&i| f.spans[i].name.as_str()).collect();
+        assert!(root_names.contains(&"run"));
+        assert!(root_names.contains(&"w"));
+        let run = f.named("run")[0];
+        assert_eq!(f.child_sum(run), 90);
+        assert_eq!(f.self_ns(run), 10);
+        let a = f.named("a")[0];
+        assert_eq!(f.self_ns(a), 50);
+    }
+
+    #[test]
+    fn aggregate_totals_and_self_times() {
+        let f = Forest::parse(&sample_trace()).unwrap();
+        let agg = f.aggregate();
+        // Sorted by total descending: run(100), a(60), b(30), leaf(10), w(5).
+        let names: Vec<&str> = agg.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["run", "a", "b", "leaf", "w"]);
+        let run = &agg[0];
+        assert_eq!(
+            (run.calls, run.total_ns, run.self_ns, run.child_ns),
+            (1, 100, 10, 90)
+        );
+        // Self times over the whole forest sum to the root durations.
+        let total_self: u64 = agg.iter().map(|s| s.self_ns).sum();
+        assert_eq!(total_self, 100 + 5);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_child() {
+        let f = Forest::parse(&sample_trace()).unwrap();
+        let run = f.named("run")[0];
+        let path: Vec<String> = f.critical_path(run).into_iter().map(|s| s.name).collect();
+        assert_eq!(path, ["run", "a", "leaf"]);
+    }
+
+    #[test]
+    fn folded_lines_merge_stacks_and_skip_zero_self() {
+        let f = Forest::parse(&sample_trace()).unwrap();
+        let folded = f.folded();
+        assert!(folded.contains(&"run 10".to_string()));
+        assert!(folded.contains(&"run;a 50".to_string()));
+        assert!(folded.contains(&"run;a;leaf 10".to_string()));
+        assert!(folded.contains(&"run;b 30".to_string()));
+        assert!(folded.contains(&"w 5".to_string()));
+        assert_eq!(folded.len(), 5);
+        // Every line is `stack <count>`.
+        for line in &folded {
+            let (stack, count) = line.rsplit_once(' ').unwrap();
+            assert!(!stack.is_empty());
+            count.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn dangling_parents_are_reported_and_rooted() {
+        let text =
+            r#"{"ts":1,"kind":"span","name":"orphan","id":7,"parent":99,"thread":0,"dur_ns":3}"#;
+        let f = Forest::parse(text).unwrap();
+        assert_eq!(f.dangling_parents, vec![99]);
+        assert_eq!(f.roots, vec![0]);
+    }
+
+    #[test]
+    fn malformed_lines_abort_with_line_number() {
+        let err = Forest::parse("{\"kind\":\"span\"}\nnot json").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+        let err = Forest::parse("not json").unwrap_err();
+        assert!(err.contains("line 1"), "got: {err}");
+    }
+}

@@ -1,0 +1,186 @@
+//! `obs-report` — trace analytics CLI.
+//!
+//! Reads a JSONL trace (as produced by `TASFAR_TRACE=<path>`), reconstructs
+//! the span forest, and renders a markdown profile, a collapsed-stack
+//! `.folded` flamegraph, and optionally a Prometheus exposition of the
+//! trace's embedded metrics snapshot.
+//!
+//! ```text
+//! obs-report <trace.jsonl> [--md <out.md>] [--folded <out.folded>]
+//!            [--prom <out.prom>] [--require-span a,b,c]
+//!            [--run-span <name>] [--sum-check <name>:<tol>]
+//! ```
+//!
+//! With no `--md` the markdown profile goes to stdout. Exit codes: 0 on
+//! success, 1 when a `--require-span` or `--sum-check` assertion fails,
+//! 2 on usage or parse errors.
+
+use std::process::ExitCode;
+
+use tasfar_obs::aggregate::Forest;
+use tasfar_obs::report;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: obs-report <trace.jsonl> [--md <out.md>] [--folded <out.folded>] \
+         [--prom <out.prom>] [--require-span a,b,c] [--run-span <name>] \
+         [--sum-check <name>:<tol>]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    let mut md_out: Option<String> = None;
+    let mut folded_out: Option<String> = None;
+    let mut prom_out: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut run_span = "adapt".to_string();
+    let mut sum_checks: Vec<(String, f64)> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--md" | "--folded" | "--prom" | "--require-span" | "--run-span" | "--sum-check" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("obs-report: {} needs a value", args[i]);
+                    return usage();
+                };
+                match args[i].as_str() {
+                    "--md" => md_out = Some(value.clone()),
+                    "--folded" => folded_out = Some(value.clone()),
+                    "--prom" => prom_out = Some(value.clone()),
+                    "--require-span" => {
+                        required.extend(value.split(',').map(|s| s.trim().to_string()))
+                    }
+                    "--run-span" => run_span = value.clone(),
+                    "--sum-check" => {
+                        let Some((name, tol)) = value.split_once(':') else {
+                            eprintln!("obs-report: --sum-check wants <name>:<tol>, got {value}");
+                            return usage();
+                        };
+                        let Ok(tol) = tol.parse::<f64>() else {
+                            eprintln!("obs-report: bad tolerance in --sum-check {value}");
+                            return usage();
+                        };
+                        sum_checks.push((name.to_string(), tol));
+                    }
+                    _ => unreachable!(),
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("obs-report: unknown flag {flag}");
+                return usage();
+            }
+            path => {
+                if trace_path.replace(path.to_string()).is_some() {
+                    eprintln!("obs-report: more than one trace path given");
+                    return usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-report: cannot read {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let forest = match Forest::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs-report: {trace_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if forest.is_empty() {
+        eprintln!("obs-report: {trace_path} contains no spans");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+    if !forest.dangling_parents.is_empty() {
+        eprintln!(
+            "obs-report: {} span(s) reference parent ids never emitted",
+            forest.dangling_parents.len()
+        );
+        failed = true;
+    }
+    for name in &required {
+        if forest.named(name).is_empty() {
+            eprintln!("obs-report: required span '{name}' not found in trace");
+            failed = true;
+        }
+    }
+    // The markdown profile always renders the first sum-check's tolerance
+    // (default ±1%) so the coverage section matches what is being gated.
+    let render_tol = sum_checks.first().map(|(_, t)| *t).unwrap_or(0.01);
+    for (name, tol) in &sum_checks {
+        let checks = report::sum_check(&forest, name, *tol);
+        if checks.is_empty() {
+            eprintln!("obs-report: --sum-check {name}: no such span in trace");
+            failed = true;
+        }
+        for check in checks {
+            if !check.ok {
+                eprintln!(
+                    "obs-report: sum-check failed for {name} run {}: children {} ns vs run {} ns ({:.2}%, tolerance ±{:.1}%)",
+                    check.run,
+                    check.stages_ns,
+                    check.run_ns,
+                    100.0 * check.coverage,
+                    100.0 * tol
+                );
+                failed = true;
+            }
+        }
+    }
+
+    let md = report::markdown_profile(&forest, &run_span, render_tol);
+    if let Some(path) = &md_out {
+        if let Err(e) = std::fs::write(path, &md) {
+            eprintln!("obs-report: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{md}");
+    }
+
+    if let Some(path) = &folded_out {
+        let mut lines = forest.folded().join("\n");
+        lines.push('\n');
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("obs-report: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &prom_out {
+        match &forest.metrics_snapshot {
+            Some(snapshot) => {
+                if let Err(e) = std::fs::write(path, report::prometheus_text(snapshot)) {
+                    eprintln!("obs-report: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            None => {
+                eprintln!("obs-report: --prom requested but the trace has no metrics record");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -2,17 +2,32 @@
 //!
 //! Every line must parse with the in-tree `tasfar_nn::json` parser and carry
 //! the required `ts` / `kind` / `name` fields; `--require n1,n2,…` adds a
-//! coverage check that each named record appears at least once. Used by
-//! `scripts/verify.sh` as the trace smoke gate.
+//! coverage check that each named record appears at least once. Two
+//! structural invariants are checked on top:
+//!
+//! * **parent linkage** — every span's non-null `parent` id must itself be
+//!   emitted as a span somewhere in the file (spans serialise on drop, so
+//!   parents legitimately appear *after* their children);
+//! * **monotonic emission order** — per thread, records must appear in the
+//!   order they were written. A span's line is written when it *closes*, so
+//!   its emission time is `ts + dur_ns`; all other kinds emit at `ts`. A
+//!   small slack absorbs the gap between the wall-clock `ts` stamp and the
+//!   `Instant`-based duration measurement.
+//!
+//! Used by `scripts/verify.sh` as the trace smoke gate.
 //!
 //! ```text
 //! trace-check trace.jsonl --require stage.predict,train_epoch,parallel_pool
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use tasfar_nn::json::Json;
+
+/// Tolerated backwards jitter between consecutive emission times on one
+/// thread (ns): `ts` and `dur_ns` come from two different clock reads.
+const EMISSION_SLACK_NS: u64 = 10_000;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +79,12 @@ fn main() -> ExitCode {
     let mut records = 0usize;
     let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
     let mut seen_names: BTreeMap<String, usize> = BTreeMap::new();
+    let mut span_ids: BTreeSet<u64> = BTreeSet::new();
+    // (lineno, parent id) pairs to verify once the whole file is read —
+    // spans emit on drop, so a parent's own record comes after its children.
+    let mut parent_refs: Vec<(usize, u64)> = Vec::new();
+    // Last emission time per thread id, for the monotonic-order check.
+    let mut last_emitted: BTreeMap<u64, u64> = BTreeMap::new();
     let mut failed = false;
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -78,22 +99,88 @@ fn main() -> ExitCode {
             }
         };
         // The schema contract: every record has ts (integer), kind, name.
-        if let Err(err) = record.field("ts").and_then(|v| v.as_u64()) {
-            eprintln!("trace-check: {path}:{}: bad `ts`: {err}", lineno + 1);
-            failed = true;
-        }
-        match record.field("kind").and_then(|v| v.as_str()) {
-            Ok(kind) => *by_kind.entry(kind.to_string()).or_insert(0) += 1,
+        let ts = match record.field("ts").and_then(|v| v.as_u64()) {
+            Ok(ts) => Some(ts),
+            Err(err) => {
+                eprintln!("trace-check: {path}:{}: bad `ts`: {err}", lineno + 1);
+                failed = true;
+                None
+            }
+        };
+        let kind = match record.field("kind").and_then(|v| v.as_str()) {
+            Ok(kind) => {
+                *by_kind.entry(kind.to_string()).or_insert(0) += 1;
+                Some(kind.to_string())
+            }
             Err(err) => {
                 eprintln!("trace-check: {path}:{}: bad `kind`: {err}", lineno + 1);
                 failed = true;
+                None
             }
-        }
+        };
         match record.field("name").and_then(|v| v.as_str()) {
             Ok(name) => *seen_names.entry(name.to_string()).or_insert(0) += 1,
             Err(err) => {
                 eprintln!("trace-check: {path}:{}: bad `name`: {err}", lineno + 1);
                 failed = true;
+            }
+        }
+
+        let is_span = kind.as_deref() == Some("span");
+        let dur_ns = record.get("dur_ns").and_then(|v| v.as_u64().ok());
+        if is_span {
+            match record.field("id").and_then(|v| v.as_u64()) {
+                Ok(id) => {
+                    if !span_ids.insert(id) {
+                        eprintln!("trace-check: {path}:{}: duplicate span id {id}", lineno + 1);
+                        failed = true;
+                    }
+                }
+                Err(err) => {
+                    eprintln!("trace-check: {path}:{}: bad span `id`: {err}", lineno + 1);
+                    failed = true;
+                }
+            }
+            match record.get("parent") {
+                Some(p) if p.is_null() => {}
+                Some(p) => match p.as_u64() {
+                    Ok(pid) => parent_refs.push((lineno + 1, pid)),
+                    Err(err) => {
+                        eprintln!("trace-check: {path}:{}: bad `parent`: {err}", lineno + 1);
+                        failed = true;
+                    }
+                },
+                None => {
+                    eprintln!("trace-check: {path}:{}: span missing `parent`", lineno + 1);
+                    failed = true;
+                }
+            }
+            if dur_ns.is_none() {
+                eprintln!("trace-check: {path}:{}: span missing `dur_ns`", lineno + 1);
+                failed = true;
+            }
+        }
+
+        // Emission-order check: a span line is written when the span closes
+        // (ts + dur_ns); events/manifest/metrics are written at ts. Records
+        // on one thread must appear in nondecreasing emission order.
+        if let Some(ts) = ts {
+            let thread = record.get("thread").and_then(|v| v.as_u64().ok());
+            let emitted = if is_span {
+                ts.saturating_add(dur_ns.unwrap_or(0))
+            } else {
+                ts
+            };
+            if let Some(thread) = thread {
+                let last = last_emitted.entry(thread).or_insert(0);
+                if emitted.saturating_add(EMISSION_SLACK_NS) < *last {
+                    eprintln!(
+                        "trace-check: {path}:{}: emission time went backwards on thread {thread} ({emitted} < {last})",
+                        lineno + 1
+                    );
+                    failed = true;
+                }
+                *last = (*last).max(emitted);
             }
         }
         records += 1;
@@ -102,6 +189,12 @@ fn main() -> ExitCode {
     if records == 0 {
         eprintln!("trace-check: {path} contains no trace records");
         failed = true;
+    }
+    for (lineno, pid) in &parent_refs {
+        if !span_ids.contains(pid) {
+            eprintln!("trace-check: {path}:{lineno}: span parent id {pid} was never emitted");
+            failed = true;
+        }
     }
     for name in &required {
         if !seen_names.contains_key(name) {
@@ -118,8 +211,9 @@ fn main() -> ExitCode {
         .map(|(kind, n)| format!("{n} {kind}"))
         .collect();
     println!(
-        "trace-check: {path}: {records} records OK ({}); {} required names covered",
+        "trace-check: {path}: {records} records OK ({}); {} parent links resolved; {} required names covered",
         kinds.join(", "),
+        parent_refs.len(),
         required.len()
     );
     ExitCode::SUCCESS

@@ -48,11 +48,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod bridge;
+pub mod diff;
 pub mod metrics;
+pub mod report;
 pub mod sink;
 pub mod span;
 
+pub use aggregate::Forest;
 pub use bridge::{
     adapter_stats_json, arena_stats_json, backend_stats_json, emit_adapter_event, emit_manifest,
     emit_pool_event, host_cpus, pool_stats_json, sync_adapter_metrics, sync_arena_metrics,
@@ -133,6 +137,19 @@ pub fn capture() -> MemorySink {
     sink::install(Arc::new(mem.clone()));
     STATE.store(STATE_ON, Ordering::Relaxed);
     mem
+}
+
+/// Enables tracing into a JSONL file at `path`, replacing any installed
+/// sink. Programmatic counterpart of `TASFAR_TRACE=<path>`; used by tests
+/// and tools that must trace into a specific file regardless of the
+/// environment. Call [`disable`] afterwards to flush and restore the
+/// untraced state.
+pub fn trace_to_file(path: &str) -> std::io::Result<()> {
+    let file_sink = sink::FileSink::create(path)?;
+    let _guard = CONTROL.lock().unwrap_or_else(|e| e.into_inner());
+    sink::install(Arc::new(file_sink));
+    STATE.store(STATE_ON, Ordering::Relaxed);
+    Ok(())
 }
 
 /// Disables tracing and removes the current sink (flushing it first).

@@ -104,11 +104,60 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `q`-quantile (`0 < q ≤ 1`) of the recorded samples, or
+    /// `None` when the histogram is empty.
+    ///
+    /// Finds the bucket holding the `⌈q·count⌉`-th sample and interpolates
+    /// log-linearly within it: bucket `b ≥ 1` covers `[2^(b-1), 2^b)`, so
+    /// the estimate is `2^(b-1) · 2^frac` where `frac` is how far into the
+    /// bucket's population the target rank falls. Geometric interpolation
+    /// matches the buckets' geometric spacing, so the worst-case relative
+    /// error is bounded by the bucket width (a factor of 2), and in practice
+    /// far less for smooth latency distributions.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let target = (q * count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                if b == 0 {
+                    return Some(0.0);
+                }
+                let lo = (1u64 << (b - 1)) as f64;
+                let frac = ((target - cum) as f64 / n as f64).clamp(0.0, 1.0);
+                return Some(lo * frac.exp2());
+            }
+            cum += n;
+        }
+        // Racing `record` calls can leave `count` ahead of the bucket sums
+        // for an instant; fall back to the highest populated bucket.
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, slot)| slot.load(Ordering::Relaxed) > 0)
+            .map(|(b, _)| if b == 0 { 0.0 } else { (1u64 << b) as f64 })
+    }
+
     fn to_json(&self) -> Json {
         let mut pairs: Vec<(String, Json)> = vec![
             ("count".into(), Json::UInt(self.count())),
             ("sum".into(), Json::UInt(self.sum())),
         ];
+        if self.count() > 0 {
+            for (label, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)] {
+                if let Some(v) = self.percentile(q) {
+                    pairs.push((label.into(), Json::Num(v)));
+                }
+            }
+        }
         let mut buckets: Vec<(String, Json)> = Vec::new();
         for (b, slot) in self.buckets.iter().enumerate() {
             let n = slot.load(Ordering::Relaxed);
@@ -302,5 +351,68 @@ mod tests {
     fn kind_mismatch_panics() {
         counter("test.mismatch");
         gauge("test.mismatch");
+    }
+
+    #[test]
+    fn percentile_empty_and_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.0), None, "q=0 is not a quantile");
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.percentile(0.5), Some(0.0));
+        assert_eq!(h.percentile(0.99), Some(0.0));
+    }
+
+    #[test]
+    fn percentile_stays_within_bucket_bounds() {
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.record(100); // bucket [64, 128)
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert!((64.0..=128.0).contains(&p), "q={q} -> {p} outside bucket");
+        }
+    }
+
+    #[test]
+    fn percentile_uniform_distribution_is_accurate() {
+        // Uniform over 1..=1024: true p50 = 512, p90 ≈ 922, p99 ≈ 1014.
+        let h = Histogram::default();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        for (q, expected) in [(0.5, 512.0), (0.9, 922.0), (0.99, 1014.0)] {
+            let p = h.percentile(q).unwrap();
+            let rel = (p - expected).abs() / expected;
+            assert!(rel < 0.05, "q={q}: got {p}, want ~{expected} (rel {rel})");
+        }
+        let (p50, p90, p99) = (
+            h.percentile(0.5).unwrap(),
+            h.percentile(0.9).unwrap(),
+            h.percentile(0.99).unwrap(),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "quantiles must be monotonic");
+    }
+
+    #[test]
+    fn snapshot_includes_percentiles_for_nonempty_histograms() {
+        let h = histogram("test.hist.pct");
+        for v in 1..=64u64 {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let hist = snap.field("test.hist.pct").unwrap();
+        let p50 = hist.field("p50").unwrap().as_f64().unwrap();
+        let p99 = hist.field("p99").unwrap().as_f64().unwrap();
+        assert!(p50 > 0.0 && p50 <= p99);
+        assert!(hist.get("p90").is_some());
+
+        let empty = histogram("test.hist.empty");
+        let _ = empty; // registered but never recorded into
+        let snap = snapshot();
+        assert!(snap.field("test.hist.empty").unwrap().get("p50").is_none());
     }
 }

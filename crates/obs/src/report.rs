@@ -1,0 +1,265 @@
+//! Rendering the [`crate::aggregate`] analytics for humans and tools.
+//!
+//! Three output formats:
+//!
+//! * [`markdown_profile`] — a flat per-span-name profile table (calls,
+//!   total/self/child wall time, share of self time) plus the critical path
+//!   and stage coverage of every run span, suitable for pasting into a PR;
+//! * the collapsed-stack flamegraph lines come from
+//!   [`crate::aggregate::Forest::folded`] and are written by `obs-report`
+//!   as a `.folded` file (one `stack self_ns` per line, inferno-compatible);
+//! * [`prometheus_text`] — a Prometheus text-exposition rendering of a
+//!   [`crate::metrics::snapshot`] JSON value (counters, gauges, and log₂
+//!   histograms with cumulative `le` buckets and `p50`/`p90`/`p99` summary
+//!   lines), the groundwork for a future `tasfar-serve` `/metrics` endpoint.
+
+use tasfar_nn::json::Json;
+
+use crate::aggregate::Forest;
+
+/// The result of checking one run span's direct-child coverage.
+#[derive(Debug, Clone)]
+pub struct RunCheck {
+    /// Which run (1-based, in trace order).
+    pub run: usize,
+    /// The run span's duration.
+    pub run_ns: u64,
+    /// Summed duration of its direct child spans.
+    pub stages_ns: u64,
+    /// `stages_ns / run_ns`.
+    pub coverage: f64,
+    /// Whether `coverage` is within the tolerance around 1.
+    pub ok: bool,
+}
+
+/// Sum-checks every span named `run_name`: its direct children (the pipeline
+/// stages, for `adapt`) must account for the run's duration within
+/// `tolerance` (e.g. `0.01` for ±1%).
+pub fn sum_check(forest: &Forest, run_name: &str, tolerance: f64) -> Vec<RunCheck> {
+    forest
+        .named(run_name)
+        .into_iter()
+        .enumerate()
+        .map(|(i, idx)| {
+            let run_ns = forest.spans[idx].dur_ns;
+            let stages_ns = forest.child_sum(idx);
+            let coverage = if run_ns == 0 {
+                1.0
+            } else {
+                stages_ns as f64 / run_ns as f64
+            };
+            RunCheck {
+                run: i + 1,
+                run_ns,
+                stages_ns,
+                coverage,
+                ok: (coverage - 1.0).abs() <= tolerance,
+            }
+        })
+        .collect()
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Renders the whole-trace profile as GitHub-flavoured markdown: the span
+/// table sorted by total time, then the critical path of each `run_name`
+/// span and its stage-coverage sum-check.
+pub fn markdown_profile(forest: &Forest, run_name: &str, tolerance: f64) -> String {
+    let mut out = String::new();
+    let agg = forest.aggregate();
+    let total_self: u64 = agg.iter().map(|s| s.self_ns).sum();
+    out.push_str(&format!(
+        "## Span profile\n\n{} spans, {} events, {} other records; {} root span(s)\n\n",
+        forest.len(),
+        forest.events,
+        forest.other_records,
+        forest.roots.len()
+    ));
+    out.push_str("| span | calls | total ms | self ms | child ms | self % |\n");
+    out.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for s in &agg {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * s.self_ns as f64 / total_self as f64
+        };
+        out.push_str(&format!(
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.1}% |\n",
+            s.name,
+            s.calls,
+            ms(s.total_ns),
+            ms(s.self_ns),
+            ms(s.child_ns),
+            pct
+        ));
+    }
+
+    let runs = forest.named(run_name);
+    if !runs.is_empty() {
+        out.push_str(&format!("\n## Critical path (`{run_name}` runs)\n\n"));
+        for (i, &idx) in runs.iter().enumerate() {
+            let path = forest.critical_path(idx);
+            let rendered: Vec<String> = path
+                .iter()
+                .map(|step| format!("{} ({:.3} ms)", step.name, ms(step.dur_ns)))
+                .collect();
+            out.push_str(&format!("- run {}: {}\n", i + 1, rendered.join(" → ")));
+        }
+        out.push_str(&format!(
+            "\n## Stage coverage (direct children vs the `{run_name}` span, tolerance ±{:.1}%)\n\n",
+            100.0 * tolerance
+        ));
+        for check in sum_check(forest, run_name, tolerance) {
+            out.push_str(&format!(
+                "- run {}: stages {:.3} ms / run {:.3} ms = {:.2}% — {}\n",
+                check.run,
+                ms(check.stages_ns),
+                ms(check.run_ns),
+                100.0 * check.coverage,
+                if check.ok { "OK" } else { "FAIL" }
+            ));
+        }
+    }
+    out
+}
+
+/// Sanitises a metric name for Prometheus: every character outside
+/// `[a-zA-Z0-9_]` becomes `_`, and the `tasfar_` namespace is prepended.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("tasfar_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders a [`crate::metrics::snapshot`] JSON value as Prometheus text
+/// exposition format.
+///
+/// Counters and gauges become single samples; histogram objects (detected by
+/// their `count`/`sum`/`buckets` fields) become `_bucket` samples with
+/// cumulative counts at each recorded `le` upper bound plus `+Inf`, a
+/// `_sum`, a `_count`, and the snapshot's `p50`/`p90`/`p99` estimates as a
+/// summary-style `{quantile="…"}` series.
+pub fn prometheus_text(snapshot: &Json) -> String {
+    let Json::Obj(pairs) = snapshot else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for (name, value) in pairs {
+        // `runs` and other non-metric extensions of a snapshot file are not
+        // scalar or histogram shaped; skip anything unrecognised.
+        let pname = prom_name(name);
+        match value {
+            Json::UInt(v) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+            }
+            Json::Num(v) => {
+                out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+            }
+            Json::Obj(_) if value.get("buckets").is_some() => {
+                let count = value
+                    .get("count")
+                    .and_then(|v| v.as_u64().ok())
+                    .unwrap_or(0);
+                let sum = value.get("sum").and_then(|v| v.as_u64().ok()).unwrap_or(0);
+                out.push_str(&format!("# TYPE {pname} histogram\n"));
+                let mut cum = 0u64;
+                if let Some(Json::Obj(buckets)) = value.get("buckets") {
+                    // Bucket keys are `le_<hi>`; order them numerically.
+                    let mut parsed: Vec<(u128, u64)> = buckets
+                        .iter()
+                        .filter_map(|(k, v)| {
+                            let hi = k.strip_prefix("le_")?.parse::<u128>().ok()?;
+                            Some((hi, v.as_u64().ok()?))
+                        })
+                        .collect();
+                    parsed.sort_unstable();
+                    for (hi, n) in parsed {
+                        cum += n;
+                        out.push_str(&format!("{pname}_bucket{{le=\"{hi}\"}} {cum}\n"));
+                    }
+                }
+                out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {count}\n"));
+                out.push_str(&format!("{pname}_sum {sum}\n"));
+                out.push_str(&format!("{pname}_count {count}\n"));
+                for q in ["p50", "p90", "p99"] {
+                    if let Some(v) = value.get(q).and_then(|v| v.as_f64().ok()) {
+                        let quantile = format!("0.{}", &q[1..]);
+                        out.push_str(&format!("{pname}{{quantile=\"{quantile}\"}} {v}\n"));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_forest() -> Forest {
+        let text = [
+            r#"{"ts":20,"kind":"span","name":"stage.predict","id":3,"parent":1,"thread":0,"dur_ns":40}"#,
+            r#"{"ts":61,"kind":"span","name":"stage.fine_tune","id":4,"parent":1,"thread":0,"dur_ns":59}"#,
+            r#"{"ts":10,"kind":"span","name":"adapt","id":1,"parent":null,"thread":0,"dur_ns":100}"#,
+        ]
+        .join("\n");
+        Forest::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn sum_check_flags_coverage() {
+        let f = sample_forest();
+        let checks = sum_check(&f, "adapt", 0.02);
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].stages_ns, 99);
+        assert!(checks[0].ok, "99/100 is within ±2%");
+        let strict = sum_check(&f, "adapt", 0.005);
+        assert!(!strict[0].ok, "99/100 is outside ±0.5%");
+    }
+
+    #[test]
+    fn markdown_profile_contains_table_path_and_check() {
+        let f = sample_forest();
+        let md = markdown_profile(&f, "adapt", 0.05);
+        assert!(md.contains("| span | calls |"));
+        assert!(md.contains("| adapt | 1 |"));
+        assert!(md.contains("| stage.fine_tune | 1 |"));
+        assert!(md.contains("adapt (0.000 ms) → stage.fine_tune (0.000 ms)"));
+        assert!(md.contains("OK"), "coverage line present: {md}");
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_metric_kinds() {
+        let snap = Json::parse(
+            r#"{"adapt.runs":5,"pool.max_queue_depth":2,
+                "pipeline.stage_ns.predict":{"count":3,"sum":900,
+                  "buckets":{"le_255":1,"le_511":2},"p50":300.0,"p90":480.0,"p99":500.0},
+                "runs":[{"scheme":"x"}]}"#,
+        )
+        .unwrap();
+        let text = prometheus_text(&snap);
+        assert!(text.contains("# TYPE tasfar_adapt_runs gauge\ntasfar_adapt_runs 5\n"));
+        assert!(text.contains("tasfar_pool_max_queue_depth 2"));
+        assert!(text.contains("# TYPE tasfar_pipeline_stage_ns_predict histogram"));
+        // Buckets are cumulative: 1 at le_255, 1+2=3 at le_511, 3 at +Inf.
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict_bucket{le=\"255\"} 1"));
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict_bucket{le=\"511\"} 3"));
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict_sum 900"));
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict_count 3"));
+        assert!(text.contains("tasfar_pipeline_stage_ns_predict{quantile=\"0.50\"} 300"));
+        // The non-metric `runs` array is skipped, not mangled.
+        assert!(!text.contains("tasfar_runs"));
+    }
+}

@@ -9,6 +9,8 @@ use std::fs::File;
 use std::io::{LineWriter, Write};
 use std::sync::{Arc, Mutex};
 
+use crate::metrics::Counter;
+
 /// A destination for one-line JSONL trace records.
 pub trait Sink: Send + Sync {
     /// Accepts one complete JSON document (without the trailing newline).
@@ -51,8 +53,14 @@ pub(crate) fn flush() {
 
 /// Writes one JSON document per line to a file, line-buffered so a crashed
 /// process still leaves whole lines behind.
+///
+/// Trace I/O failure must never take the computation down, but it must not
+/// vanish either: every failed write or flush increments the
+/// `obs.sink.dropped` counter, so an incomplete trace is diagnosable from
+/// the metrics snapshot.
 pub struct FileSink {
     writer: Mutex<LineWriter<File>>,
+    dropped: Arc<Counter>,
 }
 
 impl FileSink {
@@ -61,6 +69,7 @@ impl FileSink {
         let file = File::create(path)?;
         Ok(FileSink {
             writer: Mutex::new(LineWriter::new(file)),
+            dropped: crate::metrics::counter("obs.sink.dropped"),
         })
     }
 }
@@ -68,13 +77,16 @@ impl FileSink {
 impl Sink for FileSink {
     fn emit(&self, line: &str) {
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        // Trace I/O failure must never take the computation down.
-        let _ = writeln!(w, "{line}");
+        if writeln!(w, "{line}").is_err() {
+            self.dropped.incr();
+        }
     }
 
     fn flush(&self) {
         let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = w.flush();
+        if w.flush().is_err() {
+            self.dropped.incr();
+        }
     }
 }
 
@@ -118,5 +130,40 @@ impl Sink for MemorySink {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn file_sink_counts_failed_writes() {
+        // /dev/full opens for writing but fails every write with ENOSPC —
+        // exactly the silent-loss path the dropped counter must surface.
+        let sink = FileSink::create("/dev/full").expect("open /dev/full");
+        let before = sink.dropped.get();
+        sink.emit(r#"{"ts":0,"kind":"event","name":"doomed"}"#);
+        sink.flush();
+        assert!(
+            sink.dropped.get() > before,
+            "failed writes must increment obs.sink.dropped"
+        );
+    }
+
+    #[test]
+    fn file_sink_successful_writes_do_not_count_as_dropped() {
+        let dir = std::env::temp_dir().join("tasfar_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ok.jsonl");
+        let sink = FileSink::create(path.to_str().unwrap()).unwrap();
+        let before = sink.dropped.get();
+        sink.emit(r#"{"ts":0,"kind":"event","name":"fine"}"#);
+        sink.flush();
+        assert_eq!(sink.dropped.get(), before);
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"fine\""));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,105 @@
+//! Concurrent-emission stress test: many threads hammering spans and events
+//! into the shared sink must produce a valid trace — every line parses as
+//! one JSON document (no torn/interleaved lines), and the span forest
+//! reconstructs with full parent linkage.
+//!
+//! The trace gate (`tasfar_obs::capture` / `trace_to_file` / `disable`) is
+//! process-wide state, so the whole scenario lives in one `#[test]`.
+
+use std::sync::{Arc, Barrier};
+
+use tasfar_nn::json::Json;
+use tasfar_obs::aggregate::Forest;
+
+const THREADS: usize = 8;
+const ITERS: usize = 200;
+
+/// Runs the storm: each thread opens nested spans with fields and fires an
+/// event inside the innermost one, all starting together off a barrier.
+fn storm() {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ITERS {
+                    let mut outer = tasfar_obs::span("storm.outer");
+                    outer.field("thread", t as u64);
+                    {
+                        let mut inner = tasfar_obs::span("storm.inner");
+                        inner.field("iter", i as u64);
+                        tasfar_obs::event(
+                            "storm.tick",
+                            vec![("payload", Json::Str(format!("t{t}i{i}")))],
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("storm thread panicked");
+    }
+}
+
+/// Validates a captured trace: counts, parse, reconstruction, linkage.
+fn check_lines(lines: &[String], context: &str) {
+    // 2 spans + 1 event per iteration per thread.
+    let expected = THREADS * ITERS * 3;
+    assert_eq!(
+        lines.len(),
+        expected,
+        "{context}: expected {expected} records, got {}",
+        lines.len()
+    );
+    for line in lines {
+        let record = Json::parse(line)
+            .unwrap_or_else(|e| panic!("{context}: torn or invalid line {line:?}: {e}"));
+        assert!(record.field("ts").unwrap().as_u64().is_ok());
+        assert!(record.field("thread").unwrap().as_u64().is_ok());
+    }
+    let forest = Forest::parse(&lines.join("\n")).unwrap_or_else(|e| panic!("{context}: {e}"));
+    assert_eq!(forest.len(), THREADS * ITERS * 2, "{context}: span count");
+    assert_eq!(forest.events, THREADS * ITERS, "{context}: event count");
+    assert!(
+        forest.dangling_parents.is_empty(),
+        "{context}: {} parent ids never emitted",
+        forest.dangling_parents.len()
+    );
+    // Every outer span is a root (one per iteration — the stack unwinds
+    // fully each loop), and every inner span hangs off an outer one.
+    assert_eq!(forest.roots.len(), THREADS * ITERS, "{context}: roots");
+    let agg = forest.aggregate();
+    let outer = agg.iter().find(|s| s.name == "storm.outer").unwrap();
+    let inner = agg.iter().find(|s| s.name == "storm.inner").unwrap();
+    assert_eq!(outer.calls, (THREADS * ITERS) as u64);
+    assert_eq!(inner.calls, (THREADS * ITERS) as u64);
+    for &root in &forest.roots {
+        assert_eq!(
+            forest.spans[root].name, "storm.outer",
+            "{context}: root kind"
+        );
+    }
+}
+
+#[test]
+fn concurrent_storm_produces_untorn_reconstructible_traces() {
+    // Phase 1: MemorySink via capture().
+    let mem = tasfar_obs::capture();
+    storm();
+    check_lines(&mem.lines(), "MemorySink");
+    tasfar_obs::disable();
+
+    // Phase 2: FileSink via trace_to_file() into a scratch path.
+    let dir = std::env::temp_dir().join("tasfar_obs_concurrent_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("storm.jsonl");
+    tasfar_obs::trace_to_file(path.to_str().unwrap()).expect("install file sink");
+    storm();
+    tasfar_obs::disable(); // flushes the LineWriter before we read the file
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<String> = text.lines().map(String::from).collect();
+    check_lines(&lines, "FileSink");
+    let _ = std::fs::remove_file(&path);
+}

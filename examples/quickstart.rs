@@ -146,6 +146,8 @@ fn main() {
                 "fallback must restore the source model bit-identically"
             );
             println!("target MSE unchanged at {after:.5} — do-no-harm held");
+            tasfar_obs::metrics::emit_snapshot("quickstart");
+            tasfar_obs::flush();
             return;
         }
     }
@@ -169,4 +171,9 @@ fn main() {
         metrics::error_reduction_pct(before, after)
     );
     assert!(after < before, "adaptation should reduce the target error");
+
+    // Close the trace with a full metrics snapshot (stage histograms now
+    // carry p50/p90/p99), so `obs-report --prom` has something to expose.
+    tasfar_obs::metrics::emit_snapshot("quickstart");
+    tasfar_obs::flush();
 }

@@ -69,6 +69,41 @@ test -s "$scratch/trace.jsonl" || { echo "trace smoke: no trace written" >&2; ex
 cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/trace.jsonl" \
     --require stage.predict,stage.split,stage.estimate_density,stage.pseudo_label,stage.fine_tune,train_epoch,parallel_pool
 
+# Analytics gate: obs-report on the traced quickstart must reconstruct the
+# span forest, find all five pipeline stages, sum-check each adapt run's
+# direct-child stage times against the run span (±1%), and emit a non-empty
+# markdown profile, a valid collapsed-stack .folded file, and a Prometheus
+# exposition of the trace's metrics snapshot.
+echo "==> analytics gate (obs-report on the traced quickstart)"
+cargo run --release -p tasfar-obs --bin obs-report -- "$scratch/trace.jsonl" \
+    --md "$scratch/profile.md" --folded "$scratch/trace.folded" --prom "$scratch/metrics.prom" \
+    --require-span stage.predict,stage.split,stage.estimate_density,stage.pseudo_label,stage.fine_tune \
+    --sum-check adapt:0.01
+test -s "$scratch/profile.md" || { echo "analytics gate: empty profile" >&2; exit 1; }
+for stage in predict split estimate_density pseudo_label fine_tune; do
+    grep -q "stage.$stage" "$scratch/profile.md" \
+        || { echo "analytics gate: stage.$stage missing from profile" >&2; exit 1; }
+done
+test -s "$scratch/trace.folded" || { echo "analytics gate: empty .folded" >&2; exit 1; }
+# Every folded line must be `stack;frames <self_ns>` — frames then an integer.
+grep -vEq '^[^ ]+( [0-9]+)$' "$scratch/trace.folded" \
+    && { echo "analytics gate: malformed .folded line" >&2; exit 1; }
+grep -q ';adapt;stage\.' "$scratch/trace.folded" \
+    || { echo "analytics gate: no adapt;stage.* stacks in .folded" >&2; exit 1; }
+grep -q '^tasfar_pipeline_stage_ns_predict_bucket' "$scratch/metrics.prom" \
+    || { echo "analytics gate: Prometheus exposition missing stage histogram" >&2; exit 1; }
+
+# Perf-regression watchdog: bench-diff must pass when a baseline is compared
+# against itself, and must fail on a deliberately perturbed candidate (all
+# time metrics 1.25x — past every threshold). Exit codes: 0 pass, 1 regression.
+echo "==> bench-diff gate (identity passes, 25% perturbation fails)"
+cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_kernels.json BENCH_kernels.json
+cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_adapters.json BENCH_adapters.json
+cargo run --release -p tasfar-obs --bin bench-diff -- --perturb 1.25 BENCH_kernels.json "$scratch/perturbed.json"
+if cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_kernels.json "$scratch/perturbed.json" >/dev/null 2>&1; then
+    echo "bench-diff gate: 25% regression was NOT caught" >&2; exit 1
+fi
+
 # Chaos gate: the fault-injection suite must hold (every fault class caught,
 # classified, recovered or degraded per policy, rollbacks bit-identical) and
 # a sabotaged quickstart must survive end-to-end — TASFAR_CHAOS poisons the
