@@ -1,0 +1,317 @@
+//! Streaming online-adaptation benchmark on the virtual-sensor workload.
+//!
+//! Drives `tasfar_core::stream::StreamAdapter` prequentially (predict each
+//! chunk, score it against the held-back ground truth, then let the engine
+//! ingest it) over `tasfar_data::sensor`'s deployment stream: a steady
+//! regime, slow drift, and an abrupt operating-point jump at `shift_at`.
+//! Records, per the drift timeline:
+//!
+//! * per-window MAE before / during / after the abrupt shift,
+//! * drift **detection latency in samples** (first detector trip at or
+//!   after the jump, minus the jump index),
+//! * guarded **re-adaptation wall time** (`adapt_ms`),
+//! * steady-state **throughput** (`ns_per_iter` per ingested sample,
+//!   re-adaptation walls excluded).
+//!
+//! Self-checks (full scale): the detector must trip within a bounded
+//! number of samples of the jump, and the post-drift steady-state error
+//! must land within 10 % of the pre-drift steady state — the "did the
+//! engine actually recover" criterion.
+//!
+//! Run with: `cargo run --release -p tasfar-bench --bin stream`
+//!
+//! `TASFAR_BENCH_QUICK=1` shrinks the stream to smoke-test scale;
+//! `TASFAR_BENCH_OUT` redirects the result file (default
+//! `BENCH_stream.json`, git-tracked at the repo root).
+
+use std::time::Instant;
+
+use tasfar_core::metrics;
+use tasfar_core::prelude::*;
+use tasfar_data::sensor::{self, SensorConfig};
+use tasfar_nn::json::Json;
+use tasfar_nn::layers::{Dense, Dropout, Relu, Sequential};
+use tasfar_nn::loss::Mse;
+use tasfar_nn::prelude::{fit, Adam, Init, TrainConfig};
+use tasfar_nn::rng::Rng;
+
+const CHUNK: usize = 12;
+/// Steady-state evaluation window, samples.
+const EVAL_WINDOW_FULL: usize = 360;
+/// Fixed reporting window for the per-window error timeline.
+const REPORT_WINDOW: usize = 120;
+
+struct Run {
+    report: StreamReport,
+    /// Per-sample prequential absolute error, indexed by stream position.
+    abs_err: Vec<f64>,
+    /// Push wall time with re-adaptation walls excluded, nanoseconds.
+    steady_ns: f64,
+}
+
+fn build_engine(world: &sensor::SensorWorld, seed: u64, quick: bool) -> StreamAdapter<Sequential> {
+    let mut rng = Rng::new(seed);
+    let mut model = Sequential::new()
+        .add(Dense::new(sensor::FEATURES, 32, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(32, 1, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(5e-3);
+    let fit_report = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &world.source.x,
+        &world.source.y,
+        None,
+        &TrainConfig {
+            epochs: if quick { 60 } else { 120 },
+            batch_size: 32,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    println!("source training: final MSE {:.5}", fit_report.final_loss());
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: if quick { 15 } else { 25 },
+        learning_rate: 1e-3,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib =
+        calibrate_on_source(&mut model, &world.source, &cfg).expect("the factory sweep calibrates");
+    let stream_cfg = StreamConfig {
+        window: if quick { 96 } else { 256 },
+        warmup: if quick { 64 } else { 192 },
+        micro_batch: 24,
+        micro_epochs: 6,
+        replay_confident: 24,
+        live_window: 48,
+        check_every: 8,
+        grid_headroom: 3.0,
+    };
+    StreamAdapter::new(
+        model,
+        calib,
+        cfg,
+        stream_cfg,
+        DriftConfig::default(),
+        RecoveryPolicy::default(),
+    )
+    .expect("valid streaming geometry")
+}
+
+/// Prequential drive: score each chunk with the *current* model, then let
+/// the engine ingest it.
+fn drive(engine: &mut StreamAdapter<Sequential>, world: &sensor::SensorWorld) -> Run {
+    let stream = &world.stream;
+    let mut abs_err = Vec::with_capacity(stream.len());
+    let t0 = Instant::now();
+    let mut pos = 0;
+    while pos < stream.x.rows() {
+        let hi = (pos + CHUNK).min(stream.x.rows());
+        let x = stream.x.slice_rows(pos, hi);
+        let pred = engine.predict(&x);
+        for r in 0..pred.rows() {
+            abs_err.push((pred.get(r, 0) - stream.y.get(pos + r, 0)).abs());
+        }
+        engine.push(&x, &Mse);
+        pos = hi;
+    }
+    let wall_ns = t0.elapsed().as_secs_f64() * 1e9;
+    let report = engine.report().clone();
+    let readapt_ns: f64 = report.readapt_walls_ms.iter().sum::<f64>() * 1e6;
+    Run {
+        report,
+        abs_err,
+        steady_ns: (wall_ns - readapt_ns).max(0.0),
+    }
+}
+
+fn mae_over(abs_err: &[f64], lo: usize, hi: usize) -> f64 {
+    let span = &abs_err[lo.min(abs_err.len())..hi.min(abs_err.len())];
+    span.iter().sum::<f64>() / span.len().max(1) as f64
+}
+
+fn main() {
+    let quick = std::env::var("TASFAR_BENCH_QUICK").is_ok();
+    let cfg = if quick {
+        SensorConfig {
+            n_source: 600,
+            n_stream: 720,
+            shift_at: 360,
+            ..SensorConfig::default()
+        }
+    } else {
+        SensorConfig::default()
+    };
+    println!(
+        "sensor stream at {} scale: {} samples, jump at {}, {} host cpus",
+        if quick { "quick" } else { "full" },
+        cfg.n_stream,
+        cfg.shift_at,
+        tasfar_obs::host_cpus()
+    );
+    let world = sensor::generate(&cfg);
+    let mut engine = build_engine(&world, 0x5EED, quick);
+    let run = drive(&mut engine, &world);
+
+    // --- drift timeline ----------------------------------------------------
+    let eval = if quick {
+        EVAL_WINDOW_FULL.min(cfg.shift_at / 2)
+    } else {
+        EVAL_WINDOW_FULL
+    };
+    let pre = mae_over(&run.abs_err, cfg.shift_at - eval, cfg.shift_at);
+    let during = mae_over(&run.abs_err, cfg.shift_at, cfg.shift_at + eval);
+    let post = mae_over(&run.abs_err, cfg.n_stream - eval, cfg.n_stream);
+    let detect_latency = run
+        .report
+        .trip_samples
+        .iter()
+        .find(|&&s| s >= cfg.shift_at)
+        .map(|&s| s - cfg.shift_at);
+    let readapt_ms = if run.report.readapt_walls_ms.len() > 1 {
+        // Skip the warmup adaptation: re-adaptation wall is the drift story.
+        let walls = &run.report.readapt_walls_ms[1..];
+        walls.iter().sum::<f64>() / walls.len() as f64
+    } else {
+        f64::NAN
+    };
+    let ns_per_sample = run.steady_ns / run.report.ingested.max(1) as f64;
+
+    println!(
+        "steady-state MAE: pre {pre:.4} | during {during:.4} | post {post:.4} \
+         (post/pre {:.3})",
+        post / pre
+    );
+    println!(
+        "drift: {} trip(s), detection latency {} samples, {} readapt(s) \
+         ({} degraded), mean readapt {readapt_ms:.0} ms",
+        run.report.trips,
+        detect_latency.map_or_else(|| "-".into(), |l| l.to_string()),
+        run.report.readapts,
+        run.report.degraded,
+    );
+    println!(
+        "throughput: {:.0} ns/sample steady-state ({} ingested, {} micro-batches)",
+        ns_per_sample, run.report.ingested, run.report.micro_batches
+    );
+
+    // --- self-checks --------------------------------------------------------
+    let detect_latency = detect_latency.unwrap_or_else(|| {
+        panic!(
+            "the detector never tripped after the jump at {}",
+            cfg.shift_at
+        )
+    });
+    assert!(
+        run.report.readapts >= 2,
+        "warmup + at least one drift re-adaptation must have run"
+    );
+    let terminal = ["adapted", "recovered", "degraded-to-last-good"];
+    assert!(
+        terminal.contains(&engine.phase().label()),
+        "the engine must end in a terminal state, got `{}`",
+        engine.phase().label()
+    );
+    if !quick {
+        assert!(
+            detect_latency <= 240,
+            "detection latency {detect_latency} samples is too slow"
+        );
+        assert!(
+            post <= 1.10 * pre,
+            "post-drift steady-state MAE {post:.4} must land within 10% of \
+             pre-drift {pre:.4}"
+        );
+    }
+    let final_pred = engine.predict(&world.stream.x);
+    assert!(
+        final_pred.as_slice().iter().all(|v| v.is_finite()),
+        "the adapted model must stay finite"
+    );
+    println!(
+        "final model MAE over the whole stream: {:.4}",
+        metrics::mae(&final_pred, &world.stream.y)
+    );
+
+    // --- report -------------------------------------------------------------
+    let results = vec![
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("steady_pre")),
+            ("metric", Json::from("mae")),
+            ("err", Json::Num(pre)),
+        ]),
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("during_drift")),
+            ("metric", Json::from("mae")),
+            ("err", Json::Num(during)),
+        ]),
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("steady_post")),
+            ("metric", Json::from("mae")),
+            ("err", Json::Num(post)),
+        ]),
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("detection")),
+            ("detect_latency_samples", Json::from(detect_latency)),
+        ]),
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("readapt")),
+            ("adapt_ms", Json::Num(readapt_ms)),
+        ]),
+        Json::obj(vec![
+            ("task", Json::from("sensor_stream")),
+            ("variant", Json::from("throughput")),
+            ("ns_per_iter", Json::Num(ns_per_sample)),
+        ]),
+    ];
+    let windows: Vec<Json> = (0..run.abs_err.len() / REPORT_WINDOW)
+        .map(|w| {
+            let (lo, hi) = (w * REPORT_WINDOW, (w + 1) * REPORT_WINDOW);
+            Json::obj(vec![
+                ("start", Json::from(lo)),
+                ("end", Json::from(hi)),
+                (
+                    "phase",
+                    Json::from(if hi <= cfg.shift_at {
+                        "pre"
+                    } else if lo < cfg.shift_at + eval {
+                        "drift"
+                    } else {
+                        "post"
+                    }),
+                ),
+                ("mae", Json::Num(mae_over(&run.abs_err, lo, hi))),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("host_cpus", Json::from(tasfar_obs::host_cpus())),
+        ("scale", Json::from(if quick { "quick" } else { "full" })),
+        ("stream_samples", Json::from(cfg.n_stream)),
+        ("shift_at", Json::from(cfg.shift_at)),
+        ("trips", Json::from(run.report.trips)),
+        ("readapts", Json::from(run.report.readapts)),
+        ("degraded", Json::from(run.report.degraded)),
+        ("micro_batches", Json::from(run.report.micro_batches)),
+        ("final_phase", Json::from(engine.phase().label())),
+        ("results", Json::Arr(results)),
+        ("windows", Json::Arr(windows)),
+        (
+            "stage_latency_ns",
+            tasfar_bench::report::stage_latency_json(),
+        ),
+    ]);
+    let out_path = std::env::var("TASFAR_BENCH_OUT").unwrap_or_else(|_| "BENCH_stream.json".into());
+    std::fs::write(&out_path, format!("{doc}\n"))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -180,6 +180,21 @@ impl DensityMap1d {
     /// the chunk-ordered reduction is thread-count independent.
     pub const SAMPLES_PER_CHUNK: usize = 64;
 
+    /// A map from precomputed cell masses — the snapshot path of the
+    /// incremental streaming estimator (`crate::stream::IncrementalKde`),
+    /// whose masses are materialised from exact integer tick counts.
+    ///
+    /// # Panics
+    /// Panics if `mass.len()` disagrees with `spec.bins`.
+    pub(crate) fn from_masses(spec: GridSpec, mass: Vec<f64>) -> Self {
+        assert_eq!(
+            mass.len(),
+            spec.bins,
+            "DensityMap1d::from_masses: mass/bins mismatch"
+        );
+        DensityMap1d { spec, mass }
+    }
+
     /// Probability mass of cell `i`, `M(i)`.
     pub fn mass(&self, i: usize) -> f64 {
         self.mass[i]

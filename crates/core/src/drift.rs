@@ -1,0 +1,304 @@
+//! Drift detection for streaming adaptation (reference vs. live windows).
+//!
+//! The streaming engine ([`crate::stream`]) periodically summarises its
+//! sliding window as two statistics and hands them to a [`DriftDetector`]:
+//!
+//! * **prediction uncertainty** — the *median* fused MC-dropout uncertainty
+//!   over the live sub-window. A model facing inputs it was not adapted to
+//!   reports elevated uncertainty, so the ratio of live to reference medians
+//!   is a label-free covariate-shift signal. The median (not the mean) is
+//!   deliberate: hard samples carry heavy-tailed uncertainties, and a chance
+//!   cluster of them in a small live window would swing a mean-based ratio
+//!   into false trips.
+//! * **density-mass shift** — the total-variation distance between the
+//!   normalised label-density mass of the reference window (captured at the
+//!   last successful adaptation) and the live window. TASFAR's whole premise
+//!   is that the scenario's label distribution is a stable prior; when the
+//!   prior itself moves, the adapted model is stale.
+//!
+//! Both signals are scale-normalised against their trip thresholds and the
+//! worst one becomes the drift *score* (`≥ 1.0` breaches). Hysteresis
+//! (`patience` consecutive breaching checks) filters single-check noise, and
+//! a post-trip `cooldown` suppresses flapping while re-adaptation settles.
+//!
+//! Observability: every check sets the `drift.score` gauge (in millis —
+//! gauges are integral), every trip increments `drift.trips` and emits a
+//! `drift_trip` trace event carrying the score decomposition.
+
+use tasfar_nn::window::tv_distance;
+
+/// Thresholds and hysteresis for [`DriftDetector`].
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Live/reference median-uncertainty ratio that counts as a breach
+    /// (e.g. 1.5 = live uncertainty 50% above the adapted baseline).
+    pub unc_trip: f64,
+    /// Total-variation distance between normalised reference and live
+    /// density mass that counts as a breach (0 = identical, 1 = disjoint).
+    /// The default leaves headroom over the sampling noise of a small live
+    /// window (a few tens of samples) while still firing well before the
+    /// near-disjoint shift of a real regime change.
+    pub mass_trip: f64,
+    /// Consecutive breaching checks required before the detector trips.
+    pub patience: usize,
+    /// Checks after a trip during which further trips are suppressed
+    /// (flap guard while re-adaptation takes effect).
+    pub cooldown: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            unc_trip: 1.5,
+            mass_trip: 0.5,
+            patience: 2,
+            cooldown: 8,
+        }
+    }
+}
+
+/// One detector check: the score decomposition and the trip decision.
+#[derive(Debug, Clone)]
+pub struct DriftObservation {
+    /// `max(unc_ratio / unc_trip, mass_shift / mass_trip)`; `≥ 1.0` breaches.
+    pub score: f64,
+    /// Live median uncertainty over the reference's (1.0 when no reference).
+    pub unc_ratio: f64,
+    /// Worst per-dimension total-variation distance between reference and
+    /// live normalised density mass.
+    pub mass_shift: f64,
+    /// Whether this check tripped the detector (patience exhausted, not in
+    /// cooldown). A trip should trigger guarded re-adaptation.
+    pub tripped: bool,
+}
+
+/// The reference summary captured at the last successful adaptation.
+#[derive(Debug, Clone)]
+struct Reference {
+    /// Central (median) prediction uncertainty of the reference window.
+    uncertainty: f64,
+    /// Normalised (sum-1) density mass per label dimension; an empty inner
+    /// vector records "no on-grid mass" for that dimension.
+    mass: Vec<Vec<f64>>,
+}
+
+/// Watches uncertainty and density-mass statistics for distribution drift.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    reference: Option<Reference>,
+    breaches: usize,
+    cooldown_left: usize,
+}
+
+impl DriftDetector {
+    /// A detector with the given thresholds; no reference yet, so checks
+    /// report score 0 until [`DriftDetector::set_reference`] is called.
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        DriftDetector {
+            cfg,
+            reference: None,
+            breaches: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// Captures the post-adaptation baseline: the window's central (median)
+    /// uncertainty and its normalised density mass per label dimension.
+    /// Resets the breach counter (a fresh baseline is by definition not
+    /// drifting).
+    pub fn set_reference(&mut self, uncertainty: f64, mass: Vec<Vec<f64>>) {
+        self.reference = Some(Reference { uncertainty, mass });
+        self.breaches = 0;
+    }
+
+    /// Whether a reference baseline has been captured.
+    pub fn has_reference(&self) -> bool {
+        self.reference.is_some()
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.cfg
+    }
+
+    /// One detector check against the live summary. Scores are emitted to
+    /// the `drift.score` gauge (millis); a trip increments `drift.trips`
+    /// and emits a `drift_trip` event with the score decomposition.
+    pub fn observe(&mut self, live_uncertainty: f64, live_mass: &[Vec<f64>]) -> DriftObservation {
+        let Some(reference) = &self.reference else {
+            return DriftObservation {
+                score: 0.0,
+                unc_ratio: 1.0,
+                mass_shift: 0.0,
+                tripped: false,
+            };
+        };
+
+        let unc_ratio = if reference.uncertainty > 0.0 && live_uncertainty.is_finite() {
+            live_uncertainty / reference.uncertainty
+        } else {
+            1.0
+        };
+        // Worst-dimension shift: drift along any label dimension is drift.
+        let mut mass_shift = 0.0_f64;
+        for (d, ref_mass) in reference.mass.iter().enumerate() {
+            let live = live_mass.get(d).map(Vec::as_slice).unwrap_or(&[]);
+            let shift = match (ref_mass.is_empty(), live.is_empty()) {
+                // No mass on either side: nothing to compare.
+                (true, true) => 0.0,
+                // Mass appeared or vanished entirely — maximal shift (the
+                // live cluster may have walked off the frozen grid).
+                (true, false) | (false, true) => 1.0,
+                (false, false) => tv_distance(ref_mass, live),
+            };
+            mass_shift = mass_shift.max(shift);
+        }
+
+        let unc_component = if self.cfg.unc_trip > 0.0 {
+            unc_ratio / self.cfg.unc_trip
+        } else {
+            0.0
+        };
+        let mass_component = if self.cfg.mass_trip > 0.0 {
+            mass_shift / self.cfg.mass_trip
+        } else {
+            0.0
+        };
+        let score = unc_component.max(mass_component);
+        tasfar_obs::metrics::gauge("drift.score").set((score * 1000.0).round() as i64);
+
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            self.breaches = 0;
+            return DriftObservation {
+                score,
+                unc_ratio,
+                mass_shift,
+                tripped: false,
+            };
+        }
+
+        if score >= 1.0 {
+            self.breaches += 1;
+        } else {
+            self.breaches = 0;
+        }
+        let tripped = self.breaches >= self.cfg.patience.max(1);
+        if tripped {
+            self.trip_bookkeeping("threshold", score, unc_ratio, mass_shift);
+        }
+        DriftObservation {
+            score,
+            unc_ratio,
+            mass_shift,
+            tripped,
+        }
+    }
+
+    /// A forced trip, bypassing thresholds and patience — the
+    /// `Fault::DriftFlap` chaos payload. Respects nothing but still arms the
+    /// cooldown, so a flapping detector cannot thrash re-adaptation.
+    pub fn chaos_trip(&mut self) -> DriftObservation {
+        // The trace event needs a finite score (the JSON writer rejects
+        // non-finite floats); the sentinel is far above any threshold score.
+        self.trip_bookkeeping("chaos_flap", 1e9, 1.0, 0.0);
+        DriftObservation {
+            score: f64::INFINITY,
+            unc_ratio: 1.0,
+            mass_shift: 0.0,
+            tripped: true,
+        }
+    }
+
+    fn trip_bookkeeping(&mut self, reason: &'static str, score: f64, unc: f64, mass: f64) {
+        self.breaches = 0;
+        self.cooldown_left = self.cfg.cooldown;
+        tasfar_obs::metrics::counter("drift.trips").incr();
+        tasfar_obs::event(
+            "drift_trip",
+            vec![
+                ("reason", reason.into()),
+                ("score", score.into()),
+                ("unc_ratio", unc.into()),
+                ("mass_shift", mass.into()),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(patience: usize, cooldown: usize) -> DriftDetector {
+        DriftDetector::new(DriftConfig {
+            unc_trip: 1.5,
+            mass_trip: 0.35,
+            patience,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn no_reference_means_no_drift() {
+        let mut d = detector(1, 0);
+        let obs = d.observe(99.0, &[vec![1.0]]);
+        assert_eq!(obs.score, 0.0);
+        assert!(!obs.tripped);
+    }
+
+    #[test]
+    fn uncertainty_ratio_breaches_and_patience_filters() {
+        let mut d = detector(2, 0);
+        d.set_reference(0.1, vec![vec![0.5, 0.5]]);
+        // 0.2 / 0.1 = 2.0 ratio > 1.5 trip: a breach, but patience is 2.
+        let obs = d.observe(0.2, &[vec![0.5, 0.5]]);
+        assert!(obs.score >= 1.0 && !obs.tripped);
+        // A healthy check resets the streak.
+        assert!(!d.observe(0.1, &[vec![0.5, 0.5]]).tripped);
+        assert!(!d.observe(0.2, &[vec![0.5, 0.5]]).tripped);
+        assert!(
+            d.observe(0.2, &[vec![0.5, 0.5]]).tripped,
+            "second consecutive breach trips"
+        );
+    }
+
+    #[test]
+    fn mass_shift_trips_and_vanished_mass_is_maximal() {
+        let mut d = detector(1, 0);
+        d.set_reference(0.1, vec![vec![1.0, 0.0]]);
+        let obs = d.observe(0.1, &[vec![0.0, 1.0]]);
+        assert!((obs.mass_shift - 1.0).abs() < 1e-12);
+        assert!(obs.tripped);
+        // Live mass gone entirely (cluster off-grid): also maximal.
+        d.set_reference(0.1, vec![vec![1.0, 0.0]]);
+        let obs = d.observe(0.1, &[vec![]]);
+        assert_eq!(obs.mass_shift, 1.0);
+    }
+
+    #[test]
+    fn cooldown_suppresses_post_trip_flapping() {
+        let mut d = detector(1, 3);
+        d.set_reference(0.1, vec![vec![0.5, 0.5]]);
+        assert!(d.observe(0.5, &[vec![0.5, 0.5]]).tripped);
+        // Cooldown: the same breaching stats no longer trip.
+        for _ in 0..3 {
+            assert!(!d.observe(0.5, &[vec![0.5, 0.5]]).tripped);
+        }
+        assert!(
+            d.observe(0.5, &[vec![0.5, 0.5]]).tripped,
+            "cooldown expired"
+        );
+    }
+
+    #[test]
+    fn chaos_trip_forces_and_arms_cooldown() {
+        let mut d = detector(5, 4);
+        d.set_reference(0.1, vec![vec![1.0]]);
+        let obs = d.chaos_trip();
+        assert!(obs.tripped);
+        // The forced trip armed the cooldown: a real breach is suppressed.
+        assert!(!d.observe(0.5, &[vec![1.0]]).tripped);
+    }
+}

@@ -53,6 +53,15 @@ pub enum ErrorKind {
         /// Pseudo-labels produced before the weights zeroed out.
         labels: usize,
     },
+    /// A streaming sliding window holds too few samples for the requested
+    /// operation (a micro-batch fine-tune or a re-adaptation). Recoverable:
+    /// the stream may simply not have delivered enough data yet.
+    WindowUnderflow {
+        /// Samples currently in the window.
+        have: usize,
+        /// Samples the operation needs.
+        need: usize,
+    },
     /// The fine-tune (or a baseline's training loop) failed.
     Train(TrainError),
     /// A baseline that needs source data was run without it.
@@ -97,7 +106,8 @@ impl AdaptError {
             | ErrorKind::NoUncertainSamples
             | ErrorKind::ZeroDensityMass
             | ErrorKind::DegenerateBandwidth { .. }
-            | ErrorKind::ZeroCredibility { .. } => true,
+            | ErrorKind::ZeroCredibility { .. }
+            | ErrorKind::WindowUnderflow { .. } => true,
             ErrorKind::Train(e) => e.recoverable(),
             ErrorKind::NonFiniteInput { .. }
             | ErrorKind::EmptyTargetBatch
@@ -117,6 +127,7 @@ impl AdaptError {
             ErrorKind::ZeroDensityMass => "zero_density_mass",
             ErrorKind::DegenerateBandwidth { .. } => "degenerate_bandwidth",
             ErrorKind::ZeroCredibility { .. } => "zero_credibility",
+            ErrorKind::WindowUnderflow { .. } => "window_underflow",
             ErrorKind::Train(_) => "train",
             ErrorKind::MissingSource { .. } => "missing_source",
         }
@@ -149,6 +160,10 @@ impl fmt::Display for AdaptError {
             ErrorKind::ZeroCredibility { labels } => write!(
                 f,
                 "all pseudo-labels carry zero credibility ({labels} label(s))"
+            ),
+            ErrorKind::WindowUnderflow { have, need } => write!(
+                f,
+                "sliding window holds {have} sample(s) but the operation needs {need}"
             ),
             ErrorKind::Train(e) => write!(f, "fine-tune failed: {e}"),
             ErrorKind::MissingSource { baseline } => {
@@ -188,6 +203,7 @@ mod tests {
             ErrorKind::ZeroDensityMass,
             ErrorKind::DegenerateBandwidth { value: f64::NAN },
             ErrorKind::ZeroCredibility { labels: 3 },
+            ErrorKind::WindowUnderflow { have: 0, need: 32 },
             ErrorKind::Train(TrainError::NonFinite {
                 loss: f64::NAN,
                 epoch: 0,

@@ -35,9 +35,34 @@ pub enum Fault {
     /// Swap the fine-tune loss for one whose value grows ×10 per batch,
     /// tripping the divergence guard.
     LossExplosion,
+    /// Poison a contiguous run of incoming stream rows with NaN before the
+    /// streaming engine's ingest validation (a sensor dropout burst).
+    StreamNanBurst,
+    /// Flush the streaming engine's entire sliding window (an upstream
+    /// outage draining the buffer), so windowed operations underflow until
+    /// the stream refills it.
+    WindowStarvation,
+    /// Force the drift detector to report a spurious trip, exercising the
+    /// guarded re-adaptation path on a healthy window.
+    DriftFlap,
+    /// Swap the loss for the whole guarded *re-adaptation* (every retry)
+    /// for an exploding one, forcing the degrade-to-last-good path.
+    ReadaptLossExplosion,
 }
 
 impl Fault {
+    /// Every injectable fault, in declaration order.
+    pub const ALL: [Fault; 8] = [
+        Fault::NanBatch,
+        Fault::EmptyConfidentSplit,
+        Fault::ZeroDensityMass,
+        Fault::LossExplosion,
+        Fault::StreamNanBurst,
+        Fault::WindowStarvation,
+        Fault::DriftFlap,
+        Fault::ReadaptLossExplosion,
+    ];
+
     /// Stable snake_case label (metrics and `TASFAR_CHAOS` syntax).
     pub fn label(self) -> &'static str {
         match self {
@@ -45,18 +70,16 @@ impl Fault {
             Fault::EmptyConfidentSplit => "empty_confident_split",
             Fault::ZeroDensityMass => "zero_density_mass",
             Fault::LossExplosion => "loss_explosion",
+            Fault::StreamNanBurst => "stream_nan_burst",
+            Fault::WindowStarvation => "window_starvation",
+            Fault::DriftFlap => "drift_flap",
+            Fault::ReadaptLossExplosion => "readapt_loss_explosion",
         }
     }
 
     /// Parses a label back to a fault (the `TASFAR_CHAOS` value).
     pub fn parse(label: &str) -> Option<Fault> {
-        match label {
-            "nan_batch" => Some(Fault::NanBatch),
-            "empty_confident_split" => Some(Fault::EmptyConfidentSplit),
-            "zero_density_mass" => Some(Fault::ZeroDensityMass),
-            "loss_explosion" => Some(Fault::LossExplosion),
-            _ => None,
-        }
+        Fault::ALL.into_iter().find(|f| f.label() == label)
     }
 
     fn counter_name(self) -> &'static str {
@@ -65,6 +88,10 @@ impl Fault {
             Fault::EmptyConfidentSplit => "chaos.injected.empty_confident_split",
             Fault::ZeroDensityMass => "chaos.injected.zero_density_mass",
             Fault::LossExplosion => "chaos.injected.loss_explosion",
+            Fault::StreamNanBurst => "chaos.injected.stream_nan_burst",
+            Fault::WindowStarvation => "chaos.injected.window_starvation",
+            Fault::DriftFlap => "chaos.injected.drift_flap",
+            Fault::ReadaptLossExplosion => "chaos.injected.readapt_loss_explosion",
         }
     }
 }
@@ -104,19 +131,46 @@ pub fn armed() -> Option<Fault> {
     slot().map(|a| a.fault)
 }
 
+/// Parses a `TASFAR_CHAOS` value (`<fault>` or `<fault>:<seed>`) into a
+/// fault + seed pair. A chaos run with a misspelled fault name would
+/// otherwise silently test nothing, so unknown labels — and malformed
+/// seeds — are hard errors listing the accepted names.
+pub fn parse_spec(value: &str) -> Result<(Fault, u64), String> {
+    let (label, seed_str) = match value.split_once(':') {
+        Some((l, s)) => (l, Some(s)),
+        None => (value, None),
+    };
+    let Some(fault) = Fault::parse(label) else {
+        let accepted: Vec<&str> = Fault::ALL.iter().map(|f| f.label()).collect();
+        return Err(format!(
+            "TASFAR_CHAOS: unknown fault `{label}` (accepted: {})",
+            accepted.join(", ")
+        ));
+    };
+    let seed = match seed_str {
+        None => 0,
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("TASFAR_CHAOS: seed `{s}` is not a u64"))?,
+    };
+    Ok((fault, seed))
+}
+
 /// Arms a fault from `TASFAR_CHAOS` (`<fault>` or `<fault>:<seed>`), once
-/// per process. Called on entry to `adapt_guarded`, so source-side
-/// calibration is never sabotaged — the chaos lands on the guarded
-/// adaptation it is meant to exercise. Unknown labels are ignored.
+/// per process. Called on entry to `adapt_guarded` and on streaming-engine
+/// construction, so source-side calibration is never sabotaged — the chaos
+/// lands on the guarded adaptation it is meant to exercise.
+///
+/// # Panics
+/// Panics with a message listing the accepted fault names when the value
+/// does not parse (see [`parse_spec`]): a misconfigured chaos run must fail
+/// loudly, not silently run un-sabotaged.
 pub fn init_from_env() {
     ENV_INIT.call_once(|| {
         if let Ok(value) = std::env::var("TASFAR_CHAOS") {
-            let (label, seed) = match value.split_once(':') {
-                Some((l, s)) => (l, s.parse().unwrap_or(0)),
-                None => (value.as_str(), 0),
-            };
-            if let Some(fault) = Fault::parse(label) {
-                arm_seeded(fault, seed);
+            match parse_spec(&value) {
+                Ok((fault, seed)) => arm_seeded(fault, seed),
+                Err(msg) => panic!("{msg}"),
             }
         }
     });
@@ -157,6 +211,27 @@ pub(crate) fn nan_corrupted(x: &Tensor, seed: u64) -> Tensor {
     let slice = out.as_mut_slice();
     for _ in 0..poisoned {
         slice[rng.below(n)] = f64::NAN;
+    }
+    out
+}
+
+/// A copy of `x` with a contiguous burst of whole rows replaced by NaN —
+/// the [`Fault::StreamNanBurst`] payload, modelling a sensor dropout where
+/// several consecutive readings arrive corrupted. At least one row and up to
+/// a quarter of the chunk is poisoned; deterministic in `(shape, seed)`.
+pub(crate) fn nan_burst(x: &Tensor, seed: u64) -> Tensor {
+    let mut out = x.clone();
+    let rows = out.rows();
+    if rows == 0 {
+        return out;
+    }
+    let mut rng = Rng::new(seed.wrapping_add(0x0005_eedb_0457));
+    let burst = (rows / 4).max(1);
+    let start = rng.below(rows - burst + 1);
+    for r in start..start + burst {
+        for v in out.row_mut(r) {
+            *v = f64::NAN;
+        }
     }
     out
 }
@@ -216,15 +291,64 @@ mod tests {
     #[test]
     fn labels_roundtrip() {
         let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        for fault in [
-            Fault::NanBatch,
-            Fault::EmptyConfidentSplit,
-            Fault::ZeroDensityMass,
-            Fault::LossExplosion,
-        ] {
+        for fault in Fault::ALL {
             assert_eq!(Fault::parse(fault.label()), Some(fault));
         }
         assert_eq!(Fault::parse("segfault"), None);
+        // The mid-stream faults are in the accepted set under their
+        // documented names.
+        for label in [
+            "stream_nan_burst",
+            "window_starvation",
+            "drift_flap",
+            "readapt_loss_explosion",
+        ] {
+            assert!(Fault::parse(label).is_some(), "{label} must be accepted");
+        }
+    }
+
+    #[test]
+    fn chaos_spec_parses_strictly() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(parse_spec("nan_batch"), Ok((Fault::NanBatch, 0)));
+        assert_eq!(
+            parse_spec("drift_flap:42"),
+            Ok((Fault::DriftFlap, 42)),
+            "mid-stream faults parse with seeds"
+        );
+        let err = parse_spec("nan_btach").unwrap_err();
+        assert!(err.contains("unknown fault `nan_btach`"), "{err}");
+        assert!(
+            err.contains("stream_nan_burst") && err.contains("loss_explosion"),
+            "the error lists the accepted names: {err}"
+        );
+        let err = parse_spec("nan_batch:not_a_seed").unwrap_err();
+        assert!(err.contains("not_a_seed"), "{err}");
+        // Round-trip: every label parses back through the spec grammar.
+        for fault in Fault::ALL {
+            assert_eq!(parse_spec(fault.label()), Ok((fault, 0)));
+            assert_eq!(parse_spec(&format!("{}:7", fault.label())), Ok((fault, 7)));
+        }
+    }
+
+    #[test]
+    fn nan_burst_poisons_contiguous_rows_deterministically() {
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let x = Tensor::zeros(16, 3);
+        let a = nan_burst(&x, 9);
+        let b = nan_burst(&x, 9);
+        let bad_rows = |t: &Tensor| {
+            (0..t.rows())
+                .filter(|&r| t.row(r).iter().all(|v| v.is_nan()))
+                .collect::<Vec<_>>()
+        };
+        let rows = bad_rows(&a);
+        assert!(!rows.is_empty() && rows.len() <= 4);
+        assert!(
+            rows.windows(2).all(|w| w[1] == w[0] + 1),
+            "the burst is contiguous: {rows:?}"
+        );
+        assert_eq!(rows, bad_rows(&b), "same seed, same burst");
     }
 
     #[test]

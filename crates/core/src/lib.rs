@@ -84,6 +84,7 @@ pub mod classification;
 pub mod confidence;
 pub mod density;
 pub mod diagnostics;
+pub mod drift;
 pub mod error;
 pub mod faultinject;
 pub mod guard;
@@ -92,6 +93,7 @@ pub mod partition;
 pub mod pipeline;
 pub mod pseudo;
 mod stats;
+pub mod stream;
 pub mod uncertainty;
 
 /// One-stop imports for running TASFAR.
@@ -104,11 +106,16 @@ pub mod prelude {
     pub use crate::confidence::{ConfidenceClassifier, ConfidenceSplit};
     pub use crate::density::{DensityMap1d, DensityMap2d, GridSpec};
     pub use crate::diagnostics::AdaptationDiagnostics;
+    pub use crate::drift::{DriftConfig, DriftDetector, DriftObservation};
     pub use crate::error::{AdaptError, ErrorKind};
     pub use crate::guard::{adapt_guarded, GuardedOutcome, RecoveryPolicy};
     pub use crate::metrics;
     pub use crate::partition::{adapt_partitioned, group_by_key, PartitionedAdaptation};
     pub use crate::pipeline::{PipelineTrace, Stage, StageTrace};
     pub use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
+    pub use crate::stream::{
+        IncrementalKde, ReplayStream, StreamAdapter, StreamConfig, StreamOutcome, StreamPhase,
+        StreamReport, StreamSource, StreamTick,
+    };
     pub use crate::uncertainty::{Ensemble, McDropout, McPrediction};
 }

@@ -1,0 +1,93 @@
+//! Shared builder for the streaming suites (`stream_window.rs`,
+//! `chaos_stream.rs`): a factory-calibrated sensor model plus the
+//! deployment stream from `tasfar_data::sensor`.
+
+#![allow(dead_code)]
+
+use tasfar_core::prelude::*;
+use tasfar_data::sensor::{self, SensorConfig, SensorWorld};
+use tasfar_nn::prelude::*;
+
+pub struct StreamToy {
+    pub model: Sequential,
+    pub calib: SourceCalibration,
+    pub cfg: TasfarConfig,
+    pub world: SensorWorld,
+}
+
+/// A trained, calibrated sensor deployment with a short stream. The stream
+/// geometry is kept small so the suites stay fast; `shift_at` still leaves
+/// a steady regime on both sides of the jump.
+pub fn stream_toy(seed: u64, n_stream: usize, shift_at: usize) -> StreamToy {
+    let world = sensor::generate(&SensorConfig {
+        n_source: 500,
+        n_stream,
+        shift_at,
+        glitch_prob: 0.3,
+        seed,
+        ..SensorConfig::default()
+    });
+    let mut rng = Rng::new(seed.wrapping_add(1));
+    let mut model = Sequential::new()
+        .add(Dense::new(sensor::FEATURES, 24, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(24, 1, Init::XavierUniform, &mut rng));
+    let mut opt = Adam::new(5e-3);
+    let _ = fit(
+        &mut model,
+        &mut opt,
+        &Mse,
+        &world.source.x,
+        &world.source.y,
+        None,
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 32,
+            seed,
+            ..TrainConfig::default()
+        },
+    );
+    let cfg = TasfarConfig {
+        grid_cell: 0.05,
+        epochs: 20,
+        learning_rate: 1e-3,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib =
+        calibrate_on_source(&mut model, &world.source, &cfg).expect("the sensor source calibrates");
+    StreamToy {
+        model,
+        calib,
+        cfg,
+        world,
+    }
+}
+
+/// A fast streaming geometry matched to the toy's stream length.
+pub fn toy_stream_cfg() -> StreamConfig {
+    StreamConfig {
+        window: 96,
+        warmup: 64,
+        micro_batch: 16,
+        micro_epochs: 4,
+        replay_confident: 16,
+        live_window: 32,
+        check_every: 8,
+        grid_headroom: 3.0,
+    }
+}
+
+/// FNV-1a over the f64 bit patterns — bit-exact fingerprint of predictions
+/// and density masses (same scheme as the golden-adapt suite).
+pub fn fnv1a_bits(values: &[f64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}

@@ -1,0 +1,200 @@
+//! Sliding-window correctness suite: the incremental KDE must be
+//! **bit-identical** to a from-scratch rebuild after any add/evict
+//! sequence, and every degenerate window geometry must surface as a typed
+//! [`ErrorKind::WindowUnderflow`] instead of a panic.
+
+mod stream_util;
+
+use stream_util::{fnv1a_bits, stream_toy, toy_stream_cfg};
+use tasfar_core::calibration::ErrorModel;
+use tasfar_core::prelude::*;
+use tasfar_nn::prelude::*;
+
+/// Sliding a window over a feed with incremental add/evict must leave the
+/// estimator bit-identical to one rebuilt from scratch over the surviving
+/// samples — across seeds, window sizes, and repeated checkpoints.
+#[test]
+fn incremental_window_update_is_bit_identical_to_rebuild() {
+    let spec = GridSpec::from_range(-2.0, 2.0, 0.05);
+    for seed in [11_u64, 12, 13] {
+        for window in [8_usize, 32, 128] {
+            let mut rng = Rng::new(seed);
+            let feed: Vec<(f64, f64)> = (0..300)
+                .map(|_| (rng.uniform(-1.5, 1.5), rng.uniform(0.02, 0.3)))
+                .collect();
+            let mut inc = IncrementalKde::new(spec.clone(), ErrorModel::Gaussian);
+            let mut held: std::collections::VecDeque<(f64, f64)> = Default::default();
+            for (i, &(mu, sigma)) in feed.iter().enumerate() {
+                if held.len() == window {
+                    let (old_mu, old_sigma) = held.pop_front().unwrap();
+                    inc.evict(old_mu, old_sigma);
+                }
+                held.push_back((mu, sigma));
+                inc.add(mu, sigma);
+
+                if (i + 1) % 50 == 0 {
+                    let mut rebuilt = IncrementalKde::new(spec.clone(), ErrorModel::Gaussian);
+                    for &(m, s) in &held {
+                        rebuilt.add(m, s);
+                    }
+                    assert_eq!(inc.samples(), rebuilt.samples());
+                    assert_eq!(
+                        fnv1a_bits(inc.snapshot().masses()),
+                        fnv1a_bits(rebuilt.snapshot().masses()),
+                        "seed {seed} window {window} step {i}: incremental \
+                         snapshot diverged from the rebuild"
+                    );
+                    assert_eq!(
+                        fnv1a_bits(&inc.normalized_masses()),
+                        fnv1a_bits(&rebuilt.normalized_masses()),
+                        "seed {seed} window {window} step {i}: normalised mass diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Evicting everything returns the estimator to its pristine empty state —
+/// no residual ticks from rounding.
+#[test]
+fn full_eviction_leaves_no_residual_mass() {
+    let spec = GridSpec::from_range(-2.0, 2.0, 0.05);
+    let mut rng = Rng::new(99);
+    let feed: Vec<(f64, f64)> = (0..64)
+        .map(|_| (rng.uniform(-1.5, 1.5), rng.uniform(0.02, 0.3)))
+        .collect();
+    let mut inc = IncrementalKde::new(spec.clone(), ErrorModel::Gaussian);
+    for &(m, s) in &feed {
+        inc.add(m, s);
+    }
+    for &(m, s) in &feed {
+        inc.evict(m, s);
+    }
+    assert_eq!(inc.samples(), 0);
+    assert!(!inc.has_mass());
+    let empty = IncrementalKde::new(spec, ErrorModel::Gaussian);
+    assert_eq!(
+        fnv1a_bits(inc.snapshot().masses()),
+        fnv1a_bits(empty.snapshot().masses())
+    );
+}
+
+#[test]
+fn construction_rejects_underfilled_window_geometry() {
+    let toy = stream_toy(21, 100, 50);
+
+    let zero = StreamConfig {
+        window: 0,
+        ..toy_stream_cfg()
+    };
+    let err = StreamAdapter::new(
+        toy.model.clone(),
+        toy.calib.clone(),
+        toy.cfg.clone(),
+        zero,
+        DriftConfig::default(),
+        RecoveryPolicy::default(),
+    )
+    .err()
+    .expect("a zero-capacity window cannot stream");
+    assert_eq!(err.label(), "window_underflow");
+    assert!(err.recoverable());
+
+    let cramped = StreamConfig {
+        window: 8,
+        micro_batch: 16,
+        ..toy_stream_cfg()
+    };
+    let err = StreamAdapter::new(
+        toy.model,
+        toy.calib,
+        toy.cfg,
+        cramped,
+        DriftConfig::default(),
+        RecoveryPolicy::default(),
+    )
+    .err()
+    .expect("a window smaller than the micro-batch cannot stream");
+    match err.kind {
+        ErrorKind::WindowUnderflow { have, need } => {
+            assert_eq!((have, need), (8, 16));
+        }
+        other => panic!("expected WindowUnderflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn readapt_on_empty_window_is_a_typed_underflow() {
+    let toy = stream_toy(22, 100, 50);
+    let mut engine = StreamAdapter::new(
+        toy.model,
+        toy.calib,
+        toy.cfg,
+        toy_stream_cfg(),
+        DriftConfig::default(),
+        RecoveryPolicy::default(),
+    )
+    .expect("valid geometry");
+    // All samples evicted / none ingested: re-adaptation has nothing to
+    // work on and must say so, not panic.
+    let err = engine.readapt(&Mse, "forced").expect_err("empty window");
+    match err.kind {
+        ErrorKind::WindowUnderflow { have, need } => assert_eq!((have, need), (0, 1)),
+        other => panic!("expected WindowUnderflow, got {other:?}"),
+    }
+    assert_eq!(
+        engine.phase(),
+        StreamPhase::Warmup,
+        "no adaptation happened"
+    );
+}
+
+/// The pathological minimum geometry — a single-sample window with
+/// single-sample micro-batches — must stream without panicking: every
+/// skipped micro-batch surfaces as a typed, recoverable error.
+#[test]
+fn single_sample_window_streams_without_panicking() {
+    let toy = stream_toy(23, 40, 40);
+    let cfg = StreamConfig {
+        window: 1,
+        warmup: 1,
+        micro_batch: 1,
+        micro_epochs: 2,
+        replay_confident: 1,
+        live_window: 1,
+        check_every: 4,
+        grid_headroom: 3.0,
+    };
+    let mut engine = StreamAdapter::new(
+        toy.model,
+        toy.calib,
+        toy.cfg,
+        cfg,
+        DriftConfig::default(),
+        RecoveryPolicy::default(),
+    )
+    .expect("a one-sample window is legal, just mostly useless");
+    let mut typed_errors = 0;
+    for i in 0..engine_feed_len(&toy.world) {
+        let chunk = toy.world.stream.x.slice_rows(i, i + 1);
+        let tick = engine.push(&chunk, &Mse);
+        if let Some(err) = tick.error {
+            assert!(
+                err.recoverable(),
+                "single-sample degradation must stay recoverable: {err}"
+            );
+            typed_errors += 1;
+        }
+    }
+    assert!(typed_errors > 0, "the starved geometry must report errors");
+    let preds = engine.predict(&toy.world.stream.x);
+    assert!(
+        preds.as_slice().iter().all(|v| v.is_finite()),
+        "the model must stay usable"
+    );
+}
+
+fn engine_feed_len(world: &tasfar_data::sensor::SensorWorld) -> usize {
+    world.stream.x.rows().min(30)
+}

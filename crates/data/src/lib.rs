@@ -15,6 +15,9 @@
 //!   domain split.
 //! * [`taxi`] — NYC-style trip-duration generator with a Manhattan /
 //!   non-Manhattan domain split.
+//! * [`sensor`] — virtual-sensor calibration stream (factory source sweep,
+//!   time-ordered deployment stream with slow regime drift and an abrupt
+//!   shift) for streaming online adaptation.
 //! * [`dataset`] — the shared [`dataset::Dataset`] container, splits, and
 //!   z-score [`dataset::Scaler`].
 //!
@@ -27,6 +30,7 @@ pub mod crowd;
 pub mod dataset;
 pub mod housing;
 pub mod pdr;
+pub mod sensor;
 pub mod taxi;
 
 pub use dataset::{DataError, Dataset, Scaler};

@@ -1,0 +1,271 @@
+//! Virtual-sensor calibration stream with slow regime drift and an abrupt
+//! shift — the workload for streaming online adaptation.
+//!
+//! The scenario: a multi-channel sensor head (raw transducer reading plus
+//! environmental and electrical channels) is calibrated in the factory
+//! (the *source* domain) and then deployed into a regime whose operating
+//! point differs from the factory rig — the classic TASFAR domain gap. In
+//! deployment the regime is not even stationary: the operating point creeps
+//! (component ageing, seasonal temperature — *slow drift*) and occasionally
+//! jumps (a process change-over — *abrupt shift*). A streaming adapter must
+//! track the creep with micro-batches and detect the jump, re-adapting.
+//!
+//! Structure mirrors the paper's premise: within any regime the true
+//! quantity is concentrated around the regime's operating point (a strong
+//! scenario label prior), the channel→label map is shared across regimes,
+//! and a fraction of readings are glitched off the data manifold — those
+//! are the high-MC-dropout-variance samples the confidence split isolates.
+//!
+//! All outputs are deterministic functions of the config's `seed`; the
+//! stream tensor is **time-ordered** (row index = arrival order).
+
+use crate::dataset::Dataset;
+use tasfar_nn::rng::Rng;
+use tasfar_nn::tensor::Tensor;
+
+/// Feature order of a sensor sample.
+pub const FEATURE_NAMES: [&str; 6] = [
+    "raw_reading",
+    "temperature",
+    "humidity",
+    "supply_voltage",
+    "cross_channel",
+    "drive_current",
+];
+
+/// Feature width.
+pub const FEATURES: usize = FEATURE_NAMES.len();
+
+/// Per-channel gain of the shared channel model `x_i = a_i·y + b_i + ε`.
+const GAINS: [f64; FEATURES] = [1.0, -0.7, 0.45, 1.3, -1.1, 0.25];
+/// Per-channel offset of the shared channel model.
+const OFFSETS: [f64; FEATURES] = [0.1, -0.05, 0.3, -0.2, 0.15, 0.0];
+/// Per-channel measurement noise σ.
+const CHANNEL_NOISE: f64 = 0.08;
+
+/// Configuration of the sensor-stream generator.
+#[derive(Debug, Clone)]
+pub struct SensorConfig {
+    /// Factory-calibration samples (the source domain).
+    pub n_source: usize,
+    /// Deployment stream length in samples (time-ordered).
+    pub n_stream: usize,
+    /// Stream index at which the operating point jumps abruptly
+    /// (clamped to the stream length; `>= n_stream` means no jump).
+    pub shift_at: usize,
+    /// Slow drift of the operating point, label units per 1000 samples.
+    pub slow_drift_per_1k: f64,
+    /// Pre-jump deployment operating point (the source rig sits at 0).
+    pub pre_center: f64,
+    /// Post-jump operating point.
+    pub post_center: f64,
+    /// Within-regime spread of the true quantity (the scenario prior's
+    /// concentration; the factory rig sweeps a much wider range).
+    pub regime_spread: f64,
+    /// Probability that a deployment reading is glitched off-manifold.
+    pub glitch_prob: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            n_source: 1600,
+            n_stream: 2400,
+            shift_at: 1200,
+            slow_drift_per_1k: 0.05,
+            pre_center: 0.55,
+            post_center: -0.35,
+            regime_spread: 0.18,
+            glitch_prob: 0.25,
+            seed: 47,
+        }
+    }
+}
+
+/// The generated sensor world: factory source set plus deployment stream.
+#[derive(Debug, Clone)]
+pub struct SensorWorld {
+    /// Factory calibration sweep (wide label coverage, few glitches).
+    pub source: Dataset,
+    /// Deployment stream, time-ordered: `stream.x` row `i` arrives at time
+    /// `i`; `stream.y` holds the ground truth for prequential evaluation
+    /// (never shown to the adapter).
+    pub stream: Dataset,
+    /// Per-stream-row flag: reading glitched off-manifold (analysis only).
+    pub stream_glitched: Vec<bool>,
+    /// The generating configuration.
+    pub config: SensorConfig,
+}
+
+/// The deployment operating point at stream index `i`: the regime centre
+/// (pre/post the abrupt shift) plus the slow-drift ramp. Exposed so tests
+/// and benches can window the stream around the known ground truth.
+pub fn operating_point(config: &SensorConfig, i: usize) -> f64 {
+    let base = if i < config.shift_at {
+        config.pre_center
+    } else {
+        config.post_center
+    };
+    base + config.slow_drift_per_1k * (i as f64 / 1000.0)
+}
+
+/// The shared channel model: what the sensor head reports for a true
+/// quantity `y`. Identical in the factory and in deployment — only the
+/// distribution of `y` (and the glitch rate) shifts.
+fn channels(y: f64, glitched: bool, rng: &mut Rng) -> Vec<f64> {
+    let mut x: Vec<f64> = (0..FEATURES)
+        .map(|i| GAINS[i] * y + OFFSETS[i] + rng.gaussian(0.0, CHANNEL_NOISE))
+        .collect();
+    if glitched {
+        // A glitch is not just noise: the affected channels become mutually
+        // inconsistent (each corrupted independently), which is what pushes
+        // the reading off the manifold the factory model was trained on and
+        // drives MC-dropout variance up on exactly these rows.
+        x[0] += rng.gaussian(0.0, 1.2);
+        x[3] *= rng.gaussian(0.0, 0.9).exp();
+        x[4] += rng.gaussian(0.0, 1.0);
+    }
+    x
+}
+
+/// Generates the sensor world.
+pub fn generate(config: &SensorConfig) -> SensorWorld {
+    let mut rng = Rng::new(config.seed);
+
+    // Factory sweep: the rig exercises the full measurement range, so the
+    // source model learns the channel map everywhere; glitches are rare
+    // (bench technicians re-seat flaky probes).
+    let mut src_x = Vec::new();
+    let mut src_y = Vec::new();
+    for _ in 0..config.n_source {
+        let y = rng.gaussian(0.0, 0.6).clamp(-1.6, 1.6);
+        let glitched = rng.bernoulli(0.05);
+        src_x.extend_from_slice(&channels(y, glitched, &mut rng));
+        src_y.push(y);
+    }
+
+    // Deployment stream: concentrated around the moving operating point,
+    // heavily glitched (field conditions).
+    let mut stm_x = Vec::new();
+    let mut stm_y = Vec::new();
+    let mut stm_g = Vec::new();
+    for i in 0..config.n_stream {
+        let y =
+            (operating_point(config, i) + rng.gaussian(0.0, config.regime_spread)).clamp(-1.6, 1.6);
+        let glitched = rng.bernoulli(config.glitch_prob);
+        stm_x.extend_from_slice(&channels(y, glitched, &mut rng));
+        stm_y.push(y);
+        stm_g.push(glitched);
+    }
+
+    SensorWorld {
+        source: Dataset::new(
+            Tensor::from_vec(config.n_source, FEATURES, src_x),
+            Tensor::from_vec(config.n_source, 1, src_y),
+        ),
+        stream: Dataset::new(
+            Tensor::from_vec(config.n_stream, FEATURES, stm_x),
+            Tensor::from_vec(config.n_stream, 1, stm_y),
+        ),
+        stream_glitched: stm_g,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SensorConfig {
+        SensorConfig {
+            n_source: 400,
+            n_stream: 600,
+            shift_at: 300,
+            ..SensorConfig::default()
+        }
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.source.input_dim(), FEATURES);
+        assert_eq!(a.stream.len(), 600);
+        assert_eq!(a.stream_glitched.len(), 600);
+        assert_eq!(a.stream.x, b.stream.x);
+        assert_eq!(a.source.y, b.source.y);
+    }
+
+    #[test]
+    fn abrupt_shift_moves_the_stream_labels() {
+        let cfg = small();
+        let w = generate(&cfg);
+        let y = w.stream.y.col(0);
+        let pre: f64 = y[..cfg.shift_at].iter().sum::<f64>() / cfg.shift_at as f64;
+        let post: f64 =
+            y[cfg.shift_at..].iter().sum::<f64>() / (cfg.n_stream - cfg.shift_at) as f64;
+        assert!(
+            pre - post > 0.6,
+            "pre-shift mean {pre:.2} should sit well above post-shift mean {post:.2}"
+        );
+    }
+
+    #[test]
+    fn slow_drift_ramps_within_a_regime() {
+        let cfg = SensorConfig {
+            slow_drift_per_1k: 0.2,
+            ..small()
+        };
+        assert!(operating_point(&cfg, 299) > operating_point(&cfg, 0));
+        assert!(
+            (operating_point(&cfg, 299) - operating_point(&cfg, 0) - 0.2 * 0.299).abs() < 1e-12
+        );
+        // The jump dominates the ramp.
+        assert!(operating_point(&cfg, 300) < operating_point(&cfg, 299) - 0.5);
+    }
+
+    #[test]
+    fn regimes_are_concentrated_relative_to_source() {
+        let cfg = small();
+        let w = generate(&cfg);
+        let spread = |ys: &[f64]| {
+            let m = ys.iter().sum::<f64>() / ys.len() as f64;
+            (ys.iter().map(|y| (y - m).powi(2)).sum::<f64>() / ys.len() as f64).sqrt()
+        };
+        let src = w.source.y.col(0);
+        let pre = &w.stream.y.col(0)[..cfg.shift_at];
+        assert!(
+            spread(&src) > 2.0 * spread(pre),
+            "source spread {:.3} vs regime spread {:.3}",
+            spread(&src),
+            spread(pre)
+        );
+    }
+
+    #[test]
+    fn glitch_rate_tracks_config() {
+        let w = generate(&SensorConfig {
+            glitch_prob: 0.25,
+            ..small()
+        });
+        let rate = w.stream_glitched.iter().filter(|&&g| g).count() as f64 / w.stream.len() as f64;
+        assert!((0.15..=0.35).contains(&rate), "glitch rate {rate:.2}");
+    }
+
+    #[test]
+    fn everything_is_finite() {
+        let w = generate(&small());
+        for &v in w
+            .source
+            .x
+            .as_slice()
+            .iter()
+            .chain(w.stream.x.as_slice())
+            .chain(w.stream.y.as_slice())
+        {
+            assert!(v.is_finite());
+        }
+    }
+}

@@ -86,6 +86,7 @@ pub mod scratch;
 pub mod spec;
 pub mod tensor;
 pub mod train;
+pub mod window;
 
 pub use error::TrainError;
 
@@ -120,4 +121,5 @@ pub mod prelude {
         evaluate, fit, train_step, try_fit, DivergenceGuard, EarlyStop, FitReport, TrainConfig,
         TrainObserver,
     };
+    pub use crate::window::{tv_distance, RollingStats};
 }

@@ -1,0 +1,225 @@
+//! Windowed statistics helpers for streaming consumers.
+//!
+//! The streaming adaptation engine (`tasfar-core`'s `stream` module) and its
+//! drift detector need small, deterministic rolling summaries: a bounded
+//! ring of recent scalars with on-demand moments, and a total-variation
+//! distance between normalised mass vectors. Both are deliberately
+//! recompute-on-read — the ring is small, and summing the buffer in ring
+//! order on every query keeps the result a pure function of the current
+//! contents (no accumulated float drift from incremental add/subtract).
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity rolling window of scalars with deterministic moments.
+///
+/// Pushing beyond capacity evicts the oldest value. Every statistic is
+/// computed by a fresh pass over the buffer in insertion order (oldest →
+/// newest), so two windows holding the same values in the same order report
+/// bit-identical statistics regardless of how many evictions produced them.
+#[derive(Debug, Clone)]
+pub struct RollingStats {
+    cap: usize,
+    buf: VecDeque<f64>,
+}
+
+impl RollingStats {
+    /// A window holding at most `cap` values (a zero capacity is bumped to
+    /// one rather than panicking).
+    pub fn new(cap: usize) -> RollingStats {
+        RollingStats {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.max(1)),
+        }
+    }
+
+    /// Pushes `v`, returning the evicted oldest value when the window was
+    /// full.
+    pub fn push(&mut self, v: f64) -> Option<f64> {
+        let evicted = if self.buf.len() == self.cap {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(v);
+        evicted
+    }
+
+    /// Values currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window is at capacity (the next push evicts).
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Drops every held value.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Mean of the held values (0.0 when empty). Summed oldest → newest.
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        self.buf.iter().sum::<f64>() / self.buf.len() as f64
+    }
+
+    /// Population variance of the held values (0.0 when fewer than two).
+    pub fn variance(&self) -> f64 {
+        if self.buf.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.buf
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.buf.len() as f64
+    }
+
+    /// Population standard deviation of the held values.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Median of the held values (0.0 when empty; the midpoint average for
+    /// an even count). Robust against heavy-tailed outliers — a minority of
+    /// extreme values cannot move it, which is why streaming drift
+    /// detection keys on it rather than the mean.
+    pub fn median(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            0.5 * (sorted[mid - 1] + sorted[mid])
+        }
+    }
+
+    /// Smallest held value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest held value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.buf.iter().copied().reduce(f64::max)
+    }
+}
+
+/// Total-variation distance `½·Σ|aᵢ − bᵢ|` between two mass vectors.
+///
+/// Intended for *normalised* vectors (each summing to 1), where the result
+/// lies in `[0, 1]`: 0 for identical distributions, 1 for disjoint support.
+/// Mismatched lengths are handled by treating the missing tail as zero mass,
+/// so comparing against an empty vector yields half the other's total mass.
+pub fn tv_distance(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut sum = 0.0;
+    for i in 0..n {
+        let av = a.get(i).copied().unwrap_or(0.0);
+        let bv = b.get(i).copied().unwrap_or(0.0);
+        sum += (av - bv).abs();
+    }
+    0.5 * sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_reports_moments() {
+        let mut w = RollingStats::new(3);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), None);
+        assert_eq!(w.push(3.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.mean(), 2.0);
+        assert_eq!(w.push(4.0), Some(1.0), "oldest value is evicted");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(4.0));
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn statistics_are_order_deterministic() {
+        // Two windows ending up with the same contents in the same order
+        // report bit-identical statistics, no matter how they got there.
+        let mut a = RollingStats::new(4);
+        for v in [0.1, 0.2, 0.3, 0.4] {
+            a.push(v);
+        }
+        let mut b = RollingStats::new(4);
+        for v in [9.0, -3.0, 0.1, 0.2, 0.3, 0.4] {
+            b.push(v);
+        }
+        assert_eq!(a.mean().to_bits(), b.mean().to_bits());
+        assert_eq!(a.variance().to_bits(), b.variance().to_bits());
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        let mut w = RollingStats::new(8);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(v);
+        }
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_is_robust_to_a_heavy_tail() {
+        let mut w = RollingStats::new(8);
+        for v in [0.1, 0.1, 0.12, 0.11, 0.1, 5.0, 9.0, 0.09] {
+            w.push(v);
+        }
+        assert!((w.median() - 0.105).abs() < 1e-12, "median {}", w.median());
+        assert!(w.mean() > 1.0, "the mean IS moved by the tail");
+        let mut odd = RollingStats::new(3);
+        for v in [3.0, 1.0, 2.0] {
+            odd.push(v);
+        }
+        assert_eq!(odd.median(), 2.0);
+        assert_eq!(RollingStats::new(4).median(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_not_fatal() {
+        let mut w = RollingStats::new(0);
+        assert_eq!(w.capacity(), 1);
+        assert_eq!(w.push(1.0), None);
+        assert_eq!(w.push(2.0), Some(1.0));
+    }
+
+    #[test]
+    fn tv_distance_bounds_and_tails() {
+        assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert!((tv_distance(&[0.5, 0.5], &[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        // Missing tail is zero mass: comparing to empty gives half the sum.
+        assert!((tv_distance(&[0.4, 0.6], &[]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -24,6 +24,7 @@ pub const THRESHOLDS: &[(&str, f64)] = &[
     ("ns_per_iter_p90", 0.20),
     ("adapt_ms", 0.25),
     ("err", 0.05),
+    ("detect_latency_samples", 0.20),
     ("resident_bytes", 0.0),
 ];
 
@@ -211,6 +212,7 @@ pub fn perturb(doc: &Json, factor: f64) -> Json {
         "ns_per_iter_p90",
         "wall_ns_total",
         "adapt_ms",
+        "detect_latency_samples",
         "p50",
         "p90",
         "p99",

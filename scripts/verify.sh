@@ -133,4 +133,22 @@ test -s "$scratch/adapter_trace.jsonl" || { echo "adapter gate: no trace written
 cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/adapter_trace.jsonl" \
     --require adapter_layer,stage.fine_tune,train_epoch
 
+# Stream gate: the sliding-window/incremental-KDE suite and the mid-stream
+# chaos gauntlet must hold; a traced streaming run with forced detector
+# flapping must leave drift_trip events and readapt spans in the trace; and
+# the perf watchdog must pass the committed streaming baseline against
+# itself but catch a perturbed detection latency / re-adapt wall.
+echo "==> stream gate (window suite, chaos gauntlet, traced drift, watchdog)"
+cargo test -q --release -p tasfar-core --test stream_window --test chaos_stream
+TASFAR_CHAOS=drift_flap TASFAR_TRACE="$scratch/stream_trace.jsonl" \
+    cargo run --release -p examples --bin streaming >/dev/null
+test -s "$scratch/stream_trace.jsonl" || { echo "stream gate: no trace written" >&2; exit 1; }
+cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/stream_trace.jsonl" \
+    --require drift_trip,readapt
+cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_stream.json BENCH_stream.json
+cargo run --release -p tasfar-obs --bin bench-diff -- --perturb 1.5 BENCH_stream.json "$scratch/stream_perturbed.json"
+if cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_stream.json "$scratch/stream_perturbed.json" >/dev/null 2>&1; then
+    echo "stream gate: 50% detection-latency regression was NOT caught" >&2; exit 1
+fi
+
 echo "verify: all green"
