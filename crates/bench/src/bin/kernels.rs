@@ -633,15 +633,21 @@ fn main() {
                 })
                 .map(|b| b.ns_per_iter)
                 .unwrap_or(r.ns_per_iter);
+            // Nanosecond counts are emitted as integers (`3692`, not
+            // `3692.109375`): the sub-ns fraction is far below clock
+            // resolution, and float-formatted counts made the file look
+            // like it carried ratio-valued fields. Ratios (`speedup_*`)
+            // stay floats.
+            let ns = |v: f64| Json::UInt(v.round() as u64);
             let mut pairs = vec![
                 ("kernel", Json::from(r.kernel)),
                 ("size", Json::from(r.size.clone())),
                 ("backend", Json::from(r.backend)),
                 ("threads", Json::from(r.threads)),
-                ("ns_per_iter", Json::Num(r.ns_per_iter)),
-                ("ns_per_iter_p50", Json::Num(r.ns_per_iter_p50)),
-                ("ns_per_iter_p90", Json::Num(r.ns_per_iter_p90)),
-                ("wall_ns_total", Json::Num(r.wall_ns_total)),
+                ("ns_per_iter", ns(r.ns_per_iter)),
+                ("ns_per_iter_p50", ns(r.ns_per_iter_p50)),
+                ("ns_per_iter_p90", ns(r.ns_per_iter_p90)),
+                ("wall_ns_total", ns(r.wall_ns_total)),
                 ("warmup_iters", Json::from(r.warmup_iters)),
                 ("speedup_vs_1_thread", Json::Num(baseline / r.ns_per_iter)),
             ];

@@ -48,11 +48,20 @@ pub enum Fault {
     /// Swap the loss for the whole guarded *re-adaptation* (every retry)
     /// for an exploding one, forcing the degrade-to-last-good path.
     ReadaptLossExplosion,
+    /// Make one tenant's group in the next fused serving batch artificially
+    /// slow (the serving engine burns extra forwards on it), exercising the
+    /// batching layer's head-of-line behaviour: other tenants' requests and
+    /// the admission queue must keep draining, never deadlock.
+    ServeSlowTenant,
+    /// Evict every resident tenant delta at the start of the next serving
+    /// batch (a cold-cache storm), forcing the registry to rehydrate from
+    /// serialized artifacts mid-batch.
+    ServeEvictStorm,
 }
 
 impl Fault {
     /// Every injectable fault, in declaration order.
-    pub const ALL: [Fault; 8] = [
+    pub const ALL: [Fault; 10] = [
         Fault::NanBatch,
         Fault::EmptyConfidentSplit,
         Fault::ZeroDensityMass,
@@ -61,6 +70,8 @@ impl Fault {
         Fault::WindowStarvation,
         Fault::DriftFlap,
         Fault::ReadaptLossExplosion,
+        Fault::ServeSlowTenant,
+        Fault::ServeEvictStorm,
     ];
 
     /// Stable snake_case label (metrics and `TASFAR_CHAOS` syntax).
@@ -74,6 +85,8 @@ impl Fault {
             Fault::WindowStarvation => "window_starvation",
             Fault::DriftFlap => "drift_flap",
             Fault::ReadaptLossExplosion => "readapt_loss_explosion",
+            Fault::ServeSlowTenant => "serve_slow_tenant",
+            Fault::ServeEvictStorm => "serve_evict_storm",
         }
     }
 
@@ -92,6 +105,8 @@ impl Fault {
             Fault::WindowStarvation => "chaos.injected.window_starvation",
             Fault::DriftFlap => "chaos.injected.drift_flap",
             Fault::ReadaptLossExplosion => "chaos.injected.readapt_loss_explosion",
+            Fault::ServeSlowTenant => "chaos.injected.serve_slow_tenant",
+            Fault::ServeEvictStorm => "chaos.injected.serve_evict_storm",
         }
     }
 }
@@ -174,6 +189,17 @@ pub fn init_from_env() {
             }
         }
     });
+}
+
+/// Consumes the armed fault if it matches `fault`, returning its seed, and
+/// counts the injection in `chaos.injected.<fault>`. This is the probe
+/// injection sites call at their stage boundary; it is public so downstream
+/// crates (the serving runtime's `serve_*` faults) can host injection sites
+/// of their own. Reads `TASFAR_CHAOS` first, so out-of-process chaos runs
+/// work without an explicit [`init_from_env`] on the probing path.
+pub fn consume(fault: Fault) -> Option<u64> {
+    init_from_env();
+    take(fault)
 }
 
 /// Consumes the armed fault if it matches `fault`, returning its seed.

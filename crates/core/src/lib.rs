@@ -92,6 +92,7 @@ pub mod metrics;
 pub mod partition;
 pub mod pipeline;
 pub mod pseudo;
+pub mod session;
 mod stats;
 pub mod stream;
 pub mod uncertainty;
@@ -113,6 +114,7 @@ pub mod prelude {
     pub use crate::partition::{adapt_partitioned, group_by_key, PartitionedAdaptation};
     pub use crate::pipeline::{PipelineTrace, Stage, StageTrace};
     pub use crate::pseudo::{PseudoLabel, PseudoLabelGenerator1d, PseudoLabelGenerator2d};
+    pub use crate::session::TenantSession;
     pub use crate::stream::{
         IncrementalKde, ReplayStream, StreamAdapter, StreamConfig, StreamOutcome, StreamPhase,
         StreamReport, StreamSource, StreamTick,

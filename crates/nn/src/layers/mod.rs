@@ -116,6 +116,38 @@ pub struct McContext<'a> {
     pub next_dropout: usize,
 }
 
+/// One contiguous block of rows in a segmented (multi-tenant) forward
+/// batch: how many rows it spans and which delta serves it.
+///
+/// `None` means the segment is served by the frozen base weights alone
+/// (a tenant that never adapted, or whose delta was rejected as stale).
+pub struct SegmentSpan<'a> {
+    /// Rows in this segment, contiguous in the stacked input.
+    pub rows: usize,
+    /// The segment's low-rank delta, or `None` for source-only serving.
+    pub delta: Option<&'a crate::spec::DeltaArtifact>,
+}
+
+/// Bookkeeping for one segmented fused forward pass (the multi-tenant
+/// serving hot path).
+///
+/// The stacked input concatenates every segment's rows; each adapted layer
+/// computes its **base** affine once over the whole batch and then adds
+/// each segment's low-rank correction to that segment's rows only. The
+/// per-segment factors live in [`crate::spec::DeltaArtifact`]s, whose
+/// tensors are indexed in global [`Layer::visit_params`] order —
+/// `param_cursor` tracks that order as the forward walks the chain, so
+/// every layer (adapted or not) must advance it by the number of trainable
+/// tensors it exposes.
+pub struct SegmentedContext<'a> {
+    /// The row segments, in stacking order. Row counts must sum to the
+    /// stacked input's row count.
+    pub segments: &'a [SegmentSpan<'a>],
+    /// Index of the next trainable tensor in `visit_params` order (the
+    /// artifact tensor index for the layer about to consume it).
+    pub param_cursor: usize,
+}
+
 /// A differentiable network layer.
 ///
 /// Contract:
@@ -167,6 +199,50 @@ pub trait Layer: Send + Sync {
         );
         let _ = &ctx;
         self.forward_scratch(input, Mode::StochasticEval, scratch)
+    }
+
+    /// `Eval` forward for the segmented multi-tenant serving path: the
+    /// input stacks row segments belonging to different tenants over one
+    /// shared frozen model. Adapter-capable layers override this to run
+    /// their base computation **once** across all rows and then add each
+    /// segment's low-rank correction to that segment's rows (bit-identical
+    /// to applying the delta and running solo, because `Eval` forwards are
+    /// row-independent and the correction uses the same kernels in the same
+    /// order).
+    ///
+    /// The default is correct for any layer without adapters — `Eval` ops
+    /// are row-independent, so segments cannot interact — and advances
+    /// `ctx.param_cursor` past this layer's trainable tensors so downstream
+    /// adapted layers index their artifact factors correctly.
+    ///
+    /// Layers that carry adapters but do not override (see
+    /// [`Layer::supports_segmented`]) panic rather than silently serving
+    /// the base weights for every segment.
+    fn forward_segmented(
+        &mut self,
+        input: &Tensor,
+        ctx: &mut SegmentedContext<'_>,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        assert_eq!(
+            self.adapted_layers(),
+            0,
+            "{}: carries adapters but does not implement forward_segmented",
+            self.name()
+        );
+        let mut n = 0usize;
+        self.visit_params(&mut |_| n += 1);
+        ctx.param_cursor += n;
+        self.forward_scratch(input, Mode::Eval, scratch)
+    }
+
+    /// Whether every adapted layer beneath (and including) this one
+    /// implements the segmented serving forward. Serving engines check this
+    /// once and fall back to per-tenant apply/forward/restore when it is
+    /// false. The default — true exactly when no adapters are attached —
+    /// is correct for all shared (adapter-free) layers.
+    fn supports_segmented(&self) -> bool {
+        self.adapted_layers() == 0
     }
 
     /// Trainable parameters, in a stable order. Parameter-free layers return

@@ -1,6 +1,6 @@
 //! The `Sequential` container: an ordered chain of layers.
 
-use super::{Layer, McContext, Mode, Param};
+use super::{Layer, McContext, Mode, Param, SegmentSpan, SegmentedContext};
 use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
@@ -112,6 +112,42 @@ impl Sequential {
         self.adapted_layers() > 0
     }
 
+    /// One `Eval` forward over a stacked multi-tenant batch: `input`
+    /// concatenates each segment's rows and `segments` names the delta
+    /// serving each block (see [`SegmentSpan`]). Every layer runs its base
+    /// computation once across the whole batch; adapted layers then add
+    /// each segment's low-rank correction to that segment's rows only —
+    /// the base GEMMs (and their panel-packing cost) amortize over the
+    /// entire batch instead of being re-paid per tenant.
+    ///
+    /// Each segment's output rows are bit-identical to applying its delta
+    /// and running that segment's rows through a solo `Eval` forward: the
+    /// model's own attached adapter state is ignored (callers keep the
+    /// model parked on a zero-`up` checkpoint so nothing else can leak in).
+    ///
+    /// # Panics
+    /// Panics if segment rows don't sum to `input.rows()`, or if an adapted
+    /// layer in the chain does not implement the segmented forward (see
+    /// [`Layer::supports_segmented`]).
+    pub fn predict_segmented_scratch(
+        &mut self,
+        input: &Tensor,
+        segments: &[SegmentSpan<'_>],
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        let total: usize = segments.iter().map(|s| s.rows).sum();
+        assert_eq!(
+            total,
+            input.rows(),
+            "predict_segmented_scratch: segment rows must sum to the stacked row count"
+        );
+        let mut ctx = SegmentedContext {
+            segments,
+            param_cursor: 0,
+        };
+        self.forward_segmented(input, &mut ctx, scratch)
+    }
+
     /// Total number of scalar parameters.
     pub fn num_parameters(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.value.len()).sum()
@@ -187,6 +223,31 @@ impl Layer for Sequential {
             x = next;
         }
         x
+    }
+
+    fn forward_segmented(
+        &mut self,
+        input: &Tensor,
+        ctx: &mut SegmentedContext<'_>,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let Some(first) = layers.next() else {
+            let mut out = scratch.take(input.rows(), input.cols());
+            out.copy_from(input);
+            return out;
+        };
+        let mut x = first.forward_segmented(input, ctx, scratch);
+        for layer in layers {
+            let next = layer.forward_segmented(&x, ctx, scratch);
+            scratch.give(x);
+            x = next;
+        }
+        x
+    }
+
+    fn supports_segmented(&self) -> bool {
+        self.layers.iter().all(|l| l.supports_segmented())
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

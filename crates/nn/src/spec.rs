@@ -442,6 +442,77 @@ pub struct DeltaArtifact {
     pub values: Vec<Vec<f64>>,
 }
 
+/// Why a [`DeltaArtifact`] refused to load onto a model.
+///
+/// Serving layers that rehydrate tenant deltas from storage hit this when an
+/// artifact was captured against a different architecture or adapter rank
+/// (a "stale delta"). [`DeltaArtifact::try_apply`] reports it instead of
+/// panicking so the caller can degrade to source-model serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaApplyError {
+    /// Trainable tensor `index` has a different shape in the model than the
+    /// artifact recorded — typically a rank or layer-width change.
+    ShapeMismatch {
+        /// Position in `visit_params` order.
+        index: usize,
+        /// Shape the artifact stored.
+        stored: (usize, usize),
+        /// Shape the model exposes.
+        model: (usize, usize),
+    },
+    /// The artifact stores a different number of trainable tensors than the
+    /// model exposes (layers added or removed since capture).
+    TensorCountMismatch {
+        /// Tensors stored in the artifact.
+        stored: usize,
+        /// Tensors the model exposes.
+        model: usize,
+    },
+    /// A stored flat value buffer disagrees with its own recorded shape —
+    /// the artifact itself is corrupt, not merely stale.
+    Corrupt {
+        /// Position in `visit_params` order.
+        index: usize,
+        /// `rows * cols` the shape entry implies.
+        expected_len: usize,
+        /// Values actually stored.
+        found_len: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaApplyError::ShapeMismatch {
+                index,
+                stored,
+                model,
+            } => write!(
+                f,
+                "DeltaArtifact: shape mismatch at tensor {index}: artifact stored \
+                 {}x{}, model exposes {}x{}",
+                stored.0, stored.1, model.0, model.1
+            ),
+            DeltaApplyError::TensorCountMismatch { stored, model } => write!(
+                f,
+                "DeltaArtifact: artifact stores {stored} trainable tensors, model \
+                 exposes {model}"
+            ),
+            DeltaApplyError::Corrupt {
+                index,
+                expected_len,
+                found_len,
+            } => write!(
+                f,
+                "DeltaArtifact: corrupt payload at tensor {index}: shape implies \
+                 {expected_len} values, {found_len} stored"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaApplyError {}
+
 impl DeltaArtifact {
     /// Snapshots the trainable state of an adapted model.
     ///
@@ -482,30 +553,78 @@ impl DeltaArtifact {
     /// attach), then copies every trainable value in place.
     ///
     /// # Panics
-    /// Panics on trainable-tensor count or shape mismatch.
+    /// Panics on trainable-tensor count or shape mismatch. Use
+    /// [`DeltaArtifact::try_apply`] where a stale artifact must degrade
+    /// instead of aborting (serving-layer rehydration).
     pub fn apply(&self, model: &mut Sequential, rng: &mut Rng) {
+        if let Err(e) = self.try_apply(model, rng) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`DeltaArtifact::apply`]: validates the artifact against the
+    /// model's trainable tensors before touching any value, so on `Err` the
+    /// model's predictions are unchanged. (Adapters may still have been
+    /// attached, but a freshly attached adapter's `up` factor is
+    /// zero-initialised, which is prediction-preserving.)
+    pub fn try_apply(&self, model: &mut Sequential, rng: &mut Rng) -> Result<(), DeltaApplyError> {
         if !model.has_adapters() {
             model.attach_adapters(&self.config(), rng);
         }
+        self.check(model)?;
         let mut i = 0usize;
         model.visit_params(&mut |p| {
-            assert!(
-                i < self.values.len(),
-                "DeltaArtifact: model exposes more trainable tensors than stored"
-            );
-            assert_eq!(
-                p.value.shape(),
-                self.shapes[i],
-                "DeltaArtifact: shape mismatch at tensor {i}"
-            );
             p.value.as_mut_slice().copy_from_slice(&self.values[i]);
             i += 1;
         });
-        assert_eq!(
-            i,
-            self.values.len(),
-            "DeltaArtifact: stored more trainable tensors than the model exposes"
-        );
+        Ok(())
+    }
+
+    /// The validation half of [`DeltaArtifact::try_apply`], without the
+    /// copy: verifies the artifact's tensors match `model`'s trainable set
+    /// one-for-one (count, shapes, payload lengths), touching no value.
+    ///
+    /// The segmented serving forward reads artifact factors *in place*
+    /// (never loading them onto the model), so it runs this once per tenant
+    /// per batch to keep the stale-delta degradation path — and adapters
+    /// must already be attached for the trainable set to be the delta.
+    pub fn check(&self, model: &mut Sequential) -> Result<(), DeltaApplyError> {
+        if self.shapes.len() != self.values.len() {
+            // shapes/values arity disagreement inside the artifact itself:
+            // the first index covered by one array but not the other.
+            let i = self.shapes.len().min(self.values.len());
+            return Err(DeltaApplyError::Corrupt {
+                index: i,
+                expected_len: self.shapes.get(i).map_or(0, |&(r, c)| r * c),
+                found_len: self.values.get(i).map_or(0, Vec::len),
+            });
+        }
+        let mut model_shapes = Vec::with_capacity(self.shapes.len());
+        model.visit_params(&mut |p| model_shapes.push(p.value.shape()));
+        if model_shapes.len() != self.shapes.len() {
+            return Err(DeltaApplyError::TensorCountMismatch {
+                stored: self.shapes.len(),
+                model: model_shapes.len(),
+            });
+        }
+        for (i, (&stored, &model_shape)) in self.shapes.iter().zip(&model_shapes).enumerate() {
+            if stored != model_shape {
+                return Err(DeltaApplyError::ShapeMismatch {
+                    index: i,
+                    stored,
+                    model: model_shape,
+                });
+            }
+            let expected_len = stored.0 * stored.1;
+            if self.values[i].len() != expected_len {
+                return Err(DeltaApplyError::Corrupt {
+                    index: i,
+                    expected_len,
+                    found_len: self.values[i].len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Resident bytes of the delta payload.
@@ -849,5 +968,69 @@ mod tests {
             adapted_pred.as_slice(),
             "source SavedModel + DeltaArtifact must reproduce the adapted model bitwise"
         );
+    }
+
+    #[test]
+    fn stale_delta_try_apply_degrades_without_mutating_predictions() {
+        use crate::adapter::{enable_adapters, AdapterConfig};
+        let mut rng = Rng::new(52);
+
+        // Capture a delta under rank 4 ...
+        let spec = demo_spec();
+        let mut adapted = spec.build(&mut rng);
+        let cfg = AdapterConfig::rank(4);
+        enable_adapters(&mut adapted, &cfg, &mut rng);
+        adapted.visit_params(&mut |p| {
+            let noise = Tensor::rand_normal(p.value.rows(), p.value.cols(), 0.0, 0.05, &mut rng);
+            p.value.add_assign(&noise);
+        });
+        let mut artifact = DeltaArtifact::capture(&mut adapted, &cfg);
+
+        // ... then try to rehydrate it onto a model that moved to rank 2:
+        // the adapter factor shapes no longer line up.
+        let mut serving = spec.build(&mut Rng::new(52));
+        enable_adapters(&mut serving, &AdapterConfig::rank(2), &mut rng);
+        let x = Tensor::rand_normal(5, 12, 0.0, 1.0, &mut rng);
+        let before = serving.predict(&x);
+        let err = artifact
+            .try_apply(&mut serving, &mut Rng::new(0))
+            .expect_err("rank-4 delta onto rank-2 adapters must be rejected");
+        assert!(
+            matches!(err, DeltaApplyError::ShapeMismatch { .. }),
+            "expected ShapeMismatch, got {err:?}"
+        );
+        assert!(!err.to_string().is_empty());
+        assert_eq!(
+            serving.predict(&x).as_slice(),
+            before.as_slice(),
+            "a rejected delta must leave the serving model's predictions untouched"
+        );
+
+        // A corrupt payload (values shorter than its shape claims) is
+        // reported as Corrupt, again without mutating the model.
+        let mut fresh = spec.build(&mut Rng::new(52));
+        enable_adapters(&mut fresh, &cfg, &mut rng);
+        artifact.values[0].pop();
+        let err = artifact
+            .try_apply(&mut fresh, &mut Rng::new(0))
+            .expect_err("truncated payload must be rejected");
+        assert!(
+            matches!(err, DeltaApplyError::Corrupt { index: 0, .. }),
+            "expected Corrupt at tensor 0, got {err:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn stale_delta_apply_still_panics() {
+        use crate::adapter::{enable_adapters, AdapterConfig};
+        let mut rng = Rng::new(53);
+        let spec = demo_spec();
+        let mut adapted = spec.build(&mut rng);
+        enable_adapters(&mut adapted, &AdapterConfig::rank(4), &mut rng);
+        let artifact = DeltaArtifact::capture(&mut adapted, &AdapterConfig::rank(4));
+        let mut serving = spec.build(&mut Rng::new(53));
+        enable_adapters(&mut serving, &AdapterConfig::rank(2), &mut rng);
+        artifact.apply(&mut serving, &mut Rng::new(0));
     }
 }

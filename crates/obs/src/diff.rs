@@ -26,6 +26,11 @@ pub const THRESHOLDS: &[(&str, f64)] = &[
     ("err", 0.05),
     ("detect_latency_samples", 0.20),
     ("resident_bytes", 0.0),
+    // Serving-bench request latencies (BENCH_serve.json): p50 tracks the
+    // typical fused path, p99 the queueing tail — single-run numbers, so
+    // the tail gets more headroom.
+    ("p50_ns", 0.15),
+    ("p99_ns", 0.25),
 ];
 
 /// Relative headroom for per-stage latency percentiles in
@@ -216,6 +221,8 @@ pub fn perturb(doc: &Json, factor: f64) -> Json {
         "p50",
         "p90",
         "p99",
+        "p50_ns",
+        "p99_ns",
     ];
     fn walk(v: &Json, factor: f64) -> Json {
         match v {
@@ -317,6 +324,29 @@ mod tests {
                 .iter()
                 .any(|f| f.key.starts_with("stage_latency_ns")),
             "dropped stage section is a regression: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn serve_latency_metrics_are_watched() {
+        let base = Json::parse(
+            r#"{"results":[{"task":"serve","size":"tenants:1000","variant":"batched",
+                 "ops_per_sec":104000.0,"p50_ns":52000,"p99_ns":210000,
+                 "resident_bytes":16528}]}"#,
+        )
+        .unwrap();
+        assert_eq!(regression_count(&diff(&base, &base)), 0);
+        let slow = perturb(&base, 1.3);
+        assert!(
+            regression_count(&diff(&base, &slow)) >= 2,
+            "30% slower must trip both p50_ns (15%) and p99_ns (25%)"
+        );
+        let jitter = perturb(&base, 1.10);
+        assert_eq!(
+            regression_count(&diff(&base, &jitter)),
+            0,
+            "10% jitter stays inside the p50_ns/p99_ns headroom, and perturb \
+             leaves the zero-headroom resident_bytes untouched"
         );
     }
 

@@ -278,6 +278,22 @@ pub fn snapshot() -> Json {
     Json::Obj(pairs)
 }
 
+/// Like [`snapshot`], but restricted to metrics whose name starts with
+/// `prefix`. Lets a bench binary embed just its own subsystem's counters
+/// (e.g. `serve.`) into a result file without dragging the whole registry
+/// along.
+pub fn snapshot_prefixed(prefix: &str) -> Json {
+    match snapshot() {
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .into_iter()
+                .filter(|(name, _)| name.starts_with(prefix))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
 /// Zeroes every registered metric (registrations are kept). For tests and
 /// benchmark harnesses that measure one phase at a time.
 pub fn reset() {

@@ -1,0 +1,341 @@
+//! Bounded two-priority admission queue with typed backpressure.
+//!
+//! Two classes, each with its own bounded FIFO: **predicts** (latency
+//! sensitive, drained first, in windows) and **admin** ops (adapt/evict —
+//! throughput work that yields to predicts). A class at its depth rejects
+//! new submissions with [`ServeError::Overloaded`]; nothing blocks on
+//! submit, nothing panics on load.
+//!
+//! Workers drain via [`AdmissionQueue::next_work`] (non-blocking, for
+//! deterministic drivers: benches and tests) or
+//! [`AdmissionQueue::next_work_blocking`] (condvar-parked, for service
+//! threads; returns `None` only after [`AdmissionQueue::close`] with the
+//! queue empty, so shutdown never strands accepted work).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use tasfar_nn::tensor::Tensor;
+
+use crate::ServeError;
+
+/// Request priority class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Predict requests: drained first, fused into batches.
+    Predict,
+    /// Adapt and evict ops: run one at a time when no predicts wait.
+    Admin,
+}
+
+impl OpClass {
+    /// Stable label for metrics and error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Predict => "predict",
+            OpClass::Admin => "admin",
+        }
+    }
+}
+
+/// One admitted predict request.
+#[derive(Debug)]
+pub struct PredictRequest {
+    /// Ticket returned by submit.
+    pub id: u64,
+    /// Tenant the prediction is for.
+    pub tenant: u64,
+    /// Input batch (rows of features).
+    pub x: Tensor,
+    /// Admission time, for queue-latency accounting.
+    pub enqueued: Instant,
+}
+
+/// One admitted admin op.
+#[derive(Debug)]
+pub enum Request {
+    /// Guarded adaptation on the tenant's unlabeled batch.
+    Adapt {
+        /// Ticket returned by submit.
+        id: u64,
+        /// Tenant to adapt.
+        tenant: u64,
+        /// Unlabeled target batch.
+        x: Tensor,
+        /// Admission time.
+        enqueued: Instant,
+    },
+    /// Drop the tenant's resident delta.
+    Evict {
+        /// Ticket returned by submit.
+        id: u64,
+        /// Tenant to evict.
+        tenant: u64,
+        /// Admission time.
+        enqueued: Instant,
+    },
+}
+
+/// What a worker pulled from the queue.
+#[derive(Debug)]
+pub enum Work {
+    /// Up to one window of predict requests, admission order.
+    Batch(Vec<PredictRequest>),
+    /// One admin op (no predicts were waiting).
+    Admin(Request),
+}
+
+struct Inner {
+    predicts: VecDeque<PredictRequest>,
+    admin: VecDeque<Request>,
+    closed: bool,
+}
+
+/// The bounded two-priority queue. Share via `Arc`.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    depth: usize,
+    next_id: AtomicU64,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `depth` pending requests *per class*.
+    pub fn new(depth: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                predicts: VecDeque::new(),
+                admin: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            depth: depth.max(1),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The per-class depth bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn admit(&self, inner: &Inner, class: OpClass) -> Result<u64, ServeError> {
+        if inner.closed {
+            return Err(ServeError::Closed);
+        }
+        let len = match class {
+            OpClass::Predict => inner.predicts.len(),
+            OpClass::Admin => inner.admin.len(),
+        };
+        if len >= self.depth {
+            tasfar_obs::metrics::counter("serve.queue.rejected").incr();
+            tasfar_obs::event(
+                "serve.overloaded",
+                vec![
+                    ("class", class.label().into()),
+                    ("depth", self.depth.into()),
+                ],
+            );
+            return Err(ServeError::Overloaded {
+                class,
+                depth: self.depth,
+            });
+        }
+        Ok(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Admits a predict request. `Err(Overloaded)` when the predict class
+    /// is at depth — the request was not enqueued.
+    pub fn submit_predict(&self, tenant: u64, x: Tensor) -> Result<u64, ServeError> {
+        let mut inner = self.lock();
+        let id = self.admit(&inner, OpClass::Predict)?;
+        inner.predicts.push_back(PredictRequest {
+            id,
+            tenant,
+            x,
+            enqueued: Instant::now(),
+        });
+        tasfar_obs::metrics::counter("serve.queue.submitted.predict").incr();
+        drop(inner);
+        self.available.notify_one();
+        Ok(id)
+    }
+
+    /// Admits an adapt op (admin class).
+    pub fn submit_adapt(&self, tenant: u64, x: Tensor) -> Result<u64, ServeError> {
+        let mut inner = self.lock();
+        let id = self.admit(&inner, OpClass::Admin)?;
+        inner.admin.push_back(Request::Adapt {
+            id,
+            tenant,
+            x,
+            enqueued: Instant::now(),
+        });
+        tasfar_obs::metrics::counter("serve.queue.submitted.adapt").incr();
+        drop(inner);
+        self.available.notify_one();
+        Ok(id)
+    }
+
+    /// Admits an evict op (admin class).
+    pub fn submit_evict(&self, tenant: u64) -> Result<u64, ServeError> {
+        let mut inner = self.lock();
+        let id = self.admit(&inner, OpClass::Admin)?;
+        inner.admin.push_back(Request::Evict {
+            id,
+            tenant,
+            enqueued: Instant::now(),
+        });
+        tasfar_obs::metrics::counter("serve.queue.submitted.evict").incr();
+        drop(inner);
+        self.available.notify_one();
+        Ok(id)
+    }
+
+    fn pop_work(inner: &mut Inner, window: usize) -> Option<Work> {
+        if !inner.predicts.is_empty() {
+            let take = window.max(1).min(inner.predicts.len());
+            return Some(Work::Batch(inner.predicts.drain(..take).collect()));
+        }
+        inner.admin.pop_front().map(Work::Admin)
+    }
+
+    /// Non-blocking drain: up to `window` predicts (priority), else one
+    /// admin op, else `None` (the empty-window flush — a no-op).
+    pub fn next_work(&self, window: usize) -> Option<Work> {
+        Self::pop_work(&mut self.lock(), window)
+    }
+
+    /// Blocking drain for service threads: parks until work arrives, and
+    /// returns `None` only once the queue is closed *and* empty.
+    pub fn next_work_blocking(&self, window: usize) -> Option<Work> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(work) = Self::pop_work(&mut inner, window) {
+                return Some(work);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pending requests (both classes).
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.predicts.len() + inner.admin.len()
+    }
+
+    /// Pending predict requests only.
+    pub fn pending_predicts(&self) -> usize {
+        self.lock().predicts.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: further submits fail with [`ServeError::Closed`],
+    /// blocked workers drain what was admitted and then receive `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Tensor {
+        Tensor::zeros(1, 2)
+    }
+
+    #[test]
+    fn predicts_drain_before_admin_ops() {
+        let q = AdmissionQueue::new(16);
+        q.submit_adapt(1, x()).unwrap();
+        q.submit_predict(2, x()).unwrap();
+        q.submit_predict(3, x()).unwrap();
+        match q.next_work(8) {
+            Some(Work::Batch(reqs)) => {
+                assert_eq!(
+                    reqs.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+                    vec![2, 3],
+                    "both predicts drain first, admission order"
+                );
+            }
+            other => panic!("expected predict batch, got {other:?}"),
+        }
+        assert!(matches!(
+            q.next_work(8),
+            Some(Work::Admin(Request::Adapt { tenant: 1, .. }))
+        ));
+        assert!(q.next_work(8).is_none(), "empty window flush is a no-op");
+    }
+
+    #[test]
+    fn window_bounds_batch_size() {
+        let q = AdmissionQueue::new(64);
+        for t in 0..10 {
+            q.submit_predict(t, x()).unwrap();
+        }
+        match q.next_work(4) {
+            Some(Work::Batch(reqs)) => assert_eq!(reqs.len(), 4),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(q.pending_predicts(), 6);
+    }
+
+    #[test]
+    fn overload_rejects_typed_without_enqueueing() {
+        let q = AdmissionQueue::new(2);
+        q.submit_predict(1, x()).unwrap();
+        q.submit_predict(2, x()).unwrap();
+        let err = q.submit_predict(3, x()).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                class: OpClass::Predict,
+                depth: 2
+            }
+        );
+        assert_eq!(q.pending_predicts(), 2, "rejected request was not enqueued");
+        // The admin class has its own bound: predicts being full does not
+        // block adapts.
+        q.submit_adapt(4, x()).unwrap();
+        q.submit_evict(5).unwrap();
+        let err = q.submit_evict(6).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Overloaded {
+                class: OpClass::Admin,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn close_rejects_submits_but_drains_admitted_work() {
+        let q = AdmissionQueue::new(8);
+        q.submit_predict(1, x()).unwrap();
+        q.close();
+        assert_eq!(q.submit_predict(2, x()).unwrap_err(), ServeError::Closed);
+        assert!(
+            matches!(q.next_work_blocking(8), Some(Work::Batch(_))),
+            "admitted work drains after close"
+        );
+        assert!(q.next_work_blocking(8).is_none(), "then the queue ends");
+    }
+}

@@ -1,0 +1,466 @@
+//! Sharded tenant registry with byte-budgeted LRU delta residency.
+//!
+//! Tenants are spread over a fixed number of shards by FNV-1a of their id;
+//! each shard is an independently locked map, so lookups for different
+//! shards never contend. A tenant's delta lives in one of two states:
+//!
+//! - **resident** — a deserialized [`DeltaArtifact`] ready to apply, charged
+//!   against the shard's byte budget;
+//! - **cold** — a serialized JSON artifact (shared `Arc<str>`), rehydrated
+//!   on the next lookup.
+//!
+//! When inserting or rehydrating pushes a shard past its budget, the
+//! least-recently-used resident deltas are evicted — serialized back to the
+//! cold store if they weren't there already — until the shard fits. Every
+//! eviction emits a `serve.evict` span with the tenant, bytes, and reason.
+//!
+//! A registry never stores full models: the budget covers deltas only, the
+//! frozen source model is the workers' business.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use tasfar_nn::rng::Rng;
+use tasfar_nn::spec::DeltaArtifact;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Where a lookup found the tenant's delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Already deserialized in the shard.
+    Resident,
+    /// Rehydrated from the cold store for this lookup.
+    Rehydrated,
+    /// The tenant has no delta (never adapted, or its cold artifact failed
+    /// to parse): serve the source model.
+    SourceOnly,
+}
+
+/// Point-in-time registry occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Tenants known to the registry (resident or cold).
+    pub tenants: usize,
+    /// Tenants with a resident delta.
+    pub resident_tenants: usize,
+    /// Bytes of resident delta payloads across all shards.
+    pub resident_bytes: u64,
+    /// Evictions performed since construction.
+    pub evictions: u64,
+    /// Cold-store rehydrations since construction.
+    pub rehydrations: u64,
+}
+
+struct TenantState {
+    /// Shared handle so the segmented fused forward can hold a whole
+    /// batch's deltas without pinning shard locks (or copying payloads).
+    resident: Option<Arc<DeltaArtifact>>,
+    cold: Option<Arc<str>>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Shard {
+    tenants: HashMap<u64, TenantState>,
+    resident_bytes: u64,
+}
+
+/// The sharded delta store. All methods take `&self`; internal per-shard
+/// locks make it safe to share across workers (`Arc<TenantRegistry>`).
+pub struct TenantRegistry {
+    shards: Vec<Mutex<Shard>>,
+    budget_per_shard: u64,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+    rehydrations: AtomicU64,
+}
+
+impl TenantRegistry {
+    /// A registry with `shards` locks and a *total* resident-byte budget of
+    /// `budget_bytes`, split evenly across shards.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero.
+    pub fn new(shards: usize, budget_bytes: u64) -> Self {
+        assert!(shards > 0, "TenantRegistry: at least one shard");
+        TenantRegistry {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        tenants: HashMap::new(),
+                        resident_bytes: 0,
+                    })
+                })
+                .collect(),
+            budget_per_shard: (budget_bytes / shards as u64).max(1),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rehydrations: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `tenant` maps to: FNV-1a of its little-endian bytes,
+    /// modulo the shard count.
+    pub fn shard_of(&self, tenant: u64) -> usize {
+        (fnv1a(&tenant.to_le_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    fn lock(&self, shard: usize) -> MutexGuard<'_, Shard> {
+        self.shards[shard].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a tenant with a serialized (cold) delta. Cheap at any
+    /// tenant count: the `Arc<str>` is shared, nothing is parsed until the
+    /// first lookup. Replaces any previous state for the tenant.
+    pub fn register_cold(&self, tenant: u64, artifact_json: Arc<str>) {
+        let mut shard = self.lock(self.shard_of(tenant));
+        if let Some(prev) = shard.tenants.get(&tenant) {
+            if prev.resident.is_some() {
+                shard.resident_bytes -= prev.bytes;
+            }
+        }
+        let last_used = self.tick();
+        shard.tenants.insert(
+            tenant,
+            TenantState {
+                resident: None,
+                cold: Some(artifact_json),
+                bytes: 0,
+                last_used,
+            },
+        );
+    }
+
+    /// Installs a freshly captured resident delta (the adapt path), then
+    /// enforces the shard budget. The previous cold copy is dropped: it no
+    /// longer describes the tenant.
+    pub fn insert_resident(&self, tenant: u64, artifact: DeltaArtifact) {
+        let bytes = artifact.payload_bytes() as u64;
+        let shard_idx = self.shard_of(tenant);
+        let mut shard = self.lock(shard_idx);
+        if let Some(prev) = shard.tenants.get(&tenant) {
+            if prev.resident.is_some() {
+                shard.resident_bytes -= prev.bytes;
+            }
+        }
+        let last_used = self.tick();
+        shard.tenants.insert(
+            tenant,
+            TenantState {
+                resident: Some(Arc::new(artifact)),
+                cold: None,
+                bytes,
+                last_used,
+            },
+        );
+        shard.resident_bytes += bytes;
+        self.enforce_budget(&mut shard, tenant);
+    }
+
+    /// Looks up the tenant's delta, rehydrating from the cold store when
+    /// necessary, and returns a shared handle to it. The handle stays valid
+    /// after the shard lock is released — even across a concurrent eviction
+    /// — so the segmented fused forward can collect one handle per tenant
+    /// group and read every delta's factors in place during a single
+    /// whole-batch forward. Touches the tenant's LRU stamp.
+    pub fn artifact_handle(&self, tenant: u64) -> (Option<Arc<DeltaArtifact>>, Residency) {
+        let shard_idx = self.shard_of(tenant);
+        let mut shard = self.lock(shard_idx);
+        let tick = self.tick();
+        let mut residency = Residency::SourceOnly;
+        let mut rehydrated_bytes = 0u64;
+        if let Some(state) = shard.tenants.get_mut(&tenant) {
+            state.last_used = tick;
+            if state.resident.is_some() {
+                residency = Residency::Resident;
+            } else if let Some(cold) = &state.cold {
+                match DeltaArtifact::from_json(cold) {
+                    Ok(artifact) => {
+                        state.bytes = artifact.payload_bytes() as u64;
+                        rehydrated_bytes = state.bytes;
+                        state.resident = Some(Arc::new(artifact));
+                        residency = Residency::Rehydrated;
+                        self.rehydrations.fetch_add(1, Ordering::Relaxed);
+                        tasfar_obs::metrics::counter("serve.rehydrations").incr();
+                    }
+                    Err(_) => {
+                        // An unparseable cold artifact degrades to source
+                        // serving; dropping it stops retrying every lookup.
+                        state.cold = None;
+                        tasfar_obs::metrics::counter("serve.cold_parse_errors").incr();
+                    }
+                }
+            }
+        }
+        shard.resident_bytes += rehydrated_bytes;
+        let handle = shard.tenants.get(&tenant).and_then(|s| s.resident.clone());
+        if rehydrated_bytes > 0 {
+            self.enforce_budget(&mut shard, tenant);
+        }
+        (handle, residency)
+    }
+
+    /// [`TenantRegistry::artifact_handle`] in closure form: hands the
+    /// (rehydrated-if-needed) delta to `f` and returns `f`'s result with
+    /// the residency.
+    pub fn with_artifact<R>(
+        &self,
+        tenant: u64,
+        f: impl FnOnce(Option<&DeltaArtifact>) -> R,
+    ) -> (R, Residency) {
+        let (handle, residency) = self.artifact_handle(tenant);
+        (f(handle.as_deref()), residency)
+    }
+
+    /// Evicts LRU residents until the shard fits its budget. `keep` (the
+    /// tenant just touched) is evicted only if it alone exceeds the budget.
+    fn enforce_budget(&self, shard: &mut Shard, keep: u64) {
+        while shard.resident_bytes > self.budget_per_shard {
+            let victim = shard
+                .tenants
+                .iter()
+                .filter(|(&t, s)| s.resident.is_some() && t != keep)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&t, _)| t);
+            let Some(victim) = victim else { break };
+            Self::evict_locked(shard, victim, "budget", &self.evictions);
+        }
+    }
+
+    /// Drops `tenant`'s resident delta (serializing it to the cold store
+    /// first if needed). Must hold the shard lock.
+    fn evict_locked(shard: &mut Shard, tenant: u64, reason: &str, evictions: &AtomicU64) -> bool {
+        let Some(state) = shard.tenants.get_mut(&tenant) else {
+            return false;
+        };
+        let Some(artifact) = state.resident.take() else {
+            return false;
+        };
+        if state.cold.is_none() {
+            state.cold = Some(Arc::from(artifact.to_json().as_str()));
+        }
+        let bytes = state.bytes;
+        shard.resident_bytes -= bytes;
+        state.bytes = 0;
+        evictions.fetch_add(1, Ordering::Relaxed);
+        tasfar_obs::metrics::counter("serve.evictions").incr();
+        let mut span = tasfar_obs::span("serve.evict");
+        span.field("tenant", tenant);
+        span.field("bytes", bytes);
+        span.field("reason", reason);
+        true
+    }
+
+    /// Explicitly evicts one tenant's resident delta. Returns whether a
+    /// resident delta existed.
+    pub fn evict(&self, tenant: u64, reason: &str) -> bool {
+        let mut shard = self.lock(self.shard_of(tenant));
+        Self::evict_locked(&mut shard, tenant, reason, &self.evictions)
+    }
+
+    /// Evicts every resident delta in every shard (the
+    /// `serve_evict_storm` chaos payload). Returns how many were evicted.
+    pub fn evict_all_resident(&self, reason: &str) -> usize {
+        let mut evicted = 0;
+        for i in 0..self.shards.len() {
+            let mut shard = self.lock(i);
+            let residents: Vec<u64> = shard
+                .tenants
+                .iter()
+                .filter(|(_, s)| s.resident.is_some())
+                .map(|(&t, _)| t)
+                .collect();
+            for t in residents {
+                if Self::evict_locked(&mut shard, t, reason, &self.evictions) {
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Point-in-time occupancy across all shards.
+    pub fn stats(&self) -> RegistryStats {
+        let mut stats = RegistryStats {
+            tenants: 0,
+            resident_tenants: 0,
+            resident_bytes: 0,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rehydrations: self.rehydrations.load(Ordering::Relaxed),
+        };
+        for i in 0..self.shards.len() {
+            let shard = self.lock(i);
+            stats.tenants += shard.tenants.len();
+            stats.resident_tenants += shard
+                .tenants
+                .values()
+                .filter(|s| s.resident.is_some())
+                .count();
+            stats.resident_bytes += shard.resident_bytes;
+        }
+        stats
+    }
+
+    /// A clone of the tenant's current artifact, rehydrating if cold — the
+    /// adapt path's warm-start read (off the hot path, so the clone is
+    /// fine).
+    pub fn clone_artifact(&self, tenant: u64) -> Option<DeltaArtifact> {
+        self.with_artifact(tenant, |a| a.cloned()).0
+    }
+}
+
+/// A tiny deterministic helper for tests and benches: a registry where
+/// every tenant shares one of `prototypes` serialized deltas, assigned
+/// round-robin, registered cold (O(1) memory per tenant beyond the map
+/// entry).
+pub fn register_prototypes(registry: &TenantRegistry, tenants: u64, prototypes: &[Arc<str>]) {
+    assert!(!prototypes.is_empty(), "register_prototypes: no prototypes");
+    for t in 0..tenants {
+        registry.register_cold(
+            t,
+            Arc::clone(&prototypes[(t % prototypes.len() as u64) as usize]),
+        );
+    }
+}
+
+/// Seeds an `Rng` stream per tenant for request payloads: deterministic,
+/// decorrelated across tenants.
+pub fn tenant_rng(seed: u64, tenant: u64) -> Rng {
+    Rng::new(seed ^ fnv1a(&tenant.to_le_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tasfar_nn::adapter::{enable_adapters, AdapterConfig};
+    use tasfar_nn::init::Init;
+    use tasfar_nn::layers::{Dense, Layer, Relu, Sequential};
+    use tasfar_nn::tensor::Tensor;
+
+    fn artifact(seed: u64) -> DeltaArtifact {
+        let mut rng = Rng::new(seed);
+        let mut m = Sequential::new()
+            .add(Dense::new(3, 4, Init::HeNormal, &mut rng))
+            .add(Relu::new())
+            .add(Dense::new(4, 1, Init::HeNormal, &mut rng));
+        enable_adapters(&mut m, &AdapterConfig::rank(2), &mut rng);
+        m.visit_params(&mut |p| {
+            let noise = Tensor::rand_normal(p.value.rows(), p.value.cols(), 0.0, 0.1, &mut rng);
+            p.value.add_assign(&noise);
+        });
+        DeltaArtifact::capture(&mut m, &AdapterConfig::rank(2))
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_spread() {
+        let reg = TenantRegistry::new(8, 1 << 20);
+        let mut hit = [false; 8];
+        for t in 0..256u64 {
+            let s = reg.shard_of(t);
+            assert_eq!(s, reg.shard_of(t), "shard_of must be deterministic");
+            hit[s] = true;
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "256 tenants must reach all 8 shards"
+        );
+    }
+
+    #[test]
+    fn rehydration_roundtrips_and_counts() {
+        let reg = TenantRegistry::new(2, 1 << 20);
+        let a = artifact(1);
+        reg.register_cold(7, Arc::from(a.to_json().as_str()));
+        let ((), residency) = reg.with_artifact(7, |got| {
+            assert_eq!(got, Some(&a), "rehydrated artifact must equal the original");
+        });
+        assert_eq!(residency, Residency::Rehydrated);
+        let ((), residency) = reg.with_artifact(7, |got| assert!(got.is_some()));
+        assert_eq!(residency, Residency::Resident, "second lookup is resident");
+        let stats = reg.stats();
+        assert_eq!(stats.rehydrations, 1);
+        assert_eq!(stats.resident_tenants, 1);
+        assert_eq!(stats.resident_bytes, a.payload_bytes() as u64);
+    }
+
+    #[test]
+    fn unknown_tenant_serves_source_only() {
+        let reg = TenantRegistry::new(2, 1 << 20);
+        let ((), residency) = reg.with_artifact(99, |got| assert!(got.is_none()));
+        assert_eq!(residency, Residency::SourceOnly);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let a = artifact(1);
+        let bytes = a.payload_bytes() as u64;
+        // One shard, room for two residents.
+        let reg = TenantRegistry::new(1, 2 * bytes);
+        reg.insert_resident(10, artifact(1));
+        reg.insert_resident(20, artifact(2));
+        // Touch 10 so 20 becomes the LRU, then push a third resident in.
+        reg.with_artifact(10, |_| ());
+        reg.insert_resident(30, artifact(3));
+        let stats = reg.stats();
+        assert_eq!(stats.resident_tenants, 2, "budget holds two residents");
+        assert_eq!(stats.evictions, 1);
+        let (_, r20) = reg.with_artifact(20, |a| assert!(a.is_some()));
+        assert_eq!(
+            r20,
+            Residency::Rehydrated,
+            "the LRU tenant was evicted to cold and must rehydrate"
+        );
+        // Rehydrating 20 pushed the shard back over budget: still 2 resident.
+        assert_eq!(reg.stats().resident_tenants, 2);
+    }
+
+    #[test]
+    fn evict_storm_clears_all_and_preserves_artifacts() {
+        let reg = TenantRegistry::new(4, 1 << 20);
+        for t in 0..6 {
+            reg.insert_resident(t, artifact(t));
+        }
+        assert_eq!(reg.evict_all_resident("storm"), 6);
+        let stats = reg.stats();
+        assert_eq!(stats.resident_tenants, 0);
+        assert_eq!(stats.resident_bytes, 0);
+        for t in 0..6 {
+            let expect = artifact(t);
+            let (ok, residency) = reg.with_artifact(t, |a| a == Some(&expect));
+            assert!(ok, "storm-evicted artifact must rehydrate bit-identically");
+            assert_eq!(residency, Residency::Rehydrated);
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

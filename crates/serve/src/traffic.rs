@@ -1,0 +1,230 @@
+//! Deterministic synthetic serving traffic.
+//!
+//! Production-shaped load in a reproducible form: tenant popularity is
+//! Zipfian (a few hot walkers, a long tail of cold ones), inter-arrival
+//! gaps are Pareto heavy-tailed (bursts and lulls, not a metronome), and
+//! the op mix interleaves predicts with occasional adapt and evict ops.
+//! Everything derives from one seed through the in-tree [`Rng`], so a
+//! traffic trace is a pure function of its [`TrafficConfig`] — benches
+//! compare batched vs. unbatched serving on *identical* request sequences,
+//! and chaos tests replay the exact load that tripped.
+
+use tasfar_nn::rng::Rng;
+
+/// What one traffic event asks the runtime to do. Payload tensors are the
+/// driver's business (see [`crate::registry::tenant_rng`] for per-tenant
+/// deterministic inputs); the generator fixes *who, what, when*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpSpec {
+    /// Predict for the tenant.
+    Predict {
+        /// Target tenant.
+        tenant: u64,
+    },
+    /// Adapt the tenant on a fresh unlabeled batch.
+    Adapt {
+        /// Target tenant.
+        tenant: u64,
+    },
+    /// Evict the tenant's resident delta.
+    Evict {
+        /// Target tenant.
+        tenant: u64,
+    },
+}
+
+impl OpSpec {
+    /// The tenant the op addresses.
+    pub fn tenant(self) -> u64 {
+        match self {
+            OpSpec::Predict { tenant } | OpSpec::Adapt { tenant } | OpSpec::Evict { tenant } => {
+                tenant
+            }
+        }
+    }
+}
+
+/// One timestamped traffic event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficEvent {
+    /// Nanoseconds since the trace started (cumulative Pareto gaps).
+    pub at_ns: u64,
+    /// The op.
+    pub op: OpSpec,
+}
+
+/// Traffic-shape knobs.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Tenant population (ids `0..tenants`; id 0 is the most popular).
+    pub tenants: u64,
+    /// Events to generate.
+    pub requests: usize,
+    /// Zipf exponent `s` — tenant rank `t` draws with probability
+    /// ∝ `t^-s`. Larger = hotter head.
+    pub zipf_s: f64,
+    /// Fraction of events that are adapt ops.
+    pub adapt_frac: f64,
+    /// Fraction of events that are evict ops.
+    pub evict_frac: f64,
+    /// Mean inter-arrival gap in nanoseconds.
+    pub mean_gap_ns: u64,
+    /// Pareto tail index `α` (> 1; smaller = heavier tail).
+    pub pareto_alpha: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            tenants: 100,
+            requests: 1024,
+            zipf_s: 1.1,
+            adapt_frac: 0.02,
+            evict_frac: 0.01,
+            mean_gap_ns: 10_000,
+            pareto_alpha: 1.5,
+            seed: 7,
+        }
+    }
+}
+
+/// Draws a Zipf(s) rank in `1..=n` by inverting the continuous power-law
+/// CDF — exact enough for traffic shaping at any `n`, O(1) per draw.
+fn zipf_rank(n: u64, s: f64, u: f64) -> u64 {
+    let n_f = n as f64;
+    let rank = if (s - 1.0).abs() < 1e-9 {
+        // s = 1: inverse of ln(rank)/ln(n).
+        n_f.powf(u)
+    } else {
+        let one_minus_s = 1.0 - s;
+        ((n_f.powf(one_minus_s) - 1.0) * u + 1.0).powf(1.0 / one_minus_s)
+    };
+    (rank.floor() as u64).clamp(1, n)
+}
+
+/// A Pareto-distributed gap with the requested mean and tail index, capped
+/// at 1000× the mean so one astronomical draw cannot swallow the trace.
+fn pareto_gap_ns(mean_ns: u64, alpha: f64, u: f64) -> u64 {
+    // Mean of Pareto(x_m, α) is x_m·α/(α-1); pick x_m to hit `mean_ns`.
+    let x_m = mean_ns as f64 * (alpha - 1.0) / alpha;
+    let gap = x_m * (1.0 - u).powf(-1.0 / alpha);
+    (gap as u64).min(mean_ns.saturating_mul(1000))
+}
+
+/// Generates the trace. Deterministic: same config (seed included), same
+/// events.
+pub fn generate(cfg: &TrafficConfig) -> Vec<TrafficEvent> {
+    assert!(cfg.tenants > 0, "traffic: at least one tenant");
+    assert!(cfg.pareto_alpha > 1.0, "traffic: Pareto α must exceed 1");
+    assert!(
+        cfg.adapt_frac + cfg.evict_frac <= 1.0,
+        "traffic: op fractions exceed 1"
+    );
+    let mut rng = Rng::new(cfg.seed ^ 0x7261_6666_6963_5f31);
+    let mut at_ns = 0u64;
+    let mut events = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        at_ns = at_ns.saturating_add(pareto_gap_ns(cfg.mean_gap_ns, cfg.pareto_alpha, rng.f64()));
+        let tenant = zipf_rank(cfg.tenants, cfg.zipf_s, rng.f64()) - 1;
+        let mix = rng.f64();
+        let op = if mix < cfg.adapt_frac {
+            OpSpec::Adapt { tenant }
+        } else if mix < cfg.adapt_frac + cfg.evict_frac {
+            OpSpec::Evict { tenant }
+        } else {
+            OpSpec::Predict { tenant }
+        };
+        events.push(TrafficEvent { at_ns, op });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let cfg = TrafficConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TrafficConfig {
+            seed: 8,
+            ..TrafficConfig::default()
+        };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn zipf_popularity_is_head_heavy_and_monotone() {
+        let cfg = TrafficConfig {
+            tenants: 1000,
+            requests: 20_000,
+            zipf_s: 1.1,
+            adapt_frac: 0.0,
+            evict_frac: 0.0,
+            ..TrafficConfig::default()
+        };
+        let events = generate(&cfg);
+        let mut counts = vec![0u64; 1000];
+        for e in &events {
+            counts[e.op.tenant() as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[9] && counts[9] > counts[99],
+            "popularity must fall with rank: {} {} {}",
+            counts[0],
+            counts[9],
+            counts[99]
+        );
+        let head: u64 = counts[..10].iter().sum();
+        assert!(
+            head as f64 > 0.3 * events.len() as f64,
+            "top-10 tenants must dominate a Zipf(1.1) trace ({head} of {})",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn interarrival_gaps_are_heavy_tailed() {
+        let cfg = TrafficConfig {
+            requests: 10_000,
+            ..TrafficConfig::default()
+        };
+        let events = generate(&cfg);
+        let mut gaps: Vec<u64> = events.windows(2).map(|w| w[1].at_ns - w[0].at_ns).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2];
+        let p999 = gaps[gaps.len() * 999 / 1000];
+        assert!(
+            p999 > 10 * median.max(1),
+            "Pareto gaps: p99.9 ({p999}) must dwarf the median ({median})"
+        );
+        assert!(
+            events.windows(2).all(|w| w[1].at_ns >= w[0].at_ns),
+            "timestamps are monotone"
+        );
+    }
+
+    #[test]
+    fn op_mix_matches_fractions_roughly() {
+        let cfg = TrafficConfig {
+            requests: 10_000,
+            adapt_frac: 0.05,
+            evict_frac: 0.03,
+            ..TrafficConfig::default()
+        };
+        let events = generate(&cfg);
+        let adapts = events
+            .iter()
+            .filter(|e| matches!(e.op, OpSpec::Adapt { .. }))
+            .count();
+        let evicts = events
+            .iter()
+            .filter(|e| matches!(e.op, OpSpec::Evict { .. }))
+            .count();
+        assert!((300..700).contains(&adapts), "≈5% adapts, got {adapts}");
+        assert!((150..450).contains(&evicts), "≈3% evicts, got {evicts}");
+    }
+}

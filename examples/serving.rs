@@ -1,0 +1,238 @@
+//! Serving quickstart: sharded multi-tenant serving over one frozen source
+//! model with cross-tenant fused batching and LRU-resident deltas.
+//!
+//! One source model is trained and calibrated once; 64 tenants then share
+//! it, each owning only a rank-2 `DeltaArtifact` (a few KB against a model
+//! of hundreds of KB). A deliberately tight resident-byte budget forces the
+//! registry to evict and rehydrate deltas under Zipf-shaped traffic while
+//! the worker fuses concurrent predicts — across tenants — into single
+//! segmented forwards. The driver is closed-loop: typed `Overloaded`
+//! backpressure pauses submission until the worker drains.
+//!
+//! Along the way the example pins the core serving guarantee: a fused
+//! batch's outputs are bit-identical to solo (one-request-at-a-time)
+//! serving, compared via FNV-1a hashes over the output bits.
+//!
+//! Honors `TASFAR_TRACE` for a structured trace (`serve.batch` spans with
+//! request/tenant/row counts, `serve.evict` spans with the reason, the
+//! `serve.adapt` outcome of each guarded adaptation).
+//!
+//! Run with: `cargo run --release -p examples --bin serving`
+
+use std::sync::Arc;
+
+use tasfar_core::adapt::{calibrate_on_source, TasfarConfig};
+use tasfar_core::session::TenantSession;
+use tasfar_data::Dataset;
+use tasfar_nn::adapter::{enable_adapters, AdapterConfig};
+use tasfar_nn::init::Init;
+use tasfar_nn::layers::{Dense, Dropout, Relu, Sequential};
+use tasfar_nn::rng::Rng;
+use tasfar_nn::spec::DeltaArtifact;
+use tasfar_nn::tensor::Tensor;
+use tasfar_serve::registry::{register_prototypes, tenant_rng};
+use tasfar_serve::{
+    generate, hash_tensor_bits, CompletionKind, OpSpec, ServeConfig, ServeError, ServeRuntime,
+    TrafficConfig,
+};
+
+const INPUT_DIM: usize = 8;
+const TENANTS: u64 = 64;
+
+fn main() {
+    // ---- the shared source model: train + calibrate once -----------------
+    let mut rng = Rng::new(11);
+    let mut model = Sequential::new()
+        .add(Dense::new(INPUT_DIM, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.1, &mut rng))
+        .add(Dense::new(64, 64, Init::HeNormal, &mut rng))
+        .add(Relu::new())
+        .add(Dropout::new(0.1, &mut rng))
+        .add(Dense::new(64, 1, Init::XavierUniform, &mut rng));
+    let x = Tensor::rand_normal(128, INPUT_DIM, 0.0, 1.0, &mut rng);
+    let mut y = Tensor::zeros(128, 1);
+    for i in 0..128 {
+        let mean: f64 = (0..INPUT_DIM).map(|j| x.get(i, j)).sum::<f64>() / INPUT_DIM as f64;
+        y.set(i, 0, mean + rng.gaussian(0.0, 0.05));
+    }
+    let source = Dataset::new(x, y);
+    let cfg = TasfarConfig {
+        mc_samples: 4,
+        epochs: 2,
+        segments: 8,
+        grid_cell: 0.1,
+        early_stop: None,
+        ..TasfarConfig::default()
+    };
+    let calib = calibrate_on_source(&mut model, &source, &cfg).expect("calibration");
+    let session = TenantSession::new(calib, cfg, AdapterConfig::rank(2));
+
+    // ---- per-tenant deltas: a few KB each, registered cold ---------------
+    let prototypes: Vec<Arc<str>> = (0..4)
+        .map(|p| {
+            let mut prng = Rng::new(0x0DE17A + p);
+            let mut m = model.clone();
+            enable_adapters(&mut m, &AdapterConfig::rank(2), &mut prng);
+            let mut artifact = DeltaArtifact::capture(&mut m, &AdapterConfig::rank(2));
+            for values in &mut artifact.values {
+                for v in values.iter_mut() {
+                    *v += prng.gaussian(0.0, 0.02);
+                }
+            }
+            Arc::from(artifact.to_json().as_str())
+        })
+        .collect();
+    let delta_bytes = DeltaArtifact::from_json(&prototypes[0])
+        .expect("prototype roundtrip")
+        .payload_bytes() as u64;
+
+    // A budget of ~16 deltas for 64 tenants: Zipf traffic keeps the hot
+    // head resident and churns the tail through evict → cold → rehydrate.
+    let rt = ServeRuntime::new(
+        model,
+        session,
+        ServeConfig {
+            shards: 8,
+            queue_depth: 256,
+            batch_window: 32,
+            resident_budget_bytes: 16 * delta_bytes,
+        },
+    );
+    register_prototypes(rt.registry(), TENANTS, &prototypes);
+    let mut worker = rt.worker(23);
+    println!(
+        "serving {TENANTS} tenants over one {} B model; {delta_bytes} B delta/tenant, \
+         budget {} B",
+        worker.full_model_bytes(),
+        rt.config().resident_budget_bytes
+    );
+
+    // ---- bit-identity: fused batch == solo serving -----------------------
+    let mut solo_hashes = Vec::new();
+    for tenant in [1u64, 2, 3] {
+        let mut trng = tenant_rng(99, tenant);
+        let x = Tensor::rand_normal(1, INPUT_DIM, 0.0, 1.0, &mut trng);
+        let (out, _via) = worker.serve_solo(tenant, &x);
+        solo_hashes.push(hash_tensor_bits(&out));
+        rt.submit_predict(tenant, x).expect("admit");
+    }
+    let mut fused_hashes = Vec::new();
+    for c in worker.process_next() {
+        if let CompletionKind::Predict { output, .. } = c.kind {
+            fused_hashes.push(hash_tensor_bits(&output));
+            worker.recycle(output);
+        }
+    }
+    assert_eq!(
+        solo_hashes, fused_hashes,
+        "fused cross-tenant batches must be bit-identical to solo serving"
+    );
+    println!("bit-identity: 3 tenants fused into one batch match solo serving exactly");
+
+    // ---- Zipf traffic through the closed loop ----------------------------
+    let events = generate(&TrafficConfig {
+        tenants: TENANTS,
+        requests: 768,
+        zipf_s: 1.2,
+        adapt_frac: 0.01,
+        evict_frac: 0.02,
+        seed: 42,
+        ..TrafficConfig::default()
+    });
+    let mut payload_rng = Rng::new(0x7AFF);
+    let (mut predicts, mut adapts, mut evict_ops, mut shed) = (0u64, 0u64, 0u64, 0u64);
+    let mut i = 0usize;
+    while i < events.len() {
+        while i < events.len() {
+            let result = match events[i].op {
+                OpSpec::Predict { tenant } => rt.submit_predict(
+                    tenant,
+                    Tensor::rand_normal(1, INPUT_DIM, 0.0, 1.0, &mut payload_rng),
+                ),
+                OpSpec::Adapt { tenant } => {
+                    let mut trng = tenant_rng(42, tenant);
+                    rt.submit_adapt(
+                        tenant,
+                        Tensor::rand_normal(48, INPUT_DIM, 0.0, 1.0, &mut trng),
+                    )
+                }
+                OpSpec::Evict { tenant } => rt.submit_evict(tenant),
+            };
+            match result {
+                Ok(_) => i += 1,
+                Err(ServeError::Overloaded { .. }) => {
+                    // Typed backpressure: drain before submitting more.
+                    shed += 1;
+                    break;
+                }
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+        for c in worker.process_next() {
+            match c.kind {
+                CompletionKind::Predict { output, .. } => {
+                    assert!(
+                        output.as_slice().iter().all(|v| v.is_finite()),
+                        "the serving path must never ship a non-finite prediction"
+                    );
+                    predicts += 1;
+                    worker.recycle(output);
+                }
+                CompletionKind::Adapt { outcome } => {
+                    adapts += 1;
+                    println!("tenant {} adapt -> {outcome}", c.tenant);
+                }
+                CompletionKind::Evict { .. } => evict_ops += 1,
+            }
+        }
+    }
+    loop {
+        let done = worker.process_next();
+        if done.is_empty() {
+            break;
+        }
+        for c in done {
+            if let CompletionKind::Predict { output, .. } = c.kind {
+                predicts += 1;
+                worker.recycle(output);
+            } else {
+                match c.kind {
+                    CompletionKind::Adapt { .. } => adapts += 1,
+                    CompletionKind::Evict { .. } => evict_ops += 1,
+                    CompletionKind::Predict { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+
+    // ---- the residency story ---------------------------------------------
+    let stats = rt.registry().stats();
+    println!(
+        "traffic done: {predicts} predicts, {adapts} adapts, {evict_ops} evict ops \
+         ({shed} backpressure pauses)"
+    );
+    println!(
+        "registry: {}/{} tenants resident ({} B of {} B budget), \
+         {} evictions, {} rehydrations",
+        stats.resident_tenants,
+        stats.tenants,
+        stats.resident_bytes,
+        rt.config().resident_budget_bytes,
+        stats.evictions,
+        stats.rehydrations
+    );
+    assert!(
+        stats.evictions > 0,
+        "the tight budget must have forced evictions"
+    );
+    assert!(
+        stats.resident_bytes <= rt.config().resident_budget_bytes,
+        "residency must respect the byte budget"
+    );
+
+    // Close the trace with a metrics snapshot (the serve.* counter family)
+    // so obs-report can expose it.
+    tasfar_obs::metrics::emit_snapshot("serve");
+    tasfar_obs::flush();
+}

@@ -151,4 +151,27 @@ if cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_stream.json "$scr
     echo "stream gate: 50% detection-latency regression was NOT caught" >&2; exit 1
 fi
 
+# Serve gate: the multi-tenant serving suites must hold (fused-batch
+# bit-identity pinned by FNV-1a hashes, bounded-queue Overloaded rejection,
+# the slow-tenant/evict-storm chaos gauntlet); a traced serving run must
+# leave serve.batch and serve.evict spans in the trace; a quick serve bench
+# must self-assert batched >= 2x unbatched at the largest tenant count; and
+# the watchdog must pass the committed serving baseline against itself but
+# catch perturbed batch latencies.
+echo "==> serve gate (bit-identity + chaos suites, traced run, 2x bench, watchdog)"
+cargo test -q --release -p tasfar-serve
+TASFAR_TRACE="$scratch/serve_trace.jsonl" \
+    cargo run --release -p examples --bin serving >/dev/null
+test -s "$scratch/serve_trace.jsonl" || { echo "serve gate: no trace written" >&2; exit 1; }
+cargo run --release -p tasfar-obs --bin trace-check -- "$scratch/serve_trace.jsonl" \
+    --require serve.batch,serve.evict
+TASFAR_BENCH_QUICK=1 TASFAR_BENCH_OUT="$scratch/BENCH_serve.json" \
+    cargo run --release -p tasfar-bench --bin serve >/dev/null
+test -s "$scratch/BENCH_serve.json" || { echo "serve gate: no bench output" >&2; exit 1; }
+cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_serve.json BENCH_serve.json
+cargo run --release -p tasfar-obs --bin bench-diff -- --perturb 1.3 BENCH_serve.json "$scratch/serve_perturbed.json"
+if cargo run --release -p tasfar-obs --bin bench-diff -- BENCH_serve.json "$scratch/serve_perturbed.json" >/dev/null 2>&1; then
+    echo "serve gate: 30% batch-latency regression was NOT caught" >&2; exit 1
+fi
+
 echo "verify: all green"
