@@ -1,6 +1,6 @@
 //! Batch normalisation over the feature axis.
 
-use super::{Layer, Mode, Param};
+use super::{Layer, Mode, Param, SegmentedContext};
 use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
@@ -194,6 +194,81 @@ impl Layer for BatchNorm1d {
         dx
     }
 
+    fn forward_segmented(
+        &mut self,
+        input: &Tensor,
+        ctx: &mut SegmentedContext<'_>,
+        scratch: &mut Scratch,
+    ) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.dim,
+            "BatchNorm1d: expected {} features, got {}",
+            self.dim,
+            input.cols()
+        );
+        let (gamma_idx, beta_idx) = (ctx.param_cursor, ctx.param_cursor + 1);
+        ctx.param_cursor += 2;
+        // Normalise with the running moments once across the whole stacked
+        // batch: they are frozen source state shared by every tenant (a
+        // DeltaArtifact stores trainable params only, never the moments),
+        // and Eval-mode normalisation is row-independent, so each segment
+        // sees exactly the x̂ bits a solo forward would compute.
+        let mut inv_std = scratch.take_vec(self.dim);
+        for (s, &v) in inv_std.iter_mut().zip(&self.running_var) {
+            *s = 1.0 / (v + self.eps).sqrt();
+        }
+        let mut out = scratch.take(input.rows(), self.dim);
+        out.copy_from(input);
+        for row in out.as_mut_slice().chunks_exact_mut(self.dim) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.running_mean).zip(&inv_std) {
+                *v = (*v - m) * s;
+            }
+        }
+        // Per-segment affine: γ/β stay trainable under adapters (TENT-style
+        // affine adaptation), so a tenant's artifact carries its trained
+        // values at this layer's two trainable slots. Source-only segments
+        // use the layer's own (source) γ/β. Same multiply-then-add per
+        // element as the solo broadcast pair — bit-identical rows.
+        let mut row0 = 0usize;
+        for seg in ctx.segments {
+            let rows = seg.rows;
+            let (gamma, beta): (&[f64], &[f64]) = match seg.delta {
+                Some(art) => {
+                    // The engine validates artifacts with
+                    // `DeltaArtifact::check` before batching; these guard
+                    // against indexing drift.
+                    assert_eq!(
+                        art.shapes[gamma_idx],
+                        (1, self.dim),
+                        "forward_segmented: gamma shape mismatch at tensor {gamma_idx}"
+                    );
+                    assert_eq!(
+                        art.shapes[beta_idx],
+                        (1, self.dim),
+                        "forward_segmented: beta shape mismatch at tensor {beta_idx}"
+                    );
+                    (&art.values[gamma_idx], &art.values[beta_idx])
+                }
+                None => (self.gamma.value.as_slice(), self.beta.value.as_slice()),
+            };
+            for row in out.as_mut_slice()[row0 * self.dim..(row0 + rows) * self.dim]
+                .chunks_exact_mut(self.dim)
+            {
+                for ((v, &g), &b) in row.iter_mut().zip(gamma).zip(beta) {
+                    *v = *v * g + b;
+                }
+            }
+            row0 += rows;
+        }
+        scratch.give_vec(inv_std);
+        out
+    }
+
+    fn supports_segmented(&self) -> bool {
+        true
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
     }
@@ -224,6 +299,10 @@ impl Layer for BatchNorm1d {
             input_dim, self.dim
         );
         self.dim
+    }
+
+    fn input_dim(&self) -> Option<usize> {
+        Some(self.dim)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

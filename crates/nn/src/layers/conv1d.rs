@@ -283,6 +283,10 @@ impl Layer for Conv1d {
         self.output_width()
     }
 
+    fn input_dim(&self) -> Option<usize> {
+        Some(self.input_width())
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -326,6 +326,10 @@ impl Layer for Dense {
         self.out_dim
     }
 
+    fn input_dim(&self) -> Option<usize> {
+        Some(self.in_dim)
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }

@@ -210,14 +210,16 @@ pub trait Layer: Send + Sync {
     /// row-independent and the correction uses the same kernels in the same
     /// order).
     ///
-    /// The default is correct for any layer without adapters — `Eval` ops
-    /// are row-independent, so segments cannot interact — and advances
-    /// `ctx.param_cursor` past this layer's trainable tensors so downstream
-    /// adapted layers index their artifact factors correctly.
+    /// The default is correct for any layer without *tenant-specific*
+    /// trainable state — `Eval` ops are row-independent, so segments cannot
+    /// interact — and advances `ctx.param_cursor` past this layer's
+    /// trainable tensors so downstream adapted layers index their artifact
+    /// factors correctly.
     ///
-    /// Layers that carry adapters but do not override (see
-    /// [`Layer::supports_segmented`]) panic rather than silently serving
-    /// the base weights for every segment.
+    /// Layers whose trainable tensors a tenant artifact would override —
+    /// adapter carriers, but also affine batch-norm — must override this or
+    /// report [`Layer::supports_segmented`] `== false`; the default panics
+    /// rather than silently serving the base values for every segment.
     fn forward_segmented(
         &mut self,
         input: &Tensor,
@@ -232,17 +234,31 @@ pub trait Layer: Send + Sync {
         );
         let mut n = 0usize;
         self.visit_params(&mut |_| n += 1);
+        assert!(
+            n == 0 || ctx.segments.iter().all(|s| s.delta.is_none()),
+            "{}: exposes trainable tensors the segments' artifacts would \
+             override but does not implement forward_segmented",
+            self.name()
+        );
         ctx.param_cursor += n;
         self.forward_scratch(input, Mode::Eval, scratch)
     }
 
-    /// Whether every adapted layer beneath (and including) this one
-    /// implements the segmented serving forward. Serving engines check this
-    /// once and fall back to per-tenant apply/forward/restore when it is
-    /// false. The default — true exactly when no adapters are attached —
-    /// is correct for all shared (adapter-free) layers.
+    /// Whether every layer beneath (and including) this one serves tenant
+    /// artifacts correctly through the segmented forward. Serving engines
+    /// check this once and fall back to per-tenant apply/forward/restore
+    /// when it is false.
+    ///
+    /// This is strictly **opt-in**: the default is `false`, and a layer may
+    /// return `true` only when it either exposes no trainable tensors at
+    /// all (so an artifact has nothing of its to override — stateless `Eval`
+    /// ops are row-independent) or overrides [`Layer::forward_segmented`]
+    /// to read each segment's values from its artifact. A trainable layer
+    /// left on the default forward must stay `false`, or every tenant would
+    /// silently be served the base values (artifacts store *all* trainable
+    /// tensors, not just adapter factors — batch-norm γ/β included).
     fn supports_segmented(&self) -> bool {
-        self.adapted_layers() == 0
+        false
     }
 
     /// Trainable parameters, in a stable order. Parameter-free layers return
@@ -259,6 +275,17 @@ pub trait Layer: Send + Sync {
     /// Used by [`Sequential::output_dim`] to validate model wiring without a
     /// forward pass.
     fn output_dim(&self, input_dim: usize) -> usize;
+
+    /// The input feature width this layer requires, when it constrains one.
+    ///
+    /// Width-agnostic layers — which must also be width-*preserving*
+    /// (activations, dropout) — return the default `None`; containers
+    /// return their first constrained layer's width. Serving layers use
+    /// this to validate request shapes at admission instead of panicking
+    /// inside a fused forward.
+    fn input_dim(&self) -> Option<usize> {
+        None
+    }
 
     /// Mutable access to every dropout PRNG reachable from this layer, in a
     /// stable (definition) order. Containers recurse; everything else

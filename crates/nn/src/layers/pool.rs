@@ -85,6 +85,12 @@ impl Layer for GlobalAvgPool1d {
         Vec::new()
     }
 
+    // Parameter-free and row-independent (pools over time *within* each
+    // row): segments cannot interact.
+    fn supports_segmented(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "GlobalAvgPool1d"
     }
@@ -98,6 +104,10 @@ impl Layer for GlobalAvgPool1d {
             self.channels * self.time_len
         );
         self.channels
+    }
+
+    fn input_dim(&self) -> Option<usize> {
+        Some(self.channels * self.time_len)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

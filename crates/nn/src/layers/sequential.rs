@@ -310,6 +310,12 @@ impl Layer for Sequential {
             .fold(input_dim, |dim, layer| layer.output_dim(dim))
     }
 
+    fn input_dim(&self) -> Option<usize> {
+        // Width-agnostic layers are width-preserving (the trait contract),
+        // so the first constrained layer's width is the chain's.
+        self.layers.iter().find_map(|l| l.input_dim())
+    }
+
     fn dropout_rngs_mut(&mut self) -> Vec<&mut crate::rng::Rng> {
         self.layers
             .iter_mut()
@@ -423,5 +429,46 @@ mod tests {
         let mut rng = Rng::new(7);
         let m = tiny_mlp(&mut rng);
         assert_eq!(m.layer_names(), vec!["Dense", "Relu", "Dense"]);
+    }
+
+    #[test]
+    fn input_dim_is_first_constrained_layer() {
+        let mut rng = Rng::new(8);
+        assert_eq!(tiny_mlp(&mut rng).input_dim(), Some(3));
+        let leading_activation =
+            Sequential::new()
+                .add(Relu::new())
+                .add(Dense::new(5, 2, Init::HeNormal, &mut rng));
+        assert_eq!(
+            leading_activation.input_dim(),
+            Some(5),
+            "width-preserving layers defer to the first constrained one"
+        );
+        assert_eq!(Sequential::new().add(Relu::new()).input_dim(), None);
+    }
+
+    /// Segmented serving support is opt-in: a layer with trainable tensors
+    /// an artifact would override must not claim it unless it implements
+    /// `forward_segmented` — otherwise every tenant would silently be
+    /// served the base values (the bug class: batch-norm γ/β).
+    #[test]
+    fn supports_segmented_is_opt_in() {
+        use crate::layers::{BatchNorm1d, Conv1d};
+        let mut rng = Rng::new(9);
+        assert!(tiny_mlp(&mut rng).supports_segmented());
+        let bn = Sequential::new()
+            .add(Dense::new(3, 4, Init::HeNormal, &mut rng))
+            .add(BatchNorm1d::new(4));
+        assert!(
+            bn.supports_segmented(),
+            "BatchNorm implements the segmented forward"
+        );
+        let conv = Sequential::new()
+            .add(Conv1d::new(2, 3, 3, 1, 6, &mut rng))
+            .add(Relu::new());
+        assert!(
+            !conv.supports_segmented(),
+            "a trainable layer without a segmented forward must force the fallback path"
+        );
     }
 }

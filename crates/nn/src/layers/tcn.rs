@@ -180,6 +180,10 @@ impl Layer for TcnBlock {
         self.out_ch * self.time_len
     }
 
+    fn input_dim(&self) -> Option<usize> {
+        Some(self.in_ch * self.time_len)
+    }
+
     fn dropout_rngs_mut(&mut self) -> Vec<&mut Rng> {
         let mut rngs = self.drop1.dropout_rngs_mut();
         rngs.extend(self.drop2.dropout_rngs_mut());

@@ -1020,6 +1020,86 @@ mod tests {
         );
     }
 
+    /// Batch-norm γ/β stay trainable under adapters (TENT-style), so a
+    /// tenant's artifact carries them — the segmented fused forward must
+    /// serve each segment's *artifact* affine, bit-identical to applying
+    /// the delta and running solo, with source-only segments untouched.
+    #[test]
+    fn segmented_forward_serves_batchnorm_affine_from_artifact() {
+        use crate::adapter::{enable_adapters, AdapterConfig};
+        use crate::init::Init;
+        use crate::layers::{BatchNorm1d, Dense, Layer, Relu, SegmentSpan, Sequential};
+        use crate::model::CheckpointRegressor;
+
+        let mut rng = Rng::new(60);
+        let mut model = Sequential::new()
+            .add(Dense::new(3, 4, Init::HeNormal, &mut rng))
+            .add(BatchNorm1d::new(4))
+            .add(Relu::new())
+            .add(Dense::new(4, 2, Init::HeNormal, &mut rng));
+        // Non-trivial source running moments.
+        for _ in 0..5 {
+            let xb = Tensor::rand_normal(32, 3, 0.5, 2.0, &mut rng);
+            let _ = model.forward(&xb, Mode::Train);
+        }
+        let cfg = AdapterConfig::rank(2);
+        enable_adapters(&mut model, &cfg, &mut rng);
+        assert!(
+            model.supports_segmented(),
+            "a Dense+BatchNorm model must take the segmented hot path"
+        );
+        let source = model.checkpoint();
+
+        // "Train" the tenant: drift every trainable tensor — the low-rank
+        // factors AND the batch-norm affine.
+        model.visit_params(&mut |p| {
+            let noise = Tensor::rand_normal(p.value.rows(), p.value.cols(), 0.0, 0.1, &mut rng);
+            p.value.add_assign(&noise);
+        });
+        let artifact = DeltaArtifact::capture(&mut model, &cfg);
+        let x_tenant = Tensor::rand_normal(3, 3, 0.0, 1.0, &mut rng);
+        let tenant_solo = model.predict(&x_tenant);
+
+        // Park the model back on the source state (as a serving worker
+        // does) and take the reference source prediction.
+        model.restore(&source);
+        let x_source = Tensor::rand_normal(2, 3, 0.0, 1.0, &mut rng);
+        let source_solo = model.predict(&x_source);
+        assert_ne!(
+            model.predict(&x_tenant).as_slice(),
+            tenant_solo.as_slice(),
+            "the tenant's delta (γ/β included) must change predictions, \
+             or the pin below proves nothing"
+        );
+
+        // One stacked segmented forward: tenant rows then source rows.
+        let mut stacked = Tensor::zeros(5, 3);
+        stacked.as_mut_slice()[..9].copy_from_slice(x_tenant.as_slice());
+        stacked.as_mut_slice()[9..].copy_from_slice(x_source.as_slice());
+        let segments = [
+            SegmentSpan {
+                rows: 3,
+                delta: Some(&artifact),
+            },
+            SegmentSpan {
+                rows: 2,
+                delta: None,
+            },
+        ];
+        let fused =
+            crate::scratch::with(|s| model.predict_segmented_scratch(&stacked, &segments, s));
+        assert_eq!(
+            &fused.as_slice()[..6],
+            tenant_solo.as_slice(),
+            "tenant segment must be bit-identical to apply-then-solo"
+        );
+        assert_eq!(
+            &fused.as_slice()[6..],
+            source_solo.as_slice(),
+            "source segment must be bit-identical to solo source serving"
+        );
+    }
+
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn stale_delta_apply_still_panics() {

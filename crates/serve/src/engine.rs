@@ -143,17 +143,24 @@ pub struct ServeRuntime {
     registry: TenantRegistry,
     session: TenantSession,
     source: Sequential,
+    /// The model's input feature width ([`Layer::input_dim`]), checked at
+    /// admission so a malformed request is rejected with a typed error
+    /// instead of panicking a worker mid-batch. `None` when the model does
+    /// not constrain its input width (admission then skips the check).
+    input_width: Option<usize>,
 }
 
 impl ServeRuntime {
     /// Builds the runtime around a frozen source model and an adaptation
     /// recipe.
     pub fn new(source: Sequential, session: TenantSession, cfg: ServeConfig) -> Arc<Self> {
+        let input_width = source.input_dim();
         Arc::new(ServeRuntime {
             queue: AdmissionQueue::new(cfg.queue_depth),
             registry: TenantRegistry::new(cfg.shards, cfg.resident_budget_bytes),
             session,
             source,
+            input_width,
             cfg,
         })
     }
@@ -173,13 +180,40 @@ impl ServeRuntime {
         &self.registry
     }
 
-    /// Admits a predict request for `tenant`.
+    /// Rejects a request whose input width the model cannot serve. Every
+    /// request in a fused batch (and every adapt forward) runs through the
+    /// model's input assert — one malformed tensor would panic the worker
+    /// mid-batch and lose the window's other tenants' requests, so the
+    /// mismatch is turned away at admission instead.
+    fn check_input_width(&self, x: &Tensor) -> Result<(), ServeError> {
+        match self.input_width {
+            Some(expected) if x.cols() != expected => {
+                tasfar_obs::metrics::counter("serve.queue.rejected_width").incr();
+                tasfar_obs::event(
+                    "serve.bad_width",
+                    vec![("expected", expected.into()), ("got", x.cols().into())],
+                );
+                Err(ServeError::InputWidth {
+                    expected,
+                    got: x.cols(),
+                })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Admits a predict request for `tenant`. Rejects a wrong input width
+    /// with [`ServeError::InputWidth`] — nothing malformed reaches a fused
+    /// batch.
     pub fn submit_predict(&self, tenant: u64, x: Tensor) -> Result<u64, ServeError> {
+        self.check_input_width(&x)?;
         self.queue.submit_predict(tenant, x)
     }
 
-    /// Admits an adapt op for `tenant`.
+    /// Admits an adapt op for `tenant`. Rejects a wrong input width with
+    /// [`ServeError::InputWidth`], like [`ServeRuntime::submit_predict`].
     pub fn submit_adapt(&self, tenant: u64, x: Tensor) -> Result<u64, ServeError> {
+        self.check_input_width(&x)?;
         self.queue.submit_adapt(tenant, x)
     }
 
@@ -232,6 +266,15 @@ impl ServeWorker {
     /// The runtime this worker drains.
     pub fn runtime(&self) -> &Arc<ServeRuntime> {
         &self.runtime
+    }
+
+    /// Whether batches take the segmented fused hot path (every layer in the
+    /// model serves tenant artifacts through [`Layer::supports_segmented`])
+    /// rather than the per-tenant apply/forward/restore fallback. Tests
+    /// assert on this so a bit-identity pin can't silently exercise the
+    /// wrong path.
+    pub fn is_segmented(&self) -> bool {
+        self.segmented
     }
 
     /// Returns an output tensor's buffer to the worker's scratch arena so

@@ -66,6 +66,16 @@ pub enum ServeError {
         /// The configured bound it hit.
         depth: usize,
     },
+    /// The request's input feature width does not match the model's — a
+    /// fused forward would panic mid-batch, taking every other tenant's
+    /// requests down with it, so the mismatch is rejected at admission. The
+    /// request was **not** enqueued.
+    InputWidth {
+        /// The model's input feature width.
+        expected: usize,
+        /// The request's `x.cols()`.
+        got: usize,
+    },
     /// The queue was closed for shutdown; no further requests are admitted.
     Closed,
 }
@@ -80,6 +90,10 @@ impl std::fmt::Display for ServeError {
                     class.label()
                 )
             }
+            ServeError::InputWidth { expected, got } => write!(
+                f,
+                "serve: request input width {got} does not match the model's {expected}"
+            ),
             ServeError::Closed => write!(f, "serve: queue closed"),
         }
     }

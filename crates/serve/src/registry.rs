@@ -237,7 +237,11 @@ impl TenantRegistry {
     }
 
     /// Evicts LRU residents until the shard fits its budget. `keep` (the
-    /// tenant just touched) is evicted only if it alone exceeds the budget.
+    /// tenant just touched) is evicted only if it alone exceeds the budget:
+    /// the budget is a hard cap, so an oversized artifact is serialized
+    /// back to cold immediately rather than leaving the shard over budget
+    /// indefinitely. (Handles already returned for `keep` stay valid — the
+    /// `Arc` outlives residency.)
     fn enforce_budget(&self, shard: &mut Shard, keep: u64) {
         while shard.resident_bytes > self.budget_per_shard {
             let victim = shard
@@ -246,8 +250,16 @@ impl TenantRegistry {
                 .filter(|(&t, s)| s.resident.is_some() && t != keep)
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(&t, _)| t);
-            let Some(victim) = victim else { break };
-            Self::evict_locked(shard, victim, "budget", &self.evictions);
+            match victim {
+                Some(victim) => {
+                    Self::evict_locked(shard, victim, "budget", &self.evictions);
+                }
+                None => {
+                    // `keep` is the sole resident and still over budget.
+                    Self::evict_locked(shard, keep, "budget", &self.evictions);
+                    break;
+                }
+            }
         }
     }
 
@@ -436,6 +448,25 @@ mod tests {
         );
         // Rehydrating 20 pushed the shard back over budget: still 2 resident.
         assert_eq!(reg.stats().resident_tenants, 2);
+    }
+
+    #[test]
+    fn oversized_artifact_never_leaves_shard_over_budget() {
+        let a = artifact(1);
+        let bytes = a.payload_bytes() as u64;
+        // Budget smaller than a single artifact: nothing may stay resident.
+        let reg = TenantRegistry::new(1, bytes / 2);
+        reg.insert_resident(10, a.clone());
+        let stats = reg.stats();
+        assert_eq!(stats.resident_tenants, 0, "oversized resident is evicted");
+        assert_eq!(stats.resident_bytes, 0, "shard ends within budget");
+        assert_eq!(stats.evictions, 1);
+        // The delta survives in the cold store; each lookup rehydrates it
+        // (and the budget pass re-evicts it), degrading, never growing.
+        let (handle, residency) = reg.artifact_handle(10);
+        assert_eq!(residency, Residency::Rehydrated);
+        assert_eq!(handle.as_deref(), Some(&a), "handle outlives residency");
+        assert_eq!(reg.stats().resident_bytes, 0);
     }
 
     #[test]

@@ -109,6 +109,116 @@ fn fused_cross_tenant_batch_is_bit_identical_to_solo() {
 }
 
 #[test]
+fn batchnorm_model_fused_batch_is_bit_identical_to_solo() {
+    let rt = support::runtime_batchnorm(ServeConfig {
+        shards: 4,
+        batch_window: 32,
+        ..ServeConfig::default()
+    });
+    let mut worker = rt.worker(47);
+    assert!(
+        worker.is_segmented(),
+        "a Dense+BatchNorm model must take the segmented fused path — \
+         otherwise this pin only exercises the fallback"
+    );
+    adapt_tenant(&mut worker, 1, -0.5);
+    adapt_tenant(&mut worker, 2, 0.5);
+
+    // The artifacts must carry a *moved* batch-norm affine (γ/β stay
+    // trainable under adapters), or the pin below never covers
+    // per-segment affine serving. Trainable order: d1 down/up, γ, β,
+    // d2 down/up.
+    let art = rt.registry().clone_artifact(1).expect("tenant 1 adapted");
+    assert_eq!(art.shapes[2], (1, 24), "index 2 is batch-norm γ");
+    assert!(
+        art.values[2] != vec![1.0; 24] || art.values[3] != vec![0.0; 24],
+        "adaptation must move the batch-norm affine off its source init"
+    );
+
+    let mut rng = Rng::new(10);
+    let requests: Vec<(u64, Tensor)> = vec![
+        (1, Tensor::rand_normal(2, 2, 0.0, 1.0, &mut rng)),
+        (2, Tensor::rand_normal(3, 2, 0.0, 1.0, &mut rng)),
+        (3, Tensor::rand_normal(1, 2, 0.0, 1.0, &mut rng)), // never adapted
+        (1, Tensor::rand_normal(1, 2, 0.0, 1.0, &mut rng)),
+    ];
+    let solo_hashes: Vec<u64> = requests
+        .iter()
+        .map(|(tenant, x)| {
+            let (out, _) = worker.serve_solo(*tenant, x);
+            let h = hash_tensor_bits(&out);
+            worker.recycle(out);
+            h
+        })
+        .collect();
+
+    for (tenant, x) in &requests {
+        rt.submit_predict(*tenant, x.clone()).unwrap();
+    }
+    let outs = predict_outputs(worker.process_next());
+    assert_eq!(outs.len(), requests.len());
+    for (i, (tenant, out, via)) in outs.iter().enumerate() {
+        assert_eq!(*tenant, requests[i].0);
+        assert_eq!(
+            hash_tensor_bits(out),
+            solo_hashes[i],
+            "request {i} (tenant {tenant}): fused prediction through the \
+             batch-norm affine must be bit-identical to solo serving"
+        );
+        let expect_via = if *tenant == 3 {
+            ServedVia::Source
+        } else {
+            ServedVia::Delta
+        };
+        assert_eq!(*via, expect_via);
+    }
+    // Tenant affines must change the served bits vs source, or the pin
+    // proves nothing.
+    let x = &requests[0].1;
+    let (src, _) = worker.serve_solo(3, x);
+    let (t1, _) = worker.serve_solo(1, x);
+    assert_ne!(
+        hash_tensor_bits(&src),
+        hash_tensor_bits(&t1),
+        "tenant 1's delta (incl. its batch-norm affine) must change its \
+         predictions"
+    );
+}
+
+#[test]
+fn wrong_width_request_is_rejected_at_admission() {
+    use tasfar_serve::ServeError;
+
+    let rt = support::runtime(ServeConfig::default());
+    let mut worker = rt.worker(48);
+    // The model takes 2 input features; 3 must be refused before it can
+    // reach a fused batch and panic the worker.
+    let bad = Tensor::zeros(1, 3);
+    assert_eq!(
+        rt.submit_predict(1, bad.clone()),
+        Err(ServeError::InputWidth {
+            expected: 2,
+            got: 3
+        })
+    );
+    assert_eq!(
+        rt.submit_adapt(1, bad),
+        Err(ServeError::InputWidth {
+            expected: 2,
+            got: 3
+        })
+    );
+    assert!(
+        rt.queue().is_empty(),
+        "rejected requests must never be enqueued"
+    );
+    // Well-formed traffic on the same runtime still serves.
+    rt.submit_predict(1, Tensor::zeros(1, 2)).unwrap();
+    let outs = predict_outputs(worker.process_next());
+    assert_eq!(outs.len(), 1);
+}
+
+#[test]
 fn batch_of_one_tenant_fuses_all_requests() {
     let rt = support::runtime(ServeConfig {
         shards: 4,

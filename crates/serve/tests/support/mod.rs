@@ -8,7 +8,7 @@ use tasfar_core::session::TenantSession;
 use tasfar_data::Dataset;
 use tasfar_nn::adapter::AdapterConfig;
 use tasfar_nn::init::Init;
-use tasfar_nn::layers::{Dense, Dropout, Relu, Sequential};
+use tasfar_nn::layers::{BatchNorm1d, Dense, Dropout, Relu, Sequential};
 use tasfar_nn::loss::Mse;
 use tasfar_nn::optim::Adam;
 use tasfar_nn::prelude::*;
@@ -85,12 +85,36 @@ pub fn quick_cfg() -> TasfarConfig {
 /// runtime with the given serving config.
 pub fn runtime(serve_cfg: ServeConfig) -> Arc<ServeRuntime> {
     let mut rng = Rng::new(11);
-    let source = source_dataset(&mut rng, 400);
-    let mut model = Sequential::new()
+    let model = Sequential::new()
         .add(Dense::new(2, 24, Init::HeNormal, &mut rng))
         .add(Relu::new())
         .add(Dropout::new(0.2, &mut rng))
         .add(Dense::new(24, 1, Init::XavierUniform, &mut rng));
+    finish_runtime(model, rng, serve_cfg)
+}
+
+/// [`runtime`] with a `BatchNorm1d` in the model: γ/β stay trainable under
+/// adapters (TENT-style affine adaptation), so every tenant artifact
+/// carries a batch-norm affine the segmented fused path must serve per
+/// segment — the suite pins that against solo serving.
+#[allow(dead_code)] // each integration suite compiles its own `support`
+pub fn runtime_batchnorm(serve_cfg: ServeConfig) -> Arc<ServeRuntime> {
+    let mut rng = Rng::new(12);
+    let model = Sequential::new()
+        .add(Dense::new(2, 24, Init::HeNormal, &mut rng))
+        .add(BatchNorm1d::new(24))
+        .add(Relu::new())
+        .add(Dropout::new(0.2, &mut rng))
+        .add(Dense::new(24, 1, Init::XavierUniform, &mut rng));
+    finish_runtime(model, rng, serve_cfg)
+}
+
+fn finish_runtime(
+    mut model: Sequential,
+    mut rng: Rng,
+    serve_cfg: ServeConfig,
+) -> Arc<ServeRuntime> {
+    let source = source_dataset(&mut rng, 400);
     let mut opt = Adam::new(5e-3);
     let _ = fit(
         &mut model,
